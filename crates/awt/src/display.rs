@@ -1,0 +1,295 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use jmp_vm::VmError;
+use parking_lot::RwLock;
+
+use crate::event::{ComponentId, Event, EventKind, WindowId};
+
+/// Identifier of a display client (one per connected toolkit — one per VM,
+/// matching Fig 2 where each process holds one connection to the X server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpy-client:{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WindowMeta {
+    client: ClientId,
+    title: String,
+}
+
+struct DisplayState {
+    clients: HashMap<ClientId, Sender<Event>>,
+    windows: HashMap<WindowId, WindowMeta>,
+}
+
+/// The simulated display server — the paper's X server (Fig 2): "a special
+/// process \[that\] has exclusive control over the high-resolution display...
+/// When some input from the keyboard or mouse occurs, the X server will
+/// figure out which GUI component was the target of that input and notify
+/// the appropriate process."
+///
+/// Toolkits [`connect`](DisplayServer::connect) and register windows; tests
+/// and benches *inject* synthetic input, which the server routes to the
+/// connection owning the target window. Injection stands in for hardware
+/// input and is therefore not subject to runtime security checks (the
+/// checks guard what *applications* may do, e.g. open windows).
+#[derive(Clone)]
+pub struct DisplayServer {
+    state: Arc<RwLock<DisplayState>>,
+    next_client: Arc<AtomicU64>,
+    next_window: Arc<AtomicU64>,
+}
+
+impl Default for DisplayServer {
+    fn default() -> DisplayServer {
+        DisplayServer::new()
+    }
+}
+
+impl DisplayServer {
+    /// Starts a display server with no clients.
+    pub fn new() -> DisplayServer {
+        DisplayServer {
+            state: Arc::new(RwLock::new(DisplayState {
+                clients: HashMap::new(),
+                windows: HashMap::new(),
+            })),
+            next_client: Arc::new(AtomicU64::new(1)),
+            next_window: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Opens a client connection; the returned receiver is the client's
+    /// event wire (what the AWT's X-connection thread reads, paper §5.4).
+    pub fn connect(&self) -> (ClientId, Receiver<Event>) {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.state.write().clients.insert(id, tx);
+        (id, rx)
+    }
+
+    /// Disconnects a client, dropping its windows.
+    pub fn disconnect(&self, client: ClientId) {
+        let mut state = self.state.write();
+        state.clients.remove(&client);
+        state.windows.retain(|_, meta| meta.client != client);
+    }
+
+    /// Registers a window owned by `client`.
+    pub fn create_window(&self, client: ClientId, title: &str) -> WindowId {
+        let id = WindowId(self.next_window.fetch_add(1, Ordering::Relaxed));
+        self.state.write().windows.insert(
+            id,
+            WindowMeta {
+                client,
+                title: title.to_string(),
+            },
+        );
+        id
+    }
+
+    /// Removes a window.
+    pub fn destroy_window(&self, window: WindowId) {
+        self.state.write().windows.remove(&window);
+    }
+
+    /// Injects an event, routing it to the owning client's wire.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::IllegalState`] if the window does not exist or its client
+    /// is gone.
+    pub fn inject(
+        &self,
+        window: WindowId,
+        component: Option<ComponentId>,
+        kind: EventKind,
+    ) -> jmp_vm::Result<()> {
+        let state = self.state.read();
+        let meta = state
+            .windows
+            .get(&window)
+            .ok_or_else(|| VmError::illegal_state(format!("no such window {window}")))?;
+        let sender = state
+            .clients
+            .get(&meta.client)
+            .ok_or_else(|| VmError::illegal_state(format!("client {} gone", meta.client)))?;
+        sender
+            .send(Event::new(window, component, kind))
+            .map_err(|_| VmError::illegal_state("client connection closed"))
+    }
+
+    /// Injects a button/menu activation.
+    ///
+    /// # Errors
+    ///
+    /// As [`DisplayServer::inject`].
+    pub fn inject_action(&self, window: WindowId, component: ComponentId) -> jmp_vm::Result<()> {
+        self.inject(window, Some(component), EventKind::Action)
+    }
+
+    /// Injects a typed character.
+    ///
+    /// # Errors
+    ///
+    /// As [`DisplayServer::inject`].
+    pub fn inject_key(
+        &self,
+        window: WindowId,
+        component: ComponentId,
+        c: char,
+    ) -> jmp_vm::Result<()> {
+        self.inject(window, Some(component), EventKind::KeyTyped(c))
+    }
+
+    /// Injects a whole string as successive key events.
+    ///
+    /// # Errors
+    ///
+    /// As [`DisplayServer::inject`].
+    pub fn inject_text(
+        &self,
+        window: WindowId,
+        component: ComponentId,
+        text: &str,
+    ) -> jmp_vm::Result<()> {
+        for c in text.chars() {
+            self.inject_key(window, component, c)?;
+        }
+        Ok(())
+    }
+
+    /// Injects a window-close request.
+    ///
+    /// # Errors
+    ///
+    /// As [`DisplayServer::inject`].
+    pub fn inject_close(&self, window: WindowId) -> jmp_vm::Result<()> {
+        self.inject(window, None, EventKind::WindowClosing)
+    }
+
+    /// Number of registered windows.
+    pub fn window_count(&self) -> usize {
+        self.state.read().windows.len()
+    }
+
+    /// Titles of all windows, sorted (tests).
+    pub fn window_titles(&self) -> Vec<String> {
+        let mut titles: Vec<String> = self
+            .state
+            .read()
+            .windows
+            .values()
+            .map(|m| m.title.clone())
+            .collect();
+        titles.sort();
+        titles
+    }
+
+    /// The windows owned by `client`, sorted by id.
+    pub fn windows_of(&self, client: ClientId) -> Vec<WindowId> {
+        let mut ids: Vec<WindowId> = self
+            .state
+            .read()
+            .windows
+            .iter()
+            .filter(|(_, m)| m.client == client)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+impl fmt::Debug for DisplayServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.read();
+        f.debug_struct("DisplayServer")
+            .field("clients", &state.clients.len())
+            .field("windows", &state.windows.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_events_to_owning_client() {
+        let display = DisplayServer::new();
+        let (client_a, rx_a) = display.connect();
+        let (client_b, rx_b) = display.connect();
+        let win_a = display.create_window(client_a, "A");
+        let win_b = display.create_window(client_b, "B");
+
+        display.inject_action(win_a, ComponentId(1)).unwrap();
+        display.inject_action(win_b, ComponentId(2)).unwrap();
+
+        let ev = rx_a.try_recv().unwrap();
+        assert_eq!(ev.window, win_a);
+        assert!(rx_a.try_recv().is_err(), "A must not see B's events");
+        assert_eq!(rx_b.try_recv().unwrap().window, win_b);
+    }
+
+    #[test]
+    fn unknown_window_is_an_error() {
+        let display = DisplayServer::new();
+        assert!(display.inject_action(WindowId(99), ComponentId(1)).is_err());
+    }
+
+    #[test]
+    fn destroy_window_stops_routing() {
+        let display = DisplayServer::new();
+        let (client, _rx) = display.connect();
+        let win = display.create_window(client, "T");
+        assert_eq!(display.window_count(), 1);
+        display.destroy_window(win);
+        assert_eq!(display.window_count(), 0);
+        assert!(display.inject_close(win).is_err());
+    }
+
+    #[test]
+    fn disconnect_drops_client_windows() {
+        let display = DisplayServer::new();
+        let (client, _rx) = display.connect();
+        display.create_window(client, "X");
+        display.create_window(client, "Y");
+        assert_eq!(display.windows_of(client).len(), 2);
+        display.disconnect(client);
+        assert_eq!(display.window_count(), 0);
+    }
+
+    #[test]
+    fn inject_text_sends_one_event_per_char() {
+        let display = DisplayServer::new();
+        let (client, rx) = display.connect();
+        let win = display.create_window(client, "T");
+        display.inject_text(win, ComponentId(1), "hi").unwrap();
+        let chars: Vec<char> = (0..2)
+            .map(|_| match rx.try_recv().unwrap().kind {
+                EventKind::KeyTyped(c) => c,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(chars, vec!['h', 'i']);
+    }
+
+    #[test]
+    fn titles_are_listed_sorted() {
+        let display = DisplayServer::new();
+        let (client, _rx) = display.connect();
+        display.create_window(client, "zeta");
+        display.create_window(client, "alpha");
+        assert_eq!(display.window_titles(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier of a window, issued by the [`DisplayServer`](crate::DisplayServer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowId(pub u64);
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w:{}", self.0)
+    }
+}
+
+/// Identifier of a component within a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub u64);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c:{}", self.0)
+    }
+}
+
+/// What happened (a reduced AWT event vocabulary — enough for the paper's
+/// scenarios: button/menu activation, typing into fields, window close).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A button or menu item was activated (AWT `ActionEvent`).
+    Action,
+    /// A mouse click at window coordinates.
+    Click {
+        /// X coordinate.
+        x: i32,
+        /// Y coordinate.
+        y: i32,
+    },
+    /// A character was typed into a component.
+    KeyTyped(char),
+    /// The user asked to close the window.
+    WindowClosing,
+}
+
+/// An event as delivered to listeners: where it happened plus what happened.
+///
+/// Carries the injection timestamp so dispatch latency — the quantity
+/// experiment E2 (Fig 2 vs Fig 4) measures — can be observed at delivery.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// The window the event targets.
+    pub window: WindowId,
+    /// The component within the window, if the event is component-directed.
+    pub component: Option<ComponentId>,
+    /// What happened.
+    pub kind: EventKind,
+    /// When the display server accepted the input.
+    pub injected_at: Instant,
+}
+
+impl Event {
+    /// Creates an event stamped now.
+    pub fn new(window: WindowId, component: Option<ComponentId>, kind: EventKind) -> Event {
+        Event {
+            window,
+            component,
+            kind,
+            injected_at: Instant::now(),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.component {
+            Some(c) => write!(f, "{:?}@{}/{}", self.kind, self.window, c),
+            None => write!(f, "{:?}@{}", self.kind, self.window),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_stamped_at_creation() {
+        let before = Instant::now();
+        let ev = Event::new(WindowId(1), None, EventKind::WindowClosing);
+        assert!(ev.injected_at >= before);
+        assert!(ev.injected_at <= Instant::now());
+    }
+
+    #[test]
+    fn display_formats() {
+        let ev = Event::new(WindowId(1), Some(ComponentId(2)), EventKind::Action);
+        let text = ev.to_string();
+        assert!(text.contains("w:1") && text.contains("c:2"));
+        assert_eq!(WindowId(3).to_string(), "w:3");
+    }
+}

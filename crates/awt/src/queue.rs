@@ -1,0 +1,180 @@
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use jmp_vm::thread::{check_interrupt, BLOCK_POLL};
+use jmp_vm::Result;
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::Event;
+
+#[derive(Default)]
+struct QueueState {
+    events: VecDeque<Event>,
+    closed: bool,
+    /// Total events ever enqueued (diagnostics/benches).
+    enqueued: u64,
+    /// Total events ever dequeued.
+    dequeued: u64,
+}
+
+/// A blocking FIFO of [`Event`]s — the AWT event queue of paper §3.2.
+///
+/// In the legacy architecture (Fig 2) there is exactly one; in the
+/// multi-processing redesign (Fig 4) "every application has its own event
+/// queue and a thread in the application's thread group delivers the
+/// events."
+///
+/// Cheap handle; clones share the queue.
+#[derive(Clone, Default)]
+pub struct EventQueue {
+    state: Arc<(Mutex<QueueState>, Condvar)>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Enqueues an event. Events posted to a closed queue are dropped (the
+    /// application is being torn down; nothing can deliver them).
+    pub fn push(&self, event: Event) {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock();
+        if state.closed {
+            return;
+        }
+        state.events.push_back(event);
+        state.enqueued += 1;
+        cvar.notify_one();
+    }
+
+    /// Dequeues the next event, blocking while the queue is empty. Returns
+    /// `Ok(None)` once the queue is closed and drained.
+    ///
+    /// # Errors
+    ///
+    /// [`jmp_vm::VmError::Interrupted`] if the calling VM thread is interrupted —
+    /// how a dispatcher thread gets unstuck at application teardown.
+    pub fn pop(&self) -> Result<Option<Event>> {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock();
+        loop {
+            if let Some(event) = state.events.pop_front() {
+                state.dequeued += 1;
+                return Ok(Some(event));
+            }
+            if state.closed {
+                return Ok(None);
+            }
+            check_interrupt()?;
+            cvar.wait_for(&mut state, BLOCK_POLL);
+        }
+    }
+
+    /// Closes the queue: pending events remain poppable, new pushes are
+    /// dropped, and blocked poppers see `None` after draining.
+    pub fn close(&self) {
+        let (lock, cvar) = &*self.state;
+        lock.lock().closed = true;
+        cvar.notify_all();
+    }
+
+    /// Returns `true` once closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.0.lock().closed
+    }
+
+    /// Events currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.0.lock().events.len()
+    }
+
+    /// Returns `true` if no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.state.0.lock().enqueued
+    }
+
+    /// Total events ever dequeued.
+    pub fn total_dequeued(&self) -> u64 {
+        self.state.0.lock().dequeued
+    }
+
+    /// Returns `true` if `other` is a handle to the same queue.
+    pub fn same_queue(&self, other: &EventQueue) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+}
+
+impl fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.0.lock();
+        f.debug_struct("EventQueue")
+            .field("pending", &state.events.len())
+            .field("closed", &state.closed)
+            .field("enqueued", &state.enqueued)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, WindowId};
+    use std::time::Duration;
+
+    fn ev(n: u64) -> Event {
+        Event::new(WindowId(n), None, EventKind::Action)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = EventQueue::new();
+        q.push(ev(1));
+        q.push(ev(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().unwrap().window, WindowId(1));
+        assert_eq!(q.pop().unwrap().unwrap().window, WindowId(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = EventQueue::new();
+        q.push(ev(1));
+        q.close();
+        q.push(ev(2)); // dropped
+        assert_eq!(q.pop().unwrap().unwrap().window, WindowId(1));
+        assert!(q.pop().unwrap().is_none());
+        assert!(q.is_closed());
+        assert_eq!(q.total_enqueued(), 1);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = EventQueue::new();
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop().unwrap().unwrap().window);
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(ev(9));
+        assert_eq!(handle.join().unwrap(), WindowId(9));
+        assert_eq!(q.total_dequeued(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let q = EventQueue::new();
+        let q2 = q.clone();
+        assert!(q.same_queue(&q2));
+        q2.push(ev(1));
+        assert_eq!(q.len(), 1);
+        let other = EventQueue::new();
+        assert!(!q.same_queue(&other));
+    }
+}

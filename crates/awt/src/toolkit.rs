@@ -1,0 +1,404 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::Receiver;
+use jmp_security::Permission;
+use jmp_vm::thread::{check_interrupt, BLOCK_POLL};
+use jmp_vm::{Result, ThreadGroup, Vm, VmThread};
+use parking_lot::{Mutex, RwLock};
+
+use crate::component::{ComponentKind, Window, WindowInner};
+use crate::display::{ClientId, DisplayServer};
+use crate::event::{Event, EventKind, WindowId};
+use crate::queue::EventQueue;
+
+/// How events are dispatched to listeners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// The original JDK architecture (paper §3.2, Fig 2): **one** event
+    /// queue and **one** dispatcher thread execute *all* callbacks of *all*
+    /// applications. The dispatcher (and the X-connection thread) start on
+    /// demand, in whatever thread group happens to be current at the first
+    /// window — reproducing the problem the paper's Feature 6 names.
+    Legacy,
+    /// The paper's redesign (§5.4, Fig 4): per-application event queues;
+    /// each application's events are dispatched by a non-daemon thread in
+    /// *that application's* thread group, and the X-connection thread lives
+    /// in the system group.
+    PerApplication,
+}
+
+/// Resolves the *application tag* of the current thread — installed by the
+/// multi-processing layer (current thread → application id). The default
+/// resolver tags everything 0 (single-application VM).
+pub type AppTagResolver = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Observer invoked after each delivered event with its queue-to-listener
+/// latency (the measurement behind experiment E2).
+pub type DispatchObserver = Arc<dyn Fn(&Event, Duration) + Send + Sync>;
+
+/// The tag used for the shared queue in [`DispatchMode::Legacy`].
+const LEGACY_TAG: u64 = 0;
+
+pub(crate) struct ToolkitInner {
+    vm: Vm,
+    display: DisplayServer,
+    client: ClientId,
+    mode: DispatchMode,
+    tag_resolver: RwLock<AppTagResolver>,
+    windows: RwLock<HashMap<WindowId, Arc<WindowInner>>>,
+    queues: Mutex<HashMap<u64, EventQueue>>,
+    dispatchers: Mutex<HashMap<u64, VmThread>>,
+    input_thread: Mutex<Option<VmThread>>,
+    receiver: Mutex<Option<Receiver<Event>>>,
+    observer: RwLock<Option<DispatchObserver>>,
+}
+
+/// The windowing toolkit: the AWT of this runtime.
+///
+/// One toolkit connects one VM to a [`DisplayServer`]. Applications create
+/// [`Window`]s through it (requiring `AWTPermission("showWindow")`); input
+/// injected at the display flows through the toolkit's X-connection thread
+/// into an [`EventQueue`] and is delivered to listeners by a dispatcher
+/// thread. *Which* queue and *whose* dispatcher depend on the
+/// [`DispatchMode`] — the difference between the paper's Fig 2 and Fig 4.
+#[derive(Clone)]
+pub struct Toolkit {
+    inner: Arc<ToolkitInner>,
+}
+
+impl Toolkit {
+    /// Connects a toolkit for `vm` to `display`.
+    pub fn connect(vm: Vm, display: DisplayServer, mode: DispatchMode) -> Toolkit {
+        let (client, receiver) = display.connect();
+        Toolkit {
+            inner: Arc::new(ToolkitInner {
+                vm,
+                display,
+                client,
+                mode,
+                tag_resolver: RwLock::new(Arc::new(|| 0)),
+                windows: RwLock::new(HashMap::new()),
+                queues: Mutex::new(HashMap::new()),
+                dispatchers: Mutex::new(HashMap::new()),
+                input_thread: Mutex::new(None),
+                receiver: Mutex::new(Some(receiver)),
+                observer: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// The dispatch mode.
+    pub fn mode(&self) -> DispatchMode {
+        self.inner.mode
+    }
+
+    /// The VM this toolkit serves.
+    pub fn vm(&self) -> &Vm {
+        &self.inner.vm
+    }
+
+    /// The display this toolkit renders to.
+    pub fn display(&self) -> &DisplayServer {
+        &self.inner.display
+    }
+
+    /// Installs the application-tag resolver (multi-processing layer).
+    pub fn set_tag_resolver(&self, resolver: AppTagResolver) {
+        *self.inner.tag_resolver.write() = resolver;
+    }
+
+    /// Installs a dispatch-latency observer (benches).
+    pub fn set_dispatch_observer(&self, observer: DispatchObserver) {
+        *self.inner.observer.write() = Some(observer);
+    }
+
+    fn current_tag(&self) -> u64 {
+        (self.inner.tag_resolver.read())()
+    }
+
+    fn queue_tag_for(&self, window_tag: u64) -> u64 {
+        match self.inner.mode {
+            DispatchMode::Legacy => LEGACY_TAG,
+            DispatchMode::PerApplication => window_tag,
+        }
+    }
+
+    /// Creates a window owned by the current application. Requires
+    /// `AWTPermission("showWindow")`. Starts the X-connection thread and the
+    /// appropriate dispatcher on first use (see [`DispatchMode`]).
+    ///
+    /// # Errors
+    ///
+    /// [`jmp_vm::VmError::Security`] if the permission is denied; spawn
+    /// errors if the VM is shutting down.
+    pub fn create_window(&self, title: &str) -> Result<Window> {
+        self.inner
+            .vm
+            .check_permission(&Permission::awt("showWindow"))?;
+        let tag = self.current_tag();
+        self.ensure_input_thread()?;
+        self.ensure_dispatcher(self.queue_tag_for(tag))?;
+        let id = self.inner.display.create_window(self.inner.client, title);
+        let window = WindowInner::new(id, title.to_string(), tag);
+        self.inner.windows.write().insert(id, Arc::clone(&window));
+        Ok(Window {
+            inner: window,
+            toolkit: self.clone(),
+        })
+    }
+
+    /// Re-obtains a handle to an open window by id.
+    pub fn window(&self, id: WindowId) -> Option<Window> {
+        self.inner.windows.read().get(&id).map(|inner| Window {
+            inner: Arc::clone(inner),
+            toolkit: self.clone(),
+        })
+    }
+
+    /// Ids of open windows belonging to application `tag`, sorted.
+    pub fn windows_of_app(&self, tag: u64) -> Vec<WindowId> {
+        let mut ids: Vec<WindowId> = self
+            .inner
+            .windows
+            .read()
+            .values()
+            .filter(|w| w.tag == tag)
+            .map(|w| w.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Total open windows.
+    pub fn window_count(&self) -> usize {
+        self.inner.windows.read().len()
+    }
+
+    pub(crate) fn close_window(&self, id: WindowId) {
+        if let Some(window) = self.inner.windows.write().remove(&id) {
+            window
+                .closed
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            self.inner.display.destroy_window(id);
+        }
+    }
+
+    /// Closes every window of application `tag` and (in
+    /// [`DispatchMode::PerApplication`]) retires its queue and dispatcher —
+    /// the toolkit half of application teardown ("close all windows that are
+    /// associated with the application", paper §5.1).
+    pub fn close_app(&self, tag: u64) {
+        for id in self.windows_of_app(tag) {
+            self.close_window(id);
+        }
+        if self.inner.mode == DispatchMode::PerApplication {
+            if let Some(queue) = self.inner.queues.lock().remove(&tag) {
+                queue.close();
+            }
+            self.inner.dispatchers.lock().remove(&tag);
+        }
+    }
+
+    /// The event queue serving application `tag`, if one exists yet.
+    pub fn queue_of(&self, tag: u64) -> Option<EventQueue> {
+        self.inner
+            .queues
+            .lock()
+            .get(&self.queue_tag_for(tag))
+            .cloned()
+    }
+
+    /// The dispatcher thread serving application `tag`, if started.
+    pub fn dispatcher_of(&self, tag: u64) -> Option<VmThread> {
+        self.inner
+            .dispatchers
+            .lock()
+            .get(&self.queue_tag_for(tag))
+            .cloned()
+    }
+
+    /// The X-connection thread, if started.
+    pub fn input_thread(&self) -> Option<VmThread> {
+        self.inner.input_thread.lock().clone()
+    }
+
+    /// Runs `f` with the toolkit's (system-code) authority: the toolkit is
+    /// part of the runtime, so its internal thread management must not be
+    /// limited by whichever application happens to call into it — the same
+    /// privilege-assertion pattern as the paper's Font example (§5.6).
+    fn as_system<R>(f: impl FnOnce() -> R) -> R {
+        let domain = Arc::new(jmp_security::ProtectionDomain::system());
+        jmp_vm::stack::call_as("jmp.awt.Toolkit", domain, || {
+            jmp_vm::stack::do_privileged(f)
+        })
+    }
+
+    fn ensure_input_thread(&self) -> Result<()> {
+        let mut slot = self.inner.input_thread.lock();
+        if slot.is_some() {
+            return Ok(());
+        }
+        let receiver = {
+            let mut guard = self.inner.receiver.lock();
+            guard.take().ok_or_else(|| {
+                jmp_vm::VmError::illegal_state("toolkit input thread previously failed to start")
+            })?
+        };
+        let toolkit = self.clone();
+        // PerApplication (the paper's fix, §5.4): the thread that talks to
+        // the display server is a *system* thread, in the system group.
+        // Legacy (the paper's complaint, Feature 6): it starts in whatever
+        // group is current — i.e. the first application to open a window.
+        let builder = self
+            .inner
+            .vm
+            .thread_builder()
+            .name("awt-input")
+            .daemon(true);
+        let builder = match self.inner.mode {
+            DispatchMode::PerApplication => builder.group(self.input_group()),
+            DispatchMode::Legacy => builder,
+        };
+        let thread =
+            Toolkit::as_system(|| builder.spawn(move |_vm| toolkit.input_loop(&receiver)))?;
+        *slot = Some(thread);
+        Ok(())
+    }
+
+    fn input_group(&self) -> ThreadGroup {
+        self.inner.vm.system_group().clone()
+    }
+
+    fn input_loop(&self, receiver: &Receiver<Event>) {
+        loop {
+            if check_interrupt().is_err() {
+                return;
+            }
+            match receiver.recv_timeout(BLOCK_POLL) {
+                Ok(event) => self.route(event),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Routes one display event to the responsible queue: "when an event
+    /// occurs in a GUI element, the enclosing window and its application are
+    /// found; then the AWT event is put on the particular event queue of
+    /// that application" (paper §5.4).
+    fn route(&self, event: Event) {
+        let Some(window) = self.inner.windows.read().get(&event.window).cloned() else {
+            return; // window closed while the event was in flight
+        };
+        let queue_tag = self.queue_tag_for(window.tag);
+        let queue = self.inner.queues.lock().get(&queue_tag).cloned();
+        if let Some(queue) = queue {
+            queue.push(event);
+        }
+    }
+
+    fn ensure_dispatcher(&self, queue_tag: u64) -> Result<()> {
+        {
+            let queues = self.inner.queues.lock();
+            if queues.contains_key(&queue_tag) {
+                return Ok(());
+            }
+        }
+        let queue = EventQueue::new();
+        self.inner.queues.lock().insert(queue_tag, queue.clone());
+        // The dispatcher spawns in the *current* thread's group: for
+        // PerApplication this is the application opening its first window
+        // (paper §5.4: a non-daemon thread in the application's group); for
+        // Legacy it is whichever application got here first (Fig 2).
+        let toolkit = self.clone();
+        let name = match self.inner.mode {
+            DispatchMode::Legacy => "awt-dispatch".to_string(),
+            DispatchMode::PerApplication => format!("awt-dispatch-{queue_tag}"),
+        };
+        let thread = self
+            .inner
+            .vm
+            .thread_builder()
+            .name(name)
+            .daemon(false)
+            .spawn(move |_vm| toolkit.dispatch_loop(&queue))?;
+        self.inner.dispatchers.lock().insert(queue_tag, thread);
+        Ok(())
+    }
+
+    fn dispatch_loop(&self, queue: &EventQueue) {
+        loop {
+            match queue.pop() {
+                Ok(Some(event)) => self.dispatch(event),
+                Ok(None) => return,
+                Err(_) => return, // interrupted: application teardown
+            }
+        }
+    }
+
+    /// Delivers one event to its listeners (on the calling dispatcher
+    /// thread — the thread identity applications observe in callbacks).
+    fn dispatch(&self, event: Event) {
+        let Some(window) = self.inner.windows.read().get(&event.window).cloned() else {
+            return;
+        };
+        match (&event.kind, event.component) {
+            (EventKind::WindowClosing, _) => {
+                let listeners = window.closing_listeners.read().clone();
+                for listener in listeners {
+                    listener(&event);
+                }
+            }
+            (EventKind::KeyTyped(c), Some(component_id)) => {
+                if let Some(record) = window.component(component_id) {
+                    if record.kind == ComponentKind::TextField {
+                        record.text.lock().push(*c);
+                    }
+                    let listeners = record.listeners.read().clone();
+                    for listener in listeners {
+                        listener(&event);
+                    }
+                }
+            }
+            (_, Some(component_id)) => {
+                if let Some(record) = window.component(component_id) {
+                    let listeners = record.listeners.read().clone();
+                    for listener in listeners {
+                        listener(&event);
+                    }
+                }
+            }
+            (_, None) => {}
+        }
+        if let Some(observer) = self.inner.observer.read().clone() {
+            observer(&event, event.injected_at.elapsed());
+        }
+    }
+
+    /// Waits until `predicate` is true or `timeout` elapses, polling — a
+    /// test/bench helper for asserting on asynchronous dispatch.
+    pub fn wait_until(timeout: Duration, predicate: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if predicate() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        predicate()
+    }
+}
+
+impl fmt::Debug for Toolkit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Toolkit")
+            .field("mode", &self.inner.mode)
+            .field("client", &self.inner.client)
+            .field("windows", &self.window_count())
+            .field("queues", &self.inner.queues.lock().len())
+            .finish()
+    }
+}

@@ -1,0 +1,51 @@
+//! A1 (§5.5 ablation): the cost of re-loading the `System` class per
+//! application — definition through a fresh loader with new statics —
+//! against plain delegated lookup, and the full application-setup path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_bench::harness::{register_app, standard_runtime};
+use jmp_core::SYSTEM_CLASS;
+
+fn bench_define_vs_delegate(c: &mut Criterion) {
+    let rt = standard_runtime(None);
+    let system_loader = rt.vm().system_loader().clone();
+    // Warm: the parent has the class defined.
+    system_loader.load_class(SYSTEM_CLASS).unwrap();
+
+    let mut group = c.benchmark_group("A1/class_resolution");
+    group.bench_function("delegated_lookup(shared_class)", |b| {
+        let child = system_loader.new_child("delegating");
+        b.iter(|| child.load_class(SYSTEM_CLASS).unwrap());
+    });
+    group.bench_function("reload(define_fresh_class_with_statics)", |b| {
+        b.iter_batched(
+            || {
+                let loader = system_loader.new_child("reloading");
+                loader.add_reload(SYSTEM_CLASS);
+                loader
+            },
+            |loader| loader.load_class(SYSTEM_CLASS).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+    rt.shutdown();
+}
+
+fn bench_full_app_setup(c: &mut Criterion) {
+    let rt = standard_runtime(None);
+    register_app(&rt, "noop_bench", |_| Ok(()));
+    let mut group = c.benchmark_group("A1/application_setup");
+    group.sample_size(20);
+    group.bench_function("exec_and_wait(noop_app)", |b| {
+        b.iter(|| {
+            let app = rt.launch_as("alice", "noop_bench", &[]).unwrap();
+            app.wait_for().unwrap()
+        });
+    });
+    group.finish();
+    rt.shutdown();
+}
+
+criterion_group!(benches, bench_define_vs_delegate, bench_full_app_setup);
+criterion_main!(benches);

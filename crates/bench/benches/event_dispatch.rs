@@ -1,0 +1,54 @@
+//! E2's measured side as a microbenchmark: display-to-listener dispatch
+//! latency through the per-application pipeline (Fig 4), no contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_awt::{DispatchMode, DisplayServer, Toolkit};
+use jmp_vm::Vm;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let vm = Vm::new();
+    let display = DisplayServer::new();
+    let toolkit = Toolkit::connect(vm.clone(), display.clone(), DispatchMode::PerApplication);
+    let window = toolkit.create_window("bench").unwrap();
+    let button = window.add_button("go");
+    let delivered = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&delivered);
+    window.on_action(button, move |_| {
+        counter.fetch_add(1, Ordering::SeqCst);
+    });
+
+    let mut group = c.benchmark_group("E2/per_app_dispatch");
+    group.sample_size(30);
+    group.bench_function("inject_to_delivery", |b| {
+        b.iter(|| {
+            let before = delivered.load(Ordering::SeqCst);
+            display.inject_action(window.id(), button).unwrap();
+            while delivered.load(Ordering::SeqCst) == before {
+                std::hint::spin_loop();
+            }
+        });
+    });
+    group.finish();
+    vm.exit_unchecked(0);
+}
+
+fn bench_queue_only(c: &mut Criterion) {
+    // The queue data structure itself, without threads.
+    let queue = jmp_awt::EventQueue::new();
+    c.bench_function("E2/event_queue_push_pop", |b| {
+        b.iter(|| {
+            queue.push(jmp_awt::Event::new(
+                jmp_awt::WindowId(1),
+                Some(jmp_awt::ComponentId(1)),
+                jmp_awt::EventKind::Action,
+            ));
+            queue.pop().unwrap().unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_dispatch, bench_queue_only);
+criterion_main!(benches);

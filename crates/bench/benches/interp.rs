@@ -1,0 +1,94 @@
+//! A3: `jbc` interpreter throughput and the cost of security-checked
+//! natives — the price of keeping mobile code interpreted (DESIGN.md
+//! substitution for Java bytecode).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmp_vm::interp::{assemble, Interpreter, NativeHost, NoNatives, Value};
+
+const SUM_LOOP: &str = r#"
+    class Sum
+    method main/1 locals=2
+        push_int 0
+        store 1
+    loop:
+        load 0
+        push_int 0
+        gt
+        jump_if_false done
+        load 1
+        load 0
+        add
+        store 1
+        load 0
+        push_int 1
+        sub
+        store 0
+        jump loop
+    done:
+        load 1
+        return_value
+"#;
+
+const NATIVE_LOOP: &str = r#"
+    class Pinger
+    method main/1 locals=1
+    loop:
+        load 0
+        push_int 0
+        gt
+        jump_if_false done
+        push_int 1
+        native ping/1
+        pop
+        load 0
+        push_int 1
+        sub
+        store 0
+        jump loop
+    done:
+        return
+"#;
+
+struct Ping;
+impl NativeHost for Ping {
+    fn invoke(&self, _name: &str, _args: Vec<Value>) -> jmp_vm::Result<Value> {
+        Ok(Value::Int(1))
+    }
+}
+
+fn bench_loop_throughput(c: &mut Criterion) {
+    let image = Arc::new(assemble(SUM_LOOP).unwrap());
+    let mut group = c.benchmark_group("A3/interpreted_sum_loop");
+    for n in [100i64, 10_000] {
+        let interpreter = Interpreter::new(Arc::clone(&image), Arc::new(NoNatives)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| interpreter.run("main", vec![Value::Int(n)]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_native_overhead(c: &mut Criterion) {
+    let image = Arc::new(assemble(NATIVE_LOOP).unwrap());
+    let interpreter = Interpreter::new(image, Arc::new(Ping)).unwrap();
+    c.bench_function("A3/native_call_x1000", |b| {
+        b.iter(|| interpreter.run("main", vec![Value::Int(1000)]).unwrap());
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let image = assemble(SUM_LOOP).unwrap();
+    c.bench_function("A3/verify_image", |b| {
+        b.iter(|| jmp_vm::interp::verify(&image).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_loop_throughput,
+    bench_native_overhead,
+    bench_verify
+);
+criterion_main!(benches);

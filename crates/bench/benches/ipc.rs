@@ -1,0 +1,72 @@
+//! E5b's measured side as a microbenchmark: the in-VM pipe (the
+//! single-address-space IPC primitive) — throughput per chunk size and
+//! one-byte round-trip latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jmp_vm::io::pipe;
+
+fn bench_throughput(c: &mut Criterion) {
+    const TOTAL: u64 = 1 << 20; // 1 MiB per iteration
+    let mut group = c.benchmark_group("E5b/in_vm_pipe_throughput");
+    group.throughput(Throughput::Bytes(TOTAL));
+    group.sample_size(20);
+    for chunk in [256usize, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let (writer, reader) = pipe(65536);
+                let payload = vec![0u8; chunk];
+                let producer = std::thread::spawn(move || {
+                    let mut sent = 0u64;
+                    while sent < TOTAL {
+                        writer.write_all(&payload).unwrap();
+                        sent += payload.len() as u64;
+                    }
+                    writer.close();
+                });
+                let mut buf = vec![0u8; chunk];
+                let mut received = 0u64;
+                loop {
+                    let n = reader.read(&mut buf).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    received += n as u64;
+                }
+                producer.join().unwrap();
+                received
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    // Persistent echo thread; measure one-byte ping-pong latency.
+    let (w_ab, r_ab) = pipe(16);
+    let (w_ba, r_ba) = pipe(16);
+    let echo = std::thread::spawn(move || {
+        let mut buf = [0u8; 1];
+        loop {
+            match r_ab.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if w_ba.write(&buf).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    });
+    c.bench_function("E5b/in_vm_pipe_round_trip_1B", |b| {
+        let mut buf = [0u8; 1];
+        b.iter(|| {
+            w_ab.write(&[1]).unwrap();
+            while r_ba.read(&mut buf).unwrap() == 0 {}
+        });
+    });
+    w_ab.close();
+    let _ = echo.join();
+}
+
+criterion_group!(benches, bench_throughput, bench_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E5a's measured side and E1's machinery as microbenchmarks: application
+//! launch, bare thread spawn, and thread-group bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_bench::harness::{register_app, standard_runtime};
+use jmp_vm::Vm;
+
+fn bench_thread_spawn(c: &mut Criterion) {
+    let vm = Vm::new();
+    let mut group = c.benchmark_group("E5a/vm_thread");
+    group.sample_size(30);
+    group.bench_function("spawn_join", |b| {
+        b.iter(|| {
+            let t = vm.thread_builder().name("bench").spawn(|_| {}).unwrap();
+            t.join().unwrap();
+        });
+    });
+    group.finish();
+    vm.exit_unchecked(0);
+}
+
+fn bench_group_tree(c: &mut Criterion) {
+    let vm = Vm::new();
+    c.bench_function("E1/group_create_destroy", |b| {
+        b.iter(|| {
+            let g = vm.main_group().new_child("bench-group").unwrap();
+            g.destroy();
+            g.is_destroyed()
+        });
+    });
+    vm.exit_unchecked(0);
+}
+
+fn bench_app_launch(c: &mut Criterion) {
+    let rt = standard_runtime(None);
+    register_app(&rt, "noop_launch", |_| Ok(()));
+    let mut group = c.benchmark_group("E5a/application");
+    group.sample_size(20);
+    group.bench_function("exec_wait_reap", |b| {
+        b.iter(|| {
+            let app = rt.launch_as("alice", "noop_launch", &[]).unwrap();
+            app.wait_for().unwrap()
+        });
+    });
+    group.finish();
+    rt.shutdown();
+}
+
+fn bench_vm_lifecycle(c: &mut Criterion) {
+    // Fig 1 end to end: boot a VM, run a trivial main, await termination.
+    let mut group = c.benchmark_group("E1/vm_run_to_exit");
+    group.sample_size(20);
+    group.bench_function("run_trivial_main", |b| {
+        b.iter(|| {
+            let vm = Vm::new();
+            vm.material()
+                .register(
+                    jmp_vm::ClassDef::builder("Trivial")
+                        .main(|_| Ok(()))
+                        .build(),
+                    jmp_security::CodeSource::local("file:/sys/classes"),
+                )
+                .unwrap();
+            vm.run("Trivial", vec![]).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_spawn,
+    bench_group_tree,
+    bench_app_launch,
+    bench_vm_lifecycle
+);
+criterion_main!(benches);

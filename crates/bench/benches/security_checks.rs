@@ -1,0 +1,103 @@
+//! A2: access-control overhead — permission checks vs stack depth, with and
+//! without the paper's user-based combination (§5.3), and the effect of
+//! `doPrivileged`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmp_security::{
+    AccessContext, AccessController, CodeSource, FileActions, Permission, PermissionCollection,
+    Policy, ProtectionDomain,
+};
+
+fn trusted_domain() -> Arc<ProtectionDomain> {
+    Arc::new(ProtectionDomain::new(
+        CodeSource::local("file:/sys/bench"),
+        PermissionCollection::all_permissions(),
+    ))
+}
+
+fn exercising_domain() -> Arc<ProtectionDomain> {
+    Arc::new(ProtectionDomain::new(
+        CodeSource::local("file:/apps/bench"),
+        [Permission::exercise_user_permissions()]
+            .into_iter()
+            .collect(),
+    ))
+}
+
+fn ctx_of_depth(domain: &Arc<ProtectionDomain>, depth: usize) -> AccessContext {
+    AccessContext::from_domains(vec![Arc::clone(domain); depth])
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let demand = Permission::file("/tmp/bench.txt", FileActions::READ);
+    let domain = trusted_domain();
+    let mut group = c.benchmark_group("A2/check_vs_stack_depth");
+    for depth in [1usize, 4, 16, 64] {
+        let ctx = ctx_of_depth(&domain, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &ctx, |b, ctx| {
+            b.iter(|| AccessController::check(ctx, &demand).is_ok());
+        });
+    }
+    group.finish();
+}
+
+fn bench_user_combination(c: &mut Criterion) {
+    let demand = Permission::file("/home/alice/bench.txt", FileActions::READ);
+    let mut policy = Policy::new();
+    policy.grant_user(
+        "alice",
+        vec![Permission::file("/home/alice/-", FileActions::ALL)],
+    );
+    let code_only_ctx = ctx_of_depth(&trusted_domain(), 8);
+    let user_ctx = ctx_of_depth(&exercising_domain(), 8);
+
+    let mut group = c.benchmark_group("A2/user_based_combination");
+    group.bench_function("code_source_only", |b| {
+        b.iter(|| AccessController::check_with(&code_only_ctx, &demand, None, &policy).is_ok());
+    });
+    group.bench_function("code_plus_user_grant", |b| {
+        b.iter(|| AccessController::check_with(&user_ctx, &demand, Some("alice"), &policy).is_ok());
+    });
+    group.finish();
+}
+
+fn bench_do_privileged(c: &mut Criterion) {
+    let demand = Permission::file("/tmp/bench.txt", FileActions::READ);
+    let trusted = trusted_domain();
+    let mut group = c.benchmark_group("A2/do_privileged");
+    // Deep trusted stack: the walk visits every frame...
+    group.bench_function("deep_walk_64", |b| {
+        b.iter_batched(
+            || ctx_of_depth(&trusted, 64),
+            |ctx| AccessController::check(&ctx, &demand).is_ok(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    // ...unless a privileged frame near the top stops it.
+    group.bench_function("privileged_stops_walk_64", |b| {
+        b.iter_batched(
+            || ctx_of_depth(&trusted, 63).with_frame(Arc::clone(&trusted), true),
+            |ctx| AccessController::check(&ctx, &demand).is_ok(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_frame_push(c: &mut Criterion) {
+    let trusted = trusted_domain();
+    c.bench_function("A2/frame_push_pop", |b| {
+        b.iter(|| jmp_vm::stack::call_as("Bench", Arc::clone(&trusted), || 1u32));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_depth,
+    bench_user_combination,
+    bench_do_privileged,
+    bench_frame_push
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments            # run everything
+//! experiments e2 e6      # run selected experiments
+//! experiments --json out.json e5a
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        if pos < args.len() {
+            json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--json needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let ids: Vec<String> = if args.is_empty() {
+        jmp_bench::EXPERIMENT_IDS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+
+    let mut all_tables = Vec::new();
+    for id in &ids {
+        match jmp_bench::run_experiment(id) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{table}");
+                    all_tables.push(table);
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; known: {}",
+                    jmp_bench::EXPERIMENT_IDS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&all_tables).expect("tables serialize");
+        let mut file = std::fs::File::create(&path).expect("create json output");
+        file.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

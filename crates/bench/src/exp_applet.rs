@@ -1,0 +1,152 @@
+//! E8 (§6.3): the Appletviewer as an unprivileged application, and the
+//! applet sandbox built from code-source permissions plus the
+//! connect-back-to-origin grant.
+
+use jmp_shell::{publish_applet, spawn_login_session, SimNetwork};
+
+use crate::harness::standard_runtime;
+use crate::table::Table;
+
+const HELLO: &str = r#"
+    class Hello
+    method main/0 locals=0
+        push_str "hello from mobile code"
+        native println/1
+        pop
+        return
+"#;
+
+const FILE_THIEF: &str = r#"
+    class FileThief
+    method main/0 locals=0
+        push_str "/home/alice/secret.txt"
+        native read_file/1
+        native println/1
+        pop
+        return
+"#;
+
+const ORIGIN_CALLER: &str = r#"
+    class OriginCaller
+    method main/0 locals=0
+        push_str "applets.example.com"
+        native connect/1
+        pop
+        push_str "connected to origin"
+        native println/1
+        pop
+        return
+"#;
+
+const FOREIGN_CALLER: &str = r#"
+    class ForeignCaller
+    method main/0 locals=0
+        push_str "other.example.com"
+        native connect/1
+        pop
+        return
+"#;
+
+const TMP_READER: &str = r#"
+    class TmpReader
+    method main/0 locals=0
+        push_str "/tmp/public.txt"
+        native read_file/1
+        native println/1
+        pop
+        return
+"#;
+
+/// E8: the applet sandbox matrix.
+pub fn e8_applet_sandbox() -> Vec<Table> {
+    let rt = standard_runtime(None);
+    // Extra policy: code from the *trusted* host may read /tmp — showing
+    // that code-source grants keep working for remote code (paper §6.3:
+    // "one can still assign special privileges to certain code sources").
+    {
+        let mut policy = (*rt.vm().policy()).clone();
+        policy.grant_code(
+            jmp_security::CodeSource::remote("http://trusted.example.com/-"),
+            vec![jmp_security::Permission::file(
+                "/tmp/-",
+                jmp_security::FileActions::READ,
+            )],
+        );
+        rt.vm().set_policy(policy).unwrap();
+    }
+    let alice = rt.users().lookup("alice").unwrap();
+    rt.vfs()
+        .write("/home/alice/secret.txt", b"top secret", alice.id())
+        .unwrap();
+    rt.vfs()
+        .write("/tmp/public.txt", b"tmp contents", alice.id())
+        .unwrap();
+
+    let network = SimNetwork::of(&rt).unwrap();
+    network.publish("other.example.com", "/x", b"up".to_vec());
+    publish_applet(&rt, "applets.example.com", "/hello.jbc", HELLO).unwrap();
+    publish_applet(&rt, "applets.example.com", "/thief.jbc", FILE_THIEF).unwrap();
+    publish_applet(&rt, "applets.example.com", "/origin.jbc", ORIGIN_CALLER).unwrap();
+    publish_applet(&rt, "applets.example.com", "/foreign.jbc", FOREIGN_CALLER).unwrap();
+    publish_applet(&rt, "trusted.example.com", "/tmp.jbc", TMP_READER).unwrap();
+
+    let run = |url: &str| -> String {
+        let (terminal, session) = spawn_login_session(&rt).unwrap();
+        terminal.type_line("alice").unwrap();
+        terminal.type_line("apw").unwrap();
+        terminal.type_line(&format!("appletviewer {url}")).unwrap();
+        terminal.type_line("quit").unwrap();
+        terminal.type_eof();
+        session.wait_for().unwrap();
+        let screen = terminal.screen_text();
+        if screen.contains("applet failed") {
+            let line = screen
+                .lines()
+                .find(|l| l.contains("applet failed"))
+                .unwrap_or("applet failed");
+            format!("REFUSED: {}", line.trim())
+        } else if let Some(line) = screen.lines().find(|l| {
+            l.contains("mobile code") || l.contains("connected") || l.contains("contents")
+        }) {
+            format!("RAN: {}", line.trim())
+        } else {
+            "RAN (no output)".to_string()
+        }
+    };
+
+    let mut table = Table::new(
+        "E8",
+        "§6.3 — the applet sandbox under the unprivileged Appletviewer",
+        &["applet", "action", "outcome"],
+    );
+    table.rowd(&[
+        "Hello".to_string(),
+        "print to the viewer's System.out".to_string(),
+        run("http://applets.example.com/hello.jbc"),
+    ]);
+    table.rowd(&[
+        "FileThief".to_string(),
+        "read alice's file while alice runs the viewer".to_string(),
+        run("http://applets.example.com/thief.jbc"),
+    ]);
+    table.rowd(&[
+        "OriginCaller".to_string(),
+        "connect back to its own host".to_string(),
+        run("http://applets.example.com/origin.jbc"),
+    ]);
+    table.rowd(&[
+        "ForeignCaller".to_string(),
+        "connect to a different host".to_string(),
+        run("http://applets.example.com/foreign.jbc"),
+    ]);
+    table.rowd(&[
+        "TmpReader (from trusted host)".to_string(),
+        "read /tmp/public.txt via a code-source grant".to_string(),
+        run("http://trusted.example.com/tmp.jbc"),
+    ]);
+    table.note("shape: printing and origin-connect run; user-file reads and foreign connects");
+    table.note("are refused with a SecurityException; the policy can still empower specific");
+    table.note("remote code sources (the trusted-host row).");
+    rt.shutdown();
+    vec![table]
+}

@@ -1,0 +1,169 @@
+//! E1 (Fig 1): the lifetime rule — the VM/application lives exactly as long
+//! as its non-daemon threads. E3 (Fig 3): applications are sets of threads,
+//! confined to their groups.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jmp_core::Application;
+use parking_lot::Mutex;
+
+use crate::harness::{register_app, standard_runtime};
+use crate::table::Table;
+
+/// E1: reproduce Fig 1 as an observable timeline.
+pub fn e1_lifetime() -> Vec<Table> {
+    let rt = standard_runtime(None);
+    let log: Arc<Mutex<Vec<(String, Instant)>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let log_event = {
+        let log = Arc::clone(&log);
+        move |what: &str| log.lock().push((what.to_string(), Instant::now()))
+    };
+
+    let log1 = log_event.clone();
+    let log2 = log_event.clone();
+    let log3 = log_event.clone();
+    register_app(&rt, "fig1", move |_args| {
+        let vm = jmp_vm::Vm::current().expect("on a VM thread");
+        log1("main starts");
+        // A daemon heartbeat that would run forever (Fig 1's daemon rows).
+        let log_d = log2.clone();
+        vm.thread_builder()
+            .name("daemon-heartbeat")
+            .daemon(true)
+            .spawn(move |_| {
+                log_d("daemon starts");
+                let _ = jmp_vm::thread::sleep(Duration::from_secs(600));
+                log_d("daemon interrupted at teardown");
+            })?;
+        // A non-daemon worker that outlives main.
+        let log_w = log3.clone();
+        vm.thread_builder().name("worker").spawn(move |_| {
+            log_w("worker starts");
+            let _ = jmp_vm::thread::sleep(Duration::from_millis(60));
+            log_w("worker finishes (last non-daemon)");
+        })?;
+        log1("main returns (worker still running)");
+        Ok(())
+    });
+
+    let app = rt.launch_as("alice", "fig1", &[]).unwrap();
+    let exit_code = app.wait_for().unwrap();
+    log_event("application finished (reaper done)");
+    let daemons_survived = rt
+        .vm()
+        .threads()
+        .iter()
+        .any(|t| t.name() == "daemon-heartbeat" && t.is_alive());
+
+    let mut table = Table::new(
+        "E1",
+        "Fig 1 — application lifetime follows non-daemon threads",
+        &["t (ms)", "event"],
+    );
+    for (what, at) in log.lock().iter() {
+        table.rowd(&[
+            format!("{:7.1}", at.duration_since(start).as_secs_f64() * 1e3),
+            what.clone(),
+        ]);
+    }
+    table.rowd(&[
+        format!("{:7.1}", start.elapsed().as_secs_f64() * 1e3),
+        format!("exit code {exit_code}; daemon threads survive teardown: {daemons_survived}"),
+    ]);
+    table.note("shape: the application ends when the WORKER exits, not when main returns;");
+    table.note("the daemon thread never kept it alive and was interrupted at teardown.");
+    rt.shutdown();
+    vec![table]
+}
+
+/// E3: application = set of threads; containment invariants.
+pub fn e3_containment() -> Vec<Table> {
+    let rt = standard_runtime(None);
+    let mut table = Table::new(
+        "E3",
+        "Fig 3 — applications are thread sets, confined to their groups",
+        &["check", "outcome"],
+    );
+
+    // Two instances of the same program are distinct applications.
+    register_app(&rt, "instance", |_args| {
+        jmp_vm::thread::sleep(Duration::from_millis(80))
+    });
+    let a = rt.launch_as("alice", "instance", &[]).unwrap();
+    let b = rt.launch_as("bob", "instance", &[]).unwrap();
+    table.rowd(&[
+        "two instances of one program are distinct applications".to_string(),
+        format!(
+            "ids {} vs {}, distinct groups: {}",
+            a.id(),
+            b.id(),
+            !a.group().same_group(b.group())
+        ),
+    ]);
+
+    // Threads spawned by an app land in its own group subtree.
+    static IN_GROUP: AtomicUsize = AtomicUsize::new(0);
+    register_app(&rt, "spawner", |_args| {
+        let vm = jmp_vm::Vm::current().unwrap();
+        let app = Application::current().unwrap();
+        let group = app.group().clone();
+        let t = vm.thread_builder().name("child").spawn(|_| {})?;
+        if group.is_ancestor_of(t.group()) {
+            IN_GROUP.fetch_add(1, Ordering::SeqCst);
+        }
+        t.join()
+    });
+    rt.launch_as("alice", "spawner", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    table.rowd(&[
+        "spawned threads stay in the application's group".to_string(),
+        format!("confirmed: {}", IN_GROUP.load(Ordering::SeqCst) == 1),
+    ]);
+
+    // An untrusted frame cannot spawn into a foreign group.
+    static DENIED: AtomicUsize = AtomicUsize::new(0);
+    let foreign = a.group().clone();
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("intruder")
+                .main(move |_| {
+                    let vm = jmp_vm::Vm::current().unwrap();
+                    let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+                        jmp_security::CodeSource::remote("http://evil/x"),
+                    ));
+                    let result = jmp_vm::stack::call_as("Evil", untrusted, || {
+                        vm.thread_builder().group(foreign.clone()).spawn(|_| {})
+                    });
+                    if result.is_err() {
+                        DENIED.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Ok(())
+                })
+                .build(),
+            jmp_security::CodeSource::local("file:/apps/intruder"),
+        )
+        .unwrap();
+    rt.launch_as("bob", "intruder", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    table.rowd(&[
+        "untrusted code spawning into a foreign app's group".to_string(),
+        format!(
+            "denied by system security manager: {}",
+            DENIED.load(Ordering::SeqCst) == 1
+        ),
+    ]);
+
+    a.wait_for().unwrap();
+    b.wait_for().unwrap();
+    table.note("shape: every row reports its invariant as holding.");
+    rt.shutdown();
+    vec![table]
+}

@@ -1,0 +1,246 @@
+//! E5 (§2): the performance case for a single multi-processing VM.
+//! Measured single-VM numbers (this runtime, this machine) against the
+//! simulated multi-JVM baseline (`jmp-sim`'s cost model). Shapes and ratios
+//! are the reproduction target, not absolute values.
+
+use std::time::Instant;
+
+use jmp_sim::{
+    memory_footprint_kib, simulate_context_switches, simulate_interactive_load, simulate_launch,
+    simulate_pipe_transfer, CostModel, HostingMode, InteractiveLoad,
+};
+use jmp_vm::io::pipe;
+
+use crate::harness::{register_app, standard_runtime};
+use crate::table::{fmt_ns, Table};
+
+/// E5a: application launch latency, measured single-VM vs simulated
+/// multi-JVM.
+pub fn e5a_launch() -> Vec<Table> {
+    let model = CostModel::default();
+    let mut table = Table::new(
+        "E5a",
+        "§2 — launching N applications: measured single-VM vs simulated multi-JVM",
+        &[
+            "N",
+            "single-VM (measured)",
+            "multi-JVM (simulated)",
+            "ratio",
+        ],
+    );
+    for n in [1u32, 2, 4, 8, 16, 32] {
+        let rt = standard_runtime(None);
+        register_app(&rt, "noop", |_| Ok(()));
+        let start = Instant::now();
+        let apps: Vec<_> = (0..n)
+            .map(|_| rt.launch_as("alice", "noop", &[]).unwrap())
+            .collect();
+        for app in apps {
+            app.wait_for().unwrap();
+        }
+        let measured_ns = start.elapsed().as_nanos() as f64;
+        rt.shutdown();
+        let simulated = simulate_launch(&model, n, HostingMode::MultiJvm);
+        let ratio = simulated.as_nanos() as f64 / measured_ns;
+        table.rowd(&[
+            n.to_string(),
+            fmt_ns(measured_ns),
+            fmt_ns(simulated.as_nanos() as f64),
+            format!("{ratio:.0}x"),
+        ]);
+    }
+    table.note("shape: in-VM launch (thread + group + loader + reloaded System) beats a");
+    table.note("fork/exec + JVM boot per application by orders of magnitude, at every N.");
+    vec![table]
+}
+
+/// E5b: pipe throughput, measured in-VM vs simulated cross-process.
+pub fn e5b_ipc() -> Vec<Table> {
+    let model = CostModel::default();
+    let total: u64 = 8 << 20; // 8 MiB
+    let mut table = Table::new(
+        "E5b",
+        "§2 — pipe IPC throughput: measured in-VM vs simulated cross-process",
+        &[
+            "chunk",
+            "in-VM (measured)",
+            "cross-process (simulated)",
+            "sim switches",
+        ],
+    );
+    for chunk in [256usize, 4096, 65536] {
+        // Measured: two OS threads through the runtime's in-memory pipe.
+        let (writer, reader) = pipe(65536);
+        let payload = vec![0u8; chunk];
+        let start = Instant::now();
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            while sent < total {
+                writer.write_all(&payload).unwrap();
+                sent += payload.len() as u64;
+            }
+            writer.close();
+        });
+        let mut buf = vec![0u8; chunk];
+        let mut received = 0u64;
+        loop {
+            let n = reader.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            received += n as u64;
+        }
+        producer.join().unwrap();
+        assert_eq!(received, total);
+        let secs = start.elapsed().as_secs_f64();
+        let measured_mibs = (total as f64 / (1024.0 * 1024.0)) / secs;
+
+        let sim = simulate_pipe_transfer(&model, total, chunk, true, 512);
+        table.rowd(&[
+            format!("{chunk}B"),
+            format!("{measured_mibs:.0} MiB/s"),
+            format!("{:.0} MiB/s", sim.mib_per_sec()),
+            sim.switches.to_string(),
+        ]);
+    }
+    table.note("shape: the single-address-space pipe meets or beats the simulated");
+    table.note("cross-process pipe at every chunk size, with the clearest win at large");
+    table.note("chunks; at small chunks our real pipe's lock/condvar cost per write eats");
+    table.note("into the avoided-syscall advantage (an honest artifact of measuring a real");
+    table.note("implementation against a model).");
+    vec![table]
+}
+
+/// E5c: context-switch cost.
+pub fn e5c_context_switch() -> Vec<Table> {
+    let model = CostModel::default();
+    let mut table = Table::new(
+        "E5c",
+        "§2 — context switch cost (per switch)",
+        &["kind", "working set", "cost"],
+    );
+
+    // Measured: token ping-pong between two VM threads over two pipes.
+    let rounds: u32 = 500;
+    let rt = standard_runtime(None);
+    let (w_ab, r_ab) = pipe(16);
+    let (w_ba, r_ba) = pipe(16);
+    let echo = rt
+        .vm()
+        .thread_builder()
+        .name("pong")
+        .daemon(true)
+        .spawn(move |_| {
+            let mut buf = [0u8; 1];
+            loop {
+                match r_ab.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        if w_ba.write(&buf).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+        .unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 1];
+    for _ in 0..rounds {
+        w_ab.write(&[1]).unwrap();
+        let n = r_ba.read(&mut buf).unwrap();
+        assert_eq!(n, 1);
+    }
+    let per_round_trip = start.elapsed().as_nanos() as f64 / f64::from(rounds);
+    w_ab.close();
+    let _ = echo;
+    rt.shutdown();
+    table.rowd(&[
+        "measured in-VM thread hand-off (half round trip)".to_string(),
+        "-".to_string(),
+        fmt_ns(per_round_trip / 2.0),
+    ]);
+
+    for ws in [16u64, 256, 1024] {
+        let same = simulate_context_switches(&model, 1000, false, ws);
+        let cross = simulate_context_switches(&model, 1000, true, ws);
+        table.rowd(&[
+            "simulated same-address-space switch".to_string(),
+            format!("{ws} KiB"),
+            fmt_ns(same.as_nanos() as f64 / 1000.0),
+        ]);
+        table.rowd(&[
+            "simulated cross-address-space switch".to_string(),
+            format!("{ws} KiB"),
+            fmt_ns(cross.as_nanos() as f64 / 1000.0),
+        ]);
+    }
+    table.note("shape: cross-address-space switches cost a multiple of same-space switches,");
+    table.note("growing with the working set (cache/TLB refill) — the paper's §2 claim.");
+    vec![table]
+}
+
+/// E5d: memory footprint model.
+pub fn e5d_memory() -> Vec<Table> {
+    let model = CostModel::default();
+    let mut table = Table::new(
+        "E5d",
+        "§2 — memory footprint of N applications (model)",
+        &["N", "multi-JVM", "single VM", "ratio"],
+    );
+    for n in [1u64, 2, 4, 8, 16, 32, 64] {
+        let multi = memory_footprint_kib(&model, n, HostingMode::MultiJvm);
+        let single = memory_footprint_kib(&model, n, HostingMode::SingleVm);
+        table.rowd(&[
+            n.to_string(),
+            format!("{:.1} MiB", multi as f64 / 1024.0),
+            format!("{:.1} MiB", single as f64 / 1024.0),
+            format!("{:.1}x", multi as f64 / single as f64),
+        ]);
+    }
+    table.note("shape: multi-JVM grows by a full JVM per application; the single VM pays one");
+    table.note("base plus per-app state, so the ratio approaches jvm_base/app_state — the");
+    table.note("small-device argument of §2 ('crippling to try to start multiple JVMs').");
+    vec![table]
+}
+
+/// E5e: interactive responsiveness under compute load (scheduler model).
+pub fn e5e_responsiveness() -> Vec<Table> {
+    let model = CostModel::default();
+    let mut table = Table::new(
+        "E5e",
+        "§2 — interactive response latency with K compute-bound neighbors (model)",
+        &[
+            "K",
+            "working set",
+            "multi-JVM mean",
+            "single VM mean",
+            "gap",
+        ],
+    );
+    for k in [1u32, 4, 8] {
+        for ws in [256u64, 2048] {
+            let load = InteractiveLoad {
+                compute_tasks: k,
+                working_set_kib: ws,
+                ..InteractiveLoad::default()
+            };
+            let multi = simulate_interactive_load(&model, &load, HostingMode::MultiJvm);
+            let single = simulate_interactive_load(&model, &load, HostingMode::SingleVm);
+            table.rowd(&[
+                k.to_string(),
+                format!("{ws} KiB"),
+                multi.mean.to_string(),
+                single.mean.to_string(),
+                format!(
+                    "+{}",
+                    jmp_sim::SimTime(multi.mean.as_nanos().saturating_sub(single.mean.as_nanos()))
+                ),
+            ]);
+        }
+    }
+    table.note("shape: the single VM always responds faster; the gap grows with the working");
+    table.note("set (cache/TLB refill on every cross-address-space hand-off) — compounding");
+    table.note("the per-switch numbers of E5c into user-visible latency.");
+    vec![table]
+}

@@ -1,0 +1,258 @@
+//! E6 (§5.3): the user-based access-control matrix. E7 (§5.6): the system
+//! security manager and the luring-attack property.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use jmp_core::{files, Application};
+use parking_lot::Mutex;
+
+use crate::harness::{register_app, standard_runtime};
+use crate::table::Table;
+
+/// E6: the paper's four example policy rules, exercised as a matrix.
+pub fn e6_user_policy() -> Vec<Table> {
+    let rt = standard_runtime(None);
+    let alice = rt.users().lookup("alice").unwrap();
+    let bob = rt.users().lookup("bob").unwrap();
+    rt.vfs()
+        .write("/home/alice/notes.txt", b"alice data", alice.id())
+        .unwrap();
+    rt.vfs()
+        .write("/home/bob/secret.txt", b"bob data", bob.id())
+        .unwrap();
+
+    type OutcomeRow = (String, String, String, String);
+    let outcomes: Arc<Mutex<Vec<OutcomeRow>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // A local probe app: reports read/write attempts on both homes.
+    let out2 = Arc::clone(&outcomes);
+    register_app(&rt, "probe", move |_| {
+        let me = Application::current().unwrap().user().name().to_string();
+        for (target, path) in [
+            ("alice's file", "/home/alice/notes.txt"),
+            ("bob's file", "/home/bob/secret.txt"),
+        ] {
+            for (op, result) in [
+                ("read", files::read(path).map(|_| ())),
+                ("write", files::append(path, b"x")),
+            ] {
+                out2.lock().push((
+                    "local app (file:/apps/probe)".into(),
+                    me.clone(),
+                    format!("{op} {target}"),
+                    describe(&result),
+                ));
+            }
+        }
+        Ok(())
+    });
+    for user in ["alice", "bob"] {
+        rt.launch_as(user, "probe", &[])
+            .unwrap()
+            .wait_for()
+            .unwrap();
+    }
+
+    // The backup app (rule 2): code-source read-everything, run as system.
+    let out3 = Arc::clone(&outcomes);
+    register_app(&rt, "backup", move |_| {
+        let me = Application::current().unwrap().user().name().to_string();
+        out3.lock().push((
+            "backup (file:/apps/backup)".into(),
+            me.clone(),
+            "read bob's file".into(),
+            describe(&files::read("/home/bob/secret.txt").map(|_| ())),
+        ));
+        out3.lock().push((
+            "backup (file:/apps/backup)".into(),
+            me,
+            "write bob's file".into(),
+            describe(&files::append("/home/bob/secret.txt", b"x")),
+        ));
+        Ok(())
+    });
+    rt.launch("backup", &[]).unwrap().wait_for().unwrap();
+
+    // Remote code (an applet-like class): no exercise-user grant.
+    let out4 = Arc::clone(&outcomes);
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("remoteprobe")
+                .main(move |_| {
+                    let me = Application::current().unwrap().user().name().to_string();
+                    out4.lock().push((
+                        "remote code (http://applets/..)".into(),
+                        me,
+                        "read alice's file".into(),
+                        describe(&files::read("/home/alice/notes.txt").map(|_| ())),
+                    ));
+                    Ok(())
+                })
+                .build(),
+            jmp_security::CodeSource::remote("http://applets.example.com/probe"),
+        )
+        .unwrap();
+    rt.launch_as("alice", "remoteprobe", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+
+    let mut table = Table::new(
+        "E6",
+        "§5.3 — code-source × user access matrix (the paper's 4 rules)",
+        &["code", "running user", "operation", "outcome"],
+    );
+    for (code, user, op, outcome) in outcomes.lock().iter() {
+        table.rowd(&[code.clone(), user.clone(), op.clone(), outcome.clone()]);
+    }
+    table.note("shape: the SAME local code gets exactly its running user's files (rules 1+3+4);");
+    table.note("backup reads everything but writes nothing (rule 2); remote code gets nothing,");
+    table.note("even when alice herself runs it.");
+    rt.shutdown();
+    vec![table]
+}
+
+fn describe(result: &Result<(), jmp_core::Error>) -> String {
+    match result {
+        Ok(()) => "ALLOWED".into(),
+        Err(e) if e.is_security() => "DENIED (SecurityException)".into(),
+        Err(e) if e.is_file_not_found() => "HIDDEN (FileNotFound — O/S layer)".into(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// E7: the system security manager's rules and the luring attack.
+pub fn e7_security_managers() -> Vec<Table> {
+    let rt = standard_runtime(None);
+    let mut table = Table::new(
+        "E7",
+        "§5.6 — system security manager, application SMs, luring attack",
+        &["scenario", "outcome"],
+    );
+
+    // (a) Application SM is never consulted by system code.
+    static APP_SM_CALLS: AtomicUsize = AtomicUsize::new(0);
+    struct CountingSm;
+    impl jmp_vm::SecurityManager for CountingSm {
+        fn check_permission(
+            &self,
+            _vm: &jmp_vm::Vm,
+            _perm: &jmp_security::Permission,
+        ) -> jmp_vm::Result<()> {
+            APP_SM_CALLS.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+    register_app(&rt, "appsm", |_| {
+        jmp_core::jsystem::set_security_manager(Arc::new(CountingSm))?;
+        files::write("/tmp/appsm.txt", b"x")?; // a checked operation
+        Ok(())
+    });
+    rt.launch_as("alice", "appsm", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    table.rowd(&[
+        "app installs its own SecurityManager; app then does checked file I/O".to_string(),
+        format!(
+            "app SM consulted {} times (system SM handled the check)",
+            APP_SM_CALLS.load(Ordering::SeqCst)
+        ),
+    ]);
+
+    // (b) The luring attack: trusted code's privilege is not lent to
+    // untrusted callbacks (stack-inspection property, §5.6's Font example).
+    let font_domain = Arc::new(jmp_security::ProtectionDomain::system());
+    let applet_domain = Arc::new(jmp_security::ProtectionDomain::untrusted(
+        jmp_security::CodeSource::remote("http://evil/x"),
+    ));
+    let demand =
+        jmp_security::Permission::file("/sys/fonts/helv.fnt", jmp_security::FileActions::READ);
+    let (direct, via_privileged, callback) =
+        jmp_vm::stack::call_as("Applet", applet_domain.clone(), || {
+            jmp_vm::stack::call_as("Font", font_domain, || {
+                let direct = jmp_security::AccessController::check(
+                    &jmp_vm::stack::current_access_context(),
+                    &demand,
+                )
+                .is_ok();
+                let via_privileged = jmp_vm::stack::do_privileged(|| {
+                    jmp_security::AccessController::check(
+                        &jmp_vm::stack::current_access_context(),
+                        &demand,
+                    )
+                    .is_ok()
+                });
+                let callback = jmp_vm::stack::do_privileged(|| {
+                    jmp_vm::stack::call_as("AppletCallback", applet_domain.clone(), || {
+                        jmp_security::AccessController::check(
+                            &jmp_vm::stack::current_access_context(),
+                            &demand,
+                        )
+                        .is_ok()
+                    })
+                });
+                (direct, via_privileged, callback)
+            })
+        });
+    table.rowd(&[
+        "Font (trusted) called BY applet reads font file directly".to_string(),
+        format!("allowed: {direct} (applet frame poisons the stack)"),
+    ]);
+    table.rowd(&[
+        "Font asserts doPrivileged, then reads".to_string(),
+        format!("allowed: {via_privileged} (privilege asserted for Font's own work)"),
+    ]);
+    table.rowd(&[
+        "privileged Font calls INTO applet callback, callback reads".to_string(),
+        format!("allowed: {callback} (privilege lost on calling down — no luring)"),
+    ]);
+
+    // (c) Thread-access ancestor rule across applications.
+    register_app(&rt, "sleepyd", |_| {
+        jmp_vm::thread::sleep(std::time::Duration::from_secs(600))
+    });
+    let victim_app = rt.launch_as("bob", "sleepyd", &[]).unwrap();
+    static INTERRUPT_DENIED: AtomicUsize = AtomicUsize::new(0);
+    let victim_for_probe = victim_app.clone();
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("interruptor")
+                .main(move |_| {
+                    let vm = jmp_vm::Vm::current().unwrap();
+                    let victim_thread = victim_for_probe.threads().into_iter().next().unwrap();
+                    let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+                        jmp_security::CodeSource::remote("http://evil/x"),
+                    ));
+                    let result = jmp_vm::stack::call_as("Evil", untrusted, || {
+                        vm.interrupt_thread(&victim_thread)
+                    });
+                    if result.is_err() {
+                        INTERRUPT_DENIED.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Ok(())
+                })
+                .build(),
+            jmp_security::CodeSource::local("file:/apps/interruptor"),
+        )
+        .unwrap();
+    rt.launch_as("alice", "interruptor", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    table.rowd(&[
+        "untrusted code interrupts a thread of ANOTHER application".to_string(),
+        format!(
+            "denied by ancestor rule: {}",
+            INTERRUPT_DENIED.load(Ordering::SeqCst) == 1
+        ),
+    ]);
+    victim_app.stop(0).unwrap();
+    table.note("shape: app SM consulted 0 times; direct read false, doPrivileged read true,");
+    table.note("callback read false; foreign interrupt denied.");
+    rt.shutdown();
+    vec![table]
+}

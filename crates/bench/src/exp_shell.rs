@@ -1,0 +1,91 @@
+//! E9 (§6.1–6.2): the shell and terminal — a scripted multi-command session
+//! exercising pipes, redirection, background jobs and the password prompt.
+
+use jmp_shell::spawn_login_session;
+
+use crate::harness::standard_runtime;
+use crate::table::Table;
+
+/// E9: a full session transcript.
+pub fn e9_shell_session() -> Vec<Table> {
+    let rt = standard_runtime(None);
+    let script: &[&str] = &[
+        "alice",
+        "apw",
+        "whoami",
+        "pwd",
+        "echo one > f.txt",
+        "echo two-match >> f.txt",
+        "echo three-match >> f.txt",
+        "cat f.txt | grep match | wc",
+        "wc < f.txt",
+        "sleep 200 &",
+        "jobs",
+        "mkdir workdir",
+        "cd workdir",
+        "pwd",
+        "cd ..",
+        "ls",
+        "quit",
+    ];
+    let (terminal, session) = spawn_login_session(&rt).unwrap();
+    for line in script {
+        terminal.type_line(line).unwrap();
+    }
+    terminal.type_eof();
+    session.wait_for().unwrap();
+    let screen = terminal.screen_text();
+
+    let mut table = Table::new(
+        "E9",
+        "§6.1/§6.2 — scripted shell session over the terminal",
+        &["check", "outcome"],
+    );
+    type Check = Box<dyn Fn(&str) -> bool>;
+    let checks: &[(&str, Check)] = &[
+        (
+            "password not echoed",
+            Box::new(|s: &str| !s.contains("apw")),
+        ),
+        (
+            "whoami printed alice",
+            Box::new(|s: &str| s.contains("\nalice\n")),
+        ),
+        (
+            "pwd printed the home directory",
+            Box::new(|s: &str| s.contains("/home/alice")),
+        ),
+        (
+            "pipeline cat|grep|wc printed `2 2 ...`",
+            Box::new(|s: &str| s.contains("\n2 2 ")),
+        ),
+        (
+            "input redirection wc < f.txt printed 3 lines",
+            Box::new(|s: &str| s.contains("\n3 3 ")),
+        ),
+        (
+            "background job reported and listed",
+            Box::new(|s: &str| s.contains("[1] started") && s.contains("sleep 200")),
+        ),
+        (
+            "cd changed the prompt/pwd",
+            Box::new(|s: &str| s.contains("/home/alice/workdir")),
+        ),
+        (
+            "ls shows created entries",
+            Box::new(|s: &str| s.contains("f.txt") && s.contains("workdir")),
+        ),
+    ];
+    for (name, check) in checks {
+        table.rowd(&[
+            (*name).to_string(),
+            if check(&screen) { "ok" } else { "FAILED" }.to_string(),
+        ]);
+    }
+    table.note("full transcript follows:");
+    for line in screen.lines() {
+        table.note(format!("  | {line}"));
+    }
+    rt.shutdown();
+    vec![table]
+}

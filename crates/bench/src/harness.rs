@@ -1,0 +1,74 @@
+//! Shared setup for experiments and benches: a standard two-user runtime
+//! with the paper's policy and all §6 tools installed.
+
+use jmp_awt::DispatchMode;
+use jmp_core::MpRuntime;
+use jmp_security::Policy;
+
+/// The standard experiment policy: the shell's defaults plus the paper's
+/// per-user home-directory grants (§5.3 rules 3 and 4) and the backup rule
+/// (rule 2).
+pub fn experiment_policy() -> Policy {
+    let text = format!(
+        "{}\n{}",
+        jmp_shell::default_policy_text(),
+        r#"
+        grant codeBase "file:/apps/backup" {
+            permission file "<<ALL FILES>>" "read";
+        };
+        grant user "alice" {
+            permission file "/home/alice" "read";
+            permission file "/home/alice/-" "read,write,execute,delete";
+        };
+        grant user "bob" {
+            permission file "/home/bob" "read";
+            permission file "/home/bob/-" "read,write,execute,delete";
+        };
+        "#
+    );
+    Policy::parse(&text).expect("experiment policy parses")
+}
+
+/// Builds the standard runtime: users alice/bob, the experiment policy, the
+/// §6 tools installed, and optionally a GUI in the given dispatch mode.
+pub fn standard_runtime(gui: Option<DispatchMode>) -> MpRuntime {
+    let mut builder = MpRuntime::builder()
+        .policy(experiment_policy())
+        .user("alice", "apw")
+        .user("bob", "bpw");
+    if let Some(mode) = gui {
+        builder = builder.gui(mode);
+    }
+    let rt = builder.build().expect("runtime builds");
+    jmp_shell::install(&rt).expect("tools install");
+    rt
+}
+
+/// Registers a one-off native class in `rt` under `file:/apps/<name>`.
+pub fn register_app(
+    rt: &MpRuntime,
+    name: &str,
+    main: impl Fn(Vec<String>) -> jmp_vm::Result<()> + Send + Sync + 'static,
+) {
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder(name).main(main).build(),
+            jmp_security::CodeSource::local(format!("file:/apps/{name}")),
+        )
+        .expect("app registers");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_runtime_builds_and_runs_echo() {
+        let rt = standard_runtime(None);
+        let app = rt.launch_as("alice", "echo", &["ping"]).unwrap();
+        app.wait_for().unwrap();
+        assert!(rt.console_output().contains("ping"));
+        rt.shutdown();
+    }
+}

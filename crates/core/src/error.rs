@@ -1,0 +1,188 @@
+use std::error::Error as StdError;
+use std::fmt;
+
+use jmp_security::SecurityError;
+use jmp_vfs::VfsError;
+use jmp_vm::VmError;
+
+/// Error type of the multi-processing runtime, mirroring the exception
+/// vocabulary a Java application would see.
+///
+/// The [`Error::FileNotFound`] variant deliberately absorbs *O/S-level*
+/// permission denials: the paper observes that "a Java application cannot
+/// see files that the UNIX user who runs the JVM is not allowed to access,
+/// and an attempt to access those files results in a FileNotFoundException
+/// instead of a SecurityException" (paper §4). Runtime-policy denials stay
+/// [`Error::Security`], so tests can distinguish the two layers exactly as
+/// the paper does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A security-manager / access-controller denial (`SecurityException`).
+    Security(SecurityError),
+    /// The file does not exist *or* the O/S layer hides it from the acting
+    /// user (`FileNotFoundException`).
+    FileNotFound {
+        /// The path in question.
+        path: String,
+    },
+    /// Other I/O-level failure (`IOException`).
+    Io {
+        /// Description.
+        message: String,
+    },
+    /// The calling thread is not part of any application, but the operation
+    /// needs one.
+    NotAnApplication,
+    /// Login failed (bad user or password).
+    AuthenticationFailed {
+        /// The user name that attempted to log in.
+        user: String,
+    },
+    /// The current thread was interrupted (`InterruptedException`).
+    Interrupted,
+    /// Any other runtime error.
+    Vm(VmError),
+}
+
+impl Error {
+    /// Returns `true` for security denials.
+    pub fn is_security(&self) -> bool {
+        matches!(self, Error::Security(_))
+    }
+
+    /// Returns `true` for the file-not-found (or O/S-hidden) case.
+    pub fn is_file_not_found(&self) -> bool {
+        matches!(self, Error::FileNotFound { .. })
+    }
+
+    /// Returns `true` for interruption.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, Error::Interrupted)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Security(e) => write!(f, "security exception: {e}"),
+            Error::FileNotFound { path } => write!(f, "file not found: {path}"),
+            Error::Io { message } => write!(f, "i/o error: {message}"),
+            Error::NotAnApplication => {
+                write!(f, "the current thread does not belong to an application")
+            }
+            Error::AuthenticationFailed { user } => write!(f, "login incorrect for {user:?}"),
+            Error::Interrupted => write!(f, "interrupted"),
+            Error::Vm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Security(e) => Some(e),
+            Error::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for Error {
+    fn from(err: VmError) -> Error {
+        match err {
+            VmError::Security(sec) => Error::Security(sec),
+            VmError::Interrupted => Error::Interrupted,
+            other => Error::Vm(other),
+        }
+    }
+}
+
+impl From<SecurityError> for Error {
+    fn from(err: SecurityError) -> Error {
+        Error::Security(err)
+    }
+}
+
+/// Back-conversion so application `main` bodies (which return
+/// [`jmp_vm::Result`]) can use `?` on this crate's operations.
+impl From<Error> for VmError {
+    fn from(err: Error) -> VmError {
+        match err {
+            Error::Security(sec) => VmError::Security(sec),
+            Error::Interrupted => VmError::Interrupted,
+            Error::Vm(vm) => vm,
+            other => VmError::Io {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<VfsError> for Error {
+    fn from(err: VfsError) -> Error {
+        match err {
+            // The paper's observation: the O/S hides what it denies.
+            VfsError::NotFound { path } | VfsError::PermissionDenied { path, .. } => {
+                Error::FileNotFound { path }
+            }
+            other => Error::Io {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmp_security::Permission;
+
+    #[test]
+    fn vfs_permission_denied_becomes_file_not_found() {
+        // Feature 3 discussion: O/S denial surfaces as FileNotFound, not
+        // SecurityException.
+        let err: Error = VfsError::PermissionDenied {
+            path: "/home/alice/x".into(),
+            action: "read",
+        }
+        .into();
+        assert!(err.is_file_not_found());
+        assert!(!err.is_security());
+    }
+
+    #[test]
+    fn security_errors_stay_security() {
+        let sec = SecurityError::denied(&Permission::runtime("exitVM"), "d");
+        let err: Error = VmError::Security(sec.clone()).into();
+        assert!(err.is_security());
+        let err: Error = sec.into();
+        assert!(err.is_security());
+    }
+
+    #[test]
+    fn interruption_maps_through() {
+        let err: Error = VmError::Interrupted.into();
+        assert!(err.is_interrupted());
+    }
+
+    #[test]
+    fn other_vfs_errors_are_io() {
+        let err: Error = VfsError::NotEmpty { path: "/d".into() }.into();
+        assert!(matches!(err, Error::Io { .. }));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for err in [
+            Error::NotAnApplication,
+            Error::FileNotFound { path: "/x".into() },
+            Error::AuthenticationFailed {
+                user: "alice".into(),
+            },
+            Error::Interrupted,
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

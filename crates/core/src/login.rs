@@ -1,0 +1,57 @@
+//! Logging on to the runtime (paper §5.2, Feature 4).
+//!
+//! "Log-in now works similar to UNIX's `login` program. It has the
+//! necessary privileges and resets its own running user-id to be the one
+//! that it has successfully authenticated... it is not necessary to have the
+//! login program be executed by an all-powerful superuser. All we need to do
+//! is grant the login program the privilege to set its own user. This can be
+//! done through code source-based security policies, since it is the
+//! *program* that is granted the privilege, not the user that runs it."
+//!
+//! Accordingly, [`login`] authenticates against the
+//! [`UserRegistry`](jmp_security::UserRegistry) and then performs
+//! `Application::set_user`, which demands `RuntimePermission("setUser")` —
+//! grant that permission to the login program's code source in the policy.
+
+use jmp_security::User;
+
+use crate::application::Application;
+use crate::error::Error;
+use crate::runtime::MpRuntime;
+use crate::Result;
+
+/// Authenticates `name`/`password` and, on success, makes `name` the
+/// running user of the **current application**, changing its working
+/// directory to the user's home.
+///
+/// # Errors
+///
+/// [`Error::AuthenticationFailed`] for a bad name or password (collapsed, so
+/// callers cannot probe which) — unless the caller lacks
+/// `RuntimePermission("setUser")`, which surfaces as [`Error::Security`]
+/// first; [`Error::NotAnApplication`] off-application.
+pub fn login(name: &str, password: &str) -> Result<User> {
+    let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+    let user = rt
+        .users()
+        .authenticate(name, password)
+        .map_err(|_| Error::AuthenticationFailed { user: name.into() })?;
+    Application::set_user(user.clone())?;
+    // Land in the home directory, like a Unix login shell; tolerate a
+    // missing home (the account may be home-less, e.g. `system`).
+    let _ = Application::set_cwd(user.home());
+    Ok(user)
+}
+
+/// Changes `name`'s password after verifying the old one.
+///
+/// # Errors
+///
+/// [`Error::AuthenticationFailed`] if the old password is wrong;
+/// [`Error::NotAnApplication`] off-application.
+pub fn change_password(name: &str, old: &str, new: &str) -> Result<()> {
+    let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+    rt.users()
+        .change_password(name, old, new)
+        .map_err(|_| Error::AuthenticationFailed { user: name.into() })
+}

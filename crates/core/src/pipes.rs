@@ -1,0 +1,40 @@
+//! Application-level pipes (paper §5.5: "we were able to easily implement
+//! input/output redirection and pipes between applications").
+//!
+//! A pipe created here is *owned* by the creating application: both ends
+//! carry the application's [`IoToken`](jmp_vm::io::IoToken) and are
+//! registered for closing at teardown. The shell hands the ends to the
+//! applications of a pipeline as their standard streams; per the paper's
+//! rule, those applications may not close them — the creating shell does
+//! (§5.1/§6.1).
+
+use jmp_vm::io::{pipe, InStream, OutStream, DEFAULT_PIPE_CAPACITY};
+
+use crate::application::Application;
+use crate::error::Error;
+use crate::Result;
+
+/// Creates a pipe owned by the current application; returns the write end
+/// and the read end.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn make_pipe() -> Result<(OutStream, InStream)> {
+    make_pipe_with_capacity(DEFAULT_PIPE_CAPACITY)
+}
+
+/// As [`make_pipe`], with an explicit buffer capacity.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn make_pipe_with_capacity(capacity: usize) -> Result<(OutStream, InStream)> {
+    let app = Application::current().ok_or(Error::NotAnApplication)?;
+    let (writer, reader) = pipe(capacity);
+    let out = OutStream::from_pipe(writer, app.io_token());
+    let input = InStream::from_pipe(reader, app.io_token());
+    app.register_owned_out(out.clone());
+    app.register_owned_in(input.clone());
+    Ok((out, input))
+}

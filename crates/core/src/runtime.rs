@@ -1,0 +1,446 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Weak};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use jmp_awt::{DispatchMode, DisplayServer, Toolkit};
+use jmp_security::{Policy, ProtectionDomain, User, UserRegistry};
+use jmp_vfs::{Mode, Vfs};
+use jmp_vm::io::{InStream, IoToken, MemSink, OutStream};
+use jmp_vm::thread::BLOCK_POLL;
+use jmp_vm::{ClassDef, GroupId, Vm};
+use parking_lot::RwLock;
+
+use crate::application::{AppId, Application};
+use crate::sys_sm::SystemSecurityManager;
+use crate::Result;
+
+/// Extension key under which the runtime registers itself with the VM.
+pub(crate) const EXTENSION_KEY: &str = "jmp.mpruntime";
+
+/// Name of the per-application re-loaded system class (paper §5.5).
+pub const SYSTEM_CLASS: &str = "java.lang.System";
+
+/// Name of the shared system-properties class (paper §5.5, Fig 5).
+pub const SYSTEM_PROPERTIES_CLASS: &str = "jmp.SystemProperties";
+
+pub(crate) struct RtInner {
+    pub(crate) vm: Vm,
+    pub(crate) vfs: Arc<Vfs>,
+    pub(crate) users: Arc<UserRegistry>,
+    pub(crate) sys_domain: Arc<ProtectionDomain>,
+    pub(crate) apps_by_group: RwLock<HashMap<GroupId, Application>>,
+    pub(crate) apps_by_id: RwLock<HashMap<AppId, Application>>,
+    pub(crate) next_app_id: AtomicU64,
+    pub(crate) next_io_token: AtomicU64,
+    pub(crate) reaper_tx: Sender<AppId>,
+    pub(crate) toolkit: Option<Toolkit>,
+    pub(crate) display: Option<DisplayServer>,
+    pub(crate) console: MemSink,
+    pub(crate) default_stdin: InStream,
+    pub(crate) default_stdout: OutStream,
+    pub(crate) default_stderr: OutStream,
+    /// The shared-object registry (§8 future work; see [`crate::shared`]).
+    pub(crate) shared: RwLock<HashMap<String, crate::shared::SharedEntry>>,
+}
+
+/// The multi-processing runtime: the paper's prototype, assembled.
+///
+/// Owns a [`Vm`], a virtual filesystem, the user registry, optionally a
+/// display + toolkit, and the table of running [`Application`]s. Building it
+/// performs the bootstrap the paper describes: registering the re-loadable
+/// `System` class material, installing the system security manager (§5.6),
+/// installing the user resolver that feeds user-based access control (§5.3),
+/// and starting the background reaper that cleans up exiting applications
+/// (§5.1).
+///
+/// Cheap handle; clones refer to the same runtime.
+#[derive(Clone)]
+pub struct MpRuntime {
+    pub(crate) inner: Arc<RtInner>,
+}
+
+/// Configures and builds an [`MpRuntime`].
+pub struct MpRuntimeBuilder {
+    policy: Policy,
+    users: Vec<(String, String)>,
+    gui: Option<(DisplayServer, DispatchMode)>,
+    vm_name: String,
+}
+
+impl MpRuntimeBuilder {
+    /// Sets the security policy (see [`Policy::parse`] for the format,
+    /// including the paper's `grant user` extension).
+    pub fn policy(mut self, policy: Policy) -> MpRuntimeBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Adds a user account (home directory `/home/<name>` is created and
+    /// made private, like `adduser`).
+    pub fn user(mut self, name: &str, password: &str) -> MpRuntimeBuilder {
+        self.users.push((name.to_string(), password.to_string()));
+        self
+    }
+
+    /// Names the underlying VM.
+    pub fn vm_name(mut self, name: impl Into<String>) -> MpRuntimeBuilder {
+        self.vm_name = name.into();
+        self
+    }
+
+    /// Attaches a windowing stack in the given dispatch mode, creating a
+    /// fresh [`DisplayServer`].
+    pub fn gui(mut self, mode: DispatchMode) -> MpRuntimeBuilder {
+        self.gui = Some((DisplayServer::new(), mode));
+        self
+    }
+
+    /// Attaches a windowing stack on an existing display.
+    pub fn display(mut self, display: DisplayServer, mode: DispatchMode) -> MpRuntimeBuilder {
+        self.gui = Some((display, mode));
+        self
+    }
+
+    /// Builds and bootstraps the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM bootstrap failures (duplicate user names, class
+    /// registration conflicts).
+    pub fn build(self) -> Result<MpRuntime> {
+        // -- users and filesystem -------------------------------------------
+        let user_pairs: Vec<(&str, &str)> = self
+            .users
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.as_str()))
+            .collect();
+        let users = UserRegistry::with_users(&user_pairs);
+        let system_uid = users.lookup("system").expect("bootstrap account").id();
+
+        let vfs = Arc::new(Vfs::new());
+        for dir in ["/home", "/tmp", "/etc", "/apps", "/sys"] {
+            vfs.mkdirs(dir, system_uid)?;
+        }
+        vfs.chmod("/tmp", Mode::WORLD_WRITABLE, system_uid)?;
+        // Record the active policy where users can read it (the paper: "a
+        // policy that can be specified by the user"; the JDK keeps it in a
+        // policy file). World-readable, root-owned.
+        vfs.write(
+            "/etc/java.policy",
+            self.policy.to_string().as_bytes(),
+            system_uid,
+        )?;
+        for (name, _) in &self.users {
+            let user = users.lookup(name).expect("just registered");
+            let home = user.home().to_string();
+            vfs.mkdirs(&home, system_uid)?;
+            vfs.chown(&home, user.id(), system_uid)?;
+            vfs.chmod(&home, Mode::DIR_PRIVATE, system_uid)?;
+        }
+
+        // -- VM and class material ------------------------------------------
+        let vm = Vm::builder().name(self.vm_name).policy(self.policy).build();
+        vm.material().register(
+            ClassDef::builder(SYSTEM_CLASS)
+                .static_slot("in")
+                .static_slot("out")
+                .static_slot("err")
+                .static_slot("securityManager")
+                .build(),
+            jmp_security::CodeSource::local("file:/sys/classes"),
+        )?;
+        vm.material().register(
+            ClassDef::builder(SYSTEM_PROPERTIES_CLASS)
+                .static_slot("table")
+                .build(),
+            jmp_security::CodeSource::local("file:/sys/classes"),
+        )?;
+        // Define the shared SystemProperties once, in the system loader, and
+        // point its statics at the VM-wide property table (Fig 5).
+        let sysprops = vm.system_loader().load_class(SYSTEM_PROPERTIES_CLASS)?;
+        sysprops.set_static("table", Arc::new(vm.properties().clone()));
+
+        // -- default console -------------------------------------------------
+        let console = MemSink::new();
+        let default_stdin = InStream::null(IoToken::SYSTEM);
+        let default_stdout = OutStream::new(Arc::new(console.clone()), IoToken::SYSTEM);
+        let default_stderr = OutStream::new(Arc::new(console.clone()), IoToken::SYSTEM);
+
+        // -- GUI --------------------------------------------------------------
+        let (display, toolkit) = match self.gui {
+            Some((display, mode)) => {
+                let toolkit = Toolkit::connect(vm.clone(), display.clone(), mode);
+                (Some(display), Some(toolkit))
+            }
+            None => (None, None),
+        };
+
+        let (reaper_tx, reaper_rx) = unbounded();
+        let inner = Arc::new(RtInner {
+            vm: vm.clone(),
+            vfs,
+            users,
+            sys_domain: Arc::new(ProtectionDomain::system()),
+            apps_by_group: RwLock::new(HashMap::new()),
+            apps_by_id: RwLock::new(HashMap::new()),
+            next_app_id: AtomicU64::new(1),
+            next_io_token: AtomicU64::new(1),
+            reaper_tx,
+            toolkit,
+            display,
+            console,
+            default_stdin,
+            default_stdout,
+            default_stderr,
+            shared: RwLock::new(HashMap::new()),
+        });
+        let rt = MpRuntime {
+            inner: Arc::clone(&inner),
+        };
+
+        // -- install the multi-processing hooks (host context: fully trusted)
+        vm.set_extension(
+            EXTENSION_KEY,
+            Arc::clone(&inner) as Arc<dyn std::any::Any + Send + Sync>,
+        )?;
+        let weak: Weak<RtInner> = Arc::downgrade(&inner);
+        vm.set_user_resolver(Arc::new(move || {
+            let rt = weak.upgrade()?;
+            MpRuntime { inner: rt }
+                .app_of_current_thread()
+                .map(|app| app.user().name().to_string())
+        }))?;
+        vm.set_security_manager(Arc::new(SystemSecurityManager::new()))?;
+        if let Some(toolkit) = &rt.inner.toolkit {
+            let weak: Weak<RtInner> = Arc::downgrade(&inner);
+            toolkit.set_tag_resolver(Arc::new(move || {
+                weak.upgrade()
+                    .and_then(|rt| MpRuntime { inner: rt }.app_of_current_thread())
+                    .map_or(0, |app| app.id().0)
+            }));
+        }
+        rt.start_reaper(reaper_rx)?;
+        Ok(rt)
+    }
+}
+
+impl MpRuntime {
+    /// Starts building a runtime.
+    pub fn builder() -> MpRuntimeBuilder {
+        MpRuntimeBuilder {
+            policy: Policy::new(),
+            users: Vec::new(),
+            gui: None,
+            vm_name: "jmp-mp".into(),
+        }
+    }
+
+    /// The runtime attached to the current VM thread's VM, if any.
+    pub fn current() -> Option<MpRuntime> {
+        let vm = Vm::current()?;
+        MpRuntime::of_vm(&vm)
+    }
+
+    /// The runtime attached to `vm`, if one was built on it.
+    pub fn of_vm(vm: &Vm) -> Option<MpRuntime> {
+        vm.extension::<RtInner>(EXTENSION_KEY)
+            .map(|inner| MpRuntime { inner })
+    }
+
+    /// The underlying VM.
+    pub fn vm(&self) -> &Vm {
+        &self.inner.vm
+    }
+
+    /// The virtual filesystem.
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.inner.vfs
+    }
+
+    /// The user registry.
+    pub fn users(&self) -> &Arc<UserRegistry> {
+        &self.inner.users
+    }
+
+    /// The windowing toolkit, if the runtime was built with a GUI.
+    pub fn toolkit(&self) -> Option<&Toolkit> {
+        self.inner.toolkit.as_ref()
+    }
+
+    /// The display server, if the runtime was built with a GUI.
+    pub fn display(&self) -> Option<&DisplayServer> {
+        self.inner.display.as_ref()
+    }
+
+    /// Everything written to the default console (applications launched
+    /// without stream overrides write here).
+    pub fn console_output(&self) -> String {
+        self.inner.console.contents_string()
+    }
+
+    /// Clears the captured console.
+    pub fn clear_console(&self) {
+        self.inner.console.clear();
+    }
+
+    /// The `system` account.
+    pub fn system_user(&self) -> User {
+        self.inner
+            .users
+            .lookup("system")
+            .expect("bootstrap account")
+    }
+
+    /// Launches `class_name` as a new application owned by the `system`
+    /// user, with default streams — the host-level entry point (what the
+    /// bootstrap uses to start `login` or a shell).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Vm`] wrapping `ClassNotFound` for unknown classes.
+    pub fn launch(&self, class_name: &str, args: &[&str]) -> Result<Application> {
+        self.launch_as("system", class_name, args)
+    }
+
+    /// Launches `class_name` as a new application running as `user_name`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Security`] wrapping `UnknownUser` if the account does not
+    /// exist; otherwise as [`MpRuntime::launch`].
+    pub fn launch_as(
+        &self,
+        user_name: &str,
+        class_name: &str,
+        args: &[&str],
+    ) -> Result<Application> {
+        self.launch_with(user_name, class_name, args, None, None, None)
+    }
+
+    /// Launches with explicit standard streams — how a terminal session is
+    /// wired up: the login application gets the terminal's streams, and
+    /// everything it execs inherits them (paper §6.2).
+    ///
+    /// # Errors
+    ///
+    /// As [`MpRuntime::launch_as`].
+    pub fn launch_with(
+        &self,
+        user_name: &str,
+        class_name: &str,
+        args: &[&str],
+        stdin: Option<InStream>,
+        stdout: Option<OutStream>,
+        stderr: Option<OutStream>,
+    ) -> Result<Application> {
+        let user = self.inner.users.lookup(user_name)?;
+        let spec = crate::application::ExecSpec {
+            class_name: class_name.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            user: user.clone(),
+            cwd: if user.home().is_empty() {
+                "/".to_string()
+            } else {
+                user.home().to_string()
+            },
+            stdin: stdin.unwrap_or_else(|| self.inner.default_stdin.clone()),
+            stdout: stdout.unwrap_or_else(|| self.inner.default_stdout.clone()),
+            stderr: stderr.unwrap_or_else(|| self.inner.default_stderr.clone()),
+            properties: self.inner.vm.properties().overlay(),
+        };
+        crate::application::spawn_app(self, spec)
+    }
+
+    /// Resolves the application the current thread belongs to by walking the
+    /// thread-group tree upward — the paper's "threads give us a convenient
+    /// way to distinguish two instances of the same program" (§5.1, Fig 3).
+    pub fn app_of_current_thread(&self) -> Option<Application> {
+        let thread = jmp_vm::thread::current()?;
+        self.app_of_group(thread.group())
+    }
+
+    /// Resolves the application owning `group`, if any.
+    pub fn app_of_group(&self, group: &jmp_vm::ThreadGroup) -> Option<Application> {
+        let apps = self.inner.apps_by_group.read();
+        let mut cursor = Some(group.clone());
+        while let Some(g) = cursor {
+            if let Some(app) = apps.get(&g.id()) {
+                return Some(app.clone());
+            }
+            cursor = g.parent().cloned();
+        }
+        None
+    }
+
+    /// All running applications, sorted by id.
+    pub fn applications(&self) -> Vec<Application> {
+        let mut apps: Vec<Application> = self.inner.apps_by_id.read().values().cloned().collect();
+        apps.sort_by_key(Application::id);
+        apps
+    }
+
+    /// Looks up a running application by id.
+    pub fn application(&self, id: AppId) -> Option<Application> {
+        self.inner.apps_by_id.read().get(&id).cloned()
+    }
+
+    /// Number of running applications.
+    pub fn application_count(&self) -> usize {
+        self.inner.apps_by_id.read().len()
+    }
+
+    /// Blocks until no applications remain or `timeout` elapses. Returns
+    /// `true` when idle.
+    pub fn await_idle(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.application_count() == 0 {
+                return true;
+            }
+            std::thread::sleep(BLOCK_POLL);
+        }
+        self.application_count() == 0
+    }
+
+    /// Stops the whole runtime (VM shutdown).
+    pub fn shutdown(&self) {
+        self.inner.vm.exit_unchecked(0);
+    }
+
+    fn start_reaper(&self, rx: Receiver<AppId>) -> Result<()> {
+        let weak = Arc::downgrade(&self.inner);
+        self.inner
+            .vm
+            .thread_builder()
+            .name("app-reaper")
+            .group(self.inner.vm.system_group().clone())
+            .daemon(true)
+            .spawn(move |_vm| loop {
+                if jmp_vm::thread::check_interrupt().is_err() {
+                    return;
+                }
+                match rx.recv_timeout(BLOCK_POLL) {
+                    Ok(app_id) => {
+                        let Some(inner) = weak.upgrade() else { return };
+                        crate::application::reap(&MpRuntime { inner }, app_id);
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+                }
+            })?;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for MpRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpRuntime")
+            .field("vm", &self.inner.vm.name())
+            .field("applications", &self.application_count())
+            .field("users", &self.inner.users.len())
+            .field("gui", &self.inner.toolkit.is_some())
+            .finish()
+    }
+}

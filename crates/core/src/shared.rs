@@ -1,0 +1,165 @@
+//! Shared objects between applications — the paper's §8 future work:
+//! "in our multi-processing environment, it is very appealing to use shared
+//! object as an inter-application communication mechanism. However, such
+//! sharing of objects between different applications in different name
+//! spaces is still a delicate task and its impact on the correctness of the
+//! Java type system needs more research."
+//!
+//! This module implements the mechanism and addresses the paper's two
+//! concerns in the terms of this runtime:
+//!
+//! * **Access control:** publishing and looking up are checked operations.
+//!   A name `n` demands `RuntimePermission("sharedObject.publish.n")` /
+//!   `RuntimePermission("sharedObject.lookup.n")`, so the policy governs
+//!   which code may export or import which names (dotted wildcards work:
+//!   `grant ... { permission runtime "sharedObject.lookup.chat.*"; }`).
+//! * **Type safety across name spaces:** in a real JVM, two applications'
+//!   loaders may bind the same class *name* to different classes, making
+//!   cross-namespace casts unsound (the paper cites Dean's work). Here a
+//!   shared object's type is a Rust `TypeId` — global, loader-independent —
+//!   so [`lookup`] is a checked downcast that can fail but never confuse
+//!   types; and values of the *interpreted* world
+//!   ([`Value`](jmp_vm::interp::Value)) are loader-independent data by
+//!   construction. This is exactly the "shared class material defines the
+//!   shared types" resolution later adopted by Java isolates.
+//!
+//! Withdrawal is restricted to the publishing application (or trusted
+//! code), so one application cannot yank another's exports.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use jmp_security::Permission;
+
+use crate::application::AppId;
+use crate::error::Error;
+use crate::runtime::MpRuntime;
+use crate::Result;
+
+/// A value in the shared-object registry.
+pub type SharedValue = Arc<dyn Any + Send + Sync>;
+
+#[derive(Clone)]
+pub(crate) struct SharedEntry {
+    value: SharedValue,
+    /// The publishing application, if published from one (`None` when
+    /// published by the host/system).
+    publisher: Option<AppId>,
+}
+
+fn rt() -> Result<MpRuntime> {
+    MpRuntime::current().ok_or(Error::NotAnApplication)
+}
+
+fn check(rt: &MpRuntime, verb: &str, name: &str) -> Result<()> {
+    rt.vm()
+        .check_permission(&Permission::runtime(format!("sharedObject.{verb}.{name}")))?;
+    Ok(())
+}
+
+/// Publishes `value` under `name`, replacing any previous export under that
+/// name *by the same publisher*. Requires
+/// `RuntimePermission("sharedObject.publish.<name>")`.
+///
+/// # Errors
+///
+/// [`Error::Security`] without the permission; [`Error::Io`] if the name is
+/// already taken by a different publisher.
+pub fn publish(name: &str, value: SharedValue) -> Result<()> {
+    let rt = rt()?;
+    check(&rt, "publish", name)?;
+    let publisher = rt.app_of_current_thread().map(|a| a.id());
+    let mut table = rt.inner.shared.write();
+    if let Some(existing) = table.get(name) {
+        if existing.publisher != publisher {
+            return Err(Error::Io {
+                message: format!("shared object {name:?} is owned by another publisher"),
+            });
+        }
+    }
+    table.insert(name.to_string(), SharedEntry { value, publisher });
+    Ok(())
+}
+
+/// Looks up the object under `name`, downcast to `T`. Requires
+/// `RuntimePermission("sharedObject.lookup.<name>")`.
+///
+/// Returns `Ok(None)` if nothing is published under the name **or** the
+/// published object is not a `T` — the checked-downcast discipline that
+/// keeps cross-namespace sharing type-safe.
+///
+/// # Errors
+///
+/// [`Error::Security`] without the permission.
+pub fn lookup<T: Any + Send + Sync>(name: &str) -> Result<Option<Arc<T>>> {
+    let rt = rt()?;
+    check(&rt, "lookup", name)?;
+    let found = rt
+        .inner
+        .shared
+        .read()
+        .get(name)
+        .map(|entry| Arc::clone(&entry.value));
+    Ok(found.and_then(|value| value.downcast::<T>().ok()))
+}
+
+/// Removes the export under `name`. Only the publishing application (or a
+/// caller holding `RuntimePermission("sharedObject.withdraw.<name>")` on a
+/// trusted stack) may withdraw it.
+///
+/// # Errors
+///
+/// [`Error::Security`] if the caller is neither the publisher nor
+/// privileged; `Ok(false)` if nothing was published.
+pub fn withdraw(name: &str) -> Result<bool> {
+    let rt = rt()?;
+    let caller = rt.app_of_current_thread().map(|a| a.id());
+    let mut table = rt.inner.shared.write();
+    match table.get(name) {
+        None => Ok(false),
+        Some(entry) => {
+            if entry.publisher != caller {
+                check(&rt, "withdraw", name)?;
+            }
+            table.remove(name);
+            Ok(true)
+        }
+    }
+}
+
+/// Names currently published, sorted. Requires
+/// `RuntimePermission("sharedObject.list")`.
+///
+/// # Errors
+///
+/// [`Error::Security`] without the permission.
+pub fn names() -> Result<Vec<String>> {
+    let rt = rt()?;
+    rt.vm()
+        .check_permission(&Permission::runtime("sharedObject.list"))?;
+    let mut names: Vec<String> = rt.inner.shared.read().keys().cloned().collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Drops all exports of `app` (called by the reaper: an application's
+/// exports do not outlive it, just like its windows and owned streams).
+pub(crate) fn drop_exports_of(rt: &MpRuntime, app: AppId) {
+    rt.inner
+        .shared
+        .write()
+        .retain(|_name, entry| entry.publisher != Some(app));
+}
+
+/// Convenience: the publishing side of a shared byte channel — a pipe whose
+/// read end is published under `name` so another application can consume it
+/// (the paper's inter-application communication use case).
+///
+/// # Errors
+///
+/// As [`publish`].
+pub fn publish_channel(name: &str) -> Result<jmp_vm::io::OutStream> {
+    let (out, input) = crate::pipes::make_pipe()?;
+    publish(name, Arc::new(input))?;
+    Ok(out)
+}

@@ -1,0 +1,209 @@
+use jmp_security::Permission;
+use jmp_vm::{Class, SecurityManager, ThreadGroup, Vm, VmThread};
+
+/// The **system security manager** (paper §5.6), installed VM-wide at
+/// bootstrap, "primarily for the purpose of protecting applications from
+/// each other". Its rules, verbatim from the paper:
+///
+/// * A thread T may access another thread U if T's thread group is an
+///   ancestor of U's thread group; otherwise T needs the appropriate
+///   permission (`RuntimePermission("modifyThread")`).
+/// * A thread T may access a thread group G if T's thread group is an
+///   ancestor of G; otherwise T needs `RuntimePermission("modifyThreadGroup")`.
+/// * Public members of a class can be accessed normally through reflection;
+///   access to non-public members needs
+///   `RuntimePermission("accessDeclaredMembers")`.
+/// * For all other security-relevant decisions, the `AccessController` is
+///   consulted ([`Vm::access_check`]) — which also folds in the paper's
+///   user-based grants (§5.3).
+///
+/// Applications may still install their *own* security managers, but those
+/// live in each application's private copy of the `System` class and are
+/// never consulted by system code (see `jsystem::set_security_manager`).
+#[derive(Debug, Default)]
+pub struct SystemSecurityManager(());
+
+impl SystemSecurityManager {
+    /// Creates the manager.
+    pub fn new() -> SystemSecurityManager {
+        SystemSecurityManager(())
+    }
+
+    /// The ancestor rule shared by the thread and thread-group checks.
+    /// Threads not managed by the VM (host threads) are trusted.
+    fn current_group_is_ancestor_of(target: &ThreadGroup) -> Option<bool> {
+        jmp_vm::thread::current().map(|current| current.group().is_ancestor_of(target))
+    }
+}
+
+impl SecurityManager for SystemSecurityManager {
+    fn check_permission(&self, vm: &Vm, perm: &Permission) -> jmp_vm::Result<()> {
+        vm.access_check(perm)
+    }
+
+    fn check_thread_access(&self, vm: &Vm, target: &VmThread) -> jmp_vm::Result<()> {
+        match SystemSecurityManager::current_group_is_ancestor_of(target.group()) {
+            None | Some(true) => Ok(()),
+            Some(false) => vm.access_check(&Permission::runtime("modifyThread")),
+        }
+    }
+
+    fn check_thread_group_access(&self, vm: &Vm, group: &ThreadGroup) -> jmp_vm::Result<()> {
+        match SystemSecurityManager::current_group_is_ancestor_of(group) {
+            None | Some(true) => Ok(()),
+            Some(false) => vm.access_check(&Permission::runtime("modifyThreadGroup")),
+        }
+    }
+
+    fn check_member_access(&self, vm: &Vm, _class: &Class) -> jmp_vm::Result<()> {
+        // Only called for non-public member access; public members are free
+        // (paper §5.6).
+        vm.access_check(&Permission::runtime("accessDeclaredMembers"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmp_security::{CodeSource, Policy, ProtectionDomain};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn vm_with_sm() -> Vm {
+        let vm = Vm::builder().policy(Policy::new()).build();
+        vm.set_security_manager(Arc::new(SystemSecurityManager::new()))
+            .unwrap();
+        vm
+    }
+
+    #[test]
+    fn threads_may_touch_their_own_subtree_only() {
+        let vm = vm_with_sm();
+        let group_a = vm.main_group().new_child("a").unwrap();
+        let group_b = vm.main_group().new_child("b").unwrap();
+
+        // A long-lived thread in group B to be the target.
+        let victim = vm
+            .thread_builder()
+            .group(group_b)
+            .name("victim")
+            .daemon(true)
+            .spawn(|_| {
+                let _ = jmp_vm::thread::sleep(Duration::from_secs(600));
+            })
+            .unwrap();
+
+        // An untrusted thread in group A must not interrupt it...
+        let vm2 = vm.clone();
+        let victim2 = victim.clone();
+        let attacker = vm
+            .thread_builder()
+            .group(group_a.clone())
+            .name("attacker")
+            .spawn(move |_| {
+                let untrusted = Arc::new(ProtectionDomain::untrusted(CodeSource::remote(
+                    "http://evil/x",
+                )));
+                let result =
+                    jmp_vm::stack::call_as("Evil", untrusted, || vm2.interrupt_thread(&victim2));
+                assert!(result.unwrap_err().is_security());
+            })
+            .unwrap();
+        attacker.join().unwrap();
+        assert!(!victim.is_interrupted());
+
+        // ...but a thread may interrupt threads in its own subtree.
+        let vm3 = vm.clone();
+        let self_manager = vm
+            .thread_builder()
+            .group(group_a)
+            .name("self-manager")
+            .spawn(move |_| {
+                let child = vm3
+                    .thread_builder()
+                    .name("child")
+                    .daemon(true)
+                    .spawn(|_| {
+                        let _ = jmp_vm::thread::sleep(Duration::from_secs(600));
+                    })
+                    .unwrap();
+                vm3.interrupt_thread(&child).unwrap();
+                assert!(child.is_interrupted());
+            })
+            .unwrap();
+        self_manager.join().unwrap();
+        // VM shutdown interrupts everything, including the victim.
+        vm.exit_unchecked(0);
+    }
+
+    #[test]
+    fn foreign_group_spawn_needs_permission() {
+        let vm = vm_with_sm();
+        let group_a = vm.main_group().new_child("a").unwrap();
+        let group_b = vm.main_group().new_child("b").unwrap();
+
+        let vm2 = vm.clone();
+        let t = vm
+            .thread_builder()
+            .group(group_a)
+            .name("a-main")
+            .spawn(move |_| {
+                // Spawning into a sibling group: the ancestor rule fails, and
+                // with an untrusted frame on the stack the fallback
+                // permission check fails too.
+                let untrusted = Arc::new(ProtectionDomain::untrusted(CodeSource::remote(
+                    "http://evil/x",
+                )));
+                let result = jmp_vm::stack::call_as("Evil", untrusted, || {
+                    vm2.thread_builder().group(group_b.clone()).spawn(|_| {})
+                });
+                assert!(result.unwrap_err().is_security());
+
+                // With only trusted frames, the fallback permission check
+                // passes (empty/trusted stack implies every permission).
+                let escapee = vm2
+                    .thread_builder()
+                    .group(group_b.clone())
+                    .spawn(|_| {})
+                    .unwrap();
+                escapee.join().unwrap();
+            })
+            .unwrap();
+        t.join().unwrap();
+        vm.exit_unchecked(0);
+    }
+
+    #[test]
+    fn host_threads_are_trusted() {
+        let vm = vm_with_sm();
+        let group = vm.main_group().new_child("g").unwrap();
+        // Called from a host (non-VM) thread: allowed.
+        let sm = SystemSecurityManager::new();
+        sm.check_thread_group_access(&vm, &group).unwrap();
+    }
+
+    #[test]
+    fn member_access_requires_permission_for_untrusted() {
+        let vm = vm_with_sm();
+        vm.material()
+            .register(
+                jmp_vm::ClassDef::builder("Target").build(),
+                CodeSource::local("file:/sys/classes"),
+            )
+            .unwrap();
+        let class = vm.system_loader().load_class("Target").unwrap();
+        let sm = SystemSecurityManager::new();
+        // Host/trusted: fine.
+        sm.check_member_access(&vm, &class).unwrap();
+        // Untrusted frame: denied.
+        let untrusted = Arc::new(ProtectionDomain::untrusted(CodeSource::remote(
+            "http://evil/x",
+        )));
+        jmp_vm::stack::call_as("Evil", untrusted, || {
+            assert!(sm
+                .check_member_access(&vm, &class)
+                .unwrap_err()
+                .is_security());
+        });
+    }
+}

@@ -1,0 +1,198 @@
+//! `jsystem`: the application-facing facade of the `System` class.
+//!
+//! In the paper's design (§5.5, Fig 5) every application sees *its own* copy
+//! of the `System` class — same material, different defining loader — whose
+//! statics hold that application's standard streams and (application-level)
+//! security manager, while the truly JVM-wide state lives in a single shared
+//! `SystemProperties` class.
+//!
+//! These functions resolve "the current application's `System` class" and
+//! read/write its statics, so application code keeps the familiar API
+//! (`System.out`, `System.getProperty`, `System.exit`) while getting
+//! per-application behavior.
+
+use std::sync::Arc;
+
+use jmp_security::{Permission, PropertyActions};
+use jmp_vm::io::{InStream, OutStream};
+use jmp_vm::{Class, Properties, SecurityManager};
+
+use crate::application::Application;
+use crate::error::Error;
+use crate::runtime::{MpRuntime, SYSTEM_PROPERTIES_CLASS};
+use crate::Result;
+
+fn current_app() -> Result<Application> {
+    Application::current().ok_or(Error::NotAnApplication)
+}
+
+/// The current application's own definition of the `System` class. Two
+/// applications get classes with the same name but different identity —
+/// compare with [`Class::same_class`].
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn system_class() -> Result<Class> {
+    Ok(current_app()?.system_class().clone())
+}
+
+/// The current application's `System.in`.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn stdin() -> Result<InStream> {
+    Ok(current_app()?.stdin())
+}
+
+/// The current application's `System.out`.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn stdout() -> Result<OutStream> {
+    Ok(current_app()?.stdout())
+}
+
+/// The current application's `System.err`.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn stderr() -> Result<OutStream> {
+    Ok(current_app()?.stderr())
+}
+
+/// Prints a line to the current application's `System.out`.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application; stream errors otherwise.
+pub fn println(text: &str) -> Result<()> {
+    stdout()?.println(text).map_err(Error::from)
+}
+
+/// Prints to the current application's `System.out` without a newline.
+///
+/// # Errors
+///
+/// As [`println()`].
+pub fn print(text: &str) -> Result<()> {
+    stdout()?.print(text).map_err(Error::from)
+}
+
+/// Prints a line to the current application's `System.err`.
+///
+/// # Errors
+///
+/// As [`println()`].
+pub fn eprintln(text: &str) -> Result<()> {
+    stderr()?.println(text).map_err(Error::from)
+}
+
+/// The shared JVM-wide system properties — `System.getProperties()`.
+///
+/// Resolved through the current application's class loader, which *delegates*
+/// (no re-load) for `SystemProperties`, so every application reaches the
+/// same class and the same table (Fig 5). Requires
+/// `PropertyPermission("*", "read")`.
+///
+/// # Errors
+///
+/// [`Error::Security`] without the permission;
+/// [`Error::NotAnApplication`] off-application.
+pub fn properties() -> Result<Properties> {
+    let app = current_app()?;
+    let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+    rt.vm()
+        .check_permission(&Permission::property("*", PropertyActions::READ))?;
+    shared_table(&app)
+}
+
+fn shared_table(app: &Application) -> Result<Properties> {
+    let class = app.loader().load_class(SYSTEM_PROPERTIES_CLASS)?;
+    class
+        .static_as::<Properties>("table")
+        .map(|t| (*t).clone())
+        .ok_or_else(|| Error::Io {
+            message: "SystemProperties table not initialized".into(),
+        })
+}
+
+/// Reads one system property — `System.getProperty(key)`. Requires
+/// `PropertyPermission(key, "read")`.
+///
+/// # Errors
+///
+/// [`Error::Security`] without the permission;
+/// [`Error::NotAnApplication`] off-application.
+pub fn property(key: &str) -> Result<Option<String>> {
+    let app = current_app()?;
+    let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+    rt.vm()
+        .check_permission(&Permission::property(key, PropertyActions::READ))?;
+    Ok(shared_table(&app)?.get(key))
+}
+
+/// Writes one system property — `System.setProperty(key, value)`. This is
+/// JVM-wide state (all applications observe it); requires
+/// `PropertyPermission(key, "write")`.
+///
+/// # Errors
+///
+/// [`Error::Security`] without the permission;
+/// [`Error::NotAnApplication`] off-application.
+pub fn set_property(key: &str, value: &str) -> Result<Option<String>> {
+    let app = current_app()?;
+    let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+    rt.vm()
+        .check_permission(&Permission::property(key, PropertyActions::WRITE))?;
+    Ok(shared_table(&app)?.set(key, value))
+}
+
+/// Installs an *application* security manager into the current
+/// application's `System` copy — `System.setSecurityManager`.
+///
+/// Per the paper (§5.6): applications can set their own security managers,
+/// "however, those security managers will never be consulted by system
+/// code, because the system code that performs sensitive operations sees its
+/// own version of the `System` class that holds the system security
+/// manager." Application SMs are for application-specific checks only; no
+/// permission is demanded because the written slot is application-private
+/// state.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn set_security_manager(sm: Arc<dyn SecurityManager>) -> Result<()> {
+    let app = current_app()?;
+    app.system_class()
+        .set_static("securityManager", Arc::new(sm));
+    Ok(())
+}
+
+/// The current application's own security manager, if it installed one.
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn security_manager() -> Result<Option<Arc<dyn SecurityManager>>> {
+    let app = current_app()?;
+    Ok(app
+        .system_class()
+        .static_as::<Arc<dyn SecurityManager>>("securityManager")
+        .map(|sm| (*sm).clone()))
+}
+
+/// `System.exit(code)`, with the multi-processing semantics the paper
+/// proposes for §6.3: it exits the **current application**, not the VM.
+/// (Stopping the VM itself is [`jmp_vm::Vm::exit`], which demands
+/// `RuntimePermission("exitVM")`.)
+///
+/// # Errors
+///
+/// [`Error::NotAnApplication`] off-application.
+pub fn exit(code: i32) -> Result<()> {
+    Application::exit(code)
+}

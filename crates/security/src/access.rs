@@ -1,0 +1,357 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::ProtectionDomain;
+use crate::error::SecurityError;
+use crate::permission::Permission;
+use crate::policy::Policy;
+use crate::Result;
+
+/// One stack frame's contribution to an access-control decision: the
+/// protection domain of the class executing in that frame, and whether the
+/// frame was entered through `doPrivileged`.
+#[derive(Debug, Clone)]
+pub struct DomainEntry {
+    /// The protection domain of the code executing in the frame.
+    pub domain: Arc<ProtectionDomain>,
+    /// `true` if this frame marks a `doPrivileged` boundary: the stack walk
+    /// stops after checking this frame's domain.
+    pub privileged: bool,
+}
+
+/// A snapshot of the protection domains on a thread's call stack, newest
+/// frame first (JDK 1.2 `AccessControlContext`).
+///
+/// A context may carry an *inherited* parent context: when a thread is
+/// created, the JDK captures the creating thread's context and consults it
+/// below the new thread's own frames. [`AccessContext::inherit`] reproduces
+/// this.
+#[derive(Debug, Clone, Default)]
+pub struct AccessContext {
+    /// Domain entries, newest first.
+    entries: Vec<DomainEntry>,
+    /// Context captured from the creating thread, consulted after (below)
+    /// `entries` unless a privileged frame stops the walk first.
+    inherited: Option<Arc<AccessContext>>,
+}
+
+impl AccessContext {
+    /// An empty context. An empty stack means only runtime-internal code is
+    /// executing, which is fully trusted — checks against it succeed.
+    pub fn empty() -> AccessContext {
+        AccessContext::default()
+    }
+
+    /// Builds a context from unprivileged domains, newest first.
+    pub fn from_domains(domains: Vec<Arc<ProtectionDomain>>) -> AccessContext {
+        AccessContext {
+            entries: domains
+                .into_iter()
+                .map(|domain| DomainEntry {
+                    domain,
+                    privileged: false,
+                })
+                .collect(),
+            inherited: None,
+        }
+    }
+
+    /// Builds a context from explicit entries, newest first.
+    pub fn from_entries(entries: Vec<DomainEntry>) -> AccessContext {
+        AccessContext {
+            entries,
+            inherited: None,
+        }
+    }
+
+    /// Returns a copy of this context with `parent` attached as the inherited
+    /// (thread-creation-time) context.
+    pub fn inherit(mut self, parent: Arc<AccessContext>) -> AccessContext {
+        self.inherited = Some(parent);
+        self
+    }
+
+    /// Returns a new context with one more (newest) frame on top.
+    pub fn with_frame(&self, domain: Arc<ProtectionDomain>, privileged: bool) -> AccessContext {
+        let mut entries = Vec::with_capacity(self.entries.len() + 1);
+        entries.push(DomainEntry { domain, privileged });
+        entries.extend(self.entries.iter().cloned());
+        AccessContext {
+            entries,
+            inherited: self.inherited.clone(),
+        }
+    }
+
+    /// The entries of this context (newest first), excluding inherited ones.
+    pub fn entries(&self) -> &[DomainEntry] {
+        &self.entries
+    }
+
+    /// The inherited parent context, if any.
+    pub fn inherited(&self) -> Option<&Arc<AccessContext>> {
+        self.inherited.as_ref()
+    }
+
+    /// Total number of domain entries that a full (unprivileged) walk would
+    /// visit, including inherited frames.
+    pub fn depth(&self) -> usize {
+        self.entries.len() + self.inherited.as_ref().map_or(0, |p| p.depth())
+    }
+}
+
+impl fmt::Display for AccessContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}{}", e.domain, if e.privileged { "!" } else { "" })?;
+        }
+        if let Some(parent) = &self.inherited {
+            write!(f, " <- {parent}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The stack-inspection access controller (JDK 1.2 `AccessController`),
+/// extended with the paper's user-based access control (§5.3).
+///
+/// The decision algorithm, per [`AccessController::check_with`]:
+/// walk the stack newest→oldest; *every* visited domain must satisfy the
+/// demanded permission; a `doPrivileged` frame is the last one visited.
+/// A domain satisfies a demand if it implies the permission directly, **or**
+/// if it holds `UserPermission("exerciseUserPermissions")` and the policy
+/// grants the permission to the current running user.
+#[derive(Debug)]
+pub struct AccessController(());
+
+impl AccessController {
+    /// Checks `demand` against `ctx`, combining code-source permissions with
+    /// the permissions the `policy` grants to `running_user` (paper §5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::AccessDenied`] naming the first domain on the
+    /// stack that satisfies neither the code-source nor the user rule.
+    pub fn check_with(
+        ctx: &AccessContext,
+        demand: &Permission,
+        running_user: Option<&str>,
+        policy: &Policy,
+    ) -> Result<()> {
+        let exercise = Permission::exercise_user_permissions();
+        // Pre-compute whether the running user is granted the demand at all;
+        // only consulted for domains holding the exercise permission.
+        let user_granted = running_user.is_some_and(|u| policy.user_implies(u, demand));
+
+        let mut current = Some(ctx);
+        while let Some(c) = current {
+            for entry in &c.entries {
+                let code_ok = entry.domain.implies(demand);
+                let user_ok = user_granted && entry.domain.implies(&exercise);
+                if !code_ok && !user_ok {
+                    return Err(SecurityError::denied(demand, entry.domain.to_string()));
+                }
+                if entry.privileged {
+                    return Ok(());
+                }
+            }
+            current = c.inherited.as_deref();
+        }
+        Ok(())
+    }
+
+    /// Checks `demand` using code-source permissions only (no user
+    /// combination). Equivalent to [`AccessController::check_with`] with no
+    /// running user and an empty policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::AccessDenied`] naming the refusing domain.
+    pub fn check(ctx: &AccessContext, demand: &Permission) -> Result<()> {
+        // An empty policy is just an empty Vec; constructing it here is free.
+        AccessController::check_with(ctx, demand, None, &Policy::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_source::CodeSource;
+
+    use crate::permission::FileActions;
+
+    fn domain(url: &str, perms: Vec<Permission>) -> Arc<ProtectionDomain> {
+        Arc::new(ProtectionDomain::new(
+            CodeSource::local(url),
+            perms.into_iter().collect(),
+        ))
+    }
+
+    fn read_tmp() -> Permission {
+        Permission::file("/tmp/x", FileActions::READ)
+    }
+
+    #[test]
+    fn empty_context_is_fully_trusted() {
+        AccessController::check(&AccessContext::empty(), &Permission::All).unwrap();
+    }
+
+    #[test]
+    fn every_domain_on_stack_must_agree() {
+        let trusted = domain("file:/sys/a", vec![Permission::All]);
+        let untrusted = domain("http://evil/x", vec![]);
+
+        // trusted alone: ok.
+        let ctx = AccessContext::from_domains(vec![trusted.clone()]);
+        AccessController::check(&ctx, &read_tmp()).unwrap();
+
+        // untrusted anywhere on the stack: denied.
+        let ctx = AccessContext::from_domains(vec![trusted.clone(), untrusted.clone()]);
+        let err = AccessController::check(&ctx, &read_tmp()).unwrap_err();
+        assert!(err.to_string().contains("http://evil/x"));
+
+        let ctx = AccessContext::from_domains(vec![untrusted, trusted]);
+        AccessController::check(&ctx, &read_tmp()).unwrap_err();
+    }
+
+    #[test]
+    fn do_privileged_stops_the_walk() {
+        let trusted = domain("file:/sys/a", vec![Permission::All]);
+        let untrusted = domain("http://evil/x", vec![]);
+        // Stack (newest first): trusted(privileged) above untrusted.
+        let ctx = AccessContext::from_entries(vec![
+            DomainEntry {
+                domain: trusted.clone(),
+                privileged: true,
+            },
+            DomainEntry {
+                domain: untrusted.clone(),
+                privileged: false,
+            },
+        ]);
+        AccessController::check(&ctx, &read_tmp()).unwrap();
+
+        // But a privileged frame below untrusted code does not help the
+        // untrusted code above it (the luring-attack property).
+        let ctx = AccessContext::from_entries(vec![
+            DomainEntry {
+                domain: untrusted,
+                privileged: false,
+            },
+            DomainEntry {
+                domain: trusted,
+                privileged: true,
+            },
+        ]);
+        AccessController::check(&ctx, &read_tmp()).unwrap_err();
+    }
+
+    #[test]
+    fn privileged_frame_must_itself_hold_the_permission() {
+        let weak = domain("file:/apps/weak", vec![]);
+        let ctx = AccessContext::from_entries(vec![DomainEntry {
+            domain: weak,
+            privileged: true,
+        }]);
+        AccessController::check(&ctx, &read_tmp()).unwrap_err();
+    }
+
+    #[test]
+    fn user_grants_are_combined_for_exercising_domains() {
+        let mut policy = Policy::new();
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        let editor = domain(
+            "file:/apps/editor",
+            vec![Permission::exercise_user_permissions()],
+        );
+        let ctx = AccessContext::from_domains(vec![editor]);
+        let alice_file = Permission::file("/home/alice/notes", FileActions::READ);
+
+        AccessController::check_with(&ctx, &alice_file, Some("alice"), &policy).unwrap();
+        AccessController::check_with(&ctx, &alice_file, Some("bob"), &policy).unwrap_err();
+        AccessController::check_with(&ctx, &alice_file, None, &policy).unwrap_err();
+    }
+
+    #[test]
+    fn non_exercising_code_cannot_use_user_grants() {
+        // Paper §5.3: remote code (applets) does not get the user permission,
+        // so it may not touch the running user's files even when run by them.
+        let mut policy = Policy::new();
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        let applet = domain("http://applets.example.com/x", vec![]);
+        let ctx = AccessContext::from_domains(vec![applet]);
+        let alice_file = Permission::file("/home/alice/notes", FileActions::READ);
+        AccessController::check_with(&ctx, &alice_file, Some("alice"), &policy).unwrap_err();
+    }
+
+    #[test]
+    fn mixed_stack_applet_above_editor_is_denied() {
+        // Even if the editor could exercise alice's permissions, an applet
+        // frame above it poisons the stack.
+        let mut policy = Policy::new();
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        let editor = domain(
+            "file:/apps/editor",
+            vec![Permission::exercise_user_permissions()],
+        );
+        let applet = domain("http://applets.example.com/x", vec![]);
+        let ctx = AccessContext::from_domains(vec![applet, editor]);
+        let alice_file = Permission::file("/home/alice/notes", FileActions::READ);
+        AccessController::check_with(&ctx, &alice_file, Some("alice"), &policy).unwrap_err();
+    }
+
+    #[test]
+    fn inherited_context_is_consulted() {
+        let trusted = domain("file:/sys/a", vec![Permission::All]);
+        let untrusted = domain("http://evil/x", vec![]);
+        // New thread runs only trusted frames, but was created by a thread
+        // whose stack contained untrusted code.
+        let parent = Arc::new(AccessContext::from_domains(vec![untrusted]));
+        let ctx = AccessContext::from_domains(vec![trusted.clone()]).inherit(parent);
+        AccessController::check(&ctx, &read_tmp()).unwrap_err();
+
+        // A doPrivileged frame in the child stops before the inherited part.
+        let parent = Arc::new(AccessContext::from_domains(vec![domain(
+            "http://evil/x",
+            vec![],
+        )]));
+        let ctx = AccessContext::from_entries(vec![DomainEntry {
+            domain: trusted,
+            privileged: true,
+        }])
+        .inherit(parent);
+        AccessController::check(&ctx, &read_tmp()).unwrap();
+    }
+
+    #[test]
+    fn with_frame_pushes_newest() {
+        let a = domain("file:/a", vec![Permission::All]);
+        let b = domain("file:/b", vec![]);
+        let ctx = AccessContext::from_domains(vec![a]).with_frame(b, false);
+        assert_eq!(ctx.entries().len(), 2);
+        assert_eq!(ctx.entries()[0].domain.code_source().url(), "file:/b");
+        assert_eq!(ctx.depth(), 2);
+    }
+
+    #[test]
+    fn display_marks_privileged_frames() {
+        let a = domain("file:/a", vec![]);
+        let ctx = AccessContext::from_entries(vec![DomainEntry {
+            domain: a,
+            privileged: true,
+        }]);
+        assert!(ctx.to_string().contains('!'));
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Where code came from: a location URL plus the names of the principals that
+/// signed it (JDK 1.2 `CodeSource`).
+///
+/// The current Java security architecture expresses policy "in terms of code
+/// identity that is characterized by both digital signatures on the mobile
+/// code and the network origin of the mobile code" (paper §1). We model
+/// signatures by signer *name* — the cryptographic machinery is orthogonal to
+/// the multi-processing architecture under study.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CodeSource {
+    /// Location URL, e.g. `file:/sys/classes` or `http://host.example/applets/`.
+    url: String,
+    /// Names of signing principals, sorted; empty for unsigned code.
+    signers: Vec<String>,
+}
+
+impl CodeSource {
+    /// Creates a code source with an explicit signer list.
+    pub fn new(url: impl Into<String>, mut signers: Vec<String>) -> CodeSource {
+        signers.sort();
+        signers.dedup();
+        CodeSource {
+            url: url.into(),
+            signers,
+        }
+    }
+
+    /// Creates an unsigned, local code source.
+    pub fn local(url: impl Into<String>) -> CodeSource {
+        CodeSource::new(url, Vec::new())
+    }
+
+    /// Creates an unsigned code source for mobile code fetched from `url`
+    /// over the (simulated) network.
+    pub fn remote(url: impl Into<String>) -> CodeSource {
+        CodeSource::new(url, Vec::new())
+    }
+
+    /// The location URL.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The signer names (sorted, deduplicated).
+    pub fn signers(&self) -> &[String] {
+        &self.signers
+    }
+
+    /// Returns the host component of an `http:`/`https:`-style URL, if any.
+    ///
+    /// Used by the appletviewer to let an applet connect back to the host it
+    /// was loaded from (paper §6.3).
+    pub fn host(&self) -> Option<&str> {
+        let rest = self
+            .url
+            .strip_prefix("http://")
+            .or_else(|| self.url.strip_prefix("https://"))?;
+        let end = rest.find(['/', ':']).unwrap_or(rest.len());
+        let host = &rest[..end];
+        if host.is_empty() {
+            None
+        } else {
+            Some(host)
+        }
+    }
+
+    /// Policy-style matching: does a grant written for `self` cover code from
+    /// `other`?
+    ///
+    /// * URL patterns follow FilePermission-like conventions: `...-` at the
+    ///   end is a recursive prefix match, `...*` matches one more path
+    ///   component, otherwise the match is exact. An empty pattern matches
+    ///   any URL.
+    /// * Every signer listed in the grant must have signed `other`.
+    pub fn implies(&self, other: &CodeSource) -> bool {
+        let url_ok = if self.url.is_empty() {
+            true
+        } else if let Some(prefix) = self.url.strip_suffix('-') {
+            other.url.starts_with(prefix)
+        } else if let Some(prefix) = self.url.strip_suffix('*') {
+            match other.url.strip_prefix(prefix) {
+                Some(rest) => !rest.contains('/'),
+                None => false,
+            }
+        } else {
+            self.url == other.url
+        };
+        url_ok && self.signers.iter().all(|s| other.signers.contains(s))
+    }
+}
+
+impl fmt::Display for CodeSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.signers.is_empty() {
+            write!(f, "codeBase {:?}", self.url)
+        } else {
+            write!(
+                f,
+                "codeBase {:?} signedBy {:?}",
+                self.url,
+                self.signers.join(",")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_url_match() {
+        let grant = CodeSource::local("file:/sys/classes");
+        assert!(grant.implies(&CodeSource::local("file:/sys/classes")));
+        assert!(!grant.implies(&CodeSource::local("file:/sys/classes/sub")));
+    }
+
+    #[test]
+    fn recursive_dash_match() {
+        let grant = CodeSource::local("file:/apps/-");
+        assert!(grant.implies(&CodeSource::local("file:/apps/editor")));
+        assert!(grant.implies(&CodeSource::local("file:/apps/games/tetris")));
+        assert!(!grant.implies(&CodeSource::local("file:/sys/editor")));
+    }
+
+    #[test]
+    fn single_component_star_match() {
+        let grant = CodeSource::local("file:/apps/*");
+        assert!(grant.implies(&CodeSource::local("file:/apps/editor")));
+        assert!(!grant.implies(&CodeSource::local("file:/apps/games/tetris")));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let grant = CodeSource::local("");
+        assert!(grant.implies(&CodeSource::local("http://anywhere/x")));
+    }
+
+    #[test]
+    fn signers_must_all_be_present() {
+        let grant = CodeSource::new("file:/apps/-", vec!["acme".into()]);
+        let signed = CodeSource::new("file:/apps/editor", vec!["acme".into(), "other".into()]);
+        let unsigned = CodeSource::local("file:/apps/editor");
+        assert!(grant.implies(&signed));
+        assert!(!grant.implies(&unsigned));
+
+        let two = CodeSource::new("", vec!["acme".into(), "beta".into()]);
+        assert!(!two.implies(&signed));
+    }
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(
+            CodeSource::remote("http://applets.example.com/games/").host(),
+            Some("applets.example.com")
+        );
+        assert_eq!(
+            CodeSource::remote("https://host:8080/x").host(),
+            Some("host")
+        );
+        assert_eq!(CodeSource::local("file:/apps/editor").host(), None);
+        assert_eq!(CodeSource::remote("http://").host(), None);
+    }
+
+    #[test]
+    fn signers_are_sorted_and_deduped() {
+        let cs = CodeSource::new("u", vec!["b".into(), "a".into(), "b".into()]);
+        assert_eq!(cs.signers(), &["a".to_string(), "b".to_string()][..]);
+    }
+
+    #[test]
+    fn display_mentions_signers() {
+        let cs = CodeSource::new("file:/x", vec!["acme".into()]);
+        let text = cs.to_string();
+        assert!(text.contains("file:/x") && text.contains("acme"));
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::code_source::CodeSource;
+use crate::permission::Permission;
+
+/// A heterogeneous set of granted permissions with an `implies` query
+/// (JDK `PermissionCollection`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermissionCollection {
+    grants: Vec<Permission>,
+}
+
+impl PermissionCollection {
+    /// Creates an empty collection (grants nothing).
+    pub fn new() -> PermissionCollection {
+        PermissionCollection::default()
+    }
+
+    /// Creates a collection granting everything.
+    pub fn all_permissions() -> PermissionCollection {
+        PermissionCollection {
+            grants: vec![Permission::All],
+        }
+    }
+
+    /// Adds a permission to the collection.
+    pub fn add(&mut self, permission: Permission) {
+        self.grants.push(permission);
+    }
+
+    /// Returns `true` if any granted permission implies `demand`.
+    pub fn implies(&self, demand: &Permission) -> bool {
+        self.grants.iter().any(|g| g.implies(demand))
+    }
+
+    /// Returns `true` if no permissions are granted.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// Number of granted permissions (not a measure of power: one
+    /// `AllPermission` beats any number of file grants).
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Iterates over the granted permissions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Permission> {
+        self.grants.iter()
+    }
+}
+
+impl FromIterator<Permission> for PermissionCollection {
+    fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
+        PermissionCollection {
+            grants: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Permission> for PermissionCollection {
+    fn extend<I: IntoIterator<Item = Permission>>(&mut self, iter: I) {
+        self.grants.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a PermissionCollection {
+    type Item = &'a Permission;
+    type IntoIter = std::slice::Iter<'a, Permission>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.grants.iter()
+    }
+}
+
+impl fmt::Display for PermissionCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.grants.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The permissions granted to a [`CodeSource`] when its classes were defined
+/// (JDK 1.2 `ProtectionDomain`).
+///
+/// In the JDK 1.2 architecture a class is assigned its protection domain at
+/// class-definition time, by resolving the policy against the class's code
+/// source; every stack frame executing that class's code carries the domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectionDomain {
+    code_source: CodeSource,
+    permissions: PermissionCollection,
+}
+
+impl ProtectionDomain {
+    /// Creates a domain for `code_source` holding `permissions`.
+    pub fn new(code_source: CodeSource, permissions: PermissionCollection) -> ProtectionDomain {
+        ProtectionDomain {
+            code_source,
+            permissions,
+        }
+    }
+
+    /// A fully-privileged domain for runtime-internal ("system") code.
+    pub fn system() -> ProtectionDomain {
+        ProtectionDomain {
+            code_source: CodeSource::local("file:/sys/-"),
+            permissions: PermissionCollection::all_permissions(),
+        }
+    }
+
+    /// A domain granting nothing, for completely untrusted code.
+    pub fn untrusted(code_source: CodeSource) -> ProtectionDomain {
+        ProtectionDomain {
+            code_source,
+            permissions: PermissionCollection::new(),
+        }
+    }
+
+    /// The code source this domain was created for.
+    pub fn code_source(&self) -> &CodeSource {
+        &self.code_source
+    }
+
+    /// The statically-bound permissions.
+    pub fn permissions(&self) -> &PermissionCollection {
+        &self.permissions
+    }
+
+    /// Returns `true` if the domain's static permissions imply `demand`.
+    pub fn implies(&self, demand: &Permission) -> bool {
+        self.permissions.implies(demand)
+    }
+}
+
+impl fmt::Display for ProtectionDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain[{}]", self.code_source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::{FileActions, Permission};
+
+    #[test]
+    fn empty_collection_implies_nothing() {
+        let pc = PermissionCollection::new();
+        assert!(pc.is_empty());
+        assert!(!pc.implies(&Permission::runtime("exitVM")));
+    }
+
+    #[test]
+    fn collection_union_semantics() {
+        let pc: PermissionCollection = [
+            Permission::file("/a/-", FileActions::READ),
+            Permission::file("/a/x", FileActions::WRITE),
+        ]
+        .into_iter()
+        .collect();
+        assert!(pc.implies(&Permission::file("/a/deep/y", FileActions::READ)));
+        assert!(pc.implies(&Permission::file("/a/x", FileActions::WRITE)));
+        // Union of permissions does NOT merge actions across grants:
+        assert!(!pc.implies(&Permission::file(
+            "/a/deep/y",
+            FileActions {
+                read: true,
+                write: true,
+                ..FileActions::default()
+            }
+        )));
+    }
+
+    #[test]
+    fn all_permissions_collection() {
+        let pc = PermissionCollection::all_permissions();
+        assert!(pc.implies(&Permission::All));
+        assert!(pc.implies(&Permission::runtime("anything")));
+    }
+
+    #[test]
+    fn system_domain_is_all_powerful() {
+        let sys = ProtectionDomain::system();
+        assert!(sys.implies(&Permission::All));
+    }
+
+    #[test]
+    fn untrusted_domain_grants_nothing() {
+        let d = ProtectionDomain::untrusted(CodeSource::remote("http://evil/x"));
+        assert!(!d.implies(&Permission::file("/tmp/x", FileActions::READ)));
+        assert_eq!(d.code_source().url(), "http://evil/x");
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut pc = PermissionCollection::new();
+        pc.extend([Permission::runtime("a"), Permission::runtime("b")]);
+        assert_eq!(pc.len(), 2);
+        let names: Vec<String> = pc.iter().map(|p| p.to_string()).collect();
+        assert!(names[0].contains("\"a\""));
+        assert!(names[1].contains("\"b\""));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut pc = PermissionCollection::new();
+        pc.add(Permission::runtime("exitVM"));
+        assert!(pc.to_string().contains("exitVM"));
+        let d = ProtectionDomain::new(CodeSource::local("file:/x"), pc);
+        assert!(d.to_string().contains("file:/x"));
+    }
+}

@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::permission::Permission;
+
+/// Error type for all security operations.
+///
+/// `AccessDenied` corresponds to Java's `SecurityException`: it is raised by
+/// the access controller or a security manager when a sensitive operation is
+/// not permitted, *before any harm can be done* (paper §3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SecurityError {
+    /// A permission check failed. Carries the permission that was demanded
+    /// and a description of the domain (or rule) that refused it.
+    AccessDenied {
+        /// The permission that was being checked.
+        permission: Box<Permission>,
+        /// Human-readable reason: which domain or rule denied the access.
+        denied_by: String,
+    },
+    /// Authentication failed (wrong user name or password).
+    AuthenticationFailed {
+        /// The user name that attempted to log in.
+        user: String,
+    },
+    /// A user name was not found in the registry.
+    UnknownUser {
+        /// The unknown user name.
+        user: String,
+    },
+    /// A user with this name already exists in the registry.
+    DuplicateUser {
+        /// The duplicate user name.
+        user: String,
+    },
+    /// The policy text could not be parsed.
+    PolicyParse {
+        /// 1-based line at which parsing failed.
+        line: usize,
+        /// Description of the syntax problem.
+        message: String,
+    },
+}
+
+impl SecurityError {
+    /// Convenience constructor for an access-denied error.
+    pub fn denied(permission: &Permission, denied_by: impl Into<String>) -> Self {
+        SecurityError::AccessDenied {
+            permission: Box::new(permission.clone()),
+            denied_by: denied_by.into(),
+        }
+    }
+
+    /// Returns `true` if this error is an access-control denial (as opposed
+    /// to an authentication or parse problem).
+    pub fn is_access_denied(&self) -> bool {
+        matches!(self, SecurityError::AccessDenied { .. })
+    }
+}
+
+impl fmt::Display for SecurityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityError::AccessDenied {
+                permission,
+                denied_by,
+            } => write!(f, "access denied: {permission} (denied by {denied_by})"),
+            SecurityError::AuthenticationFailed { user } => {
+                write!(f, "authentication failed for user {user:?}")
+            }
+            SecurityError::UnknownUser { user } => write!(f, "unknown user {user:?}"),
+            SecurityError::DuplicateUser { user } => write!(f, "user {user:?} already exists"),
+            SecurityError::PolicyParse { line, message } => {
+                write!(f, "policy parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SecurityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::{FileActions, Permission};
+
+    #[test]
+    fn display_is_informative() {
+        let err = SecurityError::denied(
+            &Permission::file("/etc/passwd", FileActions::READ),
+            "codeBase file:/untrusted",
+        );
+        let text = err.to_string();
+        assert!(text.contains("access denied"));
+        assert!(text.contains("/etc/passwd"));
+        assert!(text.contains("file:/untrusted"));
+    }
+
+    #[test]
+    fn is_access_denied_discriminates() {
+        let denied = SecurityError::denied(&Permission::runtime("exitVM"), "x");
+        assert!(denied.is_access_denied());
+        let auth = SecurityError::AuthenticationFailed {
+            user: "alice".into(),
+        };
+        assert!(!auth.is_access_denied());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SecurityError>();
+    }
+}

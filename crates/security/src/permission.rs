@@ -1,0 +1,713 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Actions for a file permission, mirroring JDK 1.2 `FilePermission`.
+///
+/// The set is represented as individual booleans rather than a bitmask so the
+/// `Debug` output stays self-describing in test failures.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FileActions {
+    /// May read the file's contents or list the directory.
+    pub read: bool,
+    /// May write / create the file.
+    pub write: bool,
+    /// May execute the file as a program.
+    pub execute: bool,
+    /// May delete the file.
+    pub delete: bool,
+}
+
+impl FileActions {
+    /// Read-only action set.
+    pub const READ: FileActions = FileActions {
+        read: true,
+        write: false,
+        execute: false,
+        delete: false,
+    };
+    /// Write-only action set.
+    pub const WRITE: FileActions = FileActions {
+        read: false,
+        write: true,
+        execute: false,
+        delete: false,
+    };
+    /// Execute-only action set.
+    pub const EXECUTE: FileActions = FileActions {
+        read: false,
+        write: false,
+        execute: true,
+        delete: false,
+    };
+    /// Delete-only action set.
+    pub const DELETE: FileActions = FileActions {
+        read: false,
+        write: false,
+        execute: false,
+        delete: true,
+    };
+    /// All file actions.
+    pub const ALL: FileActions = FileActions {
+        read: true,
+        write: true,
+        execute: true,
+        delete: true,
+    };
+
+    /// Parses a comma-separated action list, e.g. `"read,write"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if an action name is not one of
+    /// `read`, `write`, `execute`, `delete`.
+    pub fn parse(actions: &str) -> Result<FileActions, String> {
+        let mut out = FileActions::default();
+        for tok in actions.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "read" => out.read = true,
+                "write" => out.write = true,
+                "execute" => out.execute = true,
+                "delete" => out.delete = true,
+                other => return Err(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if `self` includes every action in `other`.
+    pub fn contains(self, other: FileActions) -> bool {
+        (!other.read || self.read)
+            && (!other.write || self.write)
+            && (!other.execute || self.execute)
+            && (!other.delete || self.delete)
+    }
+
+    /// Returns the union of two action sets.
+    pub fn union(self, other: FileActions) -> FileActions {
+        FileActions {
+            read: self.read || other.read,
+            write: self.write || other.write,
+            execute: self.execute || other.execute,
+            delete: self.delete || other.delete,
+        }
+    }
+}
+
+impl fmt::Display for FileActions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.read {
+            names.push("read");
+        }
+        if self.write {
+            names.push("write");
+        }
+        if self.execute {
+            names.push("execute");
+        }
+        if self.delete {
+            names.push("delete");
+        }
+        write!(f, "{}", names.join(","))
+    }
+}
+
+/// Actions for a socket permission, mirroring JDK 1.2 `SocketPermission`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SocketActions {
+    /// May open a connection to the host.
+    pub connect: bool,
+    /// May accept connections from the host.
+    pub accept: bool,
+    /// May listen on the port.
+    pub listen: bool,
+    /// May resolve the host name.
+    pub resolve: bool,
+}
+
+impl SocketActions {
+    /// Connect (+resolve, which connect implies in the JDK) action set.
+    pub const CONNECT: SocketActions = SocketActions {
+        connect: true,
+        accept: false,
+        listen: false,
+        resolve: true,
+    };
+    /// Accept (+resolve) action set.
+    pub const ACCEPT: SocketActions = SocketActions {
+        connect: false,
+        accept: true,
+        listen: false,
+        resolve: true,
+    };
+    /// Listen action set.
+    pub const LISTEN: SocketActions = SocketActions {
+        connect: false,
+        accept: false,
+        listen: true,
+        resolve: false,
+    };
+    /// All socket actions.
+    pub const ALL: SocketActions = SocketActions {
+        connect: true,
+        accept: true,
+        listen: true,
+        resolve: true,
+    };
+
+    /// Parses a comma-separated action list, e.g. `"connect,accept"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if an action name is unknown.
+    pub fn parse(actions: &str) -> Result<SocketActions, String> {
+        let mut out = SocketActions::default();
+        for tok in actions.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "connect" => {
+                    out.connect = true;
+                    out.resolve = true;
+                }
+                "accept" => {
+                    out.accept = true;
+                    out.resolve = true;
+                }
+                "listen" => out.listen = true,
+                "resolve" => out.resolve = true,
+                other => return Err(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if `self` includes every action in `other`.
+    pub fn contains(self, other: SocketActions) -> bool {
+        (!other.connect || self.connect)
+            && (!other.accept || self.accept)
+            && (!other.listen || self.listen)
+            && (!other.resolve || self.resolve)
+    }
+}
+
+impl fmt::Display for SocketActions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.connect {
+            names.push("connect");
+        }
+        if self.accept {
+            names.push("accept");
+        }
+        if self.listen {
+            names.push("listen");
+        }
+        if self.resolve {
+            names.push("resolve");
+        }
+        write!(f, "{}", names.join(","))
+    }
+}
+
+/// Actions for a property permission (`read` = `getProperty`,
+/// `write` = `setProperty`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PropertyActions {
+    /// May read the property.
+    pub read: bool,
+    /// May write the property.
+    pub write: bool,
+}
+
+impl PropertyActions {
+    /// Read-only property access.
+    pub const READ: PropertyActions = PropertyActions {
+        read: true,
+        write: false,
+    };
+    /// Write-only property access.
+    pub const WRITE: PropertyActions = PropertyActions {
+        read: false,
+        write: true,
+    };
+    /// Read and write property access.
+    pub const ALL: PropertyActions = PropertyActions {
+        read: true,
+        write: true,
+    };
+
+    /// Parses a comma-separated action list, e.g. `"read,write"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if an action name is unknown.
+    pub fn parse(actions: &str) -> Result<PropertyActions, String> {
+        let mut out = PropertyActions::default();
+        for tok in actions.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "read" => out.read = true,
+                "write" => out.write = true,
+                other => return Err(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if `self` includes every action in `other`.
+    pub fn contains(self, other: PropertyActions) -> bool {
+        (!other.read || self.read) && (!other.write || self.write)
+    }
+}
+
+impl fmt::Display for PropertyActions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.read, self.write) {
+            (true, true) => write!(f, "read,write"),
+            (true, false) => write!(f, "read"),
+            (false, true) => write!(f, "write"),
+            (false, false) => Ok(()),
+        }
+    }
+}
+
+/// A typed permission, the unit of the JDK 1.2-style policy.
+///
+/// Permissions form a lattice under [`Permission::implies`]; a policy grants a
+/// *collection* of permissions to a code source or (new in the paper, §5.3)
+/// to a user, and a demanded permission is satisfied if any granted permission
+/// implies it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Permission {
+    /// `AllPermission`: implies every other permission.
+    All,
+    /// `FilePermission`: a path pattern plus file actions.
+    ///
+    /// Path patterns follow the JDK:
+    /// * `/a/b` — exactly that path,
+    /// * `/a/*` — all entries directly inside `/a`,
+    /// * `/a/-` — everything under `/a`, recursively,
+    /// * `<<ALL FILES>>` — every path.
+    File {
+        /// Path pattern.
+        path: String,
+        /// Granted actions.
+        actions: FileActions,
+    },
+    /// `SocketPermission`: a host pattern (optionally `host:port`, host may be
+    /// `*` or `*.domain`) plus socket actions.
+    Socket {
+        /// Host pattern, optionally with `:port`.
+        host: String,
+        /// Granted actions.
+        actions: SocketActions,
+    },
+    /// `RuntimePermission`: a named runtime target, e.g. `exitVM`,
+    /// `setUser`, `modifyThread`, `modifyThreadGroup`, `setSecurityManager`,
+    /// `createClassLoader`, `accessDeclaredMembers`, `setIO`, `stopApplication`.
+    /// A trailing `*` in the grant acts as a prefix wildcard.
+    Runtime(String),
+    /// `PropertyPermission`: a key pattern (`a.b.*` suffix wildcard allowed)
+    /// plus read/write actions.
+    Property {
+        /// Property-key pattern.
+        key: String,
+        /// Granted actions.
+        actions: PropertyActions,
+    },
+    /// `AWTPermission`: a named windowing target, e.g. `showWindow`,
+    /// `accessEventQueue`, `readDisplay`, `injectEvents`.
+    Awt(String),
+    /// The paper's new `UserPermission` (§5.3). The canonical target is
+    /// `exerciseUserPermissions`: code holding it may additionally exercise
+    /// the permissions the policy grants to the *running user*.
+    User(String),
+}
+
+impl Permission {
+    /// Constructs a file permission.
+    pub fn file(path: impl Into<String>, actions: FileActions) -> Permission {
+        Permission::File {
+            path: path.into(),
+            actions,
+        }
+    }
+
+    /// Constructs a socket permission.
+    pub fn socket(host: impl Into<String>, actions: SocketActions) -> Permission {
+        Permission::Socket {
+            host: host.into(),
+            actions,
+        }
+    }
+
+    /// Constructs a runtime permission.
+    pub fn runtime(target: impl Into<String>) -> Permission {
+        Permission::Runtime(target.into())
+    }
+
+    /// Constructs a property permission.
+    pub fn property(key: impl Into<String>, actions: PropertyActions) -> Permission {
+        Permission::Property {
+            key: key.into(),
+            actions,
+        }
+    }
+
+    /// Constructs an AWT permission.
+    pub fn awt(target: impl Into<String>) -> Permission {
+        Permission::Awt(target.into())
+    }
+
+    /// Constructs a user permission. [`Permission::EXERCISE_USER`] is the
+    /// canonical target from the paper.
+    pub fn user(target: impl Into<String>) -> Permission {
+        Permission::User(target.into())
+    }
+
+    /// The canonical user-permission target (paper §5.3): grants code the
+    /// right to exercise the permissions of the user running it.
+    pub const EXERCISE_USER: &'static str = "exerciseUserPermissions";
+
+    /// Shorthand for `Permission::User("exerciseUserPermissions")`.
+    pub fn exercise_user_permissions() -> Permission {
+        Permission::User(Permission::EXERCISE_USER.to_string())
+    }
+
+    /// The `implies` relation: does holding `self` satisfy a demand for
+    /// `other`?
+    ///
+    /// `All` implies everything; otherwise the permissions must be of the
+    /// same kind, the name/path/host pattern of `self` must cover `other`'s,
+    /// and `self`'s actions must be a superset of `other`'s.
+    pub fn implies(&self, other: &Permission) -> bool {
+        match (self, other) {
+            (Permission::All, _) => true,
+            (
+                Permission::File { path, actions },
+                Permission::File {
+                    path: opath,
+                    actions: oactions,
+                },
+            ) => actions.contains(*oactions) && path_pattern_implies(path, opath),
+            (
+                Permission::Socket { host, actions },
+                Permission::Socket {
+                    host: ohost,
+                    actions: oactions,
+                },
+            ) => actions.contains(*oactions) && host_pattern_implies(host, ohost),
+            (Permission::Runtime(target), Permission::Runtime(otarget)) => {
+                name_pattern_implies(target, otarget)
+            }
+            (
+                Permission::Property { key, actions },
+                Permission::Property {
+                    key: okey,
+                    actions: oactions,
+                },
+            ) => actions.contains(*oactions) && name_pattern_implies(key, okey),
+            (Permission::Awt(target), Permission::Awt(otarget)) => {
+                name_pattern_implies(target, otarget)
+            }
+            (Permission::User(target), Permission::User(otarget)) => {
+                name_pattern_implies(target, otarget)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Permission::All => write!(f, "permission all"),
+            Permission::File { path, actions } => {
+                write!(f, "permission file \"{path}\" \"{actions}\"")
+            }
+            Permission::Socket { host, actions } => {
+                write!(f, "permission socket \"{host}\" \"{actions}\"")
+            }
+            Permission::Runtime(target) => write!(f, "permission runtime \"{target}\""),
+            Permission::Property { key, actions } => {
+                write!(f, "permission property \"{key}\" \"{actions}\"")
+            }
+            Permission::Awt(target) => write!(f, "permission awt \"{target}\""),
+            Permission::User(target) => write!(f, "permission user \"{target}\""),
+        }
+    }
+}
+
+/// JDK `FilePermission` path-pattern matching.
+///
+/// The *demanded* side (`demand`) is always a concrete path or itself a
+/// pattern that must be entirely covered: a grant of `/a/-` covers a demand
+/// for `/a/b/*`, but a grant of `/a/*` does not cover a demand for `/a/-`.
+fn path_pattern_implies(grant: &str, demand: &str) -> bool {
+    if grant == "<<ALL FILES>>" {
+        return true;
+    }
+    if demand == "<<ALL FILES>>" {
+        return false;
+    }
+    if let Some(dir) = grant.strip_suffix("/-") {
+        // Recursive: demand must live strictly under `dir` (any depth), or be
+        // a pattern rooted under it.
+        let demand_base = demand
+            .strip_suffix("/-")
+            .or_else(|| demand.strip_suffix("/*"))
+            .unwrap_or(demand);
+        return demand_base.starts_with(dir)
+            && demand_base.len() > dir.len()
+            && demand_base.as_bytes()[dir.len()] == b'/';
+    }
+    if let Some(dir) = grant.strip_suffix("/*") {
+        if demand.ends_with("/-") {
+            return false;
+        }
+        let demand_base = demand.strip_suffix("/*").unwrap_or(demand);
+        if demand.ends_with("/*") {
+            // `/a/*` covers `/a/*` only.
+            return demand_base == dir;
+        }
+        // Direct child only: one extra non-empty component, no further '/'.
+        return match demand_base.strip_prefix(dir) {
+            Some(rest) => rest.len() > 1 && rest.starts_with('/') && !rest[1..].contains('/'),
+            None => false,
+        };
+    }
+    // Exact grant covers exact demand only.
+    grant == demand
+}
+
+/// `SocketPermission` host matching: `host[:port]`, host may be `*` or
+/// `*.suffix`; a grant without a port covers any port.
+fn host_pattern_implies(grant: &str, demand: &str) -> bool {
+    let (ghost, gport) = split_host_port(grant);
+    let (dhost, dport) = split_host_port(demand);
+    let host_ok = if ghost == "*" {
+        true
+    } else if let Some(suffix) = ghost.strip_prefix("*.") {
+        dhost == suffix || dhost.ends_with(&format!(".{suffix}"))
+    } else {
+        ghost == dhost
+    };
+    let port_ok = match (gport, dport) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(g), Some(d)) => g == d,
+    };
+    host_ok && port_ok
+}
+
+fn split_host_port(spec: &str) -> (&str, Option<&str>) {
+    match spec.rsplit_once(':') {
+        Some((host, port)) if !port.is_empty() && port.chars().all(|c| c.is_ascii_digit()) => {
+            (host, Some(port))
+        }
+        _ => (spec, None),
+    }
+}
+
+/// Dotted-name matching for runtime/property/awt/user targets: a grant of
+/// `*` covers everything; a grant ending in `.*` or `*` is a prefix wildcard.
+fn name_pattern_implies(grant: &str, demand: &str) -> bool {
+    if grant == "*" {
+        return true;
+    }
+    if let Some(prefix) = grant.strip_suffix(".*") {
+        return demand == prefix
+            || (demand.starts_with(prefix) && demand.as_bytes().get(prefix.len()) == Some(&b'.'));
+    }
+    if let Some(prefix) = grant.strip_suffix('*') {
+        return demand.starts_with(prefix);
+    }
+    grant == demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(path: &str, actions: FileActions) -> Permission {
+        Permission::file(path, actions)
+    }
+
+    #[test]
+    fn all_implies_everything() {
+        let all = Permission::All;
+        assert!(all.implies(&fp("/etc/passwd", FileActions::ALL)));
+        assert!(all.implies(&Permission::runtime("exitVM")));
+        assert!(all.implies(&Permission::socket(
+            "example.com:80",
+            SocketActions::CONNECT
+        )));
+        assert!(all.implies(&Permission::All));
+    }
+
+    #[test]
+    fn nothing_but_all_implies_all() {
+        assert!(!fp("<<ALL FILES>>", FileActions::ALL).implies(&Permission::All));
+        assert!(!Permission::runtime("*").implies(&Permission::All));
+    }
+
+    #[test]
+    fn file_exact_match() {
+        let grant = fp("/home/alice/notes.txt", FileActions::READ);
+        assert!(grant.implies(&fp("/home/alice/notes.txt", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/alice/notes.txt", FileActions::WRITE)));
+        assert!(!grant.implies(&fp("/home/alice/other.txt", FileActions::READ)));
+    }
+
+    #[test]
+    fn file_star_matches_direct_children_only() {
+        let grant = fp("/home/alice/*", FileActions::READ);
+        assert!(grant.implies(&fp("/home/alice/notes.txt", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/alice", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/alice/sub/deep.txt", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/bob/notes.txt", FileActions::READ)));
+        assert!(grant.implies(&fp("/home/alice/*", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/alice/-", FileActions::READ)));
+    }
+
+    #[test]
+    fn file_dash_matches_recursively() {
+        let grant = fp("/home/alice/-", FileActions::ALL);
+        assert!(grant.implies(&fp("/home/alice/notes.txt", FileActions::READ)));
+        assert!(grant.implies(&fp("/home/alice/sub/deep.txt", FileActions::ALL)));
+        assert!(grant.implies(&fp("/home/alice/sub/-", FileActions::ALL)));
+        assert!(grant.implies(&fp("/home/alice/sub/*", FileActions::ALL)));
+        assert!(!grant.implies(&fp("/home/alice", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/aliceother/x", FileActions::READ)));
+        assert!(!grant.implies(&fp("/home/bob/notes.txt", FileActions::READ)));
+    }
+
+    #[test]
+    fn all_files_token() {
+        let grant = fp("<<ALL FILES>>", FileActions::READ);
+        assert!(grant.implies(&fp("/anything/at/all", FileActions::READ)));
+        assert!(!grant.implies(&fp("/anything", FileActions::WRITE)));
+        assert!(!fp("/a/-", FileActions::ALL).implies(&fp("<<ALL FILES>>", FileActions::READ)));
+    }
+
+    #[test]
+    fn file_actions_parse_and_display_roundtrip() {
+        let actions = FileActions::parse("read, write,delete").unwrap();
+        assert!(actions.read && actions.write && actions.delete && !actions.execute);
+        assert_eq!(actions.to_string(), "read,write,delete");
+        assert!(FileActions::parse("chmod").is_err());
+    }
+
+    #[test]
+    fn socket_host_patterns() {
+        let any = Permission::socket("*", SocketActions::CONNECT);
+        assert!(any.implies(&Permission::socket(
+            "example.com:80",
+            SocketActions::CONNECT
+        )));
+
+        let domain = Permission::socket("*.example.com", SocketActions::CONNECT);
+        assert!(domain.implies(&Permission::socket(
+            "www.example.com",
+            SocketActions::CONNECT
+        )));
+        assert!(domain.implies(&Permission::socket("example.com", SocketActions::CONNECT)));
+        assert!(!domain.implies(&Permission::socket("evil.com", SocketActions::CONNECT)));
+        assert!(
+            !domain.implies(&Permission::socket(
+                "notexample.com",
+                SocketActions::CONNECT
+            )),
+            "suffix must match at a dot boundary"
+        );
+
+        let with_port = Permission::socket("host:80", SocketActions::CONNECT);
+        assert!(with_port.implies(&Permission::socket("host:80", SocketActions::CONNECT)));
+        assert!(!with_port.implies(&Permission::socket("host:81", SocketActions::CONNECT)));
+        assert!(!with_port.implies(&Permission::socket("host", SocketActions::CONNECT)));
+
+        let no_port = Permission::socket("host", SocketActions::CONNECT);
+        assert!(no_port.implies(&Permission::socket("host:9999", SocketActions::CONNECT)));
+    }
+
+    #[test]
+    fn socket_connect_implies_resolve() {
+        let actions = SocketActions::parse("connect").unwrap();
+        assert!(actions.resolve, "connect implies resolve as in the JDK");
+        let grant = Permission::socket("h", actions);
+        assert!(grant.implies(&Permission::socket(
+            "h",
+            SocketActions {
+                resolve: true,
+                ..SocketActions::default()
+            }
+        )));
+    }
+
+    #[test]
+    fn socket_actions_must_be_superset() {
+        let connect_only = Permission::socket("h", SocketActions::CONNECT);
+        assert!(!connect_only.implies(&Permission::socket("h", SocketActions::ACCEPT)));
+        assert!(!connect_only.implies(&Permission::socket("h", SocketActions::ALL)));
+    }
+
+    #[test]
+    fn runtime_name_wildcards() {
+        assert!(Permission::runtime("*").implies(&Permission::runtime("exitVM")));
+        assert!(
+            Permission::runtime("modifyThread*").implies(&Permission::runtime("modifyThreadGroup"))
+        );
+        assert!(!Permission::runtime("exitVM").implies(&Permission::runtime("setUser")));
+        assert!(!Permission::runtime("exitVM").implies(&Permission::awt("exitVM")));
+    }
+
+    #[test]
+    fn property_dotted_wildcards() {
+        let grant = Permission::property("os.*", PropertyActions::READ);
+        assert!(grant.implies(&Permission::property("os.name", PropertyActions::READ)));
+        assert!(grant.implies(&Permission::property("os", PropertyActions::READ)));
+        assert!(
+            !grant.implies(&Permission::property("osname", PropertyActions::READ)),
+            "dotted wildcard must not match mid-component"
+        );
+        assert!(!grant.implies(&Permission::property("os.name", PropertyActions::WRITE)));
+    }
+
+    #[test]
+    fn user_permission_target() {
+        let grant = Permission::exercise_user_permissions();
+        assert!(grant.implies(&Permission::user(Permission::EXERCISE_USER)));
+        assert!(!grant.implies(&Permission::user("somethingElse")));
+        assert!(!grant.implies(&Permission::runtime(Permission::EXERCISE_USER)));
+    }
+
+    #[test]
+    fn display_roundtrips_kind_and_target() {
+        let p = Permission::file("/a/b", FileActions::READ);
+        assert_eq!(p.to_string(), "permission file \"/a/b\" \"read\"");
+        let p = Permission::runtime("setUser");
+        assert_eq!(p.to_string(), "permission runtime \"setUser\"");
+    }
+
+    #[test]
+    fn implies_is_reflexive_for_concrete_permissions() {
+        let perms = vec![
+            Permission::All,
+            fp("/a/b", FileActions::READ),
+            Permission::socket("h:80", SocketActions::CONNECT),
+            Permission::runtime("exitVM"),
+            Permission::property("os.name", PropertyActions::READ),
+            Permission::awt("showWindow"),
+            Permission::user(Permission::EXERCISE_USER),
+        ];
+        for p in &perms {
+            assert!(p.implies(p), "{p} should imply itself");
+        }
+    }
+}

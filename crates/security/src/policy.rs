@@ -1,0 +1,576 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::code_source::CodeSource;
+use crate::domain::PermissionCollection;
+use crate::error::SecurityError;
+use crate::permission::{FileActions, Permission, PropertyActions, SocketActions};
+use crate::Result;
+
+/// Whom a [`Grant`] applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrantTarget {
+    /// Classic JDK 1.2 target: code matching a code-source pattern.
+    Code(CodeSource),
+    /// The paper's extension (§5.3): a *user*, by login name. The permissions
+    /// in such a grant are exercised by code that holds
+    /// `UserPermission("exerciseUserPermissions")` while that user is the
+    /// running user.
+    User(String),
+}
+
+impl fmt::Display for GrantTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrantTarget::Code(cs) => write!(f, "{cs}"),
+            GrantTarget::User(name) => write!(f, "user {name:?}"),
+        }
+    }
+}
+
+/// One `grant { ... }` block of a policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grant {
+    /// Whom the permissions are granted to.
+    pub target: GrantTarget,
+    /// The granted permissions.
+    pub permissions: Vec<Permission>,
+}
+
+/// A security policy: the user-configurable mapping from code sources *and
+/// users* to permissions (paper §3.3, §5.3).
+///
+/// Parsed from a textual syntax modeled on the JDK 1.2 policy file format:
+///
+/// ```text
+/// // Local applications may exercise their running user's permissions.
+/// grant codeBase "file:/apps/-" {
+///     permission user "exerciseUserPermissions";
+/// };
+///
+/// grant codeBase "file:/apps/backup" signedBy "ops" {
+///     permission file "<<ALL FILES>>" "read";
+/// };
+///
+/// grant user "alice" {
+///     permission file "/home/alice/-" "read,write,delete";
+/// };
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Policy {
+    grants: Vec<Grant>,
+}
+
+impl Policy {
+    /// Creates an empty policy (grants nothing to anyone).
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    /// Parses policy text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::PolicyParse`] with a line number on any
+    /// syntax error, unknown permission kind, or malformed action list.
+    pub fn parse(text: &str) -> Result<Policy> {
+        Parser::new(text).parse_policy()
+    }
+
+    /// Adds a grant programmatically.
+    pub fn add_grant(&mut self, grant: Grant) {
+        self.grants.push(grant);
+    }
+
+    /// Convenience: grant `permissions` to code matching `source_pattern`.
+    pub fn grant_code(&mut self, source: CodeSource, permissions: Vec<Permission>) {
+        self.grants.push(Grant {
+            target: GrantTarget::Code(source),
+            permissions,
+        });
+    }
+
+    /// Convenience: grant `permissions` to the user named `user`.
+    pub fn grant_user(&mut self, user: impl Into<String>, permissions: Vec<Permission>) {
+        self.grants.push(Grant {
+            target: GrantTarget::User(user.into()),
+            permissions,
+        });
+    }
+
+    /// All grants, in declaration order.
+    pub fn grants(&self) -> &[Grant] {
+        &self.grants
+    }
+
+    /// Resolves the permissions for code from `source`, i.e. the union of
+    /// all code grants whose pattern covers `source`.
+    ///
+    /// This is what a class loader calls at class-definition time to build
+    /// the class's [`ProtectionDomain`](crate::ProtectionDomain).
+    pub fn permissions_for(&self, source: &CodeSource) -> PermissionCollection {
+        self.grants
+            .iter()
+            .filter_map(|g| match &g.target {
+                GrantTarget::Code(pattern) if pattern.implies(source) => {
+                    Some(g.permissions.iter().cloned())
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Resolves the permissions granted to the user named `user`.
+    pub fn permissions_for_user(&self, user: &str) -> PermissionCollection {
+        self.grants
+            .iter()
+            .filter_map(|g| match &g.target {
+                GrantTarget::User(name) if name == user => Some(g.permissions.iter().cloned()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Returns `true` if the policy grants `demand` to the user named `user`.
+    pub fn user_implies(&self, user: &str, demand: &Permission) -> bool {
+        self.grants.iter().any(|g| match &g.target {
+            GrantTarget::User(name) if name == user => {
+                g.permissions.iter().any(|p| p.implies(demand))
+            }
+            _ => false,
+        })
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for grant in &self.grants {
+            writeln!(f, "grant {} {{", grant.target)?;
+            for p in &grant.permissions {
+                writeln!(f, "    {p};")?;
+            }
+            writeln!(f, "}};")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Str(String),
+    LBrace,
+    RBrace,
+    Semi,
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Parser {
+        Parser {
+            tokens: tokenize(text),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SecurityError {
+        let line = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l);
+        SecurityError::PolicyParse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Word(w)) if w == word => Ok(()),
+            other => Err(self.err(format!("expected `{word}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.err(format!("expected quoted {what}, found {other:?}"))),
+        }
+    }
+
+    fn parse_policy(&mut self) -> Result<Policy> {
+        let mut policy = Policy::new();
+        while self.peek().is_some() {
+            self.expect_word("grant")?;
+            let target = self.parse_target()?;
+            match self.next() {
+                Some(Token::LBrace) => {}
+                other => return Err(self.err(format!("expected `{{`, found {other:?}"))),
+            }
+            let mut permissions = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(Token::RBrace) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(Token::Word(w)) if w == "permission" => {
+                        self.pos += 1;
+                        permissions.push(self.parse_permission()?);
+                    }
+                    other => {
+                        return Err(
+                            self.err(format!("expected `permission` or `}}`, found {other:?}"))
+                        )
+                    }
+                }
+            }
+            // Optional trailing semicolon after the block.
+            if self.peek() == Some(&Token::Semi) {
+                self.pos += 1;
+            }
+            policy.add_grant(Grant {
+                target,
+                permissions,
+            });
+        }
+        Ok(policy)
+    }
+
+    fn parse_target(&mut self) -> Result<GrantTarget> {
+        let mut code_base: Option<String> = None;
+        let mut signed_by: Vec<String> = Vec::new();
+        let mut user: Option<String> = None;
+        loop {
+            match self.peek() {
+                Some(Token::Word(w)) if w == "codeBase" => {
+                    self.pos += 1;
+                    code_base = Some(self.expect_string("code base URL")?);
+                }
+                Some(Token::Word(w)) if w == "signedBy" => {
+                    self.pos += 1;
+                    let names = self.expect_string("signer list")?;
+                    signed_by.extend(names.split(',').map(|s| s.trim().to_string()));
+                }
+                Some(Token::Word(w)) if w == "user" => {
+                    self.pos += 1;
+                    user = Some(self.expect_string("user name")?);
+                }
+                _ => break,
+            }
+        }
+        match (user, code_base, signed_by) {
+            (Some(name), None, sb) if sb.is_empty() => Ok(GrantTarget::User(name)),
+            (Some(_), _, _) => {
+                Err(self.err("`user` target cannot be combined with codeBase/signedBy"))
+            }
+            (None, cb, sb) => Ok(GrantTarget::Code(CodeSource::new(
+                cb.unwrap_or_default(),
+                sb,
+            ))),
+        }
+    }
+
+    fn parse_permission(&mut self) -> Result<Permission> {
+        let kind = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => return Err(self.err(format!("expected permission kind, found {other:?}"))),
+        };
+        let permission = match kind.as_str() {
+            "all" => Permission::All,
+            "file" => {
+                let path = self.expect_string("file path")?;
+                let actions = self.expect_string("file actions")?;
+                let actions = FileActions::parse(&actions)
+                    .map_err(|bad| self.err(format!("unknown file action `{bad}`")))?;
+                Permission::File { path, actions }
+            }
+            "socket" => {
+                let host = self.expect_string("host")?;
+                let actions = self.expect_string("socket actions")?;
+                let actions = SocketActions::parse(&actions)
+                    .map_err(|bad| self.err(format!("unknown socket action `{bad}`")))?;
+                Permission::Socket { host, actions }
+            }
+            "runtime" => Permission::Runtime(self.expect_string("runtime target")?),
+            "property" => {
+                let key = self.expect_string("property key")?;
+                let actions = self.expect_string("property actions")?;
+                let actions = PropertyActions::parse(&actions)
+                    .map_err(|bad| self.err(format!("unknown property action `{bad}`")))?;
+                Permission::Property { key, actions }
+            }
+            "awt" => Permission::Awt(self.expect_string("awt target")?),
+            "user" => Permission::User(self.expect_string("user target")?),
+            other => return Err(self.err(format!("unknown permission kind `{other}`"))),
+        };
+        match self.next() {
+            Some(Token::Semi) => Ok(permission),
+            other => Err(self.err(format!("expected `;` after permission, found {other:?}"))),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Vec<(Token, usize)> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    // A stray slash becomes a word character cluster; treat
+                    // it as a one-character word so the parser reports it.
+                    tokens.push((Token::Word("/".into()), line));
+                }
+            }
+            '{' => {
+                tokens.push((Token::LBrace, line));
+                chars.next();
+            }
+            '}' => {
+                tokens.push((Token::RBrace, line));
+                chars.next();
+            }
+            ';' => {
+                tokens.push((Token::Semi, line));
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                tokens.push((Token::Str(s), line));
+            }
+            _ => {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        w.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if w.is_empty() {
+                    // Unknown character: surface it as a word for error reporting.
+                    w.push(c);
+                    chars.next();
+                }
+                tokens.push((Token::Word(w), line));
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_POLICY: &str = r#"
+        // Rule 1: all local applications can exercise their running users'
+        // permissions (paper section 5.3).
+        grant codeBase "file:/apps/-" {
+            permission user "exerciseUserPermissions";
+        };
+
+        // Rule 2: the backup application can read all files.
+        grant codeBase "file:/apps/backup" {
+            permission file "<<ALL FILES>>" "read";
+        };
+
+        // Rule 3 and 4: Alice and Bob own their home directories.
+        grant user "alice" {
+            permission file "/home/alice/-" "read,write,execute,delete";
+        };
+        grant user "bob" {
+            permission file "/home/bob/-" "read,write,execute,delete";
+        };
+    "#;
+
+    #[test]
+    fn parses_the_paper_example_policy() {
+        let policy = Policy::parse(PAPER_POLICY).unwrap();
+        assert_eq!(policy.grants().len(), 4);
+
+        let editor = CodeSource::local("file:/apps/editor");
+        let perms = policy.permissions_for(&editor);
+        assert!(perms.implies(&Permission::exercise_user_permissions()));
+        assert!(!perms.implies(&Permission::file("/etc/passwd", FileActions::READ)));
+
+        let backup = CodeSource::local("file:/apps/backup");
+        let perms = policy.permissions_for(&backup);
+        assert!(perms.implies(&Permission::file("/home/bob/secret", FileActions::READ)));
+        assert!(!perms.implies(&Permission::file("/home/bob/secret", FileActions::WRITE)));
+
+        assert!(policy.user_implies(
+            "alice",
+            &Permission::file("/home/alice/notes.txt", FileActions::WRITE)
+        ));
+        assert!(!policy.user_implies(
+            "alice",
+            &Permission::file("/home/bob/notes.txt", FileActions::READ)
+        ));
+        assert!(!policy.user_implies(
+            "carol",
+            &Permission::file("/home/alice/notes.txt", FileActions::READ)
+        ));
+    }
+
+    #[test]
+    fn signed_by_restricts_grants() {
+        let policy = Policy::parse(
+            r#"
+            grant codeBase "http://applets.example.com/-" signedBy "acme" {
+                permission file "/tmp/*" "read,write";
+            };
+            "#,
+        )
+        .unwrap();
+        let signed = CodeSource::new("http://applets.example.com/game", vec!["acme".into()]);
+        let unsigned = CodeSource::remote("http://applets.example.com/game");
+        let perm = Permission::file("/tmp/scratch", FileActions::READ);
+        assert!(policy.permissions_for(&signed).implies(&perm));
+        assert!(!policy.permissions_for(&unsigned).implies(&perm));
+    }
+
+    #[test]
+    fn grant_without_codebase_applies_to_all_code() {
+        let policy = Policy::parse(r#"grant { permission property "os.*" "read"; };"#).unwrap();
+        let anywhere = CodeSource::remote("http://evil/x");
+        assert!(policy
+            .permissions_for(&anywhere)
+            .implies(&Permission::property("os.name", PropertyActions::READ)));
+    }
+
+    #[test]
+    fn all_permission_kind() {
+        let policy = Policy::parse(r#"grant codeBase "file:/sys/-" { permission all; };"#).unwrap();
+        let sys = CodeSource::local("file:/sys/classes");
+        assert!(policy.permissions_for(&sys).implies(&Permission::All));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err =
+            Policy::parse("grant codeBase \"x\" {\n  permission bogus \"y\";\n}").unwrap_err();
+        match err {
+            SecurityError::PolicyParse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_target_cannot_mix_with_codebase() {
+        let err = Policy::parse(r#"grant user "alice" codeBase "file:/x" { };"#).unwrap_err();
+        assert!(matches!(err, SecurityError::PolicyParse { .. }));
+    }
+
+    #[test]
+    fn comments_and_hash_comments_are_skipped() {
+        let policy = Policy::parse(
+            "# hash comment\n// slash comment\ngrant user \"a\" { permission runtime \"x\"; }",
+        )
+        .unwrap();
+        assert!(policy.user_implies("a", &Permission::runtime("x")));
+    }
+
+    #[test]
+    fn display_then_reparse_roundtrips() {
+        let policy = Policy::parse(PAPER_POLICY).unwrap();
+        let reparsed = Policy::parse(&policy.to_string()).unwrap();
+        assert_eq!(policy, reparsed);
+    }
+
+    #[test]
+    fn programmatic_grants_match_parsed_grants() {
+        let mut built = Policy::new();
+        built.grant_code(
+            CodeSource::local("file:/apps/-"),
+            vec![Permission::exercise_user_permissions()],
+        );
+        built.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        let parsed = Policy::parse(
+            r#"
+            grant codeBase "file:/apps/-" { permission user "exerciseUserPermissions"; };
+            grant user "alice" { permission file "/home/alice/-" "read,write,execute,delete"; };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn multiple_signers_split_on_comma() {
+        let policy =
+            Policy::parse(r#"grant signedBy "acme, beta" { permission runtime "x"; };"#).unwrap();
+        match &policy.grants()[0].target {
+            GrantTarget::Code(cs) => {
+                assert_eq!(cs.signers(), &["acme".to_string(), "beta".to_string()][..]);
+            }
+            other => panic!("unexpected target {other:?}"),
+        }
+    }
+}

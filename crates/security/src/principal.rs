@@ -1,0 +1,301 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::SecurityError;
+use crate::Result;
+
+/// Numeric identifier for a user known to the runtime (paper Feature 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+
+/// A user account: the principal that *runs* applications.
+///
+/// "Every application is associated with a user, ... A newly started
+/// application will inherit the running user from the currently running
+/// application." (paper §5.2)
+#[derive(Debug, Clone)]
+pub struct User {
+    id: UserId,
+    name: String,
+    home: String,
+    password_hash: u64,
+    salt: u64,
+}
+
+impl User {
+    /// The user's numeric id.
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// The login name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The home directory path inside the virtual filesystem.
+    pub fn home(&self) -> &str {
+        &self.home
+    }
+}
+
+impl fmt::Display for User {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.id)
+    }
+}
+
+/// Salted password digest. FNV-1a based — *simulation-grade only*: the paper's
+/// architecture is about where authentication hooks in, not about the digest
+/// algorithm, so we deliberately use a trivial, dependency-free hash.
+fn digest(password: &str, salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for b in password.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // A few extra mixing rounds so similar passwords diverge.
+    for _ in 0..4 {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    h
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    by_id: HashMap<UserId, User>,
+    by_name: HashMap<String, UserId>,
+    next_id: u32,
+}
+
+/// The runtime's account database: login names, password digests and home
+/// directories.
+///
+/// The registry is internally synchronized and intended to be shared behind
+/// an [`Arc`]: `Arc<UserRegistry>` is the "list of principals known to the
+/// system" that the paper counts as *system-wide* state (paper Feature 8).
+#[derive(Debug, Default)]
+pub struct UserRegistry {
+    state: RwLock<RegistryState>,
+}
+
+impl UserRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> UserRegistry {
+        UserRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with conventional accounts:
+    /// `system` (uid 0, home `/`) plus any `(name, password)` pairs given.
+    ///
+    /// Each user's home directory is `/home/<name>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` contains a duplicate name (a configuration bug).
+    pub fn with_users(users: &[(&str, &str)]) -> Arc<UserRegistry> {
+        let registry = UserRegistry::new();
+        registry
+            .add_user("system", "", "/")
+            .expect("fresh registry cannot contain `system`");
+        for (name, password) in users {
+            registry
+                .add_user(name, password, &format!("/home/{name}"))
+                .unwrap_or_else(|_| panic!("duplicate user {name:?}"));
+        }
+        Arc::new(registry)
+    }
+
+    /// Adds a user account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::DuplicateUser`] if the name is taken.
+    pub fn add_user(&self, name: &str, password: &str, home: &str) -> Result<User> {
+        let mut state = self.state.write();
+        if state.by_name.contains_key(name) {
+            return Err(SecurityError::DuplicateUser { user: name.into() });
+        }
+        let id = UserId(state.next_id);
+        state.next_id += 1;
+        let salt = 0x9e37_79b9_7f4a_7c15u64
+            .wrapping_mul(u64::from(id.0) + 1)
+            .rotate_left(17);
+        let user = User {
+            id,
+            name: name.to_string(),
+            home: home.to_string(),
+            password_hash: digest(password, salt),
+            salt,
+        };
+        state.by_id.insert(id, user.clone());
+        state.by_name.insert(name.to_string(), id);
+        Ok(user)
+    }
+
+    /// Verifies `password` for `name` and returns the account.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::UnknownUser`] if no such account exists,
+    /// [`SecurityError::AuthenticationFailed`] if the password is wrong.
+    pub fn authenticate(&self, name: &str, password: &str) -> Result<User> {
+        let state = self.state.read();
+        let id = state
+            .by_name
+            .get(name)
+            .ok_or_else(|| SecurityError::UnknownUser { user: name.into() })?;
+        let user = &state.by_id[id];
+        if digest(password, user.salt) == user.password_hash {
+            Ok(user.clone())
+        } else {
+            Err(SecurityError::AuthenticationFailed { user: name.into() })
+        }
+    }
+
+    /// Changes the password of `name`, verifying `old` first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`UserRegistry::authenticate`].
+    pub fn change_password(&self, name: &str, old: &str, new: &str) -> Result<()> {
+        self.authenticate(name, old)?;
+        let mut state = self.state.write();
+        let id = state
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SecurityError::UnknownUser { user: name.into() })?;
+        let user = state.by_id.get_mut(&id).expect("id is indexed by name");
+        user.password_hash = digest(new, user.salt);
+        Ok(())
+    }
+
+    /// Looks up a user by name.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::UnknownUser`] if the name is not registered.
+    pub fn lookup(&self, name: &str) -> Result<User> {
+        let state = self.state.read();
+        state
+            .by_name
+            .get(name)
+            .map(|id| state.by_id[id].clone())
+            .ok_or_else(|| SecurityError::UnknownUser { user: name.into() })
+    }
+
+    /// Looks up a user by id.
+    pub fn lookup_id(&self, id: UserId) -> Option<User> {
+        self.state.read().by_id.get(&id).cloned()
+    }
+
+    /// Returns all registered user names, sorted.
+    pub fn user_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.state.read().by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered accounts.
+    pub fn len(&self) -> usize {
+        self.state.read().by_id.len()
+    }
+
+    /// Returns `true` if no accounts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_authenticate() {
+        let reg = UserRegistry::new();
+        let alice = reg.add_user("alice", "sesame", "/home/alice").unwrap();
+        assert_eq!(alice.name(), "alice");
+        assert_eq!(alice.home(), "/home/alice");
+
+        let authed = reg.authenticate("alice", "sesame").unwrap();
+        assert_eq!(authed.id(), alice.id());
+    }
+
+    #[test]
+    fn wrong_password_is_rejected() {
+        let reg = UserRegistry::new();
+        reg.add_user("alice", "sesame", "/home/alice").unwrap();
+        let err = reg.authenticate("alice", "SESAME").unwrap_err();
+        assert!(matches!(err, SecurityError::AuthenticationFailed { .. }));
+    }
+
+    #[test]
+    fn unknown_user_is_distinguished_from_bad_password() {
+        let reg = UserRegistry::new();
+        let err = reg.authenticate("ghost", "x").unwrap_err();
+        assert!(matches!(err, SecurityError::UnknownUser { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let reg = UserRegistry::new();
+        reg.add_user("alice", "a", "/home/alice").unwrap();
+        let err = reg.add_user("alice", "b", "/home/alice2").unwrap_err();
+        assert!(matches!(err, SecurityError::DuplicateUser { .. }));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let reg = UserRegistry::new();
+        let a = reg.add_user("a", "", "/home/a").unwrap();
+        let b = reg.add_user("b", "", "/home/b").unwrap();
+        assert!(a.id() < b.id());
+        assert_eq!(reg.lookup_id(a.id()).unwrap().name(), "a");
+    }
+
+    #[test]
+    fn with_users_creates_system_account() {
+        let reg = UserRegistry::with_users(&[("alice", "pw1"), ("bob", "pw2")]);
+        assert_eq!(reg.lookup("system").unwrap().id(), UserId(0));
+        assert_eq!(reg.user_names(), vec!["alice", "bob", "system"]);
+        reg.authenticate("bob", "pw2").unwrap();
+    }
+
+    #[test]
+    fn change_password_requires_old_password() {
+        let reg = UserRegistry::new();
+        reg.add_user("alice", "old", "/home/alice").unwrap();
+        assert!(reg.change_password("alice", "wrong", "new").is_err());
+        reg.change_password("alice", "old", "new").unwrap();
+        assert!(reg.authenticate("alice", "old").is_err());
+        reg.authenticate("alice", "new").unwrap();
+    }
+
+    #[test]
+    fn same_password_different_users_different_hashes() {
+        // Salting: equal passwords must not produce equal digests.
+        let reg = UserRegistry::new();
+        let a = reg.add_user("a", "same", "/home/a").unwrap();
+        let b = reg.add_user("b", "same", "/home/b").unwrap();
+        assert_ne!(a.password_hash, b.password_hash);
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let reg = UserRegistry::new();
+        assert!(reg.is_empty());
+    }
+}

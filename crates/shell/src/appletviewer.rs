@@ -1,0 +1,285 @@
+//! The Appletviewer as an *application* (paper §6.3).
+//!
+//! The paper ported the JDK Appletviewer off the system class path so "the
+//! classes are no longer automatically privileged", replaced `System.exit`
+//! with `Application.exit`, and dropped its special security manager: "the
+//! AppletClassLoader now implements the necessary methods to delegate
+//! permissions to the applets it loads, thus implementing the original Java
+//! sandbox security model. For example, an applet will get the permission
+//! from the Appletviewer to connect back to its own host."
+//!
+//! Here: `appletviewer <url>` fetches a serialized [`ClassImage`] from the
+//! simulated network (using the viewer's own `SocketPermission` grant),
+//! defines it through an applet class loader whose domain resolver adds the
+//! sandbox delegations (connect-back to the origin host, and — since
+//! applets are GUI programs — `AWTPermission("showWindow")`) on top of
+//! whatever the policy grants that code source, verifies it, and interprets
+//! `main` — every native call the applet makes performs the ordinary
+//! security checks with the applet's protection domain on the stack.
+//!
+//! Applets may build GUIs: window/component natives create widgets owned by
+//! the viewer's application, and `on_action` registers a callback that
+//! re-enters the interpreter **inside the applet class's frame**, so even
+//! code running on the event-dispatcher thread keeps the applet's (lack of)
+//! authority.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, Weak};
+
+use jmp_awt::{ComponentId, Window, WindowId};
+use jmp_core::{files, jsystem, Application, MpRuntime};
+use jmp_security::{CodeSource, Permission, PermissionCollection, SocketActions};
+use jmp_vm::interp::{ClassImage, Interpreter, NativeHost, Value};
+use jmp_vm::{Class, ClassDef, Result, VmError};
+use parking_lot::Mutex;
+
+use crate::network::SimNetwork;
+
+/// The native services exposed to interpreted applets. Every operation goes
+/// through the ordinary checked APIs, with the applet's frame on the stack.
+pub struct AppletHost {
+    rt: MpRuntime,
+    network: Arc<SimNetwork>,
+    /// Ids of the windows the applet opened. Stored as ids (not handles) and
+    /// resolved through the toolkit on use, so listeners → interpreter →
+    /// host never forms a strong cycle back to the window objects.
+    windows: Mutex<HashMap<u64, WindowId>>,
+    /// Back-references set after construction (host ⟷ interpreter are
+    /// mutually referential; listeners re-enter the interpreter).
+    interpreter: OnceLock<Weak<Interpreter>>,
+    class: OnceLock<Class>,
+}
+
+impl AppletHost {
+    fn window(&self, id: &Value) -> Result<Window> {
+        let Value::Int(id) = id else {
+            return Err(VmError::trap("window handle must be an int"));
+        };
+        let window_id = self
+            .windows
+            .lock()
+            .get(&(*id as u64))
+            .copied()
+            .ok_or_else(|| VmError::trap(format!("no such window handle {id}")))?;
+        jmp_core::gui::toolkit()
+            .map_err(VmError::from)?
+            .window(window_id)
+            .ok_or_else(|| VmError::trap(format!("window {window_id} is closed")))
+    }
+
+    fn component(value: &Value) -> Result<ComponentId> {
+        match value {
+            Value::Int(id) => Ok(ComponentId(*id as u64)),
+            _ => Err(VmError::trap("component handle must be an int")),
+        }
+    }
+}
+
+impl NativeHost for AppletHost {
+    fn invoke(&self, name: &str, args: Vec<Value>) -> Result<Value> {
+        // Pure stdlib helpers (string/number functions) carry no authority
+        // and are available to every applet.
+        if let Some(result) = jmp_vm::interp::invoke_pure(name, &args) {
+            return result;
+        }
+        match (name, args.as_slice()) {
+            ("print", [value]) => {
+                jsystem::print(&value.display_string())?;
+                Ok(Value::Null)
+            }
+            ("println", [value]) => {
+                jsystem::println(&value.display_string())?;
+                Ok(Value::Null)
+            }
+            ("read_file", [Value::Str(path)]) => {
+                let text = files::read_string(path)?;
+                Ok(Value::str(text))
+            }
+            ("write_file", [Value::Str(path), content]) => {
+                files::write(path, content.display_string().as_bytes())?;
+                Ok(Value::Null)
+            }
+            ("delete_file", [Value::Str(path)]) => {
+                files::delete(path)?;
+                Ok(Value::Null)
+            }
+            ("connect", [Value::Str(host)]) => {
+                self.network.connect(&self.rt, host)?;
+                Ok(Value::Bool(true))
+            }
+            ("fetch", [Value::Str(url)]) => {
+                let bytes = self.network.fetch(&self.rt, url)?;
+                Ok(Value::str(String::from_utf8_lossy(&bytes)))
+            }
+            ("get_property", [Value::Str(key)]) => match jsystem::property(key)? {
+                Some(v) => Ok(Value::str(v)),
+                None => Ok(Value::Null),
+            },
+            // -- GUI natives -------------------------------------------------
+            ("create_window", [Value::Str(title)]) => {
+                let window = jmp_core::gui::create_window(title)?;
+                // Closing the applet's window ends the (viewer) application,
+                // like closing the JDK appletviewer frame.
+                window.on_closing(|_| {
+                    let _ = Application::exit(0);
+                });
+                let id = window.id();
+                self.windows.lock().insert(id.0, id);
+                Ok(Value::Int(id.0 as i64))
+            }
+            ("close_window", [win]) => {
+                self.window(win)?.close();
+                Ok(Value::Null)
+            }
+            ("add_button", [win, Value::Str(label)]) => {
+                let id = self.window(win)?.add_button(label);
+                Ok(Value::Int(id.0 as i64))
+            }
+            ("add_menu_item", [win, Value::Str(label)]) => {
+                let id = self.window(win)?.add_menu_item(label);
+                Ok(Value::Int(id.0 as i64))
+            }
+            ("add_label", [win, Value::Str(text)]) => {
+                let id = self.window(win)?.add_label(text);
+                Ok(Value::Int(id.0 as i64))
+            }
+            ("add_text_field", [win]) => {
+                let id = self.window(win)?.add_text_field();
+                Ok(Value::Int(id.0 as i64))
+            }
+            ("text_of", [win, comp]) => {
+                let text = self
+                    .window(win)?
+                    .text_of(AppletHost::component(comp)?)
+                    .unwrap_or_default();
+                Ok(Value::str(text))
+            }
+            ("set_text", [win, comp, text]) => {
+                self.window(win)?
+                    .set_text(AppletHost::component(comp)?, &text.display_string());
+                Ok(Value::Null)
+            }
+            ("on_action", [win, comp, Value::Str(method)]) => {
+                let window = self.window(win)?;
+                let component = AppletHost::component(comp)?;
+                let method = method.to_string();
+                let interpreter = self
+                    .interpreter
+                    .get()
+                    .and_then(Weak::upgrade)
+                    .ok_or_else(|| VmError::trap("interpreter not attached"))?;
+                let class = self
+                    .class
+                    .get()
+                    .cloned()
+                    .ok_or_else(|| VmError::trap("applet class not attached"))?;
+                // Reject unknown callback methods at registration time.
+                if interpreter.image().method(&method).is_none() {
+                    return Err(VmError::trap(format!(
+                        "on_action: no such method {method:?}"
+                    )));
+                }
+                window.on_action(component, move |event| {
+                    // The callback runs on the dispatcher thread, *inside the
+                    // applet's frame*: the applet keeps its own authority even
+                    // in GUI callbacks.
+                    let arg = Value::Int(event.component.map_or(0, |c| c.0 as i64));
+                    let outcome = class.call(|| interpreter.run(&method, vec![arg]));
+                    if let Err(err) = outcome {
+                        let _ = jsystem::eprintln(&format!("applet callback failed: {err}"));
+                    }
+                });
+                Ok(Value::Null)
+            }
+            _ => Err(VmError::trap(format!(
+                "unknown native {name}/{}",
+                args.len()
+            ))),
+        }
+    }
+}
+
+/// Loads and runs the applet at `url` inside the current application.
+/// Factored out of [`appletviewer_main`] for tests; returns the applet's
+/// `main` return value. If the applet opened windows, they stay alive after
+/// `main` returns (the viewer's dispatcher thread keeps the application
+/// running) and callbacks keep re-entering the applet.
+///
+/// # Errors
+///
+/// Fetch/verify failures, traps, or security denials from inside the applet.
+pub fn run_applet(url: &str, applet_args: Vec<Value>) -> Result<Value> {
+    let rt = MpRuntime::current().ok_or_else(|| VmError::illegal_state("no runtime"))?;
+    let network =
+        SimNetwork::of(&rt).ok_or_else(|| VmError::illegal_state("no network installed"))?;
+    let vm = rt.vm().clone();
+
+    // Fetch with the *viewer's* authority (its code source holds the socket
+    // grant in the policy).
+    let wire = network.fetch(&rt, url).map_err(VmError::from)?;
+    let image = ClassImage::from_wire(&wire).map_err(|e| VmError::Io {
+        message: format!("bad class image at {url}: {e}"),
+    })?;
+
+    // Creating a class loader is a checked operation; the policy grants it
+    // to the appletviewer's code source (paper: "one can still assign
+    // special privileges to certain code sources").
+    vm.check_permission(&Permission::runtime("createClassLoader"))?;
+    let policy_vm = vm.clone();
+    let loader = vm.system_loader().new_child_with_resolver(
+        format!("applet:{url}"),
+        Arc::new(move |source: &CodeSource| {
+            // The sandbox: whatever the user's policy says about this code
+            // source, plus the viewer's delegations — connect-back to the
+            // origin host and opening windows.
+            let mut perms: PermissionCollection = policy_vm.policy().permissions_for(source);
+            if let Some(host) = source.host() {
+                perms.add(Permission::socket(host, SocketActions::CONNECT));
+            }
+            perms.add(Permission::awt("showWindow"));
+            perms
+        }),
+    );
+    let code_source = CodeSource::remote(url);
+    let def = ClassDef::builder(&image.name).image(image.clone()).build();
+    let class = loader.define_class(def, code_source)?;
+
+    let host = Arc::new(AppletHost {
+        rt,
+        network,
+        windows: Mutex::new(HashMap::new()),
+        interpreter: OnceLock::new(),
+        class: OnceLock::new(),
+    });
+    let interpreter = Arc::new(
+        Interpreter::new(Arc::new(image), Arc::clone(&host) as Arc<dyn NativeHost>)?
+            .with_fuel(10_000_000),
+    );
+    // Both cells are freshly constructed above; each set happens exactly once.
+    assert!(host.interpreter.set(Arc::downgrade(&interpreter)).is_ok());
+    assert!(host.class.set(class.clone()).is_ok());
+    // Lifetime: each registered listener captures its own strong
+    // Arc<Interpreter>, which keeps the host alive through the interpreter's
+    // native-host Arc; the host holds only a Weak back, so nothing cycles.
+
+    // Run with the applet's protection domain on the stack, so every native
+    // is checked against the applet, not the viewer.
+    class.call(|| interpreter.run("main", applet_args))
+}
+
+/// `appletviewer <url> [args...]` — the application `main`.
+pub fn appletviewer_main(args: Vec<String>) -> Result<()> {
+    let Some(url) = args.first() else {
+        return jsystem::eprintln("appletviewer: usage: appletviewer <url>").map_err(VmError::from);
+    };
+    let applet_args: Vec<Value> = args[1..].iter().map(Value::str).collect();
+    match run_applet(url, applet_args) {
+        Ok(Value::Null) => Ok(()),
+        Ok(value) => jsystem::println(&format!("applet returned: {value}")).map_err(VmError::from),
+        Err(err) => {
+            jsystem::eprintln(&format!("appletviewer: applet failed: {err}"))
+                .map_err(VmError::from)?;
+            Ok(())
+        }
+    }
+}

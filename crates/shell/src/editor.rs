@@ -1,0 +1,84 @@
+//! `edit` — the GUI text editor of the paper's running example: "Assume
+//! that two users, Alice and Bob, are running the same program, say a text
+//! editor... we would like to avoid saving Bob's file in Alice's directory
+//! and vice versa" (paper §4, Feature 7).
+//!
+//! The *Save File* menu item's callback runs on the event-dispatcher thread.
+//! Under per-application dispatching (Fig 4), that thread belongs to this
+//! editor's application, so the save is attributed to the right application
+//! and user. Under the legacy single dispatcher (Fig 2), the callback runs
+//! on whichever application's thread started dispatching first — the
+//! confusion the paper's redesign eliminates, and which the E2 experiments
+//! demonstrate.
+
+use jmp_core::{files, gui, jsystem, Application};
+use jmp_vm::{Result, VmError};
+
+/// Component ids of an open editor window, for tests driving the GUI.
+#[derive(Debug, Clone, Copy)]
+pub struct EditorLayout {
+    /// The text field holding the buffer.
+    pub text_field: jmp_awt::ComponentId,
+    /// The *Save File* menu item.
+    pub save_item: jmp_awt::ComponentId,
+    /// The *Quit* menu item.
+    pub quit_item: jmp_awt::ComponentId,
+}
+
+/// Opens an editor window for `file` and returns the window + layout.
+/// Factored out of [`edit_main`] so tests and examples can drive it.
+///
+/// # Errors
+///
+/// GUI or permission failures.
+pub fn open_editor(file: &str) -> Result<(jmp_awt::Window, EditorLayout)> {
+    let window = gui::create_window(&format!("edit {file}")).map_err(VmError::from)?;
+    let text_field = window.add_text_field();
+    if let Ok(existing) = files::read_string(file) {
+        window.set_text(text_field, &existing);
+    }
+    let save_item = window.add_menu_item("Save File");
+    let quit_item = window.add_menu_item("Quit");
+
+    let save_window = window.clone();
+    let save_file = file.to_string();
+    window.on_action(save_item, move |_event| {
+        // Runs on the dispatcher thread; `files::write` resolves the
+        // application (and hence the user) from *this thread's* group.
+        let text = save_window.text_of(text_field).unwrap_or_default();
+        match files::write(&save_file, text.as_bytes()) {
+            Ok(()) => {
+                let _ = jsystem::println(&format!("saved {save_file}"));
+            }
+            Err(err) => {
+                let _ = jsystem::eprintln(&format!("edit: save failed: {err}"));
+            }
+        }
+    });
+    window.on_action(quit_item, |_event| {
+        let _ = Application::exit(0);
+    });
+    window.on_closing(|_event| {
+        let _ = Application::exit(0);
+    });
+    Ok((
+        window,
+        EditorLayout {
+            text_field,
+            save_item,
+            quit_item,
+        },
+    ))
+}
+
+/// The `edit <file>` application `main`. Returns immediately after building
+/// the window; the (non-daemon) dispatcher thread keeps the application
+/// alive until *Quit* — exactly the paper's "an application that does use
+/// the AWT has to call `Application.exit()` in order to finish" (§5.4).
+pub fn edit_main(args: Vec<String>) -> Result<()> {
+    let Some(file) = args.first() else {
+        return jsystem::eprintln("edit: usage: edit <file>").map_err(VmError::from);
+    };
+    open_editor(file)?;
+    Ok(())
+}

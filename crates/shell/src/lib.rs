@@ -1,0 +1,211 @@
+//! # jmp-shell
+//!
+//! The demonstration tools of Balfanz & Gong (ICDCS 1998) §6 — "as proof of
+//! usability of our multi-processing JVM, we built a few demonstration tools
+//! that included a shell, a terminal, and an application-level
+//! Appletviewer" — plus the utility applications (`ls`, `cat`, ...) and the
+//! GUI text editor from the paper's Alice/Bob example.
+//!
+//! [`install`] registers every program as class material with a
+//! `file:/apps/<name>` code source, so the example policies can grant (or
+//! withhold) privileges per program. [`default_policy_text`] is a policy
+//! that makes an interactive multi-user session work: local applications
+//! exercise their running user's permissions (paper §5.3 rule 1), `login`
+//! and `su` hold the `setUser` privilege (§5.2), and the appletviewer may
+//! create class loaders and fetch from the network (§6.3).
+//!
+//! # Example: a terminal session
+//!
+//! ```
+//! use jmp_core::MpRuntime;
+//! use jmp_security::Policy;
+//! use std::time::Duration;
+//!
+//! let rt = MpRuntime::builder()
+//!     .policy(Policy::parse(jmp_shell::default_policy_text())?)
+//!     .user("alice", "sesame")
+//!     .build()?;
+//! jmp_shell::install(&rt)?;
+//!
+//! let (terminal, session) = jmp_shell::spawn_login_session(&rt)?;
+//! terminal.type_line("alice")?;
+//! terminal.type_line("sesame")?;
+//! terminal.type_line("whoami")?;
+//! terminal.type_line("quit")?;
+//! terminal.type_eof();
+//! session.wait_for()?;
+//! assert!(terminal.screen_text().contains("alice"));
+//! # rt.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appletviewer;
+pub mod editor;
+pub mod network;
+pub mod parser;
+pub mod shell;
+pub mod terminal;
+pub mod utils;
+
+use jmp_core::{Application, Error, MpRuntime};
+use jmp_security::CodeSource;
+use jmp_vm::ClassDef;
+
+pub use network::SimNetwork;
+pub use shell::Shell;
+pub use terminal::Terminal;
+
+/// Registers all §6 tools and utilities as class material, and installs the
+/// simulated network. Idempotent registration is not attempted: call once
+/// per runtime.
+///
+/// # Errors
+///
+/// [`Error::Vm`] on duplicate registration.
+pub fn install(rt: &MpRuntime) -> Result<(), Error> {
+    SimNetwork::install(rt)?;
+    let register = |name: &str, main: fn(Vec<String>) -> jmp_vm::Result<()>| -> Result<(), Error> {
+        rt.vm()
+            .material()
+            .register(
+                ClassDef::builder(name).main(main).build(),
+                CodeSource::local(format!("file:/apps/{name}")),
+            )
+            .map_err(Error::from)
+    };
+    register("shell", shell::shell_main)?;
+    register("login", utils::login_main)?;
+    register("ls", utils::ls_main)?;
+    register("cat", utils::cat_main)?;
+    register("echo", utils::echo_main)?;
+    register("head", utils::head_main)?;
+    register("wc", utils::wc_main)?;
+    register("grep", utils::grep_main)?;
+    register("ps", utils::ps_main)?;
+    register("kill", utils::kill_main)?;
+    register("sleep", utils::sleep_main)?;
+    register("pwd", utils::pwd_main)?;
+    register("whoami", utils::whoami_main)?;
+    register("touch", utils::touch_main)?;
+    register("mkdir", utils::mkdir_main)?;
+    register("rm", utils::rm_main)?;
+    register("cp", utils::cp_main)?;
+    register("mv", utils::mv_main)?;
+    register("su", utils::su_main)?;
+    register("passwd", utils::passwd_main)?;
+    register("env", utils::env_main)?;
+    register("chmod", utils::chmod_main)?;
+    register("chown", utils::chown_main)?;
+    register("hostname", utils::hostname_main)?;
+    register("edit", editor::edit_main)?;
+    register("appletviewer", appletviewer::appletviewer_main)?;
+    Ok(())
+}
+
+/// A policy making an interactive multi-user session work. Combine with
+/// `grant user "<name>" { ... }` blocks for each account (the builder's
+/// users are *accounts*; what they may touch is policy).
+pub fn default_policy_text() -> &'static str {
+    r#"
+    // Paper section 5.3, rule 1: all local applications can exercise their
+    // running users' permissions — plus the conveniences interactive
+    // programs need.
+    grant codeBase "file:/apps/-" {
+        permission user "exerciseUserPermissions";
+        permission runtime "execApplication";
+        permission runtime "setIO";
+        permission property "*" "read";
+        permission awt "showWindow";
+        permission file "/tmp" "read";
+        permission file "/tmp/-" "read,write,delete";
+        permission file "/etc" "read";
+        permission file "/etc/-" "read";
+        permission file "/home" "read";
+    };
+
+    // Paper section 5.2: the login program (and su) may set its own user.
+    grant codeBase "file:/apps/login" {
+        permission runtime "setUser";
+    };
+    grant codeBase "file:/apps/su" {
+        permission runtime "setUser";
+    };
+
+    // kill may stop foreign applications.
+    grant codeBase "file:/apps/kill" {
+        permission runtime "stopApplication";
+    };
+
+    // Paper section 6.3: the appletviewer is an ordinary application with
+    // two specific privileges: creating class loaders and talking to the
+    // network.
+    grant codeBase "file:/apps/appletviewer" {
+        permission runtime "createClassLoader";
+        permission socket "*" "connect";
+    };
+    "#
+}
+
+/// Creates a [`Terminal`] and launches a `login` session on it (as the
+/// bootstrap `system` user — `login` re-binds the user after
+/// authentication, paper §5.2). Returns the terminal (the "user side") and
+/// the login application.
+///
+/// # Errors
+///
+/// Launch failures ([`Error::Vm`]).
+pub fn spawn_login_session(rt: &MpRuntime) -> Result<(Terminal, Application), Error> {
+    spawn_session(rt, "login", &[])
+}
+
+/// Creates a [`Terminal`] and launches `class_name` on it as the `system`
+/// user.
+///
+/// # Errors
+///
+/// Launch failures ([`Error::Vm`]).
+pub fn spawn_session(
+    rt: &MpRuntime,
+    class_name: &str,
+    args: &[&str],
+) -> Result<(Terminal, Application), Error> {
+    let terminal = Terminal::new();
+    let token = jmp_vm::io::IoToken::SYSTEM;
+    let app = rt.launch_with(
+        "system",
+        class_name,
+        args,
+        Some(terminal.in_stream(token)),
+        Some(terminal.out_stream(token)),
+        Some(terminal.out_stream(token)),
+    )?;
+    Ok((terminal, app))
+}
+
+/// Publishes an applet written in `jbc` assembly at
+/// `http://<host>/<path>` on the runtime's simulated network.
+///
+/// # Errors
+///
+/// Assembly errors ([`Error::Vm`] wrapping verification);
+/// [`Error::Io`] if no network is installed.
+pub fn publish_applet(rt: &MpRuntime, host: &str, path: &str, assembly: &str) -> Result<(), Error> {
+    let network = SimNetwork::of(rt).ok_or(Error::Io {
+        message: "no network installed".into(),
+    })?;
+    let image = jmp_vm::interp::assemble(assembly)?;
+    let wire = image.to_wire().map_err(|e| Error::Io {
+        message: format!("serializing applet: {e}"),
+    })?;
+    network.publish(host, path, wire);
+    Ok(())
+}
+
+// Re-exported for examples that want to hand-construct sessions.
+pub use jmp_vm::io::IoToken;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,159 @@
+//! The simulated network: where mobile code comes from.
+//!
+//! The paper's environment downloads applets over HTTP (§1, §6.3). We model
+//! the network as a name→content store: hosts *publish* byte payloads under
+//! paths, and clients *fetch* `http://host/path` URLs or *connect* to hosts —
+//! both subject to `SocketPermission` checks against the calling stack, so
+//! an applet can reach exactly the hosts its protection domain allows
+//! (normally: the one it was loaded from).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jmp_core::{Error, MpRuntime};
+use jmp_security::{Permission, SocketActions};
+use parking_lot::RwLock;
+
+/// Extension key under which the network registers itself with the VM.
+pub const NETWORK_EXTENSION: &str = "jmp.network";
+
+/// The simulated network.
+#[derive(Debug, Default)]
+pub struct SimNetwork {
+    hosts: RwLock<HashMap<String, HashMap<String, Vec<u8>>>>,
+}
+
+impl SimNetwork {
+    /// Creates an empty network.
+    pub fn new() -> SimNetwork {
+        SimNetwork::default()
+    }
+
+    /// Installs a new network into `rt`'s VM and returns it. Must be called
+    /// from a trusted context (the host, during bootstrap).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Security`] if the caller may not set VM extensions.
+    pub fn install(rt: &MpRuntime) -> Result<Arc<SimNetwork>, Error> {
+        let net = Arc::new(SimNetwork::new());
+        rt.vm().set_extension(
+            NETWORK_EXTENSION,
+            Arc::clone(&net) as Arc<dyn std::any::Any + Send + Sync>,
+        )?;
+        Ok(net)
+    }
+
+    /// The network installed in `rt`, if any.
+    pub fn of(rt: &MpRuntime) -> Option<Arc<SimNetwork>> {
+        rt.vm().extension::<SimNetwork>(NETWORK_EXTENSION)
+    }
+
+    /// Publishes `content` at `http://host/path` (host-side operation, no
+    /// checks — the remote server is outside our trust domain anyway).
+    pub fn publish(&self, host: &str, path: &str, content: impl Into<Vec<u8>>) {
+        self.hosts
+            .write()
+            .entry(host.to_string())
+            .or_default()
+            .insert(path.trim_start_matches('/').to_string(), content.into());
+    }
+
+    /// Splits `http://host/path` into host and path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] for non-HTTP or malformed URLs.
+    pub fn parse_url(url: &str) -> Result<(String, String), Error> {
+        let rest = url
+            .strip_prefix("http://")
+            .or_else(|| url.strip_prefix("https://"))
+            .ok_or_else(|| Error::Io {
+                message: format!("unsupported URL: {url}"),
+            })?;
+        let (host, path) = rest.split_once('/').unwrap_or((rest, ""));
+        if host.is_empty() {
+            return Err(Error::Io {
+                message: format!("URL has no host: {url}"),
+            });
+        }
+        Ok((host.to_string(), path.to_string()))
+    }
+
+    /// Fetches `http://host/path`, demanding
+    /// `SocketPermission(host, "connect")` from the calling context.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Security`] if the connect is denied; [`Error::Io`] for
+    /// unknown hosts or paths.
+    pub fn fetch(&self, rt: &MpRuntime, url: &str) -> Result<Vec<u8>, Error> {
+        let (host, path) = SimNetwork::parse_url(url)?;
+        self.connect(rt, &host)?;
+        let hosts = self.hosts.read();
+        hosts
+            .get(&host)
+            .and_then(|paths| paths.get(&path))
+            .cloned()
+            .ok_or_else(|| Error::Io {
+                message: format!("404 not found: {url}"),
+            })
+    }
+
+    /// Opens a (simulated) connection to `host`, demanding
+    /// `SocketPermission(host, "connect")` from the calling context — the
+    /// check behind the paper's "an applet will get the permission from the
+    /// Appletviewer to connect back to its own host" (§6.3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Security`] if denied; [`Error::Io`] for unknown hosts.
+    pub fn connect(&self, rt: &MpRuntime, host: &str) -> Result<(), Error> {
+        rt.vm()
+            .check_permission(&Permission::socket(host, SocketActions::CONNECT))?;
+        if self
+            .hosts
+            .read()
+            .contains_key(host.split(':').next().unwrap_or(host))
+        {
+            Ok(())
+        } else {
+            Err(Error::Io {
+                message: format!("no route to host: {host}"),
+            })
+        }
+    }
+
+    /// Known hosts, sorted (diagnostics).
+    pub fn host_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.hosts.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_urls() {
+        assert_eq!(
+            SimNetwork::parse_url("http://host.example/dir/file").unwrap(),
+            ("host.example".to_string(), "dir/file".to_string())
+        );
+        assert_eq!(
+            SimNetwork::parse_url("http://host.example").unwrap(),
+            ("host.example".to_string(), String::new())
+        );
+        assert!(SimNetwork::parse_url("ftp://x/y").is_err());
+        assert!(SimNetwork::parse_url("http:///nohost").is_err());
+    }
+
+    #[test]
+    fn publish_is_visible() {
+        let net = SimNetwork::new();
+        net.publish("games.example.com", "/tetris.jbc", b"payload".to_vec());
+        assert_eq!(net.host_names(), vec!["games.example.com"]);
+    }
+}

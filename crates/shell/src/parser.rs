@@ -1,0 +1,297 @@
+//! Command-line parsing for the shell (paper §6.1): simple commands,
+//! pipelines (`|`), input/output redirection (`<`, `>`, `>>`), background
+//! jobs (`&`), and sequencing (`;`) — "with the syntax borrowed from UNIX".
+
+use jmp_core::Error;
+
+/// One stage of a pipeline: a program name, its arguments, and any
+/// redirections attached to this stage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stage {
+    /// Program (class) name.
+    pub program: String,
+    /// Arguments.
+    pub args: Vec<String>,
+    /// `< file`.
+    pub stdin_from: Option<String>,
+    /// `> file` / `>> file`.
+    pub stdout_to: Option<Redirect>,
+}
+
+/// An output redirection target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redirect {
+    /// Target file path.
+    pub path: String,
+    /// `true` for `>>`.
+    pub append: bool,
+}
+
+/// A parsed command: one or more pipeline stages, possibly backgrounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// The pipeline stages, in order.
+    pub stages: Vec<Stage>,
+    /// `true` if the command ended with `&`.
+    pub background: bool,
+}
+
+/// Parses a command line into a sequence of [`Command`]s (split on `;`).
+/// Empty input parses to an empty sequence.
+///
+/// # Errors
+///
+/// [`Error::Io`] describing the syntax problem (empty pipeline stage,
+/// dangling redirection, unterminated quote).
+pub fn parse_line(line: &str) -> Result<Vec<Command>, Error> {
+    let tokens = tokenize(line)?;
+    let mut commands = Vec::new();
+    for chunk in split_on(&tokens, ";") {
+        if chunk.is_empty() {
+            continue;
+        }
+        commands.push(parse_command(chunk)?);
+    }
+    Ok(commands)
+}
+
+fn syntax(message: impl Into<String>) -> Error {
+    Error::Io {
+        message: format!("syntax error: {}", message.into()),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Word(String),
+    Op(&'static str),
+}
+
+fn tokenize(line: &str) -> Result<Vec<Token>, Error> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '|' => {
+                chars.next();
+                tokens.push(Token::Op("|"));
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token::Op(";"));
+            }
+            '&' => {
+                chars.next();
+                tokens.push(Token::Op("&"));
+            }
+            '<' => {
+                chars.next();
+                tokens.push(Token::Op("<"));
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token::Op(">>"));
+                } else {
+                    tokens.push(Token::Op(">"));
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut word = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    word.push(c);
+                }
+                if !closed {
+                    return Err(syntax("unterminated quote"));
+                }
+                tokens.push(Token::Word(word));
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || "|;&<>\"".contains(c) {
+                        break;
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                tokens.push(Token::Word(word));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn split_on<'t>(tokens: &'t [Token], op: &str) -> Vec<&'t [Token]> {
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    for (i, tok) in tokens.iter().enumerate() {
+        if matches!(tok, Token::Op(o) if *o == op) {
+            chunks.push(&tokens[start..i]);
+            start = i + 1;
+        }
+    }
+    chunks.push(&tokens[start..]);
+    chunks
+}
+
+fn parse_command(tokens: &[Token]) -> Result<Command, Error> {
+    // Background marker must be the final token.
+    let (tokens, background) = match tokens.last() {
+        Some(Token::Op("&")) => (&tokens[..tokens.len() - 1], true),
+        _ => (tokens, false),
+    };
+    if tokens.iter().any(|t| matches!(t, Token::Op("&"))) {
+        return Err(syntax("`&` is only allowed at the end of a command"));
+    }
+    let mut stages = Vec::new();
+    for chunk in split_on(tokens, "|") {
+        stages.push(parse_stage(chunk)?);
+    }
+    Ok(Command { stages, background })
+}
+
+fn parse_stage(tokens: &[Token]) -> Result<Stage, Error> {
+    let mut stage = Stage::default();
+    let mut iter = tokens.iter().peekable();
+    while let Some(tok) = iter.next() {
+        match tok {
+            Token::Word(w) => {
+                if stage.program.is_empty() {
+                    stage.program = w.clone();
+                } else {
+                    stage.args.push(w.clone());
+                }
+            }
+            Token::Op("<") => match iter.next() {
+                Some(Token::Word(path)) => stage.stdin_from = Some(path.clone()),
+                _ => return Err(syntax("`<` needs a file name")),
+            },
+            Token::Op(">") => match iter.next() {
+                Some(Token::Word(path)) => {
+                    stage.stdout_to = Some(Redirect {
+                        path: path.clone(),
+                        append: false,
+                    })
+                }
+                _ => return Err(syntax("`>` needs a file name")),
+            },
+            Token::Op(">>") => match iter.next() {
+                Some(Token::Word(path)) => {
+                    stage.stdout_to = Some(Redirect {
+                        path: path.clone(),
+                        append: true,
+                    })
+                }
+                _ => return Err(syntax("`>>` needs a file name")),
+            },
+            Token::Op(other) => return Err(syntax(format!("unexpected `{other}`"))),
+        }
+    }
+    if stage.program.is_empty() {
+        return Err(syntax("empty command in pipeline"));
+    }
+    Ok(stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> Command {
+        let mut commands = parse_line(line).unwrap();
+        assert_eq!(commands.len(), 1, "expected one command in {line:?}");
+        commands.remove(0)
+    }
+
+    #[test]
+    fn simple_command() {
+        let cmd = one("ls -l /tmp");
+        assert!(!cmd.background);
+        assert_eq!(cmd.stages.len(), 1);
+        assert_eq!(cmd.stages[0].program, "ls");
+        assert_eq!(cmd.stages[0].args, vec!["-l", "/tmp"]);
+    }
+
+    #[test]
+    fn pipeline() {
+        let cmd = one("cat notes.txt | grep secret | wc");
+        let programs: Vec<&str> = cmd.stages.iter().map(|s| s.program.as_str()).collect();
+        assert_eq!(programs, vec!["cat", "grep", "wc"]);
+        assert_eq!(cmd.stages[1].args, vec!["secret"]);
+    }
+
+    #[test]
+    fn redirections() {
+        let cmd = one("wc < input.txt > out.txt");
+        assert_eq!(cmd.stages[0].stdin_from.as_deref(), Some("input.txt"));
+        assert_eq!(
+            cmd.stages[0].stdout_to,
+            Some(Redirect {
+                path: "out.txt".into(),
+                append: false
+            })
+        );
+        let cmd = one("echo hi >> log.txt");
+        assert!(cmd.stages[0].stdout_to.as_ref().unwrap().append);
+    }
+
+    #[test]
+    fn background_and_sequencing() {
+        let cmd = one("hotjava &");
+        assert!(cmd.background);
+        assert_eq!(cmd.stages[0].program, "hotjava");
+
+        let commands = parse_line("cd /tmp ; ls; echo done &").unwrap();
+        assert_eq!(commands.len(), 3);
+        assert!(!commands[0].background);
+        assert!(commands[2].background);
+    }
+
+    #[test]
+    fn quoting() {
+        let cmd = one(r#"echo "hello world" plain"#);
+        assert_eq!(cmd.stages[0].args, vec!["hello world", "plain"]);
+        assert!(parse_line(r#"echo "unterminated"#).is_err());
+    }
+
+    #[test]
+    fn operators_without_spaces() {
+        let cmd = one("cat a.txt|wc>n.txt");
+        assert_eq!(cmd.stages.len(), 2);
+        assert_eq!(cmd.stages[0].program, "cat");
+        assert_eq!(cmd.stages[1].program, "wc");
+        assert_eq!(cmd.stages[1].stdout_to.as_ref().unwrap().path, "n.txt");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_line("ls | | wc").is_err());
+        assert!(parse_line("ls >").is_err());
+        assert!(
+            parse_line("< only").is_err(),
+            "a redirect alone is not a command"
+        );
+        assert!(parse_line("& ls").is_err());
+        assert!(parse_line("ls & wc").is_err());
+        assert_eq!(parse_line("").unwrap(), vec![]);
+        assert_eq!(parse_line("  ;  ; ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn redirect_before_program_name() {
+        let cmd = one("< in.txt wc");
+        assert_eq!(cmd.stages[0].program, "wc");
+        assert_eq!(cmd.stages[0].stdin_from.as_deref(), Some("in.txt"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The shell (paper §6.1).
+//!
+//! "The shell executes an infinite loop in which it reads in a command line
+//! (provided by a terminal), interprets it, and possibly launches one or
+//! more applications... The shell that we implemented uses pipes between
+//! applications and input/output redirection. Normally, the input and output
+//! streams of the applications that the shell launches are not changed (and,
+//! hence, are the same as the shell's). However, in the case of pipes or
+//! input/output redirection, the shell temporarily changes its own standard
+//! input and output streams (to point to the appropriate pipe or file
+//! streams) before each application is launched... Afterwards, the shell's
+//! streams are re-set to their original values."
+
+use jmp_core::{files, jsystem, pipes, Application, Error, MpRuntime};
+use jmp_vm::io::{InStream, OutStream};
+use jmp_vm::{Result, VmError};
+use parking_lot::Mutex;
+
+use crate::parser::{parse_line, Command, Stage};
+use crate::terminal::Terminal;
+
+/// One backgrounded pipeline.
+struct Job {
+    id: usize,
+    line: String,
+    apps: Vec<Application>,
+}
+
+/// The interactive shell state for one session.
+pub struct Shell {
+    jobs: Mutex<Vec<Job>>,
+    next_job: Mutex<usize>,
+}
+
+impl Default for Shell {
+    fn default() -> Shell {
+        Shell::new()
+    }
+}
+
+impl Shell {
+    /// Creates a shell with no jobs.
+    pub fn new() -> Shell {
+        Shell {
+            jobs: Mutex::new(Vec::new()),
+            next_job: Mutex::new(1),
+        }
+    }
+
+    /// The shell application's `main`: the read–interpret–launch loop.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal stream failures; command errors are printed and the loop
+    /// continues, like any shell.
+    pub fn run(&self) -> Result<()> {
+        let app = Application::current()
+            .ok_or_else(|| VmError::illegal_state("shell must run as an application"))?;
+        let stdin = app.stdin();
+        let terminal = Terminal::from_stdin(&stdin);
+        loop {
+            let prompt = format!("{}@jmp:{}$ ", app.user().name(), app.cwd());
+            let line = match &terminal {
+                Some(term) => term.read_string(&prompt)?,
+                None => stdin.read_line()?,
+            };
+            let Some(line) = line else {
+                return Ok(()); // end of input: session over
+            };
+            match self.execute_line(&line) {
+                Ok(ControlFlow::Continue) => {}
+                Ok(ControlFlow::Quit) => return Ok(()),
+                Err(Error::Interrupted) => return Ok(()),
+                Err(err) => {
+                    let _ = jsystem::eprintln(&format!("shell: {err}"));
+                }
+            }
+        }
+    }
+
+    /// Executes one input line (sequence of `;`-separated commands).
+    ///
+    /// # Errors
+    ///
+    /// Parse and launch failures (printed by [`Shell::run`]).
+    pub fn execute_line(&self, line: &str) -> std::result::Result<ControlFlow, Error> {
+        for command in parse_line(line)? {
+            if let ControlFlow::Quit = self.execute_command(&command, line)? {
+                return Ok(ControlFlow::Quit);
+            }
+        }
+        Ok(ControlFlow::Continue)
+    }
+
+    fn execute_command(
+        &self,
+        command: &Command,
+        line: &str,
+    ) -> std::result::Result<ControlFlow, Error> {
+        // Builtins apply only to plain single-stage foreground commands.
+        if command.stages.len() == 1 && !command.background {
+            let stage = &command.stages[0];
+            if stage.stdin_from.is_none() && stage.stdout_to.is_none() {
+                match self.builtin(stage)? {
+                    Builtin::Handled => return Ok(ControlFlow::Continue),
+                    Builtin::Quit => return Ok(ControlFlow::Quit),
+                    Builtin::NotBuiltin => {}
+                }
+            }
+        }
+        self.run_pipeline(command, line)?;
+        Ok(ControlFlow::Continue)
+    }
+
+    fn builtin(&self, stage: &Stage) -> std::result::Result<Builtin, Error> {
+        match stage.program.as_str() {
+            "quit" | "exit" | "logout" => Ok(Builtin::Quit),
+            "cd" => {
+                let target = match stage.args.first() {
+                    Some(dir) => dir.clone(),
+                    None => Application::current()
+                        .map(|app| app.user().home().to_string())
+                        .unwrap_or_else(|| "/".to_string()),
+                };
+                if let Err(e) = Application::set_cwd(&target) {
+                    jsystem::eprintln(&format!("cd: {e}"))?;
+                }
+                Ok(Builtin::Handled)
+            }
+            "jobs" => {
+                let jobs = self.jobs.lock();
+                for job in jobs.iter() {
+                    let running = job
+                        .apps
+                        .iter()
+                        .filter(|a| !matches!(a.status(), jmp_core::AppStatus::Finished(_)))
+                        .count();
+                    jsystem::println(&format!("[{}] {} ({} running)", job.id, job.line, running))?;
+                }
+                Ok(Builtin::Handled)
+            }
+            "history" => {
+                if let Some(term) = Application::current()
+                    .map(|app| app.stdin())
+                    .as_ref()
+                    .and_then(Terminal::from_stdin)
+                {
+                    for (i, entry) in term.history().iter().enumerate() {
+                        jsystem::println(&format!("{:>4}  {entry}", i + 1))?;
+                    }
+                }
+                Ok(Builtin::Handled)
+            }
+            "help" => {
+                jsystem::println(
+                    "builtins: cd pwd jobs history help quit; \
+                     programs: ls cat echo head wc grep ps kill sleep touch \
+                     mkdir rm cp mv whoami su passwd login appletviewer edit",
+                )?;
+                Ok(Builtin::Handled)
+            }
+            _ => Ok(Builtin::NotBuiltin),
+        }
+    }
+
+    /// Launches a pipeline: the paper's stream-swapping dance. Returns the
+    /// launched applications (empty for unknown commands).
+    fn run_pipeline(
+        &self,
+        command: &Command,
+        line: &str,
+    ) -> std::result::Result<Vec<Application>, Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        // `command not found` beats a ClassNotFound stack trace.
+        for stage in &command.stages {
+            if !rt.vm().material().contains(&stage.program) {
+                jsystem::eprintln(&format!("shell: {}: command not found", stage.program))?;
+                return Ok(Vec::new());
+            }
+        }
+        let shell_app = Application::current().ok_or(Error::NotAnApplication)?;
+        let saved_in = shell_app.stdin();
+        let saved_out = shell_app.stdout();
+        let saved_err = shell_app.stderr();
+
+        let n = command.stages.len();
+        let mut apps: Vec<Application> = Vec::with_capacity(n);
+        // The write end the shell created for each stage's stdout (closed by
+        // the shell once that stage finishes — "it is the shell's
+        // responsibility to close those streams", §5.1).
+        let mut created_writers: Vec<Option<OutStream>> = Vec::with_capacity(n);
+        let mut prev_reader: Option<InStream> = None;
+        let mut created_readers: Vec<InStream> = Vec::new();
+        let launch_result = (|| -> std::result::Result<(), Error> {
+            for (i, stage) in command.stages.iter().enumerate() {
+                let stdin = match (&stage.stdin_from, prev_reader.take()) {
+                    (Some(path), _) => {
+                        let s = files::open_in(path)?;
+                        created_readers.push(s.clone());
+                        s
+                    }
+                    (None, Some(reader)) => reader,
+                    (None, None) => saved_in.clone(),
+                };
+                let (stdout, writer) = match &stage.stdout_to {
+                    Some(redirect) => {
+                        let s = files::open_out(&redirect.path, redirect.append)?;
+                        (s.clone(), Some(s))
+                    }
+                    None if i + 1 < n => {
+                        let (w, r) = pipes::make_pipe()?;
+                        prev_reader = Some(r);
+                        (w.clone(), Some(w))
+                    }
+                    None => (saved_out.clone(), None),
+                };
+                // Temporarily adopt the child's streams so exec inherits them.
+                Application::set_streams(Some(stdin), Some(stdout), Some(saved_err.clone()))?;
+                let launched = Application::exec(&stage.program, &to_refs(&stage.args));
+                // Restore before handling any error.
+                Application::set_streams(
+                    Some(saved_in.clone()),
+                    Some(saved_out.clone()),
+                    Some(saved_err.clone()),
+                )?;
+                apps.push(launched?);
+                created_writers.push(writer);
+            }
+            Ok(())
+        })();
+        // Always restore, even if a stage failed to launch mid-way.
+        Application::set_streams(Some(saved_in), Some(saved_out), Some(saved_err))?;
+        launch_result?;
+
+        if command.background {
+            let id = {
+                let mut next = self.next_job.lock();
+                let id = *next;
+                *next += 1;
+                id
+            };
+            jsystem::println(&format!("[{id}] started"))?;
+            self.jobs.lock().push(Job {
+                id,
+                line: line.trim().to_string(),
+                apps: apps.clone(),
+            });
+            // A watcher closes the created pipe ends as stages finish.
+            let token = shell_app.io_token();
+            let watch_apps = apps.clone();
+            let vm = rt.vm().clone();
+            vm.thread_builder()
+                .name(format!("job-{id}-watcher"))
+                .daemon(true)
+                .spawn(move |_| {
+                    for (app, writer) in watch_apps.iter().zip(created_writers) {
+                        let _ = app.wait_for();
+                        if let Some(writer) = writer {
+                            let _ = writer.close(token);
+                        }
+                    }
+                })
+                .map_err(Error::from)?;
+        } else {
+            let token = shell_app.io_token();
+            for (app, writer) in apps.iter().zip(created_writers) {
+                app.wait_for()?;
+                // Close the pipe/file write end we created for this stage so
+                // the next stage sees end-of-file.
+                if let Some(writer) = writer {
+                    let _ = writer.close(token);
+                }
+            }
+            for reader in created_readers {
+                let _ = reader.close(token);
+            }
+        }
+        Ok(apps)
+    }
+}
+
+fn to_refs(args: &[String]) -> Vec<&str> {
+    args.iter().map(String::as_str).collect()
+}
+
+/// Whether the shell loop should continue after a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Keep reading.
+    Continue,
+    /// `quit`/`exit` was entered.
+    Quit,
+}
+
+#[allow(clippy::enum_variant_names)]
+enum Builtin {
+    Handled,
+    Quit,
+    NotBuiltin,
+}
+
+/// The `shell` class's `main`.
+pub fn shell_main(_args: Vec<String>) -> Result<()> {
+    Shell::new().run()
+}

@@ -1,0 +1,343 @@
+//! The Java terminal (paper §6.2).
+//!
+//! "We implemented a simple prototypical terminal that has a few methods to
+//! read from and write to the terminal, and to switch echoing on and off."
+//!
+//! A [`Terminal`] has two sides:
+//!
+//! * The **user side** (tests and examples stand in for the human): type
+//!   characters with [`Terminal::type_line`]/[`Terminal::type_text`], press
+//!   end-of-input with [`Terminal::type_eof`], and read what the screen
+//!   shows with [`Terminal::screen_text`].
+//! * The **application side**: [`Terminal::in_stream`]/[`Terminal::out_stream`]
+//!   are standard streams to launch a session with. Applications that only
+//!   need basic I/O just use them; applications that need terminal control
+//!   retrieve the [`Terminal`] from their stdin with [`Terminal::from_stdin`]
+//!   and use [`Terminal::read_string`] (line editing + history — the shell
+//!   does this) or [`Terminal::set_echo`] (the login program's password
+//!   prompt).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use jmp_vm::io::{
+    pipe, InStream, IoToken, OutStream, PipeReader, PipeWriter, ReadDevice, WriteDevice,
+};
+use jmp_vm::Result;
+use parking_lot::Mutex;
+
+struct TermInner {
+    /// Keyboard: user side writes, application side reads.
+    kbd_writer: PipeWriter,
+    kbd_reader: PipeReader,
+    /// Screen contents.
+    screen: Mutex<Vec<u8>>,
+    echo: AtomicBool,
+    history: Mutex<Vec<String>>,
+}
+
+/// A terminal device. Cheap handle; clones refer to the same terminal.
+#[derive(Clone)]
+pub struct Terminal {
+    inner: Arc<TermInner>,
+}
+
+impl Default for Terminal {
+    fn default() -> Terminal {
+        Terminal::new()
+    }
+}
+
+impl Terminal {
+    /// Creates a terminal with echo on and an empty screen.
+    pub fn new() -> Terminal {
+        let (kbd_writer, kbd_reader) = pipe(4096);
+        Terminal {
+            inner: Arc::new(TermInner {
+                kbd_writer,
+                kbd_reader,
+                screen: Mutex::new(Vec::new()),
+                echo: AtomicBool::new(true),
+                history: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    // -- user side -----------------------------------------------------------
+
+    /// Types `text` on the keyboard (no newline added).
+    ///
+    /// # Errors
+    ///
+    /// [`jmp_vm::VmError::StreamClosed`] if the terminal was closed.
+    pub fn type_text(&self, text: &str) -> Result<()> {
+        self.inner.kbd_writer.write_all(text.as_bytes())
+    }
+
+    /// Types `line` followed by Enter.
+    ///
+    /// # Errors
+    ///
+    /// As [`Terminal::type_text`].
+    pub fn type_line(&self, line: &str) -> Result<()> {
+        self.type_text(line)?;
+        self.type_text("\n")
+    }
+
+    /// Signals end-of-input (Ctrl-D at an empty prompt).
+    pub fn type_eof(&self) {
+        self.inner.kbd_writer.close();
+    }
+
+    /// Everything currently on the screen, as UTF-8 (lossy).
+    pub fn screen_text(&self) -> String {
+        String::from_utf8_lossy(&self.inner.screen.lock()).into_owned()
+    }
+
+    /// Clears the screen buffer (user-side convenience for tests).
+    pub fn clear_screen(&self) {
+        self.inner.screen.lock().clear();
+    }
+
+    // -- application side ----------------------------------------------------
+
+    /// A standard-input stream over this terminal, owned by `owner`.
+    pub fn in_stream(&self, owner: IoToken) -> InStream {
+        InStream::new(
+            Arc::new(TerminalReadDevice {
+                terminal: self.clone(),
+            }),
+            owner,
+        )
+    }
+
+    /// A standard-output stream onto this terminal's screen, owned by
+    /// `owner`.
+    pub fn out_stream(&self, owner: IoToken) -> OutStream {
+        OutStream::new(
+            Arc::new(TerminalWriteDevice {
+                terminal: self.clone(),
+            }),
+            owner,
+        )
+    }
+
+    /// Retrieves the terminal backing `stdin`, if `stdin` is connected to
+    /// one (paper §6.2: "applications can retrieve a reference to the
+    /// terminal object itself"). Returns `None` for pipes, files, etc. — so
+    /// programs like `cat` "also work if they are not run from a terminal".
+    pub fn from_stdin(stdin: &InStream) -> Option<Terminal> {
+        stdin
+            .device_any()?
+            .downcast_ref::<TerminalReadDevice>()
+            .map(|device| device.terminal.clone())
+    }
+
+    /// Turns echoing of typed characters on or off — "the login application
+    /// uses \[this\] before asking for a password" (§6.2).
+    pub fn set_echo(&self, echo: bool) {
+        self.inner.echo.store(echo, Ordering::SeqCst);
+    }
+
+    /// Whether typed characters are echoed to the screen.
+    pub fn echo(&self) -> bool {
+        self.inner.echo.load(Ordering::SeqCst)
+    }
+
+    /// Writes to the screen.
+    ///
+    /// # Errors
+    ///
+    /// None in practice; signature matches device plumbing.
+    pub fn write_screen(&self, data: &[u8]) -> Result<()> {
+        self.inner.screen.lock().extend_from_slice(data);
+        Ok(())
+    }
+
+    /// The advanced line reader the shell uses (`readString`, §6.2): prints
+    /// `prompt`, reads one line, echoes it (if echo is on), and records it
+    /// in the history buffer. Returns `None` at end-of-input.
+    ///
+    /// # Errors
+    ///
+    /// [`jmp_vm::VmError::Interrupted`] if the reading thread is interrupted.
+    pub fn read_string(&self, prompt: &str) -> Result<Option<String>> {
+        self.read_line_internal(prompt, true)
+    }
+
+    fn read_line_internal(&self, prompt: &str, record_history: bool) -> Result<Option<String>> {
+        self.write_screen(prompt.as_bytes())?;
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            let n = self.inner.kbd_reader.read(&mut byte)?;
+            if n == 0 {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            if self.echo() {
+                self.write_screen(&byte)?;
+            }
+            if byte[0] == b'\n' {
+                if !self.echo() {
+                    // Even with echo off, move to the next line.
+                    self.write_screen(b"\n")?;
+                }
+                break;
+            }
+            line.push(byte[0]);
+        }
+        let text = String::from_utf8_lossy(&line).into_owned();
+        if record_history && !text.is_empty() {
+            self.inner.history.lock().push(text.clone());
+        }
+        Ok(Some(text))
+    }
+
+    /// Reads a line with echo off (password entry), restoring the previous
+    /// echo state afterwards.
+    ///
+    /// # Errors
+    ///
+    /// As [`Terminal::read_string`].
+    pub fn read_secret(&self, prompt: &str) -> Result<Option<String>> {
+        let was = self.echo();
+        self.set_echo(false);
+        // Secrets are neither echoed nor recorded in the history buffer.
+        let result = self.read_line_internal(prompt, false);
+        self.set_echo(was);
+        result
+    }
+
+    /// The history buffer (most recent last).
+    pub fn history(&self) -> Vec<String> {
+        self.inner.history.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for Terminal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Terminal")
+            .field("echo", &self.echo())
+            .field("screen_bytes", &self.inner.screen.lock().len())
+            .field("history", &self.inner.history.lock().len())
+            .finish()
+    }
+}
+
+pub(crate) struct TerminalReadDevice {
+    terminal: Terminal,
+}
+
+impl ReadDevice for TerminalReadDevice {
+    fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        let n = self.terminal.inner.kbd_reader.read(buf)?;
+        // Raw reads echo too, like a canonical-mode tty.
+        if n > 0 && self.terminal.echo() {
+            let _ = self.terminal.write_screen(&buf[..n]);
+        }
+        Ok(n)
+    }
+
+    fn as_any(&self) -> Option<&(dyn std::any::Any + Send + Sync)> {
+        Some(self)
+    }
+}
+
+struct TerminalWriteDevice {
+    terminal: Terminal,
+}
+
+impl WriteDevice for TerminalWriteDevice {
+    fn write(&self, data: &[u8]) -> Result<()> {
+        self.terminal.write_screen(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_lines_reach_application_side() {
+        let term = Terminal::new();
+        let stdin = term.in_stream(IoToken(1));
+        term.type_line("hello").unwrap();
+        assert_eq!(stdin.read_line().unwrap().as_deref(), Some("hello"));
+        term.type_eof();
+        assert_eq!(stdin.read_line().unwrap(), None);
+    }
+
+    #[test]
+    fn output_reaches_screen() {
+        let term = Terminal::new();
+        let stdout = term.out_stream(IoToken(1));
+        stdout.println("result line").unwrap();
+        assert!(term.screen_text().contains("result line\n"));
+        term.clear_screen();
+        assert!(term.screen_text().is_empty());
+    }
+
+    #[test]
+    fn read_string_echoes_and_records_history() {
+        let term = Terminal::new();
+        term.type_line("first command").unwrap();
+        let line = term.read_string("$ ").unwrap().unwrap();
+        assert_eq!(line, "first command");
+        let screen = term.screen_text();
+        assert!(screen.contains("$ "));
+        assert!(screen.contains("first command"));
+        assert_eq!(term.history(), vec!["first command"]);
+    }
+
+    #[test]
+    fn read_secret_does_not_echo() {
+        let term = Terminal::new();
+        term.type_line("hunter2").unwrap();
+        let secret = term.read_secret("Password: ").unwrap().unwrap();
+        assert_eq!(secret, "hunter2");
+        let screen = term.screen_text();
+        assert!(screen.contains("Password: "));
+        assert!(!screen.contains("hunter2"), "password must not echo");
+        assert!(term.echo(), "echo restored");
+        assert!(
+            term.history().is_empty(),
+            "secrets must not enter the history buffer"
+        );
+    }
+
+    #[test]
+    fn raw_stdin_reads_echo_in_canonical_mode() {
+        let term = Terminal::new();
+        let stdin = term.in_stream(IoToken(1));
+        term.type_line("visible").unwrap();
+        let _ = stdin.read_line().unwrap();
+        assert!(term.screen_text().contains("visible"));
+
+        term.set_echo(false);
+        term.type_line("hidden").unwrap();
+        let _ = stdin.read_line().unwrap();
+        assert!(!term.screen_text().contains("hidden"));
+    }
+
+    #[test]
+    fn from_stdin_identifies_terminals_only() {
+        let term = Terminal::new();
+        let stdin = term.in_stream(IoToken(1));
+        let recovered = Terminal::from_stdin(&stdin).expect("terminal-backed stdin");
+        recovered.type_line("x").unwrap();
+        assert_eq!(stdin.read_line().unwrap().as_deref(), Some("x"));
+
+        let pipe_stdin = InStream::from_bytes(b"not a terminal".to_vec(), IoToken(1));
+        assert!(Terminal::from_stdin(&pipe_stdin).is_none());
+    }
+
+    #[test]
+    fn eof_then_read_string_returns_none() {
+        let term = Terminal::new();
+        term.type_eof();
+        assert_eq!(term.read_string("$ ").unwrap(), None);
+    }
+}

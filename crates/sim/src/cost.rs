@@ -1,0 +1,137 @@
+//! The cost model: parameters of the simulated operating system.
+//!
+//! Defaults are order-of-magnitude figures consistent with the systems
+//! literature the paper cites (SPIN, Exokernel-era measurements, single
+//! address-space O/S papers): what matters for reproducing the paper's §2
+//! argument is the *ratios* — an address-space switch costs several times a
+//! same-space thread switch once TLB/cache refill is charged; a process
+//! launch plus runtime boot costs orders of magnitude more than a thread
+//! spawn; per-process fixed memory dwarfs per-application state. All
+//! parameters are plain fields so experiments can sweep them.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the simulated O/S and hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of entering/leaving the kernel (one syscall), ns.
+    pub syscall_ns: u64,
+    /// Direct cost of switching between threads of one address space, ns.
+    pub thread_switch_ns: u64,
+    /// Extra direct cost of switching address spaces (page-table swap,
+    /// pipeline effects), ns.
+    pub addr_space_switch_extra_ns: u64,
+    /// Cache+TLB refill charged after an address-space switch, per KiB of
+    /// the incoming working set, ns.
+    pub cache_refill_ns_per_kib: u64,
+    /// Copying data kernel<->user, ns per KiB.
+    pub copy_ns_per_kib: u64,
+    /// Pipe buffer capacity, bytes.
+    pub pipe_capacity: usize,
+    /// fork+exec of a new process, µs.
+    pub process_spawn_us: u64,
+    /// Booting a JVM inside a fresh process (runtime init, core class
+    /// loading/linking — paper §3.1), ms.
+    pub jvm_boot_ms: u64,
+    /// Creating a thread in an existing process, µs.
+    pub thread_spawn_us: u64,
+    /// Per-application setup inside a running multi-processing VM (thread
+    /// group, class loader, re-defined `System` class), µs.
+    pub app_setup_us: u64,
+    /// Fixed memory of one JVM process (runtime, heap reserve, JIT, core
+    /// class metadata), KiB.
+    pub jvm_base_kib: u64,
+    /// Memory of one application's own state (objects, stacks), KiB.
+    pub app_kib: u64,
+    /// Extra per-application memory inside a multi-processing VM (the
+    /// re-loaded `System` class, loader, group bookkeeping), KiB.
+    pub mp_app_overhead_kib: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            syscall_ns: 500,
+            thread_switch_ns: 600,
+            addr_space_switch_extra_ns: 1_800,
+            cache_refill_ns_per_kib: 150,
+            copy_ns_per_kib: 60,
+            pipe_capacity: 65_536,
+            process_spawn_us: 900,
+            jvm_boot_ms: 350,
+            thread_spawn_us: 25,
+            app_setup_us: 120,
+            jvm_base_kib: 8 * 1024,
+            app_kib: 512,
+            mp_app_overhead_kib: 48,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one context switch, ns.
+    ///
+    /// `cross_address_space` charges the page-table swap and the cache/TLB
+    /// refill for `working_set_kib` — the costs the paper's §2 says a
+    /// single-address-space system avoids ("caches need not be cleared,
+    /// page-table pointers don't have to be adjusted").
+    pub fn context_switch_ns(&self, cross_address_space: bool, working_set_kib: u64) -> u64 {
+        if cross_address_space {
+            self.thread_switch_ns
+                + self.addr_space_switch_extra_ns
+                + self.cache_refill_ns_per_kib * working_set_kib
+        } else {
+            self.thread_switch_ns
+        }
+    }
+
+    /// Cost of copying `bytes` across the user/kernel boundary once, ns.
+    pub fn copy_ns(&self, bytes: usize) -> u64 {
+        // Round up to whole KiB so tiny writes still pay something.
+        let kib = bytes.div_ceil(1024) as u64;
+        self.copy_ns_per_kib * kib.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_space_switch_is_much_more_expensive() {
+        let m = CostModel::default();
+        let same = m.context_switch_ns(false, 256);
+        let cross = m.context_switch_ns(true, 256);
+        assert!(
+            cross > 10 * same,
+            "cross-AS switch ({cross}ns) should dwarf same-AS ({same}ns)"
+        );
+    }
+
+    #[test]
+    fn cross_space_cost_grows_with_working_set() {
+        let m = CostModel::default();
+        assert!(m.context_switch_ns(true, 1024) > m.context_switch_ns(true, 16));
+        // Same-space cost does not depend on the working set.
+        assert_eq!(
+            m.context_switch_ns(false, 1024),
+            m.context_switch_ns(false, 16)
+        );
+    }
+
+    #[test]
+    fn copy_rounds_up() {
+        let m = CostModel::default();
+        assert_eq!(m.copy_ns(1), m.copy_ns(1024));
+        assert_eq!(m.copy_ns(1025), 2 * m.copy_ns_per_kib);
+        assert!(m.copy_ns(0) > 0);
+    }
+
+    #[test]
+    fn model_serializes() {
+        let m = CostModel::default();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,244 @@
+//! A small discrete-event simulation engine.
+//!
+//! Events are closures over a world state `W`, scheduled at absolute
+//! [`SimTime`]s; ties break in schedule order, so runs are deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Simulated time in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from nanoseconds.
+    pub fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Builds from microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds from milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start (truncating).
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since start (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition of a nanosecond delta.
+    pub fn after(self, delta_ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delta_ns))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>, &mut W)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event-driven simulation over world state `W`.
+pub struct Simulation<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    executed: u64,
+}
+
+impl<W> Default for Simulation<W> {
+    fn default() -> Simulation<W> {
+        Simulation::new()
+    }
+}
+
+impl<W> Simulation<W> {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Simulation<W> {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now if in the
+    /// past).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut Simulation<W>, &mut W) + 'static,
+    ) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        }));
+    }
+
+    /// Schedules `event` `delta_ns` after now.
+    pub fn schedule_in(
+        &mut self,
+        delta_ns: u64,
+        event: impl FnOnce(&mut Simulation<W>, &mut W) + 'static,
+    ) {
+        self.schedule_at(self.now.after(delta_ns), event);
+    }
+
+    /// Runs until the queue drains; returns the final time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while let Some(Reverse(next)) = self.queue.pop() {
+            self.now = next.at;
+            self.executed += 1;
+            (next.run)(self, world);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimTime(1_500_000).as_millis(), 1);
+        assert_eq!(SimTime(500).to_string(), "500ns");
+        assert_eq!(SimTime(1_500).to_string(), "1.500us");
+        assert_eq!(SimTime(2_000_000).to_string(), "2.000ms");
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime(30), |_s, w: &mut Vec<u32>| w.push(3));
+        sim.schedule_at(SimTime(10), |_s, w| w.push(1));
+        sim.schedule_at(SimTime(20), |_s, w| w.push(2));
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(end, SimTime(30));
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_schedule_order() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        let mut world = Vec::new();
+        for i in 0..5 {
+            sim.schedule_at(SimTime(7), move |_s, w: &mut Vec<u32>| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_may_schedule_events() {
+        // A chain: each event schedules the next until a counter runs out.
+        struct World {
+            remaining: u32,
+            hops: u32,
+        }
+        fn hop(sim: &mut Simulation<World>, world: &mut World) {
+            world.hops += 1;
+            if world.remaining > 0 {
+                world.remaining -= 1;
+                sim.schedule_in(100, hop);
+            }
+        }
+        let mut sim = Simulation::new();
+        let mut world = World {
+            remaining: 9,
+            hops: 0,
+        };
+        sim.schedule_at(SimTime::ZERO, hop);
+        let end = sim.run(&mut world);
+        assert_eq!(world.hops, 10);
+        assert_eq!(end, SimTime(900));
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim: Simulation<Vec<u64>> = Simulation::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime(100), |sim, w: &mut Vec<u64>| {
+            sim.schedule_at(SimTime(5), |sim2, w2: &mut Vec<u64>| {
+                w2.push(sim2.now().as_nanos());
+            });
+            w.push(sim.now().as_nanos());
+        });
+        sim.run(&mut world);
+        assert_eq!(world, vec![100, 100]);
+    }
+}

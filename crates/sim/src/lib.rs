@@ -1,0 +1,42 @@
+//! # jmp-sim
+//!
+//! A discrete-event cost model of a conventional operating system hosting
+//! **one JVM process per application** — the baseline the paper's §2 case
+//! for a single multi-processing JVM argues against.
+//!
+//! The paper's claims are qualitative ("context switching is much less
+//! expensive if performed within one address space, because caches need not
+//! be cleared, page-table pointers don't have to be adjusted... IPC is also
+//! much cheaper in a single address space"); hardware to measure 1997-era
+//! processes is long gone, so per the substitution rule the comparison's
+//! *multi-JVM side* is simulated from a parameterized [`CostModel`] while
+//! the single-VM side is **measured** on the real `jmp-core` runtime by the
+//! benchmark harness. The experiments in EXPERIMENTS.md (E5a–E5e) check
+//! shapes and ratios, not absolute numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use jmp_sim::{simulate_launch, CostModel, HostingMode};
+//!
+//! let model = CostModel::default();
+//! let multi = simulate_launch(&model, 4, HostingMode::MultiJvm);
+//! let single = simulate_launch(&model, 4, HostingMode::SingleVm);
+//! assert!(multi > single);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod engine;
+mod os;
+mod sched;
+
+pub use cost::CostModel;
+pub use engine::{SimTime, Simulation};
+pub use os::{
+    memory_footprint_kib, simulate_context_switches, simulate_launch, simulate_pipe_transfer,
+    HostingMode, PipeRun,
+};
+pub use sched::{simulate_interactive_load, InteractiveLoad, ResponseStats};

@@ -1,0 +1,292 @@
+//! Scenario simulations: the multi-JVM (one process per application)
+//! baseline that the paper's single-VM design is compared against (§2).
+
+use crate::cost::CostModel;
+use crate::engine::{SimTime, Simulation};
+
+/// How applications are hosted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostingMode {
+    /// One O/S process (with its own JVM) per application — the baseline.
+    MultiJvm,
+    /// All applications inside one multi-processing VM — the paper's design.
+    SingleVm,
+}
+
+/// Simulates launching `n_apps` applications sequentially and returns the
+/// total time.
+///
+/// Multi-JVM: each launch pays `fork+exec` plus a full JVM boot (runtime
+/// init and core class linking, paper §3.1). Single-VM: each launch pays a
+/// thread spawn plus the multi-processing setup (thread group, loader,
+/// re-defined `System` class, §5.1/§5.5).
+pub fn simulate_launch(model: &CostModel, n_apps: u32, mode: HostingMode) -> SimTime {
+    struct World {
+        per_launch_ns: u64,
+        remaining: u32,
+    }
+    let per_launch_ns = match mode {
+        HostingMode::MultiJvm => (model.process_spawn_us + model.jvm_boot_ms * 1_000) * 1_000,
+        HostingMode::SingleVm => (model.thread_spawn_us + model.app_setup_us) * 1_000,
+    };
+    let mut sim = Simulation::new();
+    let mut world = World {
+        per_launch_ns,
+        remaining: n_apps,
+    };
+    fn launch_one(sim: &mut Simulation<World>, world: &mut World) {
+        if world.remaining == 0 {
+            return;
+        }
+        world.remaining -= 1;
+        let cost = world.per_launch_ns;
+        sim.schedule_in(cost, launch_one);
+    }
+    sim.schedule_at(SimTime::ZERO, launch_one);
+    sim.run(&mut world)
+}
+
+/// Simulates `switches` context switches between two tasks with the given
+/// working set, and returns the total time. `cross_address_space` selects
+/// process-to-process (multi-JVM) vs thread-to-thread (single VM) switching.
+pub fn simulate_context_switches(
+    model: &CostModel,
+    switches: u32,
+    cross_address_space: bool,
+    working_set_kib: u64,
+) -> SimTime {
+    struct World {
+        cost_ns: u64,
+        remaining: u32,
+    }
+    let mut sim = Simulation::new();
+    let mut world = World {
+        cost_ns: model.context_switch_ns(cross_address_space, working_set_kib),
+        remaining: switches,
+    };
+    fn switch(sim: &mut Simulation<World>, world: &mut World) {
+        if world.remaining == 0 {
+            return;
+        }
+        world.remaining -= 1;
+        let cost = world.cost_ns;
+        sim.schedule_in(cost, switch);
+    }
+    sim.schedule_at(SimTime::ZERO, switch);
+    sim.run(&mut world)
+}
+
+/// Result of a pipe-transfer simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeRun {
+    /// Total simulated time.
+    pub elapsed: SimTime,
+    /// Context switches that occurred.
+    pub switches: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+impl PipeRun {
+    /// Throughput in MiB/s.
+    pub fn mib_per_sec(&self) -> f64 {
+        if self.elapsed.as_nanos() == 0 {
+            return f64::INFINITY;
+        }
+        (self.bytes as f64 / (1024.0 * 1024.0)) / (self.elapsed.as_nanos() as f64 / 1e9)
+    }
+}
+
+/// Simulates transferring `total_bytes` through a blocking O/S pipe between
+/// a writer and a reader in `chunk`-byte writes, and returns elapsed time
+/// and context-switch count.
+///
+/// The writer fills the pipe buffer (one syscall + one copy per chunk),
+/// blocks, and the scheduler switches to the reader, which drains it; each
+/// hand-off is a context switch, cross-address-space when the endpoints are
+/// separate processes (multi-JVM). This is the §2 claim "inter-process
+/// communication is also much cheaper in a single address space" — compare
+/// against the *measured* in-VM pipe of `jmp-vm`.
+pub fn simulate_pipe_transfer(
+    model: &CostModel,
+    total_bytes: u64,
+    chunk: usize,
+    cross_address_space: bool,
+    working_set_kib: u64,
+) -> PipeRun {
+    struct World {
+        model: CostModel,
+        total: u64,
+        chunk: usize,
+        produced: u64,
+        consumed: u64,
+        buffered: u64,
+        cross: bool,
+        ws: u64,
+        switches: u64,
+    }
+    let mut sim = Simulation::new();
+    let mut world = World {
+        model: model.clone(),
+        total: total_bytes,
+        chunk: chunk.max(1),
+        produced: 0,
+        consumed: 0,
+        buffered: 0,
+        cross: cross_address_space,
+        ws: working_set_kib,
+        switches: 0,
+    };
+
+    fn writer_turn(sim: &mut Simulation<World>, world: &mut World) {
+        let mut busy = 0u64;
+        // Write whole chunks until the buffer has no room for another.
+        while world.produced < world.total
+            && world.buffered + world.chunk as u64 <= world.model.pipe_capacity as u64
+        {
+            let n = world.chunk.min((world.total - world.produced) as usize);
+            busy += world.model.syscall_ns + world.model.copy_ns(n);
+            world.produced += n as u64;
+            world.buffered += n as u64;
+        }
+        if world.consumed < world.total {
+            // Writer blocks (or finished); switch to the reader.
+            world.switches += 1;
+            let switch = world.model.context_switch_ns(world.cross, world.ws);
+            sim.schedule_in(busy + switch, reader_turn);
+        }
+    }
+
+    fn reader_turn(sim: &mut Simulation<World>, world: &mut World) {
+        let mut busy = 0u64;
+        while world.buffered > 0 {
+            let n = world.chunk.min(world.buffered as usize);
+            busy += world.model.syscall_ns + world.model.copy_ns(n);
+            world.consumed += n as u64;
+            world.buffered -= n as u64;
+        }
+        if world.consumed < world.total {
+            // Pipe drained but more is coming; switch back to the writer.
+            world.switches += 1;
+            let switch = world.model.context_switch_ns(world.cross, world.ws);
+            sim.schedule_in(busy + switch, writer_turn);
+        } else {
+            // Account the reader's final drain time.
+            sim.schedule_in(busy, |_sim, _world| {});
+        }
+    }
+
+    sim.schedule_at(SimTime::ZERO, writer_turn);
+    let elapsed = sim.run(&mut world);
+    PipeRun {
+        elapsed,
+        switches: world.switches,
+        bytes: world.consumed,
+    }
+}
+
+/// Total memory footprint (KiB) of hosting `n_apps` applications.
+///
+/// Multi-JVM: every application pays the fixed per-JVM cost. Single VM: one
+/// fixed cost, plus per-application state and the small multi-processing
+/// overhead (re-loaded `System` class, loader, group — §5.5).
+pub fn memory_footprint_kib(model: &CostModel, n_apps: u64, mode: HostingMode) -> u64 {
+    match mode {
+        HostingMode::MultiJvm => n_apps * (model.jvm_base_kib + model.app_kib),
+        HostingMode::SingleVm => {
+            model.jvm_base_kib + n_apps * (model.app_kib + model.mp_app_overhead_kib)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_vm_launch_is_orders_of_magnitude_faster() {
+        let m = CostModel::default();
+        let multi = simulate_launch(&m, 8, HostingMode::MultiJvm);
+        let single = simulate_launch(&m, 8, HostingMode::SingleVm);
+        assert!(
+            multi.as_nanos() > 100 * single.as_nanos(),
+            "multi {multi} vs single {single}"
+        );
+    }
+
+    #[test]
+    fn launch_scales_linearly() {
+        let m = CostModel::default();
+        let four = simulate_launch(&m, 4, HostingMode::SingleVm);
+        let eight = simulate_launch(&m, 8, HostingMode::SingleVm);
+        assert_eq!(eight.as_nanos(), 2 * four.as_nanos());
+        assert_eq!(simulate_launch(&m, 0, HostingMode::MultiJvm), SimTime::ZERO);
+    }
+
+    #[test]
+    fn context_switch_storm_matches_unit_cost() {
+        let m = CostModel::default();
+        let n = 1000;
+        let same = simulate_context_switches(&m, n, false, 256);
+        assert_eq!(same.as_nanos(), u64::from(n) * m.thread_switch_ns);
+        let cross = simulate_context_switches(&m, n, true, 256);
+        assert_eq!(
+            cross.as_nanos(),
+            u64::from(n) * m.context_switch_ns(true, 256)
+        );
+    }
+
+    #[test]
+    fn pipe_transfer_conserves_bytes_and_counts_switches() {
+        let m = CostModel::default();
+        let run = simulate_pipe_transfer(&m, 1 << 20, 4096, true, 256);
+        assert_eq!(run.bytes, 1 << 20);
+        // 1 MiB through a 64 KiB buffer: 16 fills, two switches per round
+        // trip except the final drain.
+        assert_eq!(run.switches, 31);
+        assert!(run.elapsed > SimTime::ZERO);
+        assert!(run.mib_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn same_space_pipe_is_faster_than_cross_space() {
+        let m = CostModel::default();
+        let cross = simulate_pipe_transfer(&m, 1 << 22, 4096, true, 512);
+        let same = simulate_pipe_transfer(&m, 1 << 22, 4096, false, 512);
+        assert_eq!(cross.bytes, same.bytes);
+        assert!(
+            cross.elapsed.as_nanos() > same.elapsed.as_nanos(),
+            "cross {} vs same {}",
+            cross.elapsed,
+            same.elapsed
+        );
+    }
+
+    #[test]
+    fn small_chunks_cost_more_than_large() {
+        let m = CostModel::default();
+        let small = simulate_pipe_transfer(&m, 1 << 20, 256, true, 256);
+        let large = simulate_pipe_transfer(&m, 1 << 20, 16 * 1024, true, 256);
+        assert!(small.elapsed > large.elapsed);
+        assert!(small.mib_per_sec() < large.mib_per_sec());
+    }
+
+    #[test]
+    fn memory_crossover() {
+        let m = CostModel::default();
+        // One application: single VM carries the same JVM base; roughly a
+        // wash. Sixteen applications: multi-JVM pays 16 JVMs.
+        let multi_16 = memory_footprint_kib(&m, 16, HostingMode::MultiJvm);
+        let single_16 = memory_footprint_kib(&m, 16, HostingMode::SingleVm);
+        assert!(
+            multi_16 > 5 * single_16,
+            "multi {multi_16} KiB vs single {single_16} KiB"
+        );
+        // Zero applications: the single VM still holds its base.
+        assert_eq!(memory_footprint_kib(&m, 0, HostingMode::MultiJvm), 0);
+        assert_eq!(
+            memory_footprint_kib(&m, 0, HostingMode::SingleVm),
+            m.jvm_base_kib
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! A round-robin scheduler model: interactive responsiveness under
+//! compute load.
+//!
+//! §2's desktop scenario is many applications sharing one machine. What a
+//! user *feels* is the latency of the interactive application while
+//! compute-bound neighbors hog the CPU. The scheduler charges a context
+//! switch on every task change — cross-address-space (multi-JVM) or
+//! same-space (single VM) — so the per-switch gap of
+//! [`CostModel::context_switch_ns`] compounds into response-time gaps.
+
+use crate::cost::CostModel;
+use crate::engine::SimTime;
+use crate::os::HostingMode;
+
+/// Workload parameters for [`simulate_interactive_load`].
+#[derive(Debug, Clone)]
+pub struct InteractiveLoad {
+    /// Number of compute-bound tasks sharing the CPU.
+    pub compute_tasks: u32,
+    /// Scheduler quantum, ns.
+    pub quantum_ns: u64,
+    /// Interval between interactive events (user keystrokes/clicks), ns.
+    pub event_interval_ns: u64,
+    /// CPU work needed to respond to one event, ns.
+    pub response_burst_ns: u64,
+    /// Number of interactive events to simulate.
+    pub events: u32,
+    /// Working set per task, KiB (drives the cross-space refill charge).
+    pub working_set_kib: u64,
+}
+
+impl Default for InteractiveLoad {
+    fn default() -> InteractiveLoad {
+        InteractiveLoad {
+            compute_tasks: 4,
+            quantum_ns: 10_000_000,         // 10ms quantum
+            event_interval_ns: 100_000_000, // one event per 100ms
+            response_burst_ns: 2_000_000,   // 2ms of work per response
+            events: 50,
+            working_set_kib: 512,
+        }
+    }
+}
+
+/// Response-latency statistics from a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Mean event-to-response-complete latency.
+    pub mean: SimTime,
+    /// Worst-case latency.
+    pub max: SimTime,
+    /// Total simulated span.
+    pub span: SimTime,
+    /// Context switches taken.
+    pub switches: u64,
+}
+
+/// Simulates a round-robin CPU shared by `compute_tasks` always-runnable
+/// tasks and one interactive task that wakes for each event, needs
+/// `response_burst_ns` of CPU, then sleeps again. Returns the interactive
+/// task's response-latency statistics.
+///
+/// `mode` selects the switch cost: separate processes
+/// ([`HostingMode::MultiJvm`]) pay the cross-address-space price on every
+/// hand-off; threads of one VM ([`HostingMode::SingleVm`]) pay the thread
+/// switch only.
+pub fn simulate_interactive_load(
+    model: &CostModel,
+    load: &InteractiveLoad,
+    mode: HostingMode,
+) -> ResponseStats {
+    let cross = mode == HostingMode::MultiJvm;
+    let switch_ns = model.context_switch_ns(cross, load.working_set_kib);
+
+    let mut clock: u64 = 0;
+    let mut switches: u64 = 0;
+    let mut latencies: Vec<u64> = Vec::with_capacity(load.events as usize);
+
+    let mut events_done: u32 = 0;
+    let mut next_event: u64 = load.event_interval_ns;
+    let mut burst_left: u64 = 0; // outstanding interactive work
+    let mut event_arrived_at: u64 = 0;
+    // Plain round-robin: the K compute tasks and the interactive task take
+    // turns in a fixed cycle. An event that arrives mid-round waits until
+    // the interactive task's slot comes around — so the wait scales with K,
+    // and every hand-off in between is charged a context switch.
+    loop {
+        if events_done >= load.events && burst_left == 0 {
+            break;
+        }
+        if load.compute_tasks == 0 && burst_left == 0 {
+            // Idle machine: sleep until the next event.
+            clock = clock.max(next_event);
+        } else {
+            // One round of the compute tasks, quantum each (non-preemptive:
+            // an arriving event waits out the round — the round-robin cost
+            // the user feels).
+            for _ in 0..load.compute_tasks {
+                switches += 1;
+                clock += switch_ns + load.quantum_ns;
+            }
+        }
+        // Deliver a pending event at the interactive task's slot.
+        if burst_left == 0 && clock >= next_event && events_done < load.events {
+            event_arrived_at = next_event;
+            burst_left = load.response_burst_ns;
+            next_event += load.event_interval_ns;
+        }
+        // The interactive task's turn.
+        if burst_left > 0 {
+            while burst_left > 0 {
+                switches += 1;
+                clock += switch_ns;
+                let run = burst_left.min(load.quantum_ns);
+                clock += run;
+                burst_left -= run;
+            }
+            latencies.push(clock.saturating_sub(event_arrived_at));
+            events_done += 1;
+        }
+    }
+
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    ResponseStats {
+        mean: SimTime(mean),
+        max: SimTime(latencies.iter().copied().max().unwrap_or(0)),
+        span: SimTime(clock),
+        switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_vm_responds_faster_under_load() {
+        let model = CostModel::default();
+        let load = InteractiveLoad::default();
+        let multi = simulate_interactive_load(&model, &load, HostingMode::MultiJvm);
+        let single = simulate_interactive_load(&model, &load, HostingMode::SingleVm);
+        assert!(
+            multi.mean > single.mean,
+            "multi {:?} vs single {:?}",
+            multi.mean,
+            single.mean
+        );
+        // (No assertion on max: it depends on event phase relative to the
+        // round, which shifts between modes as rounds stretch.)
+    }
+
+    #[test]
+    fn latency_grows_with_compute_load() {
+        let model = CostModel::default();
+        let quiet = InteractiveLoad {
+            compute_tasks: 0,
+            ..InteractiveLoad::default()
+        };
+        let busy = InteractiveLoad {
+            compute_tasks: 8,
+            ..InteractiveLoad::default()
+        };
+        let quiet_stats = simulate_interactive_load(&model, &quiet, HostingMode::SingleVm);
+        let busy_stats = simulate_interactive_load(&model, &busy, HostingMode::SingleVm);
+        assert!(busy_stats.mean > quiet_stats.mean);
+    }
+
+    #[test]
+    fn idle_system_latency_is_burst_plus_one_switch() {
+        let model = CostModel::default();
+        let load = InteractiveLoad {
+            compute_tasks: 0,
+            events: 10,
+            ..InteractiveLoad::default()
+        };
+        let stats = simulate_interactive_load(&model, &load, HostingMode::SingleVm);
+        let expected =
+            load.response_burst_ns + model.context_switch_ns(false, load.working_set_kib);
+        assert_eq!(stats.mean.as_nanos(), expected);
+        assert_eq!(stats.max.as_nanos(), expected);
+    }
+
+    #[test]
+    fn all_events_are_served() {
+        let model = CostModel::default();
+        let load = InteractiveLoad {
+            events: 25,
+            ..InteractiveLoad::default()
+        };
+        let stats = simulate_interactive_load(&model, &load, HostingMode::MultiJvm);
+        assert!(stats.span > SimTime::ZERO);
+        assert!(stats.switches >= 25);
+    }
+
+    #[test]
+    fn working_set_widens_the_gap() {
+        let model = CostModel::default();
+        let small = InteractiveLoad {
+            working_set_kib: 16,
+            ..InteractiveLoad::default()
+        };
+        let large = InteractiveLoad {
+            working_set_kib: 2048,
+            ..InteractiveLoad::default()
+        };
+        let gap = |load: &InteractiveLoad| {
+            let multi = simulate_interactive_load(&model, load, HostingMode::MultiJvm);
+            let single = simulate_interactive_load(&model, load, HostingMode::SingleVm);
+            multi.mean.as_nanos() as f64 / single.mean.as_nanos().max(1) as f64
+        };
+        assert!(gap(&large) > gap(&small));
+    }
+}

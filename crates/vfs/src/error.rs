@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the virtual filesystem.
+///
+/// `PermissionDenied` here is the *O/S-level* denial (effective-uid vs mode
+/// bits). It is deliberately a different type from
+/// `jmp_security::SecurityError`: the paper points out that a Java
+/// application "cannot see files that the UNIX user who runs the JVM is not
+/// allowed to access, and an attempt to access those files results in a
+/// FileNotFoundException instead of a SecurityException" (paper §4,
+/// Feature 3 discussion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VfsError {
+    /// No entry at the path.
+    NotFound {
+        /// The path that was looked up.
+        path: String,
+    },
+    /// A non-directory appeared where a directory was required.
+    NotADirectory {
+        /// The offending path.
+        path: String,
+    },
+    /// A directory appeared where a file was required.
+    IsADirectory {
+        /// The offending path.
+        path: String,
+    },
+    /// The target already exists.
+    AlreadyExists {
+        /// The path that already exists.
+        path: String,
+    },
+    /// A directory could not be removed because it has entries.
+    NotEmpty {
+        /// The non-empty directory.
+        path: String,
+    },
+    /// O/S-level permission denial: the acting user's id and the node's
+    /// owner/mode bits do not allow the operation.
+    PermissionDenied {
+        /// The path being accessed.
+        path: String,
+        /// The action that was denied (`read`, `write`, `delete`, `traverse`, ...).
+        action: &'static str,
+    },
+    /// The path is syntactically invalid (empty, or relative where an
+    /// absolute path is required).
+    InvalidPath {
+        /// The invalid path text.
+        path: String,
+    },
+}
+
+impl VfsError {
+    pub(crate) fn not_found(path: impl Into<String>) -> VfsError {
+        VfsError::NotFound { path: path.into() }
+    }
+
+    pub(crate) fn denied(path: impl Into<String>, action: &'static str) -> VfsError {
+        VfsError::PermissionDenied {
+            path: path.into(),
+            action,
+        }
+    }
+
+    /// Returns `true` for the `NotFound` variant.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, VfsError::NotFound { .. })
+    }
+
+    /// Returns `true` for the O/S-level `PermissionDenied` variant.
+    pub fn is_permission_denied(&self) -> bool {
+        matches!(self, VfsError::PermissionDenied { .. })
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound { path } => write!(f, "no such file or directory: {path}"),
+            VfsError::NotADirectory { path } => write!(f, "not a directory: {path}"),
+            VfsError::IsADirectory { path } => write!(f, "is a directory: {path}"),
+            VfsError::AlreadyExists { path } => write!(f, "file exists: {path}"),
+            VfsError::NotEmpty { path } => write!(f, "directory not empty: {path}"),
+            VfsError::PermissionDenied { path, action } => {
+                write!(f, "permission denied ({action}): {path}")
+            }
+            VfsError::InvalidPath { path } => write!(f, "invalid path: {path:?}"),
+        }
+    }
+}
+
+impl Error for VfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path_and_action() {
+        let err = VfsError::denied("/home/bob/x", "read");
+        let text = err.to_string();
+        assert!(text.contains("/home/bob/x") && text.contains("read"));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(VfsError::not_found("/x").is_not_found());
+        assert!(!VfsError::not_found("/x").is_permission_denied());
+        assert!(VfsError::denied("/x", "write").is_permission_denied());
+    }
+}

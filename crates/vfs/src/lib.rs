@@ -1,0 +1,54 @@
+//! # jmp-vfs
+//!
+//! An in-memory, Unix-like virtual filesystem for the jmproc runtime.
+//!
+//! The paper's multi-user experiments need a filesystem underneath the
+//! runtime for two reasons:
+//!
+//! 1. User-based access control (paper §5.3) must have real objects — files
+//!    owned by Alice and Bob — to protect.
+//! 2. The paper observes (Feature 3 discussion) that the underlying O/S
+//!    enforces its *own* access control, which surfaces to Java code as
+//!    `FileNotFoundException` rather than `SecurityException`. Reproducing
+//!    that distinction requires an O/S layer with its own owners and mode
+//!    bits, separate from the runtime's security manager.
+//!
+//! [`Vfs`] is the filesystem; every operation takes the [`UserId`] it is
+//! performed *as*, mirroring a process's effective uid. The runtime's
+//! security-manager checks happen a layer above, in `jmp-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use jmp_vfs::{Mode, Vfs};
+//! use jmp_security::UserId;
+//!
+//! let fs = Vfs::new();
+//! let root = UserId(0);
+//! let alice = UserId(1);
+//! fs.mkdirs("/home/alice", root)?;
+//! fs.chown("/home/alice", alice, root)?;
+//! fs.write("/home/alice/notes.txt", b"hello", alice)?;
+//! assert_eq!(fs.read("/home/alice/notes.txt", alice)?, b"hello");
+//! # Ok::<(), jmp_vfs::VfsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fs;
+mod mode;
+mod path;
+
+pub use error::VfsError;
+pub use fs::{DirEntry, FileInfo, FileKind, Vfs};
+pub use mode::{Mode, Rwx};
+pub use path::{basename, dirname, is_absolute, join, normalize};
+
+// Re-exported so downstream crates don't need a direct jmp-security
+// dependency just to name an owner.
+pub use jmp_security::UserId;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, VfsError>;

@@ -1,0 +1,196 @@
+use std::fmt;
+
+/// A read/write/execute permission triple for one class of user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rwx {
+    /// Read permission (for directories: list entries).
+    pub read: bool,
+    /// Write permission (for directories: create/remove entries).
+    pub write: bool,
+    /// Execute permission (for directories: traverse).
+    pub execute: bool,
+}
+
+impl Rwx {
+    /// Builds from the low three bits of an octal digit (4=r, 2=w, 1=x).
+    pub fn from_bits(bits: u8) -> Rwx {
+        Rwx {
+            read: bits & 0b100 != 0,
+            write: bits & 0b010 != 0,
+            execute: bits & 0b001 != 0,
+        }
+    }
+
+    /// Converts back to the octal-digit representation.
+    pub fn bits(self) -> u8 {
+        (u8::from(self.read) << 2) | (u8::from(self.write) << 1) | u8::from(self.execute)
+    }
+}
+
+impl fmt::Display for Rwx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.execute { 'x' } else { '-' }
+        )
+    }
+}
+
+/// Unix-style mode bits for a filesystem node, reduced to the two classes
+/// that matter for the paper's experiments: the *owner* and *everyone else*.
+///
+/// (The paper's scenarios — Alice's files vs Bob's files, a world-readable
+/// `/etc`, a private home directory — never need group semantics, so we omit
+/// groups rather than carry dead configuration.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode {
+    /// Permissions for the owning user.
+    pub owner: Rwx,
+    /// Permissions for every other user.
+    pub other: Rwx,
+}
+
+impl Mode {
+    /// `rw- / r--`: the conventional default for files (0644).
+    pub const FILE_DEFAULT: Mode = Mode {
+        owner: Rwx {
+            read: true,
+            write: true,
+            execute: false,
+        },
+        other: Rwx {
+            read: true,
+            write: false,
+            execute: false,
+        },
+    };
+
+    /// `rw- / ---`: a private file (0600).
+    pub const FILE_PRIVATE: Mode = Mode {
+        owner: Rwx {
+            read: true,
+            write: true,
+            execute: false,
+        },
+        other: Rwx {
+            read: false,
+            write: false,
+            execute: false,
+        },
+    };
+
+    /// `rwx / r-x`: the conventional default for directories (0755).
+    pub const DIR_DEFAULT: Mode = Mode {
+        owner: Rwx {
+            read: true,
+            write: true,
+            execute: true,
+        },
+        other: Rwx {
+            read: true,
+            write: false,
+            execute: true,
+        },
+    };
+
+    /// `rwx / ---`: a private directory (0700).
+    pub const DIR_PRIVATE: Mode = Mode {
+        owner: Rwx {
+            read: true,
+            write: true,
+            execute: true,
+        },
+        other: Rwx {
+            read: false,
+            write: false,
+            execute: false,
+        },
+    };
+
+    /// `rwx / rwx`: world-writable (0777), e.g. `/tmp`.
+    pub const WORLD_WRITABLE: Mode = Mode {
+        owner: Rwx {
+            read: true,
+            write: true,
+            execute: true,
+        },
+        other: Rwx {
+            read: true,
+            write: true,
+            execute: true,
+        },
+    };
+
+    /// Builds a mode from a three-digit octal literal such as `0o644`; the
+    /// middle (group) digit is accepted for familiarity and ignored.
+    pub fn from_octal(octal: u16) -> Mode {
+        Mode {
+            owner: Rwx::from_bits(((octal >> 6) & 0o7) as u8),
+            other: Rwx::from_bits((octal & 0o7) as u8),
+        }
+    }
+
+    /// The permissions that apply to `is_owner`.
+    pub fn class(self, is_owner: bool) -> Rwx {
+        if is_owner {
+            self.owner
+        } else {
+            self.other
+        }
+    }
+}
+
+impl Default for Mode {
+    fn default() -> Mode {
+        Mode::FILE_DEFAULT
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.owner, self.other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octal_roundtrip() {
+        let m = Mode::from_octal(0o644);
+        assert_eq!(m, Mode::FILE_DEFAULT);
+        let m = Mode::from_octal(0o700);
+        assert_eq!(m, Mode::DIR_PRIVATE);
+        assert_eq!(Mode::from_octal(0o755), Mode::DIR_DEFAULT);
+        assert_eq!(Mode::from_octal(0o777), Mode::WORLD_WRITABLE);
+    }
+
+    #[test]
+    fn group_digit_is_ignored() {
+        assert_eq!(Mode::from_octal(0o604), Mode::from_octal(0o674));
+    }
+
+    #[test]
+    fn class_selection() {
+        let m = Mode::FILE_PRIVATE;
+        assert!(m.class(true).read);
+        assert!(!m.class(false).read);
+    }
+
+    #[test]
+    fn display_is_ls_like() {
+        assert_eq!(Mode::FILE_DEFAULT.to_string(), "rw-r--");
+        assert_eq!(Mode::DIR_PRIVATE.to_string(), "rwx---");
+    }
+
+    #[test]
+    fn rwx_bits_roundtrip() {
+        for bits in 0..8u8 {
+            assert_eq!(Rwx::from_bits(bits).bits(), bits);
+        }
+    }
+}

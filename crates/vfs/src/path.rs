@@ -1,0 +1,127 @@
+//! Path utilities for the virtual filesystem.
+//!
+//! Paths are plain `/`-separated strings. [`normalize`] produces the
+//! canonical absolute form used as the key for every [`Vfs`](crate::Vfs)
+//! operation: no trailing slash (except root itself), no `.`/`..`
+//! components, no empty components.
+
+/// Returns `true` if `path` starts with `/`.
+pub fn is_absolute(path: &str) -> bool {
+    path.starts_with('/')
+}
+
+/// Joins `path` onto `base` (which must be absolute). If `path` is already
+/// absolute it wins; otherwise it is resolved relative to `base`.
+///
+/// ```
+/// assert_eq!(jmp_vfs::join("/home/alice", "notes.txt"), "/home/alice/notes.txt");
+/// assert_eq!(jmp_vfs::join("/home/alice", "/etc/passwd"), "/etc/passwd");
+/// assert_eq!(jmp_vfs::join("/home/alice", "../bob"), "/home/bob");
+/// ```
+pub fn join(base: &str, path: &str) -> String {
+    if is_absolute(path) {
+        normalize(path)
+    } else {
+        normalize(&format!("{base}/{path}"))
+    }
+}
+
+/// Normalizes an absolute path: collapses `//`, resolves `.` and `..`
+/// (clamping `..` at root), strips trailing slashes. A relative input is
+/// treated as relative to `/`.
+///
+/// ```
+/// assert_eq!(jmp_vfs::normalize("/a//b/./c/../d/"), "/a/b/d");
+/// assert_eq!(jmp_vfs::normalize("/../.."), "/");
+/// ```
+pub fn normalize(path: &str) -> String {
+    let mut stack: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                stack.pop();
+            }
+            other => stack.push(other),
+        }
+    }
+    if stack.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", stack.join("/"))
+    }
+}
+
+/// Returns the final component of a normalized path (`""` for root).
+///
+/// ```
+/// assert_eq!(jmp_vfs::basename("/home/alice/notes.txt"), "notes.txt");
+/// assert_eq!(jmp_vfs::basename("/"), "");
+/// ```
+pub fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or("")
+}
+
+/// Returns the parent directory of a normalized path (`"/"` for root and
+/// for single-component paths).
+///
+/// ```
+/// assert_eq!(jmp_vfs::dirname("/home/alice/notes.txt"), "/home/alice");
+/// assert_eq!(jmp_vfs::dirname("/home"), "/");
+/// assert_eq!(jmp_vfs::dirname("/"), "/");
+/// ```
+pub fn dirname(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
+/// Splits a normalized absolute path into its components.
+pub(crate) fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_dots_and_slashes() {
+        assert_eq!(normalize("/"), "/");
+        assert_eq!(normalize(""), "/");
+        assert_eq!(normalize("/a/b"), "/a/b");
+        assert_eq!(normalize("/a/b/"), "/a/b");
+        assert_eq!(normalize("//a///b"), "/a/b");
+        assert_eq!(normalize("/a/./b"), "/a/b");
+        assert_eq!(normalize("/a/../b"), "/b");
+        assert_eq!(normalize("/../../.."), "/");
+        assert_eq!(normalize("relative/x"), "/relative/x");
+    }
+
+    #[test]
+    fn join_relative_and_absolute() {
+        assert_eq!(join("/home/alice", "sub/file"), "/home/alice/sub/file");
+        assert_eq!(join("/home/alice", "."), "/home/alice");
+        assert_eq!(join("/home/alice", ".."), "/home");
+        assert_eq!(join("/home/alice", "/abs"), "/abs");
+        assert_eq!(join("/", "x"), "/x");
+    }
+
+    #[test]
+    fn basename_dirname_pairs() {
+        assert_eq!(basename("/a/b/c"), "c");
+        assert_eq!(dirname("/a/b/c"), "/a/b");
+        assert_eq!(basename("/a"), "a");
+        assert_eq!(dirname("/a"), "/");
+        assert_eq!(basename("/"), "");
+        assert_eq!(dirname("/"), "/");
+    }
+
+    #[test]
+    fn components_skips_empties() {
+        let comps: Vec<&str> = components("/a/b/c").collect();
+        assert_eq!(comps, vec!["a", "b", "c"]);
+        assert_eq!(components("/").count(), 0);
+    }
+}

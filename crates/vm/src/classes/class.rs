@@ -1,0 +1,258 @@
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use jmp_security::ProtectionDomain;
+use parking_lot::RwLock;
+
+use super::def::ClassDef;
+use super::loader::LoaderId;
+use crate::error::VmError;
+use crate::stack;
+use crate::Result;
+
+/// The identity of a defined class: the defining loader plus the name.
+///
+/// Two classes with the same name defined by different loaders are
+/// *different classes* — the property the paper's per-application `System`
+/// class depends on (§5.5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassId {
+    /// The defining loader.
+    pub loader: LoaderId,
+    /// The class name.
+    pub name: String,
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.loader)
+    }
+}
+
+/// A value stored in a class's statics table.
+///
+/// Statics are type-erased so the class system does not need to know about
+/// streams, security managers, or anything else layered above it; use
+/// [`Class::static_as`] for typed access.
+pub type StaticValue = Arc<dyn Any + Send + Sync>;
+
+struct ClassInner {
+    id: ClassId,
+    def: Arc<ClassDef>,
+    domain: Arc<ProtectionDomain>,
+    statics: RwLock<HashMap<String, StaticValue>>,
+}
+
+/// A class *defined* by a loader: shared immutable material plus this
+/// definition's own protection domain and statics table.
+///
+/// Cheap handle; clones refer to the same defined class.
+#[derive(Clone)]
+pub struct Class {
+    inner: Arc<ClassInner>,
+}
+
+impl Class {
+    pub(crate) fn define(
+        def: Arc<ClassDef>,
+        loader: LoaderId,
+        domain: Arc<ProtectionDomain>,
+    ) -> Class {
+        let statics = def
+            .static_slots()
+            .iter()
+            .map(|slot| {
+                (
+                    slot.clone(),
+                    Arc::new(()) as StaticValue, // unset marker
+                )
+            })
+            .collect();
+        Class {
+            inner: Arc::new(ClassInner {
+                id: ClassId {
+                    loader,
+                    name: def.name().to_string(),
+                },
+                def,
+                domain,
+                statics: RwLock::new(statics),
+            }),
+        }
+    }
+
+    /// The class identity (defining loader + name).
+    pub fn id(&self) -> &ClassId {
+        &self.inner.id
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.inner.id.name
+    }
+
+    /// The defining loader's id.
+    pub fn loader(&self) -> LoaderId {
+        self.inner.id.loader
+    }
+
+    /// The class material this class was defined from.
+    pub fn def(&self) -> &Arc<ClassDef> {
+        &self.inner.def
+    }
+
+    /// The protection domain assigned at definition time.
+    pub fn domain(&self) -> &Arc<ProtectionDomain> {
+        &self.inner.domain
+    }
+
+    /// Returns `true` if `other` is the very same defined class (same
+    /// definition, not merely same name).
+    pub fn same_class(&self, other: &Class) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Returns `true` if this class was defined from the same material as
+    /// `other` (possibly by a different loader).
+    pub fn same_material(&self, other: &Class) -> bool {
+        Arc::ptr_eq(&self.inner.def, &other.inner.def)
+    }
+
+    /// Reads a static slot.
+    pub fn static_value(&self, slot: &str) -> Option<StaticValue> {
+        self.inner.statics.read().get(slot).cloned()
+    }
+
+    /// Reads a static slot, downcast to `T`. Returns `None` if the slot is
+    /// absent, unset, or of another type.
+    pub fn static_as<T: Any + Send + Sync>(&self, slot: &str) -> Option<Arc<T>> {
+        self.static_value(slot)?.downcast::<T>().ok()
+    }
+
+    /// Writes a static slot (created if not declared in the material).
+    pub fn set_static(&self, slot: impl Into<String>, value: StaticValue) {
+        self.inner.statics.write().insert(slot.into(), value);
+    }
+
+    /// Runs `f` attributed to this class: a stack frame carrying the class's
+    /// protection domain is pushed for the duration (see [`crate::stack`]).
+    pub fn call<R>(&self, f: impl FnOnce() -> R) -> R {
+        stack::call_as(self.name(), Arc::clone(&self.inner.domain), f)
+    }
+
+    /// Invokes the class's native `main` with `args`, attributed to the
+    /// class (a frame with its protection domain is on the stack).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoMainMethod`] if the material has no native entry point;
+    /// otherwise whatever `main` returns.
+    pub fn run_main(&self, args: Vec<String>) -> Result<()> {
+        let main = self
+            .inner
+            .def
+            .main()
+            .cloned()
+            .ok_or_else(|| VmError::NoMainMethod {
+                name: self.name().to_string(),
+            })?;
+        self.call(|| main(args))
+    }
+}
+
+impl fmt::Debug for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Class")
+            .field("id", &self.inner.id)
+            .field("domain", &self.inner.domain.code_source().url())
+            .finish()
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmp_security::{CodeSource, PermissionCollection};
+
+    fn test_domain() -> Arc<ProtectionDomain> {
+        Arc::new(ProtectionDomain::new(
+            CodeSource::local("file:/sys"),
+            PermissionCollection::all_permissions(),
+        ))
+    }
+
+    #[test]
+    fn same_material_different_definitions() {
+        let def = ClassDef::builder("java.lang.System")
+            .static_slot("out")
+            .build();
+        let a = Class::define(Arc::clone(&def), LoaderId(1), test_domain());
+        let b = Class::define(def, LoaderId(2), test_domain());
+        assert!(a.same_material(&b));
+        assert!(!a.same_class(&b));
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn statics_are_per_definition() {
+        let def = ClassDef::builder("java.lang.System")
+            .static_slot("out")
+            .build();
+        let a = Class::define(Arc::clone(&def), LoaderId(1), test_domain());
+        let b = Class::define(def, LoaderId(2), test_domain());
+        a.set_static("out", Arc::new("stream-A".to_string()));
+        b.set_static("out", Arc::new("stream-B".to_string()));
+        assert_eq!(*a.static_as::<String>("out").unwrap(), "stream-A");
+        assert_eq!(*b.static_as::<String>("out").unwrap(), "stream-B");
+    }
+
+    #[test]
+    fn declared_slot_starts_unset() {
+        let def = ClassDef::builder("X").static_slot("s").build();
+        let c = Class::define(def, LoaderId(1), test_domain());
+        assert!(c.static_value("s").is_some(), "slot exists");
+        assert!(
+            c.static_as::<String>("s").is_none(),
+            "but holds no String yet"
+        );
+        assert!(c.static_value("missing").is_none());
+    }
+
+    #[test]
+    fn call_attributes_frames_to_class() {
+        let def = ClassDef::builder("Attributed").build();
+        let c = Class::define(def, LoaderId(1), test_domain());
+        c.call(|| {
+            assert_eq!(stack::top_class().as_deref(), Some("Attributed"));
+        });
+        assert_eq!(stack::depth(), 0);
+    }
+
+    #[test]
+    fn run_main_requires_entry_point() {
+        let def = ClassDef::builder("NoMain").build();
+        let c = Class::define(def, LoaderId(1), test_domain());
+        assert!(matches!(
+            c.run_main(vec![]).unwrap_err(),
+            VmError::NoMainMethod { .. }
+        ));
+
+        let def = ClassDef::builder("WithMain")
+            .main(|args| {
+                assert_eq!(args, vec!["x".to_string()]);
+                Ok(())
+            })
+            .build();
+        let c = Class::define(def, LoaderId(1), test_domain());
+        c.run_main(vec!["x".into()]).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::interp::ClassImage;
+use crate::Result;
+
+/// A native entry point: the body of a class's `main` method, implemented in
+/// Rust.
+///
+/// Trusted, locally-installed code (the JDK class library, the shell, the
+/// utilities) is implemented natively against the runtime API — the analogue
+/// of JDK system classes being backed by native code. Untrusted *mobile*
+/// code is never native: it ships as a [`ClassImage`] and is interpreted.
+pub type NativeMain = Arc<dyn Fn(Vec<String>) -> Result<()> + Send + Sync>;
+
+/// Immutable class material: what a `.class` file is to a JVM.
+///
+/// The same `ClassDef` can be defined by many loaders; each definition
+/// produces a distinct [`Class`](crate::Class) with its own statics (paper
+/// §5.5: re-loading the `System` class "albeit from the same class
+/// material").
+pub struct ClassDef {
+    name: String,
+    main: Option<NativeMain>,
+    image: Option<Arc<ClassImage>>,
+    static_slots: Vec<String>,
+}
+
+impl ClassDef {
+    /// Starts building class material named `name`.
+    pub fn builder(name: impl Into<String>) -> ClassDefBuilder {
+        ClassDefBuilder {
+            name: name.into(),
+            main: None,
+            image: None,
+            static_slots: Vec::new(),
+        }
+    }
+
+    /// The class name (dotted, e.g. `java.lang.System` or `MyClass`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The native `main` entry point, if this is a runnable native class.
+    pub fn main(&self) -> Option<&NativeMain> {
+        self.main.as_ref()
+    }
+
+    /// The bytecode image, if this is interpreted (mobile) code.
+    pub fn image(&self) -> Option<&Arc<ClassImage>> {
+        self.image.as_ref()
+    }
+
+    /// Names of the static slots every definition of this class carries.
+    pub fn static_slots(&self) -> &[String] {
+        &self.static_slots
+    }
+}
+
+impl fmt::Debug for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassDef")
+            .field("name", &self.name)
+            .field("native_main", &self.main.is_some())
+            .field("interpreted", &self.image.is_some())
+            .field("static_slots", &self.static_slots)
+            .finish()
+    }
+}
+
+/// Builder for [`ClassDef`].
+pub struct ClassDefBuilder {
+    name: String,
+    main: Option<NativeMain>,
+    image: Option<Arc<ClassImage>>,
+    static_slots: Vec<String>,
+}
+
+impl ClassDefBuilder {
+    /// Sets a native `main` entry point.
+    pub fn main(
+        mut self,
+        f: impl Fn(Vec<String>) -> Result<()> + Send + Sync + 'static,
+    ) -> ClassDefBuilder {
+        self.main = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets a bytecode image (interpreted class).
+    pub fn image(mut self, image: ClassImage) -> ClassDefBuilder {
+        self.image = Some(Arc::new(image));
+        self
+    }
+
+    /// Declares a static slot, present (independently) in every definition
+    /// of the class.
+    pub fn static_slot(mut self, name: impl Into<String>) -> ClassDefBuilder {
+        self.static_slots.push(name.into());
+        self
+    }
+
+    /// Finishes the material.
+    pub fn build(self) -> Arc<ClassDef> {
+        Arc::new(ClassDef {
+            name: self.name,
+            main: self.main,
+            image: self.image,
+            static_slots: self.static_slots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_named_material() {
+        let def = ClassDef::builder("java.lang.System")
+            .static_slot("in")
+            .static_slot("out")
+            .build();
+        assert_eq!(def.name(), "java.lang.System");
+        assert_eq!(
+            def.static_slots(),
+            &["in".to_string(), "out".to_string()][..]
+        );
+        assert!(def.main().is_none());
+        assert!(def.image().is_none());
+    }
+
+    #[test]
+    fn native_main_is_invocable() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = Arc::clone(&count);
+        let def = ClassDef::builder("Main")
+            .main(move |args| {
+                count2.fetch_add(args.len(), Ordering::SeqCst);
+                Ok(())
+            })
+            .build();
+        let main = def.main().unwrap();
+        main(vec!["a".into(), "b".into()]).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn debug_does_not_leak_closures() {
+        let def = ClassDef::builder("X").main(|_| Ok(())).build();
+        let text = format!("{def:?}");
+        assert!(text.contains("native_main: true"));
+    }
+}

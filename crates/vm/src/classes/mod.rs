@@ -1,0 +1,25 @@
+//! Classes, class material, and class loaders.
+//!
+//! The runtime's unit of code identity is the *class*. Immutable class
+//! *material* ([`ClassDef`], the stand-in for a `.class` file) lives in a
+//! [`MaterialRegistry`]; a [`ClassLoader`] *defines* a class from material,
+//! producing a [`Class`] whose identity is the pair `(loader, name)` and
+//! which owns a fresh statics table.
+//!
+//! This reproduces the JVM property the paper's §5.5 mechanism rests on:
+//! "Since we use a new class loader for every application, to the JVM, the
+//! different incarnations of the `System` class are just different classes
+//! that happen to have the same name." Re-defining a class from the *same
+//! material* under a different loader yields a distinct class with distinct
+//! statics — which is exactly how each application gets its own
+//! `System.in/out/err` while sharing one `SystemProperties`.
+
+mod class;
+mod def;
+mod loader;
+mod registry;
+
+pub use class::{Class, ClassId, StaticValue};
+pub use def::{ClassDef, ClassDefBuilder, NativeMain};
+pub use loader::{ClassLoader, LoaderId};
+pub use registry::MaterialRegistry;

@@ -1,0 +1,138 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use jmp_security::CodeSource;
+use parking_lot::RwLock;
+
+use super::def::ClassDef;
+use crate::error::VmError;
+use crate::Result;
+
+/// The store of class *material*: name → (definition, code source).
+///
+/// This is the runtime's stand-in for the class path — "the external class
+/// file representation" (paper §3.1) that loaders convert into live classes.
+/// The code source recorded here is where the material came from, which the
+/// defining loader resolves against the policy to build the class's
+/// protection domain.
+#[derive(Default)]
+pub struct MaterialRegistry {
+    map: RwLock<HashMap<String, (Arc<ClassDef>, CodeSource)>>,
+}
+
+impl MaterialRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MaterialRegistry {
+        MaterialRegistry::default()
+    }
+
+    /// Registers material under its own name.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Linkage`] if the name is already registered.
+    pub fn register(&self, def: Arc<ClassDef>, source: CodeSource) -> Result<()> {
+        let mut map = self.map.write();
+        let name = def.name().to_string();
+        if map.contains_key(&name) {
+            return Err(VmError::Linkage {
+                message: format!("class material {name:?} already registered"),
+            });
+        }
+        map.insert(name, (def, source));
+        Ok(())
+    }
+
+    /// Replaces or adds material (used by tests and by the simulated network
+    /// fetch, where re-fetching a class image is legitimate).
+    pub fn register_replacing(&self, def: Arc<ClassDef>, source: CodeSource) {
+        self.map
+            .write()
+            .insert(def.name().to_string(), (def, source));
+    }
+
+    /// Looks up material by name.
+    pub fn get(&self, name: &str) -> Option<(Arc<ClassDef>, CodeSource)> {
+        self.map.read().get(name).cloned()
+    }
+
+    /// Returns `true` if material with `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.read().contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.map.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered definitions.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Returns `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl fmt::Debug for MaterialRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaterialRegistry")
+            .field("classes", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = MaterialRegistry::new();
+        let def = ClassDef::builder("A").build();
+        reg.register(def, CodeSource::local("file:/sys")).unwrap();
+        let (found, source) = reg.get("A").unwrap();
+        assert_eq!(found.name(), "A");
+        assert_eq!(source.url(), "file:/sys");
+        assert!(reg.contains("A"));
+        assert!(!reg.contains("B"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_is_linkage_error() {
+        let reg = MaterialRegistry::new();
+        reg.register(ClassDef::builder("A").build(), CodeSource::local("u"))
+            .unwrap();
+        let err = reg
+            .register(ClassDef::builder("A").build(), CodeSource::local("u"))
+            .unwrap_err();
+        assert!(matches!(err, VmError::Linkage { .. }));
+    }
+
+    #[test]
+    fn register_replacing_overwrites() {
+        let reg = MaterialRegistry::new();
+        reg.register(ClassDef::builder("A").build(), CodeSource::local("old"))
+            .unwrap();
+        reg.register_replacing(ClassDef::builder("A").build(), CodeSource::local("new"));
+        assert_eq!(reg.get("A").unwrap().1.url(), "new");
+    }
+
+    #[test]
+    fn names_sorted() {
+        let reg = MaterialRegistry::new();
+        for n in ["zeta", "alpha"] {
+            reg.register(ClassDef::builder(n).build(), CodeSource::local("u"))
+                .unwrap();
+        }
+        assert_eq!(reg.names(), vec!["alpha", "zeta"]);
+        assert!(!reg.is_empty());
+    }
+}

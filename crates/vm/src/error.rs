@@ -1,0 +1,176 @@
+use std::error::Error;
+use std::fmt;
+
+use jmp_security::SecurityError;
+
+/// Error type for runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// A security check failed (Java's `SecurityException`).
+    Security(SecurityError),
+    /// The current thread was interrupted while blocked (Java's
+    /// `InterruptedException`). All blocking runtime primitives — pipe
+    /// reads/writes, joins, sleeps, event waits — are interruption points;
+    /// this is how application teardown unsticks blocked threads.
+    Interrupted,
+    /// No class material with the requested name exists
+    /// (`ClassNotFoundException`).
+    ClassNotFound {
+        /// The class name that could not be resolved.
+        name: String,
+    },
+    /// A class could not be defined or linked, e.g. defining the same name
+    /// twice in one loader (`LinkageError`).
+    Linkage {
+        /// Description of the linkage problem.
+        message: String,
+    },
+    /// The class exists but has no `main` entry point, or the entry point is
+    /// of the wrong kind for the invocation.
+    NoMainMethod {
+        /// The class name.
+        name: String,
+    },
+    /// An operation was attempted in an invalid state (e.g. spawning a
+    /// thread into a destroyed group).
+    IllegalState {
+        /// Description of the state violation.
+        message: String,
+    },
+    /// A read or write was attempted on a closed stream.
+    StreamClosed,
+    /// A stream close was attempted by a holder that did not open the stream
+    /// (paper §5.1: "applications may only close streams that they opened").
+    NotStreamOwner,
+    /// The virtual machine is shutting down; no new work is accepted.
+    VmShutdown,
+    /// A joined thread panicked.
+    ThreadPanicked {
+        /// The panicking thread's name.
+        thread: String,
+    },
+    /// Bytecode verification rejected a class image.
+    Verification {
+        /// Class being verified.
+        class: String,
+        /// What the verifier objected to.
+        message: String,
+    },
+    /// The interpreter trapped (bad opcode state, division by zero, stack
+    /// underflow in unverified code, missing native, ...).
+    Trap {
+        /// Description of the trap.
+        message: String,
+    },
+    /// An I/O style failure surfaced from a device backing a stream.
+    Io {
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl VmError {
+    /// Convenience constructor for [`VmError::IllegalState`].
+    pub fn illegal_state(message: impl Into<String>) -> VmError {
+        VmError::IllegalState {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`VmError::Trap`].
+    pub fn trap(message: impl Into<String>) -> VmError {
+        VmError::Trap {
+            message: message.into(),
+        }
+    }
+
+    /// Returns `true` if this error is a security denial.
+    pub fn is_security(&self) -> bool {
+        matches!(self, VmError::Security(_))
+    }
+
+    /// Returns `true` if this error is an interruption.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, VmError::Interrupted)
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Security(err) => write!(f, "security exception: {err}"),
+            VmError::Interrupted => write!(f, "interrupted"),
+            VmError::ClassNotFound { name } => write!(f, "class not found: {name}"),
+            VmError::Linkage { message } => write!(f, "linkage error: {message}"),
+            VmError::NoMainMethod { name } => write!(f, "class {name} has no main method"),
+            VmError::IllegalState { message } => write!(f, "illegal state: {message}"),
+            VmError::StreamClosed => write!(f, "stream closed"),
+            VmError::NotStreamOwner => {
+                write!(f, "stream may only be closed by the holder that opened it")
+            }
+            VmError::VmShutdown => write!(f, "virtual machine is shutting down"),
+            VmError::ThreadPanicked { thread } => write!(f, "thread {thread:?} panicked"),
+            VmError::Verification { class, message } => {
+                write!(f, "verification of {class} failed: {message}")
+            }
+            VmError::Trap { message } => write!(f, "interpreter trap: {message}"),
+            VmError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl Error for VmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmError::Security(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SecurityError> for VmError {
+    fn from(err: SecurityError) -> VmError {
+        VmError::Security(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmp_security::{Permission, SecurityError};
+
+    #[test]
+    fn security_error_converts_and_sources() {
+        let sec = SecurityError::denied(&Permission::runtime("exitVM"), "test");
+        let vm: VmError = sec.clone().into();
+        assert!(vm.is_security());
+        assert_eq!(
+            vm.source().unwrap().to_string(),
+            sec.to_string(),
+            "source should expose the underlying security error"
+        );
+    }
+
+    #[test]
+    fn interruption_predicate() {
+        assert!(VmError::Interrupted.is_interrupted());
+        assert!(!VmError::StreamClosed.is_interrupted());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let samples = [
+            VmError::Interrupted,
+            VmError::ClassNotFound { name: "X".into() },
+            VmError::illegal_state("bad"),
+            VmError::StreamClosed,
+            VmError::NotStreamOwner,
+            VmError::VmShutdown,
+            VmError::trap("boom"),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

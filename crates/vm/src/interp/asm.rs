@@ -1,0 +1,447 @@
+//! A tiny text assembler for `jbc` class images.
+//!
+//! Applets in the examples and tests are written in this syntax, assembled,
+//! and shipped as [`ClassImage`]s over the simulated network — keeping
+//! mobile code data, never compiled-in Rust. Example:
+//!
+//! ```text
+//! class Countdown
+//! method main/0 locals=1
+//!     push_int 3
+//!     store 0
+//! loop:
+//!     load 0
+//!     push_int 0
+//!     gt
+//!     jump_if_false done
+//!     load 0
+//!     native print/1
+//!     pop
+//!     load 0
+//!     push_int 1
+//!     sub
+//!     store 0
+//!     jump loop
+//! done:
+//!     return
+//! ```
+//!
+//! Comments start with `;` or `#`. Labels are `name:` on their own line.
+//! `call m/2` calls method `m` with two arguments; `native print/1` invokes
+//! a host native.
+
+use std::collections::HashMap;
+
+use super::image::{ClassImage, Insn, MethodImage};
+use crate::error::VmError;
+use crate::Result;
+
+/// Assembles `source` into a class image (unverified; run
+/// [`verify`](super::verify) or construct an
+/// [`Interpreter`](super::Interpreter), which verifies).
+///
+/// # Errors
+///
+/// [`VmError::Verification`] with a line-numbered message on any syntax
+/// error.
+pub fn assemble(source: &str) -> Result<ClassImage> {
+    Assembler::default().assemble(source)
+}
+
+#[derive(Default)]
+struct Assembler {
+    class_name: Option<String>,
+    methods: Vec<MethodImage>,
+    current: Option<PendingMethod>,
+}
+
+struct PendingMethod {
+    name: String,
+    params: u8,
+    locals: u8,
+    /// Instructions with unresolved label operands.
+    code: Vec<PendingInsn>,
+    labels: HashMap<String, u16>,
+}
+
+enum PendingInsn {
+    Ready(Insn),
+    Jump {
+        kind: JumpKind,
+        label: String,
+        line: usize,
+    },
+}
+
+#[derive(Clone, Copy)]
+enum JumpKind {
+    Always,
+    IfFalse,
+    IfTrue,
+}
+
+impl Assembler {
+    fn err(&self, line: usize, message: impl Into<String>) -> VmError {
+        VmError::Verification {
+            class: self.class_name.clone().unwrap_or_else(|| "<asm>".into()),
+            message: format!("line {line}: {}", message.into()),
+        }
+    }
+
+    fn assemble(mut self, source: &str) -> Result<ClassImage> {
+        for (idx, raw) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("class ") {
+                if self.class_name.is_some() {
+                    return Err(self.err(line_no, "duplicate class directive"));
+                }
+                self.class_name = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("method ") {
+                self.finish_method(line_no)?;
+                self.current = Some(self.parse_method_header(rest, line_no)?);
+            } else if let Some(label) = line.strip_suffix(':') {
+                let method = self
+                    .current
+                    .as_mut()
+                    .ok_or_else(|| err_no_method(&self.class_name, line_no))?;
+                let target = method.code.len() as u16;
+                if method
+                    .labels
+                    .insert(label.trim().to_string(), target)
+                    .is_some()
+                {
+                    return Err(self.err(line_no, format!("duplicate label {label:?}")));
+                }
+            } else {
+                let insn = self.parse_insn(line, line_no)?;
+                let method = self
+                    .current
+                    .as_mut()
+                    .ok_or_else(|| err_no_method(&self.class_name, line_no))?;
+                method.code.push(insn);
+            }
+        }
+        self.finish_method(source.lines().count() + 1)?;
+        let name = self.class_name.ok_or_else(|| VmError::Verification {
+            class: "<asm>".into(),
+            message: "missing `class` directive".into(),
+        })?;
+        Ok(ClassImage {
+            name,
+            methods: self.methods,
+        })
+    }
+
+    fn parse_method_header(&self, rest: &str, line: usize) -> Result<PendingMethod> {
+        // `name/params locals=N`
+        let mut parts = rest.split_whitespace();
+        let sig = parts
+            .next()
+            .ok_or_else(|| self.err(line, "missing method signature"))?;
+        let (name, params) = sig
+            .split_once('/')
+            .ok_or_else(|| self.err(line, "method signature must be name/params"))?;
+        let params: u8 = params
+            .parse()
+            .map_err(|_| self.err(line, "bad parameter count"))?;
+        let mut locals = params;
+        for opt in parts {
+            if let Some(n) = opt.strip_prefix("locals=") {
+                locals = n.parse().map_err(|_| self.err(line, "bad locals count"))?;
+            } else {
+                return Err(self.err(line, format!("unknown method option {opt:?}")));
+            }
+        }
+        Ok(PendingMethod {
+            name: name.to_string(),
+            params,
+            locals: locals.max(params),
+            code: Vec::new(),
+            labels: HashMap::new(),
+        })
+    }
+
+    fn parse_insn(&self, line: &str, line_no: usize) -> Result<PendingInsn> {
+        let (op, rest) = match line.split_once(char::is_whitespace) {
+            Some((op, rest)) => (op, rest.trim()),
+            None => (line, ""),
+        };
+        let ready = |insn| Ok(PendingInsn::Ready(insn));
+        match op {
+            "push_int" => ready(Insn::PushInt(
+                rest.parse()
+                    .map_err(|_| self.err(line_no, "bad integer literal"))?,
+            )),
+            "push_str" => {
+                let s = rest
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| self.err(line_no, "string literal must be double-quoted"))?;
+                ready(Insn::PushStr(s.replace("\\n", "\n")))
+            }
+            "push_bool" => match rest {
+                "true" => ready(Insn::PushBool(true)),
+                "false" => ready(Insn::PushBool(false)),
+                _ => Err(self.err(line_no, "push_bool takes true or false")),
+            },
+            "push_null" => ready(Insn::PushNull),
+            "load" => ready(Insn::Load(
+                rest.parse().map_err(|_| self.err(line_no, "bad slot"))?,
+            )),
+            "store" => ready(Insn::Store(
+                rest.parse().map_err(|_| self.err(line_no, "bad slot"))?,
+            )),
+            "pop" => ready(Insn::Pop),
+            "dup" => ready(Insn::Dup),
+            "swap" => ready(Insn::Swap),
+            "add" => ready(Insn::Add),
+            "sub" => ready(Insn::Sub),
+            "mul" => ready(Insn::Mul),
+            "div" => ready(Insn::Div),
+            "rem" => ready(Insn::Rem),
+            "neg" => ready(Insn::Neg),
+            "concat" => ready(Insn::Concat),
+            "eq" => ready(Insn::Eq),
+            "ne" => ready(Insn::Ne),
+            "lt" => ready(Insn::Lt),
+            "le" => ready(Insn::Le),
+            "gt" => ready(Insn::Gt),
+            "ge" => ready(Insn::Ge),
+            "and" => ready(Insn::And),
+            "or" => ready(Insn::Or),
+            "not" => ready(Insn::Not),
+            "jump" | "jump_if_false" | "jump_if_true" => {
+                if rest.is_empty() {
+                    return Err(self.err(line_no, "jump needs a label"));
+                }
+                Ok(PendingInsn::Jump {
+                    kind: match op {
+                        "jump" => JumpKind::Always,
+                        "jump_if_false" => JumpKind::IfFalse,
+                        _ => JumpKind::IfTrue,
+                    },
+                    label: rest.to_string(),
+                    line: line_no,
+                })
+            }
+            "call" | "native" => {
+                let (name, argc) = rest
+                    .split_once('/')
+                    .ok_or_else(|| self.err(line_no, "expected name/argc"))?;
+                let argc: u8 = argc
+                    .parse()
+                    .map_err(|_| self.err(line_no, "bad arg count"))?;
+                if op == "call" {
+                    ready(Insn::Call {
+                        method: name.to_string(),
+                        argc,
+                    })
+                } else {
+                    ready(Insn::CallNative {
+                        name: name.to_string(),
+                        argc,
+                    })
+                }
+            }
+            "return" => ready(Insn::Return),
+            "return_value" => ready(Insn::ReturnValue),
+            other => Err(self.err(line_no, format!("unknown instruction {other:?}"))),
+        }
+    }
+
+    fn finish_method(&mut self, line_no: usize) -> Result<()> {
+        let Some(pending) = self.current.take() else {
+            return Ok(());
+        };
+        let mut code = Vec::with_capacity(pending.code.len());
+        for insn in pending.code {
+            match insn {
+                PendingInsn::Ready(i) => code.push(i),
+                PendingInsn::Jump { kind, label, line } => {
+                    let target = *pending
+                        .labels
+                        .get(&label)
+                        .ok_or_else(|| self.err(line, format!("unknown label {label:?}")))?;
+                    code.push(match kind {
+                        JumpKind::Always => Insn::Jump(target),
+                        JumpKind::IfFalse => Insn::JumpIfFalse(target),
+                        JumpKind::IfTrue => Insn::JumpIfTrue(target),
+                    });
+                }
+            }
+        }
+        if code.is_empty() {
+            return Err(self.err(line_no, format!("method {:?} has no code", pending.name)));
+        }
+        self.methods.push(MethodImage {
+            name: pending.name,
+            params: pending.params,
+            locals: pending.locals,
+            code,
+        });
+        Ok(())
+    }
+}
+
+fn err_no_method(class: &Option<String>, line: usize) -> VmError {
+    VmError::Verification {
+        class: class.clone().unwrap_or_else(|| "<asm>".into()),
+        message: format!("line {line}: instruction outside of a method"),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Strings may not contain `;` or `#` in this toy syntax; document scope.
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, NoNatives, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn assembles_and_runs_countdown_sum() {
+        let image = assemble(
+            r#"
+            class Sum
+            ; computes 1 + 2 + ... + n for n passed as arg 0
+            method main/1 locals=2
+                push_int 0
+                store 1
+            loop:
+                load 0
+                push_int 0
+                gt
+                jump_if_false done
+                load 1
+                load 0
+                add
+                store 1
+                load 0
+                push_int 1
+                sub
+                store 0
+                jump loop
+            done:
+                load 1
+                return_value
+            "#,
+        )
+        .unwrap();
+        assert_eq!(image.name, "Sum");
+        let i = Interpreter::new(Arc::new(image), Arc::new(NoNatives)).unwrap();
+        assert_eq!(i.run("main", vec![Value::Int(10)]).unwrap(), Value::Int(55));
+    }
+
+    #[test]
+    fn multiple_methods_and_calls() {
+        let image = assemble(
+            r#"
+            class Fib
+            method main/1 locals=1
+                load 0
+                call fib/1
+                return_value
+            method fib/1 locals=1
+                load 0
+                push_int 2
+                lt
+                jump_if_false recurse
+                load 0
+                return_value
+            recurse:
+                load 0
+                push_int 1
+                sub
+                call fib/1
+                load 0
+                push_int 2
+                sub
+                call fib/1
+                add
+                return_value
+            "#,
+        )
+        .unwrap();
+        let i = Interpreter::new(Arc::new(image), Arc::new(NoNatives)).unwrap();
+        assert_eq!(
+            i.run("main", vec![Value::Int(12)]).unwrap(),
+            Value::Int(144)
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let image = assemble(
+            r#"
+            class S
+            method main/0
+                push_str "a\nb"
+                return_value
+            "#,
+        )
+        .unwrap();
+        let i = Interpreter::new(Arc::new(image), Arc::new(NoNatives)).unwrap();
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::str("a\nb"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("class X\nmethod main/0\n  frobnicate\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let err = assemble("class X\nmethod main/0\n  jump nowhere\n").unwrap_err();
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let err = assemble("class X\nmethod main/0\nl:\nl:\n  return\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate label"));
+    }
+
+    #[test]
+    fn instruction_outside_method_is_rejected() {
+        let err = assemble("class X\n  push_int 1\n").unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn missing_class_directive_is_rejected() {
+        let err = assemble("method main/0\n  return\n").unwrap_err();
+        assert!(err.to_string().contains("class"));
+    }
+
+    #[test]
+    fn locals_default_to_params() {
+        let image = assemble("class X\nmethod main/2\n  load 1\n  return_value\n").unwrap();
+        assert_eq!(image.methods[0].locals, 2);
+    }
+
+    #[test]
+    fn native_mnemonic() {
+        let image =
+            assemble("class X\nmethod main/0\n  push_int 1\n  native print/1\n  return_value\n")
+                .unwrap();
+        assert_eq!(
+            image.methods[0].code[1],
+            Insn::CallNative {
+                name: "print".into(),
+                argc: 1
+            }
+        );
+    }
+}

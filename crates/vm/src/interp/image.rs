@@ -1,0 +1,351 @@
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A runtime value in the `jbc` machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// The absence of a value.
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Renders the value the way `print`-style natives do.
+    pub fn display_string(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.to_string(),
+        }
+    }
+
+    /// Truthiness used by conditional jumps: `false`, `0`, `null`, and the
+    /// empty string are falsy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// One `jbc` instruction. Jump targets are absolute instruction indices
+/// within the method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Insn {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a string constant.
+    PushStr(String),
+    /// Push a boolean constant.
+    PushBool(bool),
+    /// Push `null`.
+    PushNull,
+    /// Push a copy of local slot *n*.
+    Load(u8),
+    /// Pop into local slot *n*.
+    Store(u8),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two stack values.
+    Swap,
+    /// Integer addition (`a + b`).
+    Add,
+    /// Integer subtraction (`a - b`).
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division; traps on division by zero.
+    Div,
+    /// Integer remainder; traps on division by zero.
+    Rem,
+    /// Integer negation.
+    Neg,
+    /// String concatenation of the display forms of the top two values.
+    Concat,
+    /// Equality (any two values of the same kind).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Boolean and.
+    And,
+    /// Boolean or.
+    Or,
+    /// Boolean not.
+    Not,
+    /// Unconditional jump to instruction index.
+    Jump(u16),
+    /// Jump if the popped value is falsy.
+    JumpIfFalse(u16),
+    /// Jump if the popped value is truthy.
+    JumpIfTrue(u16),
+    /// Call a static method of the same class image. Arguments are popped
+    /// (last argument on top); the return value is pushed.
+    Call {
+        /// Callee method name.
+        method: String,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Call into the runtime through the [`NativeHost`](super::NativeHost).
+    /// Arguments are popped (last on top); the result is pushed.
+    CallNative {
+        /// Native operation name, e.g. `print`, `read_file`, `connect`.
+        name: String,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Return `null` from the current method.
+    Return,
+    /// Return the popped top of stack.
+    ReturnValue,
+}
+
+impl Insn {
+    /// Net change this instruction applies to the operand-stack depth
+    /// (pushes minus pops), assuming it does not trap.
+    pub fn stack_delta(&self) -> i32 {
+        match self {
+            Insn::PushInt(_)
+            | Insn::PushStr(_)
+            | Insn::PushBool(_)
+            | Insn::PushNull
+            | Insn::Load(_)
+            | Insn::Dup => 1,
+            Insn::Store(_)
+            | Insn::Pop
+            | Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::Concat
+            | Insn::Eq
+            | Insn::Ne
+            | Insn::Lt
+            | Insn::Le
+            | Insn::Gt
+            | Insn::Ge
+            | Insn::And
+            | Insn::Or
+            | Insn::JumpIfFalse(_)
+            | Insn::JumpIfTrue(_)
+            | Insn::ReturnValue => -1,
+            Insn::Swap | Insn::Neg | Insn::Not | Insn::Jump(_) | Insn::Return => 0,
+            Insn::Call { argc, .. } | Insn::CallNative { argc, .. } => 1 - i32::from(*argc),
+        }
+    }
+
+    /// How many operands the instruction pops.
+    pub fn pops(&self) -> u32 {
+        match self {
+            Insn::PushInt(_)
+            | Insn::PushStr(_)
+            | Insn::PushBool(_)
+            | Insn::PushNull
+            | Insn::Load(_)
+            | Insn::Jump(_)
+            | Insn::Return => 0,
+            Insn::Store(_)
+            | Insn::Pop
+            | Insn::Neg
+            | Insn::Not
+            | Insn::JumpIfFalse(_)
+            | Insn::JumpIfTrue(_)
+            | Insn::ReturnValue => 1,
+            Insn::Dup => 1,
+            Insn::Swap
+            | Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::Concat
+            | Insn::Eq
+            | Insn::Ne
+            | Insn::Lt
+            | Insn::Le
+            | Insn::Gt
+            | Insn::Ge
+            | Insn::And
+            | Insn::Or => 2,
+            Insn::Call { argc, .. } | Insn::CallNative { argc, .. } => u32::from(*argc),
+        }
+    }
+}
+
+/// One method of a [`ClassImage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodImage {
+    /// Method name (`main` is the conventional entry point).
+    pub name: String,
+    /// Number of parameters; they arrive in local slots `0..params`.
+    pub params: u8,
+    /// Total local slots (must be ≥ `params`).
+    pub locals: u8,
+    /// The code.
+    pub code: Vec<Insn>,
+}
+
+/// A `jbc` class image: the wire format for mobile code. Serializable, so
+/// applets can be shipped over the simulated network and stored in the
+/// virtual filesystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassImage {
+    /// Class name.
+    pub name: String,
+    /// Methods, entry point included.
+    pub methods: Vec<MethodImage>,
+}
+
+impl ClassImage {
+    /// Finds a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodImage> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the JSON wire format used by the simulated network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures (none expected for well-formed images).
+    pub fn to_wire(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Deserializes from the JSON wire format.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or non-`ClassImage` input.
+    pub fn from_wire(bytes: &[u8]) -> Result<ClassImage, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_display_and_truthiness() {
+        assert_eq!(Value::Null.display_string(), "null");
+        assert_eq!(Value::Int(-3).display_string(), "-3");
+        assert_eq!(Value::Bool(true).display_string(), "true");
+        assert_eq!(Value::str("hi").display_string(), "hi");
+
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::str("").is_truthy());
+        assert!(Value::str("x").is_truthy());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from("s".to_string()), Value::str("s"));
+    }
+
+    #[test]
+    fn stack_delta_matches_pops_for_simple_insns() {
+        // pushes = delta + pops must be non-negative and small.
+        let samples = vec![
+            Insn::PushInt(1),
+            Insn::Load(0),
+            Insn::Store(0),
+            Insn::Add,
+            Insn::Dup,
+            Insn::Swap,
+            Insn::Jump(0),
+            Insn::JumpIfFalse(0),
+            Insn::Call {
+                method: "m".into(),
+                argc: 3,
+            },
+            Insn::ReturnValue,
+        ];
+        for insn in samples {
+            let pushes = insn.stack_delta() + insn.pops() as i32;
+            assert!(
+                (0..=2).contains(&pushes),
+                "{insn:?} computed pushes {pushes}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let image = ClassImage {
+            name: "Game".into(),
+            methods: vec![MethodImage {
+                name: "main".into(),
+                params: 0,
+                locals: 1,
+                code: vec![Insn::PushInt(42), Insn::ReturnValue],
+            }],
+        };
+        let wire = image.to_wire().unwrap();
+        let back = ClassImage::from_wire(&wire).unwrap();
+        assert_eq!(image, back);
+        assert!(back.method("main").is_some());
+        assert!(back.method("absent").is_none());
+    }
+}

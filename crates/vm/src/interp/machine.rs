@@ -1,0 +1,600 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use super::image::{ClassImage, Insn, Value};
+use super::verify::verify;
+use crate::error::VmError;
+use crate::thread::check_interrupt;
+use crate::Result;
+
+/// The runtime services an interpreted class may invoke via
+/// [`Insn::CallNative`].
+///
+/// Implementations perform the ordinary security checks — when the host is
+/// consulted, the interpreted class's protection domain is on the caller's
+/// stack (the host runs inside `Class::call`), so stack inspection sees the
+/// mobile code and a `SecurityException` propagates as a [`VmError`].
+pub trait NativeHost: Send + Sync {
+    /// Invokes the native operation `name` with `args` (in call order).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Trap`] for unknown natives or bad arguments;
+    /// [`VmError::Security`] for denied operations; any other [`VmError`]
+    /// the operation raises.
+    fn invoke(&self, name: &str, args: Vec<Value>) -> Result<Value>;
+}
+
+/// A host that provides only the pure stdlib natives
+/// ([`invoke_pure`](super::invoke_pure)); anything else traps. Useful for
+/// pure-compute images and for tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoNatives;
+
+impl NativeHost for NoNatives {
+    fn invoke(&self, name: &str, args: Vec<Value>) -> Result<Value> {
+        match super::stdlib::invoke_pure(name, &args) {
+            Some(result) => result,
+            None => Err(VmError::trap(format!("no such native: {name}"))),
+        }
+    }
+}
+
+/// Execution counters, for the interpreter benches (experiment A3).
+#[derive(Debug, Default)]
+pub struct InterpStats {
+    instructions: AtomicU64,
+    native_calls: AtomicU64,
+    method_calls: AtomicU64,
+}
+
+impl InterpStats {
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions.load(Ordering::Relaxed)
+    }
+
+    /// Native invocations so far.
+    pub fn native_calls(&self) -> u64 {
+        self.native_calls.load(Ordering::Relaxed)
+    }
+
+    /// Intra-class method calls so far.
+    pub fn method_calls(&self) -> u64 {
+        self.method_calls.load(Ordering::Relaxed)
+    }
+}
+
+/// How often the interpreter polls for interruption (in instructions).
+const INTERRUPT_CHECK_EVERY: u64 = 1024;
+
+/// Maximum intra-class call depth. Interpreted calls consume host stack
+/// frames, so this is sized to stay well inside a default 2 MiB thread stack
+/// even in unoptimized builds.
+const MAX_CALL_DEPTH: usize = 64;
+
+/// The `jbc` interpreter for one verified [`ClassImage`].
+///
+/// Construction verifies the image; [`Interpreter::run`] executes a method.
+/// Interpreted code is preemptible: every `INTERRUPT_CHECK_EVERY` (1024)
+/// instructions the thread's interruption flag is polled, so a runaway
+/// applet is still stoppable by application teardown — something native
+/// code can only promise cooperatively. An optional *fuel* bound aborts
+/// execution after a fixed instruction budget.
+pub struct Interpreter {
+    image: Arc<ClassImage>,
+    host: Arc<dyn NativeHost>,
+    stats: InterpStats,
+    fuel: Option<u64>,
+}
+
+impl std::fmt::Debug for Interpreter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interpreter")
+            .field("class", &self.image.name)
+            .field("fuel", &self.fuel)
+            .field("instructions", &self.stats.instructions())
+            .finish()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter over `image`, verifying it first.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Verification`] if the image is rejected.
+    pub fn new(image: Arc<ClassImage>, host: Arc<dyn NativeHost>) -> Result<Interpreter> {
+        verify(&image)?;
+        Ok(Interpreter {
+            image,
+            host,
+            stats: InterpStats::default(),
+            fuel: None,
+        })
+    }
+
+    /// Limits execution to `fuel` instructions per [`Interpreter::run`]
+    /// call chain; exceeding it traps.
+    pub fn with_fuel(mut self, fuel: u64) -> Interpreter {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &InterpStats {
+        &self.stats
+    }
+
+    /// The class image being interpreted.
+    pub fn image(&self) -> &Arc<ClassImage> {
+        &self.image
+    }
+
+    /// Runs `method` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Trap`] on runtime faults (unknown method, type mismatch,
+    /// division by zero, fuel exhaustion, call-depth overflow);
+    /// [`VmError::Interrupted`] if the thread is interrupted mid-run; plus
+    /// anything the [`NativeHost`] raises.
+    pub fn run(&self, method: &str, args: Vec<Value>) -> Result<Value> {
+        let mut budget = self.fuel;
+        self.run_method(method, args, 0, &mut budget)
+    }
+
+    fn run_method(
+        &self,
+        method: &str,
+        args: Vec<Value>,
+        depth: usize,
+        budget: &mut Option<u64>,
+    ) -> Result<Value> {
+        if depth >= MAX_CALL_DEPTH {
+            return Err(VmError::trap(format!(
+                "call depth exceeds {MAX_CALL_DEPTH}"
+            )));
+        }
+        let m = self
+            .image
+            .method(method)
+            .ok_or_else(|| VmError::trap(format!("no such method: {method}")))?;
+        if args.len() != usize::from(m.params) {
+            return Err(VmError::trap(format!(
+                "method {method} takes {} args, got {}",
+                m.params,
+                args.len()
+            )));
+        }
+        let mut locals = vec![Value::Null; usize::from(m.locals)];
+        locals[..args.len()].clone_from_slice(&args);
+        let mut stack: Vec<Value> = Vec::with_capacity(8);
+        let mut pc: usize = 0;
+        loop {
+            let count = self.stats.instructions.fetch_add(1, Ordering::Relaxed) + 1;
+            if count.is_multiple_of(INTERRUPT_CHECK_EVERY) {
+                check_interrupt()?;
+            }
+            if let Some(fuel) = budget {
+                if *fuel == 0 {
+                    return Err(VmError::trap("fuel exhausted"));
+                }
+                *fuel -= 1;
+            }
+            // The verifier guarantees pc validity and stack discipline; the
+            // `expect`s below are unreachable for verified images.
+            let insn = &m.code[pc];
+            pc += 1;
+            match insn {
+                Insn::PushInt(v) => stack.push(Value::Int(*v)),
+                Insn::PushStr(s) => stack.push(Value::str(s)),
+                Insn::PushBool(b) => stack.push(Value::Bool(*b)),
+                Insn::PushNull => stack.push(Value::Null),
+                Insn::Load(slot) => stack.push(locals[usize::from(*slot)].clone()),
+                Insn::Store(slot) => {
+                    locals[usize::from(*slot)] = pop(&mut stack)?;
+                }
+                Insn::Pop => {
+                    pop(&mut stack)?;
+                }
+                Insn::Dup => {
+                    let top = stack
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| VmError::trap("dup on empty stack"))?;
+                    stack.push(top);
+                }
+                Insn::Swap => {
+                    let a = pop(&mut stack)?;
+                    let b = pop(&mut stack)?;
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Insn::Add => binary_int(&mut stack, |a, b| a.wrapping_add(b))?,
+                Insn::Sub => binary_int(&mut stack, |a, b| a.wrapping_sub(b))?,
+                Insn::Mul => binary_int(&mut stack, |a, b| a.wrapping_mul(b))?,
+                Insn::Div => checked_div(&mut stack, false)?,
+                Insn::Rem => checked_div(&mut stack, true)?,
+                Insn::Neg => {
+                    let v = pop_int(&mut stack)?;
+                    stack.push(Value::Int(v.wrapping_neg()));
+                }
+                Insn::Concat => {
+                    let b = pop(&mut stack)?;
+                    let a = pop(&mut stack)?;
+                    stack.push(Value::str(format!(
+                        "{}{}",
+                        a.display_string(),
+                        b.display_string()
+                    )));
+                }
+                Insn::Eq => binary_cmp(&mut stack, |a, b| a == b)?,
+                Insn::Ne => binary_cmp(&mut stack, |a, b| a != b)?,
+                Insn::Lt => binary_int_cmp(&mut stack, |a, b| a < b)?,
+                Insn::Le => binary_int_cmp(&mut stack, |a, b| a <= b)?,
+                Insn::Gt => binary_int_cmp(&mut stack, |a, b| a > b)?,
+                Insn::Ge => binary_int_cmp(&mut stack, |a, b| a >= b)?,
+                Insn::And => binary_bool(&mut stack, |a, b| a && b)?,
+                Insn::Or => binary_bool(&mut stack, |a, b| a || b)?,
+                Insn::Not => {
+                    let v = pop(&mut stack)?;
+                    stack.push(Value::Bool(!v.is_truthy()));
+                }
+                Insn::Jump(t) => pc = usize::from(*t),
+                Insn::JumpIfFalse(t) => {
+                    if !pop(&mut stack)?.is_truthy() {
+                        pc = usize::from(*t);
+                    }
+                }
+                Insn::JumpIfTrue(t) => {
+                    if pop(&mut stack)?.is_truthy() {
+                        pc = usize::from(*t);
+                    }
+                }
+                Insn::Call {
+                    method: callee,
+                    argc,
+                } => {
+                    self.stats.method_calls.fetch_add(1, Ordering::Relaxed);
+                    let mut call_args = split_args(&mut stack, *argc)?;
+                    call_args.reverse();
+                    let result = self.run_method(callee, call_args, depth + 1, budget)?;
+                    stack.push(result);
+                }
+                Insn::CallNative { name, argc } => {
+                    self.stats.native_calls.fetch_add(1, Ordering::Relaxed);
+                    let mut call_args = split_args(&mut stack, *argc)?;
+                    call_args.reverse();
+                    let result = self.host.invoke(name, call_args)?;
+                    stack.push(result);
+                }
+                Insn::Return => return Ok(Value::Null),
+                Insn::ReturnValue => return pop(&mut stack),
+            }
+        }
+    }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value> {
+    stack
+        .pop()
+        .ok_or_else(|| VmError::trap("operand stack underflow"))
+}
+
+fn pop_int(stack: &mut Vec<Value>) -> Result<i64> {
+    match pop(stack)? {
+        Value::Int(v) => Ok(v),
+        other => Err(VmError::trap(format!("expected int, got {other}"))),
+    }
+}
+
+fn binary_int(stack: &mut Vec<Value>, f: impl Fn(i64, i64) -> i64) -> Result<()> {
+    let b = pop_int(stack)?;
+    let a = pop_int(stack)?;
+    stack.push(Value::Int(f(a, b)));
+    Ok(())
+}
+
+fn checked_div(stack: &mut Vec<Value>, rem: bool) -> Result<()> {
+    let b = pop_int(stack)?;
+    let a = pop_int(stack)?;
+    if b == 0 {
+        return Err(VmError::trap("division by zero"));
+    }
+    stack.push(Value::Int(if rem {
+        a.wrapping_rem(b)
+    } else {
+        a.wrapping_div(b)
+    }));
+    Ok(())
+}
+
+fn binary_int_cmp(stack: &mut Vec<Value>, f: impl Fn(i64, i64) -> bool) -> Result<()> {
+    let b = pop_int(stack)?;
+    let a = pop_int(stack)?;
+    stack.push(Value::Bool(f(a, b)));
+    Ok(())
+}
+
+fn binary_cmp(stack: &mut Vec<Value>, f: impl Fn(&Value, &Value) -> bool) -> Result<()> {
+    let b = pop(stack)?;
+    let a = pop(stack)?;
+    stack.push(Value::Bool(f(&a, &b)));
+    Ok(())
+}
+
+fn binary_bool(stack: &mut Vec<Value>, f: impl Fn(bool, bool) -> bool) -> Result<()> {
+    let b = pop(stack)?.is_truthy();
+    let a = pop(stack)?.is_truthy();
+    stack.push(Value::Bool(f(a, b)));
+    Ok(())
+}
+
+fn split_args(stack: &mut Vec<Value>, argc: u8) -> Result<Vec<Value>> {
+    let mut args = Vec::with_capacity(usize::from(argc));
+    for _ in 0..argc {
+        args.push(pop(stack)?);
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::image::MethodImage;
+    use parking_lot::Mutex;
+
+    fn interp(image: ClassImage) -> Interpreter {
+        Interpreter::new(Arc::new(image), Arc::new(NoNatives)).unwrap()
+    }
+
+    fn single(code: Vec<Insn>, params: u8, locals: u8) -> ClassImage {
+        ClassImage {
+            name: "T".into(),
+            methods: vec![MethodImage {
+                name: "main".into(),
+                params,
+                locals,
+                code,
+            }],
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let i = interp(single(
+            vec![
+                Insn::PushInt(7),
+                Insn::PushInt(3),
+                Insn::Mul, // 21
+                Insn::PushInt(1),
+                Insn::Sub, // 20
+                Insn::PushInt(6),
+                Insn::Div, // 3
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        ));
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let i = interp(single(
+            vec![
+                Insn::PushInt(1),
+                Insn::PushInt(0),
+                Insn::Div,
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        ));
+        assert!(matches!(
+            i.run("main", vec![]).unwrap_err(),
+            VmError::Trap { .. }
+        ));
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        // locals: 0 = i, 1 = sum
+        let code = vec![
+            Insn::PushInt(1),
+            Insn::Store(0), // i = 1
+            Insn::PushInt(0),
+            Insn::Store(1), // sum = 0
+            Insn::Load(0),  // 4: loop head
+            Insn::PushInt(10),
+            Insn::Le,
+            Insn::JumpIfFalse(17),
+            Insn::Load(1),
+            Insn::Load(0),
+            Insn::Add,
+            Insn::Store(1),
+            Insn::Load(0),
+            Insn::PushInt(1),
+            Insn::Add,
+            Insn::Store(0),
+            Insn::Jump(4),
+            Insn::Load(1), // 17
+            Insn::ReturnValue,
+        ];
+        let i = interp(single(code, 0, 2));
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(55));
+        assert!(i.stats().instructions() > 50);
+    }
+
+    #[test]
+    fn method_calls_pass_args_in_order() {
+        let image = ClassImage {
+            name: "T".into(),
+            methods: vec![
+                MethodImage {
+                    name: "main".into(),
+                    params: 0,
+                    locals: 0,
+                    code: vec![
+                        Insn::PushInt(10),
+                        Insn::PushInt(3),
+                        Insn::Call {
+                            method: "sub".into(),
+                            argc: 2,
+                        },
+                        Insn::ReturnValue,
+                    ],
+                },
+                MethodImage {
+                    name: "sub".into(),
+                    params: 2,
+                    locals: 2,
+                    code: vec![Insn::Load(0), Insn::Load(1), Insn::Sub, Insn::ReturnValue],
+                },
+            ],
+        };
+        let i = interp(image);
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(7));
+        assert_eq!(i.stats().method_calls(), 1);
+    }
+
+    #[test]
+    fn recursion_with_depth_limit() {
+        let image = ClassImage {
+            name: "T".into(),
+            methods: vec![MethodImage {
+                name: "forever".into(),
+                params: 0,
+                locals: 0,
+                code: vec![
+                    Insn::Call {
+                        method: "forever".into(),
+                        argc: 0,
+                    },
+                    Insn::ReturnValue,
+                ],
+            }],
+        };
+        let i = interp(image);
+        let err = i.run("forever", vec![]).unwrap_err();
+        assert!(err.to_string().contains("call depth"));
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_code() {
+        let i = Interpreter::new(
+            Arc::new(single(vec![Insn::Jump(0)], 0, 0)),
+            Arc::new(NoNatives),
+        )
+        .unwrap()
+        .with_fuel(10_000);
+        let err = i.run("main", vec![]).unwrap_err();
+        assert!(err.to_string().contains("fuel"));
+    }
+
+    #[test]
+    fn natives_receive_args_in_call_order() {
+        struct Recorder(Mutex<Vec<(String, Vec<Value>)>>);
+        impl NativeHost for Recorder {
+            fn invoke(&self, name: &str, args: Vec<Value>) -> Result<Value> {
+                self.0.lock().push((name.to_string(), args));
+                Ok(Value::Int(99))
+            }
+        }
+        let host = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let image = single(
+            vec![
+                Insn::PushStr("hello".into()),
+                Insn::PushInt(5),
+                Insn::CallNative {
+                    name: "print2".into(),
+                    argc: 2,
+                },
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        );
+        let i =
+            Interpreter::new(Arc::new(image), Arc::clone(&host) as Arc<dyn NativeHost>).unwrap();
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(99));
+        let calls = host.0.lock();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].0, "print2");
+        assert_eq!(calls[0].1, vec![Value::str("hello"), Value::Int(5)]);
+        assert_eq!(i.stats().native_calls(), 1);
+    }
+
+    #[test]
+    fn unknown_native_traps() {
+        let i = interp(single(
+            vec![
+                Insn::CallNative {
+                    name: "missing".into(),
+                    argc: 0,
+                },
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        ));
+        assert!(i
+            .run("main", vec![])
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+    }
+
+    #[test]
+    fn string_ops() {
+        let i = interp(single(
+            vec![
+                Insn::PushStr("x=".into()),
+                Insn::PushInt(42),
+                Insn::Concat,
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        ));
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::str("x=42"));
+    }
+
+    #[test]
+    fn comparisons_and_bools() {
+        let i = interp(single(
+            vec![
+                Insn::PushInt(3),
+                Insn::PushInt(5),
+                Insn::Lt, // true
+                Insn::PushBool(false),
+                Insn::Or,  // true
+                Insn::Not, // false
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        ));
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn wrong_arg_count_traps() {
+        let i = interp(single(vec![Insn::Return], 2, 2));
+        assert!(i
+            .run("main", vec![Value::Int(1)])
+            .unwrap_err()
+            .to_string()
+            .contains("takes 2"));
+    }
+
+    #[test]
+    fn interpreter_rejects_unverifiable_images() {
+        let bad = single(vec![Insn::Add, Insn::Return], 0, 0);
+        assert!(matches!(
+            Interpreter::new(Arc::new(bad), Arc::new(NoNatives)).unwrap_err(),
+            VmError::Verification { .. }
+        ));
+    }
+}

@@ -1,0 +1,27 @@
+//! `jbc`: a small, verified stack bytecode for *mobile code*.
+//!
+//! The paper's environment executes untrusted applets fetched over the
+//! network (paper §1, §6.3). In this reproduction, trusted local code is
+//! native Rust registered as class material, but mobile code must remain
+//! *data*: an applet ships as a serializable [`ClassImage`], is defined by
+//! an applet class loader (acquiring a protection domain for its network
+//! code source), passes the [`verify`] pass, and is then executed by the
+//! [`Interpreter`] — which reaches the outside world only through
+//! [`NativeHost`] calls, each of which performs the ordinary security-manager
+//! checks with the applet's domain on the stack.
+//!
+//! The instruction set is deliberately small (integers, booleans, strings,
+//! arithmetic, comparisons, jumps, intra-class static calls, native calls)
+//! — enough to write real applets, small enough to verify exhaustively.
+
+mod asm;
+mod image;
+mod machine;
+mod stdlib;
+mod verify;
+
+pub use asm::assemble;
+pub use image::{ClassImage, Insn, MethodImage, Value};
+pub use machine::{InterpStats, Interpreter, NativeHost, NoNatives};
+pub use stdlib::invoke_pure;
+pub use verify::verify;

@@ -1,0 +1,152 @@
+//! Pure natives available to every interpreted class: string and number
+//! helpers with no authority (they touch nothing outside their arguments),
+//! so hosts can expose them without security considerations.
+//!
+//! Hosts opt in by consulting [`invoke_pure`] before their own dispatch —
+//! [`NoNatives`](super::NoNatives) does, and so does the appletviewer's
+//! host, so applets can e.g. parse the text of a field into a number.
+
+use super::image::Value;
+use crate::error::VmError;
+use crate::Result;
+
+/// Attempts to handle `name` as a pure stdlib native. Returns `None` if the
+/// name is not part of the stdlib (the host should then try its own table).
+///
+/// Provided natives:
+///
+/// | name | args | result |
+/// |---|---|---|
+/// | `str_len` | (s) | length in characters |
+/// | `substr` | (s, start, len) | substring (char indices, clamped) |
+/// | `char_at` | (s, i) | one-character string, `""` out of range |
+/// | `index_of` | (s, needle) | first char index or −1 |
+/// | `to_upper` / `to_lower` | (s) | case-mapped string |
+/// | `trim` | (s) | whitespace-trimmed string |
+/// | `parse_int` | (s) | integer value, or `null` if unparseable |
+/// | `to_str` | (v) | display form |
+/// | `abs` / `min` / `max` | ints | arithmetic helpers |
+pub fn invoke_pure(name: &str, args: &[Value]) -> Option<Result<Value>> {
+    let result = match (name, args) {
+        ("str_len", [v]) => Ok(Value::Int(v.display_string().chars().count() as i64)),
+        ("substr", [s, Value::Int(start), Value::Int(len)]) => {
+            let chars: Vec<char> = s.display_string().chars().collect();
+            let start = (*start).clamp(0, chars.len() as i64) as usize;
+            let end = start
+                .saturating_add((*len).max(0) as usize)
+                .min(chars.len());
+            Ok(Value::str(chars[start..end].iter().collect::<String>()))
+        }
+        ("char_at", [s, Value::Int(i)]) => {
+            let text = s.display_string();
+            let c = if *i >= 0 {
+                text.chars().nth(*i as usize)
+            } else {
+                None
+            };
+            Ok(Value::str(c.map(String::from).unwrap_or_default()))
+        }
+        ("index_of", [s, needle]) => {
+            let text = s.display_string();
+            let needle = needle.display_string();
+            match text.find(&needle) {
+                // Byte offset -> char offset for consistency with substr.
+                Some(byte_idx) => Ok(Value::Int(text[..byte_idx].chars().count() as i64)),
+                None => Ok(Value::Int(-1)),
+            }
+        }
+        ("to_upper", [s]) => Ok(Value::str(s.display_string().to_uppercase())),
+        ("to_lower", [s]) => Ok(Value::str(s.display_string().to_lowercase())),
+        ("trim", [s]) => Ok(Value::str(s.display_string().trim())),
+        ("parse_int", [s]) => Ok(s
+            .display_string()
+            .trim()
+            .parse::<i64>()
+            .map_or(Value::Null, Value::Int)),
+        ("to_str", [v]) => Ok(Value::str(v.display_string())),
+        ("abs", [Value::Int(v)]) => Ok(Value::Int(v.wrapping_abs())),
+        ("min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
+        ("max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
+        // Known names with wrong arities/types trap rather than fall through.
+        (
+            "str_len" | "substr" | "char_at" | "index_of" | "to_upper" | "to_lower" | "trim"
+            | "parse_int" | "to_str" | "abs" | "min" | "max",
+            _,
+        ) => Err(VmError::trap(format!(
+            "stdlib native {name} called with bad arguments"
+        ))),
+        _ => return None,
+    };
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, args: &[Value]) -> Value {
+        invoke_pure(name, args)
+            .expect("stdlib name")
+            .expect("no trap")
+    }
+
+    #[test]
+    fn string_helpers() {
+        assert_eq!(run("str_len", &[Value::str("héllo")]), Value::Int(5));
+        assert_eq!(
+            run(
+                "substr",
+                &[Value::str("héllo"), Value::Int(1), Value::Int(3)]
+            ),
+            Value::str("éll")
+        );
+        assert_eq!(
+            run("substr", &[Value::str("ab"), Value::Int(5), Value::Int(3)]),
+            Value::str("")
+        );
+        assert_eq!(
+            run("char_at", &[Value::str("abc"), Value::Int(1)]),
+            Value::str("b")
+        );
+        assert_eq!(
+            run("char_at", &[Value::str("abc"), Value::Int(9)]),
+            Value::str("")
+        );
+        assert_eq!(
+            run("char_at", &[Value::str("abc"), Value::Int(-1)]),
+            Value::str("")
+        );
+        assert_eq!(
+            run("index_of", &[Value::str("héllo"), Value::str("llo")]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run("index_of", &[Value::str("abc"), Value::str("z")]),
+            Value::Int(-1)
+        );
+        assert_eq!(run("to_upper", &[Value::str("aBc")]), Value::str("ABC"));
+        assert_eq!(run("to_lower", &[Value::str("aBc")]), Value::str("abc"));
+        assert_eq!(run("trim", &[Value::str("  x ")]), Value::str("x"));
+    }
+
+    #[test]
+    fn number_helpers() {
+        assert_eq!(run("parse_int", &[Value::str(" 42 ")]), Value::Int(42));
+        assert_eq!(run("parse_int", &[Value::str("nope")]), Value::Null);
+        assert_eq!(run("to_str", &[Value::Int(7)]), Value::str("7"));
+        assert_eq!(run("abs", &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(run("min", &[Value::Int(2), Value::Int(5)]), Value::Int(2));
+        assert_eq!(run("max", &[Value::Int(2), Value::Int(5)]), Value::Int(5));
+    }
+
+    #[test]
+    fn unknown_names_fall_through() {
+        assert!(invoke_pure("not_a_native", &[]).is_none());
+    }
+
+    #[test]
+    fn bad_arity_traps_instead_of_falling_through() {
+        let result = invoke_pure("str_len", &[]).expect("known name");
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,264 @@
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::VmError;
+use crate::thread::{check_interrupt, BLOCK_POLL};
+use crate::Result;
+
+/// Default pipe capacity, matching the conventional Unix pipe buffer.
+pub const DEFAULT_PIPE_CAPACITY: usize = 65536;
+
+#[derive(Debug)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    capacity: usize,
+    write_closed: bool,
+    read_closed: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+/// Creates an in-memory pipe with the given buffer capacity.
+///
+/// This is the single-address-space IPC primitive the paper's shell builds
+/// pipelines from (§6.1), and the in-VM side of experiment E5b (in-VM pipe
+/// vs cross-process pipe). Reads and writes block, waking on data/space or
+/// on interruption of the calling VM thread.
+pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(PipeState {
+            buf: VecDeque::with_capacity(capacity.min(DEFAULT_PIPE_CAPACITY)),
+            capacity: capacity.max(1),
+            write_closed: false,
+            read_closed: false,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (
+        PipeWriter {
+            shared: Arc::clone(&shared),
+        },
+        PipeReader { shared },
+    )
+}
+
+/// The read end of a [`pipe`]. Cloning shares the same channel.
+#[derive(Debug, Clone)]
+pub struct PipeReader {
+    shared: Arc<Shared>,
+}
+
+/// The write end of a [`pipe`]. Cloning shares the same channel.
+#[derive(Debug, Clone)]
+pub struct PipeWriter {
+    shared: Arc<Shared>,
+}
+
+impl PipeReader {
+    /// Reads up to `buf.len()` bytes, blocking while the pipe is empty and
+    /// the write end is open. Returns `Ok(0)` at end-of-file (write end
+    /// closed and buffer drained).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Interrupted`] if the calling VM thread is interrupted;
+    /// [`VmError::StreamClosed`] if this read end was closed.
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.shared.state.lock();
+        loop {
+            if state.read_closed {
+                return Err(VmError::StreamClosed);
+            }
+            if !state.buf.is_empty() {
+                let n = buf.len().min(state.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = state.buf.pop_front().expect("length checked");
+                }
+                self.shared.writable.notify_all();
+                return Ok(n);
+            }
+            if state.write_closed {
+                return Ok(0);
+            }
+            check_interrupt()?;
+            self.shared.readable.wait_for(&mut state, BLOCK_POLL);
+        }
+    }
+
+    /// Closes the read end. Subsequent writes to the other end fail with
+    /// [`VmError::StreamClosed`] (the analogue of `EPIPE`).
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock();
+        state.read_closed = true;
+        self.shared.writable.notify_all();
+        self.shared.readable.notify_all();
+    }
+
+    /// Bytes currently buffered.
+    pub fn available(&self) -> usize {
+        self.shared.state.lock().buf.len()
+    }
+}
+
+impl PipeWriter {
+    /// Writes as much of `data` as fits, blocking while the buffer is full.
+    /// Returns the number of bytes accepted (at least 1 for non-empty
+    /// input on success).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::StreamClosed`] if either end is closed;
+    /// [`VmError::Interrupted`] on interruption.
+    pub fn write(&self, data: &[u8]) -> Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.shared.state.lock();
+        loop {
+            if state.write_closed || state.read_closed {
+                return Err(VmError::StreamClosed);
+            }
+            let space = state.capacity.saturating_sub(state.buf.len());
+            if space > 0 {
+                let n = space.min(data.len());
+                state.buf.extend(&data[..n]);
+                self.shared.readable.notify_all();
+                return Ok(n);
+            }
+            check_interrupt()?;
+            self.shared.writable.wait_for(&mut state, BLOCK_POLL);
+        }
+    }
+
+    /// Writes all of `data`, blocking as needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipeWriter::write`].
+    pub fn write_all(&self, mut data: &[u8]) -> Result<()> {
+        while !data.is_empty() {
+            let n = self.write(data)?;
+            data = &data[n..];
+        }
+        Ok(())
+    }
+
+    /// Closes the write end. Readers drain the buffer, then see end-of-file.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock();
+        state.write_closed = true;
+        self.shared.readable.notify_all();
+        self.shared.writable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_small() {
+        let (w, r) = pipe(16);
+        w.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+    }
+
+    #[test]
+    fn eof_after_writer_close() {
+        let (w, r) = pipe(16);
+        w.write_all(b"xy").unwrap();
+        w.close();
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "eof");
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "eof is sticky");
+    }
+
+    #[test]
+    fn write_to_closed_reader_is_epipe() {
+        let (w, r) = pipe(16);
+        r.close();
+        assert!(matches!(w.write(b"x").unwrap_err(), VmError::StreamClosed));
+    }
+
+    #[test]
+    fn read_after_close_fails() {
+        let (_w, r) = pipe(16);
+        r.close();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            r.read(&mut buf).unwrap_err(),
+            VmError::StreamClosed
+        ));
+    }
+
+    #[test]
+    fn backpressure_blocks_and_releases() {
+        let (w, r) = pipe(4);
+        w.write_all(b"1234").unwrap();
+        let writer = std::thread::spawn(move || w.write_all(b"5678"));
+        std::thread::sleep(Duration::from_millis(10));
+        let mut buf = [0u8; 8];
+        let n = r.read(&mut buf).unwrap();
+        assert!(n > 0);
+        // Drain the rest so the writer finishes.
+        let mut total = n;
+        while total < 8 {
+            total += r.read(&mut buf).unwrap();
+        }
+        writer.join().unwrap().unwrap();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn large_transfer_through_small_buffer() {
+        let (w, r) = pipe(7);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+        let writer = std::thread::spawn(move || {
+            w.write_all(&payload).unwrap();
+            w.close();
+        });
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        writer.join().unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_rw_are_noops() {
+        let (w, r) = pipe(4);
+        assert_eq!(w.write(b"").unwrap(), 0);
+        let mut empty: [u8; 0] = [];
+        assert_eq!(r.read(&mut empty).unwrap(), 0);
+    }
+
+    #[test]
+    fn available_reports_buffered_bytes() {
+        let (w, r) = pipe(16);
+        assert_eq!(r.available(), 0);
+        w.write_all(b"abc").unwrap();
+        assert_eq!(r.available(), 3);
+    }
+}

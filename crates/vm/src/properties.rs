@@ -1,0 +1,175 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A thread-safe string-to-string property table, like
+/// `java.util.Properties`.
+///
+/// The runtime's *system properties* (paper §3.1: "values that provide
+/// information about the system, for example the running user, the Java
+/// version, the underlying O/S version") are one shared `Properties`
+/// instance; the multi-processing layer additionally gives each application
+/// an overlay of per-application properties (paper §5.1).
+///
+/// Cloning a `Properties` yields a handle to the *same* table; use
+/// [`Properties::snapshot`]/[`Properties::overlay`] for copies.
+#[derive(Clone, Default)]
+pub struct Properties {
+    map: Arc<RwLock<BTreeMap<String, String>>>,
+}
+
+impl Properties {
+    /// Creates an empty table.
+    pub fn new() -> Properties {
+        Properties::default()
+    }
+
+    /// The conventional system-property defaults of this runtime, standing
+    /// in for the values JDK 1.2 hard-codes or obtains from the O/S.
+    pub fn system_defaults() -> Properties {
+        let props = Properties::new();
+        props.set("java.version", "1.2-jmp");
+        props.set("java.vendor", "jmproc");
+        props.set("os.name", "jmpos");
+        props.set("os.version", "0.1");
+        props.set("file.separator", "/");
+        props.set("line.separator", "\n");
+        props.set("path.separator", ":");
+        props
+    }
+
+    /// Returns the value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Returns the value for `key` or `default` if absent.
+    pub fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or_else(|| default.to_string())
+    }
+
+    /// Sets `key` to `value`, returning the previous value if any.
+    pub fn set(&self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.map.write().insert(key.into(), value.into())
+    }
+
+    /// Removes `key`, returning its previous value.
+    pub fn remove(&self, key: &str) -> Option<String> {
+        self.map.write().remove(key)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Returns `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// A point-in-time copy of all entries, sorted by key.
+    pub fn snapshot(&self) -> Vec<(String, String)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Creates a new, independent table seeded with this table's current
+    /// contents — how a child application inherits its parent's properties
+    /// (paper §5.1: "the current application-wide state of the parent is
+    /// inherited by the child").
+    pub fn overlay(&self) -> Properties {
+        Properties {
+            map: Arc::new(RwLock::new(self.map.read().clone())),
+        }
+    }
+
+    /// Returns `true` if `other` is a handle to the same underlying table.
+    pub fn same_table(&self, other: &Properties) -> bool {
+        Arc::ptr_eq(&self.map, &other.map)
+    }
+}
+
+impl fmt::Debug for Properties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.map.read().iter()).finish()
+    }
+}
+
+impl FromIterator<(String, String)> for Properties {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        Properties {
+            map: Arc::new(RwLock::new(iter.into_iter().collect())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let p = Properties::new();
+        assert_eq!(p.set("user.name", "alice"), None);
+        assert_eq!(p.get("user.name").as_deref(), Some("alice"));
+        assert_eq!(p.set("user.name", "bob").as_deref(), Some("alice"));
+        assert_eq!(p.remove("user.name").as_deref(), Some("bob"));
+        assert!(!p.contains("user.name"));
+        assert_eq!(p.get_or("user.name", "nobody"), "nobody");
+    }
+
+    #[test]
+    fn clone_shares_overlay_copies() {
+        let p = Properties::new();
+        p.set("k", "1");
+        let shared = p.clone();
+        shared.set("k", "2");
+        assert_eq!(p.get("k").as_deref(), Some("2"), "clone shares the table");
+        assert!(p.same_table(&shared));
+
+        let copy = p.overlay();
+        copy.set("k", "3");
+        assert_eq!(p.get("k").as_deref(), Some("2"), "overlay is independent");
+        assert!(!p.same_table(&copy));
+    }
+
+    #[test]
+    fn system_defaults_present() {
+        let p = Properties::system_defaults();
+        assert_eq!(p.get("os.name").as_deref(), Some("jmpos"));
+        assert_eq!(p.get("java.version").as_deref(), Some("1.2-jmp"));
+        assert!(p.len() >= 5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let p = Properties::new();
+        p.set("b", "2");
+        p.set("a", "1");
+        let snap = p.snapshot();
+        assert_eq!(
+            snap,
+            vec![("a".into(), "1".into()), ("b".into(), "2".into())]
+        );
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Properties = vec![("x".to_string(), "y".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(p.get("x").as_deref(), Some("y"));
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-thread frame stacks: the explicit call-chain model that stack
+//! inspection runs against.
+//!
+//! A real JVM walks its interpreter stack to find the protection domain of
+//! every method on the call chain (paper §3.3). Our runtime executes trusted
+//! library code natively, so the call chain is modeled explicitly: code that
+//! "belongs to a class" runs inside [`call_as`], which pushes a frame
+//! carrying the class's [`ProtectionDomain`]; the `jbc` interpreter pushes a
+//! frame per interpreted method call. [`current_access_context`] snapshots
+//! the stack (newest first) for the
+//! [`AccessController`](jmp_security::AccessController).
+//!
+//! [`do_privileged`] reproduces JDK 1.2 `AccessController.doPrivileged`: it
+//! re-pushes the current top domain with the privileged mark, so a check
+//! from inside stops walking there — and, crucially for the paper's luring-
+//! attack discussion (§5.6), privileged code that *calls into* less trusted
+//! code (which pushes its own frame on top) does not lend it any privilege.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use jmp_security::{AccessContext, DomainEntry, ProtectionDomain};
+
+#[derive(Clone)]
+struct Frame {
+    class_name: String,
+    domain: Arc<ProtectionDomain>,
+    privileged: bool,
+}
+
+#[derive(Default)]
+struct FrameStack {
+    /// Oldest first; snapshots reverse into newest-first order.
+    frames: Vec<Frame>,
+    /// Context captured from the spawning thread (JDK inherited
+    /// `AccessControlContext`).
+    inherited: Option<Arc<AccessContext>>,
+}
+
+thread_local! {
+    static STACK: RefCell<FrameStack> = RefCell::new(FrameStack::default());
+}
+
+/// Runs `f` with a stack frame attributing the code to `class_name`
+/// executing under `domain`. Pops the frame when `f` returns or panics.
+pub fn call_as<R>(class_name: &str, domain: Arc<ProtectionDomain>, f: impl FnOnce() -> R) -> R {
+    push(Frame {
+        class_name: class_name.to_string(),
+        domain,
+        privileged: false,
+    });
+    let _guard = PopGuard(());
+    f()
+}
+
+/// Runs `f` with the current top domain re-pushed as a privileged frame
+/// (JDK `AccessController.doPrivileged`). Checks performed inside `f` stop
+/// their stack walk at this frame — the caller's callers (and the inherited
+/// context) are not consulted.
+///
+/// On an empty stack this is a no-op wrapper: an empty stack is already
+/// fully trusted.
+pub fn do_privileged<R>(f: impl FnOnce() -> R) -> R {
+    let top = STACK.with(|s| s.borrow().frames.last().cloned());
+    match top {
+        Some(frame) => {
+            push(Frame {
+                privileged: true,
+                ..frame
+            });
+            let _guard = PopGuard(());
+            f()
+        }
+        None => f(),
+    }
+}
+
+fn push(frame: Frame) {
+    STACK.with(|s| s.borrow_mut().frames.push(frame));
+}
+
+struct PopGuard(());
+
+impl Drop for PopGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().frames.pop();
+        });
+    }
+}
+
+/// Snapshots the current thread's protection-domain stack, newest frame
+/// first, with the thread's inherited context attached below.
+pub fn current_access_context() -> AccessContext {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        let entries: Vec<DomainEntry> = stack
+            .frames
+            .iter()
+            .rev()
+            .map(|f| DomainEntry {
+                domain: Arc::clone(&f.domain),
+                privileged: f.privileged,
+            })
+            .collect();
+        let ctx = AccessContext::from_entries(entries);
+        match &stack.inherited {
+            Some(parent) => ctx.inherit(Arc::clone(parent)),
+            None => ctx,
+        }
+    })
+}
+
+/// Captures the current context as an `Arc`, suitable for installing as a
+/// new thread's inherited context (JDK captures the creating thread's
+/// context at `Thread` creation).
+pub fn capture_context() -> Arc<AccessContext> {
+    Arc::new(current_access_context())
+}
+
+/// Installs the inherited context for the current thread. Called by the
+/// spawn wrapper before the thread body runs.
+pub(crate) fn set_inherited(ctx: Arc<AccessContext>) {
+    STACK.with(|s| s.borrow_mut().inherited = Some(ctx));
+}
+
+/// Clears all frame state for the current thread (spawn wrapper teardown).
+pub(crate) fn clear() {
+    STACK.with(|s| *s.borrow_mut() = FrameStack::default());
+}
+
+/// Number of frames on the current thread's stack (diagnostics, benches).
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().frames.len())
+}
+
+/// The class name of the newest frame, if any (diagnostics).
+pub fn top_class() -> Option<String> {
+    STACK.with(|s| s.borrow().frames.last().map(|f| f.class_name.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmp_security::{
+        AccessController, CodeSource, FileActions, Permission, PermissionCollection,
+    };
+
+    fn domain(url: &str, perms: Vec<Permission>) -> Arc<ProtectionDomain> {
+        Arc::new(ProtectionDomain::new(
+            CodeSource::local(url),
+            perms.into_iter().collect::<PermissionCollection>(),
+        ))
+    }
+
+    fn read_tmp() -> Permission {
+        Permission::file("/tmp/x", FileActions::READ)
+    }
+
+    #[test]
+    fn frames_nest_and_pop() {
+        assert_eq!(depth(), 0);
+        call_as("A", domain("file:/a", vec![]), || {
+            assert_eq!(depth(), 1);
+            assert_eq!(top_class().as_deref(), Some("A"));
+            call_as("B", domain("file:/b", vec![]), || {
+                assert_eq!(depth(), 2);
+                assert_eq!(top_class().as_deref(), Some("B"));
+            });
+            assert_eq!(depth(), 1);
+        });
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn frames_pop_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            call_as("A", domain("file:/a", vec![]), || {
+                panic!("boom");
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_newest_first() {
+        call_as("Old", domain("file:/old", vec![]), || {
+            call_as("New", domain("file:/new", vec![]), || {
+                let ctx = current_access_context();
+                assert_eq!(ctx.entries().len(), 2);
+                assert_eq!(ctx.entries()[0].domain.code_source().url(), "file:/new");
+                assert_eq!(ctx.entries()[1].domain.code_source().url(), "file:/old");
+            });
+        });
+    }
+
+    #[test]
+    fn untrusted_frame_poisons_checks() {
+        let trusted = domain("file:/sys", vec![Permission::All]);
+        let untrusted = domain("http://evil", vec![]);
+        call_as("Sys", Arc::clone(&trusted), || {
+            AccessController::check(&current_access_context(), &read_tmp()).unwrap();
+            call_as("Evil", untrusted, || {
+                AccessController::check(&current_access_context(), &read_tmp()).unwrap_err();
+            });
+        });
+    }
+
+    #[test]
+    fn do_privileged_shields_callers() {
+        let trusted = domain("file:/sys", vec![Permission::All]);
+        let untrusted = domain("http://evil", vec![]);
+        // Untrusted code calls a trusted API; the trusted API asserts its own
+        // authority with do_privileged (e.g. the Font class reading font
+        // files on behalf of an app that cannot read files itself, §5.6).
+        call_as("Evil", untrusted, || {
+            call_as("Font", Arc::clone(&trusted), || {
+                // Without doPrivileged, the untrusted caller poisons the check.
+                AccessController::check(&current_access_context(), &read_tmp()).unwrap_err();
+                do_privileged(|| {
+                    AccessController::check(&current_access_context(), &read_tmp()).unwrap();
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn privilege_is_lost_when_calling_back_down() {
+        // The luring-attack property (§5.6): privileged code that calls into
+        // unprivileged code loses its privileges for that code.
+        let trusted = domain("file:/sys", vec![Permission::All]);
+        let untrusted = domain("http://evil", vec![]);
+        call_as("Font", trusted, || {
+            do_privileged(|| {
+                AccessController::check(&current_access_context(), &read_tmp()).unwrap();
+                call_as("EvilCallback", untrusted, || {
+                    AccessController::check(&current_access_context(), &read_tmp()).unwrap_err();
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn do_privileged_on_empty_stack_is_noop() {
+        clear();
+        let got = do_privileged(|| 42);
+        assert_eq!(got, 42);
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn inherited_context_attaches_below() {
+        let untrusted = domain("http://evil", vec![]);
+        let parent = Arc::new(AccessContext::from_domains(vec![untrusted]));
+        set_inherited(Arc::clone(&parent));
+        let ctx = current_access_context();
+        assert!(ctx.inherited().is_some());
+        AccessController::check(&ctx, &read_tmp()).unwrap_err();
+        clear();
+        AccessController::check(&current_access_context(), &read_tmp()).unwrap();
+    }
+
+    #[test]
+    fn capture_context_snapshots() {
+        let trusted = domain("file:/sys", vec![Permission::All]);
+        let captured = call_as("A", trusted, capture_context);
+        // After the frame popped, the captured context still holds it.
+        assert_eq!(captured.entries().len(), 1);
+        assert_eq!(depth(), 0);
+    }
+}

@@ -1,0 +1,378 @@
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::VmError;
+use crate::group::ThreadGroup;
+use crate::Result;
+
+/// Identifier of a VM thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t:{}", self.0)
+    }
+}
+
+/// Poll interval used by all blocking runtime primitives to observe
+/// interruption. Condition variables still deliver wakeups eagerly on the
+/// fast path; this bounds only how long a blocked thread can take to notice
+/// it was interrupted.
+pub const BLOCK_POLL: Duration = Duration::from_millis(5);
+
+#[derive(Debug)]
+enum RunState {
+    Running,
+    /// Finished; `Some(msg)` if the thread body panicked.
+    Finished(Option<String>),
+}
+
+pub(crate) struct ThreadCtl {
+    pub(crate) id: ThreadId,
+    pub(crate) name: String,
+    pub(crate) daemon: bool,
+    pub(crate) group: ThreadGroup,
+    interrupted: AtomicBool,
+    state: Mutex<RunState>,
+    finished: Condvar,
+}
+
+impl ThreadCtl {
+    pub(crate) fn new(
+        id: ThreadId,
+        name: String,
+        daemon: bool,
+        group: ThreadGroup,
+    ) -> Arc<ThreadCtl> {
+        Arc::new(ThreadCtl {
+            id,
+            name,
+            daemon,
+            group,
+            interrupted: AtomicBool::new(false),
+            state: Mutex::new(RunState::Running),
+            finished: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn mark_finished(&self, panic_message: Option<String>) {
+        *self.state.lock() = RunState::Finished(panic_message);
+        self.finished.notify_all();
+    }
+}
+
+/// A handle to a thread managed by the runtime.
+///
+/// VM threads are real OS threads with extra bookkeeping: a [`ThreadGroup`]
+/// membership, a daemon flag (Fig 1), and a *cooperative interruption* flag.
+/// All blocking runtime primitives are interruption points; a thread blocked
+/// in one returns [`VmError::Interrupted`] shortly after
+/// interruption — this is how the application layer implements "stop all
+/// threads" during teardown (paper §5.1) without unsafe thread killing.
+///
+/// Handles are cheap clones referring to the same thread.
+#[derive(Clone)]
+pub struct VmThread {
+    ctl: Arc<ThreadCtl>,
+}
+
+impl VmThread {
+    pub(crate) fn from_ctl(ctl: Arc<ThreadCtl>) -> VmThread {
+        VmThread { ctl }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn ctl(&self) -> &Arc<ThreadCtl> {
+        &self.ctl
+    }
+
+    /// The thread's id.
+    pub fn id(&self) -> ThreadId {
+        self.ctl.id
+    }
+
+    /// The thread's name.
+    pub fn name(&self) -> &str {
+        &self.ctl.name
+    }
+
+    /// Whether the thread is a daemon (Fig 1: daemon threads do not keep the
+    /// VM alive).
+    pub fn is_daemon(&self) -> bool {
+        self.ctl.daemon
+    }
+
+    /// The group the thread belongs to.
+    pub fn group(&self) -> &ThreadGroup {
+        &self.ctl.group
+    }
+
+    /// Returns `true` while the thread body is still executing.
+    pub fn is_alive(&self) -> bool {
+        matches!(*self.ctl.state.lock(), RunState::Running)
+    }
+
+    /// Returns `true` if the thread has been interrupted.
+    pub fn is_interrupted(&self) -> bool {
+        self.ctl.interrupted.load(Ordering::SeqCst)
+    }
+
+    /// Sets the interruption flag without any access-control check.
+    ///
+    /// Public callers go through [`crate::Vm::interrupt_thread`], which first
+    /// consults the installed security manager (the paper's system security
+    /// manager protects threads of one application from another, §5.6).
+    pub(crate) fn interrupt_raw(&self) {
+        self.ctl.interrupted.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the thread to finish.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Interrupted`] if the *calling* thread is interrupted while
+    /// waiting; [`VmError::ThreadPanicked`] if the joined thread's body
+    /// panicked.
+    pub fn join(&self) -> Result<()> {
+        let mut state = self.ctl.state.lock();
+        loop {
+            match &*state {
+                RunState::Finished(None) => return Ok(()),
+                RunState::Finished(Some(_)) => {
+                    return Err(VmError::ThreadPanicked {
+                        thread: self.ctl.name.clone(),
+                    })
+                }
+                RunState::Running => {
+                    if current_interrupted() {
+                        return Err(VmError::Interrupted);
+                    }
+                    self.ctl.finished.wait_for(&mut state, BLOCK_POLL);
+                }
+            }
+        }
+    }
+
+    /// Waits for the thread to finish, up to `timeout`. Returns `true` if it
+    /// finished (even by panicking).
+    pub fn join_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.ctl.state.lock();
+        loop {
+            if matches!(*state, RunState::Finished(_)) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let wait = BLOCK_POLL.min(deadline - now);
+            self.ctl.finished.wait_for(&mut state, wait);
+        }
+    }
+}
+
+impl fmt::Debug for VmThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmThread")
+            .field("id", &self.ctl.id)
+            .field("name", &self.ctl.name)
+            .field("daemon", &self.ctl.daemon)
+            .field("group", &self.ctl.group.name())
+            .field("alive", &self.is_alive())
+            .field("interrupted", &self.is_interrupted())
+            .finish()
+    }
+}
+
+impl fmt::Display for VmThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.ctl.name, self.ctl.id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Current-thread state
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<ThreadCtl>>> = const { RefCell::new(None) };
+}
+
+/// Binds `ctl` as the current VM thread for the duration of the returned
+/// guard (installed by the spawn wrapper in `vm.rs`).
+pub(crate) fn enter_thread(ctl: Arc<ThreadCtl>) -> CurrentGuard {
+    CURRENT.with(|c| *c.borrow_mut() = Some(ctl));
+    CurrentGuard(())
+}
+
+pub(crate) struct CurrentGuard(());
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// The current VM thread, or `None` when called from a plain OS thread that
+/// the runtime does not manage.
+pub fn current() -> Option<VmThread> {
+    CURRENT.with(|c| c.borrow().clone().map(VmThread::from_ctl))
+}
+
+/// The current VM thread's id, if on a VM thread.
+pub fn current_id() -> Option<ThreadId> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctl| ctl.id))
+}
+
+/// Returns `true` if the current thread is a VM thread whose interruption
+/// flag is set. Plain OS threads are never interrupted.
+pub fn current_interrupted() -> bool {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|ctl| ctl.interrupted.load(Ordering::SeqCst))
+    })
+}
+
+/// Fails with [`VmError::Interrupted`] if the current thread has been
+/// interrupted. The flag is *not* cleared: once an application is being torn
+/// down, every subsequent blocking call should keep failing. (Deviation from
+/// Java, where `InterruptedException` clears the flag; stickiness is what
+/// teardown wants, and nothing in the paper depends on re-arming.)
+///
+/// # Errors
+///
+/// [`VmError::Interrupted`] when the flag is set.
+pub fn check_interrupt() -> Result<()> {
+    if current_interrupted() {
+        Err(VmError::Interrupted)
+    } else {
+        Ok(())
+    }
+}
+
+/// Sleeps for `duration`, waking early with an error if interrupted.
+///
+/// # Errors
+///
+/// [`VmError::Interrupted`] if the current thread is interrupted before the
+/// duration elapses.
+pub fn sleep(duration: Duration) -> Result<()> {
+    let deadline = Instant::now() + duration;
+    loop {
+        check_interrupt()?;
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(());
+        }
+        std::thread::sleep(BLOCK_POLL.min(deadline - now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctl(id: u64, daemon: bool) -> Arc<ThreadCtl> {
+        ThreadCtl::new(
+            ThreadId(id),
+            format!("test-{id}"),
+            daemon,
+            ThreadGroup::new_root("g"),
+        )
+    }
+
+    #[test]
+    fn handle_reports_metadata() {
+        let t = VmThread::from_ctl(test_ctl(7, true));
+        assert_eq!(t.id(), ThreadId(7));
+        assert_eq!(t.name(), "test-7");
+        assert!(t.is_daemon());
+        assert!(t.is_alive());
+        assert!(!t.is_interrupted());
+    }
+
+    #[test]
+    fn join_returns_after_finish() {
+        let ctl = test_ctl(1, false);
+        let t = VmThread::from_ctl(Arc::clone(&ctl));
+        let waiter = std::thread::spawn(move || t.join());
+        std::thread::sleep(Duration::from_millis(10));
+        ctl.mark_finished(None);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let ctl = test_ctl(2, false);
+        ctl.mark_finished(Some("boom".into()));
+        let t = VmThread::from_ctl(ctl);
+        assert!(matches!(
+            t.join().unwrap_err(),
+            VmError::ThreadPanicked { .. }
+        ));
+        assert!(!t.is_alive());
+    }
+
+    #[test]
+    fn join_timeout_expires() {
+        let t = VmThread::from_ctl(test_ctl(3, false));
+        assert!(!t.join_timeout(Duration::from_millis(10)));
+        t.ctl().mark_finished(None);
+        assert!(t.join_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn os_threads_are_never_interrupted() {
+        assert!(current().is_none());
+        assert!(!current_interrupted());
+        check_interrupt().unwrap();
+    }
+
+    #[test]
+    fn enter_thread_binds_current() {
+        let ctl = test_ctl(4, false);
+        {
+            let _guard = enter_thread(Arc::clone(&ctl));
+            assert_eq!(current_id(), Some(ThreadId(4)));
+            let t = current().unwrap();
+            t.interrupt_raw();
+            assert!(current_interrupted());
+            assert!(check_interrupt().is_err());
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn sleep_is_interruptible() {
+        let ctl = test_ctl(5, false);
+        let handle = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || {
+                let _guard = enter_thread(ctl);
+                let start = Instant::now();
+                let result = sleep(Duration::from_secs(60));
+                (result, start.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        VmThread::from_ctl(ctl).interrupt_raw();
+        let (result, elapsed) = handle.join().unwrap();
+        assert!(matches!(result.unwrap_err(), VmError::Interrupted));
+        assert!(elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sleep_completes_without_interruption() {
+        let start = Instant::now();
+        sleep(Duration::from_millis(15)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(14));
+    }
+}

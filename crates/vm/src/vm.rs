@@ -1,0 +1,954 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jmp_security::{AccessController, Permission, Policy};
+use parking_lot::{Mutex, RwLock};
+
+use crate::classes::{Class, ClassLoader, MaterialRegistry};
+use crate::error::VmError;
+use crate::group::ThreadGroup;
+use crate::properties::Properties;
+use crate::stack;
+use crate::thread::{self, ThreadCtl, ThreadId, VmThread};
+use crate::Result;
+
+/// Resolves the *running user* for the current thread — installed by the
+/// multi-processing layer, which maps the current thread to its application
+/// and the application to its user (paper §5.2/§5.3). Without a resolver,
+/// checks proceed with no user (pure code-source policy, as in stock JDK).
+pub type UserResolver = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// The security manager interface consulted by runtime services (paper
+/// §3.3). The multi-processing layer installs its *system security manager*
+/// implementing the §5.6 rules; with none installed, thread and member
+/// checks are permitted and permission checks fall back to pure stack
+/// inspection, matching a stock JVM run without a security manager.
+pub trait SecurityManager: Send + Sync {
+    /// General permission check (`SecurityManager.checkPermission`).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] to deny.
+    fn check_permission(&self, vm: &Vm, perm: &Permission) -> Result<()>;
+
+    /// May the current thread manipulate (interrupt/join-control) `target`?
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] to deny.
+    fn check_thread_access(&self, vm: &Vm, target: &VmThread) -> Result<()> {
+        let _ = (vm, target);
+        Ok(())
+    }
+
+    /// May the current thread create threads in / manipulate `group`?
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] to deny.
+    fn check_thread_group_access(&self, vm: &Vm, group: &ThreadGroup) -> Result<()> {
+        let _ = (vm, group);
+        Ok(())
+    }
+
+    /// May the current thread reflectively access non-public members of
+    /// `class`? (Paper §5.6: public members are free, non-public members
+    /// need permission.)
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] to deny.
+    fn check_member_access(&self, vm: &Vm, class: &Class) -> Result<()> {
+        let _ = (vm, class);
+        Ok(())
+    }
+}
+
+struct VmInner {
+    name: String,
+    extensions: RwLock<HashMap<String, Arc<dyn std::any::Any + Send + Sync>>>,
+    policy: Arc<RwLock<Arc<Policy>>>,
+    properties: Properties,
+    material: Arc<MaterialRegistry>,
+    system_loader: ClassLoader,
+    system_group: ThreadGroup,
+    main_group: ThreadGroup,
+    threads: RwLock<HashMap<ThreadId, VmThread>>,
+    next_thread_id: AtomicU64,
+    security_manager: RwLock<Option<Arc<dyn SecurityManager>>>,
+    user_resolver: RwLock<Option<UserResolver>>,
+    shutdown: AtomicBool,
+    shutdown_at: Mutex<Option<Instant>>,
+    exit_code: Mutex<Option<i32>>,
+}
+
+/// The virtual machine: thread and group bookkeeping, the class system, the
+/// system properties, the policy, and the Fig-1 lifetime rule ("once all
+/// non-daemon threads of an application have finished, the JVM exits").
+///
+/// Cheap handle; clones refer to the same VM.
+#[derive(Clone)]
+pub struct Vm {
+    inner: Arc<VmInner>,
+}
+
+/// Configures and builds a [`Vm`].
+pub struct VmBuilder {
+    name: String,
+    policy: Policy,
+    properties: Vec<(String, String)>,
+}
+
+impl VmBuilder {
+    /// Sets the VM's display name.
+    pub fn name(mut self, name: impl Into<String>) -> VmBuilder {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the security policy.
+    pub fn policy(mut self, policy: Policy) -> VmBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides or adds a system property.
+    pub fn property(mut self, key: impl Into<String>, value: impl Into<String>) -> VmBuilder {
+        self.properties.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builds the VM: creates the `system` root group, the `main` group
+    /// beneath it, and the system class loader whose protection domains are
+    /// resolved against the policy at class-definition time.
+    pub fn build(self) -> Vm {
+        let policy = Arc::new(RwLock::new(Arc::new(self.policy)));
+        let resolver_policy = Arc::clone(&policy);
+        let material = Arc::new(MaterialRegistry::new());
+        let system_loader = ClassLoader::new_system(
+            "system",
+            Arc::clone(&material),
+            Arc::new(move |source| resolver_policy.read().permissions_for(source)),
+        );
+        let system_group = ThreadGroup::new_root("system");
+        let main_group = system_group
+            .new_child("main")
+            .expect("fresh root group cannot be destroyed");
+        let properties = Properties::system_defaults();
+        for (k, v) in self.properties {
+            properties.set(k, v);
+        }
+        Vm {
+            inner: Arc::new(VmInner {
+                name: self.name,
+                extensions: RwLock::new(HashMap::new()),
+                policy,
+                properties,
+                material,
+                system_loader,
+                system_group,
+                main_group,
+                threads: RwLock::new(HashMap::new()),
+                next_thread_id: AtomicU64::new(1),
+                security_manager: RwLock::new(None),
+                user_resolver: RwLock::new(None),
+                shutdown: AtomicBool::new(false),
+                shutdown_at: Mutex::new(None),
+                exit_code: Mutex::new(None),
+            }),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_VM: RefCell<Option<Vm>> = const { RefCell::new(None) };
+}
+
+impl Vm {
+    /// Starts building a VM.
+    pub fn builder() -> VmBuilder {
+        VmBuilder {
+            name: "jmp".into(),
+            policy: Policy::new(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Builds a VM with defaults (empty policy, default properties).
+    pub fn new() -> Vm {
+        Vm::builder().build()
+    }
+
+    /// The VM executing on the current thread, if this is a VM thread.
+    pub fn current() -> Option<Vm> {
+        CURRENT_VM.with(|c| c.borrow().clone())
+    }
+
+    /// The VM's display name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Returns `true` if `other` is a handle to the same VM.
+    pub fn same_vm(&self, other: &Vm) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Attaches a named extension object to the VM. Used by higher layers
+    /// (e.g. the multi-processing runtime) to make themselves discoverable
+    /// from any VM thread via [`Vm::current`]. Requires
+    /// `RuntimePermission("setVmExtension")`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if the caller lacks the permission.
+    pub fn set_extension(
+        &self,
+        name: impl Into<String>,
+        value: Arc<dyn std::any::Any + Send + Sync>,
+    ) -> Result<()> {
+        self.check_permission(&Permission::runtime("setVmExtension"))?;
+        self.inner.extensions.write().insert(name.into(), value);
+        Ok(())
+    }
+
+    /// Fetches a typed extension previously attached with
+    /// [`Vm::set_extension`].
+    pub fn extension<T: Send + Sync + 'static>(&self, name: &str) -> Option<Arc<T>> {
+        self.inner
+            .extensions
+            .read()
+            .get(name)
+            .cloned()?
+            .downcast::<T>()
+            .ok()
+    }
+
+    // -- policy & security ---------------------------------------------------
+
+    /// The current security policy.
+    pub fn policy(&self) -> Arc<Policy> {
+        Arc::clone(&self.inner.policy.read())
+    }
+
+    /// Replaces the policy. Requires `RuntimePermission("setPolicy")`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if the caller lacks the permission.
+    pub fn set_policy(&self, policy: Policy) -> Result<()> {
+        self.check_permission(&Permission::runtime("setPolicy"))?;
+        *self.inner.policy.write() = Arc::new(policy);
+        Ok(())
+    }
+
+    /// Pure stack-inspection check against the policy, combining user-based
+    /// grants (paper §5.3) via the installed user resolver. This is what
+    /// security-manager implementations delegate to — the analogue of
+    /// `AccessController.checkPermission`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] naming the refusing domain.
+    pub fn access_check(&self, perm: &Permission) -> Result<()> {
+        let ctx = stack::current_access_context();
+        let user = self.current_user();
+        AccessController::check_with(&ctx, perm, user.as_deref(), &self.policy())?;
+        Ok(())
+    }
+
+    /// Full permission check: consults the installed security manager, or
+    /// falls back to [`Vm::access_check`] when none is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] to deny.
+    pub fn check_permission(&self, perm: &Permission) -> Result<()> {
+        let sm = self.inner.security_manager.read().clone();
+        match sm {
+            Some(sm) => sm.check_permission(self, perm),
+            None => self.access_check(perm),
+        }
+    }
+
+    /// The installed security manager, if any.
+    pub fn security_manager(&self) -> Option<Arc<dyn SecurityManager>> {
+        self.inner.security_manager.read().clone()
+    }
+
+    /// Installs a security manager. Requires
+    /// `RuntimePermission("setSecurityManager")`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if the caller lacks the permission.
+    pub fn set_security_manager(&self, sm: Arc<dyn SecurityManager>) -> Result<()> {
+        self.check_permission(&Permission::runtime("setSecurityManager"))?;
+        *self.inner.security_manager.write() = Some(sm);
+        Ok(())
+    }
+
+    /// The running user for the current thread, per the installed resolver.
+    pub fn current_user(&self) -> Option<String> {
+        let resolver = self.inner.user_resolver.read().clone();
+        resolver.and_then(|r| r())
+    }
+
+    /// Installs the user resolver. Requires
+    /// `RuntimePermission("setUserResolver")`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if the caller lacks the permission.
+    pub fn set_user_resolver(&self, resolver: UserResolver) -> Result<()> {
+        self.check_permission(&Permission::runtime("setUserResolver"))?;
+        *self.inner.user_resolver.write() = Some(resolver);
+        Ok(())
+    }
+
+    // -- classes -------------------------------------------------------------
+
+    /// The shared class-material registry (the "class path").
+    pub fn material(&self) -> &Arc<MaterialRegistry> {
+        &self.inner.material
+    }
+
+    /// The system class loader.
+    pub fn system_loader(&self) -> &ClassLoader {
+        &self.inner.system_loader
+    }
+
+    /// Creates a child class loader of `parent`. Requires
+    /// `RuntimePermission("createClassLoader")`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if the caller lacks the permission.
+    pub fn create_loader(&self, name: &str, parent: &ClassLoader) -> Result<ClassLoader> {
+        self.check_permission(&Permission::runtime("createClassLoader"))?;
+        Ok(parent.new_child(name))
+    }
+
+    // -- properties ----------------------------------------------------------
+
+    /// The JVM-wide system properties (shared by all applications; see the
+    /// paper's `SystemProperties` discussion, §5.5 and Fig 5).
+    pub fn properties(&self) -> &Properties {
+        &self.inner.properties
+    }
+
+    // -- groups & threads ----------------------------------------------------
+
+    /// The root (`system`) thread group: runtime helper threads live here,
+    /// not in any application's group (paper Feature 6 / §5.4).
+    pub fn system_group(&self) -> &ThreadGroup {
+        &self.inner.system_group
+    }
+
+    /// The `main` group, beneath which application groups are created.
+    pub fn main_group(&self) -> &ThreadGroup {
+        &self.inner.main_group
+    }
+
+    /// Starts configuring a new VM thread.
+    pub fn thread_builder(&self) -> ThreadBuilder {
+        ThreadBuilder {
+            vm: self.clone(),
+            name: None,
+            group: None,
+            daemon: false,
+        }
+    }
+
+    /// Live threads, sorted by id.
+    pub fn threads(&self) -> Vec<VmThread> {
+        let mut threads: Vec<VmThread> = self.inner.threads.read().values().cloned().collect();
+        threads.sort_by_key(VmThread::id);
+        threads
+    }
+
+    /// Looks up a live thread by id.
+    pub fn find_thread(&self, id: ThreadId) -> Option<VmThread> {
+        self.inner.threads.read().get(&id).cloned()
+    }
+
+    /// Number of live threads.
+    pub fn thread_count(&self) -> usize {
+        self.inner.threads.read().len()
+    }
+
+    /// Interrupts `target`, after consulting the security manager's
+    /// thread-access rule (paper §5.6).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if access to the target thread is denied.
+    pub fn interrupt_thread(&self, target: &VmThread) -> Result<()> {
+        if let Some(sm) = self.security_manager() {
+            sm.check_thread_access(self, target)?;
+        }
+        target.interrupt_raw();
+        Ok(())
+    }
+
+    // -- running applications (single-application mode, paper §3.1) ----------
+
+    /// Loads `class_name` through the system loader and spawns a non-daemon
+    /// thread in the `main` group running its `main(args)` — what `java
+    /// MyClass` does (paper §3.1). If `main` returns an error the thread
+    /// panics with it, surfacing through [`VmThread::join`].
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::ClassNotFound`]/[`VmError::NoMainMethod`] for bad classes;
+    /// spawn errors otherwise.
+    pub fn run_class(&self, class_name: &str, args: Vec<String>) -> Result<VmThread> {
+        let class = self.inner.system_loader.load_class(class_name)?;
+        let thread_name = format!("main:{class_name}");
+        self.thread_builder()
+            .name(thread_name)
+            .group(self.inner.main_group.clone())
+            .spawn(move |_vm| {
+                if let Err(err) = class.run_main(args) {
+                    panic!("uncaught exception in main: {err}");
+                }
+            })
+    }
+
+    /// Runs `class_name` to completion: [`Vm::run_class`] followed by
+    /// [`Vm::await_termination`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::run_class`].
+    pub fn run(&self, class_name: &str, args: Vec<String>) -> Result<i32> {
+        self.run_class(class_name, args)?;
+        Ok(self.await_termination())
+    }
+
+    /// Blocks until no non-daemon threads remain anywhere in the VM (Fig 1),
+    /// or until a [`Vm::exit`] grace period expires. Returns the exit code
+    /// (0 unless [`Vm::exit`] supplied one).
+    pub fn await_termination(&self) -> i32 {
+        const EXIT_GRACE: Duration = Duration::from_secs(2);
+        loop {
+            if self
+                .inner
+                .system_group
+                .wait_nondaemon_zero(Duration::from_millis(20))
+            {
+                break;
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                let expired = self
+                    .inner
+                    .shutdown_at
+                    .lock()
+                    .is_none_or(|at| at.elapsed() > EXIT_GRACE);
+                if expired {
+                    break;
+                }
+            }
+        }
+        self.inner.exit_code.lock().unwrap_or(0)
+    }
+
+    /// Returns `true` once [`Vm::exit`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops the VM: requires `RuntimePermission("exitVM")` — the check whose
+    /// *absence* of scoping the paper criticizes ("an application can exit
+    /// the virtual machine by calling `System.exit()`, since the 'system' is
+    /// the same as the application", §4). The multi-processing layer maps
+    /// applications' exits to `Application.exit` instead and reserves this
+    /// for the system.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Security`] if the caller lacks the permission.
+    pub fn exit(&self, code: i32) -> Result<()> {
+        self.check_permission(&Permission::runtime("exitVM"))?;
+        self.exit_unchecked(code);
+        Ok(())
+    }
+
+    /// Stops the VM without a permission check (bootstrap/host use).
+    pub fn exit_unchecked(&self, code: i32) {
+        {
+            let mut exit_code = self.inner.exit_code.lock();
+            if exit_code.is_none() {
+                *exit_code = Some(code);
+            }
+        }
+        if !self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            *self.inner.shutdown_at.lock() = Some(Instant::now());
+        }
+        for thread in self.threads() {
+            thread.interrupt_raw();
+        }
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Vm {
+        Vm::new()
+    }
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("name", &self.inner.name)
+            .field("threads", &self.thread_count())
+            .field("nondaemon", &self.inner.system_group.nondaemon_count())
+            .field("shutdown", &self.is_shutdown())
+            .finish()
+    }
+}
+
+/// Builder for VM threads (see [`Vm::thread_builder`]).
+pub struct ThreadBuilder {
+    vm: Vm,
+    name: Option<String>,
+    group: Option<ThreadGroup>,
+    daemon: bool,
+}
+
+impl ThreadBuilder {
+    /// Names the thread.
+    pub fn name(mut self, name: impl Into<String>) -> ThreadBuilder {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Puts the thread in `group`. Defaults to the spawning VM thread's
+    /// group ("created in whatever thread group happens to be current",
+    /// paper §4), or the `main` group when spawning from a non-VM thread.
+    pub fn group(mut self, group: ThreadGroup) -> ThreadBuilder {
+        self.group = Some(group);
+        self
+    }
+
+    /// Marks the thread daemon (default: non-daemon).
+    pub fn daemon(mut self, daemon: bool) -> ThreadBuilder {
+        self.daemon = daemon;
+        self
+    }
+
+    /// Spawns the thread. The body receives the VM handle; its protection
+    /// context inherits the spawning thread's access-control context, as in
+    /// the JDK.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::VmShutdown`] if the VM is stopping;
+    /// [`VmError::Security`] if the security manager denies access to the
+    /// target group; [`VmError::IllegalState`] if the group is destroyed.
+    pub fn spawn(self, body: impl FnOnce(Vm) + Send + 'static) -> Result<VmThread> {
+        let vm = self.vm;
+        if vm.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(VmError::VmShutdown);
+        }
+        let group = match self.group {
+            Some(group) => group,
+            None => match thread::current() {
+                Some(current) => current.group().clone(),
+                None => vm.inner.main_group.clone(),
+            },
+        };
+        if let Some(sm) = vm.security_manager() {
+            sm.check_thread_group_access(&vm, &group)?;
+        }
+        let id = ThreadId(vm.inner.next_thread_id.fetch_add(1, Ordering::Relaxed));
+        let name = self.name.unwrap_or_else(|| format!("thread-{}", id.0));
+        let ctl = ThreadCtl::new(id, name.clone(), self.daemon, group.clone());
+        group.register_thread(id, self.daemon)?;
+        let handle = VmThread::from_ctl(Arc::clone(&ctl));
+        vm.inner.threads.write().insert(id, handle.clone());
+
+        let inherited = stack::capture_context();
+        let vm_for_thread = vm.clone();
+        let daemon = self.daemon;
+        let spawn_result = std::thread::Builder::new().name(name).spawn(move || {
+            let _guard = thread::enter_thread(Arc::clone(&ctl));
+            CURRENT_VM.with(|c| *c.borrow_mut() = Some(vm_for_thread.clone()));
+            stack::set_inherited(inherited);
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(vm_for_thread.clone())));
+            let panic_message = outcome.err().map(|payload| {
+                payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "unknown panic".to_string())
+            });
+            stack::clear();
+            CURRENT_VM.with(|c| *c.borrow_mut() = None);
+            vm_for_thread.inner.threads.write().remove(&id);
+            group.deregister_thread(id, daemon);
+            ctl.mark_finished(panic_message);
+        });
+        match spawn_result {
+            Ok(_join) => Ok(handle),
+            Err(err) => {
+                // Roll back bookkeeping if the OS refused the thread.
+                vm.inner.threads.write().remove(&id);
+                handle.group().deregister_thread(id, daemon);
+                Err(VmError::Io {
+                    message: format!("OS thread spawn failed: {err}"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassDef;
+    use jmp_security::CodeSource;
+    use std::sync::atomic::AtomicUsize;
+
+    fn vm_with_class(
+        name: &str,
+        main: impl Fn(Vec<String>) -> Result<()> + Send + Sync + 'static,
+    ) -> Vm {
+        let vm = Vm::builder().name("test-vm").build();
+        vm.material()
+            .register(
+                ClassDef::builder(name).main(main).build(),
+                CodeSource::local("file:/sys/classes"),
+            )
+            .unwrap();
+        vm
+    }
+
+    #[test]
+    fn run_class_to_completion() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let vm = vm_with_class("Hello", |args| {
+            assert_eq!(args, vec!["world".to_string()]);
+            RAN.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let code = vm.run("Hello", vec!["world".into()]).unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(RAN.load(Ordering::SeqCst), 1);
+        assert_eq!(vm.thread_count(), 0);
+    }
+
+    #[test]
+    fn vm_stays_alive_while_nondaemon_runs() {
+        let vm = vm_with_class("Sleeper", |_| {
+            thread::sleep(Duration::from_millis(50))?;
+            Ok(())
+        });
+        let start = Instant::now();
+        vm.run("Sleeper", vec![]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn daemon_threads_do_not_block_termination() {
+        // Fig 1: the VM exits even though a daemon thread still runs.
+        let vm = vm_with_class("SpawnsDaemon", |_| {
+            let vm = Vm::current().expect("on a VM thread");
+            vm.thread_builder()
+                .name("background")
+                .daemon(true)
+                .spawn(|_| {
+                    // Runs "forever" — until the VM stops caring.
+                    let _ = thread::sleep(Duration::from_secs(600));
+                })
+                .unwrap();
+            Ok(())
+        });
+        let start = Instant::now();
+        vm.run("SpawnsDaemon", vec![]).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "daemon thread must not keep the VM alive"
+        );
+    }
+
+    #[test]
+    fn nondaemon_spawned_thread_keeps_vm_alive() {
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let vm = vm_with_class("SpawnsWorker", |_| {
+            let vm = Vm::current().unwrap();
+            vm.thread_builder()
+                .name("worker")
+                .spawn(|_| {
+                    thread::sleep(Duration::from_millis(60)).unwrap();
+                    DONE.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+            Ok(())
+        });
+        vm.run("SpawnsWorker", vec![]).unwrap();
+        assert_eq!(
+            DONE.load(Ordering::SeqCst),
+            1,
+            "VM must wait for the non-daemon worker (Fig 1)"
+        );
+    }
+
+    #[test]
+    fn spawned_thread_inherits_group_of_spawner() {
+        let vm = Vm::new();
+        let custom = vm.main_group().new_child("custom").unwrap();
+        let vm2 = vm.clone();
+        let t = vm
+            .thread_builder()
+            .group(custom.clone())
+            .name("outer")
+            .spawn(move |_| {
+                let inner = vm2.thread_builder().name("inner").spawn(|_| {}).unwrap();
+                assert_eq!(inner.group().name(), "custom");
+                inner.join().unwrap();
+            })
+            .unwrap();
+        t.join().unwrap();
+        assert!(custom.same_group(t.group()));
+    }
+
+    #[test]
+    fn exit_interrupts_everything() {
+        let vm = vm_with_class("Stuck", |_| {
+            // Blocks forever unless interrupted.
+            match thread::sleep(Duration::from_secs(600)) {
+                Err(VmError::Interrupted) => Ok(()),
+                other => panic!("expected interruption, got {other:?}"),
+            }
+        });
+        let t = vm.run_class("Stuck", vec![]).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        vm.exit_unchecked(3);
+        assert_eq!(vm.await_termination(), 3);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn exit_requires_permission_for_untrusted_code() {
+        let vm = Vm::new();
+        // On a plain OS thread the stack is empty => trusted; simulate an
+        // untrusted caller with an explicit frame.
+        let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+            CodeSource::remote("http://evil/x"),
+        ));
+        let denied = stack::call_as("Evil", untrusted, || vm.exit(1));
+        assert!(denied.unwrap_err().is_security());
+        assert!(!vm.is_shutdown());
+        // Trusted (empty stack) callers may exit.
+        vm.exit(0).unwrap();
+        assert!(vm.is_shutdown());
+    }
+
+    #[test]
+    fn run_class_missing_is_class_not_found() {
+        let vm = Vm::new();
+        assert!(matches!(
+            vm.run_class("Nope", vec![]).unwrap_err(),
+            VmError::ClassNotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn main_error_surfaces_as_thread_panic() {
+        let vm = vm_with_class("Fails", |_| Err(VmError::illegal_state("deliberate")));
+        let t = vm.run_class("Fails", vec![]).unwrap();
+        assert!(matches!(
+            t.join().unwrap_err(),
+            VmError::ThreadPanicked { .. }
+        ));
+        vm.await_termination();
+    }
+
+    #[test]
+    fn spawn_after_shutdown_is_rejected() {
+        let vm = Vm::new();
+        vm.exit_unchecked(0);
+        assert!(matches!(
+            vm.thread_builder().spawn(|_| {}).unwrap_err(),
+            VmError::VmShutdown
+        ));
+    }
+
+    #[test]
+    fn current_vm_is_visible_inside_threads() {
+        let vm = Vm::new();
+        let vm2 = vm.clone();
+        let t = vm
+            .thread_builder()
+            .spawn(move |vm_arg| {
+                assert!(vm_arg.same_vm(&Vm::current().unwrap()));
+                assert!(vm_arg.same_vm(&vm2));
+            })
+            .unwrap();
+        t.join().unwrap();
+        assert!(Vm::current().is_none(), "not set on non-VM threads");
+    }
+
+    #[test]
+    fn threads_listing_and_lookup() {
+        let vm = Vm::new();
+        let t = vm
+            .thread_builder()
+            .name("lister")
+            .spawn(|_| {
+                thread::sleep(Duration::from_millis(50)).unwrap();
+            })
+            .unwrap();
+        assert_eq!(vm.thread_count(), 1);
+        assert_eq!(vm.threads()[0].name(), "lister");
+        assert!(vm.find_thread(t.id()).is_some());
+        t.join().unwrap();
+        assert_eq!(vm.thread_count(), 0);
+        assert!(vm.find_thread(t.id()).is_none());
+    }
+
+    #[test]
+    fn security_manager_gates_thread_spawn_and_interrupt() {
+        struct DenyAll;
+        impl SecurityManager for DenyAll {
+            fn check_permission(&self, _vm: &Vm, perm: &Permission) -> Result<()> {
+                // Allow installing the manager itself and misc checks.
+                if matches!(perm, Permission::Runtime(t) if t == "setSecurityManager") {
+                    Ok(())
+                } else {
+                    Err(VmError::Security(jmp_security::SecurityError::denied(
+                        perm, "DenyAll",
+                    )))
+                }
+            }
+            fn check_thread_access(&self, _vm: &Vm, target: &VmThread) -> Result<()> {
+                Err(VmError::Security(jmp_security::SecurityError::denied(
+                    &Permission::runtime("modifyThread"),
+                    format!("DenyAll for {}", target.name()),
+                )))
+            }
+            fn check_thread_group_access(&self, _vm: &Vm, _group: &ThreadGroup) -> Result<()> {
+                Err(VmError::Security(jmp_security::SecurityError::denied(
+                    &Permission::runtime("modifyThreadGroup"),
+                    "DenyAll",
+                )))
+            }
+        }
+        let vm = Vm::new();
+        let victim = vm
+            .thread_builder()
+            .name("victim")
+            .daemon(true)
+            .spawn(|_| {
+                let _ = thread::sleep(Duration::from_secs(600));
+            })
+            .unwrap();
+        vm.set_security_manager(Arc::new(DenyAll)).unwrap();
+        assert!(vm.thread_builder().spawn(|_| {}).unwrap_err().is_security());
+        assert!(vm.interrupt_thread(&victim).unwrap_err().is_security());
+        assert!(!victim.is_interrupted());
+        victim.interrupt_raw();
+    }
+
+    #[test]
+    fn user_resolver_feeds_access_checks() {
+        use jmp_security::{FileActions, PermissionCollection};
+        let mut policy = Policy::new();
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        policy.grant_code(
+            CodeSource::local("file:/apps/-"),
+            vec![Permission::exercise_user_permissions()],
+        );
+        let vm = Vm::builder().policy(policy).build();
+        vm.set_user_resolver(Arc::new(|| Some("alice".to_string())))
+            .unwrap();
+
+        let editor = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/apps/editor"),
+            vm.policy()
+                .permissions_for(&CodeSource::local("file:/apps/editor")),
+        ));
+        let alice_file = Permission::file("/home/alice/notes", FileActions::READ);
+        stack::call_as("Editor", editor, || {
+            vm.check_permission(&alice_file).unwrap();
+            vm.check_permission(&Permission::file("/home/bob/notes", FileActions::READ))
+                .unwrap_err();
+        });
+
+        // Untrusted code can't exercise alice's grants.
+        let applet = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::remote("http://applets/x"),
+            PermissionCollection::new(),
+        ));
+        stack::call_as("Applet", applet, || {
+            assert!(vm.check_permission(&alice_file).unwrap_err().is_security());
+        });
+    }
+
+    #[test]
+    fn extensions_are_typed_and_permission_gated() {
+        let vm = Vm::new();
+        vm.set_extension("answer", Arc::new(42u32)).unwrap();
+        assert_eq!(*vm.extension::<u32>("answer").unwrap(), 42);
+        assert!(vm.extension::<String>("answer").is_none(), "typed lookup");
+        assert!(vm.extension::<u32>("missing").is_none());
+
+        // Untrusted code may not attach extensions.
+        let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+            CodeSource::remote("http://evil/x"),
+        ));
+        let denied = stack::call_as("Evil", untrusted, || {
+            vm.set_extension("evil", Arc::new(1u8))
+        });
+        assert!(denied.unwrap_err().is_security());
+        assert!(vm.extension::<u8>("evil").is_none());
+    }
+
+    #[test]
+    fn create_loader_requires_permission() {
+        let vm = Vm::new();
+        // Trusted (host) context: allowed.
+        let child = vm.create_loader("child", vm.system_loader()).unwrap();
+        assert_eq!(child.parent().unwrap().id(), vm.system_loader().id());
+        // Untrusted frame: denied.
+        let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+            CodeSource::remote("http://evil/x"),
+        ));
+        let denied = stack::call_as("Evil", untrusted, || {
+            vm.create_loader("evil", vm.system_loader())
+        });
+        assert!(denied.unwrap_err().is_security());
+    }
+
+    #[test]
+    fn set_policy_requires_permission() {
+        let vm = Vm::new();
+        let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+            CodeSource::remote("http://evil/x"),
+        ));
+        let denied = stack::call_as("Evil", untrusted, || vm.set_policy(Policy::new()));
+        assert!(denied.unwrap_err().is_security());
+        // Host context may replace the policy.
+        let mut policy = Policy::new();
+        policy.grant_user("alice", vec![Permission::runtime("x")]);
+        vm.set_policy(policy).unwrap();
+        assert!(vm.policy().user_implies("alice", &Permission::runtime("x")));
+    }
+
+    #[test]
+    fn exit_code_first_writer_wins() {
+        let vm = Vm::new();
+        vm.exit_unchecked(7);
+        vm.exit_unchecked(9);
+        assert_eq!(vm.await_termination(), 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! `jmproc` — an interactive multi-user session on the multi-processing
+//! runtime, driven from your real terminal.
+//!
+//! ```sh
+//! cargo run --bin jmproc
+//! # login: alice        (password: alice)
+//! # alice@jmp:/home/alice$ ls | wc
+//! ```
+//!
+//! Users `alice` and `bob` exist with passwords equal to their names; the
+//! policy is the shell default plus per-user home grants. The host's stdin
+//! is typed into the runtime's terminal; whatever the terminal screen shows
+//! is echoed to the host's stdout.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use jmp_core::MpRuntime;
+use jmp_security::Policy;
+use jmp_shell::spawn_login_session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policy_text = format!(
+        "{}\n{}",
+        jmp_shell::default_policy_text(),
+        r#"
+        grant user "alice" { permission file "/home/alice" "read";
+                             permission file "/home/alice/-" "read,write,execute,delete"; };
+        grant user "bob"   { permission file "/home/bob" "read";
+                             permission file "/home/bob/-" "read,write,execute,delete"; };
+        "#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy_text)?)
+        .user("alice", "alice")
+        .user("bob", "bob")
+        .build()?;
+    jmp_shell::install(&rt)?;
+
+    let (terminal, session) = spawn_login_session(&rt)?;
+
+    // Mirror the runtime terminal's screen to the host stdout as it grows.
+    let mirror_terminal = terminal.clone();
+    std::thread::spawn(move || {
+        let mut shown = 0usize;
+        loop {
+            let screen = mirror_terminal.screen_text();
+            if screen.len() > shown {
+                print!("{}", &screen[shown..]);
+                let _ = std::io::stdout().flush();
+                shown = screen.len();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+
+    // Feed host stdin lines into the runtime terminal.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        terminal.type_line(&line)?;
+        // Stop feeding once the session ended (e.g. after `quit` at login).
+        if matches!(session.status(), jmp_core::AppStatus::Finished(_)) {
+            break;
+        }
+    }
+    terminal.type_eof();
+    session.wait_for()?;
+    // Give the mirror thread a beat to print the tail (it is detached;
+    // process exit reaps it).
+    std::thread::sleep(Duration::from_millis(60));
+    rt.shutdown();
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Mobile code under the sandbox (paper §6.3): publish applets as `jbc`
+//! class images on the simulated network, run them through the unprivileged
+//! Appletviewer inside a terminal session, and watch the sandbox decide.
+//!
+//! ```sh
+//! cargo run --example applet_sandbox
+//! ```
+
+use jmp_core::MpRuntime;
+use jmp_security::Policy;
+use jmp_shell::{publish_applet, spawn_login_session};
+
+const GREETER: &str = r#"
+    class Greeter
+    ; computes a little and prints — harmless mobile code
+    method main/0 locals=2
+        push_int 0
+        store 1
+        push_int 10
+        store 0
+    loop:
+        load 0
+        push_int 0
+        gt
+        jump_if_false done
+        load 1
+        load 0
+        add
+        store 1
+        load 0
+        push_int 1
+        sub
+        store 0
+        jump loop
+    done:
+        push_str "sum(1..10) computed by an applet: "
+        load 1
+        concat
+        native println/1
+        pop
+        return
+"#;
+
+const THIEF: &str = r#"
+    class Thief
+    method main/0 locals=0
+        push_str "/home/alice/secrets.txt"
+        native read_file/1
+        native println/1
+        pop
+        return
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policy_text = format!(
+        "{}\n{}",
+        jmp_shell::default_policy_text(),
+        r#"grant user "alice" { permission file "/home/alice/-" "read,write,delete"; };"#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy_text)?)
+        .user("alice", "apw")
+        .build()?;
+    jmp_shell::install(&rt)?;
+
+    // Alice has a secret the applet will try to steal.
+    let alice = rt.users().lookup("alice")?;
+    rt.vfs()
+        .write("/home/alice/secrets.txt", b"the cake is a lie", alice.id())?;
+
+    // Publish mobile code on the simulated network.
+    publish_applet(&rt, "applets.example.com", "/greeter.jbc", GREETER)?;
+    publish_applet(&rt, "applets.example.com", "/thief.jbc", THIEF)?;
+
+    // Alice logs in and runs both applets.
+    let (terminal, session) = spawn_login_session(&rt)?;
+    terminal.type_line("alice")?;
+    terminal.type_line("apw")?;
+    terminal.type_line("appletviewer http://applets.example.com/greeter.jbc")?;
+    terminal.type_line("appletviewer http://applets.example.com/thief.jbc")?;
+    terminal.type_line("quit")?;
+    terminal.type_eof();
+    session.wait_for()?;
+
+    println!("{}", terminal.screen_text());
+    let screen = terminal.screen_text();
+    assert!(screen.contains("sum(1..10) computed by an applet: 55"));
+    assert!(screen.contains("security"), "the thief must be refused");
+    assert!(!screen.contains("the cake is a lie"));
+    println!("sandbox verdict: greeter ran, thief was refused — as in the paper.");
+    rt.shutdown();
+    Ok(())
+}

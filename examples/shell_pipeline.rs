@@ -1,0 +1,53 @@
+//! A scripted terminal session (paper §6.1/§6.2): login with an echo-off
+//! password prompt, pipes between applications, redirection, background
+//! jobs, and `ps` listing applications across the VM.
+//!
+//! ```sh
+//! cargo run --example shell_pipeline
+//! ```
+
+use jmp_core::MpRuntime;
+use jmp_security::Policy;
+use jmp_shell::spawn_login_session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policy_text = format!(
+        "{}\n{}",
+        jmp_shell::default_policy_text(),
+        r#"
+        grant user "alice" { permission file "/home/alice/-" "read,write,delete";
+                             permission file "/home/alice" "read"; };
+        "#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy_text)?)
+        .user("alice", "sesame")
+        .build()?;
+    jmp_shell::install(&rt)?;
+
+    let (terminal, session) = spawn_login_session(&rt)?;
+    for line in [
+        "alice",
+        "sesame",
+        "whoami",
+        "echo alpha > words.txt",
+        "echo beta-match >> words.txt",
+        "echo gamma-match >> words.txt",
+        "cat words.txt | grep match | wc",
+        "sleep 150 &",
+        "jobs",
+        "ps",
+        "ls -l",
+        "history",
+        "quit",
+    ] {
+        terminal.type_line(line)?;
+    }
+    terminal.type_eof();
+    session.wait_for()?;
+
+    println!("{}", terminal.screen_text());
+    assert!(terminal.screen_text().contains("\n2 2 "));
+    rt.shutdown();
+    Ok(())
+}

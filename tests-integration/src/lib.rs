@@ -1,0 +1,54 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use jmp_core::MpRuntime;
+use jmp_security::Policy;
+
+/// The standard two-user policy: the shell defaults plus the paper's §5.3
+/// user grants and the backup rule.
+pub fn policy() -> Policy {
+    let text = format!(
+        "{}\n{}",
+        jmp_shell::default_policy_text(),
+        r#"
+        grant codeBase "file:/apps/backup" {
+            permission file "<<ALL FILES>>" "read";
+        };
+        grant user "alice" {
+            permission file "/home/alice" "read";
+            permission file "/home/alice/-" "read,write,execute,delete";
+        };
+        grant user "bob" {
+            permission file "/home/bob" "read";
+            permission file "/home/bob/-" "read,write,execute,delete";
+        };
+        "#
+    );
+    Policy::parse(&text).expect("integration policy parses")
+}
+
+/// Builds the standard runtime with the §6 tools installed.
+pub fn runtime() -> MpRuntime {
+    let rt = MpRuntime::builder()
+        .policy(policy())
+        .user("alice", "apw")
+        .user("bob", "bpw")
+        .build()
+        .expect("runtime builds");
+    jmp_shell::install(&rt).expect("tools install");
+    rt
+}
+
+/// Registers a native application class under `file:/apps/<name>`.
+pub fn register_app(
+    rt: &MpRuntime,
+    name: &str,
+    main: impl Fn(Vec<String>) -> jmp_vm::Result<()> + Send + Sync + 'static,
+) {
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder(name).main(main).build(),
+            jmp_security::CodeSource::local(format!("file:/apps/{name}")),
+        )
+        .expect("class registers");
+}

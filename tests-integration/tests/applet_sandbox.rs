@@ -1,0 +1,260 @@
+//! E8 (§6.3) integration: mobile code end to end — published on the
+//! simulated network as serialized class images, verified, interpreted,
+//! sandboxed.
+
+use jmp_shell::{publish_applet, SimNetwork};
+use jmp_vm::interp::Value;
+use tests_integration::{register_app, runtime};
+
+/// Runs the appletviewer *inside an application* and returns the applet's
+/// result (so tests can assert on values, not just screen text).
+fn run_applet_as(rt: &jmp_core::MpRuntime, user: &str, url: &str) -> Result<Value, String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let url = url.to_string();
+    let name = format!("runner_{}", rx_id());
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder(&name)
+                .main(move |_| {
+                    let outcome = jmp_shell::appletviewer::run_applet(&url, vec![])
+                        .map_err(|e| e.to_string());
+                    tx.send(outcome).ok();
+                    Ok(())
+                })
+                .build(),
+            // The runner needs the appletviewer's privileges.
+            jmp_security::CodeSource::local("file:/apps/appletviewer"),
+        )
+        .unwrap();
+    rt.launch_as(user, &name, &[]).unwrap().wait_for().unwrap();
+    rx.recv().expect("runner reported")
+}
+
+fn rx_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[test]
+fn applet_computes_and_returns_values() {
+    let rt = runtime();
+    publish_applet(
+        &rt,
+        "applets.example.com",
+        "/calc.jbc",
+        r#"
+        class Calc
+        method main/0 locals=0
+            push_int 6
+            push_int 7
+            mul
+            return_value
+        "#,
+    )
+    .unwrap();
+    let result = run_applet_as(&rt, "alice", "http://applets.example.com/calc.jbc").unwrap();
+    assert_eq!(result, Value::Int(42));
+    rt.shutdown();
+}
+
+#[test]
+fn applet_file_access_follows_the_policy_not_the_user() {
+    let rt = runtime();
+    let alice = rt.users().lookup("alice").unwrap();
+    rt.vfs()
+        .write("/home/alice/private.txt", b"mine", alice.id())
+        .unwrap();
+    rt.vfs()
+        .write("/tmp/world.txt", b"shared", alice.id())
+        .unwrap();
+    publish_applet(
+        &rt,
+        "applets.example.com",
+        "/readhome.jbc",
+        r#"
+        class ReadHome
+        method main/0 locals=0
+            push_str "/home/alice/private.txt"
+            native read_file/1
+            return_value
+        "#,
+    )
+    .unwrap();
+    publish_applet(
+        &rt,
+        "trusted.example.com",
+        "/readtmp.jbc",
+        r#"
+        class ReadTmp
+        method main/0 locals=0
+            push_str "/tmp/world.txt"
+            native read_file/1
+            return_value
+        "#,
+    )
+    .unwrap();
+    // Untrusted origin: denied even though alice runs it.
+    let err = run_applet_as(&rt, "alice", "http://applets.example.com/readhome.jbc").unwrap_err();
+    assert!(err.contains("security"), "{err}");
+
+    // Trusted origin with a code-source grant: allowed.
+    let mut policy = (*rt.vm().policy()).clone();
+    policy.grant_code(
+        jmp_security::CodeSource::remote("http://trusted.example.com/-"),
+        vec![jmp_security::Permission::file(
+            "/tmp/-",
+            jmp_security::FileActions::READ,
+        )],
+    );
+    rt.vm().set_policy(policy).unwrap();
+    let result = run_applet_as(&rt, "alice", "http://trusted.example.com/readtmp.jbc").unwrap();
+    assert_eq!(result, Value::str("shared"));
+    rt.shutdown();
+}
+
+#[test]
+fn connect_back_rule() {
+    let rt = runtime();
+    let network = SimNetwork::of(&rt).unwrap();
+    network.publish("friendly.example.com", "/x", b"hi".to_vec());
+    publish_applet(
+        &rt,
+        "applets.example.com",
+        "/home.jbc",
+        r#"
+        class Home
+        method main/0 locals=0
+            push_str "applets.example.com"
+            native connect/1
+            return_value
+        "#,
+    )
+    .unwrap();
+    publish_applet(
+        &rt,
+        "applets.example.com",
+        "/stranger.jbc",
+        r#"
+        class Stranger
+        method main/0 locals=0
+            push_str "friendly.example.com"
+            native connect/1
+            return_value
+        "#,
+    )
+    .unwrap();
+    assert_eq!(
+        run_applet_as(&rt, "alice", "http://applets.example.com/home.jbc").unwrap(),
+        Value::Bool(true)
+    );
+    let err = run_applet_as(&rt, "alice", "http://applets.example.com/stranger.jbc").unwrap_err();
+    assert!(err.contains("security"), "{err}");
+    rt.shutdown();
+}
+
+#[test]
+fn runaway_applet_is_stopped_by_fuel() {
+    let rt = runtime();
+    publish_applet(
+        &rt,
+        "applets.example.com",
+        "/spin.jbc",
+        r#"
+        class Spin
+        method main/0 locals=0
+        loop:
+            jump loop
+        "#,
+    )
+    .unwrap();
+    let err = run_applet_as(&rt, "alice", "http://applets.example.com/spin.jbc").unwrap_err();
+    assert!(err.contains("fuel"), "{err}");
+    rt.shutdown();
+}
+
+#[test]
+fn malformed_and_unverifiable_images_are_rejected() {
+    let rt = runtime();
+    let network = SimNetwork::of(&rt).unwrap();
+    // Garbage bytes.
+    network.publish("applets.example.com", "/garbage.jbc", b"not json".to_vec());
+    let err = run_applet_as(&rt, "alice", "http://applets.example.com/garbage.jbc").unwrap_err();
+    assert!(err.contains("bad class image"), "{err}");
+
+    // Well-formed JSON, unverifiable code (stack underflow).
+    let bad = jmp_vm::interp::ClassImage {
+        name: "Bad".into(),
+        methods: vec![jmp_vm::interp::MethodImage {
+            name: "main".into(),
+            params: 0,
+            locals: 0,
+            code: vec![jmp_vm::interp::Insn::Add, jmp_vm::interp::Insn::Return],
+        }],
+    };
+    network.publish("applets.example.com", "/bad.jbc", bad.to_wire().unwrap());
+    let err = run_applet_as(&rt, "alice", "http://applets.example.com/bad.jbc").unwrap_err();
+    assert!(err.contains("verification"), "{err}");
+    rt.shutdown();
+}
+
+#[test]
+fn applet_images_survive_vfs_storage() {
+    // Mobile code is data: store an image in the filesystem, re-publish it,
+    // run it. (The wire format is the serde JSON of ClassImage.)
+    let rt = runtime();
+    let image = jmp_vm::interp::assemble(
+        r#"
+        class Stored
+        method main/0 locals=0
+            push_str "ran from storage"
+            return_value
+        "#,
+    )
+    .unwrap();
+    let wire = image.to_wire().unwrap();
+    rt.vfs()
+        .write("/tmp/stored.jbc", &wire, jmp_security::UserId(0))
+        .unwrap();
+    let from_disk = rt
+        .vfs()
+        .read("/tmp/stored.jbc", jmp_security::UserId(0))
+        .unwrap();
+    SimNetwork::of(&rt)
+        .unwrap()
+        .publish("applets.example.com", "/stored.jbc", from_disk);
+    assert_eq!(
+        run_applet_as(&rt, "alice", "http://applets.example.com/stored.jbc").unwrap(),
+        Value::str("ran from storage")
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn appletviewer_requires_its_code_source_grants() {
+    // A copy of the viewer logic registered under a plain code source lacks
+    // createClassLoader/socket grants and must fail closed.
+    let rt = runtime();
+    publish_applet(
+        &rt,
+        "applets.example.com",
+        "/h.jbc",
+        "class H\nmethod main/0\n  push_null\n  return_value\n",
+    )
+    .unwrap();
+    static FAILED: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    register_app(&rt, "fakeviewer", |_| {
+        let err = jmp_shell::appletviewer::run_applet("http://applets.example.com/h.jbc", vec![])
+            .unwrap_err();
+        assert!(err.is_security(), "{err}");
+        FAILED.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Ok(())
+    });
+    rt.launch_as("alice", "fakeviewer", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(FAILED.load(std::sync::atomic::Ordering::SeqCst), 1);
+    rt.shutdown();
+}

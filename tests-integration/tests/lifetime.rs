@@ -1,0 +1,130 @@
+//! E1 (Fig 1) integration: VM and application lifetimes follow non-daemon
+//! threads, including the AWT dispatcher case of paper §5.4.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use jmp_awt::{DispatchMode, Toolkit};
+use jmp_core::{AppStatus, Application, MpRuntime};
+use tests_integration::{policy, register_app, runtime};
+
+#[test]
+fn vm_exits_when_main_returns_and_no_nondaemons_remain() {
+    let vm = jmp_vm::Vm::new();
+    vm.material()
+        .register(
+            jmp_vm::ClassDef::builder("Quick").main(|_| Ok(())).build(),
+            jmp_security::CodeSource::local("file:/sys/classes"),
+        )
+        .unwrap();
+    let start = Instant::now();
+    assert_eq!(vm.run("Quick", vec![]).unwrap(), 0);
+    assert!(start.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn app_with_only_daemons_left_is_reaped() {
+    let rt = runtime();
+    static DAEMON_STARTED: AtomicUsize = AtomicUsize::new(0);
+    register_app(&rt, "daemons", |_| {
+        let vm = jmp_vm::Vm::current().unwrap();
+        vm.thread_builder()
+            .name("background")
+            .daemon(true)
+            .spawn(|_| {
+                DAEMON_STARTED.fetch_add(1, Ordering::SeqCst);
+                let _ = jmp_vm::thread::sleep(Duration::from_secs(600));
+            })?;
+        // Give the daemon a moment to start, then return from main.
+        jmp_vm::thread::sleep(Duration::from_millis(20))
+    });
+    let app = rt.launch_as("alice", "daemons", &[]).unwrap();
+    let start = Instant::now();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "daemon threads must not keep the application alive (Fig 1)"
+    );
+    assert_eq!(DAEMON_STARTED.load(Ordering::SeqCst), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn awt_application_lives_until_explicit_exit() {
+    // Paper §5.4: the per-app dispatcher is non-daemon, so "an application
+    // that does use the AWT has to call Application.exit() to finish."
+    let rt = MpRuntime::builder()
+        .policy(policy())
+        .user("alice", "apw")
+        .gui(DispatchMode::PerApplication)
+        .build()
+        .unwrap();
+    register_app(&rt, "awtapp", |_| {
+        let window = jmp_core::gui::create_window("hold")?;
+        let quit = window.add_button("quit");
+        window.on_action(quit, |_| {
+            let _ = Application::exit(42);
+        });
+        Ok(()) // main returns; the dispatcher keeps the app alive
+    });
+    let app = rt.launch_as("alice", "awtapp", &[]).unwrap();
+    let toolkit = rt.toolkit().unwrap().clone();
+    assert!(Toolkit::wait_until(Duration::from_secs(5), || toolkit
+        .window_count()
+        == 1));
+    // main has long returned, but the app is still running.
+    std::thread::sleep(Duration::from_millis(80));
+    assert!(matches!(app.status(), AppStatus::Running));
+
+    // Click quit: the callback calls Application::exit(42).
+    let win = toolkit.windows_of_app(app.id().0)[0];
+    rt.display()
+        .unwrap()
+        .inject_action(win, jmp_awt::ComponentId(1))
+        .unwrap();
+    assert_eq!(app.wait_for().unwrap(), 42);
+    assert_eq!(toolkit.window_count(), 0, "teardown closed the window");
+    rt.shutdown();
+}
+
+#[test]
+fn reaper_interrupts_blocked_threads() {
+    let rt = runtime();
+    static UNBLOCKED: AtomicUsize = AtomicUsize::new(0);
+    register_app(&rt, "blocked", |_| {
+        let vm = jmp_vm::Vm::current().unwrap();
+        // A thread blocked forever on a pipe read.
+        let (_writer, reader) = jmp_vm::io::pipe(8);
+        vm.thread_builder().name("reader").spawn(move |_| {
+            let mut buf = [0u8; 1];
+            if reader.read(&mut buf).is_err() {
+                UNBLOCKED.fetch_add(1, Ordering::SeqCst);
+            }
+        })?;
+        jmp_vm::thread::sleep(Duration::from_millis(20))?;
+        Application::exit(0).map_err(jmp_vm::VmError::from)
+    });
+    let app = rt.launch_as("alice", "blocked", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert_eq!(
+        UNBLOCKED.load(Ordering::SeqCst),
+        1,
+        "teardown must unstick threads blocked in runtime primitives"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn stop_is_idempotent_and_wait_for_is_reentrant() {
+    let rt = runtime();
+    register_app(&rt, "longrun", |_| {
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    let app = rt.launch_as("alice", "longrun", &[]).unwrap();
+    app.stop(5).unwrap();
+    app.stop(9).unwrap(); // second request is ignored
+    assert_eq!(app.wait_for().unwrap(), 5);
+    assert_eq!(app.wait_for().unwrap(), 5, "wait_for after finish returns");
+    assert!(matches!(app.status(), AppStatus::Finished(5)));
+    rt.shutdown();
+}

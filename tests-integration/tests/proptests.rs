@@ -1,0 +1,502 @@
+//! Property-based tests over the core data structures and invariants:
+//! the permission lattice, policy round-trips, path normalization, the VFS
+//! against a model, thread-group accounting, and — most importantly — the
+//! `jbc` verifier's soundness contract.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Permissions
+// ---------------------------------------------------------------------------
+
+fn arb_file_actions() -> impl Strategy<Value = jmp_security::FileActions> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(r, w, x, d)| {
+        jmp_security::FileActions {
+            read: r,
+            write: w,
+            execute: x,
+            delete: d,
+        }
+    })
+}
+
+fn arb_path_components() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,6}", 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recursive_file_grant_implies_everything_under_it(
+        base in arb_path_components(),
+        extra in arb_path_components(),
+        actions in arb_file_actions(),
+    ) {
+        let base_path = format!("/{}", base.join("/"));
+        let deep_path = format!("{base_path}/{}", extra.join("/"));
+        let grant = jmp_security::Permission::file(format!("{base_path}/-"), actions);
+        let demand = jmp_security::Permission::file(&deep_path, actions);
+        prop_assert!(grant.implies(&demand));
+        // ...but never the base directory itself, and never a sibling.
+        prop_assert!(!grant.implies(&jmp_security::Permission::file(&base_path, actions)));
+        let sibling = format!("{base_path}x/file");
+        prop_assert!(!grant.implies(&jmp_security::Permission::file(sibling, actions)));
+    }
+
+    #[test]
+    fn action_superset_is_monotone(
+        a in arb_file_actions(),
+        b in arb_file_actions(),
+        path in arb_path_components(),
+    ) {
+        let path = format!("/{}", path.join("/"));
+        let union = a.union(b);
+        let grant = jmp_security::Permission::file(&path, union);
+        prop_assert!(grant.implies(&jmp_security::Permission::file(&path, a)));
+        prop_assert!(grant.implies(&jmp_security::Permission::file(&path, b)));
+        // And implication requires containment:
+        let grant_a = jmp_security::Permission::file(&path, a);
+        let demand_b = jmp_security::Permission::file(&path, b);
+        prop_assert_eq!(grant_a.implies(&demand_b), a.contains(b));
+    }
+
+    #[test]
+    fn all_permission_implies_any_file(path in arb_path_components(), actions in arb_file_actions()) {
+        let p = jmp_security::Permission::file(format!("/{}", path.join("/")), actions);
+        prop_assert!(jmp_security::Permission::All.implies(&p));
+        prop_assert!(p.implies(&p), "reflexivity");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policy round-trip
+// ---------------------------------------------------------------------------
+
+fn arb_permission() -> impl Strategy<Value = jmp_security::Permission> {
+    prop_oneof![
+        Just(jmp_security::Permission::All),
+        (arb_path_components(), arb_file_actions()).prop_filter_map(
+            "non-empty actions",
+            |(p, a)| {
+                if a == jmp_security::FileActions::default() {
+                    None
+                } else {
+                    Some(jmp_security::Permission::file(
+                        format!("/{}", p.join("/")),
+                        a,
+                    ))
+                }
+            }
+        ),
+        "[a-z]{1,8}".prop_map(jmp_security::Permission::runtime),
+        "[a-z]{1,8}".prop_map(jmp_security::Permission::awt),
+        "[a-z]{1,8}".prop_map(jmp_security::Permission::user),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn policy_display_reparse_roundtrip(
+        grants in prop::collection::vec(
+            (prop_oneof![
+                "[a-z]{1,8}".prop_map(jmp_security::GrantTarget::User),
+                "[a-z/]{1,12}".prop_map(|p| jmp_security::GrantTarget::Code(
+                    jmp_security::CodeSource::local(format!("file:/{p}"))
+                )),
+            ],
+            prop::collection::vec(arb_permission(), 0..4)),
+            0..5
+        )
+    ) {
+        let mut policy = jmp_security::Policy::new();
+        for (target, permissions) in grants {
+            policy.add_grant(jmp_security::Grant { target, permissions });
+        }
+        let reparsed = jmp_security::Policy::parse(&policy.to_string()).unwrap();
+        prop_assert_eq!(policy, reparsed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normalize_is_idempotent(raw in "[a-z/.]{0,30}") {
+        let once = jmp_vfs::normalize(&raw);
+        prop_assert_eq!(jmp_vfs::normalize(&once), once.clone());
+        prop_assert!(once.starts_with('/'));
+        prop_assert!(!once.contains("//"));
+        prop_assert!(!once.split('/').any(|c| c == "." || c == ".."));
+    }
+
+    #[test]
+    fn join_of_normalized_is_stable(base in "[a-z/]{0,16}", rel in "[a-z/.]{0,16}") {
+        let base = jmp_vfs::normalize(&base);
+        let joined = jmp_vfs::join(&base, &rel);
+        prop_assert_eq!(jmp_vfs::normalize(&joined), joined.clone());
+        // Joining an absolute path ignores the base entirely.
+        prop_assert_eq!(jmp_vfs::join(&base, &joined), joined);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VFS vs. a model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write(u8, Vec<u8>),
+    Append(u8, Vec<u8>),
+    Delete(u8),
+    Rename(u8, u8),
+}
+
+fn arb_fs_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        (0u8..8, prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(f, d)| FsOp::Write(f, d)),
+        (0u8..8, prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(f, d)| FsOp::Append(f, d)),
+        (0u8..8).prop_map(FsOp::Delete),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| FsOp::Rename(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vfs_matches_a_hashmap_model(ops in prop::collection::vec(arb_fs_op(), 0..40)) {
+        use std::collections::HashMap;
+        let fs = jmp_vfs::Vfs::new();
+        let root = jmp_security::UserId(0);
+        fs.mkdirs("/m", root).unwrap();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let path = |f: u8| format!("/m/f{f}");
+
+        for op in ops {
+            match op {
+                FsOp::Write(f, data) => {
+                    fs.write(&path(f), &data, root).unwrap();
+                    model.insert(path(f), data);
+                }
+                FsOp::Append(f, data) => {
+                    fs.append(&path(f), &data, root).unwrap();
+                    model.entry(path(f)).or_default().extend_from_slice(&data);
+                }
+                FsOp::Delete(f) => {
+                    let fs_result = fs.remove(&path(f), root).is_ok();
+                    let model_result = model.remove(&path(f)).is_some();
+                    prop_assert_eq!(fs_result, model_result);
+                }
+                FsOp::Rename(a, b) => {
+                    let fs_result = fs.rename(&path(a), &path(b), root).is_ok();
+                    let can = model.contains_key(&path(a))
+                        && !model.contains_key(&path(b))
+                        && a != b;
+                    prop_assert_eq!(fs_result, can);
+                    if can {
+                        let data = model.remove(&path(a)).unwrap();
+                        model.insert(path(b), data);
+                    }
+                }
+            }
+        }
+        // Final state equivalence.
+        for f in 0u8..8 {
+            let p = path(f);
+            match model.get(&p) {
+                Some(expected) => prop_assert_eq!(&fs.read(&p, root).unwrap(), expected),
+                None => prop_assert!(!fs.exists(&p, root)),
+            }
+        }
+        let listed = fs.list_dir("/m", root).unwrap().len();
+        prop_assert_eq!(listed, model.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-group accounting
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    #[allow(clippy::explicit_counter_loop)] // next_id doubles as thread-id source
+    fn group_counts_are_consistent(ops in prop::collection::vec((0u8..3, any::<bool>()), 0..30)) {
+        let root = jmp_vm::ThreadGroup::new_root("root");
+        let children = [
+            root.new_child("a").unwrap(),
+            root.new_child("b").unwrap(),
+            root.new_child("a/x").unwrap(),
+        ];
+        let mut live: Vec<(u8, bool, jmp_vm::ThreadId)> = Vec::new();
+        let mut next_id = 0u64;
+        for (which, daemon) in ops {
+            let group = &children[which as usize];
+            let id = jmp_vm::ThreadId(next_id);
+            next_id += 1;
+            group.register_thread(id, daemon).unwrap();
+            live.push((which, daemon, id));
+            // Occasionally retire the oldest.
+            if live.len() > 4 {
+                let (w, d, id) = live.remove(0);
+                children[w as usize].deregister_thread(id, d);
+            }
+        }
+        // Invariant: the root's counts equal the sum over the live set.
+        let nondaemon = live.iter().filter(|(_, d, _)| !*d).count();
+        prop_assert_eq!(root.nondaemon_count(), nondaemon);
+        prop_assert_eq!(root.thread_count(), live.len());
+        // Drain; counts return to zero.
+        for (w, d, id) in live {
+            children[w as usize].deregister_thread(id, d);
+        }
+        prop_assert_eq!(root.nondaemon_count(), 0);
+        prop_assert_eq!(root.thread_count(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shell parser: rendered commands re-parse to the same structure
+// ---------------------------------------------------------------------------
+
+fn arb_word() -> impl Strategy<Value = String> {
+    "[a-z0-9._/-]{1,8}"
+}
+
+fn arb_stage() -> impl Strategy<Value = jmp_shell::parser::Stage> {
+    (
+        arb_word(),
+        prop::collection::vec(arb_word(), 0..3),
+        prop::option::of(arb_word()),
+        prop::option::of((arb_word(), any::<bool>())),
+    )
+        .prop_map(
+            |(program, args, stdin_from, redirect)| jmp_shell::parser::Stage {
+                program,
+                args,
+                stdin_from,
+                stdout_to: redirect
+                    .map(|(path, append)| jmp_shell::parser::Redirect { path, append }),
+            },
+        )
+}
+
+fn render_stage(stage: &jmp_shell::parser::Stage) -> String {
+    let mut out = stage.program.clone();
+    for arg in &stage.args {
+        out.push(' ');
+        out.push_str(arg);
+    }
+    if let Some(path) = &stage.stdin_from {
+        out.push_str(" < ");
+        out.push_str(path);
+    }
+    if let Some(redirect) = &stage.stdout_to {
+        out.push_str(if redirect.append { " >> " } else { " > " });
+        out.push_str(&redirect.path);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rendered_commands_reparse_identically(
+        stages in prop::collection::vec(arb_stage(), 1..4),
+        background in any::<bool>(),
+    ) {
+        let line = format!(
+            "{}{}",
+            stages.iter().map(render_stage).collect::<Vec<_>>().join(" | "),
+            if background { " &" } else { "" }
+        );
+        let parsed = jmp_shell::parser::parse_line(&line).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0].stages, &stages);
+        prop_assert_eq!(parsed[0].background, background);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter vs. a model: compiled expressions evaluate identically
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            Expr::Neg(a) => a.eval().wrapping_neg(),
+        }
+    }
+
+    /// Post-order compilation to `jbc` stack code.
+    fn compile(&self, out: &mut Vec<jmp_vm::interp::Insn>) {
+        use jmp_vm::interp::Insn;
+        match self {
+            Expr::Const(v) => out.push(Insn::PushInt(*v)),
+            Expr::Add(a, b) => {
+                a.compile(out);
+                b.compile(out);
+                out.push(Insn::Add);
+            }
+            Expr::Sub(a, b) => {
+                a.compile(out);
+                b.compile(out);
+                out.push(Insn::Sub);
+            }
+            Expr::Mul(a, b) => {
+                a.compile(out);
+                b.compile(out);
+                out.push(Insn::Mul);
+            }
+            Expr::Neg(a) => {
+                a.compile(out);
+                out.push(Insn::Neg);
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-1000i64..1000).prop_map(Expr::Const);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_expressions_evaluate_like_the_model(expr in arb_expr()) {
+        use jmp_vm::interp::{ClassImage, Insn, Interpreter, MethodImage, NoNatives, Value};
+        let mut code = Vec::new();
+        expr.compile(&mut code);
+        code.push(Insn::ReturnValue);
+        let image = ClassImage {
+            name: "Expr".into(),
+            methods: vec![MethodImage {
+                name: "main".into(),
+                params: 0,
+                locals: 0,
+                code,
+            }],
+        };
+        // Anything the compiler emits must verify...
+        jmp_vm::interp::verify(&image).unwrap();
+        // ...and evaluate exactly like the model (wrapping semantics).
+        let interp = Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives)).unwrap();
+        prop_assert_eq!(interp.run("main", vec![]).unwrap(), Value::Int(expr.eval()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verifier soundness
+// ---------------------------------------------------------------------------
+
+/// A raw instruction spec: `(opcode selector, int payload, jump payload)`.
+/// Mapped to a concrete [`Insn`](jmp_vm::interp::Insn) once the final code
+/// length is known (jump targets are taken modulo the length).
+type InsnSpec = (u8, i64, u16);
+
+fn build_insn(spec: InsnSpec, code_len: usize, locals: u8) -> jmp_vm::interp::Insn {
+    use jmp_vm::interp::Insn;
+    let (op, int, jump) = spec;
+    let target = (jump as usize % code_len) as u16;
+    let slot = (int.unsigned_abs() as u8) % locals.max(1);
+    match op % 21 {
+        0 => Insn::PushInt(int),
+        1 => Insn::PushNull,
+        2 => Insn::PushBool(int % 2 == 0),
+        3 => Insn::Load(slot),
+        4 => Insn::Store(slot),
+        5 => Insn::Pop,
+        6 => Insn::Dup,
+        7 => Insn::Swap,
+        8 => Insn::Add,
+        9 => Insn::Sub,
+        10 => Insn::Mul,
+        11 => Insn::Neg,
+        12 => Insn::Concat,
+        13 => Insn::Eq,
+        14 => Insn::Lt,
+        15 => Insn::Not,
+        16 => Insn::Jump(target),
+        17 => Insn::JumpIfFalse(target),
+        18 => Insn::JumpIfTrue(target),
+        19 => Insn::Return,
+        _ => Insn::ReturnValue,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The verifier's contract: if it accepts an image, interpretation must
+    /// never fault on *machine-safety* grounds (stack underflow, bad slot,
+    /// falling off the code). Resource traps (fuel) are fine; type
+    /// mismatches (int ops on strings) trap safely and are also fine — what
+    /// must never happen is an internal panic or an underflow trap.
+    #[test]
+    fn verified_images_never_underflow(
+        specs in prop::collection::vec((any::<u8>(), -8i64..8, any::<u16>()), 1..14)
+    ) {
+        use jmp_vm::interp::{ClassImage, Interpreter, MethodImage, NoNatives};
+        let locals = 2u8;
+        let len = specs.len();
+        let code: Vec<_> = specs
+            .into_iter()
+            .map(|spec| build_insn(spec, len, locals))
+            .collect();
+        let image = ClassImage {
+            name: "Fuzz".into(),
+            methods: vec![MethodImage {
+                name: "main".into(),
+                params: 0,
+                locals,
+                code,
+            }],
+        };
+        if jmp_vm::interp::verify(&image).is_ok() {
+            let interp = Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives))
+                .unwrap()
+                .with_fuel(5_000);
+            match interp.run("main", vec![]) {
+                Ok(_) => {}
+                Err(jmp_vm::VmError::Trap { message }) => {
+                    prop_assert!(
+                        !message.contains("underflow") && !message.contains("empty stack"),
+                        "verified code must not underflow: {}", message
+                    );
+                }
+                Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! E7 (§5.6) integration: the system security manager's rules exercised
+//! across real applications, plus reflection-style member access.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jmp_core::{files, jsystem, Application};
+use tests_integration::{register_app, runtime};
+
+#[test]
+fn applications_cannot_interrupt_each_other() {
+    let rt = runtime();
+    register_app(&rt, "victim", |_| {
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    let victim = rt.launch_as("bob", "victim", &[]).unwrap();
+    // Let the victim's main thread start.
+    assert!(jmp_awt::Toolkit::wait_until(Duration::from_secs(5), || {
+        !victim.threads().is_empty()
+    }));
+
+    static OUTCOMES: parking_lot::Mutex<Vec<bool>> = parking_lot::Mutex::new(Vec::new());
+    let victim2 = victim.clone();
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("attacker")
+                .main(move |_| {
+                    let vm = jmp_vm::Vm::current().unwrap();
+                    let target = victim2.threads().into_iter().next().unwrap();
+                    // Under an untrusted frame: denied by the ancestor rule +
+                    // missing modifyThread permission.
+                    let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+                        jmp_security::CodeSource::remote("http://evil/x"),
+                    ));
+                    let denied =
+                        jmp_vm::stack::call_as("Evil", untrusted, || vm.interrupt_thread(&target))
+                            .is_err();
+                    OUTCOMES.lock().push(denied);
+                    Ok(())
+                })
+                .build(),
+            jmp_security::CodeSource::local("file:/apps/attacker"),
+        )
+        .unwrap();
+    rt.launch_as("alice", "attacker", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(*OUTCOMES.lock(), vec![true]);
+    assert!(matches!(victim.status(), jmp_core::AppStatus::Running));
+    victim.stop(0).unwrap();
+    victim.wait_for().unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn member_access_rule() {
+    // §5.6: "Public members of a class can be accessed normally through the
+    // reflection API. Access to non-public members needs an appropriate
+    // permission."
+    let rt = runtime();
+    let vm = rt.vm().clone();
+    let sm = vm.security_manager().expect("system SM installed");
+    let class = vm
+        .system_loader()
+        .load_class(jmp_core::SYSTEM_CLASS)
+        .unwrap();
+
+    // Trusted (host) context: allowed.
+    sm.check_member_access(&vm, &class).unwrap();
+
+    // Untrusted frame: denied.
+    let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+        jmp_security::CodeSource::remote("http://evil/x"),
+    ));
+    jmp_vm::stack::call_as("Evil", untrusted, || {
+        assert!(sm.check_member_access(&vm, &class).is_err());
+    });
+
+    // A code source granted accessDeclaredMembers: allowed.
+    let mut policy = (*vm.policy()).clone();
+    policy.grant_code(
+        jmp_security::CodeSource::local("file:/apps/reflector"),
+        vec![jmp_security::Permission::runtime("accessDeclaredMembers")],
+    );
+    vm.set_policy(policy).unwrap();
+    let granted = Arc::new(jmp_security::ProtectionDomain::new(
+        jmp_security::CodeSource::local("file:/apps/reflector"),
+        vm.policy()
+            .permissions_for(&jmp_security::CodeSource::local("file:/apps/reflector")),
+    ));
+    jmp_vm::stack::call_as("Reflector", granted, || {
+        sm.check_member_access(&vm, &class).unwrap();
+    });
+    rt.shutdown();
+}
+
+#[test]
+fn app_sm_cannot_weaken_the_system_sm() {
+    // The §5.6 punchline: an application SM that "allows everything" still
+    // cannot authorize what the system SM denies, because system code never
+    // consults it.
+    let rt = runtime();
+    struct AllowEverything;
+    impl jmp_vm::SecurityManager for AllowEverything {
+        fn check_permission(
+            &self,
+            _vm: &jmp_vm::Vm,
+            _perm: &jmp_security::Permission,
+        ) -> jmp_vm::Result<()> {
+            Ok(())
+        }
+    }
+    static STILL_DENIED: AtomicUsize = AtomicUsize::new(0);
+    register_app(&rt, "optimist", |_| {
+        jsystem::set_security_manager(Arc::new(AllowEverything))?;
+        // The system policy still denies alice's app access to bob's home.
+        if files::read("/home/bob/secret").unwrap_err().is_security() {
+            STILL_DENIED.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(())
+    });
+    rt.launch_as("alice", "optimist", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(STILL_DENIED.load(Ordering::SeqCst), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn privileged_system_service_pattern() {
+    // The Font pattern (§5.6) through the real runtime: a trusted service
+    // reads a file an app cannot, via doPrivileged, on the app's behalf —
+    // but refuses to be lured into doing it for a callback.
+    let rt = runtime();
+    // A "font file" no application may read directly.
+    rt.vfs()
+        .mkdirs("/sys/fonts", jmp_security::UserId(0))
+        .unwrap();
+    rt.vfs()
+        .write("/sys/fonts/helv.fnt", b"glyphs", jmp_security::UserId(0))
+        .unwrap();
+
+    static RESULTS: parking_lot::Mutex<Vec<(String, bool)>> = parking_lot::Mutex::new(Vec::new());
+    register_app(&rt, "fontuser", |_| {
+        let vm = jmp_vm::Vm::current().unwrap();
+        let rt = jmp_core::MpRuntime::current().unwrap();
+        let demand =
+            jmp_security::Permission::file("/sys/fonts/helv.fnt", jmp_security::FileActions::READ);
+        // Direct read by the app: denied.
+        RESULTS.lock().push((
+            "app reads font directly".into(),
+            files::read("/sys/fonts/helv.fnt").is_ok(),
+        ));
+        // The trusted Font service asserts privilege and reads on behalf.
+        let font_domain = Arc::new(jmp_security::ProtectionDomain::system());
+        let served = jmp_vm::stack::call_as("Font", font_domain, || {
+            jmp_vm::stack::do_privileged(|| {
+                vm.check_permission(&demand).is_ok()
+                    && rt
+                        .vfs()
+                        .read("/sys/fonts/helv.fnt", jmp_security::UserId(0))
+                        .is_ok()
+            })
+        });
+        RESULTS
+            .lock()
+            .push(("Font service reads via doPrivileged".into(), served));
+        Ok(())
+    });
+    rt.launch_as("alice", "fontuser", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    let results = RESULTS.lock();
+    assert_eq!(
+        *results,
+        vec![
+            ("app reads font directly".to_string(), false),
+            ("Font service reads via doPrivileged".to_string(), true),
+        ]
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn exit_vm_is_reserved_for_the_system() {
+    // §4: System.exit must not let one application kill the VM. In the MP
+    // runtime, jsystem::exit maps to Application::exit; the raw VM exit
+    // demands a permission no application policy grants.
+    let rt = runtime();
+    static VM_EXIT_DENIED: AtomicUsize = AtomicUsize::new(0);
+    register_app(&rt, "nuker", |_| {
+        let vm = jmp_vm::Vm::current().unwrap();
+        if vm.exit(1).unwrap_err().is_security() {
+            VM_EXIT_DENIED.fetch_add(1, Ordering::SeqCst);
+        }
+        // The blessed path only ends this application.
+        Application::exit(0).map_err(jmp_vm::VmError::from)
+    });
+    let app = rt.launch_as("alice", "nuker", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert_eq!(VM_EXIT_DENIED.load(Ordering::SeqCst), 1);
+    assert!(!rt.vm().is_shutdown(), "the VM survived the application");
+    rt.shutdown();
+}

@@ -1,0 +1,245 @@
+//! §8 extension: shared objects as inter-application communication.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jmp_core::{shared, MpRuntime};
+use jmp_security::Policy;
+
+/// Runtime whose policy grants shared-object verbs selectively: the
+/// publisher may publish under `chat.*`, the consumer may look up there;
+/// `nogrant` programs get nothing.
+fn shared_runtime() -> MpRuntime {
+    let text = format!(
+        "{}\n{}",
+        jmp_shell::default_policy_text(),
+        r#"
+        grant codeBase "file:/apps/publisher" {
+            permission runtime "sharedObject.publish.chat.*";
+        };
+        grant codeBase "file:/apps/consumer" {
+            permission runtime "sharedObject.lookup.chat.*";
+        };
+        "#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&text).unwrap())
+        .user("alice", "apw")
+        .user("bob", "bpw")
+        .build()
+        .unwrap();
+    jmp_shell::install(&rt).unwrap();
+    rt
+}
+
+fn register(
+    rt: &MpRuntime,
+    name: &str,
+    main: impl Fn(Vec<String>) -> jmp_vm::Result<()> + Send + Sync + 'static,
+) {
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder(name).main(main).build(),
+            jmp_security::CodeSource::local(format!("file:/apps/{name}")),
+        )
+        .unwrap();
+}
+
+#[test]
+fn objects_flow_between_applications() {
+    let rt = shared_runtime();
+    register(&rt, "publisher", |_| {
+        shared::publish("chat.motd", Arc::new("welcome to jmproc".to_string()))?;
+        // Stay alive so the export persists while the consumer reads it.
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    static GOT: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+    register(&rt, "consumer", |_| {
+        for _ in 0..200 {
+            if let Some(motd) = shared::lookup::<String>("chat.motd")? {
+                *GOT.lock() = Some((*motd).clone());
+                return Ok(());
+            }
+            jmp_vm::thread::sleep(Duration::from_millis(5))?;
+        }
+        Ok(())
+    });
+    let publisher = rt.launch_as("alice", "publisher", &[]).unwrap();
+    let consumer = rt.launch_as("bob", "consumer", &[]).unwrap();
+    consumer.wait_for().unwrap();
+    assert_eq!(GOT.lock().as_deref(), Some("welcome to jmproc"));
+    publisher.stop(0).unwrap();
+    publisher.wait_for().unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn grants_gate_both_verbs() {
+    let rt = shared_runtime();
+    static OUTCOMES: parking_lot::Mutex<Vec<(String, bool)>> = parking_lot::Mutex::new(Vec::new());
+    register(&rt, "nogrant", |_| {
+        OUTCOMES.lock().push((
+            "publish without grant".into(),
+            shared::publish("chat.x", Arc::new(1u32)).is_err(),
+        ));
+        OUTCOMES.lock().push((
+            "lookup without grant".into(),
+            shared::lookup::<u32>("chat.x").is_err(),
+        ));
+        Ok(())
+    });
+    rt.launch_as("alice", "nogrant", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(
+        *OUTCOMES.lock(),
+        vec![
+            ("publish without grant".to_string(), true),
+            ("lookup without grant".to_string(), true)
+        ]
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn lookup_is_a_checked_downcast() {
+    // The type-safety answer to the paper's §8 concern: a wrong-type lookup
+    // yields None, never a confused value.
+    let rt = shared_runtime();
+    static RESULTS: parking_lot::Mutex<Vec<bool>> = parking_lot::Mutex::new(Vec::new());
+    register(&rt, "publisher2", |_| {
+        shared::publish("chat.num", Arc::new(42u64))?;
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    register(&rt, "consumer2", |_| {
+        for _ in 0..200 {
+            if let Some(v) = shared::lookup::<u64>("chat.num")? {
+                RESULTS
+                    .lock()
+                    .push(shared::lookup::<String>("chat.num")?.is_none());
+                RESULTS.lock().push(*v == 42);
+                return Ok(());
+            }
+            jmp_vm::thread::sleep(Duration::from_millis(5))?;
+        }
+        Ok(())
+    });
+    // publisher2/consumer2 live at fresh code sources: extend the policy.
+    let mut policy = (*rt.vm().policy()).clone();
+    policy.grant_code(
+        jmp_security::CodeSource::local("file:/apps/publisher2"),
+        vec![jmp_security::Permission::runtime(
+            "sharedObject.publish.chat.*",
+        )],
+    );
+    policy.grant_code(
+        jmp_security::CodeSource::local("file:/apps/consumer2"),
+        vec![jmp_security::Permission::runtime(
+            "sharedObject.lookup.chat.*",
+        )],
+    );
+    rt.vm().set_policy(policy).unwrap();
+    let p = rt.launch_as("alice", "publisher2", &[]).unwrap();
+    rt.launch_as("bob", "consumer2", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    let results = RESULTS.lock();
+    assert!(results.iter().all(|b| *b), "{results:?}");
+    p.stop(0).unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn exports_die_with_their_publisher() {
+    let rt = shared_runtime();
+    register(&rt, "publisher", |_| {
+        shared::publish("chat.ephemeral", Arc::new(7u8))?;
+        Ok(()) // finishes immediately; reaper drops the export
+    });
+    static SEEN: AtomicUsize = AtomicUsize::new(0);
+    register(&rt, "consumer", |_| {
+        if shared::lookup::<u8>("chat.ephemeral")?.is_none() {
+            SEEN.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(())
+    });
+    rt.launch_as("alice", "publisher", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    rt.launch_as("bob", "consumer", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(
+        SEEN.load(Ordering::SeqCst),
+        1,
+        "export must not outlive its app"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn withdraw_is_publisher_only() {
+    let rt = shared_runtime();
+    register(&rt, "publisher", |_| {
+        shared::publish("chat.keep", Arc::new(1u8))?;
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    static DENIED: AtomicUsize = AtomicUsize::new(0);
+    register(&rt, "consumer", |_| {
+        // Consumer may look up but not withdraw someone else's export.
+        for _ in 0..200 {
+            if shared::lookup::<u8>("chat.keep")?.is_some() {
+                if shared::withdraw("chat.keep").is_err() {
+                    DENIED.fetch_add(1, Ordering::SeqCst);
+                }
+                return Ok(());
+            }
+            jmp_vm::thread::sleep(Duration::from_millis(5))?;
+        }
+        Ok(())
+    });
+    let p = rt.launch_as("alice", "publisher", &[]).unwrap();
+    rt.launch_as("bob", "consumer", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(DENIED.load(Ordering::SeqCst), 1);
+    p.stop(0).unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn shared_channel_carries_bytes_between_apps() {
+    // The paper's motivating use: inter-application communication.
+    let rt = shared_runtime();
+    register(&rt, "publisher", |_| {
+        let out = shared::publish_channel("chat.line")?;
+        out.println("hello over a shared object")?;
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    static LINE: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+    register(&rt, "consumer", |_| {
+        for _ in 0..200 {
+            if let Some(input) = shared::lookup::<jmp_vm::io::InStream>("chat.line")? {
+                *LINE.lock() = input.read_line()?;
+                return Ok(());
+            }
+            jmp_vm::thread::sleep(Duration::from_millis(5))?;
+        }
+        Ok(())
+    });
+    let p = rt.launch_as("alice", "publisher", &[]).unwrap();
+    rt.launch_as("bob", "consumer", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(LINE.lock().as_deref(), Some("hello over a shared object"));
+    p.stop(0).unwrap();
+    rt.shutdown();
+}

@@ -1,0 +1,106 @@
+//! E10 (§5.1) integration: stream ownership across the shell's
+//! redirection/pipe dance, end to end.
+
+use std::time::Duration;
+
+use jmp_core::{pipes, Application};
+use jmp_shell::spawn_login_session;
+use tests_integration::{register_app, runtime};
+
+#[test]
+fn shell_restores_its_streams_after_redirection() {
+    // §6.1: "Afterwards, the shell's streams are re-set to their original
+    // values" — observable because output after a redirected command goes
+    // back to the terminal.
+    let rt = runtime();
+    let (terminal, session) = spawn_login_session(&rt).unwrap();
+    for line in [
+        "alice",
+        "apw",
+        "echo hidden > somewhere.txt",
+        "echo visible-again",
+        "quit",
+    ] {
+        terminal.type_line(line).unwrap();
+    }
+    terminal.type_eof();
+    session.wait_for().unwrap();
+    let screen = terminal.screen_text();
+    assert!(
+        !screen.contains("\nhidden\n"),
+        "redirected output must not reach the terminal"
+    );
+    assert!(screen.contains("\nvisible-again\n"));
+    rt.shutdown();
+}
+
+#[test]
+fn pipeline_stage_sees_eof_when_shell_closes_the_writer() {
+    // wc blocks until EOF on its stdin; it only terminates because the
+    // shell closes the pipe's write end after the upstream stage finishes.
+    let rt = runtime();
+    let (terminal, session) = spawn_login_session(&rt).unwrap();
+    for line in ["alice", "apw", "echo counted | wc", "quit"] {
+        terminal.type_line(line).unwrap();
+    }
+    terminal.type_eof();
+    let finished = session.wait_for();
+    assert_eq!(finished.unwrap(), 0, "session must not hang");
+    assert!(terminal.screen_text().contains("\n1 1 8\n"));
+    rt.shutdown();
+}
+
+#[test]
+fn app_cannot_close_the_terminal_out_from_under_its_sibling() {
+    // The §5.1 motivation: two applications share a terminal; one closing
+    // its inherited stream must not break the other.
+    let rt = runtime();
+    static CLOSE_REJECTED: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    register_app(&rt, "closer2", |_| {
+        let app = Application::current().unwrap();
+        if app.stdout().close(app.io_token()).is_err() {
+            CLOSE_REJECTED.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+        Ok(())
+    });
+    let (terminal, session) = spawn_login_session(&rt).unwrap();
+    for line in ["alice", "apw", "closer2", "echo still-works", "quit"] {
+        terminal.type_line(line).unwrap();
+    }
+    terminal.type_eof();
+    session.wait_for().unwrap();
+    assert_eq!(CLOSE_REJECTED.load(std::sync::atomic::Ordering::SeqCst), 1);
+    assert!(terminal.screen_text().contains("still-works"));
+    rt.shutdown();
+}
+
+#[test]
+fn pipes_between_applications_via_core_api() {
+    // Direct (non-shell) use of pipes between two applications, as §5.5
+    // advertises.
+    let rt = runtime();
+    let (holder_tx, holder_rx) = std::sync::mpsc::channel();
+    register_app(&rt, "producer_consumer", move |_| {
+        let (out, input) = pipes::make_pipe().unwrap();
+        // Launch a consumer inheriting the pipe read end as stdin.
+        Application::set_streams(Some(input), None, None)?;
+        let consumer = Application::exec("consumer", &[]).map_err(jmp_vm::VmError::from)?;
+        // Restore own stdin (the dance from §6.1).
+        let out_clone = out.clone();
+        out_clone.println("over the pipe")?;
+        out_clone.close(Application::current().unwrap().io_token())?;
+        let code = consumer.wait_for().map_err(jmp_vm::VmError::from)?;
+        holder_tx.send(code).ok();
+        Ok(())
+    });
+    register_app(&rt, "consumer", |_| {
+        let input = jmp_core::jsystem::stdin()?;
+        let line = input.read_line()?;
+        assert_eq!(line.as_deref(), Some("over the pipe"));
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "producer_consumer", &[]).unwrap();
+    app.wait_for().unwrap();
+    assert_eq!(holder_rx.recv_timeout(Duration::from_secs(5)).unwrap(), 0);
+    rt.shutdown();
+}

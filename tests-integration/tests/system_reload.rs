@@ -1,0 +1,179 @@
+//! E4 (Fig 5 / §5.5) integration: per-application `System` classes, shared
+//! `SystemProperties`, and the state separation they produce.
+
+use std::sync::Arc;
+
+use jmp_core::{jsystem, Application, SYSTEM_CLASS, SYSTEM_PROPERTIES_CLASS};
+use parking_lot::Mutex;
+use tests_integration::{register_app, runtime};
+
+#[test]
+fn ten_apps_ten_system_classes_one_properties_class() {
+    let rt = runtime();
+    let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen2 = Arc::clone(&seen);
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("collector")
+                .main(move |_| {
+                    let app = Application::current().unwrap();
+                    let sys = app.system_class().id().to_string();
+                    let props = app
+                        .loader()
+                        .load_class(SYSTEM_PROPERTIES_CLASS)?
+                        .id()
+                        .to_string();
+                    seen2.lock().push((sys, props));
+                    Ok(())
+                })
+                .build(),
+            jmp_security::CodeSource::local("file:/apps/collector"),
+        )
+        .unwrap();
+    for _ in 0..10 {
+        rt.launch_as("alice", "collector", &[])
+            .unwrap()
+            .wait_for()
+            .unwrap();
+    }
+    let seen = seen.lock();
+    let sys: std::collections::HashSet<&String> = seen.iter().map(|(s, _)| s).collect();
+    let props: std::collections::HashSet<&String> = seen.iter().map(|(_, p)| p).collect();
+    assert_eq!(sys.len(), 10, "one System class per application");
+    assert_eq!(props.len(), 1, "one shared SystemProperties class");
+    rt.shutdown();
+}
+
+#[test]
+fn non_reloaded_classes_are_shared_between_apps() {
+    // Only the classes on the re-load list get per-app definitions; plain
+    // library classes resolve to the parent's single definition.
+    let rt = runtime();
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("lib.Helper").build(),
+            jmp_security::CodeSource::local("file:/sys/classes"),
+        )
+        .unwrap();
+    let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen2 = Arc::clone(&seen);
+    rt.vm()
+        .material()
+        .register(
+            jmp_vm::ClassDef::builder("libuser")
+                .main(move |_| {
+                    let app = Application::current().unwrap();
+                    seen2
+                        .lock()
+                        .push(app.loader().load_class("lib.Helper")?.id().to_string());
+                    Ok(())
+                })
+                .build(),
+            jmp_security::CodeSource::local("file:/apps/libuser"),
+        )
+        .unwrap();
+    for _ in 0..3 {
+        rt.launch_as("alice", "libuser", &[])
+            .unwrap()
+            .wait_for()
+            .unwrap();
+    }
+    let ids: std::collections::HashSet<String> = seen.lock().iter().cloned().collect();
+    assert_eq!(
+        ids.len(),
+        1,
+        "lib.Helper is shared (delegation, not reload)"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn system_property_writes_are_visible_to_all_apps() {
+    let rt = runtime();
+    // Writing needs a write grant; extend the policy for one code source.
+    let mut policy = (*rt.vm().policy()).clone();
+    policy.grant_code(
+        jmp_security::CodeSource::local("file:/apps/propwriter"),
+        vec![jmp_security::Permission::property(
+            "demo.*",
+            jmp_security::PropertyActions::ALL,
+        )],
+    );
+    rt.vm().set_policy(policy).unwrap();
+
+    register_app(&rt, "propwriter", |_| {
+        jsystem::set_property("demo.flag", "set-by-writer")?;
+        Ok(())
+    });
+    static SAW: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+    register_app(&rt, "propreader", |_| {
+        *SAW.lock() = jsystem::property("demo.flag")?;
+        Ok(())
+    });
+    rt.launch_as("alice", "propwriter", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    rt.launch_as("bob", "propreader", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(SAW.lock().as_deref(), Some("set-by-writer"));
+
+    // Without the write grant, setting is denied.
+    static DENIED: parking_lot::Mutex<bool> = parking_lot::Mutex::new(false);
+    register_app(&rt, "propthief", |_| {
+        *DENIED.lock() = jsystem::set_property("demo.flag", "evil").is_err();
+        Ok(())
+    });
+    rt.launch_as("alice", "propthief", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert!(*DENIED.lock());
+    rt.shutdown();
+}
+
+#[test]
+fn app_properties_do_not_leak_between_apps() {
+    // The per-application property overlay (§5.1 state) is disjoint from
+    // the shared SystemProperties.
+    let rt = runtime();
+    static SECOND_SAW: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+    register_app(&rt, "appprops1", |_| {
+        Application::current()
+            .unwrap()
+            .properties()
+            .set("private.key", "one");
+        Ok(())
+    });
+    register_app(&rt, "appprops2", |_| {
+        *SECOND_SAW.lock() = Application::current()
+            .unwrap()
+            .properties()
+            .get("private.key");
+        Ok(())
+    });
+    rt.launch_as("alice", "appprops1", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    rt.launch_as("alice", "appprops2", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    assert_eq!(*SECOND_SAW.lock(), None);
+    rt.shutdown();
+}
+
+#[test]
+fn system_class_slots_match_paper_figure() {
+    // Fig 5 names in/out/err (+ the security-manager slot from §5.6).
+    let rt = runtime();
+    let def = rt.vm().material().get(SYSTEM_CLASS).unwrap().0;
+    let slots: Vec<&str> = def.static_slots().iter().map(String::as_str).collect();
+    assert_eq!(slots, vec!["in", "out", "err", "securityManager"]);
+    rt.shutdown();
+}
