@@ -282,7 +282,7 @@ mod tests {
         let (vm, display, toolkit) = setup(DispatchMode::PerApplication);
         let samples = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let samples2 = Arc::clone(&samples);
-        toolkit.set_dispatch_observer(Arc::new(move |_event, latency| {
+        toolkit.set_dispatch_observer(Arc::new(move |_event, _tag, latency| {
             samples2.lock().push(latency);
         }));
         let window = toolkit.create_window("timed").unwrap();

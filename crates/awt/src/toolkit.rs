@@ -35,9 +35,10 @@ pub enum DispatchMode {
 /// resolver tags everything 0 (single-application VM).
 pub type AppTagResolver = Arc<dyn Fn() -> u64 + Send + Sync>;
 
-/// Observer invoked after each delivered event with its queue-to-listener
-/// latency (the measurement behind experiment E2).
-pub type DispatchObserver = Arc<dyn Fn(&Event, Duration) + Send + Sync>;
+/// Observer invoked after each delivered event with the owning window's
+/// application tag and the queue-to-listener latency (the measurement behind
+/// experiment E2, and the feed for the per-application GUI metrics).
+pub type DispatchObserver = Arc<dyn Fn(&Event, u64, Duration) + Send + Sync>;
 
 /// The tag used for the shared queue in [`DispatchMode::Legacy`].
 const LEGACY_TAG: u64 = 0;
@@ -53,7 +54,7 @@ pub(crate) struct ToolkitInner {
     dispatchers: Mutex<HashMap<u64, VmThread>>,
     input_thread: Mutex<Option<VmThread>>,
     receiver: Mutex<Option<Receiver<Event>>>,
-    observer: RwLock<Option<DispatchObserver>>,
+    observers: RwLock<Vec<DispatchObserver>>,
 }
 
 /// The windowing toolkit: the AWT of this runtime.
@@ -85,7 +86,7 @@ impl Toolkit {
                 dispatchers: Mutex::new(HashMap::new()),
                 input_thread: Mutex::new(None),
                 receiver: Mutex::new(Some(receiver)),
-                observer: RwLock::new(None),
+                observers: RwLock::new(Vec::new()),
             }),
         }
     }
@@ -110,9 +111,19 @@ impl Toolkit {
         *self.inner.tag_resolver.write() = resolver;
     }
 
-    /// Installs a dispatch-latency observer (benches).
+    /// Replaces all dispatch-latency observers with `observer` (benches,
+    /// which want exclusive readings).
     pub fn set_dispatch_observer(&self, observer: DispatchObserver) {
-        *self.inner.observer.write() = Some(observer);
+        let mut observers = self.inner.observers.write();
+        observers.clear();
+        observers.push(observer);
+    }
+
+    /// Adds a dispatch-latency observer alongside any already installed —
+    /// the multi-processing runtime uses this so its metrics feed coexists
+    /// with bench observers.
+    pub fn add_dispatch_observer(&self, observer: DispatchObserver) {
+        self.inner.observers.write().push(observer);
     }
 
     fn current_tag(&self) -> u64 {
@@ -373,8 +384,12 @@ impl Toolkit {
             }
             (_, None) => {}
         }
-        if let Some(observer) = self.inner.observer.read().clone() {
-            observer(&event, event.injected_at.elapsed());
+        let observers = self.inner.observers.read().clone();
+        if !observers.is_empty() {
+            let latency = event.injected_at.elapsed();
+            for observer in &observers {
+                observer(&event, window.tag, latency);
+            }
         }
     }
 

@@ -1,0 +1,76 @@
+//! O1: observability overhead — what instrumenting the §5 security
+//! chokepoint costs, and what an application pays when the event sink is
+//! disabled (the answer must be "one relaxed atomic load").
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_obs::{EventKind, EventSink, ObsHub};
+use jmp_security::{AccessController, CodeSource, Permission, ProtectionDomain};
+use jmp_vm::{stack, Vm};
+
+/// Publishing into a live ring vs the disabled fast path.
+fn bench_event_publish(c: &mut Criterion) {
+    let enabled = EventSink::new(1024);
+    let disabled = EventSink::disabled();
+    let mut group = c.benchmark_group("O1/event_publish");
+    group.bench_function("enabled", |b| {
+        b.iter(|| enabled.publish(EventKind::ClassDefined, Some(1), None, "Bench"));
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| disabled.publish(EventKind::ClassDefined, Some(1), None, "Bench"));
+    });
+    group.finish();
+}
+
+/// The hub's granted-path accounting (counters + two histograms), with the
+/// event sink enabled and disabled. Granted checks never publish events, so
+/// the two should be indistinguishable — this is the regression canary.
+fn bench_record_access_check(c: &mut Criterion) {
+    let live = ObsHub::new();
+    let off = ObsHub::with_sink(EventSink::disabled());
+    let mut group = c.benchmark_group("O1/record_access_check");
+    group.bench_function("sink_enabled", |b| {
+        b.iter(|| live.record_access_check("", true, 8, Some("alice"), "", 250));
+    });
+    group.bench_function("sink_disabled", |b| {
+        b.iter(|| off.record_access_check("", true, 8, Some("alice"), "", 250));
+    });
+    group.finish();
+}
+
+/// The full chokepoint: `Vm::check_permission` (controller walk + hub
+/// accounting) against the bare controller walk it wraps. The difference is
+/// the observability tax on every granted check; the acceptance bar is
+/// ~10% of the instrumented path.
+fn bench_instrumented_check(c: &mut Criterion) {
+    let vm = Vm::new();
+    let demand = Permission::runtime("benchPermission");
+    let trusted = Arc::new(ProtectionDomain::new(
+        CodeSource::local("file:/sys/bench"),
+        jmp_security::PermissionCollection::all_permissions(),
+    ));
+    let mut group = c.benchmark_group("O1/granted_check");
+    group.bench_function("instrumented_vm", |b| {
+        stack::call_as("Bench", Arc::clone(&trusted), || {
+            b.iter(|| vm.check_permission(&demand).is_ok());
+        });
+    });
+    group.bench_function("bare_controller", |b| {
+        stack::call_as("Bench", Arc::clone(&trusted), || {
+            b.iter(|| {
+                let ctx = stack::current_access_context();
+                AccessController::check(&ctx, &demand).is_ok()
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_publish,
+    bench_record_access_check,
+    bench_instrumented_check
+);
+criterion_main!(benches);

@@ -49,7 +49,19 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&all_tables).expect("tables serialize");
+        // Alongside the tables, dump a metrics snapshot of the E11 scripted
+        // session so the run is inspectable offline (hub counters,
+        // histograms, event and audit totals).
+        #[derive(serde::Serialize)]
+        struct Run {
+            tables: Vec<jmp_bench::table::Table>,
+            metrics: jmp_obs::HubSnapshot,
+        }
+        let run = Run {
+            tables: all_tables,
+            metrics: jmp_bench::exp_obs::session_snapshot(),
+        };
+        let json = serde_json::to_string_pretty(&run).expect("tables serialize");
         let mut file = std::fs::File::create(&path).expect("create json output");
         file.write_all(json.as_bytes()).expect("write json output");
         eprintln!("wrote {path}");

@@ -68,15 +68,12 @@ fn run_mode(mode: DispatchMode) -> ModeRun {
 
     // Observe delivery latency, attributed by window→app.
     let observer_latencies = Arc::clone(&latencies);
-    let toolkit_for_observer = toolkit.clone();
-    toolkit.set_dispatch_observer(Arc::new(move |event, latency| {
-        if let Some(window) = toolkit_for_observer.window(event.window) {
-            observer_latencies
-                .lock()
-                .entry(window.app_tag())
-                .or_default()
-                .push(latency.as_nanos() as f64);
-        }
+    toolkit.set_dispatch_observer(Arc::new(move |_event, tag, latency| {
+        observer_latencies
+            .lock()
+            .entry(tag)
+            .or_default()
+            .push(latency.as_nanos() as f64);
     }));
 
     // Interleave input for both applications, as two users would.

@@ -1,0 +1,115 @@
+//! E11: the observability hub end to end — a scripted session generates
+//! security checks, a denial, pipe traffic and application lifecycle
+//! events, and the hub's snapshot is checked (and exported by
+//! `experiments --json`).
+
+use std::time::Duration;
+
+use jmp_obs::HubSnapshot;
+use jmp_shell::spawn_login_session;
+
+use crate::harness::standard_runtime;
+use crate::table::Table;
+
+/// Runs the scripted session and samples the hub while the session is
+/// still live (reaping an application drops its per-app registry, so the
+/// snapshot must be taken before `quit`).
+fn scripted_session() -> (Vec<Table>, HubSnapshot) {
+    let rt = standard_runtime(None);
+    let bob = rt.users().lookup("bob").expect("bob exists");
+    rt.vfs()
+        .write("/home/bob/secret.txt", b"s3cr3t", bob.id())
+        .expect("bob's file lands");
+
+    let (terminal, session) = spawn_login_session(&rt).expect("session starts");
+    for line in [
+        "alice",
+        "apw",
+        "echo pipe-payload | wc",
+        "cat /home/bob/secret.txt",
+        "top",
+    ] {
+        terminal.type_line(line).expect("typing works");
+    }
+    // `top` is alice's last command and she is denied; once its refusal is
+    // on screen every earlier command has finished too.
+    let settled = jmp_awt::Toolkit::wait_until(Duration::from_secs(10), || {
+        terminal.screen_text().contains("top: ")
+    });
+    assert!(settled, "session script did not settle");
+
+    // The harness thread is trusted (empty stack), so the gated read-out
+    // grants here even though alice was just refused the same call.
+    let snapshot = jmp_core::obs::vm_snapshot(&rt).expect("harness may read metrics");
+    let rollup = jmp_core::obs::vm_rollup(&rt).expect("harness may read metrics");
+    let audit = jmp_core::obs::audit_records(&rt, None, None).expect("harness may read audit");
+    let rows = jmp_core::obs::top_rows(&rt).expect("harness may read top");
+
+    terminal.type_line("quit").expect("typing works");
+    terminal.type_eof();
+    session.wait_for().expect("session ends");
+    rt.shutdown();
+
+    let counter = |name: &str| rollup.counters.get(name).copied().unwrap_or(0);
+    let mut table = Table::new(
+        "E11",
+        "observability — one audited session, hub totals",
+        &["check", "outcome"],
+    );
+    let checks: &[(&str, bool)] = &[
+        ("security checks counted", counter("security.checks") > 0),
+        ("denials counted", counter("security.denied") > 0),
+        ("applications execed", counter("apps.execed") > 0),
+        ("pipe bytes charged", counter("pipe.bytes") > 0),
+        ("classes defined", counter("classes.defined") > 0),
+        ("check latency histogram populated", {
+            rollup
+                .histograms
+                .get("security.check_ns")
+                .is_some_and(|h| h.count > 0)
+        }),
+        ("events published", snapshot.events_published > 0),
+        (
+            "alice's denied file read audited",
+            audit
+                .iter()
+                .any(|r| r.user.as_deref() == Some("alice") && r.permission.contains("/home/bob")),
+        ),
+        (
+            "alice's denied top audited",
+            audit.iter().any(|r| {
+                r.user.as_deref() == Some("alice") && r.permission.contains("readMetrics")
+            }),
+        ),
+        (
+            "per-application registries live",
+            !snapshot.apps.is_empty() && rows.iter().any(|r| r.name == "shell"),
+        ),
+    ];
+    for (name, ok) in checks {
+        table.rowd(&[
+            (*name).to_string(),
+            if *ok { "ok" } else { "FAILED" }.to_string(),
+        ]);
+    }
+    table.note(format!(
+        "rollup: checks={} denied={} execed={} pipe.bytes={} events={} audited={}",
+        counter("security.checks"),
+        counter("security.denied"),
+        counter("apps.execed"),
+        counter("pipe.bytes"),
+        snapshot.events_published,
+        snapshot.audit_total,
+    ));
+    (vec![table], snapshot)
+}
+
+/// E11: the experiment tables.
+pub fn e11_observability() -> Vec<Table> {
+    scripted_session().0
+}
+
+/// The metrics snapshot `experiments --json` embeds alongside the tables.
+pub fn session_snapshot() -> HubSnapshot {
+    scripted_session().1
+}

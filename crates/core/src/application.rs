@@ -3,6 +3,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use jmp_obs::EventKind;
 use jmp_security::{Permission, User};
 use jmp_vm::io::{InStream, IoToken, OutStream};
 use jmp_vm::stack;
@@ -392,8 +393,20 @@ impl Application {
             self.inner.pending_code.store(code, Ordering::SeqCst);
         }
         if let Some(rt) = self.runtime() {
+            rt.vm().obs().sink().publish(
+                EventKind::AppExit,
+                Some(self.inner.id.0),
+                Some(self.user().name().to_string()),
+                code.to_string(),
+            );
             let _ = rt.inner.reaper_tx.send(self.inner.id);
         }
+    }
+
+    /// Number of streams this application opened and still owns (closed at
+    /// teardown; the `streams.open` gauge in `top`).
+    pub fn owned_stream_count(&self) -> usize {
+        self.inner.owned_streams.lock().len()
     }
 }
 
@@ -465,6 +478,18 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
                 .write()
                 .insert(group.id(), app.clone());
             inner_rt.apps_by_id.write().insert(id, app.clone());
+
+            // Observability: the application's metrics registry exists from
+            // exec to reap; the exec itself goes on the event stream.
+            let hub = inner_rt.vm.obs();
+            hub.app_registry(id.0, app.name());
+            hub.vm_metrics().counter("apps.execed").inc();
+            hub.sink().publish(
+                EventKind::AppExec,
+                Some(id.0),
+                Some(app.user().name().to_string()),
+                app.name().to_string(),
+            );
 
             // Natural end (paper §5.1): "the JVM will call the exit method as
             // soon as there are only daemon threads left in the application's
@@ -561,4 +586,15 @@ pub(crate) fn reap(rt: &MpRuntime, id: AppId) {
     }
     rt.inner.apps_by_group.write().remove(&app.inner.group.id());
     rt.inner.apps_by_id.write().remove(&id);
+
+    // 6. Retire the application's metrics registry and record the reap.
+    let hub = rt.vm().obs();
+    hub.vm_metrics().counter("apps.reaped").inc();
+    hub.sink().publish(
+        EventKind::AppReap,
+        Some(id.0),
+        Some(app.user().name().to_string()),
+        code.to_string(),
+    );
+    hub.remove_app(id.0);
 }

@@ -62,6 +62,7 @@ mod error;
 pub mod files;
 pub mod gui;
 pub mod login;
+pub mod obs;
 pub mod pipes;
 mod runtime;
 pub mod shared;

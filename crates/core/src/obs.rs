@@ -1,0 +1,172 @@
+//! Permission-gated read-out of the VM's observability hub.
+//!
+//! Writing into the hub is free — the runtime instruments itself everywhere.
+//! Reading it back *out* is an information flow between mutually-suspicious
+//! applications (what Alice's editor is doing is none of Bob's business),
+//! so every function here first passes a permission check through the same
+//! stack-inspecting access controller the hub observes:
+//!
+//! * `RuntimePermission("readMetrics")` — [`top_rows`], [`vm_snapshot`],
+//!   [`vm_rollup`];
+//! * `RuntimePermission("readAuditLog")` — [`audit_records`].
+//!
+//! Both are typically granted per *user* (`grant user "admin" { permission
+//! runtime readMetrics; }`), exercised through the §5.3 mechanism by any
+//! program whose code source holds `exerciseUserPermissions`. A denied
+//! read-out is itself a denial: it lands in the audit trail like any other.
+
+use jmp_obs::{AuditRecord, HubSnapshot, RegistrySnapshot};
+use jmp_security::Permission;
+
+use crate::runtime::MpRuntime;
+use crate::Result;
+
+/// One application's row in the `top` table: identity, point-in-time
+/// resource gauges, and cumulative activity counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopRow {
+    /// Application id.
+    pub id: u64,
+    /// Main class name.
+    pub name: String,
+    /// Running user.
+    pub user: String,
+    /// Live threads in the application's group.
+    pub threads: i64,
+    /// Open windows owned by the application.
+    pub windows: i64,
+    /// Streams the application opened and still owns.
+    pub streams: i64,
+    /// Events waiting in the application's AWT queue.
+    pub queue_depth: i64,
+    /// Permission checks charged to the application.
+    pub checks: u64,
+    /// Denied permission checks.
+    pub denied: u64,
+    /// GUI events dispatched to the application's listeners.
+    pub dispatched: u64,
+    /// Classes the application's loader defined (including re-loads).
+    pub classes: u64,
+    /// Bytes written through pipes the application created.
+    pub pipe_bytes: u64,
+}
+
+/// Re-computes the point-in-time gauges the hub cannot maintain eventfully
+/// (thread counts, open windows, queue depths) from the live runtime tables.
+fn refresh_gauges(rt: &MpRuntime) {
+    let hub = rt.vm().obs();
+    let vm_metrics = hub.vm_metrics();
+    vm_metrics
+        .gauge("threads.live")
+        .set(rt.vm().thread_count() as i64);
+    vm_metrics
+        .gauge("apps.running")
+        .set(rt.application_count() as i64);
+    if let Some(toolkit) = rt.toolkit() {
+        vm_metrics
+            .gauge("windows.open")
+            .set(toolkit.window_count() as i64);
+    }
+    for app in rt.applications() {
+        let registry = hub.app_registry(app.id().0, app.name());
+        registry
+            .gauge("threads.live")
+            .set(app.threads().len() as i64);
+        registry
+            .gauge("streams.open")
+            .set(app.owned_stream_count() as i64);
+        if let Some(toolkit) = rt.toolkit() {
+            registry
+                .gauge("windows.open")
+                .set(toolkit.windows_of_app(app.id().0).len() as i64);
+            registry.gauge("gui.queue_depth").set(
+                toolkit
+                    .queue_of(app.id().0)
+                    .map_or(0, |queue| queue.len() as i64),
+            );
+        }
+    }
+}
+
+/// The live per-application metric table behind the shell's `top` builtin,
+/// one row per running application, sorted by id.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readMetrics")`.
+pub fn top_rows(rt: &MpRuntime) -> Result<Vec<TopRow>> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readMetrics"))?;
+    refresh_gauges(rt);
+    let hub = rt.vm().obs();
+    let gauge = |snap: &RegistrySnapshot, name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+    let counter =
+        |snap: &RegistrySnapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    Ok(rt
+        .applications()
+        .iter()
+        .map(|app| {
+            let snap = hub.app_registry(app.id().0, app.name()).snapshot();
+            TopRow {
+                id: app.id().0,
+                name: app.name().to_string(),
+                user: app.user().name().to_string(),
+                threads: gauge(&snap, "threads.live"),
+                windows: gauge(&snap, "windows.open"),
+                streams: gauge(&snap, "streams.open"),
+                queue_depth: gauge(&snap, "gui.queue_depth"),
+                checks: counter(&snap, "security.checks"),
+                denied: counter(&snap, "security.denied"),
+                dispatched: counter(&snap, "gui.dispatched"),
+                classes: counter(&snap, "classes.defined"),
+                pipe_bytes: counter(&snap, "pipe.bytes"),
+            }
+        })
+        .collect())
+}
+
+/// A full serializable snapshot of the hub (gauges refreshed first) — what
+/// `experiments --json` embeds and `vmstat` prints from.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readMetrics")`.
+pub fn vm_snapshot(rt: &MpRuntime) -> Result<HubSnapshot> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readMetrics"))?;
+    refresh_gauges(rt);
+    Ok(rt.vm().obs().snapshot())
+}
+
+/// The VM-wide rollup: the VM registry merged with every live application
+/// registry (counters sum, histograms merge).
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readMetrics")`.
+pub fn vm_rollup(rt: &MpRuntime) -> Result<RegistrySnapshot> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readMetrics"))?;
+    refresh_gauges(rt);
+    Ok(rt.vm().obs().rollup())
+}
+
+/// Recent permission denials, optionally filtered by user and/or
+/// application id — the shell's `audit` builtin.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readAuditLog")`.
+pub fn audit_records(
+    rt: &MpRuntime,
+    user: Option<&str>,
+    app: Option<u64>,
+) -> Result<Vec<AuditRecord>> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readAuditLog"))?;
+    Ok(rt.vm().obs().audit_query(user, app))
+}

@@ -213,12 +213,35 @@ impl MpRuntimeBuilder {
                 .map(|app| app.user().name().to_string())
         }))?;
         vm.set_security_manager(Arc::new(SystemSecurityManager::new()))?;
+        // Observability: teach the VM's hub to charge events and metrics to
+        // the application owning the current thread (same walk the user
+        // resolver does).
+        let weak: Weak<RtInner> = Arc::downgrade(&inner);
+        vm.obs().set_app_resolver(Arc::new(move || {
+            let rt = weak.upgrade()?;
+            MpRuntime { inner: rt }
+                .app_of_current_thread()
+                .map(|app| app.id().0)
+        }));
         if let Some(toolkit) = &rt.inner.toolkit {
             let weak: Weak<RtInner> = Arc::downgrade(&inner);
             toolkit.set_tag_resolver(Arc::new(move || {
                 weak.upgrade()
                     .and_then(|rt| MpRuntime { inner: rt }.app_of_current_thread())
                     .map_or(0, |app| app.id().0)
+            }));
+            // Feed GUI dispatch counts and latencies into the hub, VM-wide
+            // and per application (§5.4's per-application queues make the
+            // per-app numbers meaningful).
+            let hub = vm.obs().clone();
+            toolkit.add_dispatch_observer(Arc::new(move |_event, tag, latency| {
+                let ns = latency.as_nanos() as u64;
+                hub.vm_metrics().counter("gui.dispatched").inc();
+                hub.vm_metrics().histogram("gui.dispatch_ns").record(ns);
+                if let Some(registry) = hub.existing_app_registry(tag) {
+                    registry.counter("gui.dispatched").inc();
+                    registry.histogram("gui.dispatch_ns").record(ns);
+                }
             }));
         }
         rt.start_reaper(reaper_rx)?;

@@ -1,0 +1,173 @@
+//! The security audit trail: a bounded log of *denied* permission checks.
+//!
+//! The paper's multi-user model (§5.3) makes "who was denied what" the
+//! question an administrator actually asks; grants are policy, denials are
+//! incidents. The log therefore records denials only — a successful check
+//! leaves a histogram sample, not an audit record.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default number of denial records retained.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// One denied permission check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Denial order (per log, starting at 0).
+    pub seq: u64,
+    /// Milliseconds since the log was created.
+    pub at_ms: u64,
+    /// The effective user at check time, when known.
+    pub user: Option<String>,
+    /// The application whose stack failed the check, when attributable.
+    pub app: Option<u64>,
+    /// Display form of the demanded permission.
+    pub permission: String,
+    /// Why it was refused — the protection domain (or message) that did not
+    /// imply the demand.
+    pub context: String,
+}
+
+struct LogInner {
+    capacity: usize,
+    start: Instant,
+    total: AtomicU64,
+    ring: Mutex<VecDeque<AuditRecord>>,
+}
+
+/// The bounded denial log. Cheap handle; clones share the log.
+#[derive(Clone)]
+pub struct AuditLog {
+    inner: Arc<LogInner>,
+}
+
+impl AuditLog {
+    /// Creates a log retaining the most recent `capacity` denials.
+    pub fn new(capacity: usize) -> AuditLog {
+        AuditLog {
+            inner: Arc::new(LogInner {
+                capacity: capacity.max(1),
+                start: Instant::now(),
+                total: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Records a denial. Oldest records rotate out when full; `total`
+    /// keeps counting regardless.
+    pub fn record(
+        &self,
+        user: Option<String>,
+        app: Option<u64>,
+        permission: impl Into<String>,
+        context: impl Into<String>,
+    ) {
+        let record = AuditRecord {
+            seq: self.inner.total.fetch_add(1, Ordering::Relaxed),
+            at_ms: self.inner.start.elapsed().as_millis() as u64,
+            user,
+            app,
+            permission: permission.into(),
+            context: context.into(),
+        };
+        let mut ring = self.inner.ring.lock();
+        if ring.len() >= self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Total denials ever recorded, including since-rotated ones.
+    pub fn total(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// The retained denials, oldest first.
+    pub fn recent(&self) -> Vec<AuditRecord> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Retained denials filtered by user and/or application; `None` matches
+    /// everything on that axis.
+    pub fn query(&self, user: Option<&str>, app: Option<u64>) -> Vec<AuditRecord> {
+        self.inner
+            .ring
+            .lock()
+            .iter()
+            .filter(|r| user.is_none_or(|u| r.user.as_deref() == Some(u)))
+            .filter(|r| app.is_none_or(|a| r.app == Some(a)))
+            .cloned()
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditLog")
+            .field("capacity", &self.inner.capacity)
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries_by_user_and_app() {
+        let log = AuditLog::new(16);
+        log.record(
+            Some("bob".into()),
+            Some(2),
+            "(file /home/alice/- read)",
+            "d1",
+        );
+        log.record(Some("alice".into()), Some(1), "(runtime setUser)", "d2");
+        log.record(Some("bob".into()), Some(3), "(runtime readMetrics)", "d3");
+        assert_eq!(log.total(), 3);
+        let bobs = log.query(Some("bob"), None);
+        assert_eq!(bobs.len(), 2);
+        assert!(bobs.iter().all(|r| r.user.as_deref() == Some("bob")));
+        let app3 = log.query(None, Some(3));
+        assert_eq!(app3.len(), 1);
+        assert_eq!(app3[0].permission, "(runtime readMetrics)");
+        assert_eq!(log.query(Some("bob"), Some(2)).len(), 1);
+        assert_eq!(log.query(Some("carol"), None).len(), 0);
+    }
+
+    #[test]
+    fn rotation_keeps_total_counting() {
+        let log = AuditLog::new(2);
+        for i in 0..5 {
+            log.record(None, None, format!("p{i}"), "");
+        }
+        assert_eq!(log.total(), 5);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].permission, "p3");
+        assert_eq!(recent[1].seq, 4);
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let log = AuditLog::new(4);
+        log.record(
+            Some("bob".into()),
+            Some(7),
+            "(awt showWindow)",
+            "file:/apps/ps",
+        );
+        let record = log.recent().remove(0);
+        let json = serde_json::to_string(&record).unwrap();
+        let back: AuditRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+}

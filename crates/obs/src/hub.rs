@@ -1,0 +1,360 @@
+//! [`ObsHub`]: the single observability object the VM owns.
+//!
+//! The hub composes the three substrate pieces — event sink, metrics
+//! registries, audit log — and adds the attribution glue: a pluggable
+//! [`AppResolver`] that maps *the current thread* to its owning application,
+//! so instrumentation points deep in the VM can charge work to the right
+//! per-application registry without knowing anything about the runtime's
+//! application table.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::audit::{self, AuditLog, AuditRecord};
+use crate::metrics::{Counter, Histogram, MetricsRegistry, RegistrySnapshot};
+use crate::sink::{self, EventKind, EventSink};
+
+/// Maps the calling thread to the application it belongs to, if any.
+/// Installed by the runtime layer (which owns the thread→application table).
+pub type AppResolver = Arc<dyn Fn() -> Option<u64> + Send + Sync>;
+
+struct HubInner {
+    sink: EventSink,
+    audit: AuditLog,
+    vm: Arc<MetricsRegistry>,
+    apps: RwLock<BTreeMap<u64, Arc<MetricsRegistry>>>,
+    // Per-application-only totals of reaped applications (e.g. their pipe
+    // bytes), folded in by `remove_app` so the rollup never shrinks.
+    retired: RwLock<RegistrySnapshot>,
+    resolver: RwLock<Option<AppResolver>>,
+    // The security chokepoint runs on every permission check; its VM-wide
+    // instruments are resolved once here so the hot path never touches the
+    // registry's name map.
+    checks: Arc<Counter>,
+    denied: Arc<Counter>,
+    check_ns: Arc<Histogram>,
+    check_depth: Arc<Histogram>,
+}
+
+/// The composed observability hub. Cheap handle; clones share state.
+#[derive(Clone)]
+pub struct ObsHub {
+    inner: Arc<HubInner>,
+}
+
+impl Default for ObsHub {
+    fn default() -> ObsHub {
+        ObsHub::new()
+    }
+}
+
+impl ObsHub {
+    /// Creates a hub with an enabled event sink and default capacities.
+    pub fn new() -> ObsHub {
+        ObsHub::with_sink(EventSink::new(sink::DEFAULT_CAPACITY))
+    }
+
+    /// Creates a hub around a caller-supplied sink — pass
+    /// [`EventSink::disabled`] to measure the instrumented-but-off baseline.
+    pub fn with_sink(sink: EventSink) -> ObsHub {
+        let vm = Arc::new(MetricsRegistry::new("vm"));
+        ObsHub {
+            inner: Arc::new(HubInner {
+                sink,
+                audit: AuditLog::new(audit::DEFAULT_CAPACITY),
+                checks: vm.counter("security.checks"),
+                denied: vm.counter("security.denied"),
+                check_ns: vm.histogram("security.check_ns"),
+                check_depth: vm.histogram("security.check_depth"),
+                vm,
+                apps: RwLock::new(BTreeMap::new()),
+                retired: RwLock::new(RegistrySnapshot::empty("retired")),
+                resolver: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// The event stream.
+    pub fn sink(&self) -> &EventSink {
+        &self.inner.sink
+    }
+
+    /// The denial log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.inner.audit
+    }
+
+    /// The VM-wide registry (metrics not attributable to one application).
+    pub fn vm_metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.vm
+    }
+
+    /// Installs the thread→application resolver. The runtime layer calls
+    /// this once during bootstrap; until then attribution yields `None`.
+    pub fn set_app_resolver(&self, resolver: AppResolver) {
+        *self.inner.resolver.write() = Some(resolver);
+    }
+
+    /// The application owning the calling thread, per the installed resolver.
+    pub fn current_app(&self) -> Option<u64> {
+        let resolver = self.inner.resolver.read().clone();
+        resolver.and_then(|r| r())
+    }
+
+    /// Gets or creates the metrics registry for application `id`; `label`
+    /// names the registry on first creation (e.g. the program name).
+    pub fn app_registry(&self, id: u64, label: &str) -> Arc<MetricsRegistry> {
+        if let Some(registry) = self.inner.apps.read().get(&id) {
+            return Arc::clone(registry);
+        }
+        Arc::clone(
+            self.inner
+                .apps
+                .write()
+                .entry(id)
+                .or_insert_with(|| Arc::new(MetricsRegistry::new(format!("{id}:{label}")))),
+        )
+    }
+
+    /// The registry for application `id`, if it exists.
+    pub fn existing_app_registry(&self, id: u64) -> Option<Arc<MetricsRegistry>> {
+        self.inner.apps.read().get(&id).map(Arc::clone)
+    }
+
+    /// Drops application `id`'s registry (called after reap). Its counters
+    /// stop appearing in snapshots; its per-application-only totals are
+    /// folded into the retired pool so the [`ObsHub::rollup`] never shrinks.
+    pub fn remove_app(&self, id: u64) {
+        if let Some(registry) = self.inner.apps.write().remove(&id) {
+            self.inner.retired.write().merge(&registry.snapshot());
+        }
+    }
+
+    /// Live per-application registries, in application-id order.
+    pub fn app_registries(&self) -> Vec<(u64, Arc<MetricsRegistry>)> {
+        self.inner
+            .apps
+            .read()
+            .iter()
+            .map(|(id, registry)| (*id, Arc::clone(registry)))
+            .collect()
+    }
+
+    /// The chokepoint instrumentation record for one permission check
+    /// (granted or denied). Counts and times it VM-wide and against the
+    /// calling application; a denial additionally lands in the audit log and
+    /// the event stream with the refusing `context`.
+    pub fn record_access_check(
+        &self,
+        permission: &str,
+        granted: bool,
+        depth: usize,
+        user: Option<&str>,
+        context: &str,
+        latency_ns: u64,
+    ) {
+        let app = self.current_app();
+        self.inner.checks.inc();
+        self.inner.check_ns.record(latency_ns);
+        self.inner.check_depth.record(depth as u64);
+        if let Some(registry) = app.and_then(|id| self.existing_app_registry(id)) {
+            registry.counter("security.checks").inc();
+            if !granted {
+                registry.counter("security.denied").inc();
+            }
+        }
+        if !granted {
+            self.inner.denied.inc();
+            self.inner
+                .audit
+                .record(user.map(str::to_owned), app, permission, context);
+            self.inner.sink.publish(
+                EventKind::AccessDenied,
+                app,
+                user.map(str::to_owned),
+                permission,
+            );
+        }
+    }
+
+    /// The VM-wide rollup. For any metric the VM registry maintains itself
+    /// (`security.checks`, `gui.dispatched`, ...) the VM value is
+    /// authoritative — it already includes every application's activity, so
+    /// summing the per-application copies in would double-count. Metrics
+    /// kept *only* per application (e.g. `pipe.bytes`) are summed across
+    /// live registries and the retired pool of reaped applications. Gauges,
+    /// being point-in-time, are not rolled up.
+    pub fn rollup(&self) -> RegistrySnapshot {
+        let mut rolled = self.inner.vm.snapshot();
+        let vm_counters: Vec<String> = rolled.counters.keys().cloned().collect();
+        let vm_histograms: Vec<String> = rolled.histograms.keys().cloned().collect();
+        let fold = |snap: &RegistrySnapshot, rolled: &mut RegistrySnapshot| {
+            for (name, value) in &snap.counters {
+                if !vm_counters.contains(name) {
+                    *rolled.counters.entry(name.clone()).or_insert(0) += value;
+                }
+            }
+            for (name, hist) in &snap.histograms {
+                if !vm_histograms.contains(name) {
+                    rolled
+                        .histograms
+                        .entry(name.clone())
+                        .and_modify(|h| h.merge(hist))
+                        .or_insert_with(|| hist.clone());
+                }
+            }
+        };
+        fold(&self.inner.retired.read(), &mut rolled);
+        for (_, registry) in self.app_registries() {
+            fold(&registry.snapshot(), &mut rolled);
+        }
+        rolled
+    }
+
+    /// A serializable point-in-time snapshot of everything the hub holds.
+    pub fn snapshot(&self) -> HubSnapshot {
+        let apps = self
+            .app_registries()
+            .into_iter()
+            .map(|(_, registry)| {
+                let snap = registry.snapshot();
+                (snap.name.clone(), snap)
+            })
+            .collect();
+        HubSnapshot {
+            vm: self.inner.vm.snapshot(),
+            apps,
+            events_published: self.inner.sink.published(),
+            events_dropped: self.inner.sink.dropped(),
+            audit_total: self.inner.audit.total(),
+        }
+    }
+
+    /// Recent audit records filtered by user and/or app — see
+    /// [`AuditLog::query`].
+    pub fn audit_query(&self, user: Option<&str>, app: Option<u64>) -> Vec<AuditRecord> {
+        self.inner.audit.query(user, app)
+    }
+}
+
+impl std::fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHub")
+            .field("sink", &self.inner.sink)
+            .field("audit", &self.inner.audit)
+            .field("apps", &self.inner.apps.read().len())
+            .finish()
+    }
+}
+
+/// Point-in-time export of the hub: the VM registry, every per-application
+/// registry (keyed by registry name, `"<id>:<label>"`), and the stream and
+/// audit totals. This is what `experiments --json` embeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HubSnapshot {
+    /// The VM-wide registry.
+    pub vm: RegistrySnapshot,
+    /// Per-application registries keyed by name.
+    pub apps: BTreeMap<String, RegistrySnapshot>,
+    /// Total events published to the sink.
+    pub events_published: u64,
+    /// Events rotated out of the full ring.
+    pub events_dropped: u64,
+    /// Total permission denials audited.
+    pub audit_total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_check_attributes_to_current_app() {
+        let hub = ObsHub::new();
+        hub.app_registry(3, "ps");
+        hub.set_app_resolver(Arc::new(|| Some(3)));
+        hub.record_access_check("(file /etc/passwd read)", true, 4, Some("alice"), "", 250);
+        hub.record_access_check(
+            "(file /home/alice/notes read)",
+            false,
+            6,
+            Some("bob"),
+            "file:/apps/cat",
+            900,
+        );
+        assert_eq!(hub.vm_metrics().counter("security.checks").get(), 2);
+        assert_eq!(hub.vm_metrics().counter("security.denied").get(), 1);
+        let app = hub.existing_app_registry(3).unwrap();
+        assert_eq!(app.counter("security.checks").get(), 2);
+        assert_eq!(app.counter("security.denied").get(), 1);
+        let denials = hub.audit_query(Some("bob"), Some(3));
+        assert_eq!(denials.len(), 1);
+        assert_eq!(denials[0].permission, "(file /home/alice/notes read)");
+        assert_eq!(denials[0].context, "file:/apps/cat");
+        let events = hub.sink().recent();
+        assert_eq!(events.len(), 1, "only the denial hits the event stream");
+        assert_eq!(events[0].kind, EventKind::AccessDenied);
+    }
+
+    #[test]
+    fn rollup_sums_vm_and_app_counters() {
+        let hub = ObsHub::new();
+        hub.vm_metrics().counter("classes.defined").add(5);
+        hub.app_registry(1, "sh").counter("pipe.bytes").add(7);
+        hub.app_registry(2, "ps").counter("pipe.bytes").add(3);
+        let rolled = hub.rollup();
+        assert_eq!(rolled.counters["classes.defined"], 5);
+        assert_eq!(rolled.counters["pipe.bytes"], 10);
+    }
+
+    #[test]
+    fn rollup_never_double_counts_vm_maintained_metrics() {
+        // The chokepoint bumps both the VM counter and the per-app copy;
+        // the rollup must report the VM total, not the sum of both.
+        let hub = ObsHub::new();
+        hub.app_registry(1, "cat");
+        hub.set_app_resolver(Arc::new(|| Some(1)));
+        hub.record_access_check("", true, 2, None, "", 100);
+        hub.record_access_check("(runtime x)", false, 2, Some("bob"), "ctx", 100);
+        let rolled = hub.rollup();
+        assert_eq!(rolled.counters["security.checks"], 2);
+        assert_eq!(rolled.counters["security.denied"], 1);
+    }
+
+    #[test]
+    fn reaped_app_totals_are_retained_in_the_rollup() {
+        let hub = ObsHub::new();
+        hub.app_registry(1, "sh").counter("pipe.bytes").add(40);
+        hub.remove_app(1);
+        assert!(hub.snapshot().apps.is_empty());
+        assert_eq!(hub.rollup().counters["pipe.bytes"], 40);
+    }
+
+    #[test]
+    fn remove_app_drops_it_from_snapshots() {
+        let hub = ObsHub::new();
+        hub.app_registry(1, "sh").counter("x").inc();
+        hub.app_registry(2, "ps").counter("x").inc();
+        assert_eq!(hub.snapshot().apps.len(), 2);
+        hub.remove_app(1);
+        let snap = hub.snapshot();
+        assert_eq!(snap.apps.len(), 1);
+        assert!(snap.apps.contains_key("2:ps"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let hub = ObsHub::new();
+        hub.vm_metrics().histogram("security.check_ns").record(300);
+        hub.app_registry(4, "mc").gauge("threads.live").set(2);
+        hub.sink().publish(EventKind::AppExec, Some(4), None, "mc");
+        let snap = hub.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HubSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.events_published, 1);
+    }
+}

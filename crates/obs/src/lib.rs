@@ -1,0 +1,44 @@
+//! # jmp-obs
+//!
+//! The observability substrate for the jmproc runtime: VM-wide tracing,
+//! per-application metrics, and the security audit trail.
+//!
+//! The paper (Balfanz & Gong, ICDCS 1998) runs many mutually-suspicious
+//! applications inside one JVM; once `ps`-style multiplexing exists, the
+//! natural next questions are operational: *what is each application doing,
+//! and who was denied what?* This crate answers them with three small,
+//! dependency-light pieces:
+//!
+//! * **Events** ([`EventSink`]) — a bounded ring buffer of structured
+//!   [`Event`]s (application lifecycle, class definition, access denials)
+//!   with subscriber fan-out over channels. Publishing never blocks the hot
+//!   path: a full ring drops the oldest event and counts it, and a disabled
+//!   sink ([`EventSink::disabled`]) costs exactly one atomic load.
+//! * **Metrics** ([`MetricsRegistry`]) — [`Counter`]s, [`Gauge`]s and
+//!   log2-bucketed [`Histogram`]s, grouped per application and rolled up
+//!   VM-wide, all exportable as JSON through `serde`.
+//! * **Audit** ([`AuditLog`]) — every *denied* permission check, with the
+//!   demanded permission, the refusing protection domain, the effective
+//!   user, and the owning application.
+//!
+//! [`ObsHub`] composes the three and is what the VM attaches; higher layers
+//! (`jmp-vm`, `jmp-core`, the shell's `top`/`vmstat`/`audit` builtins) only
+//! ever talk to the hub. Reading any of it back *out* is permission-gated by
+//! the runtime (`RuntimePermission("readMetrics")` /
+//! `RuntimePermission("readAuditLog")`) — observability obeys the same
+//! security model it observes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod hub;
+mod metrics;
+mod sink;
+
+pub use audit::{AuditLog, AuditRecord};
+pub use hub::{AppResolver, HubSnapshot, ObsHub};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};
+pub use sink::{Event, EventKind, EventSink};

@@ -1,0 +1,274 @@
+//! The VM-wide event stream: a bounded ring of structured events with
+//! subscriber fan-out, built so publishing never blocks the code being
+//! observed.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// What an [`Event`] records. Lifecycle and security events only — per-byte
+/// or per-dispatch activity is far too hot for an event stream and is
+/// counted in [`MetricsRegistry`](crate::MetricsRegistry) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An application was exec'd (paper §5.1).
+    AppExec,
+    /// An application requested exit (code in `detail`).
+    AppExit,
+    /// The reaper finished tearing an application down.
+    AppReap,
+    /// A permission check was denied (the demand in `detail`); the same
+    /// denial is recorded in the [`AuditLog`](crate::AuditLog).
+    AccessDenied,
+    /// A class was defined by a loader (name in `detail`).
+    ClassDefined,
+    /// A class was *re*-defined locally from the re-load list — the paper's
+    /// per-application `System` mechanism (§5.5) firing.
+    ClassReloaded,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::AppExec => "app-exec",
+            EventKind::AppExit => "app-exit",
+            EventKind::AppReap => "app-reap",
+            EventKind::AccessDenied => "access-denied",
+            EventKind::ClassDefined => "class-defined",
+            EventKind::ClassReloaded => "class-reloaded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One record in the VM's event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Publication order (per sink, starting at 0).
+    pub seq: u64,
+    /// Milliseconds since the sink was created.
+    pub at_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The application involved, when attributable.
+    pub app: Option<u64>,
+    /// The effective user, when attributable.
+    pub user: Option<String>,
+    /// Kind-specific payload (class name, permission text, exit code).
+    pub detail: String,
+}
+
+struct SinkInner {
+    enabled: AtomicBool,
+    capacity: usize,
+    start: Instant,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+    subscribers: Mutex<Vec<Sender<Event>>>,
+}
+
+/// The bounded event sink. Cheap handle; clones share the sink.
+///
+/// The hot-path contract: [`EventSink::publish`] on a disabled sink is one
+/// relaxed atomic load and returns; on an enabled sink it takes one short
+/// mutex to rotate the ring and never blocks on subscribers (fan-out uses
+/// unbounded channels, and a subscriber that went away is dropped).
+#[derive(Clone)]
+pub struct EventSink {
+    inner: Arc<SinkInner>,
+}
+
+impl EventSink {
+    /// Creates an enabled sink holding up to `capacity` recent events.
+    pub fn new(capacity: usize) -> EventSink {
+        EventSink::build(capacity.max(1), true)
+    }
+
+    /// Creates a disabled sink: [`EventSink::publish`] is a no-op costing
+    /// one atomic load. Can be enabled later with [`EventSink::set_enabled`].
+    pub fn disabled() -> EventSink {
+        EventSink::build(DEFAULT_CAPACITY, false)
+    }
+
+    fn build(capacity: usize, enabled: bool) -> EventSink {
+        EventSink {
+            inner: Arc::new(SinkInner {
+                enabled: AtomicBool::new(enabled),
+                capacity,
+                start: Instant::now(),
+                next_seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+                subscribers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Whether publishing currently records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the sink.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Publishes an event. When the ring is full the *oldest* event is
+    /// dropped (and counted) — the observed code never waits for readers.
+    pub fn publish(
+        &self,
+        kind: EventKind,
+        app: Option<u64>,
+        user: Option<String>,
+        detail: impl Into<String>,
+    ) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let event = Event {
+            seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            at_ms: self.inner.start.elapsed().as_millis() as u64,
+            kind,
+            app,
+            user,
+            detail: detail.into(),
+        };
+        {
+            let mut ring = self.inner.ring.lock();
+            if ring.len() >= self.inner.capacity {
+                ring.pop_front();
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(event.clone());
+        }
+        let mut subscribers = self.inner.subscribers.lock();
+        // send() fails only when the receiver is gone; prune as we go.
+        subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Registers a subscriber fed every event published from now on, over an
+    /// unbounded channel (slow subscribers accumulate backlog in their own
+    /// channel, not in the publisher).
+    pub fn subscribe(&self) -> Receiver<Event> {
+        let (tx, rx) = unbounded();
+        self.inner.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// The retained ring of recent events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total events ever published (including since-rotated ones).
+    pub fn published(&self) -> u64 {
+        self.inner.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Events rotated out of a full ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventSink")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.inner.capacity)
+            .field("published", &self.published())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_in_order_with_seq() {
+        let sink = EventSink::new(8);
+        sink.publish(EventKind::AppExec, Some(1), Some("alice".into()), "shell");
+        sink.publish(EventKind::AppExit, Some(1), None, "0");
+        let events = sink.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, EventKind::AppExec);
+        assert_eq!(events[0].user.as_deref(), Some("alice"));
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(sink.published(), 2);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_rotates_oldest_and_counts() {
+        let sink = EventSink::new(3);
+        for i in 0..10 {
+            sink.publish(EventKind::ClassDefined, None, None, format!("C{i}"));
+        }
+        let events = sink.recent();
+        assert_eq!(events.len(), 3, "ring stays bounded");
+        assert_eq!(events[0].detail, "C7", "oldest events rotated out");
+        assert_eq!(events[2].detail, "C9");
+        assert_eq!(sink.published(), 10);
+        assert_eq!(sink.dropped(), 7, "every rotation is accounted for");
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.publish(EventKind::AppExec, None, None, "x");
+        assert_eq!(sink.published(), 0);
+        assert!(sink.recent().is_empty());
+        sink.set_enabled(true);
+        sink.publish(EventKind::AppExec, None, None, "y");
+        assert_eq!(sink.published(), 1);
+    }
+
+    #[test]
+    fn subscribers_receive_fanout_and_prune_on_drop() {
+        let sink = EventSink::new(8);
+        let rx1 = sink.subscribe();
+        let rx2 = sink.subscribe();
+        sink.publish(EventKind::AccessDenied, Some(2), Some("bob".into()), "file");
+        assert_eq!(rx1.recv().unwrap().kind, EventKind::AccessDenied);
+        assert_eq!(rx2.recv().unwrap().detail, "file");
+        drop(rx2);
+        // Publishing past a dropped subscriber neither blocks nor errors.
+        sink.publish(EventKind::AppReap, Some(2), None, "");
+        assert_eq!(rx1.recv().unwrap().kind, EventKind::AppReap);
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let event = Event {
+            seq: 9,
+            at_ms: 120,
+            kind: EventKind::ClassReloaded,
+            app: Some(3),
+            user: None,
+            detail: "java.lang.System".into(),
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+    }
+}

@@ -139,6 +139,16 @@ pub fn default_policy_text() -> &'static str {
         permission runtime "stopApplication";
     };
 
+    // Observability read-out: the bootstrap `system` account may inspect
+    // the VM metrics and the security audit trail (exercised through the
+    // section 5.3 mechanism by the shell's `top`/`vmstat`/`audit`
+    // builtins). Ordinary accounts get neither: what Alice's editor is
+    // doing is none of Bob's business.
+    grant user "system" {
+        permission runtime "readMetrics";
+        permission runtime "readAuditLog";
+    };
+
     // Paper section 6.3: the appletviewer is an ordinary application with
     // two specific privileges: creating class loaders and talking to the
     // network.

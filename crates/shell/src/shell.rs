@@ -153,14 +153,165 @@ impl Shell {
             }
             "help" => {
                 jsystem::println(
-                    "builtins: cd pwd jobs history help quit; \
+                    "builtins: cd pwd jobs history top vmstat audit help quit; \
                      programs: ls cat echo head wc grep ps kill sleep touch \
                      mkdir rm cp mv whoami su passwd login appletviewer edit",
                 )?;
                 Ok(Builtin::Handled)
             }
+            "top" => {
+                self.top()?;
+                Ok(Builtin::Handled)
+            }
+            "vmstat" => {
+                self.vmstat()?;
+                Ok(Builtin::Handled)
+            }
+            "audit" => {
+                self.audit(&stage.args)?;
+                Ok(Builtin::Handled)
+            }
             _ => Ok(Builtin::NotBuiltin),
         }
+    }
+
+    /// The `top` builtin: the live per-application metric table
+    /// (`RuntimePermission("readMetrics")`-gated; a denial is printed — and
+    /// audited — rather than killing the session).
+    fn top(&self) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let rows = match jmp_core::obs::top_rows(&rt) {
+            Ok(rows) => rows,
+            Err(err) => {
+                jsystem::eprintln(&format!("top: {err}"))?;
+                return Ok(());
+            }
+        };
+        jsystem::println(&format!(
+            "{:>4} {:<16} {:<10} {:>4} {:>4} {:>4} {:>6} {:>7} {:>6} {:>6} {:>7} {:>9}",
+            "ID",
+            "NAME",
+            "USER",
+            "THR",
+            "WIN",
+            "STR",
+            "QDEPTH",
+            "CHECKS",
+            "DENIED",
+            "DISP",
+            "CLASSES",
+            "PIPE-B",
+        ))?;
+        for row in rows {
+            jsystem::println(&format!(
+                "{:>4} {:<16} {:<10} {:>4} {:>4} {:>4} {:>6} {:>7} {:>6} {:>6} {:>7} {:>9}",
+                row.id,
+                row.name,
+                row.user,
+                row.threads,
+                row.windows,
+                row.streams,
+                row.queue_depth,
+                row.checks,
+                row.denied,
+                row.dispatched,
+                row.classes,
+                row.pipe_bytes,
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// The `vmstat` builtin: the VM-wide rollup (counters summed and
+    /// histograms merged across the VM registry and every live application),
+    /// plus the event-sink and audit-log accounting.
+    fn vmstat(&self) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let snapshot = match jmp_core::obs::vm_snapshot(&rt) {
+            Ok(snapshot) => snapshot,
+            Err(err) => {
+                jsystem::eprintln(&format!("vmstat: {err}"))?;
+                return Ok(());
+            }
+        };
+        let rollup = jmp_core::obs::vm_rollup(&rt)?;
+        for (name, value) in &rollup.counters {
+            jsystem::println(&format!("{name:<24} {value}"))?;
+        }
+        for (name, value) in &snapshot.vm.gauges {
+            jsystem::println(&format!("{name:<24} {value}"))?;
+        }
+        for (name, hist) in &rollup.histograms {
+            jsystem::println(&format!(
+                "{name:<24} count={} mean={} p50={} p99={}",
+                hist.count,
+                hist.mean(),
+                hist.quantile(0.50),
+                hist.quantile(0.99),
+            ))?;
+        }
+        jsystem::println(&format!(
+            "events.published         {}",
+            snapshot.events_published
+        ))?;
+        jsystem::println(&format!(
+            "events.dropped           {}",
+            snapshot.events_dropped
+        ))?;
+        jsystem::println(&format!(
+            "audit.total              {}",
+            snapshot.audit_total
+        ))?;
+        Ok(())
+    }
+
+    /// The `audit` builtin: `audit [-u user] [-a app-id]` lists recent
+    /// permission denials (`RuntimePermission("readAuditLog")`-gated).
+    fn audit(&self, args: &[String]) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let mut user: Option<String> = None;
+        let mut app: Option<u64> = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "-u" => user = iter.next().cloned(),
+                "-a" => match iter.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(id)) => app = Some(id),
+                    _ => {
+                        jsystem::eprintln("audit: -a expects an application id")?;
+                        return Ok(());
+                    }
+                },
+                other => {
+                    jsystem::eprintln(&format!(
+                        "audit: unknown argument {other} (usage: audit [-u user] [-a app-id])"
+                    ))?;
+                    return Ok(());
+                }
+            }
+        }
+        let records = match jmp_core::obs::audit_records(&rt, user.as_deref(), app) {
+            Ok(records) => records,
+            Err(err) => {
+                jsystem::eprintln(&format!("audit: {err}"))?;
+                return Ok(());
+            }
+        };
+        for record in &records {
+            jsystem::println(&format!(
+                "#{:<4} +{:>6}ms user={:<10} app={:<4} {} [{}]",
+                record.seq,
+                record.at_ms,
+                record.user.as_deref().unwrap_or("-"),
+                record
+                    .app
+                    .map_or_else(|| "-".to_string(), |id| id.to_string()),
+                record.permission,
+                record.context,
+            ))?;
+        }
+        jsystem::println(&format!("{} denial(s)", records.len()))?;
+        Ok(())
     }
 
     /// Launches a pipeline: the paper's stream-swapping dance. Returns the

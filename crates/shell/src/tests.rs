@@ -342,6 +342,63 @@ fn env_chmod_chown_hostname() {
     rt.shutdown();
 }
 
+#[test]
+fn top_vmstat_audit_for_the_system_account() {
+    // The default policy grants `system` readMetrics/readAuditLog, so a
+    // shell running as the bootstrap account can use all three builtins.
+    let rt = session_runtime();
+    let (terminal, session) = crate::spawn_session(&rt, "shell", &[]).unwrap();
+    terminal.type_line("top").unwrap();
+    terminal.type_line("vmstat").unwrap();
+    terminal.type_line("audit").unwrap();
+    terminal.type_line("quit").unwrap();
+    terminal.type_eof();
+    session.wait_for().unwrap();
+    let screen = terminal.screen_text();
+    assert!(
+        screen.contains("CHECKS"),
+        "top prints its header: {screen:?}"
+    );
+    assert!(screen.contains("shell"), "top lists the shell itself");
+    assert!(
+        screen.contains("security.checks"),
+        "vmstat prints the rollup counters: {screen:?}"
+    );
+    assert!(screen.contains("events.published"));
+    assert!(screen.contains("denial(s)"), "audit prints a summary line");
+    rt.shutdown();
+}
+
+#[test]
+fn top_and_audit_denied_for_ordinary_users_and_audited() {
+    // Alice holds neither readMetrics nor readAuditLog: both builtins
+    // refuse (without killing the session), and the refusals themselves
+    // land in the audit trail.
+    let rt = session_runtime();
+    let screen = run_session_script(&rt, &["alice", "apw", "top", "audit", "whoami", "quit"]);
+    assert!(
+        screen.contains("top: "),
+        "top reports the denial: {screen:?}"
+    );
+    assert!(screen.contains("audit: "), "audit reports the denial");
+    assert!(
+        screen.contains("\nalice\n"),
+        "the session survives both denials"
+    );
+    let denials = rt.vm().obs().audit_query(Some("alice"), None);
+    assert!(
+        denials.iter().any(|r| r.permission.contains("readMetrics")),
+        "alice's denied `top` is audited: {denials:?}"
+    );
+    assert!(
+        denials
+            .iter()
+            .any(|r| r.permission.contains("readAuditLog")),
+        "alice's denied `audit` is audited: {denials:?}"
+    );
+    rt.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Appletviewer (§6.3)
 // ---------------------------------------------------------------------------

@@ -30,6 +30,12 @@ impl fmt::Display for LoaderId {
 /// way, paper §6.3).
 pub type DomainResolver = Arc<dyn Fn(&CodeSource) -> PermissionCollection + Send + Sync>;
 
+/// Called after every successful class definition with the class name and
+/// whether it was a *local* re-definition off the loader's re-load list
+/// (§5.5). Installed by the VM to feed the observability hub; children
+/// created after installation inherit the observer.
+pub type DefineObserver = Arc<dyn Fn(&str, bool) + Send + Sync>;
+
 struct LoaderInner {
     id: LoaderId,
     name: String,
@@ -40,6 +46,7 @@ struct LoaderInner {
     /// the paper's re-load list (§5.5).
     reload: RwLock<HashSet<String>>,
     defined: RwLock<HashMap<String, Class>>,
+    observer: RwLock<Option<DefineObserver>>,
 }
 
 /// A class loader: defines classes from material, creating a namespace.
@@ -72,6 +79,7 @@ impl ClassLoader {
                 resolver,
                 reload: RwLock::new(HashSet::new()),
                 defined: RwLock::new(HashMap::new()),
+                observer: RwLock::new(None),
             }),
         }
     }
@@ -99,8 +107,15 @@ impl ClassLoader {
                 resolver,
                 reload: RwLock::new(HashSet::new()),
                 defined: RwLock::new(HashMap::new()),
+                observer: RwLock::new(self.inner.observer.read().clone()),
             }),
         }
+    }
+
+    /// Installs the definition observer on this loader (and, via
+    /// inheritance, on children created from now on).
+    pub fn set_define_observer(&self, observer: DefineObserver) {
+        *self.inner.observer.write() = Some(observer);
     }
 
     /// The loader's id.
@@ -169,20 +184,28 @@ impl ClassLoader {
     ///
     /// [`VmError::Linkage`] if this loader already defined the name.
     pub fn define_class(&self, def: Arc<ClassDef>, source: CodeSource) -> Result<Class> {
-        let mut defined = self.inner.defined.write();
-        if defined.contains_key(def.name()) {
-            return Err(VmError::Linkage {
-                message: format!(
-                    "loader {} already defines class {:?}",
-                    self.inner.name,
-                    def.name()
-                ),
-            });
+        let class = {
+            let mut defined = self.inner.defined.write();
+            if defined.contains_key(def.name()) {
+                return Err(VmError::Linkage {
+                    message: format!(
+                        "loader {} already defines class {:?}",
+                        self.inner.name,
+                        def.name()
+                    ),
+                });
+            }
+            let permissions = (self.inner.resolver)(&source);
+            let domain = Arc::new(ProtectionDomain::new(source, permissions));
+            let class = Class::define(Arc::clone(&def), self.inner.id, domain);
+            defined.insert(def.name().to_string(), class.clone());
+            class
+        };
+        // Outside the `defined` lock: the observer may inspect the loader.
+        let observer = self.inner.observer.read().clone();
+        if let Some(observer) = observer {
+            observer(class.name(), self.reloads(class.name()));
         }
-        let permissions = (self.inner.resolver)(&source);
-        let domain = Arc::new(ProtectionDomain::new(source, permissions));
-        let class = Class::define(Arc::clone(&def), self.inner.id, domain);
-        defined.insert(def.name().to_string(), class.clone());
         Ok(class)
     }
 

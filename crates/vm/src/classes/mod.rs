@@ -21,5 +21,5 @@ mod registry;
 
 pub use class::{Class, ClassId, StaticValue};
 pub use def::{ClassDef, ClassDefBuilder, NativeMain};
-pub use loader::{ClassLoader, LoaderId};
+pub use loader::{ClassLoader, DefineObserver, DomainResolver, LoaderId};
 pub use registry::MaterialRegistry;

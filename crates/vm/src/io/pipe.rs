@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use jmp_obs::Counter;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::VmError;
@@ -23,6 +24,8 @@ struct Shared {
     state: Mutex<PipeState>,
     readable: Condvar,
     writable: Condvar,
+    /// Counts bytes accepted by the write end (see [`pipe_observed`]).
+    bytes: Option<Arc<Counter>>,
 }
 
 /// Creates an in-memory pipe with the given buffer capacity.
@@ -32,6 +35,14 @@ struct Shared {
 /// vs cross-process pipe). Reads and writes block, waking on data/space or
 /// on interruption of the calling VM thread.
 pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
+    pipe_observed(capacity, None)
+}
+
+/// [`pipe`], plus an optional byte counter incremented by the number of
+/// bytes each write accepts. The multi-processing layer passes the
+/// VM-wide `pipe.bytes` counter here so shell pipelines show up in
+/// `vmstat` without the pipe knowing anything about metrics naming.
+pub fn pipe_observed(capacity: usize, bytes: Option<Arc<Counter>>) -> (PipeWriter, PipeReader) {
     let shared = Arc::new(Shared {
         state: Mutex::new(PipeState {
             buf: VecDeque::with_capacity(capacity.min(DEFAULT_PIPE_CAPACITY)),
@@ -41,6 +52,7 @@ pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
         }),
         readable: Condvar::new(),
         writable: Condvar::new(),
+        bytes,
     });
     (
         PipeWriter {
@@ -133,6 +145,9 @@ impl PipeWriter {
             if space > 0 {
                 let n = space.min(data.len());
                 state.buf.extend(&data[..n]);
+                if let Some(bytes) = &self.shared.bytes {
+                    bytes.add(n as u64);
+                }
                 self.shared.readable.notify_all();
                 return Ok(n);
             }
@@ -204,6 +219,18 @@ mod tests {
             r.read(&mut buf).unwrap_err(),
             VmError::StreamClosed
         ));
+    }
+
+    #[test]
+    fn observed_pipe_counts_accepted_bytes() {
+        let bytes = Arc::new(Counter::new());
+        let (w, r) = pipe_observed(16, Some(Arc::clone(&bytes)));
+        w.write_all(b"hello").unwrap();
+        w.write_all(b" world").unwrap();
+        assert_eq!(bytes.get(), 11);
+        let mut buf = [0u8; 16];
+        r.read(&mut buf).unwrap();
+        assert_eq!(bytes.get(), 11, "reads do not double-count");
     }
 
     #[test]

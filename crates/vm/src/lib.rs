@@ -63,8 +63,8 @@ pub mod thread;
 mod vm;
 
 pub use classes::{
-    Class, ClassDef, ClassDefBuilder, ClassId, ClassLoader, LoaderId, MaterialRegistry, NativeMain,
-    StaticValue,
+    Class, ClassDef, ClassDefBuilder, ClassId, ClassLoader, DefineObserver, DomainResolver,
+    LoaderId, MaterialRegistry, NativeMain, StaticValue,
 };
 pub use error::VmError;
 pub use group::{GroupId, ThreadGroup};

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use jmp_obs::{EventKind, ObsHub};
 use jmp_security::{AccessController, Permission, Policy};
 use parking_lot::{Mutex, RwLock};
 
@@ -82,6 +83,7 @@ struct VmInner {
     next_thread_id: AtomicU64,
     security_manager: RwLock<Option<Arc<dyn SecurityManager>>>,
     user_resolver: RwLock<Option<UserResolver>>,
+    obs: ObsHub,
     shutdown: AtomicBool,
     shutdown_at: Mutex<Option<Instant>>,
     exit_code: Mutex<Option<i32>>,
@@ -143,6 +145,26 @@ impl VmBuilder {
         for (k, v) in self.properties {
             properties.set(k, v);
         }
+        let obs = ObsHub::new();
+        let obs_for_loader = obs.clone();
+        system_loader.set_define_observer(Arc::new(move |name, via_reload| {
+            let vm_metrics = obs_for_loader.vm_metrics();
+            vm_metrics.counter("classes.defined").inc();
+            let kind = if via_reload {
+                vm_metrics.counter("classes.reloaded").inc();
+                EventKind::ClassReloaded
+            } else {
+                EventKind::ClassDefined
+            };
+            let app = obs_for_loader.current_app();
+            if let Some(registry) = app.and_then(|id| obs_for_loader.existing_app_registry(id)) {
+                registry.counter("classes.defined").inc();
+                if via_reload {
+                    registry.counter("classes.reloaded").inc();
+                }
+            }
+            obs_for_loader.sink().publish(kind, app, None, name);
+        }));
         Vm {
             inner: Arc::new(VmInner {
                 name: self.name,
@@ -157,6 +179,7 @@ impl VmBuilder {
                 next_thread_id: AtomicU64::new(1),
                 security_manager: RwLock::new(None),
                 user_resolver: RwLock::new(None),
+                obs,
                 shutdown: AtomicBool::new(false),
                 shutdown_at: Mutex::new(None),
                 exit_code: Mutex::new(None),
@@ -229,6 +252,14 @@ impl Vm {
             .ok()
     }
 
+    /// The VM's observability hub: the event stream, the per-application
+    /// metrics registries, and the security audit trail. Reading it is free
+    /// at this layer; the multi-processing runtime gates read-out behind
+    /// `RuntimePermission("readMetrics")` / `RuntimePermission("readAuditLog")`.
+    pub fn obs(&self) -> &ObsHub {
+        &self.inner.obs
+    }
+
     // -- policy & security ---------------------------------------------------
 
     /// The current security policy.
@@ -256,9 +287,36 @@ impl Vm {
     ///
     /// [`VmError::Security`] naming the refusing domain.
     pub fn access_check(&self, perm: &Permission) -> Result<()> {
+        let started = Instant::now();
         let ctx = stack::current_access_context();
         let user = self.current_user();
-        AccessController::check_with(&ctx, perm, user.as_deref(), &self.policy())?;
+        let result = AccessController::check_with(&ctx, perm, user.as_deref(), &self.policy());
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        // The hub only reads the permission/context strings on a denial, so
+        // the granted (hot) path skips both display allocations.
+        match &result {
+            Ok(()) => {
+                self.inner.obs.record_access_check(
+                    "",
+                    true,
+                    ctx.depth(),
+                    user.as_deref(),
+                    "",
+                    latency_ns,
+                );
+            }
+            Err(err) => {
+                self.inner.obs.record_access_check(
+                    &perm.to_string(),
+                    false,
+                    ctx.depth(),
+                    user.as_deref(),
+                    &err.to_string(),
+                    latency_ns,
+                );
+            }
+        }
+        result?;
         Ok(())
     }
 
@@ -942,6 +1000,54 @@ mod tests {
         policy.grant_user("alice", vec![Permission::runtime("x")]);
         vm.set_policy(policy).unwrap();
         assert!(vm.policy().user_implies("alice", &Permission::runtime("x")));
+    }
+
+    #[test]
+    fn access_checks_feed_the_obs_hub() {
+        let vm = Vm::new();
+        // Empty stack => trusted => granted.
+        vm.check_permission(&Permission::runtime("harmless"))
+            .unwrap();
+        let untrusted = Arc::new(jmp_security::ProtectionDomain::untrusted(
+            CodeSource::remote("http://evil/x"),
+        ));
+        stack::call_as("Evil", untrusted, || {
+            assert!(vm
+                .check_permission(&Permission::runtime("forbidden"))
+                .is_err());
+        });
+        let metrics = vm.obs().vm_metrics();
+        assert_eq!(metrics.counter("security.checks").get(), 2);
+        assert_eq!(metrics.counter("security.denied").get(), 1);
+        assert_eq!(metrics.histogram("security.check_ns").count(), 2);
+        let denials = vm.obs().audit().recent();
+        assert_eq!(denials.len(), 1, "only the denial is audited");
+        assert!(denials[0].permission.contains("forbidden"));
+        let events = vm.obs().sink().recent();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::AccessDenied);
+    }
+
+    #[test]
+    fn class_definitions_feed_the_obs_hub() {
+        let vm = vm_with_class("Observed", |_| Ok(()));
+        vm.system_loader().load_class("Observed").unwrap();
+        let metrics = vm.obs().vm_metrics();
+        assert_eq!(metrics.counter("classes.defined").get(), 1);
+        assert_eq!(metrics.counter("classes.reloaded").get(), 0);
+
+        // A child re-defining off its re-load list counts as a reload and
+        // the inherited observer still fires (§5.5).
+        let child = vm.system_loader().new_child("app-1");
+        child.add_reload("Observed");
+        child.load_class("Observed").unwrap();
+        assert_eq!(metrics.counter("classes.defined").get(), 2);
+        assert_eq!(metrics.counter("classes.reloaded").get(), 1);
+        let kinds: Vec<_> = vm.obs().sink().recent().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::ClassDefined, EventKind::ClassReloaded]
+        );
     }
 
     #[test]

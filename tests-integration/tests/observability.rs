@@ -1,0 +1,192 @@
+//! Observability integration: the audit trail, the permission gating of the
+//! read-out, and the event stream, across real applications.
+
+use std::time::Duration;
+
+use jmp_obs::EventKind;
+use jmp_security::Permission;
+use tests_integration::{register_app, runtime};
+
+#[test]
+fn denied_cross_user_read_produces_exactly_one_audit_record() {
+    // The paper's Alice/Bob scenario, observed: Bob's program tries to read
+    // Alice's file, the §5.3 combination refuses, and the refusal shows up
+    // in the audit trail exactly once, attributed to Bob and his app.
+    let rt = runtime();
+    let alice = rt.users().lookup("alice").unwrap();
+    rt.vfs()
+        .write("/home/alice/secret.txt", b"private", alice.id())
+        .unwrap();
+
+    register_app(&rt, "snoop", |_| {
+        assert!(
+            jmp_core::files::read("/home/alice/secret.txt").is_err(),
+            "bob must not read alice's file"
+        );
+        Ok(())
+    });
+    let app = rt.launch_as("bob", "snoop", &[]).unwrap();
+    let snoop_id = app.id().0;
+    app.wait_for().unwrap();
+
+    let denials = rt.vm().obs().audit_query(None, None);
+    assert_eq!(
+        denials.len(),
+        1,
+        "exactly one denial is audited: {denials:?}"
+    );
+    let record = &denials[0];
+    assert_eq!(record.user.as_deref(), Some("bob"));
+    assert_eq!(record.app, Some(snoop_id));
+    assert!(
+        record.permission.contains("/home/alice/secret.txt"),
+        "the record names the refused permission: {record:?}"
+    );
+    // The denial also hit the metrics and the event stream.
+    assert_eq!(
+        rt.vm().obs().vm_metrics().counter("security.denied").get(),
+        1
+    );
+    let denied_events: Vec<_> = rt
+        .vm()
+        .obs()
+        .sink()
+        .recent()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::AccessDenied)
+        .collect();
+    assert_eq!(denied_events.len(), 1);
+    assert_eq!(denied_events[0].user.as_deref(), Some("bob"));
+    rt.shutdown();
+}
+
+#[test]
+fn unprivileged_readout_is_denied_and_the_denial_is_audited() {
+    // An ordinary user's app may not read the metrics or the audit log —
+    // and each refusal lands in the audit trail like any other denial.
+    let rt = runtime();
+    register_app(&rt, "nosy", |_| {
+        let rt = jmp_core::MpRuntime::current().unwrap();
+        assert!(jmp_core::obs::top_rows(&rt).is_err(), "metrics are gated");
+        assert!(
+            jmp_core::obs::audit_records(&rt, None, None).is_err(),
+            "the audit log is gated"
+        );
+        Ok(())
+    });
+    rt.launch_as("bob", "nosy", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+
+    let denials = rt.vm().obs().audit_query(Some("bob"), None);
+    assert!(
+        denials.iter().any(|r| r.permission.contains("readMetrics")),
+        "the refused metrics read is audited: {denials:?}"
+    );
+    assert!(
+        denials
+            .iter()
+            .any(|r| r.permission.contains("readAuditLog")),
+        "the refused audit read is audited: {denials:?}"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn system_user_grant_admits_the_readout() {
+    // The default policy grants the bootstrap `system` account
+    // readMetrics/readAuditLog; a program it runs (whose code source holds
+    // exerciseUserPermissions) reads the hub through the §5.3 mechanism.
+    let rt = runtime();
+    register_app(&rt, "probe", |_| {
+        let rt = jmp_core::MpRuntime::current().unwrap();
+        let rows = jmp_core::obs::top_rows(&rt).expect("system may read metrics");
+        assert!(rows.iter().any(|row| row.name == "probe"));
+        let snapshot = jmp_core::obs::vm_snapshot(&rt).expect("system may snapshot");
+        assert!(snapshot.vm.counters["security.checks"] > 0);
+        jmp_core::obs::audit_records(&rt, None, None).expect("system may read audit");
+        Ok(())
+    });
+    rt.launch_as("system", "probe", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn subscribers_see_lifecycle_events() {
+    let rt = runtime();
+    let events = rt.vm().obs().sink().subscribe();
+    register_app(&rt, "blip", |_| Ok(()));
+    let app = rt.launch_as("alice", "blip", &[]).unwrap();
+    let id = app.id().0;
+    app.wait_for().unwrap();
+
+    // The stream interleaves class-define events from the launch; collect
+    // the lifecycle events charged to our app (the reaper runs
+    // asynchronously, so keep receiving until the reap arrives).
+    let mut lifecycle = Vec::new();
+    while lifecycle.last().map(|e: &jmp_obs::Event| e.kind) != Some(EventKind::AppReap) {
+        let event = events
+            .recv_timeout(Duration::from_secs(5))
+            .expect("lifecycle events arrive");
+        if event.app == Some(id) && event.kind != EventKind::ClassDefined {
+            lifecycle.push(event);
+        }
+    }
+    let kinds: Vec<_> = lifecycle.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![EventKind::AppExec, EventKind::AppExit, EventKind::AppReap]
+    );
+    assert_eq!(lifecycle[0].user.as_deref(), Some("alice"));
+    assert_eq!(lifecycle[0].detail, "blip");
+    rt.shutdown();
+}
+
+#[test]
+fn app_lifecycle_feeds_the_counters() {
+    let rt = runtime();
+    let before = rt.vm().obs().vm_metrics().counter("apps.execed").get();
+    register_app(&rt, "unit", |_| Ok(()));
+    let app = rt.launch_as("alice", "unit", &[]).unwrap();
+    app.wait_for().unwrap();
+    let metrics = rt.vm().obs().vm_metrics();
+    assert_eq!(metrics.counter("apps.execed").get(), before + 1);
+    // Reaping is asynchronous; wait for the reaped counter to follow.
+    let reaped = jmp_awt::Toolkit::wait_until(Duration::from_secs(5), || {
+        metrics.counter("apps.reaped").get() >= 1
+    });
+    assert!(reaped, "the reap is counted");
+    rt.shutdown();
+}
+
+#[test]
+fn check_permission_from_an_app_carries_its_attribution() {
+    // An app-originated denial is charged to the app's registry while the
+    // registry is live (before the reaper drops it).
+    let rt = runtime();
+    register_app(&rt, "selfcheck", |_| {
+        let rt = jmp_core::MpRuntime::current().unwrap();
+        assert!(rt
+            .vm()
+            .check_permission(&Permission::runtime("noSuchPrivilege"))
+            .is_err());
+        // Observe our own registry from inside, pre-reap.
+        let app = jmp_core::Application::current().unwrap();
+        let registry = rt
+            .vm()
+            .obs()
+            .existing_app_registry(app.id().0)
+            .expect("registry live while running");
+        assert!(registry.counter("security.denied").get() >= 1);
+        Ok(())
+    });
+    rt.launch_as("bob", "selfcheck", &[])
+        .unwrap()
+        .wait_for()
+        .unwrap();
+    rt.shutdown();
+}

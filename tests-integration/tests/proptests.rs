@@ -1,71 +1,116 @@
-//! Property-based tests over the core data structures and invariants:
+//! Property-style tests over the core data structures and invariants:
 //! the permission lattice, policy round-trips, path normalization, the VFS
 //! against a model, thread-group accounting, and — most importantly — the
 //! `jbc` verifier's soundness contract.
+//!
+//! Originally written with `proptest`; this build environment has no
+//! registry access, so the same properties are exercised with a seeded
+//! SplitMix64 generator — deterministic, still hundreds of cases each.
 
-use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// SplitMix64: tiny, seedable, good enough for structured case generation.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// A lowercase word of 1..=max_len characters.
+    fn word(&mut self, max_len: u64) -> String {
+        let len = 1 + self.below(max_len);
+        (0..len)
+            .map(|_| char::from(b'a' + self.below(26) as u8))
+            .collect()
+    }
+
+    /// 1..5 path components joined by `/` (no leading slash).
+    fn path_components(&mut self) -> String {
+        let n = 1 + self.below(4);
+        (0..n).map(|_| self.word(6)).collect::<Vec<_>>().join("/")
+    }
+
+    fn file_actions(&mut self) -> jmp_security::FileActions {
+        jmp_security::FileActions {
+            read: self.bool(),
+            write: self.bool(),
+            execute: self.bool(),
+            delete: self.bool(),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Permissions
 // ---------------------------------------------------------------------------
 
-fn arb_file_actions() -> impl Strategy<Value = jmp_security::FileActions> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(r, w, x, d)| {
-        jmp_security::FileActions {
-            read: r,
-            write: w,
-            execute: x,
-            delete: d,
-        }
-    })
-}
-
-fn arb_path_components() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec("[a-z]{1,6}", 1..5)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn recursive_file_grant_implies_everything_under_it(
-        base in arb_path_components(),
-        extra in arb_path_components(),
-        actions in arb_file_actions(),
-    ) {
-        let base_path = format!("/{}", base.join("/"));
-        let deep_path = format!("{base_path}/{}", extra.join("/"));
+#[test]
+fn recursive_file_grant_implies_everything_under_it() {
+    let mut g = Gen::new(0xA11CE);
+    for _ in 0..256 {
+        let base_path = format!("/{}", g.path_components());
+        let deep_path = format!("{base_path}/{}", g.path_components());
+        let actions = g.file_actions();
         let grant = jmp_security::Permission::file(format!("{base_path}/-"), actions);
         let demand = jmp_security::Permission::file(&deep_path, actions);
-        prop_assert!(grant.implies(&demand));
+        assert!(
+            grant.implies(&demand),
+            "{base_path}/- must imply {deep_path}"
+        );
         // ...but never the base directory itself, and never a sibling.
-        prop_assert!(!grant.implies(&jmp_security::Permission::file(&base_path, actions)));
+        assert!(!grant.implies(&jmp_security::Permission::file(&base_path, actions)));
         let sibling = format!("{base_path}x/file");
-        prop_assert!(!grant.implies(&jmp_security::Permission::file(sibling, actions)));
+        assert!(!grant.implies(&jmp_security::Permission::file(sibling, actions)));
     }
+}
 
-    #[test]
-    fn action_superset_is_monotone(
-        a in arb_file_actions(),
-        b in arb_file_actions(),
-        path in arb_path_components(),
-    ) {
-        let path = format!("/{}", path.join("/"));
+#[test]
+fn action_superset_is_monotone() {
+    let mut g = Gen::new(0xB0B);
+    for _ in 0..256 {
+        let path = format!("/{}", g.path_components());
+        let a = g.file_actions();
+        let b = g.file_actions();
         let union = a.union(b);
         let grant = jmp_security::Permission::file(&path, union);
-        prop_assert!(grant.implies(&jmp_security::Permission::file(&path, a)));
-        prop_assert!(grant.implies(&jmp_security::Permission::file(&path, b)));
+        assert!(grant.implies(&jmp_security::Permission::file(&path, a)));
+        assert!(grant.implies(&jmp_security::Permission::file(&path, b)));
         // And implication requires containment:
         let grant_a = jmp_security::Permission::file(&path, a);
         let demand_b = jmp_security::Permission::file(&path, b);
-        prop_assert_eq!(grant_a.implies(&demand_b), a.contains(b));
+        assert_eq!(grant_a.implies(&demand_b), a.contains(b));
     }
+}
 
-    #[test]
-    fn all_permission_implies_any_file(path in arb_path_components(), actions in arb_file_actions()) {
-        let p = jmp_security::Permission::file(format!("/{}", path.join("/")), actions);
-        prop_assert!(jmp_security::Permission::All.implies(&p));
-        prop_assert!(p.implies(&p), "reflexivity");
+#[test]
+fn all_permission_implies_any_file() {
+    let mut g = Gen::new(0xCAFE);
+    for _ in 0..256 {
+        let p =
+            jmp_security::Permission::file(format!("/{}", g.path_components()), g.file_actions());
+        assert!(jmp_security::Permission::All.implies(&p));
+        assert!(p.implies(&p), "reflexivity");
     }
 }
 
@@ -73,50 +118,45 @@ proptest! {
 // Policy round-trip
 // ---------------------------------------------------------------------------
 
-fn arb_permission() -> impl Strategy<Value = jmp_security::Permission> {
-    prop_oneof![
-        Just(jmp_security::Permission::All),
-        (arb_path_components(), arb_file_actions()).prop_filter_map(
-            "non-empty actions",
-            |(p, a)| {
-                if a == jmp_security::FileActions::default() {
-                    None
-                } else {
-                    Some(jmp_security::Permission::file(
-                        format!("/{}", p.join("/")),
-                        a,
-                    ))
-                }
+fn gen_permission(g: &mut Gen) -> jmp_security::Permission {
+    match g.below(5) {
+        0 => jmp_security::Permission::All,
+        1 => {
+            // Non-empty action set.
+            let mut actions = g.file_actions();
+            if actions == jmp_security::FileActions::default() {
+                actions.read = true;
             }
-        ),
-        "[a-z]{1,8}".prop_map(jmp_security::Permission::runtime),
-        "[a-z]{1,8}".prop_map(jmp_security::Permission::awt),
-        "[a-z]{1,8}".prop_map(jmp_security::Permission::user),
-    ]
+            jmp_security::Permission::file(format!("/{}", g.path_components()), actions)
+        }
+        2 => jmp_security::Permission::runtime(g.word(8)),
+        3 => jmp_security::Permission::awt(g.word(8)),
+        _ => jmp_security::Permission::user(g.word(8)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn policy_display_reparse_roundtrip(
-        grants in prop::collection::vec(
-            (prop_oneof![
-                "[a-z]{1,8}".prop_map(jmp_security::GrantTarget::User),
-                "[a-z/]{1,12}".prop_map(|p| jmp_security::GrantTarget::Code(
-                    jmp_security::CodeSource::local(format!("file:/{p}"))
-                )),
-            ],
-            prop::collection::vec(arb_permission(), 0..4)),
-            0..5
-        )
-    ) {
+#[test]
+fn policy_display_reparse_roundtrip() {
+    let mut g = Gen::new(0xD00D);
+    for _ in 0..128 {
         let mut policy = jmp_security::Policy::new();
-        for (target, permissions) in grants {
-            policy.add_grant(jmp_security::Grant { target, permissions });
+        for _ in 0..g.below(5) {
+            let target = if g.bool() {
+                jmp_security::GrantTarget::User(g.word(8))
+            } else {
+                jmp_security::GrantTarget::Code(jmp_security::CodeSource::local(format!(
+                    "file:/{}",
+                    g.path_components()
+                )))
+            };
+            let permissions = (0..g.below(4)).map(|_| gen_permission(&mut g)).collect();
+            policy.add_grant(jmp_security::Grant {
+                target,
+                permissions,
+            });
         }
         let reparsed = jmp_security::Policy::parse(&policy.to_string()).unwrap();
-        prop_assert_eq!(policy, reparsed);
+        assert_eq!(policy, reparsed);
     }
 }
 
@@ -124,25 +164,43 @@ proptest! {
 // Paths
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_pathish(g: &mut Gen, max_len: u64, alphabet: &[u8]) -> String {
+    let len = g.below(max_len + 1);
+    (0..len)
+        .map(|_| char::from(alphabet[g.below(alphabet.len() as u64) as usize]))
+        .collect()
+}
 
-    #[test]
-    fn normalize_is_idempotent(raw in "[a-z/.]{0,30}") {
+#[test]
+fn normalize_is_idempotent() {
+    let mut g = Gen::new(0x9A7);
+    let alphabet: Vec<u8> = (b'a'..=b'e').chain([b'/', b'.']).collect();
+    for _ in 0..512 {
+        let raw = gen_pathish(&mut g, 30, &alphabet);
         let once = jmp_vfs::normalize(&raw);
-        prop_assert_eq!(jmp_vfs::normalize(&once), once.clone());
-        prop_assert!(once.starts_with('/'));
-        prop_assert!(!once.contains("//"));
-        prop_assert!(!once.split('/').any(|c| c == "." || c == ".."));
+        assert_eq!(jmp_vfs::normalize(&once), once, "input {raw:?}");
+        assert!(once.starts_with('/'));
+        assert!(!once.contains("//"));
+        assert!(!once.split('/').any(|c| c == "." || c == ".."));
     }
+}
 
-    #[test]
-    fn join_of_normalized_is_stable(base in "[a-z/]{0,16}", rel in "[a-z/.]{0,16}") {
-        let base = jmp_vfs::normalize(&base);
+#[test]
+fn join_of_normalized_is_stable() {
+    let mut g = Gen::new(0x901E);
+    let base_alphabet: Vec<u8> = (b'a'..=b'e').chain([b'/']).collect();
+    let rel_alphabet: Vec<u8> = (b'a'..=b'e').chain([b'/', b'.']).collect();
+    for _ in 0..512 {
+        let base = jmp_vfs::normalize(&gen_pathish(&mut g, 16, &base_alphabet));
+        let rel = gen_pathish(&mut g, 16, &rel_alphabet);
         let joined = jmp_vfs::join(&base, &rel);
-        prop_assert_eq!(jmp_vfs::normalize(&joined), joined.clone());
+        assert_eq!(
+            jmp_vfs::normalize(&joined),
+            joined,
+            "base {base:?} rel {rel:?}"
+        );
         // Joining an absolute path ignores the base entirely.
-        prop_assert_eq!(jmp_vfs::join(&base, &joined), joined);
+        assert_eq!(jmp_vfs::join(&base, &joined), joined);
     }
 }
 
@@ -150,56 +208,42 @@ proptest! {
 // VFS vs. a model
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum FsOp {
-    Write(u8, Vec<u8>),
-    Append(u8, Vec<u8>),
-    Delete(u8),
-    Rename(u8, u8),
-}
-
-fn arb_fs_op() -> impl Strategy<Value = FsOp> {
-    prop_oneof![
-        (0u8..8, prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(f, d)| FsOp::Write(f, d)),
-        (0u8..8, prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(f, d)| FsOp::Append(f, d)),
-        (0u8..8).prop_map(FsOp::Delete),
-        (0u8..8, 0u8..8).prop_map(|(a, b)| FsOp::Rename(a, b)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn vfs_matches_a_hashmap_model(ops in prop::collection::vec(arb_fs_op(), 0..40)) {
-        use std::collections::HashMap;
+#[test]
+fn vfs_matches_a_hashmap_model() {
+    let mut g = Gen::new(0xF5);
+    for _ in 0..128 {
         let fs = jmp_vfs::Vfs::new();
         let root = jmp_security::UserId(0);
         fs.mkdirs("/m", root).unwrap();
         let mut model: HashMap<String, Vec<u8>> = HashMap::new();
-        let path = |f: u8| format!("/m/f{f}");
+        let path = |f: u64| format!("/m/f{f}");
 
-        for op in ops {
-            match op {
-                FsOp::Write(f, data) => {
+        for _ in 0..g.below(40) {
+            match g.below(4) {
+                0 => {
+                    let f = g.below(8);
+                    let data: Vec<u8> = (0..g.below(16)).map(|_| g.next_u64() as u8).collect();
                     fs.write(&path(f), &data, root).unwrap();
                     model.insert(path(f), data);
                 }
-                FsOp::Append(f, data) => {
+                1 => {
+                    let f = g.below(8);
+                    let data: Vec<u8> = (0..g.below(16)).map(|_| g.next_u64() as u8).collect();
                     fs.append(&path(f), &data, root).unwrap();
                     model.entry(path(f)).or_default().extend_from_slice(&data);
                 }
-                FsOp::Delete(f) => {
+                2 => {
+                    let f = g.below(8);
                     let fs_result = fs.remove(&path(f), root).is_ok();
                     let model_result = model.remove(&path(f)).is_some();
-                    prop_assert_eq!(fs_result, model_result);
+                    assert_eq!(fs_result, model_result);
                 }
-                FsOp::Rename(a, b) => {
+                _ => {
+                    let (a, b) = (g.below(8), g.below(8));
                     let fs_result = fs.rename(&path(a), &path(b), root).is_ok();
-                    let can = model.contains_key(&path(a))
-                        && !model.contains_key(&path(b))
-                        && a != b;
-                    prop_assert_eq!(fs_result, can);
+                    let can =
+                        model.contains_key(&path(a)) && !model.contains_key(&path(b)) && a != b;
+                    assert_eq!(fs_result, can);
                     if can {
                         let data = model.remove(&path(a)).unwrap();
                         model.insert(path(b), data);
@@ -208,15 +252,15 @@ proptest! {
             }
         }
         // Final state equivalence.
-        for f in 0u8..8 {
+        for f in 0u64..8 {
             let p = path(f);
             match model.get(&p) {
-                Some(expected) => prop_assert_eq!(&fs.read(&p, root).unwrap(), expected),
-                None => prop_assert!(!fs.exists(&p, root)),
+                Some(expected) => assert_eq!(&fs.read(&p, root).unwrap(), expected),
+                None => assert!(!fs.exists(&p, root)),
             }
         }
         let listed = fs.list_dir("/m", root).unwrap().len();
-        prop_assert_eq!(listed, model.len());
+        assert_eq!(listed, model.len());
     }
 }
 
@@ -224,42 +268,39 @@ proptest! {
 // Thread-group accounting
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    #[allow(clippy::explicit_counter_loop)] // next_id doubles as thread-id source
-    fn group_counts_are_consistent(ops in prop::collection::vec((0u8..3, any::<bool>()), 0..30)) {
+#[test]
+fn group_counts_are_consistent() {
+    let mut g = Gen::new(0x6E0);
+    for _ in 0..128 {
         let root = jmp_vm::ThreadGroup::new_root("root");
         let children = [
             root.new_child("a").unwrap(),
             root.new_child("b").unwrap(),
             root.new_child("a/x").unwrap(),
         ];
-        let mut live: Vec<(u8, bool, jmp_vm::ThreadId)> = Vec::new();
-        let mut next_id = 0u64;
-        for (which, daemon) in ops {
-            let group = &children[which as usize];
+        let mut live: Vec<(usize, bool, jmp_vm::ThreadId)> = Vec::new();
+        for next_id in 0..g.below(30) {
+            let which = g.below(3) as usize;
+            let daemon = g.bool();
             let id = jmp_vm::ThreadId(next_id);
-            next_id += 1;
-            group.register_thread(id, daemon).unwrap();
+            children[which].register_thread(id, daemon).unwrap();
             live.push((which, daemon, id));
             // Occasionally retire the oldest.
             if live.len() > 4 {
                 let (w, d, id) = live.remove(0);
-                children[w as usize].deregister_thread(id, d);
+                children[w].deregister_thread(id, d);
             }
         }
         // Invariant: the root's counts equal the sum over the live set.
         let nondaemon = live.iter().filter(|(_, d, _)| !*d).count();
-        prop_assert_eq!(root.nondaemon_count(), nondaemon);
-        prop_assert_eq!(root.thread_count(), live.len());
+        assert_eq!(root.nondaemon_count(), nondaemon);
+        assert_eq!(root.thread_count(), live.len());
         // Drain; counts return to zero.
         for (w, d, id) in live {
-            children[w as usize].deregister_thread(id, d);
+            children[w].deregister_thread(id, d);
         }
-        prop_assert_eq!(root.nondaemon_count(), 0);
-        prop_assert_eq!(root.thread_count(), 0);
+        assert_eq!(root.nondaemon_count(), 0);
+        assert_eq!(root.thread_count(), 0);
     }
 }
 
@@ -267,26 +308,24 @@ proptest! {
 // Shell parser: rendered commands re-parse to the same structure
 // ---------------------------------------------------------------------------
 
-fn arb_word() -> impl Strategy<Value = String> {
-    "[a-z0-9._/-]{1,8}"
+fn gen_word(g: &mut Gen) -> String {
+    let alphabet = b"abcdefgh0123._/-";
+    let len = 1 + g.below(8);
+    (0..len)
+        .map(|_| char::from(alphabet[g.below(alphabet.len() as u64) as usize]))
+        .collect()
 }
 
-fn arb_stage() -> impl Strategy<Value = jmp_shell::parser::Stage> {
-    (
-        arb_word(),
-        prop::collection::vec(arb_word(), 0..3),
-        prop::option::of(arb_word()),
-        prop::option::of((arb_word(), any::<bool>())),
-    )
-        .prop_map(
-            |(program, args, stdin_from, redirect)| jmp_shell::parser::Stage {
-                program,
-                args,
-                stdin_from,
-                stdout_to: redirect
-                    .map(|(path, append)| jmp_shell::parser::Redirect { path, append }),
-            },
-        )
+fn gen_stage(g: &mut Gen) -> jmp_shell::parser::Stage {
+    jmp_shell::parser::Stage {
+        program: gen_word(g),
+        args: (0..g.below(3)).map(|_| gen_word(g)).collect(),
+        stdin_from: g.bool().then(|| gen_word(g)),
+        stdout_to: g.bool().then(|| jmp_shell::parser::Redirect {
+            path: gen_word(g),
+            append: g.bool(),
+        }),
+    }
 }
 
 fn render_stage(stage: &jmp_shell::parser::Stage) -> String {
@@ -306,23 +345,25 @@ fn render_stage(stage: &jmp_shell::parser::Stage) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn rendered_commands_reparse_identically(
-        stages in prop::collection::vec(arb_stage(), 1..4),
-        background in any::<bool>(),
-    ) {
+#[test]
+fn rendered_commands_reparse_identically() {
+    let mut g = Gen::new(0x5E11);
+    for _ in 0..256 {
+        let stages: Vec<_> = (0..1 + g.below(3)).map(|_| gen_stage(&mut g)).collect();
+        let background = g.bool();
         let line = format!(
             "{}{}",
-            stages.iter().map(render_stage).collect::<Vec<_>>().join(" | "),
+            stages
+                .iter()
+                .map(render_stage)
+                .collect::<Vec<_>>()
+                .join(" | "),
             if background { " &" } else { "" }
         );
         let parsed = jmp_shell::parser::parse_line(&line).unwrap();
-        prop_assert_eq!(parsed.len(), 1);
-        prop_assert_eq!(&parsed[0].stages, &stages);
-        prop_assert_eq!(parsed[0].background, background);
+        assert_eq!(parsed.len(), 1, "line {line:?}");
+        assert_eq!(&parsed[0].stages, &stages, "line {line:?}");
+        assert_eq!(parsed[0].background, background);
     }
 }
 
@@ -378,24 +419,33 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (-1000i64..1000).prop_map(Expr::Const);
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Expr::Neg(Box::new(a))),
-        ]
-    })
+fn gen_expr(g: &mut Gen, depth: u64) -> Expr {
+    if depth == 0 || g.below(4) == 0 {
+        return Expr::Const(g.i64_in(-1000, 1000));
+    }
+    match g.below(4) {
+        0 => Expr::Add(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        1 => Expr::Sub(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        2 => Expr::Mul(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        _ => Expr::Neg(Box::new(gen_expr(g, depth - 1))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn compiled_expressions_evaluate_like_the_model(expr in arb_expr()) {
-        use jmp_vm::interp::{ClassImage, Insn, Interpreter, MethodImage, NoNatives, Value};
+#[test]
+fn compiled_expressions_evaluate_like_the_model() {
+    use jmp_vm::interp::{ClassImage, Insn, Interpreter, MethodImage, NoNatives, Value};
+    let mut g = Gen::new(0xE47);
+    for _ in 0..256 {
+        let expr = gen_expr(&mut g, 5);
         let mut code = Vec::new();
         expr.compile(&mut code);
         code.push(Insn::ReturnValue);
@@ -411,8 +461,9 @@ proptest! {
         // Anything the compiler emits must verify...
         jmp_vm::interp::verify(&image).unwrap();
         // ...and evaluate exactly like the model (wrapping semantics).
-        let interp = Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives)).unwrap();
-        prop_assert_eq!(interp.run("main", vec![]).unwrap(), Value::Int(expr.eval()));
+        let interp =
+            Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives)).unwrap();
+        assert_eq!(interp.run("main", vec![]).unwrap(), Value::Int(expr.eval()));
     }
 }
 
@@ -455,24 +506,23 @@ fn build_insn(spec: InsnSpec, code_len: usize, locals: u8) -> jmp_vm::interp::In
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// The verifier's contract: if it accepts an image, interpretation must
-    /// never fault on *machine-safety* grounds (stack underflow, bad slot,
-    /// falling off the code). Resource traps (fuel) are fine; type
-    /// mismatches (int ops on strings) trap safely and are also fine — what
-    /// must never happen is an internal panic or an underflow trap.
-    #[test]
-    fn verified_images_never_underflow(
-        specs in prop::collection::vec((any::<u8>(), -8i64..8, any::<u16>()), 1..14)
-    ) {
-        use jmp_vm::interp::{ClassImage, Interpreter, MethodImage, NoNatives};
+/// The verifier's contract: if it accepts an image, interpretation must
+/// never fault on *machine-safety* grounds (stack underflow, bad slot,
+/// falling off the code). Resource traps (fuel) are fine; type
+/// mismatches (int ops on strings) trap safely and are also fine — what
+/// must never happen is an internal panic or an underflow trap.
+#[test]
+fn verified_images_never_underflow() {
+    use jmp_vm::interp::{ClassImage, Interpreter, MethodImage, NoNatives};
+    let mut g = Gen::new(0x50F7);
+    for _ in 0..512 {
         let locals = 2u8;
-        let len = specs.len();
-        let code: Vec<_> = specs
-            .into_iter()
-            .map(|spec| build_insn(spec, len, locals))
+        let len = 1 + g.below(13) as usize;
+        let code: Vec<_> = (0..len)
+            .map(|_| {
+                let spec: InsnSpec = (g.next_u64() as u8, g.i64_in(-8, 8), g.next_u64() as u16);
+                build_insn(spec, len, locals)
+            })
             .collect();
         let image = ClassImage {
             name: "Fuzz".into(),
@@ -484,18 +534,19 @@ proptest! {
             }],
         };
         if jmp_vm::interp::verify(&image).is_ok() {
-            let interp = Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives))
-                .unwrap()
-                .with_fuel(5_000);
+            let interp =
+                Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives))
+                    .unwrap()
+                    .with_fuel(5_000);
             match interp.run("main", vec![]) {
                 Ok(_) => {}
                 Err(jmp_vm::VmError::Trap { message }) => {
-                    prop_assert!(
+                    assert!(
                         !message.contains("underflow") && !message.contains("empty stack"),
-                        "verified code must not underflow: {}", message
+                        "verified code must not underflow: {message}"
                     );
                 }
-                Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+                Err(other) => panic!("unexpected error class: {other}"),
             }
         }
     }

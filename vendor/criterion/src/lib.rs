@@ -1,0 +1,337 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a small wall-clock harness exposing the criterion API surface the
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`, `bench_function`/`bench_with_input`, and
+//! `Bencher::{iter, iter_batched}`. Each benchmark calibrates an iteration
+//! count, takes timed samples, and prints mean/median per-iteration times to
+//! stdout in a stable `name ... time: [..]` format.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark (after calibration).
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+/// Wall-clock budget for the calibration phase.
+const TARGET_CALIBRATE: Duration = Duration::from_millis(20);
+
+/// The benchmark driver (a stub of criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, 10, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares throughput for reporting (recorded but not rendered by the
+    /// stub beyond a note line).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        match throughput {
+            Throughput::Bytes(n) => println!("   throughput: {n} bytes/iter"),
+            Throughput::Elements(n) => println!("   throughput: {n} elements/iter"),
+        }
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility; the stub
+    /// uses a fixed internal budget).
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.text), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.text),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> BenchmarkId {
+        BenchmarkId {
+            text: text.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> BenchmarkId {
+        BenchmarkId { text }
+    }
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: one setup per measured iteration.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Each batch is exactly one iteration.
+    PerIteration,
+}
+
+enum Mode {
+    Calibrate { spent: Duration },
+    Measure { per_iter: Vec<Duration> },
+}
+
+/// Passed to each benchmark closure; records timing for the routine.
+pub struct Bencher {
+    iters: u64,
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.record(start.elapsed(), self.iters);
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` input per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.record(total, self.iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        match &mut self.mode {
+            Mode::Calibrate { spent } => *spent += elapsed,
+            Mode::Measure { per_iter } => {
+                per_iter.push(elapsed / u32::try_from(iters.max(1)).unwrap_or(u32::MAX));
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate: grow the iteration count until one sample costs enough to
+    // time reliably, or the calibration budget is spent.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            mode: Mode::Calibrate {
+                spent: Duration::ZERO,
+            },
+        };
+        f(&mut b);
+        let Mode::Calibrate { spent } = b.mode else {
+            unreachable!()
+        };
+        if spent >= TARGET_CALIBRATE || iters >= 1 << 20 {
+            let per_iter = spent.checked_div(u32::try_from(iters).unwrap_or(u32::MAX));
+            let per_iter = per_iter
+                .unwrap_or(Duration::ZERO)
+                .max(Duration::from_nanos(1));
+            let budget = TARGET_MEASURE.div_duration_f64(per_iter) / samples.max(1) as f64;
+            iters = (budget as u64).clamp(1, 1 << 24);
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut b = Bencher {
+        iters,
+        mode: Mode::Measure {
+            per_iter: Vec::with_capacity(samples),
+        },
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let Mode::Measure { mut per_iter } = b.mode else {
+        unreachable!()
+    };
+    per_iter.sort();
+    let mean: Duration =
+        per_iter.iter().sum::<Duration>() / u32::try_from(per_iter.len().max(1)).unwrap();
+    let median = per_iter[per_iter.len() / 2];
+    let low = per_iter[0];
+    let high = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<50} time: [{} {} {}]  (mean {}, {} samples x {iters} iters)",
+        fmt_duration(low),
+        fmt_duration(median),
+        fmt_duration(high),
+        fmt_duration(mean),
+        per_iter.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("counting", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub2");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! Generates impls of the vendored serde's [`Serialize`]/[`Deserialize`]
+//! traits (the simplified value-tree model) without depending on `syn` or
+//! `quote`: the item is parsed with a small hand-rolled scanner that only
+//! understands the shapes this workspace actually derives on — non-generic
+//! structs with named or tuple fields, and enums whose variants are unit,
+//! tuple, or struct-like. Attributes (including `#[serde(...)]`) are
+//! ignored; the encoding matches real serde's defaults (struct → map,
+//! enum → externally-tagged variant).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored serde's `Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..*n {
+                        items.push_str(&format!(
+                            "__seq.push(::serde::Serialize::serialize_value(&self.{i}));"
+                        ));
+                    }
+                    format!(
+                        "{{ let mut __seq: ::std::vec::Vec<::serde::Value> = \
+                         ::std::vec::Vec::new(); {items} ::serde::Value::Seq(__seq) }}"
+                    )
+                }
+                Fields::Named(names) => {
+                    let mut items = String::new();
+                    for f in names {
+                        items.push_str(&format!(
+                            "__m.push((::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::serialize_value(&self.{f})));"
+                        ));
+                    }
+                    format!(
+                        "{{ let mut __m: ::std::vec::Vec<(::std::string::String, \
+                         ::serde::Value)> = ::std::vec::Vec::new(); {items} \
+                         ::serde::Value::Map(__m) }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pattern = binds.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let mut items = String::new();
+                            for b in &binds {
+                                items.push_str(&format!(
+                                    "__seq.push(::serde::Serialize::serialize_value({b}));"
+                                ));
+                            }
+                            format!(
+                                "{{ let mut __seq: ::std::vec::Vec<::serde::Value> = \
+                                 ::std::vec::Vec::new(); {items} \
+                                 ::serde::Value::Seq(__seq) }}"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pattern}) => {{ \
+                             let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new(); \
+                             __m.push((::std::string::String::from(\"{vn}\"), {inner})); \
+                             ::serde::Value::Map(__m) }},"
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let pattern = names.join(", ");
+                        let mut items = String::new();
+                        for f in names {
+                            items.push_str(&format!(
+                                "__fm.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize_value({f})));"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pattern} }} => {{ \
+                             let mut __fm: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new(); {items} \
+                             let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new(); \
+                             __m.push((::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(__fm))); \
+                             ::serde::Value::Map(__m) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn serialize_value(&self) -> ::serde::Value {{ \
+                 match self {{ {arms} }} }} }}"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored serde's `Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(__value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..*n {
+                        items.push_str(&format!(
+                            "::serde::Deserialize::deserialize_value(&__seq[{i}])?,"
+                        ));
+                    }
+                    format!(
+                        "{{ let __seq = __value.as_seq().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected sequence for `{name}`\"))?; \
+                         if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong tuple length for `{name}`\")); }} \
+                         ::std::result::Result::Ok({name}({items})) }}"
+                    )
+                }
+                Fields::Named(names) => {
+                    let mut items = String::new();
+                    for f in names {
+                        items.push_str(&format!("{f}: ::serde::field_from_map(__m, \"{f}\")?,"));
+                    }
+                    format!(
+                        "{{ let __m = __value.as_map().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected map for `{name}`\"))?; \
+                         ::std::result::Result::Ok({name} {{ {items} }}) }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                        // Also accept the map form {"Variant": null}.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            items.push_str(&format!(
+                                "::serde::Deserialize::deserialize_value(&__seq[{i}])?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __seq = __inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\
+                             \"expected sequence for variant `{vn}`\"))?; \
+                             if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\
+                             \"wrong tuple length for variant `{vn}`\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}({items})) }},"
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let mut items = String::new();
+                        for f in names {
+                            items.push_str(&format!(
+                                "{f}: ::serde::field_from_map(__fm, \"{f}\")?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __fm = __inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\
+                             \"expected map for variant `{vn}`\"))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{ {items} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ \
+                 match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))) }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __inner) = &__entries[0]; \
+                 match __tag.as_str() {{ {tagged_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))) }} }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected variant of `{name}`, got {{__other:?}}\"))) \
+                 }} }} }}"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item scanner
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (`{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_commas(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("expected enum body for `{name}`");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("cannot derive for item kind `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            return;
+        }
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1; // '[...]'
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Counts top-level comma-separated entries (angle brackets tracked so
+/// `HashMap<String, V>` counts as one entry).
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle += 1;
+                    saw_tokens_since_comma = true;
+                }
+                '>' => {
+                    angle -= 1;
+                    saw_tokens_since_comma = true;
+                }
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                }
+                _ => saw_tokens_since_comma = true,
+            },
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        names.push(name);
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Fields::Named(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_commas(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
