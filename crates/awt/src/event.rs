@@ -44,7 +44,9 @@ pub enum EventKind {
 /// An event as delivered to listeners: where it happened plus what happened.
 ///
 /// Carries the injection timestamp so dispatch latency — the quantity
-/// experiment E2 (Fig 2 vs Fig 4) measures — can be observed at delivery.
+/// experiment E2 (Fig 2 vs Fig 4) measures — can be observed at delivery,
+/// and the creating thread's trace context so dispatch stays causally
+/// attached to whatever posted the event.
 #[derive(Debug, Clone)]
 pub struct Event {
     /// The window the event targets.
@@ -55,16 +57,22 @@ pub struct Event {
     pub kind: EventKind,
     /// When the display server accepted the input.
     pub injected_at: Instant,
+    /// The trace context of the thread that created the event, if it was
+    /// inside a traced request (an application posting to its own queue).
+    /// Raw display input starts untraced.
+    pub trace: Option<jmp_obs::TraceCtx>,
 }
 
 impl Event {
-    /// Creates an event stamped now.
+    /// Creates an event stamped now, carrying the creating thread's trace
+    /// context.
     pub fn new(window: WindowId, component: Option<ComponentId>, kind: EventKind) -> Event {
         Event {
             window,
             component,
             kind,
             injected_at: Instant::now(),
+            trace: jmp_obs::trace::current(),
         }
     }
 }

@@ -58,6 +58,18 @@ impl EventQueue {
     /// [`jmp_vm::VmError::Interrupted`] if the calling VM thread is interrupted —
     /// how a dispatcher thread gets unstuck at application teardown.
     pub fn pop(&self) -> Result<Option<Event>> {
+        self.pop_observed(|| {})
+    }
+
+    /// [`EventQueue::pop`], invoking `beat` on every wait iteration
+    /// (roughly every `BLOCK_POLL`). Dispatcher threads pass their watchdog
+    /// heartbeat here, so a dispatcher *waiting for work* keeps beating and
+    /// only one stuck inside a listener callback goes silent.
+    ///
+    /// # Errors
+    ///
+    /// As [`EventQueue::pop`].
+    pub fn pop_observed(&self, beat: impl Fn()) -> Result<Option<Event>> {
         let (lock, cvar) = &*self.state;
         let mut state = lock.lock();
         loop {
@@ -69,6 +81,7 @@ impl EventQueue {
                 return Ok(None);
             }
             check_interrupt()?;
+            beat();
             cvar.wait_for(&mut state, BLOCK_POLL);
         }
     }

@@ -284,16 +284,22 @@ impl Toolkit {
     }
 
     fn input_loop(&self, receiver: &Receiver<Event>) {
+        // The X-connection thread is a system helper: watchdogged so a hang
+        // in routing is as visible as a hung dispatcher.
+        let watchdogs = self.inner.vm.obs().watchdogs().clone();
+        let heartbeat = watchdogs.register("awt-input", None);
         loop {
             if check_interrupt().is_err() {
-                return;
+                break;
             }
+            heartbeat.beat();
             match receiver.recv_timeout(BLOCK_POLL) {
                 Ok(event) => self.route(event),
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
             }
         }
+        watchdogs.deregister("awt-input");
     }
 
     /// Routes one display event to the responsible queue: "when an event
@@ -329,25 +335,36 @@ impl Toolkit {
             DispatchMode::Legacy => "awt-dispatch".to_string(),
             DispatchMode::PerApplication => format!("awt-dispatch-{queue_tag}"),
         };
+        let watchdog_name = name.clone();
         let thread = self
             .inner
             .vm
             .thread_builder()
             .name(name)
             .daemon(false)
-            .spawn(move |_vm| toolkit.dispatch_loop(&queue))?;
+            .spawn(move |_vm| toolkit.dispatch_loop(&queue, &watchdog_name, queue_tag))?;
         self.inner.dispatchers.lock().insert(queue_tag, thread);
         Ok(())
     }
 
-    fn dispatch_loop(&self, queue: &EventQueue) {
+    fn dispatch_loop(&self, queue: &EventQueue, watchdog_name: &str, queue_tag: u64) {
+        // Heartbeat discipline: beat on every wait iteration (via
+        // `pop_observed`) and before every delivery, so only a dispatcher
+        // stuck *inside a listener* goes silent past the stall threshold.
+        let watchdogs = self.inner.vm.obs().watchdogs().clone();
+        let app = (queue_tag != LEGACY_TAG).then_some(queue_tag);
+        let heartbeat = watchdogs.register(watchdog_name, app);
         loop {
-            match queue.pop() {
-                Ok(Some(event)) => self.dispatch(event),
-                Ok(None) => return,
-                Err(_) => return, // interrupted: application teardown
+            match queue.pop_observed(|| heartbeat.beat()) {
+                Ok(Some(event)) => {
+                    heartbeat.beat();
+                    self.dispatch(event);
+                }
+                Ok(None) => break,
+                Err(_) => break, // interrupted: application teardown
             }
         }
+        watchdogs.deregister(watchdog_name);
     }
 
     /// Delivers one event to its listeners (on the calling dispatcher
@@ -356,6 +373,20 @@ impl Toolkit {
         let Some(window) = self.inner.windows.read().get(&event.window).cloned() else {
             return;
         };
+        // Dispatch runs under the event's trace context when it carries one
+        // (the thread that posted the event), else under the dispatcher's
+        // own inherited context; the span makes the enqueue→dispatch hop
+        // visible either way.
+        let prev_trace = match event.trace {
+            Some(ctx) => jmp_obs::trace::swap(Some(ctx)),
+            None => jmp_obs::trace::current(),
+        };
+        let span = self
+            .inner
+            .vm
+            .obs()
+            .recorder()
+            .begin(jmp_obs::SpanCategory::Dispatch, format!("dispatch:{event}"));
         match (&event.kind, event.component) {
             (EventKind::WindowClosing, _) => {
                 let listeners = window.closing_listeners.read().clone();
@@ -391,6 +422,8 @@ impl Toolkit {
                 observer(&event, window.tag, latency);
             }
         }
+        drop(span);
+        jmp_obs::trace::install(prev_trace);
     }
 
     /// Waits until `predicate` is true or `timeout` elapses, polling — a

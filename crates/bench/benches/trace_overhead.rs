@@ -1,0 +1,74 @@
+//! A4: flight-recorder overhead — what a span site costs with the recorder
+//! disabled (the answer must be "one relaxed atomic load"), what a live
+//! ring push costs, and what tracing adds to the instrumented
+//! `Vm::check_permission` chokepoint on top of the PR 1 baseline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_obs::{trace, FlightRecorder, SpanCategory, TraceCtx};
+use jmp_security::{CodeSource, Permission, ProtectionDomain};
+use jmp_vm::{stack, Vm};
+
+/// A span site with the recorder disabled vs enabled: `record_latency`
+/// under an installed trace context, and the disabled `begin` fast path.
+fn bench_span_site(c: &mut Criterion) {
+    let enabled = FlightRecorder::new(2048);
+    let disabled = FlightRecorder::new(2048);
+    disabled.set_enabled(false);
+    trace::install(Some(TraceCtx {
+        trace_id: 1,
+        parent_span: 1,
+    }));
+    let mut group = c.benchmark_group("A4/span_site");
+    group.bench_function("record_latency_enabled", |b| {
+        b.iter(|| enabled.record_latency(SpanCategory::Check, "bench", Some(1), 250));
+    });
+    group.bench_function("record_latency_disabled", |b| {
+        b.iter(|| disabled.record_latency(SpanCategory::Check, "bench", Some(1), 250));
+    });
+    group.bench_function("begin_disabled", |b| {
+        b.iter(|| {
+            disabled
+                .begin(SpanCategory::Exec, "bench".to_string())
+                .is_none()
+        });
+    });
+    group.finish();
+    trace::clear();
+}
+
+/// The full §5 chokepoint with the recorder on vs off. The off-path must
+/// stay within ~10% of the PR 1 baseline (`O1/granted_check` in
+/// `obs_overhead.rs`): an untraced granted check pays one extra relaxed
+/// atomic load.
+fn bench_traced_check(c: &mut Criterion) {
+    let vm = Vm::new();
+    let demand = Permission::runtime("benchPermission");
+    let trusted = Arc::new(ProtectionDomain::new(
+        CodeSource::local("file:/sys/bench"),
+        jmp_security::PermissionCollection::all_permissions(),
+    ));
+    let mut group = c.benchmark_group("A4/granted_check");
+    trace::install(Some(TraceCtx {
+        trace_id: 1,
+        parent_span: 1,
+    }));
+    vm.obs().recorder().set_enabled(true);
+    group.bench_function("recorder_on", |b| {
+        stack::call_as("Bench", Arc::clone(&trusted), || {
+            b.iter(|| vm.check_permission(&demand).is_ok());
+        });
+    });
+    vm.obs().recorder().set_enabled(false);
+    group.bench_function("recorder_off", |b| {
+        stack::call_as("Bench", Arc::clone(&trusted), || {
+            b.iter(|| vm.check_permission(&demand).is_ok());
+        });
+    });
+    group.finish();
+    trace::clear();
+}
+
+criterion_group!(benches, bench_span_site, bench_traced_check);
+criterion_main!(benches);

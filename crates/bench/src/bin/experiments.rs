@@ -4,6 +4,7 @@
 //! experiments            # run everything
 //! experiments e2 e6      # run selected experiments
 //! experiments --json out.json e5a
+//! experiments --chrome-trace trace.json e12
 //! ```
 
 use std::io::Write;
@@ -17,6 +18,16 @@ fn main() {
             json_path = Some(args.remove(pos));
         } else {
             eprintln!("--json needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let mut chrome_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
+        args.remove(pos);
+        if pos < args.len() {
+            chrome_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--chrome-trace needs a file path");
             std::process::exit(2);
         }
     }
@@ -64,6 +75,14 @@ fn main() {
         let json = serde_json::to_string_pretty(&run).expect("tables serialize");
         let mut file = std::fs::File::create(&path).expect("create json output");
         file.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = chrome_path {
+        // A Chrome trace_event export of the scripted trace scenario —
+        // loadable in chrome://tracing or Perfetto.
+        let json = jmp_bench::exp_trace::chrome_trace_sample();
+        std::fs::write(&path, json).expect("write chrome trace output");
         eprintln!("wrote {path}");
     }
 }

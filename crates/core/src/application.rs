@@ -504,6 +504,13 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
             let main_app = app.clone();
             let args = spec.args;
             let class_name = spec.class_name;
+            // Causal root: while this guard lives, the main thread spawned
+            // below inherits the exec span's child context, so everything the
+            // application goes on to do hangs off this exec.
+            let exec_span = hub.recorder().begin(
+                jmp_obs::SpanCategory::Exec,
+                format!("exec:{class_name}#{}", id.0),
+            );
             let spawned = inner_rt
                 .vm
                 .thread_builder()
@@ -516,12 +523,23 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
                         .load_class(&class_name)
                         .and_then(|class| class.run_main(args));
                     if let Err(err) = outcome {
-                        // Uncaught exceptions go to the application's stderr.
+                        // Uncaught exceptions go to the application's stderr…
                         let _ = main_app
                             .stderr()
                             .println(&format!("Exception in thread \"main\": {err}"));
+                        // …and onto the audit trail with the flight record at
+                        // the moment of the fault.
+                        if let Some(rt) = main_app.runtime() {
+                            let user = main_app.user();
+                            rt.vm().obs().record_app_fault(
+                                Some(main_app.id().0),
+                                Some(user.name()),
+                                &err.to_string(),
+                            );
+                        }
                     }
                 });
+            drop(exec_span);
             if let Err(err) = spawned {
                 // Roll the half-born application back out of the registries.
                 inner_rt.apps_by_group.write().remove(&group.id());

@@ -7,15 +7,18 @@
 //! stack-inspecting access controller the hub observes:
 //!
 //! * `RuntimePermission("readMetrics")` — [`top_rows`], [`vm_snapshot`],
-//!   [`vm_rollup`];
-//! * `RuntimePermission("readAuditLog")` — [`audit_records`].
+//!   [`vm_rollup`], [`watchdog_rows`];
+//! * `RuntimePermission("readAuditLog")` — [`audit_records`];
+//! * `RuntimePermission("traceVm")` — [`set_tracing`], [`tracing_enabled`],
+//!   [`chrome_trace`] (the flight recorder sees *every* application's spans,
+//!   so both steering it and exporting it are privileged).
 //!
 //! Both are typically granted per *user* (`grant user "admin" { permission
 //! runtime readMetrics; }`), exercised through the §5.3 mechanism by any
 //! program whose code source holds `exerciseUserPermissions`. A denied
 //! read-out is itself a denial: it lands in the audit trail like any other.
 
-use jmp_obs::{AuditRecord, HubSnapshot, RegistrySnapshot};
+use jmp_obs::{AuditRecord, HubSnapshot, RegistrySnapshot, WatchdogRow};
 use jmp_security::Permission;
 
 use crate::runtime::MpRuntime;
@@ -169,4 +172,55 @@ pub fn audit_records(
     rt.vm()
         .check_permission(&Permission::runtime("readAuditLog"))?;
     Ok(rt.vm().obs().audit_query(user, app))
+}
+
+/// Turns the VM-wide flight recorder on or off — the shell's
+/// `trace on|off`. The recorder is on by default; turning it off reduces
+/// every span site to a single atomic load.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("traceVm")` — the refusal is audited like any other.
+pub fn set_tracing(rt: &MpRuntime, enabled: bool) -> Result<()> {
+    rt.vm().check_permission(&Permission::runtime("traceVm"))?;
+    rt.vm().obs().recorder().set_enabled(enabled);
+    Ok(())
+}
+
+/// Whether the flight recorder is currently recording.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("traceVm")`.
+pub fn tracing_enabled(rt: &MpRuntime) -> Result<bool> {
+    rt.vm().check_permission(&Permission::runtime("traceVm"))?;
+    Ok(rt.vm().obs().recorder().is_enabled())
+}
+
+/// Exports the flight recorder's current ring as Chrome `trace_event` JSON
+/// (load in `chrome://tracing` or Perfetto) — the shell's `trace dump`.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("traceVm")`: the ring holds spans from *every*
+/// application, so exporting it is a cross-application information flow.
+pub fn chrome_trace(rt: &MpRuntime) -> Result<String> {
+    rt.vm().check_permission(&Permission::runtime("traceVm"))?;
+    Ok(rt.vm().obs().recorder().export_chrome_trace())
+}
+
+/// The watchdog table — one row per registered dispatcher/system-helper
+/// heartbeat — behind the `vmstat` watchdog section.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readMetrics")`.
+pub fn watchdog_rows(rt: &MpRuntime) -> Result<Vec<WatchdogRow>> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readMetrics"))?;
+    Ok(rt.vm().obs().watchdogs().rows())
 }

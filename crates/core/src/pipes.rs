@@ -8,7 +8,7 @@
 //! rule, those applications may not close them — the creating shell does
 //! (§5.1/§6.1).
 
-use jmp_vm::io::{pipe_observed, InStream, OutStream, DEFAULT_PIPE_CAPACITY};
+use jmp_vm::io::{pipe_traced, InStream, OutStream, DEFAULT_PIPE_CAPACITY};
 
 use crate::application::Application;
 use crate::error::Error;
@@ -31,15 +31,18 @@ pub fn make_pipe() -> Result<(OutStream, InStream)> {
 /// [`Error::NotAnApplication`] off-application.
 pub fn make_pipe_with_capacity(capacity: usize) -> Result<(OutStream, InStream)> {
     let app = Application::current().ok_or(Error::NotAnApplication)?;
+    let rt = app.runtime();
     // Bytes through the pipe are charged to the creating application's
-    // `pipe.bytes` counter (summed VM-wide by the hub rollup).
-    let bytes = app.runtime().map(|rt| {
+    // `pipe.bytes` counter (summed VM-wide by the hub rollup), and the
+    // VM's flight recorder links write→read spans across the pipe.
+    let bytes = rt.as_ref().map(|rt| {
         rt.vm()
             .obs()
             .app_registry(app.id().0, app.name())
             .counter("pipe.bytes")
     });
-    let (writer, reader) = pipe_observed(capacity, bytes);
+    let recorder = rt.as_ref().map(|rt| rt.vm().obs().recorder().clone());
+    let (writer, reader) = pipe_traced(capacity, bytes, recorder);
     let out = OutStream::from_pipe(writer, app.io_token());
     let input = InStream::from_pipe(reader, app.io_token());
     app.register_owned_out(out.clone());

@@ -245,6 +245,7 @@ impl MpRuntimeBuilder {
             }));
         }
         rt.start_reaper(reaper_rx)?;
+        rt.start_watchdog_checker()?;
         Ok(rt)
     }
 }
@@ -434,23 +435,53 @@ impl MpRuntime {
 
     fn start_reaper(&self, rx: Receiver<AppId>) -> Result<()> {
         let weak = Arc::downgrade(&self.inner);
+        let watchdogs = self.inner.vm.obs().watchdogs().clone();
         self.inner
             .vm
             .thread_builder()
             .name("app-reaper")
             .group(self.inner.vm.system_group().clone())
             .daemon(true)
-            .spawn(move |_vm| loop {
-                if jmp_vm::thread::check_interrupt().is_err() {
-                    return;
-                }
-                match rx.recv_timeout(BLOCK_POLL) {
-                    Ok(app_id) => {
-                        let Some(inner) = weak.upgrade() else { return };
-                        crate::application::reap(&MpRuntime { inner }, app_id);
+            .spawn(move |_vm| {
+                // The reaper is a system helper: heartbeat every iteration so
+                // a teardown that wedges shows up as a watchdog stall.
+                let heartbeat = watchdogs.register("app-reaper", None);
+                loop {
+                    if jmp_vm::thread::check_interrupt().is_err() {
+                        break;
                     }
-                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+                    heartbeat.beat();
+                    match rx.recv_timeout(BLOCK_POLL) {
+                        Ok(app_id) => {
+                            let Some(inner) = weak.upgrade() else { break };
+                            crate::application::reap(&MpRuntime { inner }, app_id);
+                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                watchdogs.deregister("app-reaper");
+            })?;
+        Ok(())
+    }
+
+    /// Starts the background thread that polls the watchdog registry and
+    /// raises stall events (see [`jmp_obs::ObsHub::check_watchdogs`]).
+    fn start_watchdog_checker(&self) -> Result<()> {
+        let weak = Arc::downgrade(&self.inner);
+        self.inner
+            .vm
+            .thread_builder()
+            .name("vm-watchdog")
+            .group(self.inner.vm.system_group().clone())
+            .daemon(true)
+            .spawn(move |_vm| loop {
+                {
+                    let Some(inner) = weak.upgrade() else { return };
+                    inner.vm.obs().check_watchdogs();
+                }
+                if jmp_vm::thread::sleep(std::time::Duration::from_millis(50)).is_err() {
+                    return;
                 }
             })?;
         Ok(())

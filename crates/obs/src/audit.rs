@@ -8,20 +8,24 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::hub::ObsClock;
+use crate::recorder::Span;
+
 /// Default number of denial records retained.
 pub const DEFAULT_CAPACITY: usize = 512;
 
-/// One denied permission check.
+/// One audited incident: a denied permission check, or an application
+/// fault recorded through the same trail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditRecord {
     /// Denial order (per log, starting at 0).
     pub seq: u64,
-    /// Milliseconds since the log was created.
+    /// Milliseconds on the log's clock (the hub's shared clock, so
+    /// directly comparable with event and span timestamps).
     pub at_ms: u64,
     /// The effective user at check time, when known.
     pub user: Option<String>,
@@ -32,11 +36,15 @@ pub struct AuditRecord {
     /// Why it was refused — the protection domain (or message) that did not
     /// imply the demand.
     pub context: String,
+    /// The flight recorder's span ring at incident time — the causal
+    /// history that led to the denial or fault. Empty when nothing was
+    /// traced.
+    pub trace: Vec<Span>,
 }
 
 struct LogInner {
     capacity: usize,
-    start: Instant,
+    clock: ObsClock,
     total: AtomicU64,
     ring: Mutex<VecDeque<AuditRecord>>,
 }
@@ -48,16 +56,28 @@ pub struct AuditLog {
 }
 
 impl AuditLog {
-    /// Creates a log retaining the most recent `capacity` denials.
+    /// Creates a log retaining the most recent `capacity` denials, on its
+    /// own fresh clock.
     pub fn new(capacity: usize) -> AuditLog {
+        AuditLog::with_clock(capacity, ObsClock::new())
+    }
+
+    /// Creates a log stamping records against an explicit clock (the hub's
+    /// shared clock).
+    pub fn with_clock(capacity: usize, clock: ObsClock) -> AuditLog {
         AuditLog {
             inner: Arc::new(LogInner {
                 capacity: capacity.max(1),
-                start: Instant::now(),
+                clock,
                 total: AtomicU64::new(0),
                 ring: Mutex::new(VecDeque::new()),
             }),
         }
+    }
+
+    /// The clock records are stamped with.
+    pub fn clock(&self) -> ObsClock {
+        self.inner.clock
     }
 
     /// Records a denial. Oldest records rotate out when full; `total`
@@ -69,13 +89,27 @@ impl AuditLog {
         permission: impl Into<String>,
         context: impl Into<String>,
     ) {
+        self.record_with_dump(user, app, permission, context, Vec::new());
+    }
+
+    /// Records a denial carrying a flight-recorder dump — the span ring
+    /// snapshotted at incident time.
+    pub fn record_with_dump(
+        &self,
+        user: Option<String>,
+        app: Option<u64>,
+        permission: impl Into<String>,
+        context: impl Into<String>,
+        trace: Vec<Span>,
+    ) {
         let record = AuditRecord {
             seq: self.inner.total.fetch_add(1, Ordering::Relaxed),
-            at_ms: self.inner.start.elapsed().as_millis() as u64,
+            at_ms: self.inner.clock.now_ms(),
             user,
             app,
             permission: permission.into(),
             context: context.into(),
+            trace,
         };
         let mut ring = self.inner.ring.lock();
         if ring.len() >= self.inner.capacity {
@@ -154,6 +188,34 @@ mod tests {
         assert_eq!(recent.len(), 2);
         assert_eq!(recent[0].permission, "p3");
         assert_eq!(recent[1].seq, 4);
+    }
+
+    #[test]
+    fn dump_rides_the_record() {
+        let log = AuditLog::new(4);
+        let span = Span {
+            id: 11,
+            trace_id: 3,
+            parent: 0,
+            category: crate::SpanCategory::Exec,
+            name: "exec:snoop".into(),
+            app: Some(2),
+            thread: 1,
+            start_us: 500,
+            dur_us: 80,
+        };
+        log.record_with_dump(
+            Some("bob".into()),
+            Some(2),
+            "(file /home/alice/x read)",
+            "file:/apps/snoop",
+            vec![span.clone()],
+        );
+        let record = log.recent().remove(0);
+        assert_eq!(record.trace, vec![span]);
+        // Plain records carry an empty dump.
+        log.record(None, None, "(runtime x)", "");
+        assert!(log.recent()[1].trace.is_empty());
     }
 
     #[test]

@@ -9,21 +9,63 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::audit::{self, AuditLog, AuditRecord};
 use crate::metrics::{Counter, Histogram, MetricsRegistry, RegistrySnapshot};
+use crate::recorder::{self, FlightRecorder};
 use crate::sink::{self, EventKind, EventSink};
+use crate::watchdog::WatchdogRegistry;
 
 /// Maps the calling thread to the application it belongs to, if any.
 /// Installed by the runtime layer (which owns the thread→application table).
 pub type AppResolver = Arc<dyn Fn() -> Option<u64> + Send + Sync>;
 
+/// The hub's shared monotonic clock. Every timestamped substrate piece —
+/// event sink, audit log, flight recorder, watchdogs — is stamped against
+/// one origin, so an event's `at_ms`, a denial's `at_ms`, and a span's
+/// `start_us` are directly comparable. (Before this existed, the sink and
+/// the audit log each took their own `Instant::now()` at construction and
+/// drifted by the construction skew.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsClock {
+    origin: Instant,
+}
+
+impl ObsClock {
+    /// A clock whose origin is now.
+    pub fn new() -> ObsClock {
+        ObsClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the clock's origin.
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// Microseconds since the clock's origin.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for ObsClock {
+    fn default() -> ObsClock {
+        ObsClock::new()
+    }
+}
+
 struct HubInner {
+    clock: ObsClock,
     sink: EventSink,
     audit: AuditLog,
+    recorder: FlightRecorder,
+    watchdogs: WatchdogRegistry,
     vm: Arc<MetricsRegistry>,
     apps: RwLock<BTreeMap<u64, Arc<MetricsRegistry>>>,
     // Per-application-only totals of reaped applications (e.g. their pipe
@@ -37,6 +79,9 @@ struct HubInner {
     denied: Arc<Counter>,
     check_ns: Arc<Histogram>,
     check_depth: Arc<Histogram>,
+    // Watchdog stalls are rare; the counter is still resolved once because
+    // the checker thread runs every poll interval.
+    stalls: Arc<Counter>,
 }
 
 /// The composed observability hub. Cheap handle; clones share state.
@@ -59,22 +104,34 @@ impl ObsHub {
 
     /// Creates a hub around a caller-supplied sink — pass
     /// [`EventSink::disabled`] to measure the instrumented-but-off baseline.
+    /// The sink's clock becomes the hub's shared clock: the audit log, the
+    /// flight recorder, and the watchdogs are all stamped against it.
     pub fn with_sink(sink: EventSink) -> ObsHub {
+        let clock = sink.clock();
         let vm = Arc::new(MetricsRegistry::new("vm"));
         ObsHub {
             inner: Arc::new(HubInner {
+                clock,
+                audit: AuditLog::with_clock(audit::DEFAULT_CAPACITY, clock),
+                recorder: FlightRecorder::with_clock(recorder::DEFAULT_CAPACITY, clock, true),
+                watchdogs: WatchdogRegistry::with_clock(clock),
                 sink,
-                audit: AuditLog::new(audit::DEFAULT_CAPACITY),
                 checks: vm.counter("security.checks"),
                 denied: vm.counter("security.denied"),
                 check_ns: vm.histogram("security.check_ns"),
                 check_depth: vm.histogram("security.check_depth"),
+                stalls: vm.counter("watchdog.stalls"),
                 vm,
                 apps: RwLock::new(BTreeMap::new()),
                 retired: RwLock::new(RegistrySnapshot::empty("retired")),
                 resolver: RwLock::new(None),
             }),
         }
+    }
+
+    /// The shared monotonic clock every hub timestamp is measured against.
+    pub fn clock(&self) -> ObsClock {
+        self.inner.clock
     }
 
     /// The event stream.
@@ -87,6 +144,16 @@ impl ObsHub {
         &self.inner.audit
     }
 
+    /// The span flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
+    /// The dispatcher/helper heartbeat registry.
+    pub fn watchdogs(&self) -> &WatchdogRegistry {
+        &self.inner.watchdogs
+    }
+
     /// The VM-wide registry (metrics not attributable to one application).
     pub fn vm_metrics(&self) -> &Arc<MetricsRegistry> {
         &self.inner.vm
@@ -94,7 +161,10 @@ impl ObsHub {
 
     /// Installs the thread→application resolver. The runtime layer calls
     /// this once during bootstrap; until then attribution yields `None`.
+    /// The flight recorder shares the resolver so scoped spans carry the
+    /// same attribution as metrics and audit records.
     pub fn set_app_resolver(&self, resolver: AppResolver) {
+        self.inner.recorder.set_app_resolver(Arc::clone(&resolver));
         *self.inner.resolver.write() = Some(resolver);
     }
 
@@ -166,11 +236,25 @@ impl ObsHub {
                 registry.counter("security.denied").inc();
             }
         }
+        // Inside a traced request, the check also leaves a span (the
+        // recorder skips untraced threads itself).
+        self.inner.recorder.record_latency(
+            recorder::SpanCategory::Check,
+            "access-check",
+            app,
+            latency_ns,
+        );
         if !granted {
             self.inner.denied.inc();
-            self.inner
-                .audit
-                .record(user.map(str::to_owned), app, permission, context);
+            // A denial is an incident: the audit record carries the flight
+            // recorder's span ring, i.e. the causal history that led here.
+            self.inner.audit.record_with_dump(
+                user.map(str::to_owned),
+                app,
+                permission,
+                context,
+                self.inner.recorder.dump(),
+            );
             self.inner.sink.publish(
                 EventKind::AccessDenied,
                 app,
@@ -178,6 +262,42 @@ impl ObsHub {
                 permission,
             );
         }
+    }
+
+    /// Records an application fault (its main thread returned an error) as
+    /// an audited incident carrying the flight record, mirroring how
+    /// denials are treated.
+    pub fn record_app_fault(&self, app: Option<u64>, user: Option<&str>, error: &str) {
+        self.inner.vm.counter("apps.faulted").inc();
+        self.inner.audit.record_with_dump(
+            user.map(str::to_owned),
+            app,
+            "(application fault)",
+            error,
+            self.inner.recorder.dump(),
+        );
+    }
+
+    /// One watchdog checker pass: any heartbeat newly past the stall
+    /// threshold raises a [`EventKind::Watchdog`] event, bumps the VM-wide
+    /// `watchdog.stalls` counter, and is charged to the stalled
+    /// dispatcher's application when it has one. Returns how many new
+    /// stalls fired.
+    pub fn check_watchdogs(&self) -> usize {
+        let stalled = self.inner.watchdogs.check();
+        for row in &stalled {
+            self.inner.stalls.inc();
+            if let Some(registry) = row.app.and_then(|id| self.existing_app_registry(id)) {
+                registry.counter("watchdog.stalls").inc();
+            }
+            self.inner.sink.publish(
+                EventKind::Watchdog,
+                row.app,
+                None,
+                format!("{} stalled, last beat {}ms ago", row.name, row.age_ms),
+            );
+        }
+        stalled.len()
     }
 
     /// The VM-wide rollup. For any metric the VM registry maintains itself
@@ -230,6 +350,8 @@ impl ObsHub {
             events_published: self.inner.sink.published(),
             events_dropped: self.inner.sink.dropped(),
             audit_total: self.inner.audit.total(),
+            spans_recorded: self.inner.recorder.recorded(),
+            spans_dropped: self.inner.recorder.dropped(),
         }
     }
 
@@ -265,6 +387,10 @@ pub struct HubSnapshot {
     pub events_dropped: u64,
     /// Total permission denials audited.
     pub audit_total: u64,
+    /// Total spans recorded by the flight recorder.
+    pub spans_recorded: u64,
+    /// Spans rotated out of the full recorder ring.
+    pub spans_dropped: u64,
 }
 
 #[cfg(test)]
@@ -343,6 +469,81 @@ mod tests {
         let snap = hub.snapshot();
         assert_eq!(snap.apps.len(), 1);
         assert!(snap.apps.contains_key("2:ps"));
+    }
+
+    #[test]
+    fn sink_audit_recorder_and_watchdogs_share_one_clock() {
+        // The satellite fix: one epoch, not one per substrate piece.
+        let hub = ObsHub::new();
+        assert_eq!(hub.sink().clock(), hub.clock());
+        assert_eq!(hub.audit().clock(), hub.clock());
+        assert_eq!(hub.recorder().clock(), hub.clock());
+    }
+
+    #[test]
+    fn denial_inside_a_trace_carries_the_flight_record() {
+        let hub = ObsHub::new();
+        let span = hub
+            .recorder()
+            .begin(crate::SpanCategory::Exec, "exec:snoop")
+            .unwrap();
+        let trace_id = span.trace_id();
+        hub.record_access_check(
+            "(file /home/alice/x read)",
+            false,
+            5,
+            Some("bob"),
+            "file:/apps/snoop",
+            700,
+        );
+        drop(span);
+        crate::trace::clear();
+        let denials = hub.audit_query(Some("bob"), None);
+        assert_eq!(denials.len(), 1);
+        let dump = &denials[0].trace;
+        assert!(!dump.is_empty(), "the denial carries the span ring");
+        assert!(
+            dump.iter()
+                .any(|s| s.category == crate::SpanCategory::Check && s.trace_id == trace_id),
+            "the refused check itself is in the dump: {dump:?}"
+        );
+    }
+
+    #[test]
+    fn app_fault_is_audited_with_the_flight_record() {
+        let hub = ObsHub::new();
+        hub.record_app_fault(Some(9), Some("alice"), "I/O error: pipe closed");
+        assert_eq!(hub.vm_metrics().counter("apps.faulted").get(), 1);
+        let records = hub.audit_query(None, Some(9));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].permission, "(application fault)");
+        assert_eq!(records[0].context, "I/O error: pipe closed");
+    }
+
+    #[test]
+    fn watchdog_stall_raises_event_and_metric() {
+        let hub = ObsHub::new();
+        hub.app_registry(4, "gui");
+        hub.watchdogs()
+            .set_threshold(std::time::Duration::from_millis(10));
+        hub.watchdogs().register("awt-dispatch-4", Some(4));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(hub.check_watchdogs(), 1);
+        assert_eq!(hub.vm_metrics().counter("watchdog.stalls").get(), 1);
+        assert_eq!(
+            hub.existing_app_registry(4)
+                .unwrap()
+                .counter("watchdog.stalls")
+                .get(),
+            1
+        );
+        let events = hub.sink().recent();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Watchdog);
+        assert_eq!(events[0].app, Some(4));
+        assert!(events[0].detail.contains("awt-dispatch-4"));
+        // The latch: no second event until it beats and stalls again.
+        assert_eq!(hub.check_watchdogs(), 0);
     }
 
     #[test]

@@ -20,12 +20,19 @@
 //! * **Audit** ([`AuditLog`]) — every *denied* permission check, with the
 //!   demanded permission, the refusing protection domain, the effective
 //!   user, and the owning application.
+//! * **Spans** ([`FlightRecorder`], [`trace`]) — causal spans carrying a
+//!   [`TraceCtx`] across application boundaries (`exec`, AWT dispatch, pipe
+//!   I/O, access checks) into an always-on bounded flight record that is
+//!   attached to audit incidents and exports as Chrome `trace_event` JSON.
+//! * **Watchdogs** ([`WatchdogRegistry`]) — per-dispatcher heartbeats with
+//!   stall detection, surfacing hung event-dispatch and helper threads.
 //!
-//! [`ObsHub`] composes the three and is what the VM attaches; higher layers
-//! (`jmp-vm`, `jmp-core`, the shell's `top`/`vmstat`/`audit` builtins) only
-//! ever talk to the hub. Reading any of it back *out* is permission-gated by
-//! the runtime (`RuntimePermission("readMetrics")` /
-//! `RuntimePermission("readAuditLog")`) — observability obeys the same
+//! [`ObsHub`] composes the pieces around one shared [`ObsClock`] and is
+//! what the VM attaches; higher layers (`jmp-vm`, `jmp-core`, the shell's
+//! `top`/`vmstat`/`audit`/`trace` builtins) only ever talk to the hub.
+//! Reading any of it back *out* is permission-gated by the runtime
+//! (`RuntimePermission("readMetrics")` / `RuntimePermission("readAuditLog")`
+//! / `RuntimePermission("traceVm")`) — observability obeys the same
 //! security model it observes.
 
 #![forbid(unsafe_code)]
@@ -34,11 +41,17 @@
 mod audit;
 mod hub;
 mod metrics;
+mod recorder;
 mod sink;
+pub mod trace;
+mod watchdog;
 
 pub use audit::{AuditLog, AuditRecord};
-pub use hub::{AppResolver, HubSnapshot, ObsHub};
+pub use hub::{AppResolver, HubSnapshot, ObsClock, ObsHub};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };
+pub use recorder::{FlightRecorder, Span, SpanCategory, SpanGuard};
 pub use sink::{Event, EventKind, EventSink};
+pub use trace::TraceCtx;
+pub use watchdog::{Heartbeat, WatchdogRegistry, WatchdogRow};

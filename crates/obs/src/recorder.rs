@@ -1,0 +1,521 @@
+//! The flight recorder: an always-on bounded ring of completed [`Span`]s.
+//!
+//! Spans are the "what happened, when, caused by what" counterpart to the
+//! event sink's lifecycle stream. The recorder is written on the hot path,
+//! so it follows the sink's discipline: recording into a *disabled*
+//! recorder is one relaxed atomic load and returns; an enabled recorder
+//! takes one short mutex to rotate the ring. Nothing here blocks on
+//! readers, and nothing is gated — permission gating (the
+//! `RuntimePermission("traceVm")` read-out) lives in the runtime layer,
+//! because writing a span must stay free for the code being observed.
+//!
+//! The ring doubles as the *flight record*: when a permission check is
+//! denied or an application faults, the hub snapshots the ring and attaches
+//! it to the audit entry, so the incident arrives with the causal history
+//! that led to it. The same ring exports as Chrome `trace_event` JSON for
+//! `chrome://tracing` / Perfetto.
+
+use std::collections::VecDeque;
+use std::mem;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use crate::hub::{AppResolver, ObsClock};
+use crate::trace::{self, TraceCtx};
+
+/// Default number of completed spans retained.
+pub const DEFAULT_CAPACITY: usize = 2048;
+
+/// Which boundary a span covers. These are the chrome export's `cat`
+/// values; the acceptance bar for the export is that at least the
+/// exec/dispatch/pipe categories appear in a traced session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanCategory {
+    /// A shell command line, root of everything the line causes.
+    Command,
+    /// `Application.exec` — spawning the new thread-group subtree.
+    Exec,
+    /// One AWT event's dispatch on a dispatcher thread.
+    Dispatch,
+    /// A pipe write or read crossing an application boundary.
+    Pipe,
+    /// One security access check inside a traced request.
+    Check,
+}
+
+impl SpanCategory {
+    /// The kebab-case name used in the chrome export's `cat` field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanCategory::Command => "command",
+            SpanCategory::Exec => "exec",
+            SpanCategory::Dispatch => "dispatch",
+            SpanCategory::Pipe => "pipe",
+            SpanCategory::Check => "check",
+        }
+    }
+}
+
+impl std::fmt::Display for SpanCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed span in the flight record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// VM-unique span id.
+    pub id: u64,
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// The parent span id; `0` marks a trace root.
+    pub parent: u64,
+    /// The boundary this span covers.
+    pub category: SpanCategory,
+    /// Human-readable label (`exec:shell`, `pipe.read`, ...).
+    pub name: String,
+    /// The application charged with the work, when attributable.
+    pub app: Option<u64>,
+    /// Stable ordinal of the recording thread.
+    pub thread: u64,
+    /// Microseconds since the hub clock's origin.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct RecorderInner {
+    enabled: AtomicBool,
+    capacity: usize,
+    clock: ObsClock,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<Span>>,
+    resolver: RwLock<Option<AppResolver>>,
+}
+
+/// The bounded span ring. Cheap handle; clones share the recorder.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates an enabled recorder retaining `capacity` completed spans,
+    /// on its own clock (the hub re-bases recorders onto its shared clock).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder::with_clock(capacity, ObsClock::new(), true)
+    }
+
+    /// Creates a recorder on an explicit clock and enablement state.
+    pub fn with_clock(capacity: usize, clock: ObsClock, enabled: bool) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                enabled: AtomicBool::new(enabled),
+                capacity: capacity.max(1),
+                clock,
+                recorded: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::new()),
+                resolver: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// Whether span recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns span recording on or off. The retained ring is kept either
+    /// way, so an incident dump still shows the history from before a
+    /// `trace off`.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The clock spans are stamped with.
+    pub fn clock(&self) -> ObsClock {
+        self.inner.clock
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Total spans ever recorded (including since-rotated ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans rotated out of a full ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Installs the thread→application resolver used to attribute scoped
+    /// spans (shared with the hub's resolver).
+    pub fn set_app_resolver(&self, resolver: AppResolver) {
+        *self.inner.resolver.write() = Some(resolver);
+    }
+
+    fn resolve_app(&self) -> Option<u64> {
+        let resolver = self.inner.resolver.read().clone();
+        resolver.and_then(|r| r())
+    }
+
+    /// Opens a scoped span. Returns `None` when recording is off. While the
+    /// guard lives, the calling thread's [`TraceCtx`] points at the new
+    /// span, so children (spawned threads, posted events, nested checks)
+    /// attach under it; dropping the guard records the completed span and
+    /// restores the previous context. A thread with no current context
+    /// roots a fresh trace — this is how a shell command or an `exec` from
+    /// an untraced caller starts one.
+    pub fn begin(&self, category: SpanCategory, name: impl Into<String>) -> Option<SpanGuard> {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let prev = trace::current();
+        let (trace_id, parent) = match prev {
+            Some(ctx) => (ctx.trace_id, ctx.parent_span),
+            None => (trace::next_id(), 0),
+        };
+        let id = trace::next_id();
+        trace::install(Some(TraceCtx {
+            trace_id,
+            parent_span: id,
+        }));
+        Some(SpanGuard {
+            recorder: self.clone(),
+            prev,
+            id,
+            trace_id,
+            parent,
+            category,
+            name: name.into(),
+            app: self.resolve_app(),
+            start_us: self.inner.clock.now_us(),
+        })
+    }
+
+    /// A start timestamp for a span measured by the caller, or `None` when
+    /// recording is off (so the disabled path never reads the clock).
+    pub fn timer(&self) -> Option<Instant> {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Records an already-finished span of `latency_ns` ending now, under
+    /// the calling thread's context. A thread outside any trace records
+    /// nothing — per-check spans exist to explain traced requests, not to
+    /// re-count every check the metrics already count.
+    pub fn record_latency(
+        &self,
+        category: SpanCategory,
+        name: &str,
+        app: Option<u64>,
+        latency_ns: u64,
+    ) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(ctx) = trace::current() else {
+            return;
+        };
+        self.record_with_ctx(category, name, ctx, app, latency_ns);
+    }
+
+    /// Records an already-finished span under an explicit context — the
+    /// cross-boundary half of a handoff (a pipe read runs under the
+    /// *writer's* context, carried by the pipe).
+    pub fn record_with_ctx(
+        &self,
+        category: SpanCategory,
+        name: &str,
+        ctx: TraceCtx,
+        app: Option<u64>,
+        latency_ns: u64,
+    ) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let dur_us = latency_ns / 1_000;
+        let now = self.inner.clock.now_us();
+        self.push(Span {
+            id: trace::next_id(),
+            trace_id: ctx.trace_id,
+            parent: ctx.parent_span,
+            category,
+            name: name.to_owned(),
+            app,
+            thread: trace::thread_ordinal(),
+            start_us: now.saturating_sub(dur_us),
+            dur_us,
+        });
+    }
+
+    fn push(&self, span: Span) {
+        self.inner.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.inner.ring.lock();
+        if ring.len() >= self.inner.capacity {
+            ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Snapshots the ring for an incident (audit denial, application
+    /// fault). Same contents as [`FlightRecorder::spans`]; named for the
+    /// call sites that attach it to an [`AuditRecord`](crate::AuditRecord).
+    pub fn dump(&self) -> Vec<Span> {
+        self.spans()
+    }
+
+    /// Empties the ring (keeps totals). Used by experiments that want the
+    /// export of one isolated scenario.
+    pub fn clear(&self) {
+        self.inner.ring.lock().clear();
+    }
+
+    /// Exports the retained spans as Chrome `trace_event` JSON — load the
+    /// string as a file in `chrome://tracing` or <https://ui.perfetto.dev>.
+    /// Spans become complete (`"ph":"X"`) events; `pid` is the owning
+    /// application (0 = system), `tid` the recording thread's ordinal.
+    pub fn export_chrome_trace(&self) -> String {
+        let entry = |key: &str, value: serde_json::Value| (key.to_owned(), value);
+        let events: Vec<serde_json::Value> = self
+            .spans()
+            .into_iter()
+            .map(|span| {
+                serde_json::Value::Map(vec![
+                    entry("name", span.name.serialize_value()),
+                    entry("cat", span.category.as_str().serialize_value()),
+                    entry("ph", "X".serialize_value()),
+                    entry("ts", span.start_us.serialize_value()),
+                    entry("dur", span.dur_us.serialize_value()),
+                    entry("pid", span.app.unwrap_or(0).serialize_value()),
+                    entry("tid", span.thread.serialize_value()),
+                    entry(
+                        "args",
+                        serde_json::Value::Map(vec![
+                            entry("trace_id", span.trace_id.serialize_value()),
+                            entry("span_id", span.id.serialize_value()),
+                            entry("parent_span", span.parent.serialize_value()),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = serde_json::Value::Map(vec![
+            entry("traceEvents", serde_json::Value::Seq(events)),
+            entry("displayTimeUnit", "ms".serialize_value()),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.inner.capacity)
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// An open span: completes (records itself) on drop and restores the
+/// thread's previous trace context.
+pub struct SpanGuard {
+    recorder: FlightRecorder,
+    prev: Option<TraceCtx>,
+    id: u64,
+    trace_id: u64,
+    parent: u64,
+    category: SpanCategory,
+    name: String,
+    app: Option<u64>,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    /// The trace this span roots or extends.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// This span's id (children name it as their parent).
+    pub fn span_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let start_us = self.start_us;
+        let end_us = self.recorder.inner.clock.now_us();
+        self.recorder.push(Span {
+            id: self.id,
+            trace_id: self.trace_id,
+            parent: self.parent,
+            category: self.category,
+            name: mem::take(&mut self.name),
+            app: self.app,
+            thread: trace::thread_ordinal(),
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+        });
+        trace::install(self.prev);
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("trace_id", &self.trace_id)
+            .field("span_id", &self.id)
+            .field("category", &self.category)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let recorder = FlightRecorder::with_clock(8, ObsClock::new(), false);
+        trace::install(Some(TraceCtx {
+            trace_id: 1,
+            parent_span: 0,
+        }));
+        recorder.record_latency(SpanCategory::Check, "access-check", None, 500);
+        assert!(recorder.begin(SpanCategory::Exec, "exec:x").is_none());
+        assert_eq!(recorder.recorded(), 0);
+        assert!(recorder.spans().is_empty());
+        trace::clear();
+    }
+
+    #[test]
+    fn begin_nests_children_and_restores_context() {
+        let recorder = FlightRecorder::new(16);
+        trace::clear();
+        let outer = recorder.begin(SpanCategory::Exec, "exec:sh").unwrap();
+        let trace_id = outer.trace_id();
+        let outer_span = outer.span_id();
+        assert_eq!(
+            trace::current(),
+            Some(TraceCtx {
+                trace_id,
+                parent_span: outer_span
+            })
+        );
+        let inner = recorder
+            .begin(SpanCategory::Dispatch, "dispatch:w1")
+            .unwrap();
+        assert_eq!(inner.trace_id(), trace_id, "children share the trace");
+        drop(inner);
+        drop(outer);
+        assert_eq!(trace::current(), None, "root restores to untraced");
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].category, SpanCategory::Dispatch);
+        assert_eq!(spans[0].parent, outer_span, "child points at its parent");
+        assert_eq!(spans[1].parent, 0, "the root has no parent");
+        assert!(spans.iter().all(|s| s.trace_id == trace_id));
+    }
+
+    #[test]
+    fn untraced_latency_records_are_skipped() {
+        let recorder = FlightRecorder::new(8);
+        trace::clear();
+        recorder.record_latency(SpanCategory::Check, "access-check", None, 100);
+        assert_eq!(recorder.recorded(), 0, "no context, no span");
+    }
+
+    #[test]
+    fn ring_rotates_and_counts_drops() {
+        let recorder = FlightRecorder::new(2);
+        let ctx = TraceCtx {
+            trace_id: trace::next_id(),
+            parent_span: 0,
+        };
+        for i in 0..5 {
+            recorder.record_with_ctx(SpanCategory::Pipe, &format!("w{i}"), ctx, None, 1_000);
+        }
+        assert_eq!(recorder.recorded(), 5);
+        assert_eq!(recorder.dropped(), 3);
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].name, "w4");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_categories() {
+        let recorder = FlightRecorder::new(16);
+        trace::clear();
+        {
+            let _exec = recorder.begin(SpanCategory::Exec, "exec:sh");
+            let ctx = trace::current().unwrap();
+            recorder.record_with_ctx(SpanCategory::Pipe, "pipe.read", ctx, Some(2), 2_000);
+            recorder.record_latency(SpanCategory::Dispatch, "dispatch:w", Some(2), 1_000);
+        }
+        trace::clear();
+        let json = recorder.export_chrome_trace();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap().to_vec();
+        assert_eq!(events.len(), 3);
+        let cats: std::collections::BTreeSet<String> = events
+            .iter()
+            .map(|e| e.get("cat").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        assert!(
+            cats.contains("exec") && cats.contains("pipe") && cats.contains("dispatch"),
+            "all three boundary categories appear: {cats:?}"
+        );
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").unwrap().as_str() == Some("X")));
+    }
+
+    #[test]
+    fn spans_roundtrip_through_json() {
+        let span = Span {
+            id: 7,
+            trace_id: 3,
+            parent: 5,
+            category: SpanCategory::Pipe,
+            name: "pipe.write".into(),
+            app: Some(4),
+            thread: 2,
+            start_us: 1_000,
+            dur_us: 40,
+        };
+        let json = serde_json::to_string(&span).unwrap();
+        let back: Span = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, span);
+    }
+}

@@ -6,11 +6,12 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::hub::ObsClock;
 
 /// Default ring capacity.
 pub const DEFAULT_CAPACITY: usize = 1024;
@@ -34,6 +35,9 @@ pub enum EventKind {
     /// A class was *re*-defined locally from the re-load list — the paper's
     /// per-application `System` mechanism (§5.5) firing.
     ClassReloaded,
+    /// A watchdog found a dispatcher or helper thread past its stall
+    /// threshold (name and last-beat age in `detail`).
+    Watchdog,
 }
 
 impl fmt::Display for EventKind {
@@ -45,6 +49,7 @@ impl fmt::Display for EventKind {
             EventKind::AccessDenied => "access-denied",
             EventKind::ClassDefined => "class-defined",
             EventKind::ClassReloaded => "class-reloaded",
+            EventKind::Watchdog => "watchdog-stall",
         };
         f.write_str(s)
     }
@@ -55,7 +60,8 @@ impl fmt::Display for EventKind {
 pub struct Event {
     /// Publication order (per sink, starting at 0).
     pub seq: u64,
-    /// Milliseconds since the sink was created.
+    /// Milliseconds on the sink's clock (the hub's shared clock, so
+    /// directly comparable with audit and span timestamps).
     pub at_ms: u64,
     /// What happened.
     pub kind: EventKind,
@@ -70,7 +76,7 @@ pub struct Event {
 struct SinkInner {
     enabled: AtomicBool,
     capacity: usize,
-    start: Instant,
+    clock: ObsClock,
     next_seq: AtomicU64,
     dropped: AtomicU64,
     ring: Mutex<VecDeque<Event>>,
@@ -89,29 +95,40 @@ pub struct EventSink {
 }
 
 impl EventSink {
-    /// Creates an enabled sink holding up to `capacity` recent events.
+    /// Creates an enabled sink holding up to `capacity` recent events, on
+    /// its own fresh clock (the hub adopts it as the shared clock).
     pub fn new(capacity: usize) -> EventSink {
-        EventSink::build(capacity.max(1), true)
+        EventSink::build(capacity.max(1), ObsClock::new(), true)
     }
 
     /// Creates a disabled sink: [`EventSink::publish`] is a no-op costing
     /// one atomic load. Can be enabled later with [`EventSink::set_enabled`].
     pub fn disabled() -> EventSink {
-        EventSink::build(DEFAULT_CAPACITY, false)
+        EventSink::build(DEFAULT_CAPACITY, ObsClock::new(), false)
     }
 
-    fn build(capacity: usize, enabled: bool) -> EventSink {
+    /// Creates an enabled sink stamping events against an explicit clock.
+    pub fn with_clock(capacity: usize, clock: ObsClock) -> EventSink {
+        EventSink::build(capacity.max(1), clock, true)
+    }
+
+    fn build(capacity: usize, clock: ObsClock, enabled: bool) -> EventSink {
         EventSink {
             inner: Arc::new(SinkInner {
                 enabled: AtomicBool::new(enabled),
                 capacity,
-                start: Instant::now(),
+                clock,
                 next_seq: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 ring: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
                 subscribers: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// The clock events are stamped with.
+    pub fn clock(&self) -> ObsClock {
+        self.inner.clock
     }
 
     /// Whether publishing currently records anything.
@@ -143,7 +160,7 @@ impl EventSink {
         }
         let event = Event {
             seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
-            at_ms: self.inner.start.elapsed().as_millis() as u64,
+            at_ms: self.inner.clock.now_ms(),
             kind,
             app,
             user,

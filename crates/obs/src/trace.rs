@@ -1,0 +1,143 @@
+//! Causal trace context: the `{trace_id, parent_span}` pair that rides a
+//! request across application boundaries.
+//!
+//! The paper's runtime hands work across three kinds of seams — `exec`
+//! spawning a thread-group subtree, per-application event queues feeding
+//! dedicated dispatcher threads, and inter-application pipes. A
+//! [`TraceCtx`] is allocated at the entry seam (a shell command or an
+//! `exec`) and then *propagated*, not re-created: thread spawn copies the
+//! parent's context into the child, an AWT event carries the context of the
+//! thread that created it, and a pipe carries the context of its last
+//! writer. The context itself is two integers; carrying it is free, and
+//! whether anything is *recorded* is decided by the
+//! [`FlightRecorder`](crate::FlightRecorder).
+//!
+//! The thread-local plumbing mirrors the VM's `AccessContext` inheritance:
+//! capture with [`current`], install with [`install`], and clear on thread
+//! teardown with [`clear`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// The causal context carried by a traced request: which trace the current
+/// work belongs to and which span new child spans should attach under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// The trace this work belongs to (stable across every boundary hop).
+    pub trace_id: u64,
+    /// The span id child spans should name as their parent; `0` is the root.
+    pub parent_span: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+// Trace and span ids come from one VM-global allocator so an id never
+// collides across recorders, traces, or spans.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh VM-unique id (used for both trace and span ids).
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's trace context, if it is inside a traced request.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// Installs `ctx` as the calling thread's context (e.g. the context captured
+/// at spawn time, or the one carried by a dispatched event).
+pub fn install(ctx: Option<TraceCtx>) {
+    CURRENT.with(|current| current.set(ctx));
+}
+
+/// Installs `ctx` and returns the previous context, for scoped restores
+/// around a dispatch.
+pub fn swap(ctx: Option<TraceCtx>) -> Option<TraceCtx> {
+    CURRENT.with(|current| current.replace(ctx))
+}
+
+/// Clears the calling thread's context (thread teardown).
+pub fn clear() {
+    install(None);
+}
+
+// Small per-thread ordinal for the chrome export's `tid` field —
+// `std::thread::ThreadId` is opaque, and the export wants a stable integer.
+thread_local! {
+    static THREAD_ORDINAL: Cell<u64> = const { Cell::new(0) };
+}
+static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(1);
+
+/// A small stable integer identifying the calling thread, allocated lazily.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|ordinal| {
+        let mut id = ordinal.get();
+        if id == 0 {
+            id = NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+            ordinal.set(id);
+        }
+        id
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_per_thread_and_clearable() {
+        clear();
+        assert_eq!(current(), None);
+        let ctx = TraceCtx {
+            trace_id: next_id(),
+            parent_span: 0,
+        };
+        install(Some(ctx));
+        assert_eq!(current(), Some(ctx));
+        let handle = std::thread::spawn(current);
+        assert_eq!(handle.join().unwrap(), None, "context does not leak");
+        clear();
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn swap_restores_the_previous_context() {
+        clear();
+        let outer = TraceCtx {
+            trace_id: 1,
+            parent_span: 2,
+        };
+        install(Some(outer));
+        let inner = TraceCtx {
+            trace_id: 3,
+            parent_span: 4,
+        };
+        let prev = swap(Some(inner));
+        assert_eq!(prev, Some(outer));
+        assert_eq!(current(), Some(inner));
+        install(prev);
+        assert_eq!(current(), Some(outer));
+        clear();
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_per_thread() {
+        let here = thread_ordinal();
+        assert_eq!(here, thread_ordinal());
+        let there = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(here, there);
+    }
+}

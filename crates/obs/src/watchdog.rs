@@ -1,0 +1,259 @@
+//! Dispatcher watchdogs: per-thread heartbeats with stall detection.
+//!
+//! The paper's per-application event queues (§5.4 / F7) mean a stuck
+//! listener freezes *one* application's dispatcher — by design the other
+//! applications keep running, which also means nobody notices the freeze.
+//! The watchdog makes it visible: every dispatcher (and system helper like
+//! the reaper) registers a [`Heartbeat`] and beats it on every loop
+//! iteration, including while blocked waiting for work (the wait loops poll
+//! at `BLOCK_POLL`, so an *idle* dispatcher beats continuously; only one
+//! stuck *inside a callback* goes quiet). A checker scans the registry and
+//! flags entries whose last beat is older than the configurable threshold.
+//!
+//! Beating is two relaxed atomic stores — cheap enough for a 5ms poll loop.
+//! Raising the stall event, bumping the metric, and surfacing the rows in
+//! `vmstat` is the hub's and runtime layer's job; this module only keeps
+//! the clocks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::hub::ObsClock;
+
+/// Default stall threshold. Generous on purpose: legitimate pauses (the
+/// reaper joining a dying application's threads for up to 2s) must not
+/// trip it; tests that inject stalls lower it.
+pub const DEFAULT_STALL_THRESHOLD: Duration = Duration::from_secs(5);
+
+struct HeartbeatInner {
+    name: String,
+    app: Option<u64>,
+    clock: ObsClock,
+    last_ms: AtomicU64,
+    beats: AtomicU64,
+    stalled: AtomicBool,
+}
+
+/// A registered thread's heartbeat handle. Cheap to clone; beat it from
+/// the watched loop.
+#[derive(Clone)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+impl Heartbeat {
+    /// Records a beat: the thread is alive and making progress.
+    pub fn beat(&self) {
+        self.inner
+            .last_ms
+            .store(self.inner.clock.now_ms(), Ordering::Relaxed);
+        self.inner.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The registered name (e.g. `awt-dispatch-3`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The application the watched thread serves, if any.
+    pub fn app(&self) -> Option<u64> {
+        self.inner.app
+    }
+}
+
+impl std::fmt::Debug for Heartbeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heartbeat")
+            .field("name", &self.inner.name)
+            .field("beats", &self.inner.beats.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// One row of watchdog state, as shown by `vmstat`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogRow {
+    /// The registered thread name.
+    pub name: String,
+    /// The application it serves, if any.
+    pub app: Option<u64>,
+    /// Milliseconds since the last beat.
+    pub age_ms: u64,
+    /// Total beats recorded.
+    pub beats: u64,
+    /// Whether the entry is currently past the stall threshold.
+    pub stalled: bool,
+}
+
+struct RegistryInner {
+    clock: ObsClock,
+    threshold: Mutex<Duration>,
+    entries: Mutex<BTreeMap<String, Arc<HeartbeatInner>>>,
+}
+
+/// The heartbeat registry. Cheap handle; clones share the registry.
+#[derive(Clone)]
+pub struct WatchdogRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl WatchdogRegistry {
+    /// Creates a registry stamping beats with `clock` (the hub's shared
+    /// clock) and the default stall threshold.
+    pub fn with_clock(clock: ObsClock) -> WatchdogRegistry {
+        WatchdogRegistry {
+            inner: Arc::new(RegistryInner {
+                clock,
+                threshold: Mutex::new(DEFAULT_STALL_THRESHOLD),
+                entries: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Registers (or replaces) the heartbeat named `name`. Registration
+    /// counts as a first beat, so a fresh entry is never already stalled.
+    pub fn register(&self, name: impl Into<String>, app: Option<u64>) -> Heartbeat {
+        let name = name.into();
+        let inner = Arc::new(HeartbeatInner {
+            name: name.clone(),
+            app,
+            clock: self.inner.clock,
+            last_ms: AtomicU64::new(self.inner.clock.now_ms()),
+            beats: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+        });
+        self.inner.entries.lock().insert(name, Arc::clone(&inner));
+        Heartbeat { inner }
+    }
+
+    /// Removes the heartbeat named `name` (the watched thread exited
+    /// cleanly — a retired dispatcher is not a stalled one).
+    pub fn deregister(&self, name: &str) {
+        self.inner.entries.lock().remove(name);
+    }
+
+    /// The current stall threshold.
+    pub fn threshold(&self) -> Duration {
+        *self.inner.threshold.lock()
+    }
+
+    /// Sets the stall threshold.
+    pub fn set_threshold(&self, threshold: Duration) {
+        *self.inner.threshold.lock() = threshold;
+    }
+
+    fn row(&self, entry: &HeartbeatInner, now_ms: u64) -> WatchdogRow {
+        WatchdogRow {
+            name: entry.name.clone(),
+            app: entry.app,
+            age_ms: now_ms.saturating_sub(entry.last_ms.load(Ordering::Relaxed)),
+            beats: entry.beats.load(Ordering::Relaxed),
+            stalled: entry.stalled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every registered heartbeat's current state, in name order.
+    pub fn rows(&self) -> Vec<WatchdogRow> {
+        let now_ms = self.inner.clock.now_ms();
+        self.inner
+            .entries
+            .lock()
+            .values()
+            .map(|entry| self.row(entry, now_ms))
+            .collect()
+    }
+
+    /// One checker pass: returns the entries that crossed the stall
+    /// threshold *since the last pass* (each stall is reported once; a
+    /// beat clears the latch so a later stall fires again). The caller —
+    /// [`ObsHub::check_watchdogs`](crate::ObsHub::check_watchdogs) — turns
+    /// the returned rows into events and metrics.
+    pub fn check(&self) -> Vec<WatchdogRow> {
+        let threshold_ms = self.threshold().as_millis() as u64;
+        let now_ms = self.inner.clock.now_ms();
+        let mut newly_stalled = Vec::new();
+        for entry in self.inner.entries.lock().values() {
+            let age = now_ms.saturating_sub(entry.last_ms.load(Ordering::Relaxed));
+            if age > threshold_ms {
+                if !entry.stalled.swap(true, Ordering::Relaxed) {
+                    newly_stalled.push(self.row(entry, now_ms));
+                }
+            } else {
+                entry.stalled.store(false, Ordering::Relaxed);
+            }
+        }
+        newly_stalled
+    }
+}
+
+impl std::fmt::Debug for WatchdogRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchdogRegistry")
+            .field("entries", &self.inner.entries.lock().len())
+            .field("threshold", &self.threshold())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_registration_is_not_stalled() {
+        let registry = WatchdogRegistry::with_clock(ObsClock::new());
+        registry.set_threshold(Duration::from_millis(50));
+        registry.register("awt-dispatch-1", Some(1));
+        assert!(registry.check().is_empty());
+        let rows = registry.rows();
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].stalled);
+        assert_eq!(rows[0].app, Some(1));
+    }
+
+    #[test]
+    fn silence_past_threshold_stalls_once_and_beat_recovers() {
+        let registry = WatchdogRegistry::with_clock(ObsClock::new());
+        registry.set_threshold(Duration::from_millis(20));
+        let hb = registry.register("app-reaper", None);
+        std::thread::sleep(Duration::from_millis(60));
+        let stalled = registry.check();
+        assert_eq!(stalled.len(), 1, "the silent thread is flagged");
+        assert_eq!(stalled[0].name, "app-reaper");
+        assert!(stalled[0].age_ms >= 20);
+        assert!(registry.check().is_empty(), "a stall is reported once");
+        assert!(registry.rows()[0].stalled, "but stays visible in rows");
+        hb.beat();
+        assert!(registry.check().is_empty());
+        assert!(!registry.rows()[0].stalled, "a beat clears the latch");
+        // Going quiet again re-fires.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(registry.check().len(), 1);
+    }
+
+    #[test]
+    fn deregister_removes_the_entry() {
+        let registry = WatchdogRegistry::with_clock(ObsClock::new());
+        registry.register("awt-dispatch-2", Some(2));
+        registry.deregister("awt-dispatch-2");
+        assert!(registry.rows().is_empty());
+        registry.set_threshold(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(registry.check().is_empty(), "gone means never stalled");
+    }
+
+    #[test]
+    fn beats_are_counted() {
+        let registry = WatchdogRegistry::with_clock(ObsClock::new());
+        let hb = registry.register("awt-input", None);
+        for _ in 0..3 {
+            hb.beat();
+        }
+        assert_eq!(registry.rows()[0].beats, 3);
+    }
+}

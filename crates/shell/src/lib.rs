@@ -140,13 +140,15 @@ pub fn default_policy_text() -> &'static str {
     };
 
     // Observability read-out: the bootstrap `system` account may inspect
-    // the VM metrics and the security audit trail (exercised through the
-    // section 5.3 mechanism by the shell's `top`/`vmstat`/`audit`
-    // builtins). Ordinary accounts get neither: what Alice's editor is
-    // doing is none of Bob's business.
+    // the VM metrics, the security audit trail, and the flight recorder
+    // (exercised through the section 5.3 mechanism by the shell's
+    // `top`/`vmstat`/`audit`/`trace` builtins). Ordinary accounts get
+    // none of these: what Alice's editor is doing is none of Bob's
+    // business.
     grant user "system" {
         permission runtime "readMetrics";
         permission runtime "readAuditLog";
+        permission runtime "traceVm";
     };
 
     // Paper section 6.3: the appletviewer is an ordinary application with

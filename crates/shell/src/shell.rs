@@ -108,7 +108,18 @@ impl Shell {
                 }
             }
         }
-        self.run_pipeline(command, line)?;
+        // Causal root for everything this command sets in motion: execs,
+        // checks, pipe traffic, and AWT dispatches launched below all hang
+        // off this span (or its children) in the flight record.
+        let span = MpRuntime::current().and_then(|rt| {
+            rt.vm()
+                .obs()
+                .recorder()
+                .begin(jmp_obs::SpanCategory::Command, format!("sh:{line}"))
+        });
+        let outcome = self.run_pipeline(command, line);
+        drop(span);
+        outcome?;
         Ok(ControlFlow::Continue)
     }
 
@@ -153,7 +164,7 @@ impl Shell {
             }
             "help" => {
                 jsystem::println(
-                    "builtins: cd pwd jobs history top vmstat audit help quit; \
+                    "builtins: cd pwd jobs history top vmstat audit trace help quit; \
                      programs: ls cat echo head wc grep ps kill sleep touch \
                      mkdir rm cp mv whoami su passwd login appletviewer edit",
                 )?;
@@ -169,6 +180,10 @@ impl Shell {
             }
             "audit" => {
                 self.audit(&stage.args)?;
+                Ok(Builtin::Handled)
+            }
+            "trace" => {
+                self.trace(&stage.args)?;
                 Ok(Builtin::Handled)
             }
             _ => Ok(Builtin::NotBuiltin),
@@ -262,6 +277,74 @@ impl Shell {
             "audit.total              {}",
             snapshot.audit_total
         ))?;
+        jsystem::println(&format!(
+            "spans.recorded           {}",
+            snapshot.spans_recorded
+        ))?;
+        jsystem::println(&format!(
+            "spans.dropped            {}",
+            snapshot.spans_dropped
+        ))?;
+        let watchdogs = jmp_core::obs::watchdog_rows(&rt)?;
+        if !watchdogs.is_empty() {
+            jsystem::println("watchdogs:")?;
+            for row in &watchdogs {
+                jsystem::println(&format!(
+                    "  {:<24} app={:<4} last-beat={:>6}ms beats={:<8} {}",
+                    row.name,
+                    row.app.map_or_else(|| "-".to_string(), |id| id.to_string()),
+                    row.age_ms,
+                    row.beats,
+                    if row.stalled { "STALLED" } else { "ok" },
+                ))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `trace` builtin: `trace on|off` steers the VM-wide flight
+    /// recorder, `trace dump [file]` exports its ring as Chrome
+    /// `trace_event` JSON, and `trace` alone reports the current state.
+    /// `RuntimePermission("traceVm")`-gated; a denial is printed — and
+    /// audited — rather than killing the session.
+    fn trace(&self, args: &[String]) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        match args.first().map(String::as_str) {
+            Some("on") => match jmp_core::obs::set_tracing(&rt, true) {
+                Ok(()) => jsystem::println("tracing on")?,
+                Err(err) => jsystem::eprintln(&format!("trace: {err}"))?,
+            },
+            Some("off") => match jmp_core::obs::set_tracing(&rt, false) {
+                Ok(()) => jsystem::println("tracing off")?,
+                Err(err) => jsystem::eprintln(&format!("trace: {err}"))?,
+            },
+            Some("dump") => {
+                let json = match jmp_core::obs::chrome_trace(&rt) {
+                    Ok(json) => json,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("trace: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                match args.get(1) {
+                    Some(path) => match jmp_core::files::write(path, json.as_bytes()) {
+                        Ok(()) => jsystem::println(&format!("trace written to {path}"))?,
+                        Err(err) => jsystem::eprintln(&format!("trace: {err}"))?,
+                    },
+                    None => jsystem::println(&json)?,
+                }
+            }
+            None | Some("status") => match jmp_core::obs::tracing_enabled(&rt) {
+                Ok(true) => jsystem::println("tracing on")?,
+                Ok(false) => jsystem::println("tracing off")?,
+                Err(err) => jsystem::eprintln(&format!("trace: {err}"))?,
+            },
+            Some(other) => {
+                jsystem::eprintln(&format!(
+                    "trace: unknown argument {other} (usage: trace [on|off|dump [file]|status])"
+                ))?;
+            }
+        }
         Ok(())
     }
 

@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use jmp_obs::Counter;
+use jmp_obs::{trace, Counter, FlightRecorder, SpanCategory, TraceCtx};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::VmError;
@@ -17,6 +17,10 @@ struct PipeState {
     capacity: usize,
     write_closed: bool,
     read_closed: bool,
+    /// The trace context of the most recent traced writer. A pipe is a
+    /// causal boundary: the reader's `pipe.read` span is charged to the
+    /// *writer's* trace, because that is the request whose data it is.
+    trace: Option<TraceCtx>,
 }
 
 #[derive(Debug)]
@@ -26,6 +30,8 @@ struct Shared {
     writable: Condvar,
     /// Counts bytes accepted by the write end (see [`pipe_observed`]).
     bytes: Option<Arc<Counter>>,
+    /// Records write/read spans when tracing (see [`pipe_traced`]).
+    recorder: Option<FlightRecorder>,
 }
 
 /// Creates an in-memory pipe with the given buffer capacity.
@@ -43,16 +49,31 @@ pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
 /// VM-wide `pipe.bytes` counter here so shell pipelines show up in
 /// `vmstat` without the pipe knowing anything about metrics naming.
 pub fn pipe_observed(capacity: usize, bytes: Option<Arc<Counter>>) -> (PipeWriter, PipeReader) {
+    pipe_traced(capacity, bytes, None)
+}
+
+/// [`pipe_observed`], plus an optional flight recorder. A traced writer
+/// leaves a `pipe.write` span and stamps the pipe with its [`TraceCtx`];
+/// the next read leaves a `pipe.read` span *under the writer's context* —
+/// the cross-boundary link — and a reader thread that has no trace of its
+/// own adopts the writer's, so causality survives the handoff.
+pub fn pipe_traced(
+    capacity: usize,
+    bytes: Option<Arc<Counter>>,
+    recorder: Option<FlightRecorder>,
+) -> (PipeWriter, PipeReader) {
     let shared = Arc::new(Shared {
         state: Mutex::new(PipeState {
             buf: VecDeque::with_capacity(capacity.min(DEFAULT_PIPE_CAPACITY)),
             capacity: capacity.max(1),
             write_closed: false,
             read_closed: false,
+            trace: None,
         }),
         readable: Condvar::new(),
         writable: Condvar::new(),
         bytes,
+        recorder,
     });
     (
         PipeWriter {
@@ -87,6 +108,7 @@ impl PipeReader {
         if buf.is_empty() {
             return Ok(0);
         }
+        let timer = self.shared.recorder.as_ref().and_then(|r| r.timer());
         let mut state = self.shared.state.lock();
         loop {
             if state.read_closed {
@@ -98,6 +120,17 @@ impl PipeReader {
                     *slot = state.buf.pop_front().expect("length checked");
                 }
                 self.shared.writable.notify_all();
+                if let (Some(recorder), Some(ctx)) = (&self.shared.recorder, state.trace) {
+                    // Charge the read to the writer's trace; an untraced
+                    // reader thread adopts that context outright, so the
+                    // trace follows the data to whatever the reader does
+                    // next.
+                    if trace::current().is_none() {
+                        trace::install(Some(ctx));
+                    }
+                    let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    recorder.record_with_ctx(SpanCategory::Pipe, "pipe.read", ctx, None, latency);
+                }
                 return Ok(n);
             }
             if state.write_closed {
@@ -136,6 +169,7 @@ impl PipeWriter {
         if data.is_empty() {
             return Ok(0);
         }
+        let timer = self.shared.recorder.as_ref().and_then(|r| r.timer());
         let mut state = self.shared.state.lock();
         loop {
             if state.write_closed || state.read_closed {
@@ -147,6 +181,15 @@ impl PipeWriter {
                 state.buf.extend(&data[..n]);
                 if let Some(bytes) = &self.shared.bytes {
                     bytes.add(n as u64);
+                }
+                if let Some(recorder) = &self.shared.recorder {
+                    // Stamp the pipe with the writer's context (kept until a
+                    // later traced write replaces it) and leave the write span.
+                    if let Some(ctx) = trace::current() {
+                        state.trace = Some(ctx);
+                    }
+                    let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    recorder.record_latency(SpanCategory::Pipe, "pipe.write", None, latency);
                 }
                 self.shared.readable.notify_all();
                 return Ok(n);
@@ -231,6 +274,53 @@ mod tests {
         let mut buf = [0u8; 16];
         r.read(&mut buf).unwrap();
         assert_eq!(bytes.get(), 11, "reads do not double-count");
+    }
+
+    #[test]
+    fn traced_pipe_carries_the_writer_context_to_the_reader() {
+        let recorder = FlightRecorder::new(32);
+        let (w, r) = pipe_traced(16, None, Some(recorder.clone()));
+        trace::clear();
+        let exec = recorder.begin(SpanCategory::Exec, "exec:writer").unwrap();
+        let trace_id = exec.trace_id();
+        w.write_all(b"payload").unwrap();
+        drop(exec);
+        trace::clear();
+
+        // Read from a fresh, untraced thread: the writer's context crosses.
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 16];
+            let n = r.read(&mut buf).unwrap();
+            (n, trace::current())
+        });
+        let (n, adopted) = reader.join().unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(
+            adopted.map(|c| c.trace_id),
+            Some(trace_id),
+            "the untraced reader adopts the writer's trace"
+        );
+        let spans = recorder.spans();
+        let write = spans.iter().find(|s| s.name == "pipe.write").unwrap();
+        let read = spans.iter().find(|s| s.name == "pipe.read").unwrap();
+        assert_eq!(write.trace_id, trace_id);
+        assert_eq!(read.trace_id, trace_id, "one trace across the boundary");
+        assert_eq!(
+            read.parent, write.parent,
+            "both spans hang off the writer's span"
+        );
+    }
+
+    #[test]
+    fn untraced_pipes_record_nothing() {
+        let recorder = FlightRecorder::new(8);
+        let (w, r) = pipe_traced(16, None, Some(recorder.clone()));
+        trace::clear();
+        w.write_all(b"x").unwrap();
+        let mut buf = [0u8; 4];
+        r.read(&mut buf).unwrap();
+        assert_eq!(recorder.recorded(), 0, "no context, no spans");
+        assert_eq!(trace::current(), None, "nothing to adopt");
     }
 
     #[test]

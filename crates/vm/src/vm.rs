@@ -632,12 +632,17 @@ impl ThreadBuilder {
         vm.inner.threads.write().insert(id, handle.clone());
 
         let inherited = stack::capture_context();
+        // Like the access-control context, the trace context crosses the
+        // spawn: work the child does stays causally attached to the trace
+        // that requested it.
+        let inherited_trace = jmp_obs::trace::current();
         let vm_for_thread = vm.clone();
         let daemon = self.daemon;
         let spawn_result = std::thread::Builder::new().name(name).spawn(move || {
             let _guard = thread::enter_thread(Arc::clone(&ctl));
             CURRENT_VM.with(|c| *c.borrow_mut() = Some(vm_for_thread.clone()));
             stack::set_inherited(inherited);
+            jmp_obs::trace::install(inherited_trace);
             let outcome = catch_unwind(AssertUnwindSafe(|| body(vm_for_thread.clone())));
             let panic_message = outcome.err().map(|payload| {
                 payload
@@ -646,6 +651,7 @@ impl ThreadBuilder {
                     .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
                     .unwrap_or_else(|| "unknown panic".to_string())
             });
+            jmp_obs::trace::clear();
             stack::clear();
             CURRENT_VM.with(|c| *c.borrow_mut() = None);
             vm_for_thread.inner.threads.write().remove(&id);
