@@ -1,0 +1,83 @@
+//! A5: the access-control fast path in isolation — the fingerprint probe,
+//! a warm cached check, a cold (flushed-every-iteration) check, and the
+//! indexed-vs-linear policy question embedded in the cold number.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_security::{CodeSource, FileActions, Permission, Policy, ProtectionDomain};
+use jmp_vm::{stack, Vm};
+
+fn bench_policy() -> Policy {
+    let mut policy = Policy::new();
+    policy.grant_code(
+        CodeSource::local("file:/apps/-"),
+        vec![
+            Permission::file("/data/-", FileActions::READ),
+            Permission::file("/tmp/-", FileActions::ALL),
+            Permission::file("/etc/app.conf", FileActions::READ),
+            Permission::runtime("queuePrintJob"),
+        ],
+    );
+    policy
+}
+
+fn with_frames<R>(domains: &[Arc<ProtectionDomain>], f: impl FnOnce() -> R) -> R {
+    match domains.split_first() {
+        None => f(),
+        Some((domain, rest)) => {
+            stack::call_as("Bench", Arc::clone(domain), || with_frames(rest, f))
+        }
+    }
+}
+
+fn domains(vm: &Vm, n: usize) -> Vec<Arc<ProtectionDomain>> {
+    (0..n)
+        .map(|i| {
+            let source = CodeSource::local(format!("file:/apps/bench{i}"));
+            let permissions = vm.policy().permissions_for(&source);
+            Arc::new(ProtectionDomain::new(source, permissions))
+        })
+        .collect()
+}
+
+/// The no-alloc fingerprint probe against the full context snapshot it
+/// replaces on the warm path.
+fn bench_probe(c: &mut Criterion) {
+    let vm = Vm::builder().policy(bench_policy()).build();
+    let stack_domains = domains(&vm, 8);
+    let mut group = c.benchmark_group("A5/probe");
+    with_frames(&stack_domains, || {
+        group.bench_function("probe_fingerprint", |b| {
+            b.iter(|| stack::probe_fingerprint().0.hash);
+        });
+        group.bench_function("snapshot_and_fingerprint", |b| {
+            b.iter(|| stack::current_access_context().fingerprint().hash);
+        });
+    });
+    group.finish();
+}
+
+/// Warm (cached) vs cold (flushed) full checks through the VM chokepoint.
+fn bench_check(c: &mut Criterion) {
+    let vm = Vm::builder().policy(bench_policy()).build();
+    let stack_domains = domains(&vm, 8);
+    let demand = Permission::file("/data/report.txt", FileActions::READ);
+    let mut group = c.benchmark_group("A5/check");
+    with_frames(&stack_domains, || {
+        vm.access_check(&demand).expect("granted");
+        group.bench_function("warm_cached", |b| {
+            b.iter(|| vm.access_check(&demand).is_ok());
+        });
+        group.bench_function("cold_flushed", |b| {
+            b.iter(|| {
+                vm.flush_access_cache();
+                vm.access_check(&demand).is_ok()
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_check);
+criterion_main!(benches);

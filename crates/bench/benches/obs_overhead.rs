@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use jmp_obs::{EventKind, EventSink, ObsHub};
+use jmp_obs::{CacheOutcome, EventKind, EventSink, ObsHub};
 use jmp_security::{AccessController, CodeSource, Permission, ProtectionDomain};
 use jmp_vm::{stack, Vm};
 
@@ -31,10 +31,10 @@ fn bench_record_access_check(c: &mut Criterion) {
     let off = ObsHub::with_sink(EventSink::disabled());
     let mut group = c.benchmark_group("O1/record_access_check");
     group.bench_function("sink_enabled", |b| {
-        b.iter(|| live.record_access_check("", true, 8, Some("alice"), "", 250));
+        b.iter(|| live.record_access_check("", None, 8, Some("alice"), 250, CacheOutcome::Hit));
     });
     group.bench_function("sink_disabled", |b| {
-        b.iter(|| off.record_access_check("", true, 8, Some("alice"), "", 250));
+        b.iter(|| off.record_access_check("", None, 8, Some("alice"), 250, CacheOutcome::Hit));
     });
     group.finish();
 }

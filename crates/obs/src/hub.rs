@@ -60,6 +60,32 @@ impl Default for ObsClock {
     }
 }
 
+/// How the VM's permission decision cache participated in one access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the decision cache without walking the stack's domains.
+    Hit,
+    /// Looked up, absent — the full walk ran and (if granted) seeded the
+    /// cache.
+    Miss,
+    /// The cache was not consulted: an empty (fully-trusted) stack, a
+    /// denial re-derivation, or a caller outside the cached fast path.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// The span name recorded for a check with this outcome, e.g.
+    /// `access-check:hit`. The suffix doubles as a span attribute so trace
+    /// consumers (E11/E12, `vmstat`) can split warm from cold checks.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "access-check:hit",
+            CacheOutcome::Miss => "access-check:miss",
+            CacheOutcome::Bypass => "access-check:bypass",
+        }
+    }
+}
+
 struct HubInner {
     clock: ObsClock,
     sink: EventSink,
@@ -79,6 +105,15 @@ struct HubInner {
     denied: Arc<Counter>,
     check_ns: Arc<Histogram>,
     check_depth: Arc<Histogram>,
+    // Decision-cache accounting for the access-check fast path: hits serve
+    // from the VM-wide cache, misses fall through to the full walk, bypasses
+    // never consult the cache (empty stack or a denial re-derivation), and
+    // invalidations count epoch bumps (policy/security-manager/user-resolver
+    // changes).
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_bypass: Arc<Counter>,
+    cache_invalidations: Arc<Counter>,
     // Watchdog stalls are rare; the counter is still resolved once because
     // the checker thread runs every poll interval.
     stalls: Arc<Counter>,
@@ -120,6 +155,10 @@ impl ObsHub {
                 denied: vm.counter("security.denied"),
                 check_ns: vm.histogram("security.check_ns"),
                 check_depth: vm.histogram("security.check_depth"),
+                cache_hits: vm.counter("access.cache.hits"),
+                cache_misses: vm.counter("access.cache.misses"),
+                cache_bypass: vm.counter("access.cache.bypass"),
+                cache_invalidations: vm.counter("access.cache.invalidations"),
                 stalls: vm.counter("watchdog.stalls"),
                 vm,
                 apps: RwLock::new(BTreeMap::new()),
@@ -213,38 +252,47 @@ impl ObsHub {
             .collect()
     }
 
-    /// The chokepoint instrumentation record for one permission check
-    /// (granted or denied). Counts and times it VM-wide and against the
-    /// calling application; a denial additionally lands in the audit log and
-    /// the event stream with the refusing `context`.
+    /// The chokepoint instrumentation record for one permission check.
+    /// Counts and times it VM-wide and against the calling application.
+    /// `denied_context` is `None` for a granted check; a denial passes the
+    /// refusing-domain message, which additionally lands in the audit log
+    /// and the event stream. `cache` says how the decision cache
+    /// participated — it feeds the `access.cache.*` counters and suffixes
+    /// the span name so traces show which checks ran the slow path.
     pub fn record_access_check(
         &self,
         permission: &str,
-        granted: bool,
+        denied_context: Option<&str>,
         depth: usize,
         user: Option<&str>,
-        context: &str,
         latency_ns: u64,
+        cache: CacheOutcome,
     ) {
         let app = self.current_app();
         self.inner.checks.inc();
         self.inner.check_ns.record(latency_ns);
         self.inner.check_depth.record(depth as u64);
+        match cache {
+            CacheOutcome::Hit => self.inner.cache_hits.inc(),
+            CacheOutcome::Miss => self.inner.cache_misses.inc(),
+            CacheOutcome::Bypass => self.inner.cache_bypass.inc(),
+        }
         if let Some(registry) = app.and_then(|id| self.existing_app_registry(id)) {
             registry.counter("security.checks").inc();
-            if !granted {
+            if denied_context.is_some() {
                 registry.counter("security.denied").inc();
             }
         }
         // Inside a traced request, the check also leaves a span (the
-        // recorder skips untraced threads itself).
+        // recorder skips untraced threads itself). The cache outcome rides
+        // in the span name as a poor man's attribute.
         self.inner.recorder.record_latency(
             recorder::SpanCategory::Check,
-            "access-check",
+            cache.span_name(),
             app,
             latency_ns,
         );
-        if !granted {
+        if let Some(context) = denied_context {
             self.inner.denied.inc();
             // A denial is an incident: the audit record carries the flight
             // recorder's span ring, i.e. the causal history that led here.
@@ -262,6 +310,13 @@ impl ObsHub {
                 permission,
             );
         }
+    }
+
+    /// Records one decision-cache invalidation (an epoch bump: `set_policy`,
+    /// `set_security_manager`, or a user-resolver change killed every cached
+    /// decision at once).
+    pub fn record_access_cache_invalidation(&self) {
+        self.inner.cache_invalidations.inc();
     }
 
     /// Records an application fault (its main thread returned an error) as
@@ -402,17 +457,27 @@ mod tests {
         let hub = ObsHub::new();
         hub.app_registry(3, "ps");
         hub.set_app_resolver(Arc::new(|| Some(3)));
-        hub.record_access_check("(file /etc/passwd read)", true, 4, Some("alice"), "", 250);
+        hub.record_access_check(
+            "(file /etc/passwd read)",
+            None,
+            4,
+            Some("alice"),
+            250,
+            CacheOutcome::Hit,
+        );
         hub.record_access_check(
             "(file /home/alice/notes read)",
-            false,
+            Some("file:/apps/cat"),
             6,
             Some("bob"),
-            "file:/apps/cat",
             900,
+            CacheOutcome::Bypass,
         );
         assert_eq!(hub.vm_metrics().counter("security.checks").get(), 2);
         assert_eq!(hub.vm_metrics().counter("security.denied").get(), 1);
+        assert_eq!(hub.vm_metrics().counter("access.cache.hits").get(), 1);
+        assert_eq!(hub.vm_metrics().counter("access.cache.bypass").get(), 1);
+        assert_eq!(hub.vm_metrics().counter("access.cache.misses").get(), 0);
         let app = hub.existing_app_registry(3).unwrap();
         assert_eq!(app.counter("security.checks").get(), 2);
         assert_eq!(app.counter("security.denied").get(), 1);
@@ -443,8 +508,15 @@ mod tests {
         let hub = ObsHub::new();
         hub.app_registry(1, "cat");
         hub.set_app_resolver(Arc::new(|| Some(1)));
-        hub.record_access_check("", true, 2, None, "", 100);
-        hub.record_access_check("(runtime x)", false, 2, Some("bob"), "ctx", 100);
+        hub.record_access_check("", None, 2, None, 100, CacheOutcome::Miss);
+        hub.record_access_check(
+            "(runtime x)",
+            Some("ctx"),
+            2,
+            Some("bob"),
+            100,
+            CacheOutcome::Bypass,
+        );
         let rolled = hub.rollup();
         assert_eq!(rolled.counters["security.checks"], 2);
         assert_eq!(rolled.counters["security.denied"], 1);
@@ -490,11 +562,11 @@ mod tests {
         let trace_id = span.trace_id();
         hub.record_access_check(
             "(file /home/alice/x read)",
-            false,
+            Some("file:/apps/snoop"),
             5,
             Some("bob"),
-            "file:/apps/snoop",
             700,
+            CacheOutcome::Bypass,
         );
         drop(span);
         crate::trace::clear();

@@ -47,7 +47,7 @@ pub mod trace;
 mod watchdog;
 
 pub use audit::{AuditLog, AuditRecord};
-pub use hub::{AppResolver, HubSnapshot, ObsClock, ObsHub};
+pub use hub::{AppResolver, CacheOutcome, HubSnapshot, ObsClock, ObsHub};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };

@@ -3,6 +3,7 @@ use std::sync::Arc;
 
 use crate::domain::ProtectionDomain;
 use crate::error::SecurityError;
+use crate::intern::{ContextFingerprint, FingerprintBuilder};
 use crate::permission::Permission;
 use crate::policy::Policy;
 use crate::Result;
@@ -97,6 +98,31 @@ impl AccessContext {
     pub fn depth(&self) -> usize {
         self.entries.len() + self.inherited.as_ref().map_or(0, |p| p.depth())
     }
+
+    /// The fingerprint of the domain set an access-control walk of this
+    /// context would actually visit.
+    ///
+    /// Respects `doPrivileged` truncation — frames below (older than) a
+    /// privileged frame contribute nothing, so a truncated context can never
+    /// alias the fingerprint of the full stack it was cut from (unless the
+    /// hidden frames add no *new* domains, in which case the decisions are
+    /// identical anyway). Order-insensitive and duplicate-insensitive, which
+    /// is sound because the decision ANDs one predicate over the *set* of
+    /// visible domains.
+    pub fn fingerprint(&self) -> ContextFingerprint {
+        let mut builder = FingerprintBuilder::new();
+        let mut current = Some(self);
+        'walk: while let Some(c) = current {
+            for entry in &c.entries {
+                builder.add(&entry.domain);
+                if entry.privileged {
+                    break 'walk;
+                }
+            }
+            current = c.inherited.as_deref();
+        }
+        builder.fingerprint()
+    }
 }
 
 impl fmt::Display for AccessContext {
@@ -141,18 +167,48 @@ impl AccessController {
         running_user: Option<&str>,
         policy: &Policy,
     ) -> Result<()> {
-        let exercise = Permission::exercise_user_permissions();
         // Pre-compute whether the running user is granted the demand at all;
         // only consulted for domains holding the exercise permission.
         let user_granted = running_user.is_some_and(|u| policy.user_implies(u, demand));
+        AccessController::check_granted(ctx, demand, user_granted)
+    }
 
+    /// Checks `demand` using code-source permissions only (no user
+    /// combination). Equivalent to [`AccessController::check_with`] with no
+    /// running user — no policy is consulted at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::AccessDenied`] naming the refusing domain.
+    pub fn check(ctx: &AccessContext, demand: &Permission) -> Result<()> {
+        AccessController::check_granted(ctx, demand, false)
+    }
+
+    /// The shared walk: every *distinct* visible domain must satisfy the
+    /// demand, where `user_granted` says the running user's policy grants
+    /// cover it (so domains holding the exercise permission pass).
+    ///
+    /// Duplicate domains are checked once — sound because the walk is a pure
+    /// AND over visited domains — and dedup preserves first-occurrence order,
+    /// so the refusing domain named in a denial is exactly the one the
+    /// un-deduplicated walk would have named. The denial message is built
+    /// only on the error branch; the granted path formats nothing.
+    fn check_granted(ctx: &AccessContext, demand: &Permission, user_granted: bool) -> Result<()> {
+        let mut exercise: Option<Permission> = None;
+        let mut seen = FingerprintBuilder::new();
         let mut current = Some(ctx);
         while let Some(c) = current {
             for entry in &c.entries {
-                let code_ok = entry.domain.implies(demand);
-                let user_ok = user_granted && entry.domain.implies(&exercise);
-                if !code_ok && !user_ok {
-                    return Err(SecurityError::denied(demand, entry.domain.to_string()));
+                if seen.add(&entry.domain) {
+                    let code_ok = entry.domain.implies(demand);
+                    let user_ok = !code_ok && user_granted && {
+                        let exercise =
+                            exercise.get_or_insert_with(Permission::exercise_user_permissions);
+                        entry.domain.implies(exercise)
+                    };
+                    if !code_ok && !user_ok {
+                        return Err(SecurityError::denied(demand, entry.domain.to_string()));
+                    }
                 }
                 if entry.privileged {
                     return Ok(());
@@ -161,18 +217,6 @@ impl AccessController {
             current = c.inherited.as_deref();
         }
         Ok(())
-    }
-
-    /// Checks `demand` using code-source permissions only (no user
-    /// combination). Equivalent to [`AccessController::check_with`] with no
-    /// running user and an empty policy.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SecurityError::AccessDenied`] naming the refusing domain.
-    pub fn check(ctx: &AccessContext, demand: &Permission) -> Result<()> {
-        // An empty policy is just an empty Vec; constructing it here is free.
-        AccessController::check_with(ctx, demand, None, &Policy::new())
     }
 }
 
@@ -343,6 +387,111 @@ mod tests {
         assert_eq!(ctx.entries().len(), 2);
         assert_eq!(ctx.entries()[0].domain.code_source().url(), "file:/b");
         assert_eq!(ctx.depth(), 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_order_and_duplicates() {
+        let a = domain("file:/fp/a", vec![Permission::All]);
+        let b = domain("file:/fp/b", vec![]);
+        let ab = AccessContext::from_domains(vec![a.clone(), b.clone()]);
+        let ba = AccessContext::from_domains(vec![b.clone(), a.clone()]);
+        let aab = AccessContext::from_domains(vec![a.clone(), a.clone(), b.clone()]);
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+        assert_eq!(ab.fingerprint(), aab.fingerprint());
+        assert_eq!(ab.fingerprint().unique, 2);
+        assert_ne!(
+            ab.fingerprint(),
+            AccessContext::from_domains(vec![a]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_respects_privileged_truncation() {
+        let trusted = domain("file:/fp/trusted", vec![Permission::All]);
+        let below = domain("file:/fp/below", vec![]);
+        let truncated = AccessContext::from_entries(vec![
+            DomainEntry {
+                domain: trusted.clone(),
+                privileged: true,
+            },
+            DomainEntry {
+                domain: below.clone(),
+                privileged: false,
+            },
+        ]);
+        let full = AccessContext::from_entries(vec![
+            DomainEntry {
+                domain: trusted.clone(),
+                privileged: false,
+            },
+            DomainEntry {
+                domain: below,
+                privileged: false,
+            },
+        ]);
+        // The truncated walk sees {trusted} only.
+        assert_eq!(truncated.fingerprint().unique, 1);
+        assert_ne!(truncated.fingerprint(), full.fingerprint());
+        assert_eq!(
+            truncated.fingerprint(),
+            AccessContext::from_domains(vec![trusted]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_inherited_frames() {
+        let a = domain("file:/fp/inh-a", vec![Permission::All]);
+        let b = domain("file:/fp/inh-b", vec![Permission::All]);
+        let parent = Arc::new(AccessContext::from_domains(vec![b.clone()]));
+        let inherited = AccessContext::from_domains(vec![a.clone()]).inherit(parent);
+        let flat = AccessContext::from_domains(vec![a.clone(), b]);
+        assert_eq!(inherited.fingerprint(), flat.fingerprint());
+        assert_ne!(
+            inherited.fingerprint(),
+            AccessContext::from_domains(vec![a]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn empty_context_fingerprint_is_unique_zero() {
+        assert_eq!(AccessContext::empty().fingerprint().unique, 0);
+    }
+
+    #[test]
+    fn granted_checks_format_no_domain_strings() {
+        let d = domain("file:/fmt/granted", vec![Permission::All]);
+        let ctx = AccessContext::from_domains(vec![d.clone(), d]);
+        let before = crate::domain::domain_display_format_count();
+        for _ in 0..100 {
+            AccessController::check(&ctx, &read_tmp()).unwrap();
+        }
+        assert_eq!(
+            crate::domain::domain_display_format_count(),
+            before,
+            "the Ok path must not build denial strings"
+        );
+        // A denial does format (exactly the refusing domain).
+        let denied_ctx = AccessContext::from_domains(vec![domain("file:/fmt/denied", vec![])]);
+        AccessController::check(&denied_ctx, &read_tmp()).unwrap_err();
+        assert_eq!(
+            crate::domain::domain_display_format_count(),
+            before + 1,
+            "a denial formats exactly the refusing domain"
+        );
+    }
+
+    #[test]
+    fn duplicate_domains_are_checked_once_and_denials_name_first_refuser() {
+        let open = domain("file:/dup/open", vec![Permission::All]);
+        let first = domain("http://dup/first", vec![]);
+        let second = domain("http://dup/second", vec![]);
+        let ctx =
+            AccessContext::from_domains(vec![open.clone(), first.clone(), open, second, first]);
+        let err = AccessController::check(&ctx, &read_tmp()).unwrap_err();
+        assert!(
+            err.to_string().contains("http://dup/first"),
+            "dedup must preserve the first refusing domain: {err}"
+        );
     }
 
     #[test]

@@ -1,15 +1,26 @@
+use std::cell::Cell;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::code_source::CodeSource;
+use crate::index::PermissionIndex;
+use crate::intern::{self, DomainId, InternedDomain};
 use crate::permission::Permission;
 
 /// A heterogeneous set of granted permissions with an `implies` query
 /// (JDK `PermissionCollection`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The grant list is lazily compiled into a [`PermissionIndex`] on first
+/// query, replacing the linear scan with kind- and target-keyed lookups;
+/// mutation resets the index.
+#[derive(Debug, Default)]
 pub struct PermissionCollection {
     grants: Vec<Permission>,
+    /// Lazily-built query index over `grants`. Intentionally excluded from
+    /// `Clone`/`PartialEq`/serde: it is a pure function of `grants`.
+    index: OnceLock<PermissionIndex>,
 }
 
 impl PermissionCollection {
@@ -20,19 +31,30 @@ impl PermissionCollection {
 
     /// Creates a collection granting everything.
     pub fn all_permissions() -> PermissionCollection {
+        PermissionCollection::from_grants(vec![Permission::All])
+    }
+
+    fn from_grants(grants: Vec<Permission>) -> PermissionCollection {
         PermissionCollection {
-            grants: vec![Permission::All],
+            grants,
+            index: OnceLock::new(),
         }
     }
 
     /// Adds a permission to the collection.
     pub fn add(&mut self, permission: Permission) {
         self.grants.push(permission);
+        self.index.take();
     }
 
     /// Returns `true` if any granted permission implies `demand`.
     pub fn implies(&self, demand: &Permission) -> bool {
-        self.grants.iter().any(|g| g.implies(demand))
+        self.index().implies(demand)
+    }
+
+    fn index(&self) -> &PermissionIndex {
+        self.index
+            .get_or_init(|| PermissionIndex::build(&self.grants))
     }
 
     /// Returns `true` if no permissions are granted.
@@ -52,17 +74,47 @@ impl PermissionCollection {
     }
 }
 
+impl Clone for PermissionCollection {
+    fn clone(&self) -> PermissionCollection {
+        PermissionCollection::from_grants(self.grants.clone())
+    }
+}
+
+impl PartialEq for PermissionCollection {
+    fn eq(&self, other: &PermissionCollection) -> bool {
+        self.grants == other.grants
+    }
+}
+
+impl Eq for PermissionCollection {}
+
+impl Serialize for PermissionCollection {
+    fn serialize_value(&self) -> Value {
+        Value::Map(vec![("grants".to_string(), self.grants.serialize_value())])
+    }
+}
+
+impl Deserialize for PermissionCollection {
+    fn deserialize_value(value: &Value) -> Result<PermissionCollection, DeError> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map for PermissionCollection"))?;
+        Ok(PermissionCollection::from_grants(serde::field_from_map(
+            entries, "grants",
+        )?))
+    }
+}
+
 impl FromIterator<Permission> for PermissionCollection {
     fn from_iter<I: IntoIterator<Item = Permission>>(iter: I) -> Self {
-        PermissionCollection {
-            grants: iter.into_iter().collect(),
-        }
+        PermissionCollection::from_grants(iter.into_iter().collect())
     }
 }
 
 impl Extend<Permission> for PermissionCollection {
     fn extend<I: IntoIterator<Item = Permission>>(&mut self, iter: I) {
         self.grants.extend(iter);
+        self.index.take();
     }
 }
 
@@ -87,16 +139,41 @@ impl fmt::Display for PermissionCollection {
     }
 }
 
+thread_local! {
+    /// Counts every `Display` formatting of a [`ProtectionDomain`] on this
+    /// thread. Denial messages are the only hot-path consumer, so tests use
+    /// this to prove the granted path formats nothing. Thread-local so
+    /// concurrently-running tests cannot perturb each other's counts.
+    static DOMAIN_DISPLAY_FORMATS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of times a [`ProtectionDomain`] has been `Display`-formatted on
+/// the calling thread.
+///
+/// A test/diagnostic hook for the invariant that granted access checks never
+/// build denial strings; not part of the stable API.
+#[doc(hidden)]
+pub fn domain_display_format_count() -> u64 {
+    DOMAIN_DISPLAY_FORMATS.with(Cell::get)
+}
+
 /// The permissions granted to a [`CodeSource`] when its classes were defined
 /// (JDK 1.2 `ProtectionDomain`).
 ///
 /// In the JDK 1.2 architecture a class is assigned its protection domain at
 /// class-definition time, by resolving the policy against the class's code
 /// source; every stack frame executing that class's code carries the domain.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Domains are interned on first use: equal `(code source, grants)` pairs
+/// share one [`DomainId`], one fingerprint term and one bounded memo of
+/// `implies` results (see [`crate::intern`]).
+#[derive(Debug, Clone)]
 pub struct ProtectionDomain {
     code_source: CodeSource,
     permissions: PermissionCollection,
+    /// Lazily-resolved intern record; a pure function of the other fields,
+    /// so clones may carry it and equality ignores it.
+    interned: OnceLock<Arc<InternedDomain>>,
 }
 
 impl ProtectionDomain {
@@ -105,23 +182,21 @@ impl ProtectionDomain {
         ProtectionDomain {
             code_source,
             permissions,
+            interned: OnceLock::new(),
         }
     }
 
     /// A fully-privileged domain for runtime-internal ("system") code.
     pub fn system() -> ProtectionDomain {
-        ProtectionDomain {
-            code_source: CodeSource::local("file:/sys/-"),
-            permissions: PermissionCollection::all_permissions(),
-        }
+        ProtectionDomain::new(
+            CodeSource::local("file:/sys/-"),
+            PermissionCollection::all_permissions(),
+        )
     }
 
     /// A domain granting nothing, for completely untrusted code.
     pub fn untrusted(code_source: CodeSource) -> ProtectionDomain {
-        ProtectionDomain {
-            code_source,
-            permissions: PermissionCollection::new(),
-        }
+        ProtectionDomain::new(code_source, PermissionCollection::new())
     }
 
     /// The code source this domain was created for.
@@ -134,14 +209,43 @@ impl ProtectionDomain {
         &self.permissions
     }
 
+    /// The interned id of this domain. Equal domains always share an id.
+    pub fn id(&self) -> DomainId {
+        self.interned().id()
+    }
+
+    /// The shared intern record (id, fingerprint term, memo).
+    pub(crate) fn interned(&self) -> &Arc<InternedDomain> {
+        self.interned.get_or_init(|| intern::intern(self))
+    }
+
     /// Returns `true` if the domain's static permissions imply `demand`.
+    ///
+    /// Memoized per interned domain: a given `(domain, demand)` pair is
+    /// resolved against the grant index at most once VM-wide (until the memo
+    /// cap), after which this is a single hash lookup.
     pub fn implies(&self, demand: &Permission) -> bool {
-        self.permissions.implies(demand)
+        let interned = self.interned();
+        if let Some(memoized) = interned.memo().get(demand) {
+            return memoized;
+        }
+        let granted = self.permissions.implies(demand);
+        interned.memo().insert(demand, granted);
+        granted
     }
 }
 
+impl PartialEq for ProtectionDomain {
+    fn eq(&self, other: &ProtectionDomain) -> bool {
+        self.code_source == other.code_source && self.permissions == other.permissions
+    }
+}
+
+impl Eq for ProtectionDomain {}
+
 impl fmt::Display for ProtectionDomain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        DOMAIN_DISPLAY_FORMATS.with(|count| count.set(count.get() + 1));
         write!(f, "domain[{}]", self.code_source)
     }
 }
@@ -210,11 +314,56 @@ mod tests {
     }
 
     #[test]
+    fn mutation_resets_the_query_index() {
+        let mut pc = PermissionCollection::new();
+        assert!(!pc.implies(&Permission::runtime("late")));
+        pc.add(Permission::runtime("late"));
+        assert!(pc.implies(&Permission::runtime("late")));
+        assert!(!pc.implies(&Permission::runtime("later")));
+        pc.extend([Permission::runtime("later")]);
+        assert!(pc.implies(&Permission::runtime("later")));
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_the_index() {
+        let mut pc = PermissionCollection::new();
+        pc.add(Permission::runtime("x"));
+        // Build the index on one side only.
+        assert!(pc.implies(&Permission::runtime("x")));
+        let fresh: PermissionCollection = [Permission::runtime("x")].into_iter().collect();
+        assert_eq!(pc, fresh);
+        let cloned = pc.clone();
+        assert_eq!(cloned, pc);
+        assert!(cloned.implies(&Permission::runtime("x")));
+    }
+
+    #[test]
+    fn collection_serde_roundtrip() {
+        let pc: PermissionCollection = [
+            Permission::file("/a/-", FileActions::READ),
+            Permission::runtime("exitVM"),
+        ]
+        .into_iter()
+        .collect();
+        let value = pc.serialize_value();
+        let back = PermissionCollection::deserialize_value(&value).unwrap();
+        assert_eq!(pc, back);
+    }
+
+    #[test]
     fn display_formats() {
         let mut pc = PermissionCollection::new();
         pc.add(Permission::runtime("exitVM"));
         assert!(pc.to_string().contains("exitVM"));
         let d = ProtectionDomain::new(CodeSource::local("file:/x"), pc);
         assert!(d.to_string().contains("file:/x"));
+    }
+
+    #[test]
+    fn display_is_counted() {
+        let d = ProtectionDomain::system();
+        let before = domain_display_format_count();
+        let _ = d.to_string();
+        assert!(domain_display_format_count() > before);
     }
 }

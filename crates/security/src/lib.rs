@@ -67,14 +67,20 @@ mod access;
 mod code_source;
 mod domain;
 mod error;
+mod index;
+mod intern;
 mod permission;
 mod policy;
 mod principal;
 
 pub use access::{AccessContext, AccessController, DomainEntry};
 pub use code_source::CodeSource;
+#[doc(hidden)]
+pub use domain::domain_display_format_count;
 pub use domain::{PermissionCollection, ProtectionDomain};
 pub use error::SecurityError;
+pub use index::PermissionIndex;
+pub use intern::{interned_domain_count, ContextFingerprint, DomainId, FingerprintBuilder};
 pub use permission::{FileActions, Permission, PropertyActions, SocketActions};
 pub use policy::{Grant, GrantTarget, Policy};
 pub use principal::{User, UserId, UserRegistry};

@@ -449,7 +449,7 @@ impl fmt::Display for Permission {
 /// The *demanded* side (`demand`) is always a concrete path or itself a
 /// pattern that must be entirely covered: a grant of `/a/-` covers a demand
 /// for `/a/b/*`, but a grant of `/a/*` does not cover a demand for `/a/-`.
-fn path_pattern_implies(grant: &str, demand: &str) -> bool {
+pub(crate) fn path_pattern_implies(grant: &str, demand: &str) -> bool {
     if grant == "<<ALL FILES>>" {
         return true;
     }
@@ -488,7 +488,7 @@ fn path_pattern_implies(grant: &str, demand: &str) -> bool {
 
 /// `SocketPermission` host matching: `host[:port]`, host may be `*` or
 /// `*.suffix`; a grant without a port covers any port.
-fn host_pattern_implies(grant: &str, demand: &str) -> bool {
+pub(crate) fn host_pattern_implies(grant: &str, demand: &str) -> bool {
     let (ghost, gport) = split_host_port(grant);
     let (dhost, dport) = split_host_port(demand);
     let host_ok = if ghost == "*" {
@@ -517,7 +517,7 @@ fn split_host_port(spec: &str) -> (&str, Option<&str>) {
 
 /// Dotted-name matching for runtime/property/awt/user targets: a grant of
 /// `*` covers everything; a grant ending in `.*` or `*` is a prefix wildcard.
-fn name_pattern_implies(grant: &str, demand: &str) -> bool {
+pub(crate) fn name_pattern_implies(grant: &str, demand: &str) -> bool {
     if grant == "*" {
         return true;
     }

@@ -1,10 +1,13 @@
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::code_source::CodeSource;
 use crate::domain::PermissionCollection;
 use crate::error::SecurityError;
+use crate::index::PermissionIndex;
 use crate::permission::{FileActions, Permission, PropertyActions, SocketActions};
 use crate::Result;
 
@@ -57,15 +60,25 @@ pub struct Grant {
 ///     permission file "/home/alice/-" "read,write,delete";
 /// };
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct Policy {
     grants: Vec<Grant>,
+    /// Lazily-built per-user grant index, a pure function of `grants`
+    /// (excluded from `Clone`/`PartialEq`/serde); reset on mutation.
+    user_index: OnceLock<HashMap<String, PermissionIndex>>,
 }
 
 impl Policy {
     /// Creates an empty policy (grants nothing to anyone).
     pub fn new() -> Policy {
         Policy::default()
+    }
+
+    fn from_grants(grants: Vec<Grant>) -> Policy {
+        Policy {
+            grants,
+            user_index: OnceLock::new(),
+        }
     }
 
     /// Parses policy text.
@@ -81,11 +94,12 @@ impl Policy {
     /// Adds a grant programmatically.
     pub fn add_grant(&mut self, grant: Grant) {
         self.grants.push(grant);
+        self.user_index.take();
     }
 
     /// Convenience: grant `permissions` to code matching `source_pattern`.
     pub fn grant_code(&mut self, source: CodeSource, permissions: Vec<Permission>) {
-        self.grants.push(Grant {
+        self.add_grant(Grant {
             target: GrantTarget::Code(source),
             permissions,
         });
@@ -93,7 +107,7 @@ impl Policy {
 
     /// Convenience: grant `permissions` to the user named `user`.
     pub fn grant_user(&mut self, user: impl Into<String>, permissions: Vec<Permission>) {
-        self.grants.push(Grant {
+        self.add_grant(Grant {
             target: GrantTarget::User(user.into()),
             permissions,
         });
@@ -135,13 +149,62 @@ impl Policy {
     }
 
     /// Returns `true` if the policy grants `demand` to the user named `user`.
+    ///
+    /// Served from a lazily-built per-user [`PermissionIndex`] rather than a
+    /// scan over every grant block.
     pub fn user_implies(&self, user: &str, demand: &Permission) -> bool {
-        self.grants.iter().any(|g| match &g.target {
-            GrantTarget::User(name) if name == user => {
-                g.permissions.iter().any(|p| p.implies(demand))
+        self.user_index()
+            .get(user)
+            .is_some_and(|index| index.implies(demand))
+    }
+
+    fn user_index(&self) -> &HashMap<String, PermissionIndex> {
+        self.user_index.get_or_init(|| {
+            let mut by_user: HashMap<String, Vec<&Permission>> = HashMap::new();
+            for grant in &self.grants {
+                if let GrantTarget::User(name) = &grant.target {
+                    by_user
+                        .entry(name.clone())
+                        .or_default()
+                        .extend(grant.permissions.iter());
+                }
             }
-            _ => false,
+            by_user
+                .into_iter()
+                .map(|(user, perms)| (user, PermissionIndex::build(perms)))
+                .collect()
         })
+    }
+}
+
+impl Clone for Policy {
+    fn clone(&self) -> Policy {
+        Policy::from_grants(self.grants.clone())
+    }
+}
+
+impl PartialEq for Policy {
+    fn eq(&self, other: &Policy) -> bool {
+        self.grants == other.grants
+    }
+}
+
+impl Eq for Policy {}
+
+impl Serialize for Policy {
+    fn serialize_value(&self) -> Value {
+        Value::Map(vec![("grants".to_string(), self.grants.serialize_value())])
+    }
+}
+
+impl Deserialize for Policy {
+    fn deserialize_value(value: &Value) -> std::result::Result<Policy, DeError> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map for Policy"))?;
+        Ok(Policy::from_grants(serde::field_from_map(
+            entries, "grants",
+        )?))
     }
 }
 
@@ -560,6 +623,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn user_index_resets_on_mutation() {
+        let mut policy = Policy::new();
+        let demand = Permission::file("/home/alice/x", FileActions::READ);
+        // Build the index, then mutate: the new grant must be honored.
+        assert!(!policy.user_implies("alice", &demand));
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        assert!(policy.user_implies("alice", &demand));
+        // Grants spread over multiple blocks for the same user all apply.
+        policy.grant_user("alice", vec![Permission::runtime("lateGrant")]);
+        assert!(policy.user_implies("alice", &Permission::runtime("lateGrant")));
+        assert!(policy.user_implies("alice", &demand));
+    }
+
+    #[test]
+    fn policy_serde_roundtrip() {
+        let policy = Policy::parse(PAPER_POLICY).unwrap();
+        let value = policy.serialize_value();
+        let back = Policy::deserialize_value(&value).unwrap();
+        assert_eq!(policy, back);
+        assert!(back.user_implies(
+            "alice",
+            &Permission::file("/home/alice/notes.txt", FileActions::WRITE)
+        ));
     }
 
     #[test]

@@ -365,6 +365,10 @@ fn top_vmstat_audit_for_the_system_account() {
         "vmstat prints the rollup counters: {screen:?}"
     );
     assert!(screen.contains("events.published"));
+    assert!(
+        screen.contains("access.cache.hits") && screen.contains("access.cache.misses"),
+        "vmstat surfaces the decision-cache hit/miss counters: {screen:?}"
+    );
     assert!(screen.contains("denial(s)"), "audit prints a summary line");
     rt.shutdown();
 }

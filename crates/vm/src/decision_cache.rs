@@ -1,0 +1,229 @@
+//! The VM-wide permission decision cache.
+//!
+//! Stack-inspection checks are highly cacheable: the set of domains on a
+//! stack, the demanded permission, and the running user fully determine the
+//! decision, and all three change far more slowly than checks are issued.
+//! [`DecisionCache`] memoizes **granted** decisions keyed by
+//! `(context fingerprint, demand, running user)`; denials are deliberately
+//! never cached, so every denial re-runs the full walk and re-derives the
+//! exact refusing-domain audit message (the audit-exactness invariant).
+//!
+//! Invalidation is epoch-based: every entry records the epoch it was derived
+//! under, and anything that can change a decision — `set_policy`,
+//! `set_security_manager`, a user-resolver change — bumps the epoch, which
+//! kills every stale entry at once without a sweep. Entries are *inserted*
+//! with the epoch captured **before** the policy walk began, so a reload
+//! that races a concurrent walk invalidates the in-flight result too: the
+//! walker's captured epoch no longer matches and its insert can never serve
+//! a future lookup.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jmp_security::{ContextFingerprint, Permission};
+use parking_lot::RwLock;
+
+/// Shard count; must be a power of two. Spreads lock contention across
+/// concurrently-checking threads.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap. A full shard is cleared rather than evicted
+/// entry-by-entry — decisions are cheap to re-derive and workloads with more
+/// than `SHARDS * SHARD_CAP` distinct live keys are not the target.
+const SHARD_CAP: usize = 4096;
+
+/// Key of one cached decision: the fingerprint of the visible domain set
+/// plus a hash of `(demand, running user)`. Keeping the demand hashed (not
+/// cloned) keeps the hot path allocation-free; a 64+64-bit collision is
+/// vanishingly unlikely and the worst case re-runs a sound walk.
+type Key = (u64, u64);
+
+/// A fast multiply-xor hasher (FxHash-style) for the hot path. The warm
+/// check hashes the demanded permission once and the 128-bit key once per
+/// lookup; a keyed SipHash there costs more than the lookup itself, and the
+/// cache needs no DoS resistance — a collision merely re-runs a sound walk.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+type Shard = HashMap<Key, u64, BuildHasherDefault<FxHasher>>;
+
+/// A sharded, epoch-invalidated map of granted access-control decisions.
+#[derive(Debug, Default)]
+pub struct DecisionCache {
+    epoch: AtomicU64,
+    shards: [RwLock<Shard>; SHARDS],
+}
+
+fn demand_key(demand: &Permission, user: Option<&str>) -> u64 {
+    let mut hasher = FxHasher::default();
+    demand.hash(&mut hasher);
+    user.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl DecisionCache {
+    /// Creates an empty cache at epoch 0.
+    pub fn new() -> DecisionCache {
+        DecisionCache::default()
+    }
+
+    /// The current epoch. Capture it **before** walking the policy, and pass
+    /// the captured value to [`DecisionCache::insert_granted`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bumps the epoch, logically discarding every cached decision.
+    pub fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<Shard> {
+        // The fingerprint half is already avalanche-mixed; its low bits pick
+        // the shard.
+        &self.shards[(key.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Returns `true` if a granted decision for this exact
+    /// `(context, demand, user)` triple was derived under the current epoch.
+    pub fn lookup_granted(
+        &self,
+        fingerprint: ContextFingerprint,
+        demand: &Permission,
+        user: Option<&str>,
+    ) -> bool {
+        let key = (fingerprint.hash, demand_key(demand, user));
+        let current = self.epoch();
+        self.shard(&key)
+            .read()
+            .get(&key)
+            .is_some_and(|entry_epoch| *entry_epoch == current)
+    }
+
+    /// Records a granted decision derived while the epoch was
+    /// `derived_epoch`. A stale insert (the epoch moved during the walk) is
+    /// stored but can never match a future lookup, so a policy reload racing
+    /// a walk never resurrects a pre-reload decision.
+    pub fn insert_granted(
+        &self,
+        fingerprint: ContextFingerprint,
+        demand: &Permission,
+        user: Option<&str>,
+        derived_epoch: u64,
+    ) {
+        let key = (fingerprint.hash, demand_key(demand, user));
+        let mut shard = self.shard(&key).write();
+        if shard.len() >= SHARD_CAP && !shard.contains_key(&key) {
+            shard.clear();
+        }
+        shard.insert(key, derived_epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmp_security::FileActions;
+
+    fn fp(hash: u64) -> ContextFingerprint {
+        ContextFingerprint { hash, unique: 1 }
+    }
+
+    #[test]
+    fn lookup_returns_only_current_epoch_entries() {
+        let cache = DecisionCache::new();
+        let demand = Permission::runtime("x");
+        assert!(!cache.lookup_granted(fp(1), &demand, None));
+        cache.insert_granted(fp(1), &demand, None, cache.epoch());
+        assert!(cache.lookup_granted(fp(1), &demand, None));
+        cache.invalidate();
+        assert!(!cache.lookup_granted(fp(1), &demand, None));
+    }
+
+    #[test]
+    fn key_covers_fingerprint_demand_and_user() {
+        let cache = DecisionCache::new();
+        let read = Permission::file("/a", FileActions::READ);
+        let write = Permission::file("/a", FileActions::WRITE);
+        cache.insert_granted(fp(1), &read, Some("alice"), cache.epoch());
+        assert!(cache.lookup_granted(fp(1), &read, Some("alice")));
+        assert!(!cache.lookup_granted(fp(2), &read, Some("alice")));
+        assert!(!cache.lookup_granted(fp(1), &write, Some("alice")));
+        assert!(!cache.lookup_granted(fp(1), &read, Some("bob")));
+        assert!(!cache.lookup_granted(fp(1), &read, None));
+    }
+
+    #[test]
+    fn stale_insert_never_serves_lookups() {
+        let cache = DecisionCache::new();
+        let demand = Permission::runtime("x");
+        // A walker captured the epoch, then a reload raced it.
+        let captured = cache.epoch();
+        cache.invalidate();
+        cache.insert_granted(fp(1), &demand, None, captured);
+        assert!(
+            !cache.lookup_granted(fp(1), &demand, None),
+            "pre-reload decision must not survive the reload"
+        );
+        // A post-reload derivation does serve.
+        cache.insert_granted(fp(1), &demand, None, cache.epoch());
+        assert!(cache.lookup_granted(fp(1), &demand, None));
+    }
+
+    #[test]
+    fn full_shard_clears_and_keeps_accepting() {
+        let cache = DecisionCache::new();
+        let demand = Permission::runtime("x");
+        // Drive one shard past its cap; all keys here land in shard 0.
+        for i in 0..(SHARD_CAP as u64 + 10) {
+            cache.insert_granted(fp(i * SHARDS as u64), &demand, None, cache.epoch());
+        }
+        // The overflow cleared the shard (dropping the earliest entries) but
+        // later inserts still land and serve.
+        assert!(!cache.lookup_granted(fp(0), &demand, None));
+        let last = (SHARD_CAP as u64 + 9) * SHARDS as u64;
+        assert!(cache.lookup_granted(fp(last), &demand, None));
+    }
+}

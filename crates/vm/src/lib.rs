@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod classes;
+mod decision_cache;
 mod error;
 mod group;
 pub mod interp;

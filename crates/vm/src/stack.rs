@@ -19,7 +19,9 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use jmp_security::{AccessContext, DomainEntry, ProtectionDomain};
+use jmp_security::{
+    AccessContext, ContextFingerprint, DomainEntry, FingerprintBuilder, ProtectionDomain,
+};
 
 #[derive(Clone)]
 struct Frame {
@@ -35,6 +37,12 @@ struct FrameStack {
     /// Context captured from the spawning thread (JDK inherited
     /// `AccessControlContext`).
     inherited: Option<Arc<AccessContext>>,
+    /// Bumped on every stack mutation; keys `probe_memo` so repeated
+    /// fingerprint probes between mutations are O(1).
+    generation: u64,
+    /// The last probe's `(generation, fingerprint, depth)`. Valid while
+    /// `generation` still matches — i.e. until the next push/pop.
+    probe_memo: Option<(u64, ContextFingerprint, usize)>,
 }
 
 thread_local! {
@@ -76,7 +84,11 @@ pub fn do_privileged<R>(f: impl FnOnce() -> R) -> R {
 }
 
 fn push(frame: Frame) {
-    STACK.with(|s| s.borrow_mut().frames.push(frame));
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.frames.push(frame);
+        stack.generation += 1;
+    });
 }
 
 struct PopGuard(());
@@ -84,7 +96,9 @@ struct PopGuard(());
 impl Drop for PopGuard {
     fn drop(&mut self) {
         STACK.with(|s| {
-            s.borrow_mut().frames.pop();
+            let mut stack = s.borrow_mut();
+            stack.frames.pop();
+            stack.generation += 1;
         });
     }
 }
@@ -111,6 +125,56 @@ pub fn current_access_context() -> AccessContext {
     })
 }
 
+/// Fingerprints the domain set an access check on the current thread would
+/// visit, without snapshotting an [`AccessContext`] (no `Arc` clones, no
+/// `Vec`). Also returns the full-walk depth, matching
+/// [`AccessContext::depth`] on the snapshot [`current_access_context`] would
+/// have produced.
+///
+/// Mirrors [`AccessContext::fingerprint`] exactly, including `doPrivileged`
+/// truncation: frames older than a privileged frame — and the inherited
+/// context behind them — contribute nothing, so the fast path keys the
+/// decision cache on precisely the set the real walk would consult.
+///
+/// The result is memoized against a per-thread stack generation counter
+/// (bumped on every frame push/pop), so back-to-back checks from the same
+/// frame — the dominant pattern on hot paths — pay for the walk once.
+pub fn probe_fingerprint() -> (ContextFingerprint, usize) {
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some((generation, fingerprint, depth)) = stack.probe_memo {
+            if generation == stack.generation {
+                return (fingerprint, depth);
+            }
+        }
+        let mut builder = FingerprintBuilder::new();
+        let mut truncated = false;
+        for frame in stack.frames.iter().rev() {
+            builder.add(&frame.domain);
+            if frame.privileged {
+                truncated = true;
+                break;
+            }
+        }
+        if !truncated {
+            let mut current = stack.inherited.as_deref();
+            'walk: while let Some(ctx) = current {
+                for entry in ctx.entries() {
+                    builder.add(&entry.domain);
+                    if entry.privileged {
+                        break 'walk;
+                    }
+                }
+                current = ctx.inherited().map(Arc::as_ref);
+            }
+        }
+        let depth = stack.frames.len() + stack.inherited.as_ref().map_or(0, |p| p.depth());
+        let fingerprint = builder.fingerprint();
+        stack.probe_memo = Some((stack.generation, fingerprint, depth));
+        (fingerprint, depth)
+    })
+}
+
 /// Captures the current context as an `Arc`, suitable for installing as a
 /// new thread's inherited context (JDK captures the creating thread's
 /// context at `Thread` creation).
@@ -121,7 +185,11 @@ pub fn capture_context() -> Arc<AccessContext> {
 /// Installs the inherited context for the current thread. Called by the
 /// spawn wrapper before the thread body runs.
 pub(crate) fn set_inherited(ctx: Arc<AccessContext>) {
-    STACK.with(|s| s.borrow_mut().inherited = Some(ctx));
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.inherited = Some(ctx);
+        stack.generation += 1;
+    });
 }
 
 /// Clears all frame state for the current thread (spawn wrapper teardown).
@@ -259,6 +327,83 @@ mod tests {
         AccessController::check(&ctx, &read_tmp()).unwrap_err();
         clear();
         AccessController::check(&current_access_context(), &read_tmp()).unwrap();
+    }
+
+    #[test]
+    fn probe_matches_snapshot_fingerprint() {
+        let a = domain("file:/probe/a", vec![Permission::All]);
+        let b = domain("file:/probe/b", vec![]);
+        call_as("A", a, || {
+            call_as("B", b, || {
+                let (fp, depth) = probe_fingerprint();
+                let ctx = current_access_context();
+                assert_eq!(fp, ctx.fingerprint());
+                assert_eq!(depth, ctx.depth());
+                assert_eq!(fp.unique, 2);
+            });
+        });
+    }
+
+    #[test]
+    fn probe_respects_privileged_truncation() {
+        let trusted = domain("file:/probe/sys", vec![Permission::All]);
+        let untrusted = domain("http://probe/evil", vec![]);
+        call_as("Evil", untrusted, || {
+            call_as("Font", trusted, || {
+                do_privileged(|| {
+                    let (fp, depth) = probe_fingerprint();
+                    let ctx = current_access_context();
+                    assert_eq!(fp, ctx.fingerprint());
+                    assert_eq!(depth, ctx.depth());
+                    // Only the privileged trusted domain is visible.
+                    assert_eq!(fp.unique, 1);
+                });
+                let (full, _) = probe_fingerprint();
+                assert_eq!(full.unique, 2);
+            });
+        });
+    }
+
+    #[test]
+    fn probe_covers_inherited_context() {
+        let parent = Arc::new(AccessContext::from_domains(vec![domain(
+            "http://probe/parent",
+            vec![],
+        )]));
+        set_inherited(parent);
+        call_as("Child", domain("file:/probe/child", vec![]), || {
+            let (fp, depth) = probe_fingerprint();
+            let ctx = current_access_context();
+            assert_eq!(fp, ctx.fingerprint());
+            assert_eq!(depth, ctx.depth());
+            assert_eq!(fp.unique, 2);
+        });
+        clear();
+    }
+
+    #[test]
+    fn probe_memo_tracks_stack_mutations() {
+        let a = domain("file:/memo/a", vec![Permission::All]);
+        let b = domain("file:/memo/b", vec![]);
+        call_as("A", a, || {
+            let (fp_a, _) = probe_fingerprint();
+            // Memoized repeat is identical.
+            assert_eq!(probe_fingerprint().0, fp_a);
+            call_as("B", b, || {
+                let (fp_ab, _) = probe_fingerprint();
+                assert_ne!(fp_ab, fp_a, "push must invalidate the probe memo");
+            });
+            // The pop restored the original visible set.
+            assert_eq!(probe_fingerprint().0, fp_a, "pop must invalidate too");
+        });
+    }
+
+    #[test]
+    fn probe_on_empty_stack_reports_unique_zero() {
+        clear();
+        let (fp, depth) = probe_fingerprint();
+        assert_eq!(fp.unique, 0);
+        assert_eq!(depth, 0);
     }
 
     #[test]

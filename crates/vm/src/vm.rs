@@ -6,11 +6,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use jmp_obs::{EventKind, ObsHub};
+use jmp_obs::{CacheOutcome, EventKind, ObsHub};
 use jmp_security::{AccessController, Permission, Policy};
 use parking_lot::{Mutex, RwLock};
 
 use crate::classes::{Class, ClassLoader, MaterialRegistry};
+use crate::decision_cache::DecisionCache;
 use crate::error::VmError;
 use crate::group::ThreadGroup;
 use crate::properties::Properties;
@@ -83,6 +84,7 @@ struct VmInner {
     next_thread_id: AtomicU64,
     security_manager: RwLock<Option<Arc<dyn SecurityManager>>>,
     user_resolver: RwLock<Option<UserResolver>>,
+    decisions: DecisionCache,
     obs: ObsHub,
     shutdown: AtomicBool,
     shutdown_at: Mutex<Option<Instant>>,
@@ -179,6 +181,7 @@ impl VmBuilder {
                 next_thread_id: AtomicU64::new(1),
                 security_manager: RwLock::new(None),
                 user_resolver: RwLock::new(None),
+                decisions: DecisionCache::new(),
                 obs,
                 shutdown: AtomicBool::new(false),
                 shutdown_at: Mutex::new(None),
@@ -275,7 +278,18 @@ impl Vm {
     pub fn set_policy(&self, policy: Policy) -> Result<()> {
         self.check_permission(&Permission::runtime("setPolicy"))?;
         *self.inner.policy.write() = Arc::new(policy);
+        self.flush_access_cache();
         Ok(())
+    }
+
+    /// Drops every cached access-control decision by bumping the cache
+    /// epoch. Called automatically by [`Vm::set_policy`],
+    /// [`Vm::set_security_manager`] and [`Vm::set_user_resolver`]; exposed
+    /// for benchmarks and tests that need a cold cache on an unchanged
+    /// policy.
+    pub fn flush_access_cache(&self) {
+        self.inner.decisions.invalidate();
+        self.inner.obs.record_access_cache_invalidation();
     }
 
     /// Pure stack-inspection check against the policy, combining user-based
@@ -283,36 +297,81 @@ impl Vm {
     /// security-manager implementations delegate to — the analogue of
     /// `AccessController.checkPermission`.
     ///
+    /// The warm path is O(1): the stack is reduced to a [fingerprint of the
+    /// visible domain set](stack::probe_fingerprint) without snapshotting a
+    /// context, and a granted decision cached for `(fingerprint, demand,
+    /// running user)` under the current policy epoch is returned directly.
+    /// Denials are never cached — every denial re-runs the full walk so the
+    /// audit record names exactly the refusing domain.
+    ///
     /// # Errors
     ///
     /// [`VmError::Security`] naming the refusing domain.
     pub fn access_check(&self, perm: &Permission) -> Result<()> {
         let started = Instant::now();
-        let ctx = stack::current_access_context();
+        let (fingerprint, depth) = stack::probe_fingerprint();
+        if fingerprint.unique == 0 {
+            // Empty visible domain set: only runtime-internal code executes,
+            // which is fully trusted. No context, no policy, no cache.
+            let latency_ns = started.elapsed().as_nanos() as u64;
+            self.inner.obs.record_access_check(
+                "",
+                None,
+                depth,
+                None,
+                latency_ns,
+                CacheOutcome::Bypass,
+            );
+            return Ok(());
+        }
+        // Capture the epoch before consulting anything the epoch guards
+        // (user resolver, policy): if a reload races this check, the stale
+        // insert below can never serve a post-reload lookup.
+        let epoch = self.inner.decisions.epoch();
         let user = self.current_user();
+        if self
+            .inner
+            .decisions
+            .lookup_granted(fingerprint, perm, user.as_deref())
+        {
+            let latency_ns = started.elapsed().as_nanos() as u64;
+            self.inner.obs.record_access_check(
+                "",
+                None,
+                depth,
+                user.as_deref(),
+                latency_ns,
+                CacheOutcome::Hit,
+            );
+            return Ok(());
+        }
+        let ctx = stack::current_access_context();
         let result = AccessController::check_with(&ctx, perm, user.as_deref(), &self.policy());
         let latency_ns = started.elapsed().as_nanos() as u64;
         // The hub only reads the permission/context strings on a denial, so
         // the granted (hot) path skips both display allocations.
         match &result {
             Ok(()) => {
+                self.inner
+                    .decisions
+                    .insert_granted(fingerprint, perm, user.as_deref(), epoch);
                 self.inner.obs.record_access_check(
                     "",
-                    true,
-                    ctx.depth(),
+                    None,
+                    depth,
                     user.as_deref(),
-                    "",
                     latency_ns,
+                    CacheOutcome::Miss,
                 );
             }
             Err(err) => {
                 self.inner.obs.record_access_check(
                     &perm.to_string(),
-                    false,
-                    ctx.depth(),
+                    Some(&err.to_string()),
+                    depth,
                     user.as_deref(),
-                    &err.to_string(),
                     latency_ns,
+                    CacheOutcome::Bypass,
                 );
             }
         }
@@ -348,6 +407,7 @@ impl Vm {
     pub fn set_security_manager(&self, sm: Arc<dyn SecurityManager>) -> Result<()> {
         self.check_permission(&Permission::runtime("setSecurityManager"))?;
         *self.inner.security_manager.write() = Some(sm);
+        self.flush_access_cache();
         Ok(())
     }
 
@@ -366,6 +426,7 @@ impl Vm {
     pub fn set_user_resolver(&self, resolver: UserResolver) -> Result<()> {
         self.check_permission(&Permission::runtime("setUserResolver"))?;
         *self.inner.user_resolver.write() = Some(resolver);
+        self.flush_access_cache();
         Ok(())
     }
 
@@ -1032,6 +1093,103 @@ mod tests {
         let events = vm.obs().sink().recent();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::AccessDenied);
+    }
+
+    #[test]
+    fn warm_checks_hit_the_decision_cache() {
+        use jmp_security::FileActions;
+        let mut policy = Policy::new();
+        policy.grant_code(
+            CodeSource::local("file:/apps/-"),
+            vec![Permission::file("/data/-", FileActions::READ)],
+        );
+        let vm = Vm::builder().policy(policy).build();
+        let app = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/apps/reader"),
+            vm.policy()
+                .permissions_for(&CodeSource::local("file:/apps/reader")),
+        ));
+        let demand = Permission::file("/data/report", FileActions::READ);
+        stack::call_as("Reader", app, || {
+            for _ in 0..5 {
+                vm.access_check(&demand).unwrap();
+            }
+        });
+        let metrics = vm.obs().vm_metrics();
+        assert_eq!(metrics.counter("access.cache.misses").get(), 1);
+        assert_eq!(metrics.counter("access.cache.hits").get(), 4);
+        assert_eq!(metrics.counter("security.checks").get(), 5);
+    }
+
+    #[test]
+    fn policy_reload_invalidates_cached_decisions() {
+        use jmp_security::FileActions;
+        let grant = |targets: &[&str]| {
+            let mut policy = Policy::new();
+            for target in targets {
+                policy.grant_code(
+                    CodeSource::local("file:/apps/-"),
+                    vec![Permission::file(*target, FileActions::READ)],
+                );
+            }
+            policy
+        };
+        let vm = Vm::builder().policy(grant(&["/a"])).build();
+        let app = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/apps/x"),
+            vm.policy()
+                .permissions_for(&CodeSource::local("file:/apps/x")),
+        ));
+        let read_a = Permission::file("/a", FileActions::READ);
+        let read_b = Permission::file("/b", FileActions::READ);
+        stack::call_as("App", Arc::clone(&app), || {
+            vm.access_check(&read_a).unwrap();
+            vm.access_check(&read_a).unwrap(); // cached
+            vm.access_check(&read_b).unwrap_err();
+        });
+        // Note the domain keeps its *old* permission collection (resolved at
+        // definition time, as in the JDK) — the reload is visible through
+        // the user/policy walk only for domains re-resolved afterwards. Here
+        // we re-resolve to model a freshly defined class.
+        vm.set_policy(grant(&["/b"])).unwrap();
+        assert_eq!(
+            vm.obs()
+                .vm_metrics()
+                .counter("access.cache.invalidations")
+                .get(),
+            1
+        );
+        let app2 = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/apps/x"),
+            vm.policy()
+                .permissions_for(&CodeSource::local("file:/apps/x")),
+        ));
+        stack::call_as("App", app2, || {
+            // Revoked grant is denied even though the old decision was
+            // cached; new grant is honored.
+            vm.access_check(&read_b).unwrap();
+            vm.access_check(&read_a).unwrap_err();
+        });
+    }
+
+    #[test]
+    fn flush_access_cache_forces_cold_rechecks() {
+        let vm = Vm::new();
+        let trusted = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/sys"),
+            [Permission::All].into_iter().collect(),
+        ));
+        let demand = Permission::runtime("anything");
+        stack::call_as("Sys", trusted, || {
+            vm.access_check(&demand).unwrap();
+            vm.access_check(&demand).unwrap();
+            vm.flush_access_cache();
+            vm.access_check(&demand).unwrap();
+        });
+        let metrics = vm.obs().vm_metrics();
+        assert_eq!(metrics.counter("access.cache.misses").get(), 2);
+        assert_eq!(metrics.counter("access.cache.hits").get(), 1);
+        assert_eq!(metrics.counter("access.cache.invalidations").get(), 1);
     }
 
     #[test]
