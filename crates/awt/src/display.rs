@@ -3,11 +3,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use jmp_vm::VmError;
 use parking_lot::RwLock;
 
 use crate::event::{ComponentId, Event, EventKind, WindowId};
+use crate::queue::EventQueue;
 
 /// Identifier of a display client (one per connected toolkit — one per VM,
 /// matching Fig 2 where each process holds one connection to the X server).
@@ -27,7 +27,7 @@ struct WindowMeta {
 }
 
 struct DisplayState {
-    clients: HashMap<ClientId, Sender<Event>>,
+    clients: HashMap<ClientId, EventQueue>,
     windows: HashMap<WindowId, WindowMeta>,
 }
 
@@ -68,19 +68,32 @@ impl DisplayServer {
         }
     }
 
-    /// Opens a client connection; the returned receiver is the client's
-    /// event wire (what the AWT's X-connection thread reads, paper §5.4).
-    pub fn connect(&self) -> (ClientId, Receiver<Event>) {
-        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
-        self.state.write().clients.insert(id, tx);
-        (id, rx)
+    /// Opens a client connection; the returned queue is the client's event
+    /// wire (what the AWT's X-connection thread drains, paper §5.4). The
+    /// wire is an [`EventQueue`], so burst injection coalesces paint/move
+    /// events at the display boundary already, and a blocked reader costs
+    /// zero wakeups.
+    pub fn connect(&self) -> (ClientId, EventQueue) {
+        let inbox = EventQueue::new();
+        let id = self.connect_with(inbox.clone());
+        (id, inbox)
     }
 
-    /// Disconnects a client, dropping its windows.
+    /// [`DisplayServer::connect`] with a caller-supplied inbox — the toolkit
+    /// passes a queue wired to the VM's coalescing/drop counters.
+    pub fn connect_with(&self, inbox: EventQueue) -> ClientId {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        self.state.write().clients.insert(id, inbox);
+        id
+    }
+
+    /// Disconnects a client, dropping its windows and closing its wire (a
+    /// blocked reader drains and sees end-of-events).
     pub fn disconnect(&self, client: ClientId) {
         let mut state = self.state.write();
-        state.clients.remove(&client);
+        if let Some(inbox) = state.clients.remove(&client) {
+            inbox.close();
+        }
         state.windows.retain(|_, meta| meta.client != client);
     }
 
@@ -119,13 +132,15 @@ impl DisplayServer {
             .windows
             .get(&window)
             .ok_or_else(|| VmError::illegal_state(format!("no such window {window}")))?;
-        let sender = state
+        let inbox = state
             .clients
             .get(&meta.client)
             .ok_or_else(|| VmError::illegal_state(format!("client {} gone", meta.client)))?;
-        sender
-            .send(Event::new(window, component, kind))
-            .map_err(|_| VmError::illegal_state("client connection closed"))
+        if inbox.is_closed() {
+            return Err(VmError::illegal_state("client connection closed"));
+        }
+        inbox.push(Event::new(window, component, kind));
+        Ok(())
     }
 
     /// Injects a button/menu activation.
@@ -175,6 +190,30 @@ impl DisplayServer {
     /// As [`DisplayServer::inject`].
     pub fn inject_close(&self, window: WindowId) -> jmp_vm::Result<()> {
         self.inject(window, None, EventKind::WindowClosing)
+    }
+
+    /// Injects a repaint request for a window (or one of its components).
+    /// Bursts of paints for the same target coalesce in the event queue.
+    ///
+    /// # Errors
+    ///
+    /// As [`DisplayServer::inject`].
+    pub fn inject_paint(
+        &self,
+        window: WindowId,
+        component: Option<ComponentId>,
+    ) -> jmp_vm::Result<()> {
+        self.inject(window, component, EventKind::Paint)
+    }
+
+    /// Injects a pointer move. Bursts of moves for the same window coalesce
+    /// in the event queue, keeping only the newest position.
+    ///
+    /// # Errors
+    ///
+    /// As [`DisplayServer::inject`].
+    pub fn inject_mouse_move(&self, window: WindowId, x: i32, y: i32) -> jmp_vm::Result<()> {
+        self.inject(window, None, EventKind::MouseMoved { x, y })
     }
 
     /// Number of registered windows.
@@ -235,10 +274,10 @@ mod tests {
         display.inject_action(win_a, ComponentId(1)).unwrap();
         display.inject_action(win_b, ComponentId(2)).unwrap();
 
-        let ev = rx_a.try_recv().unwrap();
+        let ev = rx_a.try_pop().unwrap();
         assert_eq!(ev.window, win_a);
-        assert!(rx_a.try_recv().is_err(), "A must not see B's events");
-        assert_eq!(rx_b.try_recv().unwrap().window, win_b);
+        assert!(rx_a.try_pop().is_none(), "A must not see B's events");
+        assert_eq!(rx_b.try_pop().unwrap().window, win_b);
     }
 
     #[test]
@@ -276,12 +315,33 @@ mod tests {
         let win = display.create_window(client, "T");
         display.inject_text(win, ComponentId(1), "hi").unwrap();
         let chars: Vec<char> = (0..2)
-            .map(|_| match rx.try_recv().unwrap().kind {
+            .map(|_| match rx.try_pop().unwrap().kind {
                 EventKind::KeyTyped(c) => c,
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
         assert_eq!(chars, vec!['h', 'i']);
+    }
+
+    #[test]
+    fn paint_bursts_coalesce_on_the_wire() {
+        let display = DisplayServer::new();
+        let (client, rx) = display.connect();
+        let win = display.create_window(client, "T");
+        for _ in 0..5 {
+            display.inject_paint(win, None).unwrap();
+        }
+        assert_eq!(rx.len(), 1, "five paints arrive as one");
+        assert_eq!(rx.try_pop().unwrap().coalesced, 4);
+    }
+
+    #[test]
+    fn inject_after_disconnect_is_rejected() {
+        let display = DisplayServer::new();
+        let (client, _rx) = display.connect();
+        let win = display.create_window(client, "T");
+        display.disconnect(client);
+        assert!(display.inject_close(win).is_err());
     }
 
     #[test]

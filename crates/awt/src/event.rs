@@ -39,6 +39,37 @@ pub enum EventKind {
     KeyTyped(char),
     /// The user asked to close the window.
     WindowClosing,
+    /// A region needs repainting (AWT `PaintEvent`). Paints are
+    /// *coalescible*: consecutive paints for the same target collapse into
+    /// one — repainting once covers every merged request.
+    Paint,
+    /// The pointer moved to window coordinates (AWT `MouseEvent.MOUSE_MOVED`).
+    /// Move events are coalescible: only the newest position matters.
+    MouseMoved {
+        /// X coordinate.
+        x: i32,
+        /// Y coordinate.
+        y: i32,
+    },
+}
+
+impl EventKind {
+    /// Returns `true` if consecutive events of this kind for the same
+    /// target may collapse into one (the AWT coalescing rule: paints and
+    /// mouse moves are idempotent-or-superseded, everything else is not).
+    pub fn is_coalescible(&self) -> bool {
+        matches!(self, EventKind::Paint | EventKind::MouseMoved { .. })
+    }
+
+    /// Returns `true` if `other` is the same coalescing class as `self`
+    /// (Paint merges with Paint, MouseMoved with MouseMoved — never across).
+    pub fn same_coalescing_class(&self, other: &EventKind) -> bool {
+        matches!(
+            (self, other),
+            (EventKind::Paint, EventKind::Paint)
+                | (EventKind::MouseMoved { .. }, EventKind::MouseMoved { .. })
+        )
+    }
 }
 
 /// An event as delivered to listeners: where it happened plus what happened.
@@ -61,6 +92,11 @@ pub struct Event {
     /// inside a traced request (an application posting to its own queue).
     /// Raw display input starts untraced.
     pub trace: Option<jmp_obs::TraceCtx>,
+    /// How many earlier events this one absorbed by coalescing (0 for an
+    /// event delivered as injected). A merged event keeps the *newest* kind
+    /// and the *oldest* `injected_at`, so latency measurements still span
+    /// the whole burst.
+    pub coalesced: u32,
 }
 
 impl Event {
@@ -73,6 +109,7 @@ impl Event {
             kind,
             injected_at: Instant::now(),
             trace: jmp_obs::trace::current(),
+            coalesced: 0,
         }
     }
 }
@@ -80,9 +117,15 @@ impl Event {
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.component {
-            Some(c) => write!(f, "{:?}@{}/{}", self.kind, self.window, c),
-            None => write!(f, "{:?}@{}", self.kind, self.window),
+            Some(c) => write!(f, "{:?}@{}/{}", self.kind, self.window, c)?,
+            None => write!(f, "{:?}@{}", self.kind, self.window)?,
         }
+        if self.coalesced > 0 {
+            // The merged-count attribute: dispatch spans are named from this
+            // Display impl, so a coalesced delivery is visible in traces.
+            write!(f, " (x{})", self.coalesced + 1)?;
+        }
+        Ok(())
     }
 }
 
@@ -104,5 +147,26 @@ mod tests {
         let text = ev.to_string();
         assert!(text.contains("w:1") && text.contains("c:2"));
         assert_eq!(WindowId(3).to_string(), "w:3");
+    }
+
+    #[test]
+    fn display_shows_merged_count() {
+        let mut ev = Event::new(WindowId(1), None, EventKind::Paint);
+        assert!(!ev.to_string().contains("(x"));
+        ev.coalesced = 3;
+        let text = ev.to_string();
+        assert!(text.ends_with("(x4)"), "got {text}");
+    }
+
+    #[test]
+    fn coalescing_classes() {
+        let paint = EventKind::Paint;
+        let mv = EventKind::MouseMoved { x: 1, y: 2 };
+        assert!(paint.is_coalescible() && mv.is_coalescible());
+        assert!(!EventKind::Action.is_coalescible());
+        assert!(paint.same_coalescing_class(&EventKind::Paint));
+        assert!(mv.same_coalescing_class(&EventKind::MouseMoved { x: 9, y: 9 }));
+        assert!(!paint.same_coalescing_class(&mv));
+        assert!(!EventKind::Action.same_coalescing_class(&EventKind::Action));
     }
 }

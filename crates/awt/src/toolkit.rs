@@ -3,9 +3,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::Receiver;
 use jmp_security::Permission;
-use jmp_vm::thread::{check_interrupt, BLOCK_POLL};
 use jmp_vm::{Result, ThreadGroup, Vm, VmThread};
 use parking_lot::{Mutex, RwLock};
 
@@ -43,6 +41,12 @@ pub type DispatchObserver = Arc<dyn Fn(&Event, u64, Duration) + Send + Sync>;
 /// The tag used for the shared queue in [`DispatchMode::Legacy`].
 const LEGACY_TAG: u64 = 0;
 
+/// Most events moved per lock acquisition by the input forwarder and per
+/// queue drain by a dispatcher. Large enough to amortise the lock under
+/// load, small enough that a burst cannot monopolise a dispatcher between
+/// heartbeats.
+const DISPATCH_BATCH: usize = 64;
+
 pub(crate) struct ToolkitInner {
     vm: Vm,
     display: DisplayServer,
@@ -53,7 +57,7 @@ pub(crate) struct ToolkitInner {
     queues: Mutex<HashMap<u64, EventQueue>>,
     dispatchers: Mutex<HashMap<u64, VmThread>>,
     input_thread: Mutex<Option<VmThread>>,
-    receiver: Mutex<Option<Receiver<Event>>>,
+    inbox: Mutex<Option<EventQueue>>,
     observers: RwLock<Vec<DispatchObserver>>,
 }
 
@@ -73,7 +77,15 @@ pub struct Toolkit {
 impl Toolkit {
     /// Connects a toolkit for `vm` to `display`.
     pub fn connect(vm: Vm, display: DisplayServer, mode: DispatchMode) -> Toolkit {
-        let (client, receiver) = display.connect();
+        // The display wire is an EventQueue wired to the VM-wide counters,
+        // so paint/move bursts coalescing at the display boundary (before
+        // any per-application queue sees them) are still accounted for.
+        let metrics = vm.obs().vm_metrics();
+        let inbox = EventQueue::with_counters(
+            Some(metrics.counter("events.coalesced")),
+            Some(metrics.counter("events.dropped")),
+        );
+        let client = display.connect_with(inbox.clone());
         Toolkit {
             inner: Arc::new(ToolkitInner {
                 vm,
@@ -85,7 +97,7 @@ impl Toolkit {
                 queues: Mutex::new(HashMap::new()),
                 dispatchers: Mutex::new(HashMap::new()),
                 input_thread: Mutex::new(None),
-                receiver: Mutex::new(Some(receiver)),
+                inbox: Mutex::new(Some(inbox)),
                 observers: RwLock::new(Vec::new()),
             }),
         }
@@ -252,8 +264,8 @@ impl Toolkit {
         if slot.is_some() {
             return Ok(());
         }
-        let receiver = {
-            let mut guard = self.inner.receiver.lock();
+        let inbox = {
+            let mut guard = self.inner.inbox.lock();
             guard.take().ok_or_else(|| {
                 jmp_vm::VmError::illegal_state("toolkit input thread previously failed to start")
             })?
@@ -273,8 +285,7 @@ impl Toolkit {
             DispatchMode::PerApplication => builder.group(self.input_group()),
             DispatchMode::Legacy => builder,
         };
-        let thread =
-            Toolkit::as_system(|| builder.spawn(move |_vm| toolkit.input_loop(&receiver)))?;
+        let thread = Toolkit::as_system(|| builder.spawn(move |_vm| toolkit.input_loop(&inbox)))?;
         *slot = Some(thread);
         Ok(())
     }
@@ -283,37 +294,65 @@ impl Toolkit {
         self.inner.vm.system_group().clone()
     }
 
-    fn input_loop(&self, receiver: &Receiver<Event>) {
+    fn input_loop(&self, inbox: &EventQueue) {
         // The X-connection thread is a system helper: watchdogged so a hang
-        // in routing is as visible as a hung dispatcher.
+        // in routing is as visible as a hung dispatcher. While the display
+        // is quiet it parks and blocks for real — zero periodic wakeups —
+        // waking only on input, disconnect, or interruption, and forwarding
+        // each burst as one batch.
         let watchdogs = self.inner.vm.obs().watchdogs().clone();
         let heartbeat = watchdogs.register("awt-input", None);
         loop {
-            if check_interrupt().is_err() {
-                break;
-            }
-            heartbeat.beat();
-            match receiver.recv_timeout(BLOCK_POLL) {
-                Ok(event) => self.route(event),
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+            let drained = inbox.drain_observed(DISPATCH_BATCH, |parked| {
+                if parked {
+                    heartbeat.park();
+                } else {
+                    heartbeat.unpark();
+                }
+            });
+            match drained {
+                Ok(batch) if batch.is_empty() => break, // display hung up
+                Ok(mut batch) => {
+                    heartbeat.beat();
+                    self.route_batch(&mut batch);
+                }
+                Err(_) => break, // interrupted: teardown
             }
         }
         watchdogs.deregister("awt-input");
     }
 
-    /// Routes one display event to the responsible queue: "when an event
+    /// Routes a burst of display events to their queues: "when an event
     /// occurs in a GUI element, the enclosing window and its application are
     /// found; then the AWT event is put on the particular event queue of
-    /// that application" (paper §5.4).
-    fn route(&self, event: Event) {
-        let Some(window) = self.inner.windows.read().get(&event.window).cloned() else {
-            return; // window closed while the event was in flight
-        };
-        let queue_tag = self.queue_tag_for(window.tag);
-        let queue = self.inner.queues.lock().get(&queue_tag).cloned();
-        if let Some(queue) = queue {
-            queue.push(event);
+    /// that application" (paper §5.4). Consecutive events bound for the same
+    /// queue are published with one [`EventQueue::push_batch`] — one lock
+    /// acquisition and at most one dispatcher wakeup per run, with
+    /// cross-queue ordering preserved. Drains `events`.
+    fn route_batch(&self, events: &mut Vec<Event>) {
+        let mut run: Vec<Event> = Vec::new();
+        let mut run_queue: Option<(u64, EventQueue)> = None;
+        for event in events.drain(..) {
+            let Some(window) = self.inner.windows.read().get(&event.window).cloned() else {
+                continue; // window closed while the event was in flight
+            };
+            let queue_tag = self.queue_tag_for(window.tag);
+            match &run_queue {
+                Some((tag, _)) if *tag == queue_tag => run.push(event),
+                _ => {
+                    if let Some((_, queue)) = run_queue.take() {
+                        queue.push_batch(run.drain(..));
+                    }
+                    let queue = self.inner.queues.lock().get(&queue_tag).cloned();
+                    if let Some(queue) = queue {
+                        run.push(event);
+                        run_queue = Some((queue_tag, queue));
+                    }
+                }
+            }
+        }
+        if let Some((_, queue)) = run_queue {
+            queue.push_batch(run.drain(..));
         }
     }
 
@@ -324,7 +363,13 @@ impl Toolkit {
                 return Ok(());
             }
         }
-        let queue = EventQueue::new();
+        // Queues feed the VM-wide coalescing/drop counters so `vmstat`
+        // accounts for every event that was merged away or lost post-close.
+        let metrics = self.inner.vm.obs().vm_metrics();
+        let queue = EventQueue::with_counters(
+            Some(metrics.counter("events.coalesced")),
+            Some(metrics.counter("events.dropped")),
+        );
         self.inner.queues.lock().insert(queue_tag, queue.clone());
         // The dispatcher spawns in the *current* thread's group: for
         // PerApplication this is the application opening its first window
@@ -348,19 +393,29 @@ impl Toolkit {
     }
 
     fn dispatch_loop(&self, queue: &EventQueue, watchdog_name: &str, queue_tag: u64) {
-        // Heartbeat discipline: beat on every wait iteration (via
-        // `pop_observed`) and before every delivery, so only a dispatcher
-        // stuck *inside a listener* goes silent past the stall threshold.
+        // Heartbeat discipline: *parked* while blocked on an empty queue
+        // (idle ≠ stalled, and an idle dispatcher costs zero wakeups),
+        // beating once per delivered event — so only a dispatcher stuck
+        // *inside a listener* goes silent past the stall threshold.
         let watchdogs = self.inner.vm.obs().watchdogs().clone();
         let app = (queue_tag != LEGACY_TAG).then_some(queue_tag);
         let heartbeat = watchdogs.register(watchdog_name, app);
         loop {
-            match queue.pop_observed(|| heartbeat.beat()) {
-                Ok(Some(event)) => {
-                    heartbeat.beat();
-                    self.dispatch(event);
+            let drained = queue.drain_observed(DISPATCH_BATCH, |parked| {
+                if parked {
+                    heartbeat.park();
+                } else {
+                    heartbeat.unpark();
                 }
-                Ok(None) => break,
+            });
+            match drained {
+                Ok(batch) if batch.is_empty() => break, // closed and drained
+                Ok(batch) => {
+                    for event in batch {
+                        heartbeat.beat();
+                        self.dispatch(event);
+                    }
+                }
                 Err(_) => break, // interrupted: application teardown
             }
         }

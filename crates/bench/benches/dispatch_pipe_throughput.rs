@@ -1,0 +1,105 @@
+//! A6: the data-plane primitives in isolation — ring-pipe copies (aligned
+//! and seam-straddling), and the event queue's batched+coalescing path
+//! against the one-lock-per-event path it replaced.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jmp_awt::{Event, EventKind, EventQueue, WindowId};
+use jmp_vm::io::pipe;
+
+const CHUNK: usize = 4 * 1024;
+const BATCH: usize = 64;
+
+/// One 4 KiB chunk through the ring per iteration, drained immediately so
+/// the writer never blocks. The aligned capacity never straddles the seam;
+/// the odd capacity straddles it on most iterations, exercising the
+/// two-`copy_from_slice` path.
+fn bench_pipe(c: &mut Criterion) {
+    let chunk = vec![0x5au8; CHUNK];
+    let mut buf = vec![0u8; CHUNK];
+    let mut group = c.benchmark_group("A6/pipe");
+    group.throughput(Throughput::Bytes(CHUNK as u64));
+
+    let (writer, reader) = pipe(4 * CHUNK);
+    group.bench_function("write_read_4k_aligned", |b| {
+        b.iter(|| {
+            writer.write(&chunk).expect("write");
+            reader.read(&mut buf).expect("read")
+        });
+    });
+
+    let (writer, reader) = pipe(CHUNK + 512);
+    group.bench_function("write_read_4k_seam", |b| {
+        b.iter(|| {
+            writer.write(&chunk).expect("write");
+            reader.read(&mut buf).expect("read")
+        });
+    });
+    group.finish();
+}
+
+fn paints(n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|_| Event::new(WindowId(1), None, EventKind::Paint))
+        .collect()
+}
+
+fn actions(n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|_| Event::new(WindowId(1), None, EventKind::Action))
+        .collect()
+}
+
+/// A 64-event burst through the queue per iteration: batched coalescible
+/// paints (collapse to one delivery), batched non-coalescible actions (the
+/// pure lock-amortisation win), and the one-lock-per-event path.
+fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("A6/events");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    let queue = EventQueue::new();
+    let q = queue.clone();
+    group.bench_function("push_batch_64_paints_coalesced", |b| {
+        b.iter_batched(
+            || paints(BATCH),
+            |events| {
+                q.push_batch(events);
+                q.drain(BATCH).expect("drain")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let queue = EventQueue::new();
+    let q = queue.clone();
+    group.bench_function("push_batch_64_actions", |b| {
+        b.iter_batched(
+            || actions(BATCH),
+            |events| {
+                q.push_batch(events);
+                q.drain(BATCH).expect("drain")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let queue = EventQueue::new();
+    let q = queue.clone();
+    group.bench_function("per_event_64_actions", |b| {
+        b.iter_batched(
+            || actions(BATCH),
+            |events| {
+                for event in events {
+                    q.push(event);
+                }
+                for _ in 0..BATCH {
+                    q.try_pop();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipe, bench_events);
+criterion_main!(benches);

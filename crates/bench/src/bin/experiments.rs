@@ -5,6 +5,7 @@
 //! experiments e2 e6      # run selected experiments
 //! experiments --json out.json e5a
 //! experiments --chrome-trace trace.json e12
+//! experiments --bench-json BENCH_E14.json e14
 //! ```
 
 use std::io::Write;
@@ -18,6 +19,16 @@ fn main() {
             json_path = Some(args.remove(pos));
         } else {
             eprintln!("--json needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let mut bench_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            bench_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--bench-json needs a file path");
             std::process::exit(2);
         }
     }
@@ -40,9 +51,20 @@ fn main() {
         args
     };
 
+    // When a data-plane summary was requested, run E14 once and reuse its
+    // tables for the report, so the JSON and the printed tables describe
+    // the same run.
+    let e14_full = bench_json_path
+        .as_ref()
+        .map(|_| jmp_bench::exp_throughput::e14_data_plane_full());
+
     let mut all_tables = Vec::new();
     for id in &ids {
-        match jmp_bench::run_experiment(id) {
+        let tables = match (&e14_full, id.eq_ignore_ascii_case("e14")) {
+            (Some((tables, _)), true) => Some(tables.clone()),
+            _ => jmp_bench::run_experiment(id),
+        };
+        match tables {
             Some(tables) => {
                 for table in tables {
                     println!("{table}");
@@ -57,6 +79,21 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(path) = bench_json_path {
+        // The E14 data-plane summary: scalar throughput/wakeup numbers plus
+        // the tables they came from, for CI threshold checks.
+        #[derive(serde::Serialize)]
+        struct BenchRun {
+            summary: jmp_bench::exp_throughput::E14Summary,
+            tables: Vec<jmp_bench::table::Table>,
+        }
+        let (tables, summary) = e14_full.expect("e14 ran for --bench-json");
+        let run = BenchRun { summary, tables };
+        let json = serde_json::to_string_pretty(&run).expect("bench summary serializes");
+        std::fs::write(&path, json).expect("write bench json output");
+        eprintln!("wrote {path}");
     }
 
     if let Some(path) = json_path {

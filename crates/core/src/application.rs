@@ -399,7 +399,7 @@ impl Application {
                 Some(self.user().name().to_string()),
                 code.to_string(),
             );
-            let _ = rt.inner.reaper_tx.send(self.inner.id);
+            rt.inner.reap_queue.send(self.inner.id);
         }
     }
 

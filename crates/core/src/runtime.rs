@@ -3,14 +3,13 @@ use std::fmt;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Weak};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use jmp_awt::{DispatchMode, DisplayServer, Toolkit};
 use jmp_security::{Policy, ProtectionDomain, User, UserRegistry};
 use jmp_vfs::{Mode, Vfs};
 use jmp_vm::io::{InStream, IoToken, MemSink, OutStream};
 use jmp_vm::thread::BLOCK_POLL;
 use jmp_vm::{ClassDef, GroupId, Vm};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::application::{AppId, Application};
 use crate::sys_sm::SystemSecurityManager;
@@ -25,6 +24,60 @@ pub const SYSTEM_CLASS: &str = "java.lang.System";
 /// Name of the shared system-properties class (paper §5.5, Fig 5).
 pub const SYSTEM_PROPERTIES_CLASS: &str = "jmp.SystemProperties";
 
+/// The reaper's work queue: application ids awaiting teardown. A blocking
+/// queue in the style of the data-plane primitives — the reaper sleeps for
+/// real (no periodic poll) and is woken by a send, a close (runtime drop),
+/// or thread interruption (VM shutdown) via the interrupt waker.
+pub(crate) struct ReapQueue {
+    state: Mutex<(std::collections::VecDeque<AppId>, bool)>,
+    cvar: Condvar,
+}
+
+impl ReapQueue {
+    fn new() -> Arc<ReapQueue> {
+        Arc::new(ReapQueue {
+            state: Mutex::new((std::collections::VecDeque::new(), false)),
+            cvar: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn send(&self, id: AppId) {
+        let mut state = self.state.lock();
+        if !state.1 {
+            state.0.push_back(id);
+            self.cvar.notify_one();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().1 = true;
+        self.cvar.notify_all();
+    }
+
+    /// Blocks for the next id; `None` once closed-and-drained or when the
+    /// calling VM thread is interrupted.
+    fn recv(self: &Arc<ReapQueue>) -> Option<AppId> {
+        let waker = {
+            let queue = Arc::clone(self);
+            jmp_vm::thread::register_interrupt_waker(Arc::new(move || {
+                let _state = queue.state.lock();
+                queue.cvar.notify_all();
+            }))
+        };
+        let _waker = waker;
+        let mut state = self.state.lock();
+        loop {
+            if let Some(id) = state.0.pop_front() {
+                return Some(id);
+            }
+            if state.1 || jmp_vm::thread::check_interrupt().is_err() {
+                return None;
+            }
+            self.cvar.wait(&mut state);
+        }
+    }
+}
+
 pub(crate) struct RtInner {
     pub(crate) vm: Vm,
     pub(crate) vfs: Arc<Vfs>,
@@ -34,7 +87,7 @@ pub(crate) struct RtInner {
     pub(crate) apps_by_id: RwLock<HashMap<AppId, Application>>,
     pub(crate) next_app_id: AtomicU64,
     pub(crate) next_io_token: AtomicU64,
-    pub(crate) reaper_tx: Sender<AppId>,
+    pub(crate) reap_queue: Arc<ReapQueue>,
     pub(crate) toolkit: Option<Toolkit>,
     pub(crate) display: Option<DisplayServer>,
     pub(crate) console: MemSink,
@@ -43,6 +96,15 @@ pub(crate) struct RtInner {
     pub(crate) default_stderr: OutStream,
     /// The shared-object registry (§8 future work; see [`crate::shared`]).
     pub(crate) shared: RwLock<HashMap<String, crate::shared::SharedEntry>>,
+}
+
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        // Wake the (blocked, parked) reaper so it exits when the runtime is
+        // dropped without a VM shutdown — the reaper holds its own Arc to
+        // the queue, so close is the only signal it would otherwise miss.
+        self.reap_queue.close();
+    }
 }
 
 /// The multi-processing runtime: the paper's prototype, assembled.
@@ -177,7 +239,7 @@ impl MpRuntimeBuilder {
             None => (None, None),
         };
 
-        let (reaper_tx, reaper_rx) = unbounded();
+        let reap_queue = ReapQueue::new();
         let inner = Arc::new(RtInner {
             vm: vm.clone(),
             vfs,
@@ -187,7 +249,7 @@ impl MpRuntimeBuilder {
             apps_by_id: RwLock::new(HashMap::new()),
             next_app_id: AtomicU64::new(1),
             next_io_token: AtomicU64::new(1),
-            reaper_tx,
+            reap_queue: Arc::clone(&reap_queue),
             toolkit,
             display,
             console,
@@ -244,7 +306,7 @@ impl MpRuntimeBuilder {
                 }
             }));
         }
-        rt.start_reaper(reaper_rx)?;
+        rt.start_reaper(reap_queue)?;
         rt.start_watchdog_checker()?;
         Ok(rt)
     }
@@ -433,7 +495,7 @@ impl MpRuntime {
         self.inner.vm.exit_unchecked(0);
     }
 
-    fn start_reaper(&self, rx: Receiver<AppId>) -> Result<()> {
+    fn start_reaper(&self, queue: Arc<ReapQueue>) -> Result<()> {
         let weak = Arc::downgrade(&self.inner);
         let watchdogs = self.inner.vm.obs().watchdogs().clone();
         self.inner
@@ -443,22 +505,17 @@ impl MpRuntime {
             .group(self.inner.vm.system_group().clone())
             .daemon(true)
             .spawn(move |_vm| {
-                // The reaper is a system helper: heartbeat every iteration so
-                // a teardown that wedges shows up as a watchdog stall.
+                // The reaper is a system helper: parked while waiting for
+                // work (idle ≠ stalled, no periodic wakeups), beating per
+                // teardown — so only a reap that wedges shows up as a stall.
                 let heartbeat = watchdogs.register("app-reaper", None);
                 loop {
-                    if jmp_vm::thread::check_interrupt().is_err() {
-                        break;
-                    }
-                    heartbeat.beat();
-                    match rx.recv_timeout(BLOCK_POLL) {
-                        Ok(app_id) => {
-                            let Some(inner) = weak.upgrade() else { break };
-                            crate::application::reap(&MpRuntime { inner }, app_id);
-                        }
-                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
-                    }
+                    heartbeat.park();
+                    let next = queue.recv();
+                    heartbeat.unpark();
+                    let Some(app_id) = next else { break };
+                    let Some(inner) = weak.upgrade() else { break };
+                    crate::application::reap(&MpRuntime { inner }, app_id);
                 }
                 watchdogs.deregister("app-reaper");
             })?;

@@ -5,12 +5,14 @@
 //! applications keep running, which also means nobody notices the freeze.
 //! The watchdog makes it visible: every dispatcher (and system helper like
 //! the reaper) registers a [`Heartbeat`] and beats it on every loop
-//! iteration, including while blocked waiting for work (the wait loops poll
-//! at `BLOCK_POLL`, so an *idle* dispatcher beats continuously; only one
-//! stuck *inside a callback* goes quiet). A checker scans the registry and
-//! flags entries whose last beat is older than the configurable threshold.
+//! iteration. A dispatcher with no work does **not** poll-beat — it
+//! [parks](Heartbeat::park) the heartbeat before blocking for real on its
+//! queue, and unparks when work (or teardown) wakes it. A checker scans the
+//! registry and flags entries whose last beat is older than the configurable
+//! threshold, *exempting parked entries*: idle is not stalled. Only a thread
+//! that went quiet while claiming to be busy trips the watchdog.
 //!
-//! Beating is two relaxed atomic stores — cheap enough for a 5ms poll loop.
+//! Beating is two relaxed atomic stores — cheap enough for hot loops.
 //! Raising the stall event, bumping the metric, and surfacing the rows in
 //! `vmstat` is the hub's and runtime layer's job; this module only keeps
 //! the clocks.
@@ -37,6 +39,8 @@ struct HeartbeatInner {
     last_ms: AtomicU64,
     beats: AtomicU64,
     stalled: AtomicBool,
+    /// Deliberately idle: blocked on an empty queue, not stuck in work.
+    parked: AtomicBool,
 }
 
 /// A registered thread's heartbeat handle. Cheap to clone; beat it from
@@ -53,6 +57,27 @@ impl Heartbeat {
             .last_ms
             .store(self.inner.clock.now_ms(), Ordering::Relaxed);
         self.inner.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the thread deliberately idle (about to block on an empty
+    /// queue). A parked heartbeat is exempt from stall detection until it
+    /// [unparks](Heartbeat::unpark) — a dispatcher with nothing to dispatch
+    /// is healthy, not hung, and must not need periodic wakeups to prove it.
+    pub fn park(&self) {
+        self.beat();
+        self.inner.parked.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the parked state: the thread woke to work (or to exit) and is
+    /// accountable to the stall threshold again.
+    pub fn unpark(&self) {
+        self.inner.parked.store(false, Ordering::Relaxed);
+        self.beat();
+    }
+
+    /// Returns `true` while parked.
+    pub fn is_parked(&self) -> bool {
+        self.inner.parked.load(Ordering::Relaxed)
     }
 
     /// The registered name (e.g. `awt-dispatch-3`).
@@ -88,6 +113,9 @@ pub struct WatchdogRow {
     pub beats: u64,
     /// Whether the entry is currently past the stall threshold.
     pub stalled: bool,
+    /// Whether the thread is deliberately idle (blocked on an empty queue).
+    /// Parked entries are exempt from stall detection.
+    pub parked: bool,
 }
 
 struct RegistryInner {
@@ -126,6 +154,7 @@ impl WatchdogRegistry {
             last_ms: AtomicU64::new(self.inner.clock.now_ms()),
             beats: AtomicU64::new(0),
             stalled: AtomicBool::new(false),
+            parked: AtomicBool::new(false),
         });
         self.inner.entries.lock().insert(name, Arc::clone(&inner));
         Heartbeat { inner }
@@ -154,6 +183,7 @@ impl WatchdogRegistry {
             age_ms: now_ms.saturating_sub(entry.last_ms.load(Ordering::Relaxed)),
             beats: entry.beats.load(Ordering::Relaxed),
             stalled: entry.stalled.load(Ordering::Relaxed),
+            parked: entry.parked.load(Ordering::Relaxed),
         }
     }
 
@@ -178,6 +208,12 @@ impl WatchdogRegistry {
         let now_ms = self.inner.clock.now_ms();
         let mut newly_stalled = Vec::new();
         for entry in self.inner.entries.lock().values() {
+            if entry.parked.load(Ordering::Relaxed) {
+                // Idle ≠ stalled: a parked thread blocks indefinitely on
+                // purpose and beats again the moment it unparks.
+                entry.stalled.store(false, Ordering::Relaxed);
+                continue;
+            }
             let age = now_ms.saturating_sub(entry.last_ms.load(Ordering::Relaxed));
             if age > threshold_ms {
                 if !entry.stalled.swap(true, Ordering::Relaxed) {
@@ -245,6 +281,38 @@ mod tests {
         registry.set_threshold(Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(10));
         assert!(registry.check().is_empty(), "gone means never stalled");
+    }
+
+    #[test]
+    fn parked_entries_never_stall() {
+        let registry = WatchdogRegistry::with_clock(ObsClock::new());
+        registry.set_threshold(Duration::from_millis(20));
+        let hb = registry.register("awt-dispatch-1", Some(1));
+        hb.park();
+        assert!(hb.is_parked());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(registry.check().is_empty(), "idle is not stalled");
+        let row = &registry.rows()[0];
+        assert!(row.parked && !row.stalled);
+        // Unpark re-arms stall detection — and counts as a fresh beat, so
+        // the thread gets a full threshold before it can stall.
+        hb.unpark();
+        assert!(!hb.is_parked());
+        assert!(registry.check().is_empty());
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(registry.check().len(), 1, "quiet while unparked stalls");
+    }
+
+    #[test]
+    fn park_clears_an_existing_stall_latch() {
+        let registry = WatchdogRegistry::with_clock(ObsClock::new());
+        registry.set_threshold(Duration::from_millis(10));
+        let hb = registry.register("awt-dispatch-2", None);
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(registry.check().len(), 1);
+        hb.park();
+        registry.check();
+        assert!(!registry.rows()[0].stalled, "parking resolves the stall");
     }
 
     #[test]

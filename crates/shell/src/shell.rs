@@ -265,12 +265,15 @@ impl Shell {
                 hist.quantile(0.99),
             ))?;
         }
+        // `sink.`-prefixed: the observability event sink's own accounting,
+        // distinct from the GUI data-plane counters (`events.coalesced`,
+        // `events.dropped`) printed from the rollup above.
         jsystem::println(&format!(
-            "events.published         {}",
+            "sink.events.published    {}",
             snapshot.events_published
         ))?;
         jsystem::println(&format!(
-            "events.dropped           {}",
+            "sink.events.dropped      {}",
             snapshot.events_dropped
         ))?;
         jsystem::println(&format!(
@@ -295,7 +298,13 @@ impl Shell {
                     row.app.map_or_else(|| "-".to_string(), |id| id.to_string()),
                     row.age_ms,
                     row.beats,
-                    if row.stalled { "STALLED" } else { "ok" },
+                    if row.stalled {
+                        "STALLED"
+                    } else if row.parked {
+                        "parked"
+                    } else {
+                        "ok"
+                    },
                 ))?;
             }
         }

@@ -40,6 +40,17 @@ pub enum VmError {
     },
     /// A read or write was attempted on a closed stream.
     StreamClosed,
+    /// A multi-chunk write (`write_all`) was cut short: the peer closed (the
+    /// runtime's `EPIPE`) or the writer was interrupted after some bytes had
+    /// already been accepted. Carries the accepted count so callers know how
+    /// much of the payload the reader can still observe.
+    ShortWrite {
+        /// Bytes accepted into the pipe before the failure.
+        accepted: usize,
+        /// Why the write could not continue (boxed: `StreamClosed` or
+        /// `Interrupted`).
+        cause: Box<VmError>,
+    },
     /// A stream close was attempted by a holder that did not open the stream
     /// (paper §5.1: "applications may only close streams that they opened").
     NotStreamOwner,
@@ -90,9 +101,14 @@ impl VmError {
         matches!(self, VmError::Security(_))
     }
 
-    /// Returns `true` if this error is an interruption.
+    /// Returns `true` if this error is an interruption (including a short
+    /// write whose underlying cause was interruption).
     pub fn is_interrupted(&self) -> bool {
-        matches!(self, VmError::Interrupted)
+        match self {
+            VmError::Interrupted => true,
+            VmError::ShortWrite { cause, .. } => cause.is_interrupted(),
+            _ => false,
+        }
     }
 }
 
@@ -106,6 +122,9 @@ impl fmt::Display for VmError {
             VmError::NoMainMethod { name } => write!(f, "class {name} has no main method"),
             VmError::IllegalState { message } => write!(f, "illegal state: {message}"),
             VmError::StreamClosed => write!(f, "stream closed"),
+            VmError::ShortWrite { accepted, cause } => {
+                write!(f, "short write: {accepted} bytes accepted, then {cause}")
+            }
             VmError::NotStreamOwner => {
                 write!(f, "stream may only be closed by the holder that opened it")
             }

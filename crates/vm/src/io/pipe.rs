@@ -1,20 +1,80 @@
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use jmp_obs::{trace, Counter, FlightRecorder, SpanCategory, TraceCtx};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::VmError;
-use crate::thread::{check_interrupt, BLOCK_POLL};
+use crate::thread::{check_interrupt, register_interrupt_waker, InterruptWakerGuard};
 use crate::Result;
 
 /// Default pipe capacity, matching the conventional Unix pipe buffer.
 pub const DEFAULT_PIPE_CAPACITY: usize = 65536;
 
+/// A fixed-capacity contiguous ring buffer of bytes. Every transfer in or
+/// out is at most two `copy_from_slice` segments (the seam wrap), so moving
+/// a 64 KiB chunk costs two memcpys instead of 65536 `VecDeque` pops.
+#[derive(Debug)]
+struct Ring {
+    buf: Box<[u8]>,
+    /// Index of the next byte to read.
+    head: usize,
+    /// Bytes currently buffered.
+    len: usize,
+}
+
+impl Ring {
+    fn with_capacity(capacity: usize) -> Ring {
+        Ring {
+            buf: vec![0u8; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies as much of `data` as fits; returns the byte count accepted.
+    fn write_from(&mut self, data: &[u8]) -> usize {
+        let n = data.len().min(self.capacity() - self.len);
+        if n == 0 {
+            return 0;
+        }
+        let tail = (self.head + self.len) % self.capacity();
+        let first = n.min(self.capacity() - tail);
+        self.buf[tail..tail + first].copy_from_slice(&data[..first]);
+        if n > first {
+            self.buf[..n - first].copy_from_slice(&data[first..n]);
+        }
+        self.len += n;
+        n
+    }
+
+    /// Copies up to `out.len()` buffered bytes into `out`; returns the count.
+    fn read_into(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.len);
+        if n == 0 {
+            return 0;
+        }
+        let first = n.min(self.capacity() - self.head);
+        out[..first].copy_from_slice(&self.buf[self.head..self.head + first]);
+        if n > first {
+            out[first..n].copy_from_slice(&self.buf[..n - first]);
+        }
+        self.head = (self.head + n) % self.capacity();
+        self.len -= n;
+        n
+    }
+}
+
 #[derive(Debug)]
 struct PipeState {
-    buf: VecDeque<u8>,
-    capacity: usize,
+    ring: Ring,
     write_closed: bool,
     read_closed: bool,
     /// The trace context of the most recent traced writer. A pipe is a
@@ -29,17 +89,34 @@ struct Shared {
     readable: Condvar,
     writable: Condvar,
     /// Counts bytes accepted by the write end (see [`pipe_observed`]).
+    /// Bumped once per write call with the whole accepted count, not per
+    /// retry iteration.
     bytes: Option<Arc<Counter>>,
     /// Records write/read spans when tracing (see [`pipe_traced`]).
     recorder: Option<FlightRecorder>,
+}
+
+impl Shared {
+    /// The interrupt waker for a thread blocked on this pipe: take the state
+    /// lock (so a notify can never be lost between the blocked thread's
+    /// interrupt check and its wait) and wake both sides.
+    fn waker(self: &Arc<Shared>) -> crate::thread::InterruptWaker {
+        let shared = Arc::clone(self);
+        Arc::new(move || {
+            let _state = shared.state.lock();
+            shared.readable.notify_all();
+            shared.writable.notify_all();
+        })
+    }
 }
 
 /// Creates an in-memory pipe with the given buffer capacity.
 ///
 /// This is the single-address-space IPC primitive the paper's shell builds
 /// pipelines from (§6.1), and the in-VM side of experiment E5b (in-VM pipe
-/// vs cross-process pipe). Reads and writes block, waking on data/space or
-/// on interruption of the calling VM thread.
+/// vs cross-process pipe). Reads and writes block, waking on data/space, on
+/// close of the other end, or on interruption of the calling VM thread —
+/// a blocked thread performs **no** periodic wakeups.
 pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
     pipe_observed(capacity, None)
 }
@@ -56,7 +133,9 @@ pub fn pipe_observed(capacity: usize, bytes: Option<Arc<Counter>>) -> (PipeWrite
 /// leaves a `pipe.write` span and stamps the pipe with its [`TraceCtx`];
 /// the next read leaves a `pipe.read` span *under the writer's context* —
 /// the cross-boundary link — and a reader thread that has no trace of its
-/// own adopts the writer's, so causality survives the handoff.
+/// own adopts the writer's, so causality survives the handoff. One span is
+/// recorded per read/write *call*, covering however many blocking rounds
+/// the call needed.
 pub fn pipe_traced(
     capacity: usize,
     bytes: Option<Arc<Counter>>,
@@ -64,8 +143,7 @@ pub fn pipe_traced(
 ) -> (PipeWriter, PipeReader) {
     let shared = Arc::new(Shared {
         state: Mutex::new(PipeState {
-            buf: VecDeque::with_capacity(capacity.min(DEFAULT_PIPE_CAPACITY)),
-            capacity: capacity.max(1),
+            ring: Ring::with_capacity(capacity.max(1)),
             write_closed: false,
             read_closed: false,
             trace: None,
@@ -105,19 +183,38 @@ impl PipeReader {
     /// [`VmError::Interrupted`] if the calling VM thread is interrupted;
     /// [`VmError::StreamClosed`] if this read end was closed.
     pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
-        if buf.is_empty() {
+        self.read_vectored(&mut [buf])
+    }
+
+    /// Vectored read: drains buffered bytes across `bufs` in order under a
+    /// single lock acquisition, blocking (like [`PipeReader::read`]) only
+    /// while nothing at all is buffered. Used by bulk consumers (shell
+    /// pipelines, `read_to_end`) to take everything available per wakeup
+    /// instead of one slice per lock round-trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipeReader::read`].
+    pub fn read_vectored(&self, bufs: &mut [&mut [u8]]) -> Result<usize> {
+        let wanted: usize = bufs.iter().map(|b| b.len()).sum();
+        if wanted == 0 {
             return Ok(0);
         }
         let timer = self.shared.recorder.as_ref().and_then(|r| r.timer());
+        let mut waker: Option<InterruptWakerGuard> = None;
         let mut state = self.shared.state.lock();
         loop {
             if state.read_closed {
                 return Err(VmError::StreamClosed);
             }
-            if !state.buf.is_empty() {
-                let n = buf.len().min(state.buf.len());
-                for slot in buf.iter_mut().take(n) {
-                    *slot = state.buf.pop_front().expect("length checked");
+            if !state.ring.is_empty() {
+                let mut total = 0;
+                for buf in bufs.iter_mut() {
+                    let n = state.ring.read_into(buf);
+                    total += n;
+                    if n < buf.len() {
+                        break;
+                    }
                 }
                 self.shared.writable.notify_all();
                 if let (Some(recorder), Some(ctx)) = (&self.shared.recorder, state.trace) {
@@ -131,13 +228,19 @@ impl PipeReader {
                     let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
                     recorder.record_with_ctx(SpanCategory::Pipe, "pipe.read", ctx, None, latency);
                 }
-                return Ok(n);
+                return Ok(total);
             }
             if state.write_closed {
                 return Ok(0);
             }
+            // Block for real: register the interrupt waker (once) before the
+            // final interrupt check so an interrupt between check and wait is
+            // delivered as a notify under our lock, never lost.
+            if waker.is_none() {
+                waker = Some(register_interrupt_waker(self.shared.waker()));
+            }
             check_interrupt()?;
-            self.shared.readable.wait_for(&mut state, BLOCK_POLL);
+            self.shared.readable.wait(&mut state);
         }
     }
 
@@ -152,7 +255,7 @@ impl PipeReader {
 
     /// Bytes currently buffered.
     pub fn available(&self) -> usize {
-        self.shared.state.lock().buf.len()
+        self.shared.state.lock().ring.len
     }
 }
 
@@ -169,47 +272,83 @@ impl PipeWriter {
         if data.is_empty() {
             return Ok(0);
         }
-        let timer = self.shared.recorder.as_ref().and_then(|r| r.timer());
-        let mut state = self.shared.state.lock();
-        loop {
-            if state.write_closed || state.read_closed {
-                return Err(VmError::StreamClosed);
-            }
-            let space = state.capacity.saturating_sub(state.buf.len());
-            if space > 0 {
-                let n = space.min(data.len());
-                state.buf.extend(&data[..n]);
-                if let Some(bytes) = &self.shared.bytes {
-                    bytes.add(n as u64);
-                }
-                if let Some(recorder) = &self.shared.recorder {
-                    // Stamp the pipe with the writer's context (kept until a
-                    // later traced write replaces it) and leave the write span.
-                    if let Some(ctx) = trace::current() {
-                        state.trace = Some(ctx);
-                    }
-                    let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                    recorder.record_latency(SpanCategory::Pipe, "pipe.write", None, latency);
-                }
-                self.shared.readable.notify_all();
-                return Ok(n);
-            }
-            check_interrupt()?;
-            self.shared.writable.wait_for(&mut state, BLOCK_POLL);
+        match self.write_internal(data, false) {
+            (n, _) if n > 0 => Ok(n),
+            (_, Some(err)) => Err(err),
+            (_, None) => unreachable!("write_internal returns bytes or an error"),
         }
     }
 
-    /// Writes all of `data`, blocking as needed.
+    /// Writes all of `data`, blocking as needed. The byte counter and the
+    /// `pipe.write` span are recorded **once for the whole call** — one
+    /// syscall-equivalent — no matter how many buffer-full rounds it took.
     ///
     /// # Errors
     ///
-    /// As [`PipeWriter::write`].
-    pub fn write_all(&self, mut data: &[u8]) -> Result<()> {
-        while !data.is_empty() {
-            let n = self.write(data)?;
-            data = &data[n..];
+    /// [`VmError::StreamClosed`] / [`VmError::Interrupted`] if the failure
+    /// struck before any byte was accepted; [`VmError::ShortWrite`] (carrying
+    /// the accepted count and the underlying cause) if the reader closed or
+    /// the writer was interrupted part-way through.
+    pub fn write_all(&self, data: &[u8]) -> Result<()> {
+        match self.write_internal(data, true) {
+            (_, None) => Ok(()),
+            (0, Some(err)) => Err(err),
+            (accepted, Some(err)) => Err(VmError::ShortWrite {
+                accepted,
+                cause: Box::new(err),
+            }),
         }
-        Ok(())
+    }
+
+    /// The single write loop behind [`PipeWriter::write`] and
+    /// [`PipeWriter::write_all`]: pushes chunks into the ring under one span
+    /// and one counter update per call. Returns the accepted byte count and
+    /// the terminating error, if any.
+    fn write_internal(&self, data: &[u8], all: bool) -> (usize, Option<VmError>) {
+        if data.is_empty() {
+            return (0, None);
+        }
+        let timer = self.shared.recorder.as_ref().and_then(|r| r.timer());
+        let mut accepted = 0usize;
+        let mut waker: Option<InterruptWakerGuard> = None;
+        let mut state = self.shared.state.lock();
+        let error = loop {
+            if state.write_closed || state.read_closed {
+                break Some(VmError::StreamClosed);
+            }
+            let n = state.ring.write_from(&data[accepted..]);
+            if n > 0 {
+                accepted += n;
+                self.shared.readable.notify_all();
+                if accepted == data.len() || !all {
+                    break None;
+                }
+                continue;
+            }
+            if waker.is_none() {
+                waker = Some(register_interrupt_waker(self.shared.waker()));
+            }
+            if let Err(err) = check_interrupt() {
+                break Some(err);
+            }
+            self.shared.writable.wait(&mut state);
+        };
+        if accepted > 0 {
+            if let Some(bytes) = &self.shared.bytes {
+                bytes.add(accepted as u64);
+            }
+            if let Some(recorder) = &self.shared.recorder {
+                // Stamp the pipe with the writer's context (kept until a
+                // later traced write replaces it) and leave one write span
+                // for the whole call.
+                if let Some(ctx) = trace::current() {
+                    state.trace = Some(ctx);
+                }
+                let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                recorder.record_latency(SpanCategory::Pipe, "pipe.write", None, latency);
+            }
+        }
+        (accepted, error)
     }
 
     /// Closes the write end. Readers drain the buffer, then see end-of-file.
@@ -277,6 +416,50 @@ mod tests {
     }
 
     #[test]
+    fn write_all_counts_bytes_once_even_when_it_blocks() {
+        let bytes = Arc::new(Counter::new());
+        let (w, r) = pipe_observed(4, Some(Arc::clone(&bytes)));
+        let writer = std::thread::spawn(move || w.write_all(b"0123456789"));
+        std::thread::sleep(Duration::from_millis(10));
+        let mut got = Vec::new();
+        let mut buf = [0u8; 3];
+        while got.len() < 10 {
+            let n = r.read(&mut buf).unwrap();
+            got.extend_from_slice(&buf[..n]);
+        }
+        writer.join().unwrap().unwrap();
+        assert_eq!(bytes.get(), 10, "one counter update for the whole call");
+    }
+
+    #[test]
+    fn write_all_reports_accepted_bytes_on_epipe() {
+        // Partial-write-then-close: capacity 4 accepts 4 of 10 bytes, then
+        // the reader closes; the short-write error carries the count.
+        let (w, r) = pipe(4);
+        let writer = std::thread::spawn(move || w.write_all(b"0123456789"));
+        std::thread::sleep(Duration::from_millis(20));
+        r.close();
+        let err = writer.join().unwrap().unwrap_err();
+        match err {
+            VmError::ShortWrite { accepted, cause } => {
+                assert_eq!(accepted, 4, "the buffered prefix was accepted");
+                assert!(matches!(*cause, VmError::StreamClosed));
+            }
+            other => panic!("expected ShortWrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_all_to_closed_reader_with_nothing_accepted_is_plain_epipe() {
+        let (w, r) = pipe(4);
+        r.close();
+        assert!(matches!(
+            w.write_all(b"x").unwrap_err(),
+            VmError::StreamClosed
+        ));
+    }
+
+    #[test]
     fn traced_pipe_carries_the_writer_context_to_the_reader() {
         let recorder = FlightRecorder::new(32);
         let (w, r) = pipe_traced(16, None, Some(recorder.clone()));
@@ -309,6 +492,35 @@ mod tests {
             read.parent, write.parent,
             "both spans hang off the writer's span"
         );
+    }
+
+    #[test]
+    fn blocking_write_all_records_exactly_one_span() {
+        let recorder = FlightRecorder::new(64);
+        let (w, r) = pipe_traced(4, None, Some(recorder.clone()));
+        // 12 bytes through a 4-byte ring: three buffer-full rounds, one span.
+        // The trace context is thread-local, so the writer roots it itself.
+        let writer_recorder = recorder.clone();
+        let writer = std::thread::spawn(move || {
+            let exec = writer_recorder
+                .begin(SpanCategory::Exec, "exec:writer")
+                .unwrap();
+            w.write_all(b"0123456789ab").unwrap();
+            drop(exec);
+            trace::clear();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4];
+        while got.len() < 12 {
+            let n = r.read(&mut buf).unwrap();
+            got.extend_from_slice(&buf[..n]);
+        }
+        writer.join().unwrap();
+        trace::clear();
+        let spans = recorder.spans();
+        let writes = spans.iter().filter(|s| s.name == "pipe.write").count();
+        assert_eq!(writes, 1, "one span per write_all call, not per retry");
     }
 
     #[test]
@@ -364,11 +576,61 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_straddles_the_seam() {
+        // Fill, half-drain, refill: the second write must wrap around the
+        // seam and read back intact.
+        let (w, r) = pipe(8);
+        w.write_all(b"abcdefgh").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(r.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"abcde");
+        w.write_all(b"12345").unwrap(); // 3 fit before the seam, 2 after
+        let mut rest = [0u8; 8];
+        let n = r.read(&mut rest).unwrap();
+        assert_eq!(&rest[..n], b"fgh12345");
+    }
+
+    #[test]
+    fn capacity_one_pipe_moves_every_byte() {
+        let (w, r) = pipe(1);
+        let writer = std::thread::spawn(move || {
+            w.write_all(b"tiny ring").unwrap();
+            w.close();
+        });
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        writer.join().unwrap();
+        assert_eq!(got, b"tiny ring");
+    }
+
+    #[test]
+    fn read_vectored_drains_across_buffers_in_one_call() {
+        let (w, r) = pipe(32);
+        w.write_all(b"hello world!").unwrap();
+        let mut a = [0u8; 5];
+        let mut b = [0u8; 5];
+        let mut c = [0u8; 5];
+        let n = r.read_vectored(&mut [&mut a, &mut b, &mut c]).unwrap();
+        assert_eq!(n, 12);
+        assert_eq!(&a, b"hello");
+        assert_eq!(&b, b" worl");
+        assert_eq!(&c[..2], b"d!");
+    }
+
+    #[test]
     fn empty_rw_are_noops() {
         let (w, r) = pipe(4);
         assert_eq!(w.write(b"").unwrap(), 0);
         let mut empty: [u8; 0] = [];
         assert_eq!(r.read(&mut empty).unwrap(), 0);
+        assert_eq!(r.read_vectored(&mut []).unwrap(), 0);
     }
 
     #[test]
@@ -377,5 +639,51 @@ mod tests {
         assert_eq!(r.available(), 0);
         w.write_all(b"abc").unwrap();
         assert_eq!(r.available(), 3);
+    }
+
+    #[test]
+    fn ring_unit_wraparound() {
+        let mut ring = Ring::with_capacity(4);
+        assert_eq!(ring.write_from(b"abc"), 3);
+        let mut out = [0u8; 2];
+        assert_eq!(ring.read_into(&mut out), 2);
+        assert_eq!(&out, b"ab");
+        // head=2, len=1; writing 3 more straddles the seam.
+        assert_eq!(ring.write_from(b"xyz"), 3);
+        let mut all = [0u8; 4];
+        assert_eq!(ring.read_into(&mut all), 4);
+        assert_eq!(&all, b"cxyz");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stress_small_ring() {
+        // Concurrent writer/reader through a seam-heavy 13-byte ring with
+        // mismatched chunk sizes; every byte must arrive in order.
+        let (w, r) = pipe(13);
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 253) as u8).collect();
+        let expected = payload.clone();
+        let writer = std::thread::spawn(move || {
+            let mut off = 0;
+            let mut step = 1;
+            while off < payload.len() {
+                let end = (off + step).min(payload.len());
+                w.write_all(&payload[off..end]).unwrap();
+                off = end;
+                step = step % 31 + 1;
+            }
+            w.close();
+        });
+        let mut got = Vec::new();
+        let mut buf = [0u8; 17];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        writer.join().unwrap();
+        assert_eq!(got, expected);
     }
 }

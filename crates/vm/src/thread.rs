@@ -1,6 +1,6 @@
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,11 +20,18 @@ impl fmt::Display for ThreadId {
     }
 }
 
-/// Poll interval used by all blocking runtime primitives to observe
-/// interruption. Condition variables still deliver wakeups eagerly on the
-/// fast path; this bounds only how long a blocked thread can take to notice
-/// it was interrupted.
+/// Poll interval used by the remaining poll-style blocking primitives
+/// (`join`, `sleep`) to observe interruption. The data-plane paths — event
+/// queues and pipes — no longer poll: they block on a condition variable for
+/// real and are woken explicitly through an [interrupt waker]
+/// (`register_interrupt_waker`), so an idle dispatcher costs zero wakeups.
 pub const BLOCK_POLL: Duration = Duration::from_millis(5);
+
+/// A callback invoked when the thread it is registered on is interrupted.
+/// Blocking primitives register one that acquires their state lock and
+/// notifies their condition variable, turning cooperative interruption into
+/// an immediate wakeup instead of a ≤[`BLOCK_POLL`] poll.
+pub type InterruptWaker = Arc<dyn Fn() + Send + Sync>;
 
 #[derive(Debug)]
 enum RunState {
@@ -41,6 +48,11 @@ pub(crate) struct ThreadCtl {
     interrupted: AtomicBool,
     state: Mutex<RunState>,
     finished: Condvar,
+    /// Wakers to invoke on interruption, keyed for O(1)ish removal. The
+    /// interrupting thread snapshots the list and calls each waker *after*
+    /// releasing this lock, so wakers may freely take their own locks.
+    wakers: Mutex<Vec<(u64, InterruptWaker)>>,
+    next_waker: AtomicU64,
 }
 
 impl ThreadCtl {
@@ -58,7 +70,19 @@ impl ThreadCtl {
             interrupted: AtomicBool::new(false),
             state: Mutex::new(RunState::Running),
             finished: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+            next_waker: AtomicU64::new(1),
         })
+    }
+
+    fn add_waker(self: &Arc<ThreadCtl>, waker: InterruptWaker) -> u64 {
+        let id = self.next_waker.fetch_add(1, Ordering::Relaxed);
+        self.wakers.lock().push((id, waker));
+        id
+    }
+
+    fn remove_waker(&self, id: u64) {
+        self.wakers.lock().retain(|(wid, _)| *wid != id);
     }
 
     pub(crate) fn mark_finished(&self, panic_message: Option<String>) {
@@ -130,6 +154,19 @@ impl VmThread {
     /// manager protects threads of one application from another, §5.6).
     pub(crate) fn interrupt_raw(&self) {
         self.ctl.interrupted.store(true, Ordering::SeqCst);
+        // Snapshot outside the lock so wakers may take their own locks
+        // (an interrupt waker typically locks a queue/pipe state mutex to
+        // close the check-then-wait race before notifying).
+        let wakers: Vec<InterruptWaker> = self
+            .ctl
+            .wakers
+            .lock()
+            .iter()
+            .map(|(_, w)| Arc::clone(w))
+            .collect();
+        for waker in wakers {
+            waker();
+        }
     }
 
     /// Waits for the thread to finish.
@@ -258,6 +295,48 @@ pub fn check_interrupt() -> Result<()> {
     }
 }
 
+/// Deregisters an interrupt waker on drop. Returned by
+/// [`register_interrupt_waker`]; hold it for exactly the region where the
+/// waker's notification is wanted (typically across a condvar wait loop).
+#[must_use = "dropping the guard deregisters the waker immediately"]
+pub struct InterruptWakerGuard {
+    ctl: Option<(Arc<ThreadCtl>, u64)>,
+}
+
+impl Drop for InterruptWakerGuard {
+    fn drop(&mut self) {
+        if let Some((ctl, id)) = self.ctl.take() {
+            ctl.remove_waker(id);
+        }
+    }
+}
+
+impl fmt::Debug for InterruptWakerGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InterruptWakerGuard")
+            .field("registered", &self.ctl.is_some())
+            .finish()
+    }
+}
+
+/// Registers `waker` to fire when the *current* thread is interrupted,
+/// until the returned guard is dropped. On a plain OS thread (which the
+/// runtime never interrupts) this is a no-op guard.
+///
+/// Blocking primitives use this to wait on their condition variable without
+/// a timeout: the waker acquires the primitive's state lock and notifies,
+/// which cannot be lost as long as the caller re-checks
+/// [`check_interrupt`] under that same lock before every wait.
+pub fn register_interrupt_waker(waker: InterruptWaker) -> InterruptWakerGuard {
+    let ctl = CURRENT.with(|c| c.borrow().clone());
+    InterruptWakerGuard {
+        ctl: ctl.map(|ctl| {
+            let id = ctl.add_waker(waker);
+            (ctl, id)
+        }),
+    }
+}
+
 /// Sleeps for `duration`, waking early with an error if interrupted.
 ///
 /// # Errors
@@ -367,6 +446,39 @@ mod tests {
         let (result, elapsed) = handle.join().unwrap();
         assert!(matches!(result.unwrap_err(), VmError::Interrupted));
         assert!(elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn interrupt_fires_registered_wakers_once_registered() {
+        let ctl = test_ctl(6, false);
+        let fired = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let ctl = Arc::clone(&ctl);
+            let fired = Arc::clone(&fired);
+            std::thread::spawn(move || {
+                let _guard = enter_thread(ctl);
+                let fired2 = Arc::clone(&fired);
+                let guard = register_interrupt_waker(Arc::new(move || {
+                    fired2.store(true, Ordering::SeqCst);
+                }));
+                while !current_interrupted() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                drop(guard);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        VmThread::from_ctl(Arc::clone(&ctl)).interrupt_raw();
+        handle.join().unwrap();
+        assert!(fired.load(Ordering::SeqCst), "waker fires on interrupt");
+        // After the guard dropped, another interrupt finds no wakers.
+        assert!(ctl.wakers.lock().is_empty(), "guard deregisters");
+    }
+
+    #[test]
+    fn os_threads_get_noop_waker_guards() {
+        let guard = register_interrupt_waker(Arc::new(|| {}));
+        assert!(guard.ctl.is_none());
     }
 
     #[test]
