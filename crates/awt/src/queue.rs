@@ -3,6 +3,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use jmp_obs::Counter;
+use jmp_vm::context::{AppContext, ResourceKind};
 use jmp_vm::thread::{check_interrupt, register_interrupt_waker, InterruptWakerGuard};
 use jmp_vm::Result;
 use parking_lot::{Condvar, Mutex};
@@ -28,6 +29,24 @@ struct QueueState {
 }
 
 impl QueueState {
+    /// Whether [`QueueState::accept`] would merge `event` into the current
+    /// tail rather than append it. Kept in lockstep with the merge branch
+    /// of `accept`: quota charging asks this first, because a merged event
+    /// occupies no new queue slot and must not be charged (or denied) one.
+    fn would_coalesce(&self, event: &Event) -> bool {
+        if !event.kind.is_coalescible() {
+            return false;
+        }
+        match self.events.back() {
+            Some(tail) => {
+                tail.window == event.window
+                    && tail.component == event.component
+                    && tail.kind.same_coalescing_class(&event.kind)
+            }
+            None => false,
+        }
+    }
+
     /// Appends `event`, merging it into the tail when the AWT coalescing
     /// rule allows (same window, same component, same coalescible kind
     /// class). Returns `true` if the event merged rather than appended.
@@ -62,8 +81,26 @@ struct Inner {
     cvar: Condvar,
     /// VM-wide `events.coalesced` counter, when the queue is observed.
     coalesced: Option<Arc<Counter>>,
-    /// VM-wide `events.dropped` counter (post-close pushes), when observed.
+    /// VM-wide `events.dropped` counter (post-close and over-quota pushes),
+    /// when observed.
     dropped: Option<Arc<Counter>>,
+    /// The owning application: each *appended* event is charged one
+    /// `queued.events` ledger slot, released on dequeue (or queue drop).
+    /// Coalesced-away events never occupy a slot and are never charged.
+    owner: Option<Arc<AppContext>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Last handle gone with events still queued (e.g. the dispatcher
+        // died before draining a closed queue): release their charges.
+        if let Some(owner) = &self.owner {
+            let residual = self.state.get_mut().events.len();
+            if residual > 0 {
+                owner.uncharge(ResourceKind::QueuedEvents, residual as u64);
+            }
+        }
+    }
 }
 
 impl Inner {
@@ -111,11 +148,28 @@ impl EventQueue {
         coalesced: Option<Arc<Counter>>,
         dropped: Option<Arc<Counter>>,
     ) -> EventQueue {
+        EventQueue::with_owner(coalesced, dropped, None)
+    }
+
+    /// [`EventQueue::with_counters`], plus an optional owning
+    /// [`AppContext`]. Each event that occupies a queue slot is charged
+    /// against the owner's `queued.events` quota; an over-quota push is
+    /// dropped and counted exactly like a post-close push (the storm is the
+    /// attacker's problem, not the dispatcher's), with the denial audited
+    /// by the context. Dequeued and dropped-at-teardown events release
+    /// their charge; coalesced-away events never held one.
+    pub fn with_owner(
+        coalesced: Option<Arc<Counter>>,
+        dropped: Option<Arc<Counter>>,
+        owner: Option<Arc<AppContext>>,
+    ) -> EventQueue {
         EventQueue {
             inner: Arc::new(Inner {
+                state: Mutex::new(QueueState::default()),
+                cvar: Condvar::new(),
                 coalesced,
                 dropped,
-                ..Inner::default()
+                owner,
             }),
         }
     }
@@ -143,6 +197,17 @@ impl EventQueue {
                 state.dropped += 1;
                 discarded += 1;
                 continue;
+            }
+            // Only an event about to occupy a new slot is charged; a merge
+            // reuses the tail's slot (and its existing charge).
+            if !state.would_coalesce(&event) {
+                if let Some(owner) = &self.inner.owner {
+                    if owner.try_charge(ResourceKind::QueuedEvents, 1).is_err() {
+                        state.dropped += 1;
+                        discarded += 1;
+                        continue;
+                    }
+                }
             }
             if state.accept(event) {
                 merged += 1;
@@ -210,6 +275,9 @@ impl EventQueue {
                 let take = max.min(state.events.len());
                 let batch: Vec<Event> = state.events.drain(..take).collect();
                 state.dequeued += batch.len() as u64;
+                if let Some(owner) = &self.inner.owner {
+                    owner.uncharge(ResourceKind::QueuedEvents, batch.len() as u64);
+                }
                 if state.events.is_empty() {
                     // Other blocked consumers (multi-consumer queues exist in
                     // tests) would now sleep forever on a notify_one that we
@@ -256,6 +324,9 @@ impl EventQueue {
         let event = state.events.pop_front();
         if event.is_some() {
             state.dequeued += 1;
+            if let Some(owner) = &self.inner.owner {
+                owner.uncharge(ResourceKind::QueuedEvents, 1);
+            }
         }
         event
     }
@@ -531,6 +602,79 @@ mod tests {
         let (n, depth) = consumer.join().unwrap();
         assert_eq!(n, 1);
         assert_eq!(depth, 0, "every park is matched by an unpark");
+    }
+
+    fn owner(id: u64) -> Arc<AppContext> {
+        AppContext::new(
+            id,
+            "App",
+            "alice",
+            jmp_vm::GroupId(id),
+            jmp_obs::ObsHub::new(),
+        )
+    }
+
+    #[test]
+    fn owned_queue_charges_slots_and_drains_to_zero() {
+        let app = owner(1);
+        let q = EventQueue::with_owner(None, None, Some(Arc::clone(&app)));
+        q.push_batch((1..=4).map(ev));
+        assert_eq!(app.ledger().get(ResourceKind::QueuedEvents), 4);
+        assert_eq!(q.drain(2).unwrap().len(), 2);
+        assert_eq!(app.ledger().get(ResourceKind::QueuedEvents), 2);
+        q.try_pop().unwrap();
+        q.try_pop().unwrap();
+        assert!(app.ledger().is_drained());
+    }
+
+    #[test]
+    fn coalesced_events_do_not_leak_charges() {
+        let app = owner(2);
+        let q = EventQueue::with_owner(None, None, Some(Arc::clone(&app)));
+        q.push_batch(vec![paint(1), paint(1), paint(1)]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            app.ledger().get(ResourceKind::QueuedEvents),
+            1,
+            "three coalesced paints hold one slot and one charge"
+        );
+        q.drain(8).unwrap();
+        assert!(app.ledger().is_drained());
+    }
+
+    #[test]
+    fn over_quota_pushes_are_dropped_and_counted() {
+        let app = owner(3);
+        app.limits().set(ResourceKind::QueuedEvents, 2);
+        let dropped = Arc::new(Counter::new());
+        let q = EventQueue::with_owner(None, Some(Arc::clone(&dropped)), Some(Arc::clone(&app)));
+        q.push_batch((1..=5).map(ev));
+        assert_eq!(q.len(), 2, "the queue holds exactly the quota");
+        assert_eq!(q.total_dropped(), 3);
+        assert_eq!(dropped.get(), 3);
+        assert_eq!(app.breaches(), 3, "each refused push is a recorded breach");
+        // Coalescible traffic onto the full queue still merges for free.
+        let app2 = owner(4);
+        app2.limits().set(ResourceKind::QueuedEvents, 1);
+        let q2 = EventQueue::with_owner(None, None, Some(Arc::clone(&app2)));
+        q2.push(paint(1));
+        q2.push(paint(1));
+        assert_eq!(q2.len(), 1);
+        assert_eq!(app2.breaches(), 0, "a merge needs no new slot");
+        q.drain(8).unwrap();
+        q2.drain(8).unwrap();
+        assert!(app.ledger().is_drained());
+        assert!(app2.ledger().is_drained());
+    }
+
+    #[test]
+    fn dropping_an_undrained_queue_releases_charges() {
+        let app = owner(5);
+        let q = EventQueue::with_owner(None, None, Some(Arc::clone(&app)));
+        q.push_batch((1..=3).map(ev));
+        q.close();
+        drop(q);
+        assert!(app.ledger().is_drained());
     }
 
     #[test]

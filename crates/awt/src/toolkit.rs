@@ -280,7 +280,11 @@ impl Toolkit {
             .vm
             .thread_builder()
             .name("awt-input")
-            .daemon(true);
+            .daemon(true)
+            // The X-connection thread serves the whole VM for its lifetime;
+            // charging it to whichever application opened the first window
+            // would leak a thread slot that application can never drain.
+            .detached();
         let builder = match self.inner.mode {
             DispatchMode::PerApplication => builder.group(self.input_group()),
             DispatchMode::Legacy => builder,
@@ -365,10 +369,19 @@ impl Toolkit {
         }
         // Queues feed the VM-wide coalescing/drop counters so `vmstat`
         // accounts for every event that was merged away or lost post-close.
+        // In PerApplication mode the queue is owned by the application
+        // opening its first window: every buffered slot is charged against
+        // that application's ledger (quota `queued.events`). The legacy
+        // shared queue has no single owner and stays unaccounted.
         let metrics = self.inner.vm.obs().vm_metrics();
-        let queue = EventQueue::with_counters(
+        let owner = match self.inner.mode {
+            DispatchMode::PerApplication => jmp_vm::thread::current_app_context(),
+            DispatchMode::Legacy => None,
+        };
+        let queue = EventQueue::with_owner(
             Some(metrics.counter("events.coalesced")),
             Some(metrics.counter("events.dropped")),
+            owner,
         );
         self.inner.queues.lock().insert(queue_tag, queue.clone());
         // The dispatcher spawns in the *current* thread's group: for

@@ -1,0 +1,65 @@
+//! A7: the resource-ledger charge path in isolation — what every
+//! allocation (thread spawn, pipe write, event push, handle open) now pays.
+//! Three shapes: a granted charge/uncharge pair, a charge racing three
+//! sibling threads on the same ledger, and a denied charge (rollback +
+//! breach accounting + audit record).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_vm::{AppContext, GroupId, ResourceKind};
+
+fn context() -> Arc<AppContext> {
+    AppContext::new(1, "Bench", "alice", GroupId(1), jmp_obs::ObsHub::new())
+}
+
+fn bench_quota_charge(c: &mut Criterion) {
+    // The uncontended hot path: fetch_add, compare, done.
+    let ctx = context();
+    c.bench_function("ledger_charge_uncharge", |b| {
+        b.iter(|| {
+            ctx.try_charge(ResourceKind::PipeBytes, 64).unwrap();
+            ctx.uncharge(ResourceKind::PipeBytes, 64);
+        })
+    });
+
+    // The same pair with three sibling threads hammering the same slot —
+    // the lock-free ledger's whole reason to exist.
+    let shared = context();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let siblings: Vec<_> = (0..3)
+        .map(|_| {
+            let ctx = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    ctx.try_charge(ResourceKind::PipeBytes, 64).unwrap();
+                    ctx.uncharge(ResourceKind::PipeBytes, 64);
+                }
+            })
+        })
+        .collect();
+    c.bench_function("ledger_charge_uncharge_contended", |b| {
+        b.iter(|| {
+            shared.try_charge(ResourceKind::PipeBytes, 64).unwrap();
+            shared.uncharge(ResourceKind::PipeBytes, 64);
+        })
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for sibling in siblings {
+        sibling.join().unwrap();
+    }
+
+    // The denial path: rollback, breach counter, audit record with dump —
+    // deliberately heavier, and only ever paid by the app over its limit.
+    let capped = context();
+    capped.limits().set(ResourceKind::Threads, 0);
+    c.bench_function("ledger_denied_charge", |b| {
+        b.iter(|| {
+            let _ = std::hint::black_box(capped.try_charge(ResourceKind::Threads, 1));
+        })
+    });
+}
+
+criterion_group!(benches, bench_quota_charge);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! experiments --json out.json e5a
 //! experiments --chrome-trace trace.json e12
 //! experiments --bench-json BENCH_E14.json e14
+//! experiments --quota-json BENCH_E15.json e15
 //! ```
 
 use std::io::Write;
@@ -29,6 +30,16 @@ fn main() {
             bench_json_path = Some(args.remove(pos));
         } else {
             eprintln!("--bench-json needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let mut quota_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--quota-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            quota_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--quota-json needs a file path");
             std::process::exit(2);
         }
     }
@@ -57,11 +68,19 @@ fn main() {
     let e14_full = bench_json_path
         .as_ref()
         .map(|_| jmp_bench::exp_throughput::e14_data_plane_full());
+    // Same single-run discipline for the E15 quota-storm summary.
+    let e15_full = quota_json_path
+        .as_ref()
+        .map(|_| jmp_bench::exp_quota::e15_quota_storm_full());
 
     let mut all_tables = Vec::new();
     for id in &ids {
-        let tables = match (&e14_full, id.eq_ignore_ascii_case("e14")) {
-            (Some((tables, _)), true) => Some(tables.clone()),
+        let tables = match (
+            (&e14_full, id.eq_ignore_ascii_case("e14")),
+            (&e15_full, id.eq_ignore_ascii_case("e15")),
+        ) {
+            ((Some((tables, _)), true), _) => Some(tables.clone()),
+            (_, (Some((tables, _)), true)) => Some(tables.clone()),
             _ => jmp_bench::run_experiment(id),
         };
         match tables {
@@ -93,6 +112,21 @@ fn main() {
         let run = BenchRun { summary, tables };
         let json = serde_json::to_string_pretty(&run).expect("bench summary serializes");
         std::fs::write(&path, json).expect("write bench json output");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = quota_json_path {
+        // The E15 quota-storm summary: victim-latency containment and
+        // enforcement accounting plus the tables, for CI threshold checks.
+        #[derive(serde::Serialize)]
+        struct QuotaRun {
+            summary: jmp_bench::exp_quota::E15Summary,
+            tables: Vec<jmp_bench::table::Table>,
+        }
+        let (tables, summary) = e15_full.expect("e15 ran for --quota-json");
+        let run = QuotaRun { summary, tables };
+        let json = serde_json::to_string_pretty(&run).expect("quota summary serializes");
+        std::fs::write(&path, json).expect("write quota json output");
         eprintln!("wrote {path}");
     }
 

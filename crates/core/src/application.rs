@@ -8,7 +8,7 @@ use jmp_security::{Permission, User};
 use jmp_vm::io::{InStream, IoToken, OutStream};
 use jmp_vm::stack;
 use jmp_vm::thread::BLOCK_POLL;
-use jmp_vm::{Class, ClassLoader, Properties, ThreadGroup, VmThread};
+use jmp_vm::{AppContext, Class, ClassLoader, Properties, ResourceKind, ThreadGroup, VmThread};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::Error;
@@ -47,6 +47,9 @@ pub(crate) enum OwnedStream {
 pub(crate) struct AppInner {
     id: AppId,
     name: String,
+    /// The single ownership record shared with every layer that charges the
+    /// application for resources — threads, pipes, event queues, handles.
+    context: Arc<AppContext>,
     group: ThreadGroup,
     loader: ClassLoader,
     system_class: Class,
@@ -228,6 +231,12 @@ impl Application {
         &self.inner.system_class
     }
 
+    /// The application's ownership record: identity, live resource ledger,
+    /// and quotas — what every allocation path charges against.
+    pub fn context(&self) -> &Arc<AppContext> {
+        &self.inner.context
+    }
+
     /// The user running this application (paper §5.2).
     pub fn user(&self) -> User {
         self.inner.user.read().clone()
@@ -248,6 +257,10 @@ impl Application {
         let app = Application::current().ok_or(Error::NotAnApplication)?;
         let rt = app.runtime().ok_or(Error::NotAnApplication)?;
         rt.vm().check_permission(&Permission::runtime("setUser"))?;
+        // The context mirrors the user (attribution reads it lock-free), and
+        // the quota table is re-derived for the new user's policy grants.
+        app.inner.context.set_user(user.name());
+        rt.apply_user_limits(&app.inner.context, user.name());
         *app.inner.user.write() = user;
         Ok(())
     }
@@ -348,20 +361,33 @@ impl Application {
     }
 
     /// Records a stream opened by this application, to be closed at
-    /// teardown.
-    pub(crate) fn register_owned_in(&self, stream: InStream) {
+    /// teardown. Each registration costs one `handles` quota slot, released
+    /// when the reaper closes the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`jmp_vm::VmError::QuotaExceeded`] over the `handles` quota.
+    pub(crate) fn register_owned_in(&self, stream: InStream) -> Result<()> {
+        self.inner.context.try_charge(ResourceKind::Handles, 1)?;
         self.inner
             .owned_streams
             .lock()
             .push(OwnedStream::In(stream));
+        Ok(())
     }
 
     /// Records an output stream opened by this application.
-    pub(crate) fn register_owned_out(&self, stream: OutStream) {
+    ///
+    /// # Errors
+    ///
+    /// [`jmp_vm::VmError::QuotaExceeded`] over the `handles` quota.
+    pub(crate) fn register_owned_out(&self, stream: OutStream) -> Result<()> {
+        self.inner.context.try_charge(ResourceKind::Handles, 1)?;
         self.inner
             .owned_streams
             .lock()
             .push(OwnedStream::Out(stream));
+        Ok(())
     }
 
     /// Live threads belonging to this application (for `ps`).
@@ -455,10 +481,34 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
             system_class.set_static("out", Arc::new(spec.stdout));
             system_class.set_static("err", Arc::new(spec.stderr));
 
+            // The ownership record, interned here once per application:
+            // quotas come from the VM defaults overridden by the user's
+            // policy grants, and crossing the hard-breach threshold
+            // schedules the application for the existing reaper.
+            let context = AppContext::new(
+                id.0,
+                spec.class_name.clone(),
+                spec.user.name(),
+                group.id(),
+                inner_rt.vm.obs().clone(),
+            );
+            rt.apply_user_limits(&context, spec.user.name());
+            let breach_rt: Weak<RtInner> = Arc::downgrade(inner_rt);
+            context.set_hard_breach_hook(Box::new(move |ctx| {
+                let Some(inner) = breach_rt.upgrade() else {
+                    return;
+                };
+                let rt = MpRuntime { inner };
+                if let Some(app) = rt.application(AppId(ctx.app_id())) {
+                    app.request_exit(134);
+                }
+            }));
+
             let app = Application {
                 inner: Arc::new(AppInner {
                     id,
                     name: spec.class_name.clone(),
+                    context: Arc::clone(&context),
                     group: group.clone(),
                     loader: loader.clone(),
                     system_class,
@@ -473,10 +523,7 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
                     rt: Arc::downgrade(inner_rt),
                 }),
             };
-            inner_rt
-                .apps_by_group
-                .write()
-                .insert(group.id(), app.clone());
+            inner_rt.apps_by_group.write().insert(group.id(), id);
             inner_rt.apps_by_id.write().insert(id, app.clone());
 
             // Observability: the application's metrics registry exists from
@@ -516,6 +563,7 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
                 .thread_builder()
                 .name(format!("main:{class_name}"))
                 .group(group.clone())
+                .app_context(Arc::clone(&context))
                 .daemon(false)
                 .spawn(move |_vm| {
                     let outcome = main_app
@@ -578,9 +626,12 @@ pub(crate) fn reap(rt: &MpRuntime, id: AppId) {
 
     // 3. Close the streams the application opened — and only those; the
     //    inherited standard streams are shared with other applications and
-    //    must survive (§5.1).
+    //    must survive (§5.1). Each close releases the handle charged at
+    //    registration, so the ledger drains with the teardown.
     let token = app.inner.io_token;
+    let mut released_handles = 0;
     for owned in app.inner.owned_streams.lock().drain(..) {
+        released_handles += 1;
         match owned {
             OwnedStream::In(s) => {
                 let _ = s.close(token);
@@ -590,6 +641,9 @@ pub(crate) fn reap(rt: &MpRuntime, id: AppId) {
             }
         }
     }
+    app.inner
+        .context
+        .uncharge(ResourceKind::Handles, released_handles);
 
     // 4. Drop the application's shared-object exports (§8 extension):
     //    exports do not outlive their publisher.

@@ -262,7 +262,7 @@ pub fn open_in(path: &str) -> Result<InStream> {
         pos: Mutex::new(0),
     };
     let stream = InStream::new(Arc::new(device), ctx.app.io_token());
-    ctx.app.register_owned_in(stream.clone());
+    ctx.app.register_owned_in(stream.clone())?;
     Ok(stream)
 }
 
@@ -290,6 +290,6 @@ pub fn open_out(path: &str, append_mode: bool) -> Result<OutStream> {
         uid: ctx.uid(),
     };
     let stream = OutStream::new(Arc::new(device), ctx.app.io_token());
-    ctx.app.register_owned_out(stream.clone());
+    ctx.app.register_owned_out(stream.clone())?;
     Ok(stream)
 }

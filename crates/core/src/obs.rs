@@ -20,6 +20,7 @@
 
 use jmp_obs::{AuditRecord, HubSnapshot, RegistrySnapshot, WatchdogRow};
 use jmp_security::Permission;
+use jmp_vm::{ResourceKind, RESOURCE_KINDS};
 
 use crate::runtime::MpRuntime;
 use crate::Result;
@@ -52,6 +53,55 @@ pub struct TopRow {
     pub classes: u64,
     /// Bytes written through pipes the application created.
     pub pipe_bytes: u64,
+}
+
+/// One application's row in the resource-ledger table (the shell's `ps -l`
+/// and the `vmstat` ledger section): live usage against quota for every
+/// [`ResourceKind`], read straight off the application's
+/// [`jmp_vm::AppContext`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerRow {
+    /// Application id.
+    pub id: u64,
+    /// Main class name.
+    pub name: String,
+    /// Running user.
+    pub user: String,
+    /// `(resource, used, limit)` in [`RESOURCE_KINDS`] order; a limit of
+    /// `u64::MAX` means unlimited.
+    pub resources: Vec<(ResourceKind, u64, u64)>,
+    /// Charges denied so far (quota breaches).
+    pub breaches: u64,
+}
+
+/// The per-application resource ledgers, one row per running application,
+/// sorted by id.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readMetrics")` — another application's resource
+/// footprint is as private as its metrics.
+pub fn ledger_rows(rt: &MpRuntime) -> Result<Vec<LedgerRow>> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readMetrics"))?;
+    Ok(rt
+        .applications()
+        .iter()
+        .map(|app| {
+            let ctx = app.context();
+            LedgerRow {
+                id: app.id().0,
+                name: app.name().to_string(),
+                user: app.user().name().to_string(),
+                resources: RESOURCE_KINDS
+                    .iter()
+                    .map(|&kind| (kind, ctx.ledger().get(kind), ctx.limits().get(kind)))
+                    .collect(),
+                breaches: ctx.breaches(),
+            }
+        })
+        .collect())
 }
 
 /// Re-computes the point-in-time gauges the hub cannot maintain eventfully

@@ -8,7 +8,9 @@
 //! rule, those applications may not close them — the creating shell does
 //! (§5.1/§6.1).
 
-use jmp_vm::io::{pipe_traced, InStream, OutStream, DEFAULT_PIPE_CAPACITY};
+use std::sync::Arc;
+
+use jmp_vm::io::{pipe_owned, InStream, OutStream, DEFAULT_PIPE_CAPACITY};
 
 use crate::application::Application;
 use crate::error::Error;
@@ -42,10 +44,12 @@ pub fn make_pipe_with_capacity(capacity: usize) -> Result<(OutStream, InStream)>
             .counter("pipe.bytes")
     });
     let recorder = rt.as_ref().map(|rt| rt.vm().obs().recorder().clone());
-    let (writer, reader) = pipe_traced(capacity, bytes, recorder);
+    // The pipe is *owned*: every buffered byte is charged against the
+    // creating application's `pipe.bytes` quota until the reader drains it.
+    let (writer, reader) = pipe_owned(capacity, bytes, recorder, Some(Arc::clone(app.context())));
     let out = OutStream::from_pipe(writer, app.io_token());
     let input = InStream::from_pipe(reader, app.io_token());
-    app.register_owned_out(out.clone());
-    app.register_owned_in(input.clone());
+    app.register_owned_out(out.clone())?;
+    app.register_owned_in(input.clone())?;
     Ok((out, input))
 }

@@ -1,14 +1,14 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock};
 
 use jmp_awt::{DispatchMode, DisplayServer, Toolkit};
-use jmp_security::{Policy, ProtectionDomain, User, UserRegistry};
+use jmp_security::{Permission, Policy, ProtectionDomain, User, UserRegistry};
 use jmp_vfs::{Mode, Vfs};
 use jmp_vm::io::{InStream, IoToken, MemSink, OutStream};
 use jmp_vm::thread::BLOCK_POLL;
-use jmp_vm::{ClassDef, GroupId, Vm};
+use jmp_vm::{AppContext, ClassDef, GroupId, ResourceKind, Vm};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::application::{AppId, Application};
@@ -31,6 +31,10 @@ pub const SYSTEM_PROPERTIES_CLASS: &str = "jmp.SystemProperties";
 pub(crate) struct ReapQueue {
     state: Mutex<(std::collections::VecDeque<AppId>, bool)>,
     cvar: Condvar,
+    /// Counts ids enqueued after close — an exit racing the runtime's own
+    /// drop must be a *counted* no-op (the reaper analogue of the event
+    /// queues' `events.dropped`), not a silent one.
+    dropped: OnceLock<Arc<jmp_obs::Counter>>,
 }
 
 impl ReapQueue {
@@ -38,18 +42,28 @@ impl ReapQueue {
         Arc::new(ReapQueue {
             state: Mutex::new((std::collections::VecDeque::new(), false)),
             cvar: Condvar::new(),
+            dropped: OnceLock::new(),
         })
+    }
+
+    fn set_dropped_counter(&self, counter: Arc<jmp_obs::Counter>) {
+        let _ = self.dropped.set(counter);
     }
 
     pub(crate) fn send(&self, id: AppId) {
         let mut state = self.state.lock();
-        if !state.1 {
-            state.0.push_back(id);
-            self.cvar.notify_one();
+        if state.1 {
+            drop(state);
+            if let Some(counter) = self.dropped.get() {
+                counter.inc();
+            }
+            return;
         }
+        state.0.push_back(id);
+        self.cvar.notify_one();
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.state.lock().1 = true;
         self.cvar.notify_all();
     }
@@ -83,8 +97,14 @@ pub(crate) struct RtInner {
     pub(crate) vfs: Arc<Vfs>,
     pub(crate) users: Arc<UserRegistry>,
     pub(crate) sys_domain: Arc<ProtectionDomain>,
-    pub(crate) apps_by_group: RwLock<HashMap<GroupId, Application>>,
+    /// `GroupId → AppId` view onto [`RtInner::apps_by_id`], one entry per
+    /// application root group — kept only for the group-walk fallback
+    /// ([`MpRuntime::app_of_group`]); the primary record is the id map.
+    pub(crate) apps_by_group: RwLock<HashMap<GroupId, AppId>>,
     pub(crate) apps_by_id: RwLock<HashMap<AppId, Application>>,
+    /// VM-wide default quotas applied to every application at exec, before
+    /// the per-user `resource "limit.<resource>:<n>"` policy overrides.
+    pub(crate) default_limits: Vec<(ResourceKind, u64)>,
     pub(crate) next_app_id: AtomicU64,
     pub(crate) next_io_token: AtomicU64,
     pub(crate) reap_queue: Arc<ReapQueue>,
@@ -129,6 +149,7 @@ pub struct MpRuntimeBuilder {
     users: Vec<(String, String)>,
     gui: Option<(DisplayServer, DispatchMode)>,
     vm_name: String,
+    limits: Vec<(ResourceKind, u64)>,
 }
 
 impl MpRuntimeBuilder {
@@ -162,6 +183,14 @@ impl MpRuntimeBuilder {
     /// Attaches a windowing stack on an existing display.
     pub fn display(mut self, display: DisplayServer, mode: DispatchMode) -> MpRuntimeBuilder {
         self.gui = Some((display, mode));
+        self
+    }
+
+    /// Sets a VM-wide default quota for `kind`, applied to every application
+    /// at exec. Per-user `resource "limit.<resource>:<n>"` policy grants and
+    /// [`MpRuntime::set_limits`] both override it.
+    pub fn resource_limit(mut self, kind: ResourceKind, limit: u64) -> MpRuntimeBuilder {
+        self.limits.push((kind, limit));
         self
     }
 
@@ -240,6 +269,7 @@ impl MpRuntimeBuilder {
         };
 
         let reap_queue = ReapQueue::new();
+        reap_queue.set_dropped_counter(vm.obs().vm_metrics().counter("reaper.dropped"));
         let inner = Arc::new(RtInner {
             vm: vm.clone(),
             vfs,
@@ -247,6 +277,7 @@ impl MpRuntimeBuilder {
             sys_domain: Arc::new(ProtectionDomain::system()),
             apps_by_group: RwLock::new(HashMap::new()),
             apps_by_id: RwLock::new(HashMap::new()),
+            default_limits: self.limits,
             next_app_id: AtomicU64::new(1),
             next_io_token: AtomicU64::new(1),
             reap_queue: Arc::clone(&reap_queue),
@@ -267,30 +298,21 @@ impl MpRuntimeBuilder {
             EXTENSION_KEY,
             Arc::clone(&inner) as Arc<dyn std::any::Any + Send + Sync>,
         )?;
-        let weak: Weak<RtInner> = Arc::downgrade(&inner);
-        vm.set_user_resolver(Arc::new(move || {
-            let rt = weak.upgrade()?;
-            MpRuntime { inner: rt }
-                .app_of_current_thread()
-                .map(|app| app.user().name().to_string())
+        // Identity is read straight off the thread's AppContext — installed
+        // at spawn and inherited by every thread the application creates —
+        // with no runtime handle and no thread→group→app walk.
+        vm.set_user_resolver(Arc::new(|| {
+            jmp_vm::thread::current_app_context().map(|ctx| ctx.user())
         }))?;
         vm.set_security_manager(Arc::new(SystemSecurityManager::new()))?;
-        // Observability: teach the VM's hub to charge events and metrics to
-        // the application owning the current thread (same walk the user
-        // resolver does).
-        let weak: Weak<RtInner> = Arc::downgrade(&inner);
-        vm.obs().set_app_resolver(Arc::new(move || {
-            let rt = weak.upgrade()?;
-            MpRuntime { inner: rt }
-                .app_of_current_thread()
-                .map(|app| app.id().0)
+        // Observability: events and metrics are charged to the application
+        // whose context the current thread carries.
+        vm.obs().set_app_resolver(Arc::new(|| {
+            jmp_vm::thread::current_app_context().map(|ctx| ctx.app_id())
         }));
         if let Some(toolkit) = &rt.inner.toolkit {
-            let weak: Weak<RtInner> = Arc::downgrade(&inner);
-            toolkit.set_tag_resolver(Arc::new(move || {
-                weak.upgrade()
-                    .and_then(|rt| MpRuntime { inner: rt }.app_of_current_thread())
-                    .map_or(0, |app| app.id().0)
+            toolkit.set_tag_resolver(Arc::new(|| {
+                jmp_vm::thread::current_app_context().map_or(0, |ctx| ctx.app_id())
             }));
             // Feed GUI dispatch counts and latencies into the hub, VM-wide
             // and per application (§5.4's per-application queues make the
@@ -320,6 +342,7 @@ impl MpRuntime {
             users: Vec::new(),
             gui: None,
             vm_name: "jmp-mp".into(),
+            limits: Vec::new(),
         }
     }
 
@@ -439,25 +462,78 @@ impl MpRuntime {
         crate::application::spawn_app(self, spec)
     }
 
-    /// Resolves the application the current thread belongs to by walking the
-    /// thread-group tree upward — the paper's "threads give us a convenient
-    /// way to distinguish two instances of the same program" (§5.1, Fig 3).
+    /// Resolves the application the current thread belongs to — normally a
+    /// direct read of the [`AppContext`] the thread has carried since spawn,
+    /// falling back to the thread-group walk (the paper's "threads give us a
+    /// convenient way to distinguish two instances of the same program",
+    /// §5.1, Fig 3) for threads placed in an application's group without a
+    /// context.
     pub fn app_of_current_thread(&self) -> Option<Application> {
+        if let Some(ctx) = jmp_vm::thread::current_app_context() {
+            return self.application(AppId(ctx.app_id()));
+        }
         let thread = jmp_vm::thread::current()?;
         self.app_of_group(thread.group())
     }
 
-    /// Resolves the application owning `group`, if any.
+    /// Resolves the application owning `group`, if any, by walking the group
+    /// tree upward to an application root.
     pub fn app_of_group(&self, group: &jmp_vm::ThreadGroup) -> Option<Application> {
-        let apps = self.inner.apps_by_group.read();
-        let mut cursor = Some(group.clone());
-        while let Some(g) = cursor {
-            if let Some(app) = apps.get(&g.id()) {
-                return Some(app.clone());
+        let id = {
+            let index = self.inner.apps_by_group.read();
+            let mut cursor = Some(group.clone());
+            loop {
+                let Some(g) = cursor else { break None };
+                if let Some(id) = index.get(&g.id()) {
+                    break Some(*id);
+                }
+                cursor = g.parent().cloned();
             }
-            cursor = g.parent().cloned();
+        };
+        self.application(id?)
+    }
+
+    /// Applies the runtime's default quotas, then the per-user
+    /// `resource "limit.<resource>:<n>"` grants from the policy, to `ctx` —
+    /// the limit table consulted at exec and again at `setUser`.
+    pub(crate) fn apply_user_limits(&self, ctx: &AppContext, user: &str) {
+        for (kind, limit) in &self.inner.default_limits {
+            ctx.limits().set(*kind, *limit);
         }
-        None
+        let policy = self.inner.vm.policy();
+        for permission in policy.permissions_for_user(user).iter() {
+            let Permission::Resource(target) = permission else {
+                continue;
+            };
+            let Some(spec) = target.strip_prefix("limit.") else {
+                continue;
+            };
+            let Some((resource, value)) = spec.rsplit_once(':') else {
+                continue;
+            };
+            if let (Some(kind), Ok(limit)) = (ResourceKind::parse(resource), value.parse::<u64>()) {
+                ctx.limits().set(kind, limit);
+            }
+        }
+    }
+
+    /// Sets one of `app`'s resource quotas. Requires
+    /// `ResourcePermission("setLimits")` — the shell's `ulimit` path.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Security`] without the permission; [`crate::Error::Io`]
+    /// if no such application is running.
+    pub fn set_limits(&self, id: AppId, kind: ResourceKind, limit: u64) -> Result<()> {
+        self.inner
+            .vm
+            .check_permission(&Permission::resource(Permission::SET_LIMITS))?;
+        let app = self.application(id).ok_or_else(|| crate::Error::Io {
+            message: format!("no such application: {}", id.0),
+        })?;
+        app.context().limits().set(kind, limit);
+        self.inner.vm.obs().vm_metrics().counter("limits.set").inc();
+        Ok(())
     }
 
     /// All running applications, sorted by id.

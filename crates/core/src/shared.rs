@@ -68,7 +68,8 @@ fn check(rt: &MpRuntime, verb: &str, name: &str) -> Result<()> {
 pub fn publish(name: &str, value: SharedValue) -> Result<()> {
     let rt = rt()?;
     check(&rt, "publish", name)?;
-    let publisher = rt.app_of_current_thread().map(|a| a.id());
+    let publisher_app = rt.app_of_current_thread();
+    let publisher = publisher_app.as_ref().map(|a| a.id());
     let mut table = rt.inner.shared.write();
     if let Some(existing) = table.get(name) {
         if existing.publisher != publisher {
@@ -76,6 +77,9 @@ pub fn publish(name: &str, value: SharedValue) -> Result<()> {
                 message: format!("shared object {name:?} is owned by another publisher"),
             });
         }
+        // Same-publisher replacement: the name keeps its existing charge.
+    } else if let Some(app) = &publisher_app {
+        app.context().try_charge(jmp_vm::ResourceKind::Handles, 1)?;
     }
     table.insert(name.to_string(), SharedEntry { value, publisher });
     Ok(())
@@ -121,7 +125,14 @@ pub fn withdraw(name: &str) -> Result<bool> {
             if entry.publisher != caller {
                 check(&rt, "withdraw", name)?;
             }
+            let publisher = entry.publisher;
             table.remove(name);
+            drop(table);
+            if let Some(id) = publisher {
+                if let Some(app) = rt.application(id) {
+                    app.context().uncharge(jmp_vm::ResourceKind::Handles, 1);
+                }
+            }
             Ok(true)
         }
     }
@@ -145,10 +156,18 @@ pub fn names() -> Result<Vec<String>> {
 /// Drops all exports of `app` (called by the reaper: an application's
 /// exports do not outlive it, just like its windows and owned streams).
 pub(crate) fn drop_exports_of(rt: &MpRuntime, app: AppId) {
-    rt.inner
-        .shared
-        .write()
-        .retain(|_name, entry| entry.publisher != Some(app));
+    let dropped = {
+        let mut table = rt.inner.shared.write();
+        let before = table.len();
+        table.retain(|_name, entry| entry.publisher != Some(app));
+        (before - table.len()) as u64
+    };
+    if dropped > 0 {
+        if let Some(app) = rt.application(app) {
+            app.context()
+                .uncharge(jmp_vm::ResourceKind::Handles, dropped);
+        }
+    }
 }
 
 /// Convenience: the publishing side of a shared byte channel — a pipe whose

@@ -703,3 +703,207 @@ fn unknown_class_reports_on_stderr() {
     assert!(rt.console_output().contains("class not found: NoSuchClass"));
     rt.shutdown();
 }
+
+#[test]
+fn reaper_post_close_send_is_a_counted_noop() {
+    // An application exit racing runtime drop must neither enqueue (the
+    // reaper is gone) nor vanish silently: it lands on `reaper.dropped`.
+    let rt = runtime();
+    let queue = Arc::clone(&rt.inner.reap_queue);
+    let dropped = rt.vm().obs().vm_metrics().counter("reaper.dropped");
+    assert_eq!(dropped.get(), 0);
+    queue.close();
+    queue.send(crate::AppId(7));
+    queue.send(crate::AppId(8));
+    assert_eq!(dropped.get(), 2);
+    rt.shutdown();
+}
+
+#[test]
+fn app_context_carries_identity_and_defaults() {
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(TEST_POLICY).expect("test policy parses"))
+        .user("alice", "apw")
+        .resource_limit(jmp_vm::ResourceKind::Threads, 16)
+        .build()
+        .expect("runtime builds");
+    register(&rt, "Ctx", "file:/apps/ctx", |_| {
+        let ctx = jmp_vm::thread::current_app_context().expect("main carries the context");
+        let app = Application::current().unwrap();
+        assert_eq!(ctx.app_id(), app.id().0);
+        assert_eq!(ctx.user(), "alice");
+        assert_eq!(ctx.limits().get(jmp_vm::ResourceKind::Threads), 16);
+        // The main thread itself is on the ledger.
+        assert_eq!(ctx.ledger().get(jmp_vm::ResourceKind::Threads), 1);
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "Ctx", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    // After the reap every charge is back.
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
+
+#[test]
+fn policy_limit_grants_override_defaults() {
+    let policy = format!(
+        "{TEST_POLICY}\n{}",
+        r#"grant user "bob" { permission resource "limit.threads:3"; };"#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy).expect("policy parses"))
+        .user("alice", "apw")
+        .user("bob", "bpw")
+        .resource_limit(jmp_vm::ResourceKind::Threads, 64)
+        .build()
+        .expect("runtime builds");
+    register(&rt, "Idle", "file:/apps/idle", |_| Ok(()));
+    let alice = rt.launch_as("alice", "Idle", &[]).unwrap();
+    let bob = rt.launch_as("bob", "Idle", &[]).unwrap();
+    assert_eq!(
+        alice.context().limits().get(jmp_vm::ResourceKind::Threads),
+        64
+    );
+    assert_eq!(bob.context().limits().get(jmp_vm::ResourceKind::Threads), 3);
+    alice.wait_for().unwrap();
+    bob.wait_for().unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn thread_quota_denies_spawn_and_counts_the_denial() {
+    let policy = format!(
+        "{TEST_POLICY}\n{}",
+        r#"grant user "bob" { permission resource "limit.threads:2"; };"#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy).expect("policy parses"))
+        .user("bob", "bpw")
+        .build()
+        .expect("runtime builds");
+    static DENIED: AtomicUsize = AtomicUsize::new(0);
+    register(&rt, "Bomb", "file:/apps/bomb", |_| {
+        // Main is 1 of 2; the first extra thread fits, the second must be
+        // denied with a typed QuotaExceeded.
+        let vm = jmp_vm::Vm::current().unwrap();
+        let first = vm
+            .thread_builder()
+            .name("b1")
+            .spawn(|_| {
+                let _ = jmp_vm::thread::sleep(Duration::from_millis(500));
+            })
+            .expect("within quota");
+        let err = vm
+            .thread_builder()
+            .name("b2")
+            .spawn(|_| {})
+            .expect_err("over quota");
+        assert!(err.is_quota_exceeded(), "{err}");
+        DENIED.fetch_add(1, Ordering::SeqCst);
+        first.join_timeout(Duration::from_secs(5));
+        Ok(())
+    });
+    let app = rt.launch_as("bob", "Bomb", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert_eq!(DENIED.load(Ordering::SeqCst), 1);
+    // The denial is counted VM-wide and audited.
+    assert!(rt.vm().obs().vm_metrics().counter("quota.denied").get() >= 1);
+    let audited = rt.vm().obs().audit_query(Some("bob"), None);
+    assert!(
+        audited.iter().any(|r| r.permission.contains("threads")),
+        "{audited:?}"
+    );
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
+
+#[test]
+fn set_limits_is_gated_by_resource_permission() {
+    let rt = runtime();
+    register(&rt, "Limiter", "file:/apps/limiter", |_| {
+        let rt = MpRuntime::current().unwrap();
+        let app = Application::current().unwrap();
+        // The test policy does not grant ResourcePermission("setLimits").
+        let err = rt
+            .set_limits(app.id(), jmp_vm::ResourceKind::Handles, 5)
+            .expect_err("setLimits must be gated");
+        assert!(err.is_security(), "{err}");
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "Limiter", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    // The host (trusted, off-stack) may set limits directly.
+    register(&rt, "Sleepy", "file:/apps/sleepy", |_| {
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    let sleepy = rt.launch_as("alice", "Sleepy", &[]).unwrap();
+    rt.set_limits(sleepy.id(), jmp_vm::ResourceKind::Handles, 5)
+        .expect("host sets limits");
+    assert_eq!(
+        sleepy.context().limits().get(jmp_vm::ResourceKind::Handles),
+        5
+    );
+    sleepy.stop(0).unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn handles_quota_bounds_owned_streams() {
+    let policy = format!(
+        "{TEST_POLICY}\n{}",
+        r#"grant user "alice" { permission resource "limit.handles:2"; };"#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy).expect("policy parses"))
+        .user("alice", "apw")
+        .build()
+        .expect("runtime builds");
+    register(&rt, "Opener", "file:/apps/opener", |_| {
+        // A pipe takes two handles (both ends); a second pipe must be
+        // denied over the handles quota.
+        let _pipe = pipes::make_pipe().expect("within quota");
+        let err = pipes::make_pipe().expect_err("over quota");
+        assert!(
+            matches!(err, Error::Vm(ref e) if e.is_quota_exceeded()),
+            "{err}"
+        );
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "Opener", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
+
+#[test]
+fn repeated_hard_breaches_terminate_the_app() {
+    let policy = format!(
+        "{TEST_POLICY}\n{}",
+        r#"grant user "bob" { permission resource "limit.threads:1"; };"#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&policy).expect("policy parses"))
+        .user("bob", "bpw")
+        .build()
+        .expect("runtime builds");
+    register(&rt, "Breacher", "file:/apps/breacher", |_| {
+        let app = Application::current().unwrap();
+        // Tighten the escalation threshold, then breach past it.
+        app.context().limits().set_hard_breach_threshold(3);
+        let vm = jmp_vm::Vm::current().unwrap();
+        for _ in 0..8 {
+            let _ = vm.thread_builder().name("x").spawn(|_| {});
+        }
+        // The hook has scheduled us for the reaper; block until it stops us.
+        let _ = jmp_vm::thread::sleep(Duration::from_secs(600));
+        Ok(())
+    });
+    let app = rt.launch_as("bob", "Breacher", &[]).unwrap();
+    let code = app.wait_for().unwrap();
+    assert_eq!(code, 134, "hard-breach escalation reaps with code 134");
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    rt.shutdown();
+}

@@ -319,6 +319,50 @@ impl ObsHub {
         self.inner.cache_invalidations.inc();
     }
 
+    /// Records a refused allocation — a resource-quota denial — as an
+    /// audited incident, mirroring how permission denials are treated: a
+    /// VM-wide and per-app `quota.denied` counter bump, an audit record,
+    /// and a [`EventKind::QuotaDenied`] event on the sink.
+    ///
+    /// Only when `dump` is set does the record carry a flight-recorder
+    /// snapshot. Cloning the span ring is the expensive part of incident
+    /// capture, and an application storming its own quota generates
+    /// thousands of denials a second — attaching a dump to each would turn
+    /// the app's *denial accounting* into the very VM-wide stall the quota
+    /// exists to prevent. Callers sample instead (the ledger dumps on
+    /// power-of-two breach counts).
+    pub fn record_quota_denial(
+        &self,
+        app: u64,
+        user: Option<&str>,
+        resource: &str,
+        limit: u64,
+        dump: bool,
+    ) {
+        self.inner.vm.counter("quota.denied").inc();
+        if let Some(registry) = self.existing_app_registry(app) {
+            registry.counter("quota.denied").inc();
+        }
+        let detail = format!("{resource} limit {limit}");
+        self.inner.audit.record_with_dump(
+            user.map(str::to_owned),
+            Some(app),
+            format!("resource \"{resource}\""),
+            format!("quota exceeded: {detail}"),
+            if dump {
+                self.inner.recorder.dump()
+            } else {
+                Vec::new()
+            },
+        );
+        self.inner.sink.publish(
+            EventKind::QuotaDenied,
+            Some(app),
+            user.map(str::to_owned),
+            detail,
+        );
+    }
+
     /// Records an application fault (its main thread returned an error) as
     /// an audited incident carrying the flight record, mirroring how
     /// denials are treated.

@@ -38,6 +38,10 @@ pub enum EventKind {
     /// A watchdog found a dispatcher or helper thread past its stall
     /// threshold (name and last-beat age in `detail`).
     Watchdog,
+    /// An allocation was refused because the owning application's resource
+    /// quota was exhausted (resource and limit in `detail`); the same
+    /// denial is recorded in the [`AuditLog`](crate::AuditLog).
+    QuotaDenied,
 }
 
 impl fmt::Display for EventKind {
@@ -50,6 +54,7 @@ impl fmt::Display for EventKind {
             EventKind::ClassDefined => "class-defined",
             EventKind::ClassReloaded => "class-reloaded",
             EventKind::Watchdog => "watchdog-stall",
+            EventKind::QuotaDenied => "quota-denied",
         };
         f.write_str(s)
     }

@@ -81,6 +81,7 @@ pub struct PermissionIndex {
     runtime: NameIndex,
     awt: NameIndex,
     user: NameIndex,
+    resource: NameIndex,
     /// Property grants with an exact key.
     property_exact: HashMap<String, Vec<PropertyActions>>,
     /// Property grants whose key ends in a wildcard.
@@ -135,6 +136,7 @@ impl PermissionIndex {
             }
             Permission::Awt(target) => self.awt.add(target),
             Permission::User(target) => self.user.add(target),
+            Permission::Resource(target) => self.resource.add(target),
         }
     }
 
@@ -146,6 +148,7 @@ impl PermissionIndex {
             && self.runtime.is_empty()
             && self.awt.is_empty()
             && self.user.is_empty()
+            && self.resource.is_empty()
             && self.property_exact.is_empty()
             && self.property_wildcard.is_empty()
     }
@@ -169,6 +172,7 @@ impl PermissionIndex {
             Permission::Property { key, actions } => self.property_implies(key, *actions),
             Permission::Awt(target) => self.awt.implies(target),
             Permission::User(target) => self.user.implies(target),
+            Permission::Resource(target) => self.resource.implies(target),
         }
     }
 
@@ -254,6 +258,8 @@ mod tests {
             Permission::property("user.*", PropertyActions::ALL),
             Permission::awt("showWindow"),
             Permission::user(Permission::EXERCISE_USER),
+            Permission::resource(Permission::SET_LIMITS),
+            Permission::resource("limit.*"),
         ]
     }
 
@@ -300,6 +306,10 @@ mod tests {
             Permission::awt("accessEventQueue"),
             Permission::user(Permission::EXERCISE_USER),
             Permission::user("other"),
+            Permission::resource(Permission::SET_LIMITS),
+            Permission::resource("limit.threads:256"),
+            Permission::resource("limits"),
+            Permission::resource("other"),
         ]
     }
 

@@ -328,6 +328,12 @@ pub enum Permission {
     /// `exerciseUserPermissions`: code holding it may additionally exercise
     /// the permissions the policy grants to the *running user*.
     User(String),
+    /// `ResourcePermission`: a named resource-governance target. The
+    /// canonical operational target is `setLimits` (may change another
+    /// application's quotas); grants of the form `limit.<resource>:<value>`
+    /// (e.g. `limit.threads:256`) in a `grant user` block carry per-user
+    /// quota overrides applied at application spawn.
+    Resource(String),
 }
 
 impl Permission {
@@ -371,9 +377,19 @@ impl Permission {
         Permission::User(target.into())
     }
 
+    /// Constructs a resource permission. [`Permission::SET_LIMITS`] is the
+    /// canonical operational target.
+    pub fn resource(target: impl Into<String>) -> Permission {
+        Permission::Resource(target.into())
+    }
+
     /// The canonical user-permission target (paper §5.3): grants code the
     /// right to exercise the permissions of the user running it.
     pub const EXERCISE_USER: &'static str = "exerciseUserPermissions";
+
+    /// The canonical resource-permission target: may change another
+    /// application's resource quotas.
+    pub const SET_LIMITS: &'static str = "setLimits";
 
     /// Shorthand for `Permission::User("exerciseUserPermissions")`.
     pub fn exercise_user_permissions() -> Permission {
@@ -419,6 +435,9 @@ impl Permission {
             (Permission::User(target), Permission::User(otarget)) => {
                 name_pattern_implies(target, otarget)
             }
+            (Permission::Resource(target), Permission::Resource(otarget)) => {
+                name_pattern_implies(target, otarget)
+            }
             _ => false,
         }
     }
@@ -440,6 +459,7 @@ impl fmt::Display for Permission {
             }
             Permission::Awt(target) => write!(f, "permission awt \"{target}\""),
             Permission::User(target) => write!(f, "permission user \"{target}\""),
+            Permission::Resource(target) => write!(f, "permission resource \"{target}\""),
         }
     }
 }
@@ -705,9 +725,21 @@ mod tests {
             Permission::property("os.name", PropertyActions::READ),
             Permission::awt("showWindow"),
             Permission::user(Permission::EXERCISE_USER),
+            Permission::resource(Permission::SET_LIMITS),
         ];
         for p in &perms {
             assert!(p.implies(p), "{p} should imply itself");
         }
+    }
+
+    #[test]
+    fn resource_permission_targets() {
+        let grant = Permission::resource(Permission::SET_LIMITS);
+        assert!(grant.implies(&Permission::resource("setLimits")));
+        assert!(!grant.implies(&Permission::resource("limit.threads:10")));
+        assert!(!grant.implies(&Permission::runtime("setLimits")));
+        let wildcard = Permission::resource("limit.*");
+        assert!(wildcard.implies(&Permission::resource("limit.threads:10")));
+        assert!(!wildcard.implies(&Permission::resource("setLimits")));
     }
 }

@@ -388,6 +388,7 @@ impl Parser {
             }
             "awt" => Permission::Awt(self.expect_string("awt target")?),
             "user" => Permission::User(self.expect_string("user target")?),
+            "resource" => Permission::Resource(self.expect_string("resource target")?),
             other => return Err(self.err(format!("unknown permission kind `{other}`"))),
         };
         match self.next() {

@@ -149,6 +149,7 @@ pub fn default_policy_text() -> &'static str {
         permission runtime "readMetrics";
         permission runtime "readAuditLog";
         permission runtime "traceVm";
+        permission resource "setLimits";
     };
 
     // Paper section 6.3: the appletviewer is an ordinary application with

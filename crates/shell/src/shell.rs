@@ -164,7 +164,8 @@ impl Shell {
             }
             "help" => {
                 jsystem::println(
-                    "builtins: cd pwd jobs history top vmstat audit trace help quit; \
+                    "builtins: cd pwd jobs history top vmstat audit trace ulimit ps -l \
+                     help quit; \
                      programs: ls cat echo head wc grep ps kill sleep touch \
                      mkdir rm cp mv whoami su passwd login appletviewer edit",
                 )?;
@@ -180,6 +181,16 @@ impl Shell {
             }
             "audit" => {
                 self.audit(&stage.args)?;
+                Ok(Builtin::Handled)
+            }
+            // `ps -l` (the ledger view) is a permission-gated builtin; plain
+            // `ps` falls through to the unprivileged program.
+            "ps" if stage.args.first().map(String::as_str) == Some("-l") => {
+                self.ps_ledger()?;
+                Ok(Builtin::Handled)
+            }
+            "ulimit" => {
+                self.ulimit(&stage.args)?;
                 Ok(Builtin::Handled)
             }
             "trace" => {
@@ -237,6 +248,122 @@ impl Shell {
         Ok(())
     }
 
+    /// The `ps -l` builtin: one ledger row per application — live resource
+    /// usage against quota, straight off each application's `AppContext`
+    /// (`RuntimePermission("readMetrics")`-gated like `top`/`vmstat`).
+    fn ps_ledger(&self) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let rows = match jmp_core::obs::ledger_rows(&rt) {
+            Ok(rows) => rows,
+            Err(err) => {
+                jsystem::eprintln(&format!("ps: {err}"))?;
+                return Ok(());
+            }
+        };
+        jsystem::println(&format!(
+            "{:>4} {:<16} {:<10} {:>12} {:>16} {:>14} {:>10} {:>7}",
+            "ID", "NAME", "USER", "THREADS", "PIPE-BYTES", "EVENTS", "HANDLES", "BREACH",
+        ))?;
+        for row in rows {
+            let cells: Vec<String> = row
+                .resources
+                .iter()
+                .map(|(_, used, limit)| fmt_quota(*used, *limit))
+                .collect();
+            jsystem::println(&format!(
+                "{:>4} {:<16} {:<10} {:>12} {:>16} {:>14} {:>10} {:>7}",
+                row.id,
+                row.name,
+                row.user,
+                cells.first().map_or("-", String::as_str),
+                cells.get(1).map_or("-", String::as_str),
+                cells.get(2).map_or("-", String::as_str),
+                cells.get(3).map_or("-", String::as_str),
+                row.breaches,
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// The `ulimit` builtin: with no arguments, prints the current
+    /// application's ledger against its quotas; `ulimit <resource> <limit>`
+    /// re-quotas the current application and
+    /// `ulimit <app-id> <resource> <limit>` another one — both through
+    /// [`MpRuntime::set_limits`], i.e. gated by
+    /// `ResourcePermission("setLimits")`.
+    fn ulimit(&self, args: &[String]) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let app = Application::current().ok_or(Error::NotAnApplication)?;
+        match args {
+            [] => {
+                let ctx = app.context();
+                for &kind in jmp_vm::RESOURCE_KINDS.iter() {
+                    jsystem::println(&format!(
+                        "{:<16} {}",
+                        kind.as_str(),
+                        fmt_quota(ctx.ledger().get(kind), ctx.limits().get(kind)),
+                    ))?;
+                }
+                Ok(())
+            }
+            [resource, limit] => self.set_limit(&rt, app.id(), resource, limit),
+            [id, resource, limit] => match id.parse::<u64>() {
+                Ok(id) => self.set_limit(&rt, jmp_core::AppId(id), resource, limit),
+                Err(_) => {
+                    jsystem::eprintln("ulimit: expected a numeric application id")?;
+                    Ok(())
+                }
+            },
+            _ => {
+                jsystem::eprintln(
+                    "ulimit: usage: ulimit [[app-id] <resource> <limit>] \
+                     (resources: threads pipe.bytes queued.events handles)",
+                )?;
+                Ok(())
+            }
+        }
+    }
+
+    fn set_limit(
+        &self,
+        rt: &MpRuntime,
+        id: jmp_core::AppId,
+        resource: &str,
+        limit: &str,
+    ) -> std::result::Result<(), Error> {
+        let Some(kind) = jmp_vm::ResourceKind::parse(resource) else {
+            jsystem::eprintln(&format!(
+                "ulimit: unknown resource {resource} \
+                 (resources: threads pipe.bytes queued.events handles)"
+            ))?;
+            return Ok(());
+        };
+        let limit = match limit {
+            "unlimited" => u64::MAX,
+            other => match other.parse::<u64>() {
+                Ok(limit) => limit,
+                Err(_) => {
+                    jsystem::eprintln("ulimit: the limit must be a number or `unlimited`")?;
+                    return Ok(());
+                }
+            },
+        };
+        match rt.set_limits(id, kind, limit) {
+            Ok(()) => jsystem::println(&format!(
+                "app {} {} limit set to {}",
+                id.0,
+                kind.as_str(),
+                if limit == u64::MAX {
+                    "unlimited".to_string()
+                } else {
+                    limit.to_string()
+                },
+            ))?,
+            Err(err) => jsystem::eprintln(&format!("ulimit: {err}"))?,
+        }
+        Ok(())
+    }
+
     /// The `vmstat` builtin: the VM-wide rollup (counters summed and
     /// histograms merged across the VM registry and every live application),
     /// plus the event-sink and audit-log accounting.
@@ -288,6 +415,26 @@ impl Shell {
             "spans.dropped            {}",
             snapshot.spans_dropped
         ))?;
+        let ledgers = jmp_core::obs::ledger_rows(&rt)?;
+        if !ledgers.is_empty() {
+            jsystem::println("ledgers:")?;
+            for row in &ledgers {
+                let cells: Vec<String> = row
+                    .resources
+                    .iter()
+                    .map(|(kind, used, limit)| {
+                        format!("{}={}", kind.as_str(), fmt_quota(*used, *limit))
+                    })
+                    .collect();
+                jsystem::println(&format!(
+                    "  {:>4} {:<16} {} breaches={}",
+                    row.id,
+                    row.name,
+                    cells.join(" "),
+                    row.breaches,
+                ))?;
+            }
+        }
         let watchdogs = jmp_core::obs::watchdog_rows(&rt)?;
         if !watchdogs.is_empty() {
             jsystem::println("watchdogs:")?;
@@ -524,6 +671,15 @@ impl Shell {
 
 fn to_refs(args: &[String]) -> Vec<&str> {
     args.iter().map(String::as_str).collect()
+}
+
+/// Renders `used/limit`, with an unlimited quota shown as `-`.
+fn fmt_quota(used: u64, limit: u64) -> String {
+    if limit == u64::MAX {
+        format!("{used}/-")
+    } else {
+        format!("{used}/{limit}")
+    }
 }
 
 /// Whether the shell loop should continue after a line.

@@ -1,0 +1,444 @@
+//! Per-application ownership and resource accounting.
+//!
+//! The paper's multi-processing model (§2, §4) puts many mutually-suspicious
+//! applications in one VM, which makes "which application owns this thread /
+//! buffer / queue slot?" the load-bearing question of every layer. Before
+//! this module, the answer was derived five different ways (thread→group
+//! walks, two runtime hash maps, observability resolvers, queue tags, user
+//! lookups). [`AppContext`] is the single ownership record: every VM thread
+//! carries an `Arc<AppContext>` set at spawn, and every allocation path
+//! charges the context's [`ResourceLedger`].
+//!
+//! On top of the unified ledger sit **quotas**: a [`ResourceLimits`] table
+//! (per-resource ceilings, `u64::MAX` = unlimited) checked at charge time.
+//! An over-limit allocation fails with
+//! [`VmError::QuotaExceeded`](crate::VmError::QuotaExceeded), is counted
+//! (`quota.denied`) and audited through the observability hub, and — only
+//! after repeated breaches past the hard-breach threshold — escalates to a
+//! termination hook the runtime wires to its reaper. Everything here is
+//! lock-free atomics: charge/uncharge sit on the pipe-write and
+//! event-enqueue hot paths.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use jmp_obs::ObsHub;
+use parking_lot::RwLock;
+
+use crate::error::VmError;
+use crate::group::GroupId;
+
+/// The resources the ledger accounts, one atomic slot each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Live VM threads owned by the application.
+    Threads,
+    /// Bytes currently buffered in the application's pipes.
+    PipeBytes,
+    /// Events currently queued on the application's event queue.
+    QueuedEvents,
+    /// Open handles: owned streams plus published shared entries.
+    Handles,
+}
+
+/// All resource kinds, in display order.
+pub const RESOURCE_KINDS: [ResourceKind; 4] = [
+    ResourceKind::Threads,
+    ResourceKind::PipeBytes,
+    ResourceKind::QueuedEvents,
+    ResourceKind::Handles,
+];
+
+impl ResourceKind {
+    /// Stable dotted name, used in metrics, audit records, policy limit
+    /// overrides (`limit.threads:256`), and the shell `ulimit` builtin.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResourceKind::Threads => "threads",
+            ResourceKind::PipeBytes => "pipe.bytes",
+            ResourceKind::QueuedEvents => "queued.events",
+            ResourceKind::Handles => "handles",
+        }
+    }
+
+    /// Parses the stable name back to a kind.
+    pub fn parse(name: &str) -> Option<ResourceKind> {
+        RESOURCE_KINDS.iter().copied().find(|k| k.as_str() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ResourceKind::Threads => 0,
+            ResourceKind::PipeBytes => 1,
+            ResourceKind::QueuedEvents => 2,
+            ResourceKind::Handles => 3,
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Lock-free live-usage accounting, one [`AtomicU64`] per resource.
+///
+/// The ledger tracks *current* usage, not cumulative totals (those live in
+/// the metrics registries). Every charge has a matching uncharge on the
+/// release path, so a quiescent application's ledger reads zero — the
+/// exactness property the integration tests pin down.
+#[derive(Debug, Default)]
+pub struct ResourceLedger {
+    slots: [AtomicU64; 4],
+}
+
+impl ResourceLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> ResourceLedger {
+        ResourceLedger::default()
+    }
+
+    /// Current usage of `kind`.
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        self.slots[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Unconditionally records `amount` more of `kind` (no quota check);
+    /// returns the new usage. Quota-checked paths go through
+    /// [`AppContext::try_charge`] instead.
+    pub fn charge(&self, kind: ResourceKind, amount: u64) -> u64 {
+        self.slots[kind.index()].fetch_add(amount, Ordering::Relaxed) + amount
+    }
+
+    /// Releases `amount` of `kind`, saturating at zero (a stray double
+    /// release must not wrap the ledger to `u64::MAX` and wedge the app).
+    pub fn uncharge(&self, kind: ResourceKind, amount: u64) {
+        let slot = &self.slots[kind.index()];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(amount);
+            match slot.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// `true` if every slot reads zero.
+    pub fn is_drained(&self) -> bool {
+        RESOURCE_KINDS.iter().all(|&k| self.get(k) == 0)
+    }
+}
+
+/// Default hard-breach threshold: an application is escalated to the
+/// reaper only after this many quota denials. High enough that transient
+/// over-limit bursts merely fail, low enough that a hostile loop hammering
+/// a quota is eventually terminated rather than audited forever.
+pub const DEFAULT_HARD_BREACH_THRESHOLD: u64 = 4096;
+
+/// Per-resource ceilings plus the hard-breach escalation threshold, all
+/// atomics so `setLimits` takes effect without locking the hot path.
+/// `u64::MAX` means unlimited.
+#[derive(Debug)]
+pub struct ResourceLimits {
+    slots: [AtomicU64; 4],
+    hard_breach_threshold: AtomicU64,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> ResourceLimits {
+        ResourceLimits {
+            slots: [
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+            ],
+            hard_breach_threshold: AtomicU64::new(DEFAULT_HARD_BREACH_THRESHOLD),
+        }
+    }
+}
+
+impl ResourceLimits {
+    /// All-unlimited limits (the quotas-off configuration).
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits::default()
+    }
+
+    /// Current ceiling for `kind` (`u64::MAX` = unlimited).
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        self.slots[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sets the ceiling for `kind`. Takes effect on the next charge; usage
+    /// already above the new ceiling is not clawed back, further charges
+    /// simply fail.
+    pub fn set(&self, kind: ResourceKind, limit: u64) {
+        self.slots[kind.index()].store(limit, Ordering::Relaxed);
+    }
+
+    /// The number of quota denials after which the owner is escalated to
+    /// termination.
+    pub fn hard_breach_threshold(&self) -> u64 {
+        self.hard_breach_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Sets the hard-breach threshold (`u64::MAX` disables escalation).
+    pub fn set_hard_breach_threshold(&self, threshold: u64) {
+        self.hard_breach_threshold
+            .store(threshold, Ordering::Relaxed);
+    }
+}
+
+/// The termination hook invoked when an application crosses its hard-breach
+/// threshold; the runtime wires this to its reaper.
+pub type HardBreachHook = Box<dyn Fn(&AppContext) + Send + Sync>;
+
+/// The single per-application ownership record: identity (app id, user,
+/// root thread group) plus live resource accounting ([`ResourceLedger`])
+/// and quotas ([`ResourceLimits`]).
+///
+/// One context is interned per application by the multi-processing runtime;
+/// every thread the application owns carries an `Arc` to it (see
+/// [`thread::current_app_context`](crate::thread::current_app_context)),
+/// so attribution anywhere in the VM is a pointer load, not a walk.
+pub struct AppContext {
+    app_id: u64,
+    name: String,
+    user: RwLock<String>,
+    group: GroupId,
+    ledger: ResourceLedger,
+    limits: ResourceLimits,
+    breaches: AtomicU64,
+    hub: ObsHub,
+    hard_breach_hook: OnceLock<HardBreachHook>,
+    escalated: AtomicU64,
+}
+
+impl fmt::Debug for AppContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppContext")
+            .field("app_id", &self.app_id)
+            .field("name", &self.name)
+            .field("user", &*self.user.read())
+            .field("group", &self.group)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AppContext {
+    /// Creates a context for application `app_id` rooted at `group`,
+    /// reporting denials through `hub`.
+    pub fn new(
+        app_id: u64,
+        name: impl Into<String>,
+        user: impl Into<String>,
+        group: GroupId,
+        hub: ObsHub,
+    ) -> Arc<AppContext> {
+        Arc::new(AppContext {
+            app_id,
+            name: name.into(),
+            user: RwLock::new(user.into()),
+            group,
+            ledger: ResourceLedger::new(),
+            limits: ResourceLimits::default(),
+            breaches: AtomicU64::new(0),
+            hub,
+            hard_breach_hook: OnceLock::new(),
+            escalated: AtomicU64::new(0),
+        })
+    }
+
+    /// The application id.
+    pub fn app_id(&self) -> u64 {
+        self.app_id
+    }
+
+    /// The application's display name (its main class).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The user the application currently runs as.
+    pub fn user(&self) -> String {
+        self.user.read().clone()
+    }
+
+    /// Updates the recorded user (mirrors `Application::set_user`).
+    pub fn set_user(&self, user: impl Into<String>) {
+        *self.user.write() = user.into();
+    }
+
+    /// The application's root thread group.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The live-usage ledger.
+    pub fn ledger(&self) -> &ResourceLedger {
+        &self.ledger
+    }
+
+    /// The quota table.
+    pub fn limits(&self) -> &ResourceLimits {
+        &self.limits
+    }
+
+    /// Total quota denials so far.
+    pub fn breaches(&self) -> u64 {
+        self.breaches.load(Ordering::Relaxed)
+    }
+
+    /// Installs the hard-breach termination hook. First installation wins;
+    /// the runtime installs exactly one at application spawn.
+    pub fn set_hard_breach_hook(&self, hook: HardBreachHook) {
+        let _ = self.hard_breach_hook.set(hook);
+    }
+
+    /// Attempts to charge `amount` of `kind` against the quota.
+    ///
+    /// On success the ledger is increased and `Ok(())` returned. Over the
+    /// ceiling, the charge is rolled back and the denial is counted
+    /// (`quota.denied`), audited with a flight-recorder dump, and — past
+    /// the hard-breach threshold — escalated to the termination hook.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::QuotaExceeded`] when the new usage would exceed the limit.
+    pub fn try_charge(&self, kind: ResourceKind, amount: u64) -> Result<(), VmError> {
+        let limit = self.limits.get(kind);
+        let slot = &self.ledger.slots[kind.index()];
+        let used = slot.fetch_add(amount, Ordering::Relaxed);
+        if used.saturating_add(amount) <= limit {
+            return Ok(());
+        }
+        slot.fetch_sub(amount, Ordering::Relaxed);
+        self.record_breach(kind, limit);
+        Err(VmError::QuotaExceeded {
+            app: self.app_id,
+            resource: kind.as_str(),
+            limit,
+        })
+    }
+
+    /// Releases `amount` of `kind` (see [`ResourceLedger::uncharge`]).
+    pub fn uncharge(&self, kind: ResourceKind, amount: u64) {
+        self.ledger.uncharge(kind, amount);
+    }
+
+    fn record_breach(&self, kind: ResourceKind, limit: u64) {
+        let user = self.user();
+        let breaches = self.breaches.fetch_add(1, Ordering::Relaxed) + 1;
+        // Power-of-two sampling for the flight-recorder dump: the first few
+        // breaches get full forensics, a storm of them cannot weaponise the
+        // (expensive) ring snapshot against the rest of the VM.
+        self.hub.record_quota_denial(
+            self.app_id,
+            Some(&user),
+            kind.as_str(),
+            limit,
+            breaches.is_power_of_two(),
+        );
+        let threshold = self.limits.hard_breach_threshold();
+        if breaches >= threshold && self.escalated.swap(1, Ordering::Relaxed) == 0 {
+            if let Some(hook) = self.hard_breach_hook.get() {
+                hook(self);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Arc<AppContext> {
+        AppContext::new(7, "Demo", "alice", GroupId(3), ObsHub::new())
+    }
+
+    #[test]
+    fn ledger_charges_and_drains() {
+        let ctx = ctx();
+        ctx.try_charge(ResourceKind::Threads, 2).unwrap();
+        ctx.try_charge(ResourceKind::PipeBytes, 100).unwrap();
+        assert_eq!(ctx.ledger().get(ResourceKind::Threads), 2);
+        assert_eq!(ctx.ledger().get(ResourceKind::PipeBytes), 100);
+        assert!(!ctx.ledger().is_drained());
+        ctx.uncharge(ResourceKind::Threads, 2);
+        ctx.uncharge(ResourceKind::PipeBytes, 100);
+        assert!(ctx.ledger().is_drained());
+    }
+
+    #[test]
+    fn uncharge_saturates_at_zero() {
+        let ctx = ctx();
+        ctx.uncharge(ResourceKind::Handles, 5);
+        assert_eq!(ctx.ledger().get(ResourceKind::Handles), 0);
+    }
+
+    #[test]
+    fn over_limit_charge_fails_and_rolls_back() {
+        let ctx = ctx();
+        ctx.limits().set(ResourceKind::QueuedEvents, 3);
+        ctx.try_charge(ResourceKind::QueuedEvents, 3).unwrap();
+        let err = ctx.try_charge(ResourceKind::QueuedEvents, 1).unwrap_err();
+        match err {
+            VmError::QuotaExceeded {
+                app,
+                resource,
+                limit,
+            } => {
+                assert_eq!(app, 7);
+                assert_eq!(resource, "queued.events");
+                assert_eq!(limit, 3);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // The failed charge must not stick.
+        assert_eq!(ctx.ledger().get(ResourceKind::QueuedEvents), 3);
+        assert_eq!(ctx.breaches(), 1);
+    }
+
+    #[test]
+    fn hard_breach_threshold_fires_hook_once() {
+        let ctx = ctx();
+        ctx.limits().set(ResourceKind::Threads, 0);
+        ctx.limits().set_hard_breach_threshold(3);
+        let fired = Arc::new(AtomicU64::new(0));
+        let observed = fired.clone();
+        ctx.set_hard_breach_hook(Box::new(move |c| {
+            assert_eq!(c.app_id(), 7);
+            observed.fetch_add(1, Ordering::Relaxed);
+        }));
+        for _ in 0..5 {
+            let _ = ctx.try_charge(ResourceKind::Threads, 1);
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fires exactly once");
+        assert_eq!(ctx.breaches(), 5);
+    }
+
+    #[test]
+    fn resource_kind_name_roundtrip() {
+        for kind in RESOURCE_KINDS {
+            assert_eq!(ResourceKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ResourceKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn denials_are_counted_and_audited() {
+        let hub = ObsHub::new();
+        let ctx = AppContext::new(9, "Evil", "mallory", GroupId(4), hub.clone());
+        hub.app_registry(9, "Evil");
+        ctx.limits().set(ResourceKind::PipeBytes, 10);
+        assert!(ctx.try_charge(ResourceKind::PipeBytes, 11).is_err());
+        assert_eq!(hub.vm_metrics().counter("quota.denied").get(), 1);
+        let records = hub.audit_query(None, Some(9));
+        assert_eq!(records.len(), 1);
+        assert!(records[0].permission.contains("pipe.bytes"));
+        assert_eq!(records[0].user.as_deref(), Some("mallory"));
+    }
+}

@@ -79,6 +79,19 @@ pub enum VmError {
         /// Description of the failure.
         message: String,
     },
+    /// An allocation was refused because the owning application's resource
+    /// quota was exhausted (the multi-processing denial-of-service guard).
+    /// The failed allocation is rolled back; the denial is counted and
+    /// audited by the owning [`AppContext`](crate::context::AppContext).
+    QuotaExceeded {
+        /// The application whose quota was exhausted.
+        app: u64,
+        /// The stable resource name (`threads`, `pipe.bytes`,
+        /// `queued.events`, `handles`).
+        resource: &'static str,
+        /// The ceiling that would have been exceeded.
+        limit: u64,
+    },
 }
 
 impl VmError {
@@ -110,6 +123,16 @@ impl VmError {
             _ => false,
         }
     }
+
+    /// Returns `true` if this error is a resource-quota denial (including a
+    /// short write cut off by one).
+    pub fn is_quota_exceeded(&self) -> bool {
+        match self {
+            VmError::QuotaExceeded { .. } => true,
+            VmError::ShortWrite { cause, .. } => cause.is_quota_exceeded(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for VmError {
@@ -135,6 +158,13 @@ impl fmt::Display for VmError {
             }
             VmError::Trap { message } => write!(f, "interpreter trap: {message}"),
             VmError::Io { message } => write!(f, "i/o error: {message}"),
+            VmError::QuotaExceeded {
+                app,
+                resource,
+                limit,
+            } => {
+                write!(f, "quota exceeded: app {app} over {resource} limit {limit}")
+            }
         }
     }
 }
@@ -187,9 +217,30 @@ mod tests {
             VmError::NotStreamOwner,
             VmError::VmShutdown,
             VmError::trap("boom"),
+            VmError::QuotaExceeded {
+                app: 1,
+                resource: "threads",
+                limit: 4,
+            },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn quota_predicate_sees_through_short_writes() {
+        let quota = VmError::QuotaExceeded {
+            app: 3,
+            resource: "pipe.bytes",
+            limit: 64,
+        };
+        assert!(quota.is_quota_exceeded());
+        let short = VmError::ShortWrite {
+            accepted: 10,
+            cause: Box::new(quota),
+        };
+        assert!(short.is_quota_exceeded());
+        assert!(!VmError::StreamClosed.is_quota_exceeded());
     }
 }

@@ -25,7 +25,9 @@ use parking_lot::Mutex;
 use crate::error::VmError;
 use crate::Result;
 
-pub use pipe::{pipe, pipe_observed, pipe_traced, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY};
+pub use pipe::{
+    pipe, pipe_observed, pipe_owned, pipe_traced, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY,
+};
 
 /// Identifies the holder (application, shell, terminal, the system) that
 /// opened a stream and is therefore entitled to close it.

@@ -3,6 +3,7 @@ use std::sync::Arc;
 use jmp_obs::{trace, Counter, FlightRecorder, SpanCategory, TraceCtx};
 use parking_lot::{Condvar, Mutex};
 
+use crate::context::{AppContext, ResourceKind};
 use crate::error::VmError;
 use crate::thread::{check_interrupt, register_interrupt_waker, InterruptWakerGuard};
 use crate::Result;
@@ -94,6 +95,24 @@ struct Shared {
     bytes: Option<Arc<Counter>>,
     /// Records write/read spans when tracing (see [`pipe_traced`]).
     recorder: Option<FlightRecorder>,
+    /// The owning application (see [`pipe_owned`]): buffered bytes are
+    /// charged to its `pipe.bytes` ledger slot on acceptance and released
+    /// on drain, reader close, or pipe drop.
+    owner: Option<Arc<AppContext>>,
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // Both ends are gone; whatever is still buffered can never be
+        // drained, so release its ledger charge here. The reader-close path
+        // clears the ring as it uncharges, so this cannot double-release.
+        if let Some(owner) = &self.owner {
+            let residual = self.state.get_mut().ring.len;
+            if residual > 0 {
+                owner.uncharge(ResourceKind::PipeBytes, residual as u64);
+            }
+        }
+    }
 }
 
 impl Shared {
@@ -141,6 +160,22 @@ pub fn pipe_traced(
     bytes: Option<Arc<Counter>>,
     recorder: Option<FlightRecorder>,
 ) -> (PipeWriter, PipeReader) {
+    pipe_owned(capacity, bytes, recorder, None)
+}
+
+/// [`pipe_traced`], plus an optional owning [`AppContext`]. Bytes buffered
+/// in the pipe are charged against the owner's `pipe.bytes` quota at
+/// charge time: a write that would push the application past its limit
+/// fails with [`VmError::QuotaExceeded`] instead of buffering (a partial
+/// `write_all` surfaces it as a [`VmError::ShortWrite`] cause). Drained,
+/// discarded (reader close), and dropped bytes release their charge, so a
+/// quiescent application's `pipe.bytes` ledger reads zero.
+pub fn pipe_owned(
+    capacity: usize,
+    bytes: Option<Arc<Counter>>,
+    recorder: Option<FlightRecorder>,
+    owner: Option<Arc<AppContext>>,
+) -> (PipeWriter, PipeReader) {
     let shared = Arc::new(Shared {
         state: Mutex::new(PipeState {
             ring: Ring::with_capacity(capacity.max(1)),
@@ -152,6 +187,7 @@ pub fn pipe_traced(
         writable: Condvar::new(),
         bytes,
         recorder,
+        owner,
     });
     (
         PipeWriter {
@@ -217,6 +253,9 @@ impl PipeReader {
                     }
                 }
                 self.shared.writable.notify_all();
+                if let Some(owner) = &self.shared.owner {
+                    owner.uncharge(ResourceKind::PipeBytes, total as u64);
+                }
                 if let (Some(recorder), Some(ctx)) = (&self.shared.recorder, state.trace) {
                     // Charge the read to the writer's trace; an untraced
                     // reader thread adopts that context outright, so the
@@ -249,6 +288,16 @@ impl PipeReader {
     pub fn close(&self) {
         let mut state = self.shared.state.lock();
         state.read_closed = true;
+        // Buffered bytes can never be drained now; discard them and release
+        // their ledger charge so the owner is not billed for dead data.
+        let residual = state.ring.len;
+        if residual > 0 {
+            state.ring.head = 0;
+            state.ring.len = 0;
+            if let Some(owner) = &self.shared.owner {
+                owner.uncharge(ResourceKind::PipeBytes, residual as u64);
+            }
+        }
         self.shared.writable.notify_all();
         self.shared.readable.notify_all();
     }
@@ -316,8 +365,18 @@ impl PipeWriter {
             if state.write_closed || state.read_closed {
                 break Some(VmError::StreamClosed);
             }
-            let n = state.ring.write_from(&data[accepted..]);
-            if n > 0 {
+            // Size the chunk to the free ring space first so a quota charge
+            // covers exactly the bytes about to be accepted.
+            let space = state.ring.capacity() - state.ring.len;
+            let want = (data.len() - accepted).min(space);
+            if want > 0 {
+                if let Some(owner) = &self.shared.owner {
+                    if let Err(err) = owner.try_charge(ResourceKind::PipeBytes, want as u64) {
+                        break Some(err);
+                    }
+                }
+                let n = state.ring.write_from(&data[accepted..accepted + want]);
+                debug_assert_eq!(n, want, "a sized chunk is accepted whole");
                 accepted += n;
                 self.shared.readable.notify_all();
                 if accepted == data.len() || !all {
@@ -654,6 +713,59 @@ mod tests {
         assert_eq!(ring.read_into(&mut all), 4);
         assert_eq!(&all, b"cxyz");
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn owned_pipe_charges_and_drains_the_ledger() {
+        let owner = AppContext::new(1, "A", "alice", crate::GroupId(1), jmp_obs::ObsHub::new());
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        w.write_all(b"hello").unwrap();
+        assert_eq!(owner.ledger().get(ResourceKind::PipeBytes), 5);
+        let mut buf = [0u8; 16];
+        r.read(&mut buf).unwrap();
+        assert_eq!(owner.ledger().get(ResourceKind::PipeBytes), 0);
+        drop((w, r));
+        assert!(owner.ledger().is_drained());
+    }
+
+    #[test]
+    fn owned_pipe_over_quota_write_fails_without_buffering() {
+        let owner = AppContext::new(2, "B", "bob", crate::GroupId(2), jmp_obs::ObsHub::new());
+        owner.limits().set(ResourceKind::PipeBytes, 4);
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        w.write_all(b"1234").unwrap();
+        let err = w.write_all(b"5").unwrap_err();
+        assert!(err.is_quota_exceeded(), "got {err:?}");
+        assert_eq!(r.available(), 4, "the refused byte was not buffered");
+        assert_eq!(owner.ledger().get(ResourceKind::PipeBytes), 4);
+        // Draining frees quota for further writes.
+        let mut buf = [0u8; 8];
+        r.read(&mut buf).unwrap();
+        w.write_all(b"5678").unwrap();
+        assert_eq!(owner.ledger().get(ResourceKind::PipeBytes), 4);
+    }
+
+    #[test]
+    fn reader_close_releases_residual_charges() {
+        let owner = AppContext::new(3, "C", "carol", crate::GroupId(3), jmp_obs::ObsHub::new());
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        w.write_all(b"stranded").unwrap();
+        r.close();
+        assert!(
+            owner.ledger().is_drained(),
+            "discarded bytes release their charge"
+        );
+        drop((w, r));
+        assert!(owner.ledger().is_drained(), "drop does not double-release");
+    }
+
+    #[test]
+    fn dropping_an_undrained_pipe_releases_charges() {
+        let owner = AppContext::new(4, "D", "dave", crate::GroupId(4), jmp_obs::ObsHub::new());
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        w.write_all(b"leftover").unwrap();
+        drop((w, r));
+        assert!(owner.ledger().is_drained());
     }
 
     #[test]

@@ -51,6 +51,8 @@
 #![warn(missing_docs)]
 
 mod classes;
+/// Per-application ownership records, resource ledgers, and quota limits.
+pub mod context;
 mod decision_cache;
 mod error;
 mod group;
@@ -67,6 +69,7 @@ pub use classes::{
     Class, ClassDef, ClassDefBuilder, ClassId, ClassLoader, DefineObserver, DomainResolver,
     LoaderId, MaterialRegistry, NativeMain, StaticValue,
 };
+pub use context::{AppContext, ResourceKind, ResourceLedger, ResourceLimits, RESOURCE_KINDS};
 pub use error::VmError;
 pub use group::{GroupId, ThreadGroup};
 pub use properties::Properties;

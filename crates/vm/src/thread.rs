@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::context::AppContext;
 use crate::error::VmError;
 use crate::group::ThreadGroup;
 use crate::Result;
@@ -45,6 +46,9 @@ pub(crate) struct ThreadCtl {
     pub(crate) name: String,
     pub(crate) daemon: bool,
     pub(crate) group: ThreadGroup,
+    /// The owning application's context, set at spawn (inherited from the
+    /// spawning thread unless overridden). `None` for system threads.
+    pub(crate) app: Option<Arc<AppContext>>,
     interrupted: AtomicBool,
     state: Mutex<RunState>,
     finished: Condvar,
@@ -61,12 +65,14 @@ impl ThreadCtl {
         name: String,
         daemon: bool,
         group: ThreadGroup,
+        app: Option<Arc<AppContext>>,
     ) -> Arc<ThreadCtl> {
         Arc::new(ThreadCtl {
             id,
             name,
             daemon,
             group,
+            app,
             interrupted: AtomicBool::new(false),
             state: Mutex::new(RunState::Running),
             finished: Condvar::new(),
@@ -135,6 +141,11 @@ impl VmThread {
     /// The group the thread belongs to.
     pub fn group(&self) -> &ThreadGroup {
         &self.ctl.group
+    }
+
+    /// The application context the thread runs under, if any.
+    pub fn app_context(&self) -> Option<Arc<AppContext>> {
+        self.ctl.app.clone()
     }
 
     /// Returns `true` while the thread body is still executing.
@@ -268,6 +279,13 @@ pub fn current_id() -> Option<ThreadId> {
     CURRENT.with(|c| c.borrow().as_ref().map(|ctl| ctl.id))
 }
 
+/// The application context of the current thread: the single ownership
+/// record every layer reads instead of re-deriving app identity through
+/// thread→group walks. `None` on system threads and plain OS threads.
+pub fn current_app_context() -> Option<Arc<AppContext>> {
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|ctl| ctl.app.clone()))
+}
+
 /// Returns `true` if the current thread is a VM thread whose interruption
 /// flag is set. Plain OS threads are never interrupted.
 pub fn current_interrupted() -> bool {
@@ -365,6 +383,7 @@ mod tests {
             format!("test-{id}"),
             daemon,
             ThreadGroup::new_root("g"),
+            None,
         )
     }
 

@@ -11,6 +11,7 @@ use jmp_security::{AccessController, Permission, Policy};
 use parking_lot::{Mutex, RwLock};
 
 use crate::classes::{Class, ClassLoader, MaterialRegistry};
+use crate::context::{AppContext, ResourceKind};
 use crate::decision_cache::DecisionCache;
 use crate::error::VmError;
 use crate::group::ThreadGroup;
@@ -481,6 +482,8 @@ impl Vm {
             name: None,
             group: None,
             daemon: false,
+            app: None,
+            detach_app: false,
         }
     }
 
@@ -638,6 +641,8 @@ pub struct ThreadBuilder {
     name: Option<String>,
     group: Option<ThreadGroup>,
     daemon: bool,
+    app: Option<Arc<AppContext>>,
+    detach_app: bool,
 }
 
 impl ThreadBuilder {
@@ -658,6 +663,28 @@ impl ThreadBuilder {
     /// Marks the thread daemon (default: non-daemon).
     pub fn daemon(mut self, daemon: bool) -> ThreadBuilder {
         self.daemon = daemon;
+        self
+    }
+
+    /// Runs the thread under `app`'s ownership: the thread carries the
+    /// context (readable via [`thread::current_app_context`]) and counts
+    /// against the application's thread quota. Defaults to the spawning
+    /// thread's own context, so application threads propagate ownership to
+    /// everything they spawn.
+    pub fn app_context(mut self, app: Arc<AppContext>) -> ThreadBuilder {
+        self.app = Some(app);
+        self
+    }
+
+    /// Detaches the thread from application ownership even when spawned by
+    /// an application thread: it carries no [`AppContext`] and is charged to
+    /// no ledger. For runtime-infrastructure threads (the toolkit's
+    /// X-connection thread, watchdogs) that happen to be started lazily from
+    /// whatever application touched the facility first — billing a VM-lifetime
+    /// helper to that application would leak a thread slot the application
+    /// can never drain.
+    pub fn detached(mut self) -> ThreadBuilder {
+        self.detach_app = true;
         self
     }
 
@@ -685,10 +712,25 @@ impl ThreadBuilder {
         if let Some(sm) = vm.security_manager() {
             sm.check_thread_group_access(&vm, &group)?;
         }
+        // Ownership propagates: a thread spawned by an application thread
+        // belongs to that application unless explicitly re-homed or detached.
+        let app = if self.detach_app {
+            None
+        } else {
+            self.app.or_else(thread::current_app_context)
+        };
+        if let Some(app) = &app {
+            app.try_charge(ResourceKind::Threads, 1)?;
+        }
         let id = ThreadId(vm.inner.next_thread_id.fetch_add(1, Ordering::Relaxed));
         let name = self.name.unwrap_or_else(|| format!("thread-{}", id.0));
-        let ctl = ThreadCtl::new(id, name.clone(), self.daemon, group.clone());
-        group.register_thread(id, self.daemon)?;
+        let ctl = ThreadCtl::new(id, name.clone(), self.daemon, group.clone(), app.clone());
+        if let Err(err) = group.register_thread(id, self.daemon) {
+            if let Some(app) = &app {
+                app.uncharge(ResourceKind::Threads, 1);
+            }
+            return Err(err);
+        }
         let handle = VmThread::from_ctl(Arc::clone(&ctl));
         vm.inner.threads.write().insert(id, handle.clone());
 
@@ -716,6 +758,12 @@ impl ThreadBuilder {
             stack::clear();
             CURRENT_VM.with(|c| *c.borrow_mut() = None);
             vm_for_thread.inner.threads.write().remove(&id);
+            // Release the ledger slot *before* deregistering: the group's
+            // empty hook can trigger a reap that observes the ledger, and a
+            // drained app must read as drained by then.
+            if let Some(app) = &ctl.app {
+                app.uncharge(ResourceKind::Threads, 1);
+            }
             group.deregister_thread(id, daemon);
             ctl.mark_finished(panic_message);
         });
@@ -725,6 +773,9 @@ impl ThreadBuilder {
                 // Roll back bookkeeping if the OS refused the thread.
                 vm.inner.threads.write().remove(&id);
                 handle.group().deregister_thread(id, daemon);
+                if let Some(app) = &app {
+                    app.uncharge(ResourceKind::Threads, 1);
+                }
                 Err(VmError::Io {
                     message: format!("OS thread spawn failed: {err}"),
                 })

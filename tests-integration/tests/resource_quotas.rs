@@ -1,0 +1,161 @@
+//! Ledger exactness and quota enforcement across the whole stack: every
+//! charge an application incurs — threads at spawn, pipe bytes at write,
+//! queued events at injection, handles at open — must be released by the
+//! matching drain/close/teardown path, so a reaped application's ledger
+//! reads zero; and a quota-capped application is denied (typed, audited,
+//! counted) rather than allowed to monopolise the VM.
+
+use std::time::Duration;
+
+use jmp_awt::{DispatchMode, Toolkit};
+use jmp_core::MpRuntime;
+use jmp_security::Policy;
+use jmp_vm::ResourceKind;
+use tests_integration::register_app;
+
+fn quota_runtime(extra_grants: &str, gui: bool) -> MpRuntime {
+    let text = format!(
+        "{}\n{}\n{extra_grants}",
+        jmp_shell::default_policy_text(),
+        r#"
+        grant user "alice" { permission file "/home/alice/-" "read,write,delete"; };
+        "#
+    );
+    let mut builder = MpRuntime::builder()
+        .policy(Policy::parse(&text).expect("policy parses"))
+        .user("alice", "apw");
+    if gui {
+        builder = builder.gui(DispatchMode::PerApplication);
+    }
+    let rt = builder.build().expect("runtime builds");
+    jmp_shell::install(&rt).expect("tools install");
+    rt
+}
+
+/// Threads, pipes, and handles: an application that spawns workers, pushes
+/// bytes through a pipe, and drains them again leaves a ledger of exactly
+/// zero after its reap.
+#[test]
+fn ledgers_drain_to_zero_after_threads_and_pipes() {
+    let rt = quota_runtime("", false);
+    register_app(&rt, "churn", |_| {
+        let vm = jmp_vm::Vm::current().unwrap();
+        let ctx = jmp_vm::thread::current_app_context().unwrap();
+        // Spawn-and-join a few workers: each charges one thread slot while
+        // alive.
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                vm.thread_builder()
+                    .name(format!("w{i}"))
+                    .spawn(|_| {
+                        let _ = jmp_vm::thread::sleep(Duration::from_millis(10));
+                    })
+                    .expect("spawns")
+            })
+            .collect();
+        assert!(
+            ctx.ledger().get(ResourceKind::Threads) >= 5,
+            "main + workers"
+        );
+        for w in workers {
+            w.join_timeout(Duration::from_secs(5));
+        }
+        // Write through a pipe and drain it: pipe.bytes charges on write,
+        // uncharges on read.
+        let (out, input) = jmp_core::pipes::make_pipe().expect("pipe");
+        out.write(b"0123456789abcdef").expect("write");
+        assert_eq!(ctx.ledger().get(ResourceKind::PipeBytes), 16);
+        let mut buf = [0u8; 16];
+        let mut got = 0;
+        while got < 16 {
+            got += input.read(&mut buf[got..]).expect("read");
+        }
+        assert_eq!(ctx.ledger().get(ResourceKind::PipeBytes), 0);
+        // Both pipe ends are owned handles until teardown.
+        assert_eq!(ctx.ledger().get(ResourceKind::Handles), 2);
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "churn", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(
+        app.context().ledger().is_drained(),
+        "post-reap ledger must be zero: {:?}",
+        app.context()
+    );
+    rt.shutdown();
+}
+
+/// GUI events: injected bursts charge the owning application's queue slots,
+/// coalesced events never leak a charge, and dispatch drains the ledger.
+#[test]
+fn event_charges_drain_and_coalescing_does_not_leak() {
+    let rt = quota_runtime("", true);
+    register_app(&rt, "gui", |_| {
+        let w = jmp_core::gui::create_window("quota")?;
+        w.add_button("b");
+        jmp_vm::thread::sleep(Duration::from_secs(600))
+    });
+    let display = rt.display().unwrap().clone();
+    let toolkit = rt.toolkit().unwrap().clone();
+    let app = rt.launch_as("alice", "gui", &[]).unwrap();
+    assert!(Toolkit::wait_until(Duration::from_secs(5), || toolkit
+        .window_count()
+        == 1));
+    let window = toolkit.windows_of_app(app.id().0)[0];
+
+    // A burst of coalescible mouse moves plus discrete key events: the
+    // charge only ever covers *retained* slots (merged moves are free), and
+    // once the dispatcher has drained the queue the ledger reads zero.
+    for i in 0..64 {
+        display.inject_mouse_move(window, i, i).unwrap();
+    }
+    display.inject_close(window).unwrap();
+    let ctx = app.context().clone();
+    assert!(
+        Toolkit::wait_until(Duration::from_secs(5), || {
+            toolkit.queue_of(app.id().0).is_some_and(|q| q.is_empty())
+                && ctx.ledger().get(ResourceKind::QueuedEvents) == 0
+        }),
+        "queued.events must drain to zero, ledger={}",
+        ctx.ledger().get(ResourceKind::QueuedEvents),
+    );
+
+    app.stop(0).unwrap();
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
+
+/// A pipe flood against a byte quota: the offending write fails with a
+/// typed `QuotaExceeded` (audited and counted) instead of buffering without
+/// bound, and the app's victims — the ledgers — still drain at teardown.
+#[test]
+fn pipe_flood_is_denied_at_the_quota() {
+    let rt = quota_runtime(
+        r#"grant user "alice" { permission resource "limit.pipe.bytes:1024"; };"#,
+        false,
+    );
+    register_app(&rt, "flood", |_| {
+        let (out, _input) = jmp_core::pipes::make_pipe_with_capacity(64 * 1024).expect("pipe");
+        let err = out
+            .write(&vec![0u8; 8 * 1024])
+            .expect_err("flood over quota");
+        let vm_err: &jmp_vm::VmError = &err;
+        assert!(vm_err.is_quota_exceeded(), "{err}");
+        let ctx = jmp_vm::thread::current_app_context().unwrap();
+        assert!(ctx.ledger().get(ResourceKind::PipeBytes) <= 1024);
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "flood", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert!(rt.vm().obs().vm_metrics().counter("quota.denied").get() >= 1);
+    let audited = rt.vm().obs().audit_query(Some("alice"), None);
+    assert!(
+        audited.iter().any(|r| r.permission.contains("pipe.bytes")),
+        "{audited:?}"
+    );
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
