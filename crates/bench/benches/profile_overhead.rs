@@ -1,0 +1,71 @@
+//! A8: profiler overhead — the interpreter's per-opcode accounting on vs
+//! off (and vs no profiler attached at all) on the hot dispatch loop. The
+//! budget CI gates on is ≤5% slowdown with accounting enabled; with it
+//! disabled the cost is a safepoint-cadence atomic load (~0%).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_obs::Profiler;
+use jmp_vm::interp::{assemble, Interpreter, NoNatives, Value};
+
+const SUM_LOOP: &str = r#"
+    class Sum
+    method main/1 locals=2
+        push_int 0
+        store 1
+    loop:
+        load 0
+        push_int 0
+        gt
+        jump_if_false done
+        load 1
+        load 0
+        add
+        store 1
+        load 0
+        push_int 1
+        sub
+        store 0
+        jump loop
+    done:
+        load 1
+        return_value
+"#;
+
+const N: i64 = 10_000;
+
+fn bench_profile_overhead(c: &mut Criterion) {
+    let image = Arc::new(assemble(SUM_LOOP).unwrap());
+    let mut group = c.benchmark_group("A8/profile_overhead");
+
+    let bare = Interpreter::new(Arc::clone(&image), Arc::new(NoNatives)).unwrap();
+    group.bench_function("no_profiler", |b| {
+        b.iter(|| bare.run("main", vec![Value::Int(N)]).unwrap());
+    });
+
+    let off_profiler = Profiler::new();
+    off_profiler.set_enabled(false);
+    let off = Interpreter::new(Arc::clone(&image), Arc::new(NoNatives))
+        .unwrap()
+        .with_profiler(off_profiler);
+    group.bench_function("accounting_off", |b| {
+        b.iter(|| off.run("main", vec![Value::Int(N)]).unwrap());
+    });
+
+    // Sampling off isolates the accounting cost: the tally increment per
+    // instruction plus one flush per 1024-instruction safepoint.
+    let on_profiler = Profiler::new();
+    on_profiler.set_sampling(false);
+    let on = Interpreter::new(Arc::clone(&image), Arc::new(NoNatives))
+        .unwrap()
+        .with_profiler(on_profiler);
+    group.bench_function("accounting_on", |b| {
+        b.iter(|| on.run("main", vec![Value::Int(N)]).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_overhead);
+criterion_main!(benches);

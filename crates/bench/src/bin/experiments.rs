@@ -7,6 +7,7 @@
 //! experiments --chrome-trace trace.json e12
 //! experiments --bench-json BENCH_E14.json e14
 //! experiments --quota-json BENCH_E15.json e15
+//! experiments --profile-json BENCH_E16.json --profile-flame e16-flame.txt e16
 //! ```
 
 use std::io::Write;
@@ -43,6 +44,26 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut profile_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--profile-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            profile_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--profile-json needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let mut profile_flame_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--profile-flame") {
+        args.remove(pos);
+        if pos < args.len() {
+            profile_flame_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--profile-flame needs a file path");
+            std::process::exit(2);
+        }
+    }
     let mut chrome_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
         args.remove(pos);
@@ -72,15 +93,20 @@ fn main() {
     let e15_full = quota_json_path
         .as_ref()
         .map(|_| jmp_bench::exp_quota::e15_quota_storm_full());
+    // And for the E16 profile artifacts (either flag triggers the run).
+    let e16_full = (profile_json_path.is_some() || profile_flame_path.is_some())
+        .then(jmp_bench::exp_profile::e16_profile_full);
 
     let mut all_tables = Vec::new();
     for id in &ids {
         let tables = match (
             (&e14_full, id.eq_ignore_ascii_case("e14")),
             (&e15_full, id.eq_ignore_ascii_case("e15")),
+            (&e16_full, id.eq_ignore_ascii_case("e16")),
         ) {
-            ((Some((tables, _)), true), _) => Some(tables.clone()),
-            (_, (Some((tables, _)), true)) => Some(tables.clone()),
+            ((Some((tables, _)), true), _, _) => Some(tables.clone()),
+            (_, (Some((tables, _)), true), _) => Some(tables.clone()),
+            (_, _, (Some((tables, _)), true)) => Some(tables.clone()),
             _ => jmp_bench::run_experiment(id),
         };
         match tables {
@@ -130,18 +156,39 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
+    if profile_json_path.is_some() || profile_flame_path.is_some() {
+        let (_, artifacts) = e16_full.expect("e16 ran for --profile-json/--profile-flame");
+        if let Some(path) = profile_json_path {
+            // The E16 profile artifacts: the scalar summary (CI gates the
+            // overhead), plus the full per-app/VM-wide ProfileReport.
+            let json =
+                serde_json::to_string_pretty(&artifacts).expect("profile artifacts serialize");
+            std::fs::write(&path, json).expect("write profile json output");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = profile_flame_path {
+            // flamegraph.pl-compatible collapsed stacks of the same run.
+            std::fs::write(&path, &artifacts.flamegraph).expect("write flamegraph output");
+            eprintln!("wrote {path}");
+        }
+    }
+
     if let Some(path) = json_path {
-        // Alongside the tables, dump a metrics snapshot of the E11 scripted
-        // session so the run is inspectable offline (hub counters,
-        // histograms, event and audit totals).
+        // Alongside the tables, dump a metrics snapshot and profiler report
+        // of the E11 scripted session so the run is inspectable offline
+        // (hub counters, histograms, event and audit totals, opcode mix,
+        // sampled stacks).
         #[derive(serde::Serialize)]
         struct Run {
             tables: Vec<jmp_bench::table::Table>,
             metrics: jmp_obs::HubSnapshot,
+            profile: jmp_obs::ProfileReport,
         }
+        let (metrics, profile) = jmp_bench::exp_obs::session_snapshot();
         let run = Run {
             tables: all_tables,
-            metrics: jmp_bench::exp_obs::session_snapshot(),
+            metrics,
+            profile,
         };
         let json = serde_json::to_string_pretty(&run).expect("tables serialize");
         let mut file = std::fs::File::create(&path).expect("create json output");

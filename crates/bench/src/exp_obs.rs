@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use jmp_obs::HubSnapshot;
+use jmp_obs::{HubSnapshot, ProfileReport};
 use jmp_shell::spawn_login_session;
 
 use crate::harness::standard_runtime;
@@ -14,7 +14,7 @@ use crate::table::Table;
 /// Runs the scripted session and samples the hub while the session is
 /// still live (reaping an application drops its per-app registry, so the
 /// snapshot must be taken before `quit`).
-fn scripted_session() -> (Vec<Table>, HubSnapshot) {
+fn scripted_session() -> (Vec<Table>, HubSnapshot, ProfileReport) {
     let rt = standard_runtime(None);
     let bob = rt.users().lookup("bob").expect("bob exists");
     rt.vfs()
@@ -44,6 +44,7 @@ fn scripted_session() -> (Vec<Table>, HubSnapshot) {
     let rollup = jmp_core::obs::vm_rollup(&rt).expect("harness may read metrics");
     let audit = jmp_core::obs::audit_records(&rt, None, None).expect("harness may read audit");
     let rows = jmp_core::obs::top_rows(&rt).expect("harness may read top");
+    let profile = jmp_core::obs::profile_report(&rt).expect("harness may read the profile");
 
     terminal.type_line("quit").expect("typing works");
     terminal.type_eof();
@@ -101,7 +102,7 @@ fn scripted_session() -> (Vec<Table>, HubSnapshot) {
         snapshot.events_published,
         snapshot.audit_total,
     ));
-    (vec![table], snapshot)
+    (vec![table], snapshot, profile)
 }
 
 /// E11: the experiment tables.
@@ -109,7 +110,9 @@ pub fn e11_observability() -> Vec<Table> {
     scripted_session().0
 }
 
-/// The metrics snapshot `experiments --json` embeds alongside the tables.
-pub fn session_snapshot() -> HubSnapshot {
-    scripted_session().1
+/// The metrics snapshot and profiler report `experiments --json` embeds
+/// alongside the tables.
+pub fn session_snapshot() -> (HubSnapshot, ProfileReport) {
+    let (_, snapshot, profile) = scripted_session();
+    (snapshot, profile)
 }

@@ -11,14 +11,18 @@
 //! * `RuntimePermission("readAuditLog")` — [`audit_records`];
 //! * `RuntimePermission("traceVm")` — [`set_tracing`], [`tracing_enabled`],
 //!   [`chrome_trace`] (the flight recorder sees *every* application's spans,
-//!   so both steering it and exporting it are privileged).
+//!   so both steering it and exporting it are privileged);
+//! * `RuntimePermission("readProfile")` — [`set_profiling`],
+//!   [`profiling_enabled`], [`profile_report`], [`profile_flame`],
+//!   [`reset_profile`] (opcode mixes and sampled stacks reveal what another
+//!   application is computing, so the profiler read-out is privileged too).
 //!
 //! Both are typically granted per *user* (`grant user "admin" { permission
 //! runtime readMetrics; }`), exercised through the §5.3 mechanism by any
 //! program whose code source holds `exerciseUserPermissions`. A denied
 //! read-out is itself a denial: it lands in the audit trail like any other.
 
-use jmp_obs::{AuditRecord, HubSnapshot, RegistrySnapshot, WatchdogRow};
+use jmp_obs::{AuditRecord, HubSnapshot, ProfileReport, RegistrySnapshot, WatchdogRow};
 use jmp_security::Permission;
 use jmp_vm::{ResourceKind, RESOURCE_KINDS};
 
@@ -259,7 +263,80 @@ pub fn tracing_enabled(rt: &MpRuntime) -> Result<bool> {
 /// application, so exporting it is a cross-application information flow.
 pub fn chrome_trace(rt: &MpRuntime) -> Result<String> {
     rt.vm().check_permission(&Permission::runtime("traceVm"))?;
-    Ok(rt.vm().obs().recorder().export_chrome_trace())
+    Ok(rt.vm().obs().export_chrome_trace())
+}
+
+/// Turns the profiler (opcode accounting *and* stack sampling) on or off —
+/// the shell's `profile on|off`. Both are on by default; off reduces the
+/// interpreter's accounting to a safepoint-cadence atomic load and frame
+/// publication to one atomic load per call.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readProfile")` — the refusal is audited like any
+/// other.
+pub fn set_profiling(rt: &MpRuntime, enabled: bool) -> Result<()> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readProfile"))?;
+    rt.vm().obs().profiler().set_enabled(enabled);
+    Ok(())
+}
+
+/// Whether the profiler is currently collecting (either mode).
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readProfile")`.
+pub fn profiling_enabled(rt: &MpRuntime) -> Result<bool> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readProfile"))?;
+    Ok(rt.vm().obs().profiler().is_enabled())
+}
+
+/// A point-in-time [`ProfileReport`]: per-opcode counts, apportioned cost
+/// quantiles, and weighted collapsed stacks, VM-wide and per application —
+/// the shell's `profile report` and the `vmstat` top-opcodes section.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readProfile")`: the report covers *every*
+/// application, so reading it is a cross-application information flow.
+pub fn profile_report(rt: &MpRuntime) -> Result<ProfileReport> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readProfile"))?;
+    Ok(rt.vm().obs().profiler().report())
+}
+
+/// Renders the sampled stacks as flamegraph.pl collapsed-stack text
+/// (`stack;frames weight` per line), VM-wide or for one application — the
+/// shell's `profile flame [--app <id>]`.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readProfile")`.
+pub fn profile_flame(rt: &MpRuntime, app: Option<u64>) -> Result<String> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readProfile"))?;
+    Ok(rt.vm().obs().profiler().report().flamegraph(app))
+}
+
+/// Discards accumulated profile tallies, stacks, and sample events,
+/// starting a fresh observation window (enable switches and the installed
+/// opcode model survive) — the shell's `profile reset`.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readProfile")`.
+pub fn reset_profile(rt: &MpRuntime) -> Result<()> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readProfile"))?;
+    rt.vm().obs().profiler().reset();
+    Ok(())
 }
 
 /// The watchdog table — one row per registered dispatcher/system-helper

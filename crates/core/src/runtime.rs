@@ -330,6 +330,7 @@ impl MpRuntimeBuilder {
         }
         rt.start_reaper(reap_queue)?;
         rt.start_watchdog_checker()?;
+        rt.start_profile_sampler()?;
         Ok(rt)
     }
 }
@@ -614,6 +615,32 @@ impl MpRuntime {
                     inner.vm.obs().check_watchdogs();
                 }
                 if jmp_vm::thread::sleep(std::time::Duration::from_millis(50)).is_err() {
+                    return;
+                }
+            })?;
+        Ok(())
+    }
+
+    /// Starts the VM profiler thread: every
+    /// [`jmp_obs::profile::DEFAULT_SAMPLE_INTERVAL_MS`] it snapshots each
+    /// registered thread's published call location into weighted collapsed
+    /// stacks (see [`jmp_obs::Profiler::sample_once`]). A no-op tick while
+    /// sampling is disabled.
+    fn start_profile_sampler(&self) -> Result<()> {
+        let weak = Arc::downgrade(&self.inner);
+        let interval_ms = jmp_obs::profile::DEFAULT_SAMPLE_INTERVAL_MS;
+        self.inner
+            .vm
+            .thread_builder()
+            .name("vm-profiler")
+            .group(self.inner.vm.system_group().clone())
+            .daemon(true)
+            .spawn(move |_vm| loop {
+                {
+                    let Some(inner) = weak.upgrade() else { return };
+                    inner.vm.obs().profiler().sample_once(interval_ms * 1_000);
+                }
+                if jmp_vm::thread::sleep(std::time::Duration::from_millis(interval_ms)).is_err() {
                     return;
                 }
             })?;

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::audit::{self, AuditLog, AuditRecord};
 use crate::metrics::{Counter, Histogram, MetricsRegistry, RegistrySnapshot};
+use crate::profile::{self, Profiler};
 use crate::recorder::{self, FlightRecorder};
 use crate::sink::{self, EventKind, EventSink};
 use crate::watchdog::WatchdogRegistry;
@@ -91,6 +92,7 @@ struct HubInner {
     sink: EventSink,
     audit: AuditLog,
     recorder: FlightRecorder,
+    profiler: Profiler,
     watchdogs: WatchdogRegistry,
     vm: Arc<MetricsRegistry>,
     apps: RwLock<BTreeMap<u64, Arc<MetricsRegistry>>>,
@@ -149,6 +151,7 @@ impl ObsHub {
                 clock,
                 audit: AuditLog::with_clock(audit::DEFAULT_CAPACITY, clock),
                 recorder: FlightRecorder::with_clock(recorder::DEFAULT_CAPACITY, clock, true),
+                profiler: Profiler::with_clock(clock),
                 watchdogs: WatchdogRegistry::with_clock(clock),
                 sink,
                 checks: vm.counter("security.checks"),
@@ -188,9 +191,23 @@ impl ObsHub {
         &self.inner.recorder
     }
 
+    /// The always-on VM profiler (per-opcode accounting + stack sampling).
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
     /// The dispatcher/helper heartbeat registry.
     pub fn watchdogs(&self) -> &WatchdogRegistry {
         &self.inner.watchdogs
+    }
+
+    /// Exports the flight recorder's spans *and* the profiler's retained
+    /// samples as one Chrome `trace_event` document — the samples land as
+    /// instant events on the same per-application `pid` rows as the spans.
+    pub fn export_chrome_trace(&self) -> String {
+        let mut events = self.inner.recorder.chrome_events();
+        events.extend(self.inner.profiler.chrome_events());
+        profile::chrome_trace_doc(events)
     }
 
     /// The VM-wide registry (metrics not attributable to one application).
@@ -660,6 +677,28 @@ mod tests {
         assert!(events[0].detail.contains("awt-dispatch-4"));
         // The latch: no second event until it beats and stalls again.
         assert_eq!(hub.check_watchdogs(), 0);
+    }
+
+    #[test]
+    fn combined_chrome_export_interleaves_spans_and_samples() {
+        let hub = ObsHub::new();
+        crate::trace::clear();
+        {
+            let _span = hub.recorder().begin(crate::SpanCategory::Exec, "exec:sh");
+        }
+        crate::trace::clear();
+        let loc = hub.profiler().register_thread(Some(2));
+        loc.publish(&[Arc::from("Applet.main")]);
+        hub.profiler().sample_once(10_000);
+        let json = hub.export_chrome_trace();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap().to_vec();
+        let cats: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+            .collect();
+        assert!(cats.contains(&"exec"), "{cats:?}");
+        assert!(cats.contains(&"profile"), "{cats:?}");
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   attached to audit incidents and exports as Chrome `trace_event` JSON.
 //! * **Watchdogs** ([`WatchdogRegistry`]) — per-dispatcher heartbeats with
 //!   stall detection, surfacing hung event-dispatch and helper threads.
+//! * **Profiles** ([`Profiler`], [`profile`]) — always-on per-opcode
+//!   interpreter accounting (exact counts, apportioned cost quantiles) and
+//!   sampled per-thread stacks, per application and VM-wide, exporting as
+//!   [`ProfileReport`] JSON, flamegraph.pl collapsed-stack text, and Chrome
+//!   trace instant events.
 //!
 //! [`ObsHub`] composes the pieces around one shared [`ObsClock`] and is
 //! what the VM attaches; higher layers (`jmp-vm`, `jmp-core`, the shell's
@@ -41,6 +46,7 @@
 mod audit;
 mod hub;
 mod metrics;
+pub mod profile;
 mod recorder;
 mod sink;
 pub mod trace;
@@ -51,6 +57,7 @@ pub use hub::{AppResolver, CacheOutcome, HubSnapshot, ObsClock, ObsHub};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };
+pub use profile::{OpcodeProfile, ProfileReport, ProfileView, Profiler, ThreadLoc};
 pub use recorder::{FlightRecorder, Span, SpanCategory, SpanGuard};
 pub use sink::{Event, EventKind, EventSink};
 pub use trace::TraceCtx;

@@ -192,6 +192,30 @@ impl HistogramSnapshot {
         Histogram::bucket_bound(self.buckets.len())
     }
 
+    /// [`HistogramSnapshot::quantile`] over several `q`s at once, in input
+    /// order — the profiler's p50/p95/p99 triple in one call.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// One-line rendering for tables and `vmstat`:
+    /// `count=N mean=M p50=…/p95=…/p99=…`. An empty histogram renders as
+    /// `count=0`.
+    pub fn render_compact(&self) -> String {
+        if self.count == 0 {
+            return "count=0".to_string();
+        }
+        let qs = self.quantiles(&[0.5, 0.95, 0.99]);
+        format!(
+            "count={} mean={} p50={}/p95={}/p99={}",
+            self.count,
+            self.mean(),
+            qs[0],
+            qs[1],
+            qs[2]
+        )
+    }
+
     /// Adds another snapshot's counts into this one.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
@@ -390,6 +414,26 @@ mod tests {
         assert_eq!(snap.quantile(0.5), 2);
         assert_eq!(snap.quantile(0.99), 1024);
         assert_eq!(snap.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_and_compact_rendering() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.quantiles(&[0.5, 0.95, 0.99]),
+            vec![snap.quantile(0.5), snap.quantile(0.95), snap.quantile(0.99)]
+        );
+        assert_eq!(
+            snap.render_compact(),
+            "count=6 mean=184 p50=2/p95=1024/p99=1024"
+        );
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.quantiles(&[0.5]), vec![0]);
+        assert_eq!(empty.render_compact(), "count=0");
     }
 
     #[test]

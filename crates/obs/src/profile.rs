@@ -1,0 +1,714 @@
+//! `jmp-prof`: the always-on VM profiler.
+//!
+//! Two collection modes share one report model:
+//!
+//! * **Exact per-opcode accounting.** The interpreter keeps a thread-local
+//!   tally (one array increment per dispatched instruction) and flushes it
+//!   here at safepoints as a *block*: per-opcode execution counts plus the
+//!   wall time the whole batch took. The profiler apportions the batch's
+//!   time across its opcodes by the installed weight model (see
+//!   [`Profiler::install_model`]) and feeds the per-execution estimate into
+//!   a per-opcode [`Histogram`], so reports carry p50/p95/p99 cost alongside
+//!   exact counts. Each block is attributed to the owning application (the
+//!   `AppContext` the executing thread carries) and to the VM-wide view.
+//!
+//! * **Sampled stacks.** Each interpreter thread publishes its current
+//!   method/frame stack into a [`ThreadLoc`] slot. Publication never blocks:
+//!   the publisher replaces the slot's contents under a `try_lock`, so a
+//!   collision with the sampler drops one update and the next frame
+//!   transition re-publishes the full stack. A VM profiler thread calls
+//!   [`Profiler::sample_once`] periodically, folding every live slot into
+//!   weighted collapsed stacks (flamegraph.pl's `a;b;c weight` form) and a
+//!   bounded ring of Chrome trace instant events.
+//!
+//! Writing into the profiler is free of permission checks, like the rest of
+//! the hub; reading a [`ProfileReport`] back out is gated behind
+//! `RuntimePermission("readProfile")` in the runtime layer, because one
+//! application's opcode mix is another's side channel.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use crate::hub::ObsClock;
+use crate::metrics::Histogram;
+use crate::trace;
+
+/// How often the VM profiler thread samples published stacks.
+pub const DEFAULT_SAMPLE_INTERVAL_MS: u64 = 10;
+
+/// Recent samples retained for the Chrome trace export.
+const MAX_SAMPLE_EVENTS: usize = 2048;
+
+/// Stack-buffer size for the per-flush weighted-share apportionment in
+/// [`Profiler::record_block`] — comfortably above any opcode-set size.
+const MAX_OPCODE_SHARES: usize = 64;
+
+/// Distinct collapsed stacks retained per view; the tail folds into
+/// `"(overflow)"` so a stack-key explosion cannot grow without bound.
+const MAX_STACKS: usize = 512;
+
+/// One thread's published "current location": the frame stack the sampler
+/// reads. Created by [`Profiler::register_thread`]; the owning thread keeps
+/// the only strong reference besides the registry, so slot lifetime follows
+/// thread lifetime.
+pub struct ThreadLoc {
+    thread: u64,
+    app: Option<u64>,
+    frames: Mutex<Vec<Arc<str>>>,
+}
+
+impl ThreadLoc {
+    /// The registering thread's stable trace ordinal.
+    pub fn thread(&self) -> u64 {
+        self.thread
+    }
+
+    /// The application the thread's work bills to (`None` = VM bucket).
+    pub fn app(&self) -> Option<u64> {
+        self.app
+    }
+
+    /// Replaces the published stack wholesale. Publisher-side wait-free: a
+    /// `try_lock` miss (the sampler is mid-read) drops this update, and the
+    /// next frame transition publishes the then-current stack.
+    pub fn publish(&self, frames: &[Arc<str>]) {
+        if let Some(mut slot) = self.frames.try_lock() {
+            slot.clear();
+            slot.extend(frames.iter().cloned());
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadLoc")
+            .field("thread", &self.thread)
+            .field("app", &self.app)
+            .finish()
+    }
+}
+
+/// The opcode name/weight model, installed once by the interpreter layer.
+#[derive(Default)]
+struct OpcodeModel {
+    names: Vec<String>,
+    weights: Vec<u64>,
+}
+
+/// One view's accumulation: per-opcode tallies plus collapsed stacks.
+#[derive(Default)]
+struct ViewTable {
+    counts: Vec<u64>,
+    cost_ns: Vec<u64>,
+    hists: Vec<Histogram>,
+    stacks: BTreeMap<String, u64>,
+}
+
+impl ViewTable {
+    fn ensure(&mut self, len: usize) {
+        if self.counts.len() < len {
+            self.counts.resize(len, 0);
+            self.cost_ns.resize(len, 0);
+            self.hists.resize_with(len, Histogram::new);
+        }
+    }
+
+    fn add_block(&mut self, counts: &[u64], shares: &[u64]) {
+        self.ensure(counts.len());
+        for (i, (&count, &share)) in counts.iter().zip(shares.iter()).enumerate() {
+            if count == 0 {
+                continue;
+            }
+            self.counts[i] += count;
+            self.cost_ns[i] += share;
+            self.hists[i].record(share / count);
+        }
+    }
+
+    fn add_sample(&mut self, key: &str, weight_us: u64) {
+        if self.stacks.len() >= MAX_STACKS && !self.stacks.contains_key(key) {
+            *self.stacks.entry("(overflow)".to_string()).or_insert(0) += weight_us;
+            return;
+        }
+        *self.stacks.entry(key.to_string()).or_insert(0) += weight_us;
+    }
+}
+
+/// One retained sample, for the Chrome trace export.
+struct SampleEvent {
+    ts_us: u64,
+    thread: u64,
+    app: Option<u64>,
+    stack: String,
+    top: String,
+}
+
+struct ProfilerInner {
+    accounting: AtomicBool,
+    sampling: AtomicBool,
+    clock: ObsClock,
+    model: RwLock<OpcodeModel>,
+    vm: Mutex<ViewTable>,
+    apps: RwLock<BTreeMap<u64, Arc<Mutex<ViewTable>>>>,
+    threads: Mutex<Vec<Weak<ThreadLoc>>>,
+    flushes: AtomicU64,
+    samples: AtomicU64,
+    events: Mutex<VecDeque<SampleEvent>>,
+}
+
+/// The profiler. Cheap handle; clones share state. Both collection modes
+/// are on by default — "always-on" is the point, and the accounting path is
+/// budgeted at ≤5% interpreter overhead (bench A8 gates it).
+#[derive(Clone)]
+pub struct Profiler {
+    inner: Arc<ProfilerInner>,
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler on its own clock (the hub re-bases profilers onto
+    /// its shared clock).
+    pub fn new() -> Profiler {
+        Profiler::with_clock(ObsClock::new())
+    }
+
+    /// Creates a profiler stamping samples with `clock`.
+    pub fn with_clock(clock: ObsClock) -> Profiler {
+        Profiler {
+            inner: Arc::new(ProfilerInner {
+                accounting: AtomicBool::new(true),
+                sampling: AtomicBool::new(true),
+                clock,
+                model: RwLock::new(OpcodeModel::default()),
+                vm: Mutex::new(ViewTable::default()),
+                apps: RwLock::new(BTreeMap::new()),
+                threads: Mutex::new(Vec::new()),
+                flushes: AtomicU64::new(0),
+                samples: AtomicU64::new(0),
+                events: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Whether per-opcode accounting is on (one relaxed load — the
+    /// interpreter re-reads this at safepoints, not per instruction).
+    pub fn accounting_enabled(&self) -> bool {
+        self.inner.accounting.load(Ordering::Relaxed)
+    }
+
+    /// Turns per-opcode accounting on or off.
+    pub fn set_accounting(&self, enabled: bool) {
+        self.inner.accounting.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether stack sampling is on.
+    pub fn sampling_enabled(&self) -> bool {
+        self.inner.sampling.load(Ordering::Relaxed)
+    }
+
+    /// Turns stack sampling on or off (the sampler thread keeps running and
+    /// re-checks per tick; publishers stop publishing).
+    pub fn set_sampling(&self, enabled: bool) {
+        self.inner.sampling.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Turns both collection modes on or off — the shell's
+    /// `profile on|off`.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.set_accounting(enabled);
+        self.set_sampling(enabled);
+    }
+
+    /// Whether either collection mode is on.
+    pub fn is_enabled(&self) -> bool {
+        self.accounting_enabled() || self.sampling_enabled()
+    }
+
+    /// Installs the opcode name/weight model reports resolve indices
+    /// against. Idempotent: the first non-empty installation wins, so the
+    /// interpreter can call this on every run cheaply.
+    pub fn install_model(&self, names: &[&str], weights: &[u64]) {
+        if !self.inner.model.read().names.is_empty() {
+            return;
+        }
+        let mut model = self.inner.model.write();
+        if model.names.is_empty() {
+            model.names = names.iter().map(|n| n.to_string()).collect();
+            model.weights = weights.to_vec();
+        }
+    }
+
+    /// Accepts one flushed accounting block: per-opcode execution counts
+    /// (index = opcode) and the wall time the batch took. The batch's time
+    /// is apportioned across its opcodes by the installed weights; the
+    /// per-execution estimate feeds each opcode's cost histogram. Billed to
+    /// `app`'s view when given, and always to the VM-wide view.
+    pub fn record_block(&self, app: Option<u64>, counts: &[u64], elapsed_ns: u64) {
+        if !self.accounting_enabled() {
+            return;
+        }
+        let model = self.inner.model.read();
+        let weight = |i: usize| model.weights.get(i).copied().unwrap_or(1).max(1);
+        let total_weight: u128 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| u128::from(c) * u128::from(weight(i)))
+            .sum();
+        if total_weight == 0 {
+            return;
+        }
+        // Apportion into a stack buffer: this runs on every interpreter
+        // flush, so it must not allocate or divide per opcode. Opcode sets
+        // larger than the buffer (none today) fall back to the unweighted
+        // tail; f64 rounding loses at most a few ns per batch.
+        let scale = elapsed_ns as f64 / total_weight as f64;
+        let mut shares = [0u64; MAX_OPCODE_SHARES];
+        let n = counts.len().min(MAX_OPCODE_SHARES);
+        for (i, share) in shares.iter_mut().enumerate().take(n) {
+            if counts[i] > 0 {
+                *share = (counts[i] as f64 * weight(i) as f64 * scale) as u64;
+            }
+        }
+        drop(model);
+        self.inner.vm.lock().add_block(&counts[..n], &shares[..n]);
+        if let Some(app) = app {
+            self.app_table(app)
+                .lock()
+                .add_block(&counts[..n], &shares[..n]);
+        }
+        self.inner.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers the calling thread's location slot, billed to `app`
+    /// (`None` = the VM bucket, e.g. detached threads). The returned slot
+    /// is what the thread publishes its frame stack into; dropping it
+    /// (thread exit) retires the slot at the next sampler tick.
+    pub fn register_thread(&self, app: Option<u64>) -> Arc<ThreadLoc> {
+        let loc = Arc::new(ThreadLoc {
+            thread: trace::thread_ordinal(),
+            app,
+            frames: Mutex::new(Vec::new()),
+        });
+        self.inner.threads.lock().push(Arc::downgrade(&loc));
+        loc
+    }
+
+    /// Takes one sampling pass over every live registered slot, weighting
+    /// each observed stack by `interval_us` (the time since the previous
+    /// pass). Returns how many threads were on-stack. Called by the VM
+    /// profiler thread; a no-op while sampling is off.
+    pub fn sample_once(&self, interval_us: u64) -> usize {
+        if !self.sampling_enabled() {
+            return 0;
+        }
+        let live: Vec<Arc<ThreadLoc>> = {
+            let mut threads = self.inner.threads.lock();
+            threads.retain(|w| w.strong_count() > 0);
+            threads.iter().filter_map(Weak::upgrade).collect()
+        };
+        let mut sampled = 0;
+        for loc in live {
+            let frames = loc.frames.lock().clone();
+            if frames.is_empty() {
+                continue;
+            }
+            let key = frames
+                .iter()
+                .map(|f| f.as_ref())
+                .collect::<Vec<&str>>()
+                .join(";");
+            self.inner.vm.lock().add_sample(&key, interval_us);
+            if let Some(app) = loc.app {
+                self.app_table(app).lock().add_sample(&key, interval_us);
+            }
+            let top = frames.last().map_or(String::new(), |f| f.to_string());
+            let mut events = self.inner.events.lock();
+            if events.len() >= MAX_SAMPLE_EVENTS {
+                events.pop_front();
+            }
+            events.push_back(SampleEvent {
+                ts_us: self.inner.clock.now_us(),
+                thread: loc.thread,
+                app: loc.app,
+                stack: key,
+                top,
+            });
+            drop(events);
+            self.inner.samples.fetch_add(1, Ordering::Relaxed);
+            sampled += 1;
+        }
+        sampled
+    }
+
+    /// Accounting blocks flushed so far.
+    pub fn flushes(&self) -> u64 {
+        self.inner.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Stack samples taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.inner.samples.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots everything collected so far into a [`ProfileReport`].
+    pub fn report(&self) -> ProfileReport {
+        let model = self.inner.model.read();
+        let vm = render_view(None, &self.inner.vm.lock(), &model);
+        let apps: Vec<ProfileView> = self
+            .inner
+            .apps
+            .read()
+            .iter()
+            .map(|(&id, table)| render_view(Some(id), &table.lock(), &model))
+            .collect();
+        ProfileReport {
+            at_ms: self.inner.clock.now_ms(),
+            accounting_enabled: self.accounting_enabled(),
+            sampling_enabled: self.sampling_enabled(),
+            flushes: self.flushes(),
+            samples_taken: self.samples_taken(),
+            vm,
+            apps,
+        }
+    }
+
+    /// The retained samples as Chrome `trace_event` instant events, for the
+    /// hub's combined export: each sample lands on the owning application's
+    /// `pid` row next to the flight recorder's spans.
+    pub fn chrome_events(&self) -> Vec<serde_json::Value> {
+        let entry = |key: &str, value: serde_json::Value| (key.to_owned(), value);
+        self.inner
+            .events
+            .lock()
+            .iter()
+            .map(|event| {
+                serde_json::Value::Map(vec![
+                    entry("name", event.top.serialize_value()),
+                    entry("cat", "profile".serialize_value()),
+                    entry("ph", "i".serialize_value()),
+                    entry("ts", event.ts_us.serialize_value()),
+                    entry("pid", event.app.unwrap_or(0).serialize_value()),
+                    entry("tid", event.thread.serialize_value()),
+                    entry("s", "t".serialize_value()),
+                    entry(
+                        "args",
+                        serde_json::Value::Map(vec![entry("stack", event.stack.serialize_value())]),
+                    ),
+                ])
+            })
+            .collect()
+    }
+
+    /// Drops everything collected (tallies, stacks, retained samples, the
+    /// flush/sample totals). Enablement, the opcode model, and registered
+    /// thread slots survive — `profile reset` starts a fresh window, it
+    /// does not tear the profiler down.
+    pub fn reset(&self) {
+        *self.inner.vm.lock() = ViewTable::default();
+        self.inner.apps.write().clear();
+        self.inner.events.lock().clear();
+        self.inner.flushes.store(0, Ordering::Relaxed);
+        self.inner.samples.store(0, Ordering::Relaxed);
+    }
+
+    fn app_table(&self, app: u64) -> Arc<Mutex<ViewTable>> {
+        if let Some(table) = self.inner.apps.read().get(&app) {
+            return Arc::clone(table);
+        }
+        Arc::clone(
+            self.inner
+                .apps
+                .write()
+                .entry(app)
+                .or_insert_with(|| Arc::new(Mutex::new(ViewTable::default()))),
+        )
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("accounting", &self.accounting_enabled())
+            .field("sampling", &self.sampling_enabled())
+            .field("flushes", &self.flushes())
+            .field("samples", &self.samples_taken())
+            .finish()
+    }
+}
+
+fn render_view(app: Option<u64>, table: &ViewTable, model: &OpcodeModel) -> ProfileView {
+    let mut opcodes: Vec<OpcodeProfile> = table
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(i, &count)| {
+            let snap = table.hists[i].snapshot();
+            let qs = snap.quantiles(&[0.5, 0.95, 0.99]);
+            OpcodeProfile {
+                opcode: model
+                    .names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("op{i}")),
+                count,
+                cost_ns: table.cost_ns[i],
+                p50_ns: qs[0],
+                p95_ns: qs[1],
+                p99_ns: qs[2],
+            }
+        })
+        .collect();
+    opcodes.sort_by(|a, b| b.count.cmp(&a.count).then(a.opcode.cmp(&b.opcode)));
+    ProfileView {
+        label: app.map_or_else(|| "vm".to_string(), |id| format!("app-{id}")),
+        app,
+        instructions: table.counts.iter().sum(),
+        cost_ns: table.cost_ns.iter().sum(),
+        opcodes,
+        stacks: table.stacks.clone(),
+    }
+}
+
+/// Wraps Chrome `trace_event` values into the standard document form.
+pub(crate) fn chrome_trace_doc(events: Vec<serde_json::Value>) -> String {
+    let entry = |key: &str, value: serde_json::Value| (key.to_owned(), value);
+    let doc = serde_json::Value::Map(vec![
+        entry("traceEvents", serde_json::Value::Seq(events)),
+        entry("displayTimeUnit", "ms".serialize_value()),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+}
+
+/// One opcode's row in a [`ProfileView`]: exact count, apportioned
+/// cumulative cost, and the per-execution cost distribution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpcodeProfile {
+    /// Opcode mnemonic (`add`, `native`, ...).
+    pub opcode: String,
+    /// Exact execution count.
+    pub count: u64,
+    /// Cumulative apportioned cost in nanoseconds.
+    pub cost_ns: u64,
+    /// Median per-execution cost estimate (ns).
+    pub p50_ns: u64,
+    /// 95th-percentile per-execution cost estimate (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile per-execution cost estimate (ns).
+    pub p99_ns: u64,
+}
+
+/// One attribution scope's profile: the VM-wide view or one application's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileView {
+    /// `"vm"` or `"app-<id>"`.
+    pub label: String,
+    /// The application this view bills to; `None` for the VM-wide view.
+    pub app: Option<u64>,
+    /// Total instructions accounted to this view.
+    pub instructions: u64,
+    /// Total apportioned cost in nanoseconds.
+    pub cost_ns: u64,
+    /// Per-opcode rows, busiest first (zero-count opcodes omitted).
+    pub opcodes: Vec<OpcodeProfile>,
+    /// Weighted collapsed stacks: `frame;frame;frame` → sampled µs.
+    pub stacks: BTreeMap<String, u64>,
+}
+
+impl ProfileView {
+    /// The `n` busiest opcode rows.
+    pub fn top_opcodes(&self, n: usize) -> &[OpcodeProfile] {
+        &self.opcodes[..self.opcodes.len().min(n)]
+    }
+}
+
+/// A point-in-time snapshot of everything both collection modes gathered:
+/// the VM-wide view plus one view per application that executed interpreted
+/// code. Serializable — `experiments --profile-json` writes one of these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Capture time, ms on the hub clock.
+    pub at_ms: u64,
+    /// Whether per-opcode accounting was on at capture.
+    pub accounting_enabled: bool,
+    /// Whether stack sampling was on at capture.
+    pub sampling_enabled: bool,
+    /// Accounting blocks flushed since start/reset.
+    pub flushes: u64,
+    /// Stack samples taken since start/reset.
+    pub samples_taken: u64,
+    /// The VM-wide view (every thread, detached work included).
+    pub vm: ProfileView,
+    /// Per-application views, in application-id order.
+    pub apps: Vec<ProfileView>,
+}
+
+impl ProfileReport {
+    /// The view for `app`, or the VM-wide view when `None`.
+    pub fn view(&self, app: Option<u64>) -> Option<&ProfileView> {
+        match app {
+            Some(id) => self.apps.iter().find(|v| v.app == Some(id)),
+            None => Some(&self.vm),
+        }
+    }
+
+    /// Renders a view's collapsed stacks as flamegraph.pl-compatible text:
+    /// one `frame;frame;frame weight` line per distinct stack. An unknown
+    /// app id (or one with no samples) renders as the empty string.
+    pub fn flamegraph(&self, app: Option<u64>) -> String {
+        let Some(view) = self.view(app) else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (stack, weight) in &view.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: &Profiler) {
+        p.install_model(&["alpha", "beta", "gamma"], &[1, 1, 10]);
+    }
+
+    #[test]
+    fn blocks_bill_the_app_and_the_vm() {
+        let p = Profiler::new();
+        model(&p);
+        p.record_block(Some(7), &[10, 0, 10], 1_100);
+        p.record_block(None, &[5, 5, 0], 100);
+        let report = p.report();
+        assert_eq!(report.vm.instructions, 30);
+        let app7 = report.view(Some(7)).unwrap();
+        assert_eq!(app7.instructions, 20);
+        assert_eq!(app7.label, "app-7");
+        assert_eq!(report.flushes, 2);
+        // The weighted apportionment gives gamma (weight 10) the lion's
+        // share of app 7's 1.1µs batch.
+        let gamma = app7.opcodes.iter().find(|o| o.opcode == "gamma").unwrap();
+        let alpha = app7.opcodes.iter().find(|o| o.opcode == "alpha").unwrap();
+        assert_eq!(gamma.count, 10);
+        assert_eq!(gamma.cost_ns, 1_000);
+        assert_eq!(alpha.cost_ns, 100);
+        assert!(gamma.p50_ns >= alpha.p50_ns);
+        // Rows come busiest-first and totals add up.
+        assert!(report.vm.opcodes[0].count >= report.vm.opcodes[1].count);
+        assert_eq!(report.vm.cost_ns, 1_200);
+    }
+
+    #[test]
+    fn disabled_accounting_drops_blocks() {
+        let p = Profiler::new();
+        model(&p);
+        p.set_accounting(false);
+        p.record_block(Some(1), &[100, 0, 0], 500);
+        assert_eq!(p.report().vm.instructions, 0);
+        assert!(p.report().apps.is_empty());
+    }
+
+    #[test]
+    fn sampler_collects_weighted_collapsed_stacks() {
+        let p = Profiler::new();
+        let loc = p.register_thread(Some(3));
+        loc.publish(&[Arc::from("Applet.main"), Arc::from("Applet.tick")]);
+        assert_eq!(p.sample_once(10_000), 1);
+        assert_eq!(p.sample_once(10_000), 1);
+        loc.publish(&[Arc::from("Applet.main")]);
+        assert_eq!(p.sample_once(10_000), 1);
+        let report = p.report();
+        assert_eq!(report.samples_taken, 3);
+        assert_eq!(report.vm.stacks["Applet.main;Applet.tick"], 20_000);
+        assert_eq!(report.view(Some(3)).unwrap().stacks["Applet.main"], 10_000);
+        let flame = report.flamegraph(Some(3));
+        assert!(flame.contains("Applet.main;Applet.tick 20000\n"), "{flame}");
+        assert_eq!(report.flamegraph(Some(99)), "");
+        // Empty stacks are not sampled; a dropped slot retires.
+        loc.publish(&[]);
+        assert_eq!(p.sample_once(10_000), 0);
+        drop(loc);
+        assert_eq!(p.sample_once(10_000), 0);
+    }
+
+    #[test]
+    fn sampling_off_is_a_no_op() {
+        let p = Profiler::new();
+        let loc = p.register_thread(None);
+        loc.publish(&[Arc::from("X.m")]);
+        p.set_sampling(false);
+        assert_eq!(p.sample_once(10_000), 0);
+        assert_eq!(p.samples_taken(), 0);
+    }
+
+    #[test]
+    fn chrome_events_are_instant_profile_events() {
+        let p = Profiler::new();
+        let loc = p.register_thread(Some(4));
+        loc.publish(&[Arc::from("A.main"), Arc::from("A.work")]);
+        p.sample_once(5_000);
+        let json = chrome_trace_doc(p.chrome_events());
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap().to_vec();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(events[0].get("cat").unwrap().as_str(), Some("profile"));
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("A.work"));
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_window() {
+        let p = Profiler::new();
+        model(&p);
+        p.record_block(Some(1), &[3, 0, 0], 100);
+        let loc = p.register_thread(Some(1));
+        loc.publish(&[Arc::from("A.main")]);
+        p.sample_once(1_000);
+        p.reset();
+        let report = p.report();
+        assert_eq!(report.vm.instructions, 0);
+        assert!(report.apps.is_empty());
+        assert_eq!(report.flushes, 0);
+        assert_eq!(report.samples_taken, 0);
+        assert!(p.chrome_events().is_empty());
+        // The slot survives a reset: sampling keeps working.
+        assert_eq!(p.sample_once(1_000), 1);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let p = Profiler::new();
+        model(&p);
+        p.record_block(Some(2), &[1, 2, 3], 600);
+        let loc = p.register_thread(Some(2));
+        loc.publish(&[Arc::from("B.main")]);
+        p.sample_once(10_000);
+        let report = p.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn model_installation_is_first_wins() {
+        let p = Profiler::new();
+        p.install_model(&["a"], &[1]);
+        p.install_model(&["b", "c"], &[2, 2]);
+        p.record_block(None, &[1], 10);
+        assert_eq!(p.report().vm.opcodes[0].opcode, "a");
+    }
+}

@@ -19,7 +19,6 @@ use std::collections::VecDeque;
 use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -210,14 +209,22 @@ impl FlightRecorder {
         })
     }
 
-    /// A start timestamp for a span measured by the caller, or `None` when
-    /// recording is off (so the disabled path never reads the clock).
-    pub fn timer(&self) -> Option<Instant> {
+    /// A start timestamp for a span measured by the caller — microseconds
+    /// on the shared hub clock, so caller-measured spans sort on the same
+    /// timeline as every other span, sample, and audit record — or `None`
+    /// when recording is off (so the disabled path never reads the clock).
+    pub fn timer(&self) -> Option<u64> {
         if self.inner.enabled.load(Ordering::Relaxed) {
-            Some(Instant::now())
+            Some(self.inner.clock.now_us())
         } else {
             None
         }
+    }
+
+    /// Nanoseconds elapsed since a [`FlightRecorder::timer`] start, read on
+    /// the same clock (µs resolution).
+    pub fn elapsed_ns(&self, start_us: u64) -> u64 {
+        self.inner.clock.now_us().saturating_sub(start_us) * 1_000
     }
 
     /// Records an already-finished span of `latency_ns` ending now, under
@@ -302,9 +309,15 @@ impl FlightRecorder {
     /// Spans become complete (`"ph":"X"`) events; `pid` is the owning
     /// application (0 = system), `tid` the recording thread's ordinal.
     pub fn export_chrome_trace(&self) -> String {
+        crate::profile::chrome_trace_doc(self.chrome_events())
+    }
+
+    /// The retained spans as individual Chrome `trace_event` values, for
+    /// callers that merge them with other event sources (the hub's combined
+    /// export interleaves these with profiler samples).
+    pub fn chrome_events(&self) -> Vec<serde_json::Value> {
         let entry = |key: &str, value: serde_json::Value| (key.to_owned(), value);
-        let events: Vec<serde_json::Value> = self
-            .spans()
+        self.spans()
             .into_iter()
             .map(|span| {
                 serde_json::Value::Map(vec![
@@ -325,12 +338,7 @@ impl FlightRecorder {
                     ),
                 ])
             })
-            .collect();
-        let doc = serde_json::Value::Map(vec![
-            entry("traceEvents", serde_json::Value::Seq(events)),
-            entry("displayTimeUnit", "ms".serialize_value()),
-        ]);
-        serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+            .collect()
     }
 }
 

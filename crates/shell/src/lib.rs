@@ -140,15 +140,16 @@ pub fn default_policy_text() -> &'static str {
     };
 
     // Observability read-out: the bootstrap `system` account may inspect
-    // the VM metrics, the security audit trail, and the flight recorder
-    // (exercised through the section 5.3 mechanism by the shell's
-    // `top`/`vmstat`/`audit`/`trace` builtins). Ordinary accounts get
-    // none of these: what Alice's editor is doing is none of Bob's
-    // business.
+    // the VM metrics, the security audit trail, the flight recorder, and
+    // the VM profiler (exercised through the section 5.3 mechanism by the
+    // shell's `top`/`vmstat`/`audit`/`trace`/`profile` builtins). Ordinary
+    // accounts get none of these: what Alice's editor is doing is none of
+    // Bob's business.
     grant user "system" {
         permission runtime "readMetrics";
         permission runtime "readAuditLog";
         permission runtime "traceVm";
+        permission runtime "readProfile";
         permission resource "setLimits";
     };
 

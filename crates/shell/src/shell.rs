@@ -164,8 +164,8 @@ impl Shell {
             }
             "help" => {
                 jsystem::println(
-                    "builtins: cd pwd jobs history top vmstat audit trace ulimit ps -l \
-                     help quit; \
+                    "builtins: cd pwd jobs history top vmstat audit trace profile ulimit \
+                     ps -l help quit; \
                      programs: ls cat echo head wc grep ps kill sleep touch \
                      mkdir rm cp mv whoami su passwd login appletviewer edit",
                 )?;
@@ -195,6 +195,10 @@ impl Shell {
             }
             "trace" => {
                 self.trace(&stage.args)?;
+                Ok(Builtin::Handled)
+            }
+            "profile" => {
+                self.profile(&stage.args)?;
                 Ok(Builtin::Handled)
             }
             _ => Ok(Builtin::NotBuiltin),
@@ -384,13 +388,7 @@ impl Shell {
             jsystem::println(&format!("{name:<24} {value}"))?;
         }
         for (name, hist) in &rollup.histograms {
-            jsystem::println(&format!(
-                "{name:<24} count={} mean={} p50={} p99={}",
-                hist.count,
-                hist.mean(),
-                hist.quantile(0.50),
-                hist.quantile(0.99),
-            ))?;
+            jsystem::println(&format!("{name:<24} {}", hist.render_compact()))?;
         }
         // `sink.`-prefixed: the observability event sink's own accounting,
         // distinct from the GUI data-plane counters (`events.coalesced`,
@@ -455,6 +453,21 @@ impl Shell {
                 ))?;
             }
         }
+        // Top opcodes from the VM profiler. Needs `readProfile` on top of
+        // `readMetrics`; silently omitted (the denial is still audited)
+        // so vmstat stays useful to metrics-only readers.
+        if let Ok(report) = jmp_core::obs::profile_report(&rt) {
+            let top = report.vm.top_opcodes(5);
+            if !top.is_empty() {
+                jsystem::println("top opcodes:")?;
+                for op in top {
+                    jsystem::println(&format!(
+                        "  {:<16} count={:<10} cost={}ns p50={}/p95={}/p99={}",
+                        op.opcode, op.count, op.cost_ns, op.p50_ns, op.p95_ns, op.p99_ns,
+                    ))?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -498,6 +511,120 @@ impl Shell {
             Some(other) => {
                 jsystem::eprintln(&format!(
                     "trace: unknown argument {other} (usage: trace [on|off|dump [file]|status])"
+                ))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `profile` builtin: `profile on|off` steers the VM profiler
+    /// (opcode accounting *and* stack sampling), `profile report [--app
+    /// <id>]` prints per-opcode accounting and sampled-stack weights,
+    /// `profile flame [--app <id>] [file]` exports flamegraph.pl
+    /// collapsed-stack text, `profile reset` starts a fresh window, and
+    /// `profile`/`profile status` reports the current switch.
+    /// `RuntimePermission("readProfile")`-gated; a denial is printed — and
+    /// audited — rather than killing the session.
+    fn profile(&self, args: &[String]) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let mut app: Option<u64> = None;
+        let mut rest: Vec<&str> = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--app" {
+                match iter.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(id)) => app = Some(id),
+                    _ => {
+                        jsystem::eprintln("profile: --app expects an application id")?;
+                        return Ok(());
+                    }
+                }
+            } else {
+                rest.push(arg.as_str());
+            }
+        }
+        match rest.first().copied() {
+            Some("on") => match jmp_core::obs::set_profiling(&rt, true) {
+                Ok(()) => jsystem::println("profiling on")?,
+                Err(err) => jsystem::eprintln(&format!("profile: {err}"))?,
+            },
+            Some("off") => match jmp_core::obs::set_profiling(&rt, false) {
+                Ok(()) => jsystem::println("profiling off")?,
+                Err(err) => jsystem::eprintln(&format!("profile: {err}"))?,
+            },
+            Some("report") => {
+                let report = match jmp_core::obs::profile_report(&rt) {
+                    Ok(report) => report,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("profile: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                jsystem::println(&format!(
+                    "profile: accounting={} sampling={} flushes={} samples={}",
+                    if report.accounting_enabled {
+                        "on"
+                    } else {
+                        "off"
+                    },
+                    if report.sampling_enabled { "on" } else { "off" },
+                    report.flushes,
+                    report.samples_taken,
+                ))?;
+                let views: Vec<&jmp_obs::ProfileView> = match app {
+                    Some(id) => report.view(Some(id)).into_iter().collect(),
+                    None => std::iter::once(&report.vm)
+                        .chain(report.apps.iter())
+                        .collect(),
+                };
+                if app.is_some() && views.is_empty() {
+                    jsystem::eprintln("profile: no samples for that application yet")?;
+                }
+                for view in views {
+                    jsystem::println(&format!(
+                        "{}: instructions={} cost={}ns stacks={}",
+                        view.label,
+                        view.instructions,
+                        view.cost_ns,
+                        view.stacks.len(),
+                    ))?;
+                    for op in view.top_opcodes(10) {
+                        jsystem::println(&format!(
+                            "  {:<16} count={:<10} cost={}ns p50={}/p95={}/p99={}",
+                            op.opcode, op.count, op.cost_ns, op.p50_ns, op.p95_ns, op.p99_ns,
+                        ))?;
+                    }
+                }
+            }
+            Some("flame") => {
+                let text = match jmp_core::obs::profile_flame(&rt, app) {
+                    Ok(text) => text,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("profile: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                match rest.get(1) {
+                    Some(path) => match jmp_core::files::write(path, text.as_bytes()) {
+                        Ok(()) => jsystem::println(&format!("flamegraph written to {path}"))?,
+                        Err(err) => jsystem::eprintln(&format!("profile: {err}"))?,
+                    },
+                    None => jsystem::println(&text)?,
+                }
+            }
+            Some("reset") => match jmp_core::obs::reset_profile(&rt) {
+                Ok(()) => jsystem::println("profile window reset")?,
+                Err(err) => jsystem::eprintln(&format!("profile: {err}"))?,
+            },
+            None | Some("status") => match jmp_core::obs::profiling_enabled(&rt) {
+                Ok(true) => jsystem::println("profiling on")?,
+                Ok(false) => jsystem::println("profiling off")?,
+                Err(err) => jsystem::eprintln(&format!("profile: {err}"))?,
+            },
+            Some(other) => {
+                jsystem::eprintln(&format!(
+                    "profile: unknown argument {other} \
+                     (usage: profile [on|off|report|flame [file]|reset|status] [--app <id>])"
                 ))?;
             }
         }

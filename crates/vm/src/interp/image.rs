@@ -156,7 +156,133 @@ pub enum Insn {
     ReturnValue,
 }
 
+/// Number of distinct `jbc` opcodes ([`Insn`] variants). Profile tallies
+/// are fixed arrays of this length, indexed by [`Insn::opcode`].
+pub const OPCODE_COUNT: usize = 32;
+
+/// Opcode names in [`Insn::opcode`] order (the declaration order of the
+/// [`Insn`] variants) — the labels used by profile reports and `vmstat`.
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "push_int",
+    "push_str",
+    "push_bool",
+    "push_null",
+    "load",
+    "store",
+    "pop",
+    "dup",
+    "swap",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "neg",
+    "concat",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "and",
+    "or",
+    "not",
+    "jump",
+    "jump_if_false",
+    "jump_if_true",
+    "call",
+    "native",
+    "return",
+    "return_value",
+];
+
+/// Relative cost weights in [`Insn::opcode`] order, used by the profiler to
+/// apportion a measured batch's wall time across the opcodes it executed.
+/// The weights encode what each opcode *does* beyond the shared dispatch
+/// overhead: allocating instructions (strings, call frames) weigh more than
+/// register shuffles; the exact values only matter relative to each other.
+pub const OPCODE_WEIGHTS: [u64; OPCODE_COUNT] = [
+    1,  // push_int
+    3,  // push_str (allocates the string)
+    1,  // push_bool
+    1,  // push_null
+    1,  // load
+    1,  // store
+    1,  // pop
+    1,  // dup
+    1,  // swap
+    1,  // add
+    1,  // sub
+    1,  // mul
+    2,  // div (zero check)
+    2,  // rem
+    1,  // neg
+    6,  // concat (formats and allocates)
+    1,  // eq
+    1,  // ne
+    1,  // lt
+    1,  // le
+    1,  // gt
+    1,  // ge
+    1,  // and
+    1,  // or
+    1,  // not
+    1,  // jump
+    1,  // jump_if_false
+    1,  // jump_if_true
+    6,  // call (locals setup + host frame)
+    10, // native (host dispatch + security checks)
+    1,  // return
+    1,  // return_value
+];
+
 impl Insn {
+    /// This instruction's stable opcode index (`0..OPCODE_COUNT`), in
+    /// variant declaration order — the index into [`OPCODE_NAMES`],
+    /// [`OPCODE_WEIGHTS`], and the profiler's per-opcode tallies.
+    pub fn opcode(&self) -> usize {
+        match self {
+            Insn::PushInt(_) => 0,
+            Insn::PushStr(_) => 1,
+            Insn::PushBool(_) => 2,
+            Insn::PushNull => 3,
+            Insn::Load(_) => 4,
+            Insn::Store(_) => 5,
+            Insn::Pop => 6,
+            Insn::Dup => 7,
+            Insn::Swap => 8,
+            Insn::Add => 9,
+            Insn::Sub => 10,
+            Insn::Mul => 11,
+            Insn::Div => 12,
+            Insn::Rem => 13,
+            Insn::Neg => 14,
+            Insn::Concat => 15,
+            Insn::Eq => 16,
+            Insn::Ne => 17,
+            Insn::Lt => 18,
+            Insn::Le => 19,
+            Insn::Gt => 20,
+            Insn::Ge => 21,
+            Insn::And => 22,
+            Insn::Or => 23,
+            Insn::Not => 24,
+            Insn::Jump(_) => 25,
+            Insn::JumpIfFalse(_) => 26,
+            Insn::JumpIfTrue(_) => 27,
+            Insn::Call { .. } => 28,
+            Insn::CallNative { .. } => 29,
+            Insn::Return => 30,
+            Insn::ReturnValue => 31,
+        }
+    }
+
+    /// The opcode's display name (the assembler mnemonic).
+    pub fn name(&self) -> &'static str {
+        OPCODE_NAMES[self.opcode()]
+    }
+
     /// Net change this instruction applies to the operand-stack depth
     /// (pushes minus pops), assuming it does not trap.
     pub fn stack_delta(&self) -> i32 {
@@ -329,6 +455,64 @@ mod tests {
                 "{insn:?} computed pushes {pushes}"
             );
         }
+    }
+
+    #[test]
+    fn opcode_indices_are_dense_and_named() {
+        let samples = vec![
+            Insn::PushInt(1),
+            Insn::PushStr("s".into()),
+            Insn::PushBool(true),
+            Insn::PushNull,
+            Insn::Load(0),
+            Insn::Store(0),
+            Insn::Pop,
+            Insn::Dup,
+            Insn::Swap,
+            Insn::Add,
+            Insn::Sub,
+            Insn::Mul,
+            Insn::Div,
+            Insn::Rem,
+            Insn::Neg,
+            Insn::Concat,
+            Insn::Eq,
+            Insn::Ne,
+            Insn::Lt,
+            Insn::Le,
+            Insn::Gt,
+            Insn::Ge,
+            Insn::And,
+            Insn::Or,
+            Insn::Not,
+            Insn::Jump(0),
+            Insn::JumpIfFalse(0),
+            Insn::JumpIfTrue(0),
+            Insn::Call {
+                method: "m".into(),
+                argc: 0,
+            },
+            Insn::CallNative {
+                name: "n".into(),
+                argc: 0,
+            },
+            Insn::Return,
+            Insn::ReturnValue,
+        ];
+        assert_eq!(samples.len(), OPCODE_COUNT, "one sample per variant");
+        for (expected, insn) in samples.iter().enumerate() {
+            assert_eq!(insn.opcode(), expected, "{insn:?} index is stable");
+            assert_eq!(insn.name(), OPCODE_NAMES[expected]);
+            assert!(OPCODE_WEIGHTS[expected] >= 1, "weights are positive");
+        }
+        assert_eq!(
+            Insn::CallNative {
+                name: "n".into(),
+                argc: 1
+            }
+            .name(),
+            "native"
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use super::image::{ClassImage, Insn, Value};
+use jmp_obs::Profiler;
+
+use super::image::{ClassImage, Insn, Value, OPCODE_COUNT, OPCODE_NAMES, OPCODE_WEIGHTS};
 use super::verify::verify;
 use crate::error::VmError;
 use crate::thread::check_interrupt;
@@ -66,7 +69,106 @@ impl InterpStats {
 }
 
 /// How often the interpreter polls for interruption (in instructions).
+/// Doubles as the profiler's safepoint: the per-opcode tallies
+/// accumulated in [`ProfTally`] re-read the accounting switch here and
+/// are pushed to the [`Profiler`] every
+/// [`PROFILE_FLUSH_SAFEPOINTS`]th visit.
 const INTERRUPT_CHECK_EVERY: u64 = 1024;
+
+/// Per-run opcode tally, flushed to the VM [`Profiler`] at safepoints.
+///
+/// The hot dispatch loop pays one branchless masked array add per
+/// instruction (with a zero addend while accounting is off — `active` is
+/// re-read from the profiler only at safepoints, so toggles take effect
+/// within `INTERRUPT_CHECK_EVERY` instructions). Batch wall time is
+/// apportioned across the batch's opcodes by the profiler using the
+/// installed weight model.
+struct ProfTally {
+    profiler: Option<Profiler>,
+    app: Option<u64>,
+    active: bool,
+    counts: [u64; OPCODE_COUNT],
+    safepoints: u32,
+    started: Instant,
+}
+
+/// The batch is pushed every Nth safepoint (4 × 1024 instructions), not
+/// at every one: `record_block`'s locks and apportionment are the
+/// dominant accounting cost, and amortizing them 4× keeps the hot-loop
+/// overhead comfortably inside the ≤5% budget. The accounting switch is
+/// still re-read at *every* safepoint, so toggle latency stays at
+/// `INTERRUPT_CHECK_EVERY` instructions.
+const PROFILE_FLUSH_SAFEPOINTS: u32 = 4;
+
+// `tally` masks the opcode index instead of bounds-checking it.
+const _: () = assert!(OPCODE_COUNT.is_power_of_two());
+
+impl ProfTally {
+    /// Resolves the profiler: an explicit one (benches, embedding) wins,
+    /// otherwise the ambient VM's. Installs the opcode name/weight model on
+    /// first contact (first-wins, idempotent).
+    fn new(explicit: Option<&Profiler>) -> ProfTally {
+        let profiler = explicit
+            .cloned()
+            .or_else(|| crate::Vm::current().map(|vm| vm.obs().profiler().clone()));
+        let app = crate::thread::current_app_context().map(|ctx| ctx.app_id());
+        let active = match &profiler {
+            Some(p) => {
+                p.install_model(&OPCODE_NAMES, &OPCODE_WEIGHTS);
+                p.accounting_enabled()
+            }
+            None => false,
+        };
+        ProfTally {
+            profiler,
+            app,
+            active,
+            counts: [0; OPCODE_COUNT],
+            safepoints: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The hot-path increment: one branchless masked array add. The
+    /// addend is 0 while accounting is off, so an inactive tally stays
+    /// all-zero and the safepoint flush skips it.
+    #[inline]
+    fn tally(&mut self, opcode: usize) {
+        self.counts[opcode & (OPCODE_COUNT - 1)] += self.active as u64;
+    }
+
+    /// Safepoint: re-read the accounting switch, and push the batch on
+    /// every [`PROFILE_FLUSH_SAFEPOINTS`]th visit.
+    fn at_safepoint(&mut self) {
+        if self.profiler.is_some() {
+            self.safepoints = self.safepoints.wrapping_add(1);
+            if self.safepoints.is_multiple_of(PROFILE_FLUSH_SAFEPOINTS) {
+                self.flush();
+            }
+            self.active = self
+                .profiler
+                .as_ref()
+                .is_some_and(Profiler::accounting_enabled);
+        }
+    }
+
+    /// Pushes the accumulated batch (if any) to the profiler and restarts
+    /// the batch timer.
+    fn flush(&mut self) {
+        if self.counts.iter().any(|&c| c > 0) {
+            let elapsed = self.started.elapsed().as_nanos() as u64;
+            if let Some(profiler) = &self.profiler {
+                profiler.record_block(self.app, &self.counts, elapsed);
+            }
+            self.counts = [0; OPCODE_COUNT];
+        }
+        self.started = Instant::now();
+    }
+
+    fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+}
 
 /// Maximum intra-class call depth. Interpreted calls consume host stack
 /// frames, so this is sized to stay well inside a default 2 MiB thread stack
@@ -86,6 +188,7 @@ pub struct Interpreter {
     host: Arc<dyn NativeHost>,
     stats: InterpStats,
     fuel: Option<u64>,
+    profiler: Option<Profiler>,
 }
 
 impl std::fmt::Debug for Interpreter {
@@ -111,6 +214,7 @@ impl Interpreter {
             host,
             stats: InterpStats::default(),
             fuel: None,
+            profiler: None,
         })
     }
 
@@ -118,6 +222,14 @@ impl Interpreter {
     /// call chain; exceeding it traps.
     pub fn with_fuel(mut self, fuel: u64) -> Interpreter {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Directs opcode accounting and stack sampling to `profiler` instead
+    /// of the ambient VM's ([`Vm::current`](crate::Vm::current)) — for
+    /// benches and embedding without a VM.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Interpreter {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -141,7 +253,10 @@ impl Interpreter {
     /// anything the [`NativeHost`] raises.
     pub fn run(&self, method: &str, args: Vec<Value>) -> Result<Value> {
         let mut budget = self.fuel;
-        self.run_method(method, args, 0, &mut budget)
+        let mut prof = ProfTally::new(self.profiler.as_ref());
+        let result = self.run_method(method, args, 0, &mut budget, &mut prof);
+        prof.flush();
+        result
     }
 
     fn run_method(
@@ -150,6 +265,7 @@ impl Interpreter {
         args: Vec<Value>,
         depth: usize,
         budget: &mut Option<u64>,
+        prof: &mut ProfTally,
     ) -> Result<Value> {
         if depth >= MAX_CALL_DEPTH {
             return Err(VmError::trap(format!(
@@ -169,11 +285,21 @@ impl Interpreter {
         }
         let mut locals = vec![Value::Null; usize::from(m.locals)];
         locals[..args.len()].clone_from_slice(&args);
+        // Publish "Class.method" to the sampling profiler for the duration
+        // of this frame (no-op when sampling is off or no profiler exists).
+        let _loc = match prof.profiler() {
+            Some(p) if p.sampling_enabled() => Some(crate::profloc::frame(
+                &format!("{}.{}", self.image.name, m.name),
+                Some(p),
+            )),
+            _ => None,
+        };
         let mut stack: Vec<Value> = Vec::with_capacity(8);
         let mut pc: usize = 0;
         loop {
             let count = self.stats.instructions.fetch_add(1, Ordering::Relaxed) + 1;
             if count.is_multiple_of(INTERRUPT_CHECK_EVERY) {
+                prof.at_safepoint();
                 check_interrupt()?;
             }
             if let Some(fuel) = budget {
@@ -186,6 +312,7 @@ impl Interpreter {
             // `expect`s below are unreachable for verified images.
             let insn = &m.code[pc];
             pc += 1;
+            prof.tally(insn.opcode());
             match insn {
                 Insn::PushInt(v) => stack.push(Value::Int(*v)),
                 Insn::PushStr(s) => stack.push(Value::str(s)),
@@ -259,7 +386,7 @@ impl Interpreter {
                     self.stats.method_calls.fetch_add(1, Ordering::Relaxed);
                     let mut call_args = split_args(&mut stack, *argc)?;
                     call_args.reverse();
-                    let result = self.run_method(callee, call_args, depth + 1, budget)?;
+                    let result = self.run_method(callee, call_args, depth + 1, budget, prof)?;
                     stack.push(result);
                 }
                 Insn::CallNative { name, argc } => {
@@ -587,6 +714,116 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("takes 2"));
+    }
+
+    fn sum_loop() -> Vec<Insn> {
+        // locals: 0 = i, 1 = sum
+        vec![
+            Insn::PushInt(1),
+            Insn::Store(0),
+            Insn::PushInt(0),
+            Insn::Store(1),
+            Insn::Load(0), // 4: loop head
+            Insn::PushInt(500),
+            Insn::Le,
+            Insn::JumpIfFalse(17),
+            Insn::Load(1),
+            Insn::Load(0),
+            Insn::Add,
+            Insn::Store(1),
+            Insn::Load(0),
+            Insn::PushInt(1),
+            Insn::Add,
+            Insn::Store(0),
+            Insn::Jump(4),
+            Insn::Load(1), // 17
+            Insn::ReturnValue,
+        ]
+    }
+
+    #[test]
+    fn opcode_accounting_bills_an_explicit_profiler() {
+        let profiler = jmp_obs::Profiler::new();
+        let i = interp(single(sum_loop(), 0, 2)).with_profiler(profiler.clone());
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(125_250));
+        let report = profiler.report();
+        // Every executed instruction is tallied (accounting was on for the
+        // whole run, so the profiler and the raw stats counter agree).
+        assert_eq!(report.vm.instructions, i.stats().instructions());
+        let add = report
+            .vm
+            .opcodes
+            .iter()
+            .find(|o| o.opcode == "add")
+            .expect("add opcode accounted");
+        assert!(add.count >= 500, "two adds per iteration: {}", add.count);
+        assert!(report.flushes >= 1);
+    }
+
+    #[test]
+    fn accounting_toggle_takes_effect_at_safepoints() {
+        let profiler = jmp_obs::Profiler::new();
+        profiler.set_accounting(false);
+        let i = interp(single(sum_loop(), 0, 2)).with_profiler(profiler.clone());
+        i.run("main", vec![]).unwrap();
+        assert_eq!(profiler.report().vm.instructions, 0);
+        profiler.set_accounting(true);
+        i.run("main", vec![]).unwrap();
+        assert!(profiler.report().vm.instructions > 0);
+    }
+
+    #[test]
+    fn interpreted_frames_reach_the_sampler() {
+        // Sample from *inside* a native call, while the interpreted frames
+        // are live and published — deterministic, no cross-thread timing.
+        struct SampleHost(jmp_obs::Profiler);
+        impl NativeHost for SampleHost {
+            fn invoke(&self, _name: &str, _args: Vec<Value>) -> Result<Value> {
+                self.0.sample_once(1_000);
+                Ok(Value::Null)
+            }
+        }
+        let profiler = jmp_obs::Profiler::new();
+        let image = ClassImage {
+            name: "Deep".into(),
+            methods: vec![
+                MethodImage {
+                    name: "main".into(),
+                    params: 0,
+                    locals: 0,
+                    code: vec![
+                        Insn::Call {
+                            method: "leaf".into(),
+                            argc: 0,
+                        },
+                        Insn::ReturnValue,
+                    ],
+                },
+                MethodImage {
+                    name: "leaf".into(),
+                    params: 0,
+                    locals: 0,
+                    code: vec![
+                        Insn::CallNative {
+                            name: "snap".into(),
+                            argc: 0,
+                        },
+                        Insn::ReturnValue,
+                    ],
+                },
+            ],
+        };
+        let i = Interpreter::new(Arc::new(image), Arc::new(SampleHost(profiler.clone())))
+            .unwrap()
+            .with_profiler(profiler.clone());
+        i.run("main", vec![]).unwrap();
+        let report = profiler.report();
+        assert!(
+            report.vm.stacks.keys().any(|k| k == "Deep.main;Deep.leaf"),
+            "stacks: {:?}",
+            report.vm.stacks.keys().collect::<Vec<_>>()
+        );
+        crate::profloc::clear();
     }
 
     #[test]

@@ -21,7 +21,7 @@ mod stdlib;
 mod verify;
 
 pub use asm::assemble;
-pub use image::{ClassImage, Insn, MethodImage, Value};
+pub use image::{ClassImage, Insn, MethodImage, Value, OPCODE_COUNT, OPCODE_NAMES, OPCODE_WEIGHTS};
 pub use machine::{InterpStats, Interpreter, NativeHost, NoNatives};
 pub use stdlib::invoke_pure;
 pub use verify::verify;

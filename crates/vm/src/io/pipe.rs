@@ -264,7 +264,7 @@ impl PipeReader {
                     if trace::current().is_none() {
                         trace::install(Some(ctx));
                     }
-                    let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    let latency = timer.map_or(0, |t| recorder.elapsed_ns(t));
                     recorder.record_with_ctx(SpanCategory::Pipe, "pipe.read", ctx, None, latency);
                 }
                 return Ok(total);
@@ -403,7 +403,7 @@ impl PipeWriter {
                 if let Some(ctx) = trace::current() {
                     state.trace = Some(ctx);
                 }
-                let latency = timer.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let latency = timer.map_or(0, |t| recorder.elapsed_ns(t));
                 recorder.record_latency(SpanCategory::Pipe, "pipe.write", None, latency);
             }
         }

@@ -58,6 +58,7 @@ mod error;
 mod group;
 pub mod interp;
 pub mod io;
+mod profloc;
 mod properties;
 pub mod stack;
 /// VM threads: daemon flags, interruption, joins, and the current-thread

@@ -1,0 +1,134 @@
+//! Per-thread publication of the current call location for the sampling
+//! profiler.
+//!
+//! Each thread that executes attributable code owns a
+//! [`ThreadLoc`](jmp_obs::ThreadLoc) slot registered with the VM's
+//! [`Profiler`]; every frame transition republishes the thread's *entire*
+//! shadow stack into the slot (a `Vec<Arc<str>>` swap under a `try_lock`),
+//! so the profiler's sampler thread can read a coherent stack at any
+//! instant without stopping the world. A contended publish is simply
+//! dropped — the next transition republishes the complete stack, so the
+//! slot self-heals and the publisher never blocks.
+//!
+//! Frames come from two places: [`crate::stack::call_as`] publishes the
+//! class name of natively-executing library code, and the `jbc`
+//! interpreter publishes `Class.method` per interpreted call. Publication
+//! is gated on [`Profiler::sampling_enabled`] (one atomic load) and is a
+//! no-op on threads with no reachable profiler.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use jmp_obs::{Profiler, ThreadLoc};
+
+enum LocState {
+    /// No profiler resolved on this thread yet; each push retries, so a
+    /// thread that later enters a VM starts publishing.
+    Unresolved,
+    /// Registered with the profiler; `shadow` mirrors the published stack.
+    Active {
+        profiler: Profiler,
+        slot: Arc<ThreadLoc>,
+        shadow: Vec<Arc<str>>,
+    },
+}
+
+thread_local! {
+    static LOC: RefCell<LocState> = const { RefCell::new(LocState::Unresolved) };
+}
+
+/// Pushes `name` (a class or `Class.method` label) onto the thread's
+/// published stack, returning a guard that pops it on drop.
+///
+/// `hint` supplies a profiler when no VM is current on the thread (benches,
+/// embedding); otherwise the ambient [`Vm::current`](crate::Vm::current)
+/// profiler is used. When no profiler is reachable or sampling is disabled
+/// the guard is a no-op.
+pub(crate) fn frame(name: &str, hint: Option<&Profiler>) -> FrameGuard {
+    let pushed = LOC.with(|loc| {
+        let mut state = loc.borrow_mut();
+        if let LocState::Unresolved = &*state {
+            let resolved = hint
+                .cloned()
+                .or_else(|| crate::Vm::current().map(|vm| vm.obs().profiler().clone()));
+            let Some(profiler) = resolved else {
+                return false;
+            };
+            let app = crate::thread::current_app_context().map(|ctx| ctx.app_id());
+            let slot = profiler.register_thread(app);
+            *state = LocState::Active {
+                profiler,
+                slot,
+                shadow: Vec::new(),
+            };
+        }
+        let LocState::Active {
+            profiler,
+            slot,
+            shadow,
+        } = &mut *state
+        else {
+            return false;
+        };
+        if !profiler.sampling_enabled() {
+            return false;
+        }
+        shadow.push(Arc::from(name));
+        slot.publish(shadow);
+        true
+    });
+    FrameGuard { pushed }
+}
+
+/// Drops the thread's location state (spawn-wrapper teardown). The
+/// profiler's weak registry entry dies with the slot and is pruned on the
+/// next sampling pass.
+pub(crate) fn clear() {
+    LOC.with(|loc| *loc.borrow_mut() = LocState::Unresolved);
+}
+
+/// Pops the frame pushed by [`frame`] when dropped (no-op if nothing was
+/// pushed).
+pub(crate) struct FrameGuard {
+    pushed: bool,
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        if !self.pushed {
+            return;
+        }
+        LOC.with(|loc| {
+            let mut state = loc.borrow_mut();
+            if let LocState::Active { slot, shadow, .. } = &mut *state {
+                shadow.pop();
+                slot.publish(shadow);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_publish_and_pop_with_an_explicit_profiler() {
+        let profiler = Profiler::new();
+        {
+            let _a = frame("Outer", Some(&profiler));
+            let _b = frame("Outer.inner", Some(&profiler));
+            assert!(profiler.sample_once(1_000) >= 1);
+            let report = profiler.report();
+            assert!(report.vm.stacks.keys().any(|k| k == "Outer;Outer.inner"));
+        }
+        clear();
+    }
+
+    #[test]
+    fn no_profiler_means_noop_guards() {
+        clear();
+        let guard = frame("Nothing", None);
+        assert!(!guard.pushed);
+    }
+}

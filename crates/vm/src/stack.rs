@@ -58,6 +58,7 @@ pub fn call_as<R>(class_name: &str, domain: Arc<ProtectionDomain>, f: impl FnOnc
         privileged: false,
     });
     let _guard = PopGuard(());
+    let _loc = crate::profloc::frame(class_name, None);
     f()
 }
 

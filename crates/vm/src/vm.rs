@@ -756,6 +756,7 @@ impl ThreadBuilder {
             });
             jmp_obs::trace::clear();
             stack::clear();
+            crate::profloc::clear();
             CURRENT_VM.with(|c| *c.borrow_mut() = None);
             vm_for_thread.inner.threads.write().remove(&id);
             // Release the ledger slot *before* deregistering: the group's

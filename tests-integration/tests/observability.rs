@@ -72,6 +72,14 @@ fn unprivileged_readout_is_denied_and_the_denial_is_audited() {
             jmp_core::obs::audit_records(&rt, None, None).is_err(),
             "the audit log is gated"
         );
+        assert!(
+            jmp_core::obs::profile_report(&rt).is_err(),
+            "the profiler read-out is gated"
+        );
+        assert!(
+            jmp_core::obs::set_profiling(&rt, false).is_err(),
+            "steering the profiler is gated too"
+        );
         Ok(())
     });
     rt.launch_as("bob", "nosy", &[])
@@ -90,6 +98,12 @@ fn unprivileged_readout_is_denied_and_the_denial_is_audited() {
             .any(|r| r.permission.contains("readAuditLog")),
         "the refused audit read is audited: {denials:?}"
     );
+    assert!(
+        denials.iter().any(|r| r.permission.contains("readProfile")),
+        "the refused profile read is audited: {denials:?}"
+    );
+    // The profiler stayed on: the unprivileged set_profiling was refused.
+    assert!(rt.vm().obs().profiler().is_enabled());
     rt.shutdown();
 }
 
@@ -106,6 +120,9 @@ fn system_user_grant_admits_the_readout() {
         let snapshot = jmp_core::obs::vm_snapshot(&rt).expect("system may snapshot");
         assert!(snapshot.vm.counters["security.checks"] > 0);
         jmp_core::obs::audit_records(&rt, None, None).expect("system may read audit");
+        let report = jmp_core::obs::profile_report(&rt).expect("system may read the profile");
+        assert!(report.accounting_enabled, "the profiler is on by default");
+        jmp_core::obs::profile_flame(&rt, None).expect("system may export the flamegraph");
         Ok(())
     });
     rt.launch_as("system", "probe", &[])

@@ -1,0 +1,140 @@
+//! Profiler integration: opcode-accounting attribution across thread
+//! spawn — work done by a spawned thread bills the spawner's application,
+//! work done by a detached thread bills only the VM bucket — plus the
+//! always-on defaults inside a real runtime.
+
+use std::sync::Arc;
+
+use jmp_vm::interp::{assemble, Interpreter, NoNatives, Value};
+use tests_integration::{register_app, runtime};
+
+const CRUNCH: &str = r#"
+    class Crunch
+    method main/1 locals=2
+        push_int 0
+        store 1
+    loop:
+        load 0
+        push_int 0
+        gt
+        jump_if_false done
+        load 1
+        load 0
+        add
+        store 1
+        load 0
+        push_int 1
+        sub
+        store 0
+        jump loop
+    done:
+        load 1
+        return_value
+"#;
+
+/// Iterations of the crunch loop — at 8 instructions per iteration this
+/// comfortably clears the attribution thresholds below.
+const N: i64 = 2_000;
+
+fn run_crunch() {
+    let image = Arc::new(assemble(CRUNCH).expect("crunch assembles"));
+    let interp = Interpreter::new(image, Arc::new(NoNatives)).expect("interpreter builds");
+    interp
+        .run("main", vec![Value::Int(N)])
+        .expect("crunch runs");
+}
+
+#[test]
+fn spawned_thread_work_bills_the_spawning_app() {
+    // Ownership propagates across spawn (paper §4: threads created by an
+    // application belong to it) — and so does profile attribution: the
+    // child thread's interpreter work lands in the spawner's view.
+    let rt = runtime();
+    register_app(&rt, "spawner", |_| {
+        let vm = jmp_vm::Vm::current().expect("on a VM thread");
+        let child = vm
+            .thread_builder()
+            .name("crunch-worker")
+            .spawn(|_vm| run_crunch())?;
+        child.join()?;
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "spawner", &[]).unwrap();
+    let id = app.id().0;
+    app.wait_for().unwrap();
+
+    let report = rt.vm().obs().profiler().report();
+    let view = report
+        .view(Some(id))
+        .expect("the spawner application has a profile view");
+    assert!(
+        view.instructions >= N as u64,
+        "the child's interpreter work is billed to the spawner: {}",
+        view.instructions
+    );
+    assert!(
+        view.opcodes
+            .iter()
+            .any(|o| o.opcode == "add" && o.count > 0),
+        "the opcode mix reflects the child's workload"
+    );
+    // The VM-wide view covers it too.
+    assert!(report.vm.instructions >= view.instructions);
+    rt.shutdown();
+}
+
+#[test]
+fn detached_thread_work_bills_the_vm_bucket_only() {
+    // A detached thread carries no AppContext, so its interpreter work is
+    // VM overhead, not application work — it must not inflate the
+    // launching application's profile.
+    let rt = runtime();
+    register_app(&rt, "detacher", |_| {
+        let vm = jmp_vm::Vm::current().expect("on a VM thread");
+        let child = vm
+            .thread_builder()
+            .name("free-cruncher")
+            .detached()
+            .spawn(|_vm| run_crunch())?;
+        child.join()?;
+        Ok(())
+    });
+    let app = rt.launch_as("bob", "detacher", &[]).unwrap();
+    let id = app.id().0;
+    app.wait_for().unwrap();
+
+    let report = rt.vm().obs().profiler().report();
+    assert!(
+        report.vm.instructions >= N as u64,
+        "the detached work still lands in the VM bucket: {}",
+        report.vm.instructions
+    );
+    // The application executed no interpreter work of its own: its view is
+    // either absent or carries zero accounted instructions.
+    let app_instructions = report.view(Some(id)).map_or(0, |v| v.instructions);
+    assert_eq!(
+        app_instructions, 0,
+        "detached work must not bill the launching application"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn profiler_is_always_on_and_attributes_in_app_work() {
+    // The baseline case: interpreter work done directly on the
+    // application's own thread, with no opt-in anywhere.
+    let rt = runtime();
+    assert!(rt.vm().obs().profiler().is_enabled(), "on by default");
+    register_app(&rt, "direct", |_| {
+        run_crunch();
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "direct", &[]).unwrap();
+    let id = app.id().0;
+    app.wait_for().unwrap();
+
+    let report = rt.vm().obs().profiler().report();
+    let view = report.view(Some(id)).expect("the app has a profile view");
+    assert!(view.instructions >= N as u64);
+    rt.shutdown();
+}
