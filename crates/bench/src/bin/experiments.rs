@@ -8,6 +8,7 @@
 //! experiments --bench-json BENCH_E14.json e14
 //! experiments --quota-json BENCH_E15.json e15
 //! experiments --profile-json BENCH_E16.json --profile-flame e16-flame.txt e16
+//! experiments --infer-json BENCH_E17.json --infer-policy inferred.policy --infer-diff e17-diff.json e17
 //! ```
 
 use std::io::Write;
@@ -64,6 +65,36 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut infer_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--infer-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            infer_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--infer-json needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let mut infer_policy_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--infer-policy") {
+        args.remove(pos);
+        if pos < args.len() {
+            infer_policy_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--infer-policy needs a file path");
+            std::process::exit(2);
+        }
+    }
+    let mut infer_diff_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--infer-diff") {
+        args.remove(pos);
+        if pos < args.len() {
+            infer_diff_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--infer-diff needs a file path");
+            std::process::exit(2);
+        }
+    }
     let mut chrome_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
         args.remove(pos);
@@ -96,19 +127,21 @@ fn main() {
     // And for the E16 profile artifacts (either flag triggers the run).
     let e16_full = (profile_json_path.is_some() || profile_flame_path.is_some())
         .then(jmp_bench::exp_profile::e16_profile_full);
+    // And for the E17 inference artifacts (any of the three flags).
+    let e17_full =
+        (infer_json_path.is_some() || infer_policy_path.is_some() || infer_diff_path.is_some())
+            .then(jmp_bench::exp_infer::e17_infer_full);
 
     let mut all_tables = Vec::new();
     for id in &ids {
-        let tables = match (
-            (&e14_full, id.eq_ignore_ascii_case("e14")),
-            (&e15_full, id.eq_ignore_ascii_case("e15")),
-            (&e16_full, id.eq_ignore_ascii_case("e16")),
-        ) {
-            ((Some((tables, _)), true), _, _) => Some(tables.clone()),
-            (_, (Some((tables, _)), true), _) => Some(tables.clone()),
-            (_, _, (Some((tables, _)), true)) => Some(tables.clone()),
-            _ => jmp_bench::run_experiment(id),
+        let already_ran = match id.to_ascii_lowercase().as_str() {
+            "e14" => e14_full.as_ref().map(|(tables, _)| tables.clone()),
+            "e15" => e15_full.as_ref().map(|(tables, _)| tables.clone()),
+            "e16" => e16_full.as_ref().map(|(tables, _)| tables.clone()),
+            "e17" => e17_full.as_ref().map(|(tables, _)| tables.clone()),
+            _ => None,
         };
+        let tables = already_ran.or_else(|| jmp_bench::run_experiment(id));
         match tables {
             Some(tables) => {
                 for table in tables {
@@ -169,6 +202,37 @@ fn main() {
         if let Some(path) = profile_flame_path {
             // flamegraph.pl-compatible collapsed stacks of the same run.
             std::fs::write(&path, &artifacts.flamegraph).expect("write flamegraph output");
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if infer_json_path.is_some() || infer_policy_path.is_some() || infer_diff_path.is_some() {
+        let (tables, artifacts) = e17_full.expect("e17 ran for --infer-*");
+        if let Some(path) = infer_json_path {
+            // The E17 inference summary plus its tables: CI gates on zero
+            // replay denials and the strict grant-count reduction.
+            #[derive(serde::Serialize)]
+            struct InferRun {
+                summary: jmp_bench::exp_infer::E17Summary,
+                tables: Vec<jmp_bench::table::Table>,
+            }
+            let run = InferRun {
+                summary: artifacts.summary.clone(),
+                tables,
+            };
+            let json = serde_json::to_string_pretty(&run).expect("infer summary serializes");
+            std::fs::write(&path, json).expect("write infer json output");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = infer_policy_path {
+            // The inferred least-privilege policy, loadable by Policy::parse.
+            std::fs::write(&path, &artifacts.policy_text).expect("write inferred policy");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = infer_diff_path {
+            // The exercised-vs-configured diff of the hand-written policy.
+            let json = serde_json::to_string_pretty(&artifacts.diff).expect("diff serializes");
+            std::fs::write(&path, json).expect("write infer diff output");
             eprintln!("wrote {path}");
         }
     }

@@ -27,8 +27,9 @@ const WARM_ITERS: u32 = 50_000;
 const PASSES: usize = 3;
 
 /// Runs `f` under a stack of `domains` (oldest first), like nested
-/// application frames.
-fn with_frames<R>(domains: &[Arc<ProtectionDomain>], f: impl FnOnce() -> R) -> R {
+/// application frames. Shared with E17, which re-measures the same warm
+/// path with the demand ledger toggled.
+pub(crate) fn with_frames<R>(domains: &[Arc<ProtectionDomain>], f: impl FnOnce() -> R) -> R {
     match domains.split_first() {
         None => f(),
         Some((domain, rest)) => {
@@ -39,7 +40,7 @@ fn with_frames<R>(domains: &[Arc<ProtectionDomain>], f: impl FnOnce() -> R) -> R
 
 /// The benchmark policy: a spread of file grants so the cold walk exercises
 /// the permission index, all covering the demand used in the measurement.
-fn bench_policy() -> Policy {
+pub(crate) fn bench_policy() -> Policy {
     let mut policy = Policy::new();
     policy.grant_code(
         CodeSource::local("file:/apps/-"),
@@ -54,7 +55,7 @@ fn bench_policy() -> Policy {
 }
 
 /// A stack of `n` distinct application domains resolved against `policy`.
-fn bench_domains(vm: &Vm, n: usize) -> Vec<Arc<ProtectionDomain>> {
+pub(crate) fn bench_domains(vm: &Vm, n: usize) -> Vec<Arc<ProtectionDomain>> {
     (0..n)
         .map(|i| {
             let source = CodeSource::local(format!("file:/apps/bench{i}"));
@@ -268,6 +269,7 @@ mod tests {
 
     #[test]
     fn e13_runs_and_warm_beats_cold() {
+        let _serial = crate::harness::latency_test_guard();
         let tables = e13_access_fastpath();
         assert_eq!(tables.len(), 3);
         // Every functional row in the reload table must be ok.

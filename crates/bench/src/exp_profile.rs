@@ -324,6 +324,7 @@ mod tests {
 
     #[test]
     fn e16_profiles_both_apps_and_exports() {
+        let _serial = crate::harness::latency_test_guard();
         let (tables, artifacts) = e16_profile_full();
         assert_eq!(tables.len(), 3);
         let summary = &artifacts.summary;

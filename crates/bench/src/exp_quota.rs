@@ -453,6 +453,7 @@ mod tests {
 
     #[test]
     fn e15_meets_the_acceptance_thresholds() {
+        let _serial = crate::harness::latency_test_guard();
         let (tables, summary) = e15_quota_storm_full();
         assert_eq!(tables.len(), 2);
         assert!(

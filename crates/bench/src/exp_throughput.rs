@@ -513,6 +513,7 @@ mod tests {
 
     #[test]
     fn e14_meets_the_acceptance_thresholds() {
+        let _serial = crate::harness::latency_test_guard();
         let (tables, summary) = e14_data_plane_full();
         assert_eq!(tables.len(), 3);
         assert!(

@@ -1,9 +1,20 @@
 //! Shared setup for experiments and benches: a standard two-user runtime
 //! with the paper's policy and all §6 tools installed.
 
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
 use jmp_awt::DispatchMode;
 use jmp_core::MpRuntime;
 use jmp_security::Policy;
+
+/// Serializes latency-sensitive experiment unit tests (E13–E17) within the
+/// test binary: each measures wall-clock thresholds (victim containment,
+/// warm-check overhead, profiler tax) that parallel sibling tests running
+/// storms on the same cores can push past their acceptance bounds.
+pub fn latency_test_guard() -> MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The standard experiment policy: the shell's defaults plus the paper's
 /// per-user home-directory grants (§5.3 rules 3 and 4) and the backup rule

@@ -15,15 +15,22 @@
 //! * `RuntimePermission("readProfile")` — [`set_profiling`],
 //!   [`profiling_enabled`], [`profile_report`], [`profile_flame`],
 //!   [`reset_profile`] (opcode mixes and sampled stacks reveal what another
-//!   application is computing, so the profiler read-out is privileged too).
+//!   application is computing, so the profiler read-out is privileged too);
+//! * `RuntimePermission("readDemands")` — [`demand_rows`] (the demand ledger
+//!   names every permission every application exercised: a capability map of
+//!   the whole VM);
+//! * `RuntimePermission("inferPolicy")` — [`inferred_policy`],
+//!   [`policy_diff`], [`reset_demands`], [`set_demand_recording`] (deriving
+//!   or clearing policy evidence shapes future policy decisions, a step
+//!   beyond merely reading it).
 //!
-//! Both are typically granted per *user* (`grant user "admin" { permission
+//! All are typically granted per *user* (`grant user "admin" { permission
 //! runtime readMetrics; }`), exercised through the §5.3 mechanism by any
 //! program whose code source holds `exerciseUserPermissions`. A denied
 //! read-out is itself a denial: it lands in the audit trail like any other.
 
-use jmp_obs::{AuditRecord, HubSnapshot, ProfileReport, RegistrySnapshot, WatchdogRow};
-use jmp_security::Permission;
+use jmp_obs::{AuditRecord, DemandRow, HubSnapshot, ProfileReport, RegistrySnapshot, WatchdogRow};
+use jmp_security::{ObservedDemand, Permission, Policy, PolicyDiffRow};
 use jmp_vm::{ResourceKind, RESOURCE_KINDS};
 
 use crate::runtime::MpRuntime;
@@ -350,4 +357,110 @@ pub fn watchdog_rows(rt: &MpRuntime) -> Result<Vec<WatchdogRow>> {
     rt.vm()
         .check_permission(&Permission::runtime("readMetrics"))?;
     Ok(rt.vm().obs().watchdogs().rows())
+}
+
+/// The demand ledger's rows, optionally filtered by application id and/or
+/// user — the shell's `policyinfer report` and the `vmstat` demands
+/// section.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("readDemands")`: the ledger names every permission
+/// every application exercised, a capability map of the whole VM.
+pub fn demand_rows(rt: &MpRuntime, app: Option<u64>, user: Option<&str>) -> Result<Vec<DemandRow>> {
+    rt.vm()
+        .check_permission(&Permission::runtime("readDemands"))?;
+    Ok(rt
+        .vm()
+        .obs()
+        .demands()
+        .rows()
+        .into_iter()
+        .filter(|row| app.is_none_or(|id| row.app == Some(id)))
+        .filter(|row| user.is_none_or(|u| row.user.as_deref() == Some(u)))
+        .collect())
+}
+
+/// Parses ledger rows back into typed demands for the inference engine.
+/// Rows whose permission text fails to parse (impossible for rows the VM
+/// wrote, possible for a truncated import) are skipped.
+fn observed_demands(rows: &[DemandRow]) -> Vec<ObservedDemand> {
+    rows.iter()
+        .filter_map(|row| {
+            let permission = Policy::parse_permission_entry(&row.permission).ok()?;
+            Some(ObservedDemand {
+                source: row.source.clone(),
+                user: row.user.clone(),
+                permission,
+                granted: row.granted,
+                denied: row.denied,
+                via_user: row.via_user,
+            })
+        })
+        .collect()
+}
+
+/// Runs least-privilege inference over the current demand ledger: the
+/// minimal policy covering every granted demand observed so far, with
+/// `resource "limit.*"` user grants carried from the installed policy —
+/// the shell's `policyinfer emit`.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("inferPolicy")`.
+pub fn inferred_policy(rt: &MpRuntime) -> Result<Policy> {
+    rt.vm()
+        .check_permission(&Permission::runtime("inferPolicy"))?;
+    let rows = rt.vm().obs().demands().rows();
+    Ok(jmp_security::infer_policy(
+        &observed_demands(&rows),
+        &rt.vm().policy(),
+    ))
+}
+
+/// The over-grant report: every installed grant entry, flagged with whether
+/// any observed demand exercised it — the shell's `policyinfer diff`.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("inferPolicy")`.
+pub fn policy_diff(rt: &MpRuntime) -> Result<Vec<PolicyDiffRow>> {
+    rt.vm()
+        .check_permission(&Permission::runtime("inferPolicy"))?;
+    let rows = rt.vm().obs().demands().rows();
+    Ok(jmp_security::diff_policy(
+        &rt.vm().policy(),
+        &observed_demands(&rows),
+    ))
+}
+
+/// Clears the demand ledger (and the decision cache holding its cells),
+/// starting a fresh observation window — the shell's `policyinfer reset`.
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("inferPolicy")`.
+pub fn reset_demands(rt: &MpRuntime) -> Result<()> {
+    rt.vm()
+        .check_permission(&Permission::runtime("inferPolicy"))?;
+    rt.vm().reset_demands();
+    Ok(())
+}
+
+/// Turns demand recording on or off (it is on — "always-on" — by default;
+/// off reduces the ledger's warm-path cost to one relaxed load).
+///
+/// # Errors
+///
+/// [`crate::Error::Security`] unless the caller holds
+/// `RuntimePermission("inferPolicy")`.
+pub fn set_demand_recording(rt: &MpRuntime, enabled: bool) -> Result<()> {
+    rt.vm()
+        .check_permission(&Permission::runtime("inferPolicy"))?;
+    rt.vm().obs().demands().set_enabled(enabled);
+    Ok(())
 }

@@ -1,0 +1,505 @@
+//! The permission-demand ledger: an always-on, bounded record of every
+//! permission demand the VM's access-check chokepoint sees.
+//!
+//! The paper's operational pain is authoring per-user, per-code-source
+//! policies by hand (§5.3); demanded-permission traces are enough to derive
+//! minimal policies automatically. The ledger is the trace: one row per
+//! distinct (app, code source, user, permission) tuple, counting granted and
+//! denied outcomes with first/last timestamps on the hub's shared clock.
+//!
+//! The ledger is deliberately security-agnostic — it stores the *display
+//! form* of permissions and the code-source URL as plain strings, so
+//! `jmp-obs` keeps its no-`jmp-security` dependency rule. The inference
+//! engine (`jmp_security::infer`) parses the strings back into typed
+//! permissions.
+//!
+//! Hot-path contract: the VM's warm (decision-cache-hit) check must not
+//! measurably slow down. The slow `record` path (string keys, map insert,
+//! timestamps) runs only on full walks; it hands back an
+//! [`Arc<DemandCell>`] the caller caches next to the access decision, so a
+//! warm hit is exactly one relaxed `fetch_add` through
+//! [`DemandLedger::bump`]. The aggregate `demands.recorded` instrument is
+//! *derived* from the cells at export time
+//! ([`DemandLedger::sync_instruments`]) rather than bumped per observation,
+//! and the row timestamps have full-walk resolution: `last_ms` is the last
+//! time the decision was re-derived, not the last cache hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Counter;
+
+/// Default bound on distinct ledger rows. Past it, *new* tuples are dropped
+/// (and counted); existing rows keep counting.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// The live accumulator behind one ledger row. Handed to the VM so a warm
+/// cache hit bumps counts without re-deriving the string key.
+#[derive(Debug)]
+pub struct DemandCell {
+    granted: AtomicU64,
+    denied: AtomicU64,
+    // Set once true: some walk granted this demand via the running user's
+    // grants rather than the domain's own (paper §5.3 rule 1). Inference
+    // uses it to route the permission into a `grant user` block.
+    via_user: AtomicBool,
+    first_ms: u64,
+    last_ms: AtomicU64,
+}
+
+impl DemandCell {
+    fn new(at_ms: u64) -> DemandCell {
+        DemandCell {
+            granted: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+            via_user: AtomicBool::new(false),
+            first_ms: at_ms,
+            last_ms: AtomicU64::new(at_ms),
+        }
+    }
+}
+
+/// One exported ledger row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandRow {
+    /// The demanding application, when attributable.
+    pub app: Option<u64>,
+    /// Code-source URL of the domain the demand is charged to.
+    pub source: String,
+    /// The effective user at check time.
+    pub user: Option<String>,
+    /// Display form of the demanded permission (policy-entry syntax).
+    pub permission: String,
+    /// Times the demand was granted.
+    pub granted: u64,
+    /// Times the demand was denied (this domain refused it).
+    pub denied: u64,
+    /// Whether any grant went via the running user's permissions rather
+    /// than the domain's own.
+    pub via_user: bool,
+    /// First full-walk observation, milliseconds on the hub clock.
+    pub first_ms: u64,
+    /// Latest full-walk observation (cache re-derivation), milliseconds on
+    /// the hub clock. Warm cache hits bump counts only.
+    pub last_ms: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    app: Option<u64>,
+    source: Box<str>,
+    user: Option<Box<str>>,
+    permission: Box<str>,
+}
+
+struct LedgerInner {
+    enabled: AtomicBool,
+    // Bumped by reset so cached `Arc<DemandCell>` handles (e.g. inside the
+    // VM's decision cache) can be detected as stale by epoch-tagging.
+    epoch: AtomicU64,
+    capacity: usize,
+    map: RwLock<HashMap<Key, Arc<DemandCell>>>,
+    // Observation totals of rows cleared by `reset`, so `recorded` stays
+    // monotone across resets.
+    recorded_base: AtomicU64,
+    // Last total published into the `recorded` instrument.
+    published: AtomicU64,
+    recorded: Arc<Counter>,
+    dropped: Arc<Counter>,
+    unique: Arc<Counter>,
+}
+
+/// The bounded demand ledger. Cheap handle; clones share state.
+#[derive(Clone)]
+pub struct DemandLedger {
+    inner: Arc<LedgerInner>,
+}
+
+impl DemandLedger {
+    /// Creates a ledger bounded at `capacity` distinct rows, reporting into
+    /// the given `demands.recorded` / `demands.dropped` / `demands.unique`
+    /// counter instruments.
+    pub fn with_instruments(
+        capacity: usize,
+        recorded: Arc<Counter>,
+        dropped: Arc<Counter>,
+        unique: Arc<Counter>,
+    ) -> DemandLedger {
+        DemandLedger {
+            inner: Arc::new(LedgerInner {
+                enabled: AtomicBool::new(true),
+                epoch: AtomicU64::new(0),
+                capacity: capacity.max(1),
+                map: RwLock::new(HashMap::new()),
+                recorded_base: AtomicU64::new(0),
+                published: AtomicU64::new(0),
+                recorded,
+                dropped,
+                unique,
+            }),
+        }
+    }
+
+    /// A standalone ledger with private instruments (tests, benchmarks).
+    pub fn new(capacity: usize) -> DemandLedger {
+        DemandLedger::with_instruments(
+            capacity,
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+        )
+    }
+
+    /// Whether demands are being recorded. One relaxed load — the VM checks
+    /// this before touching the ledger at all.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off (it is on by default).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The reset epoch. A cached [`DemandCell`] handle tagged with an older
+    /// epoch belongs to a cleared ledger and must be re-recorded.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Records one demand observation, creating the row if it is new.
+    /// Returns the row's live cell for the caller to cache; `None` when the
+    /// ledger is full (the observation is counted as dropped) or disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        app: Option<u64>,
+        source: &str,
+        user: Option<&str>,
+        permission: &str,
+        granted: bool,
+        via_user: bool,
+        at_ms: u64,
+    ) -> Option<Arc<DemandCell>> {
+        if !self.enabled() {
+            return None;
+        }
+        let key = Key {
+            app,
+            source: source.into(),
+            user: user.map(Into::into),
+            permission: permission.into(),
+        };
+        // The read guard must be released as a statement of its own before
+        // the write path runs — holding it across `map.write()` on the same
+        // thread deadlocks.
+        let existing = self.inner.map.read().get(&key).map(Arc::clone);
+        let cell = match existing {
+            Some(cell) => cell,
+            None => {
+                let mut map = self.inner.map.write();
+                if map.len() >= self.inner.capacity && !map.contains_key(&key) {
+                    drop(map);
+                    self.inner.dropped.inc();
+                    return None;
+                }
+                Arc::clone(map.entry(key).or_insert_with(|| {
+                    self.inner.unique.inc();
+                    Arc::new(DemandCell::new(at_ms))
+                }))
+            }
+        };
+        self.bump(&cell, granted);
+        if via_user {
+            cell.via_user.store(true, Ordering::Relaxed);
+        }
+        cell.last_ms.store(at_ms, Ordering::Relaxed);
+        Some(cell)
+    }
+
+    /// Bumps a previously returned cell: the warm-hit fast path. Exactly
+    /// one relaxed `fetch_add` — no clock, no strings, no shared counters.
+    /// The `via_user` flag and timestamps are full-walk facts recorded by
+    /// [`DemandLedger::record`]; the aggregate `demands.recorded`
+    /// instrument is derived from the cells at export time.
+    pub fn bump(&self, cell: &DemandCell, granted: bool) {
+        if granted {
+            cell.granted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            cell.denied.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Exports every row, sorted by (source, user, permission, app) so
+    /// reports and inference are deterministic.
+    pub fn rows(&self) -> Vec<DemandRow> {
+        let mut rows: Vec<DemandRow> = self
+            .inner
+            .map
+            .read()
+            .iter()
+            .map(|(key, cell)| DemandRow {
+                app: key.app,
+                source: key.source.to_string(),
+                user: key.user.as_deref().map(str::to_owned),
+                permission: key.permission.to_string(),
+                granted: cell.granted.load(Ordering::Relaxed),
+                denied: cell.denied.load(Ordering::Relaxed),
+                via_user: cell.via_user.load(Ordering::Relaxed),
+                first_ms: cell.first_ms,
+                last_ms: cell.last_ms.load(Ordering::Relaxed),
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            (&a.source, &a.user, &a.permission, a.app).cmp(&(
+                &b.source,
+                &b.user,
+                &b.permission,
+                b.app,
+            ))
+        });
+        rows
+    }
+
+    /// Number of distinct rows currently held.
+    pub fn unique_live(&self) -> usize {
+        self.inner.map.read().len()
+    }
+
+    /// Total observations recorded (including warm bumps), derived from the
+    /// live cells plus the totals of rows cleared by earlier resets.
+    pub fn recorded(&self) -> u64 {
+        let live: u64 = self
+            .inner
+            .map
+            .read()
+            .values()
+            .map(|cell| cell.granted.load(Ordering::Relaxed) + cell.denied.load(Ordering::Relaxed))
+            .sum();
+        self.inner.recorded_base.load(Ordering::Relaxed) + live
+    }
+
+    /// Publishes the derived observation total into the `demands.recorded`
+    /// instrument. The warm bump path never touches shared counters, so the
+    /// hub calls this when it exports a snapshot or rollup.
+    pub fn sync_instruments(&self) {
+        let total = self.recorded();
+        let previous = self.inner.published.swap(total, Ordering::Relaxed);
+        self.inner.recorded.add(total.saturating_sub(previous));
+    }
+
+    /// Observations refused because the ledger was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Clears every row and bumps the epoch so cached cells are re-derived.
+    /// The cleared rows' observation totals fold into `recorded`'s base so
+    /// the aggregate stays monotone.
+    pub fn reset(&self) {
+        let mut map = self.inner.map.write();
+        let cleared: u64 = map
+            .values()
+            .map(|cell| cell.granted.load(Ordering::Relaxed) + cell.denied.load(Ordering::Relaxed))
+            .sum();
+        self.inner
+            .recorded_base
+            .fetch_add(cleared, Ordering::Relaxed);
+        map.clear();
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for DemandLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DemandLedger")
+            .field("capacity", &self.inner.capacity)
+            .field("unique_live", &self.unique_live())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_exports_rows() {
+        let ledger = DemandLedger::new(16);
+        ledger.record(
+            Some(1),
+            "file:/apps/cat",
+            Some("alice"),
+            "permission file \"/home/alice/a\" \"read\"",
+            true,
+            true,
+            5,
+        );
+        ledger.record(
+            Some(1),
+            "file:/apps/cat",
+            Some("alice"),
+            "permission file \"/home/alice/a\" \"read\"",
+            true,
+            true,
+            9,
+        );
+        ledger.record(
+            Some(2),
+            "file:/apps/cat",
+            Some("bob"),
+            "permission file \"/home/alice/a\" \"read\"",
+            false,
+            false,
+            11,
+        );
+        let rows = ledger.rows();
+        assert_eq!(rows.len(), 2);
+        let alice = rows
+            .iter()
+            .find(|r| r.user.as_deref() == Some("alice"))
+            .unwrap();
+        assert_eq!(alice.granted, 2);
+        assert_eq!(alice.denied, 0);
+        assert!(alice.via_user);
+        assert_eq!(alice.first_ms, 5);
+        assert_eq!(alice.last_ms, 9);
+        let bob = rows
+            .iter()
+            .find(|r| r.user.as_deref() == Some("bob"))
+            .unwrap();
+        assert_eq!(bob.denied, 1);
+        assert!(!bob.via_user);
+        assert_eq!(ledger.recorded(), 3);
+        assert_eq!(ledger.unique_live(), 2);
+    }
+
+    #[test]
+    fn warm_bump_path_counts_without_rekeying() {
+        let ledger = DemandLedger::new(16);
+        let cell = ledger
+            .record(
+                None,
+                "file:/apps/sh",
+                None,
+                "permission runtime \"x\"",
+                true,
+                false,
+                1,
+            )
+            .unwrap();
+        for _ in 0..8 {
+            ledger.bump(&cell, true);
+        }
+        let rows = ledger.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].granted, 9);
+        // Timestamps have full-walk resolution: warm bumps leave last_ms at
+        // the last `record` call.
+        assert_eq!(rows[0].last_ms, 1);
+        assert_eq!(ledger.recorded(), 9);
+    }
+
+    #[test]
+    fn recorded_survives_reset_and_syncs_instruments() {
+        let recorded = Arc::new(Counter::new());
+        let ledger = DemandLedger::with_instruments(
+            8,
+            Arc::clone(&recorded),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+        );
+        let cell = ledger.record(None, "s", None, "p", true, false, 1).unwrap();
+        ledger.bump(&cell, true);
+        ledger.bump(&cell, false);
+        assert_eq!(ledger.recorded(), 3);
+        // The instrument lags until a sync.
+        assert_eq!(recorded.get(), 0);
+        ledger.sync_instruments();
+        assert_eq!(recorded.get(), 3);
+        // Reset folds the cleared totals into the base: still monotone.
+        ledger.reset();
+        assert_eq!(ledger.recorded(), 3);
+        ledger.record(None, "s", None, "p", true, false, 2);
+        assert_eq!(ledger.recorded(), 4);
+        ledger.sync_instruments();
+        assert_eq!(recorded.get(), 4);
+    }
+
+    #[test]
+    fn capacity_bounds_unique_rows_and_counts_drops() {
+        let ledger = DemandLedger::new(2);
+        for i in 0..5 {
+            ledger.record(
+                None,
+                "file:/apps/sh",
+                None,
+                &format!("permission runtime \"t{i}\""),
+                true,
+                false,
+                1,
+            );
+        }
+        assert_eq!(ledger.unique_live(), 2);
+        assert_eq!(ledger.dropped(), 3);
+        // Known rows keep counting at capacity.
+        ledger.record(
+            None,
+            "file:/apps/sh",
+            None,
+            "permission runtime \"t0\"",
+            true,
+            false,
+            2,
+        );
+        assert_eq!(ledger.rows().iter().map(|r| r.granted).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn reset_clears_rows_and_bumps_epoch() {
+        let ledger = DemandLedger::new(8);
+        ledger.record(None, "s", None, "p", true, false, 1);
+        let before = ledger.epoch();
+        ledger.reset();
+        assert!(ledger.rows().is_empty());
+        assert_eq!(ledger.epoch(), before + 1);
+    }
+
+    #[test]
+    fn disabled_ledger_records_nothing() {
+        let ledger = DemandLedger::new(8);
+        ledger.set_enabled(false);
+        assert!(ledger
+            .record(None, "s", None, "p", true, false, 1)
+            .is_none());
+        assert_eq!(ledger.recorded(), 0);
+        assert!(ledger.rows().is_empty());
+        ledger.set_enabled(true);
+        assert!(ledger
+            .record(None, "s", None, "p", true, false, 1)
+            .is_some());
+    }
+
+    #[test]
+    fn rows_roundtrip_through_json() {
+        let ledger = DemandLedger::new(8);
+        ledger.record(
+            Some(3),
+            "file:/apps/edit",
+            Some("alice"),
+            "permission awt \"showWindow\"",
+            true,
+            false,
+            7,
+        );
+        let rows = ledger.rows();
+        let json = serde_json::to_string(&rows[0]).unwrap();
+        let back: DemandRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows[0]);
+    }
+}

@@ -15,6 +15,7 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::audit::{self, AuditLog, AuditRecord};
+use crate::demand::{self, DemandLedger};
 use crate::metrics::{Counter, Histogram, MetricsRegistry, RegistrySnapshot};
 use crate::profile::{self, Profiler};
 use crate::recorder::{self, FlightRecorder};
@@ -52,6 +53,14 @@ impl ObsClock {
     /// Microseconds since the clock's origin.
     pub fn now_us(&self) -> u64 {
         self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Milliseconds between the clock's origin and an [`Instant`] the caller
+    /// already holds — pure arithmetic, no clock read, so hot paths that
+    /// took a timestamp anyway (the access-check chokepoint) can stamp
+    /// records for free. An instant before the origin clamps to zero.
+    pub fn millis_of(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_millis() as u64
     }
 }
 
@@ -119,6 +128,11 @@ struct HubInner {
     // Watchdog stalls are rare; the counter is still resolved once because
     // the checker thread runs every poll interval.
     stalls: Arc<Counter>,
+    // The permission-demand ledger: every access-check outcome lands here,
+    // keyed by (app, code source, user, permission). Always on; the VM
+    // caches its cells next to access decisions so warm checks only bump
+    // atomics.
+    demands: DemandLedger,
 }
 
 /// The composed observability hub. Cheap handle; clones share state.
@@ -163,6 +177,12 @@ impl ObsHub {
                 cache_bypass: vm.counter("access.cache.bypass"),
                 cache_invalidations: vm.counter("access.cache.invalidations"),
                 stalls: vm.counter("watchdog.stalls"),
+                demands: DemandLedger::with_instruments(
+                    demand::DEFAULT_CAPACITY,
+                    vm.counter("demands.recorded"),
+                    vm.counter("demands.dropped"),
+                    vm.counter("demands.unique"),
+                ),
                 vm,
                 apps: RwLock::new(BTreeMap::new()),
                 retired: RwLock::new(RegistrySnapshot::empty("retired")),
@@ -199,6 +219,11 @@ impl ObsHub {
     /// The dispatcher/helper heartbeat registry.
     pub fn watchdogs(&self) -> &WatchdogRegistry {
         &self.inner.watchdogs
+    }
+
+    /// The permission-demand ledger.
+    pub fn demands(&self) -> &DemandLedger {
+        &self.inner.demands
     }
 
     /// Exports the flight recorder's spans *and* the profiler's retained
@@ -424,6 +449,9 @@ impl ObsHub {
     /// live registries and the retired pool of reaped applications. Gauges,
     /// being point-in-time, are not rolled up.
     pub fn rollup(&self) -> RegistrySnapshot {
+        // The warm demand-bump path never touches the shared instrument;
+        // derive `demands.recorded` from the cells at export time.
+        self.inner.demands.sync_instruments();
         let mut rolled = self.inner.vm.snapshot();
         let vm_counters: Vec<String> = rolled.counters.keys().cloned().collect();
         let vm_histograms: Vec<String> = rolled.histograms.keys().cloned().collect();
@@ -452,6 +480,7 @@ impl ObsHub {
 
     /// A serializable point-in-time snapshot of everything the hub holds.
     pub fn snapshot(&self) -> HubSnapshot {
+        self.inner.demands.sync_instruments();
         let apps = self
             .app_registries()
             .into_iter()

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod demand;
 mod hub;
 mod metrics;
 pub mod profile;
@@ -53,6 +54,7 @@ pub mod trace;
 mod watchdog;
 
 pub use audit::{AuditLog, AuditRecord};
+pub use demand::{DemandCell, DemandLedger, DemandRow};
 pub use hub::{AppResolver, CacheOutcome, HubSnapshot, ObsClock, ObsHub};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,

@@ -12,10 +12,13 @@
 //! The ring doubles as the *flight record*: when a permission check is
 //! denied or an application faults, the hub snapshots the ring and attaches
 //! it to the audit entry, so the incident arrives with the causal history
-//! that led to it. The same ring exports as Chrome `trace_event` JSON for
+//! that led to it. An incident dump also includes spans still *open* at
+//! that moment (with their duration so far) — the exec span that spawned
+//! the offending thread may not have completed yet, and "how we got here"
+//! must include it. The same ring exports as Chrome `trace_event` JSON for
 //! `chrome://tracing` / Perfetto.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -95,6 +98,9 @@ struct RecorderInner {
     recorded: AtomicU64,
     dropped: AtomicU64,
     ring: Mutex<VecDeque<Span>>,
+    /// Spans begun but not yet completed, keyed by span id; bounded by the
+    /// number of live [`SpanGuard`]s. Incident dumps snapshot these too.
+    open: Mutex<HashMap<u64, Span>>,
     resolver: RwLock<Option<AppResolver>>,
 }
 
@@ -127,6 +133,7 @@ impl FlightRecorder {
                 recorded: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 ring: Mutex::new(VecDeque::new()),
+                open: Mutex::new(HashMap::new()),
                 resolver: RwLock::new(None),
             }),
         }
@@ -196,6 +203,23 @@ impl FlightRecorder {
             trace_id,
             parent_span: id,
         }));
+        let name = name.into();
+        let app = self.resolve_app();
+        let start_us = self.inner.clock.now_us();
+        self.inner.open.lock().insert(
+            id,
+            Span {
+                id,
+                trace_id,
+                parent,
+                category,
+                name: name.clone(),
+                app,
+                thread: trace::thread_ordinal(),
+                start_us,
+                dur_us: 0,
+            },
+        );
         Some(SpanGuard {
             recorder: self.clone(),
             prev,
@@ -203,9 +227,9 @@ impl FlightRecorder {
             trace_id,
             parent,
             category,
-            name: name.into(),
-            app: self.resolve_app(),
-            start_us: self.inner.clock.now_us(),
+            name,
+            app,
+            start_us,
         })
     }
 
@@ -291,11 +315,22 @@ impl FlightRecorder {
         self.inner.ring.lock().iter().cloned().collect()
     }
 
-    /// Snapshots the ring for an incident (audit denial, application
-    /// fault). Same contents as [`FlightRecorder::spans`]; named for the
-    /// call sites that attach it to an [`AuditRecord`](crate::AuditRecord).
+    /// Snapshots the flight record for an incident (audit denial,
+    /// application fault): every completed span in the ring *plus* every
+    /// span still open at this moment, stamped with its duration so far.
+    /// Open ancestors matter — a denial early in an application's `main`
+    /// can race the spawner still inside its `exec` span, and the record
+    /// must show that exec regardless of which side wins.
     pub fn dump(&self) -> Vec<Span> {
-        self.spans()
+        let mut spans = self.spans();
+        let now = self.inner.clock.now_us();
+        spans.extend(self.inner.open.lock().values().map(|open| {
+            let mut span = open.clone();
+            span.dur_us = now.saturating_sub(span.start_us);
+            span
+        }));
+        spans.sort_by_key(|span| (span.start_us, span.id));
+        spans
     }
 
     /// Empties the ring (keeps totals). Used by experiments that want the
@@ -383,6 +418,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let start_us = self.start_us;
         let end_us = self.recorder.inner.clock.now_us();
+        self.recorder.inner.open.lock().remove(&self.id);
         self.recorder.push(Span {
             id: self.id,
             trace_id: self.trace_id,
@@ -507,6 +543,33 @@ mod tests {
         assert!(events
             .iter()
             .all(|e| e.get("ph").unwrap().as_str() == Some("X")));
+    }
+
+    #[test]
+    fn dump_includes_open_spans_exactly_once() {
+        let recorder = FlightRecorder::new(16);
+        trace::clear();
+        let exec = recorder.begin(SpanCategory::Exec, "exec:app").unwrap();
+        recorder.record_latency(SpanCategory::Check, "access-check:bypass", None, 1_000);
+        // The incident dump sees the still-open exec span...
+        let dump = recorder.dump();
+        assert_eq!(dump.len(), 2, "{dump:?}");
+        assert!(dump
+            .iter()
+            .any(|s| s.category == SpanCategory::Exec && s.name == "exec:app"));
+        // ...but the completed-span ring does not.
+        assert_eq!(recorder.spans().len(), 1);
+        drop(exec);
+        trace::clear();
+        // Once completed, the span appears once, not twice.
+        let dump = recorder.dump();
+        assert_eq!(dump.len(), 2, "{dump:?}");
+        assert_eq!(
+            dump.iter()
+                .filter(|s| s.category == SpanCategory::Exec)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -141,6 +141,23 @@ impl fmt::Display for AccessContext {
     }
 }
 
+/// How one distinct visible domain participated in an access-control walk:
+/// the demand observatory's raw material. Produced by
+/// [`AccessController::check_with_routes`] on the slow (full-walk) path so
+/// the demand ledger can attribute a demand to every domain that had to
+/// satisfy it — and, for grants, record *which rule* satisfied it (the
+/// domain's own permissions or the running user's, paper §5.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantRoute {
+    /// The domain's code-source URL.
+    pub source: String,
+    /// The demand was satisfied through the running user's policy grants
+    /// (the domain held `exerciseUserPermissions`), not the domain's own.
+    pub via_user: bool,
+    /// This domain refused the demand — it is the one a denial names.
+    pub refused: bool,
+}
+
 /// The stack-inspection access controller (JDK 1.2 `AccessController`),
 /// extended with the paper's user-based access control (§5.3).
 ///
@@ -171,6 +188,66 @@ impl AccessController {
         // only consulted for domains holding the exercise permission.
         let user_granted = running_user.is_some_and(|u| policy.user_implies(u, demand));
         AccessController::check_granted(ctx, demand, user_granted)
+    }
+
+    /// [`AccessController::check_with`], additionally reporting how each
+    /// distinct visible domain satisfied (or refused) the demand.
+    ///
+    /// The walk is the same AND-over-distinct-domains with `doPrivileged`
+    /// truncation; the decision is identical to `check_with`. Along the way
+    /// one [`GrantRoute`] is pushed per distinct *policy-dependent* domain:
+    /// fully-trusted domains (those statically implying [`Permission::All`],
+    /// like the runtime's system domain) are skipped, because no policy
+    /// grant is needed — or derivable — for them. On a denial, the refusing
+    /// domain's route (with `refused: true`) is the last one pushed.
+    ///
+    /// Route sources are code-source URL clones; the granted path still
+    /// formats no domain display strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::AccessDenied`] exactly when
+    /// [`AccessController::check_with`] would.
+    pub fn check_with_routes(
+        ctx: &AccessContext,
+        demand: &Permission,
+        running_user: Option<&str>,
+        policy: &Policy,
+        routes: &mut Vec<GrantRoute>,
+    ) -> Result<()> {
+        let user_granted = running_user.is_some_and(|u| policy.user_implies(u, demand));
+        let mut exercise: Option<Permission> = None;
+        let mut seen = FingerprintBuilder::new();
+        let mut current = Some(ctx);
+        while let Some(c) = current {
+            for entry in &c.entries {
+                if seen.add(&entry.domain) {
+                    if entry.domain.implies(&Permission::All) {
+                        // Statically all-powerful: independent of policy.
+                    } else {
+                        let code_ok = entry.domain.implies(demand);
+                        let user_ok = !code_ok && user_granted && {
+                            let exercise =
+                                exercise.get_or_insert_with(Permission::exercise_user_permissions);
+                            entry.domain.implies(exercise)
+                        };
+                        routes.push(GrantRoute {
+                            source: entry.domain.code_source().url().to_string(),
+                            via_user: user_ok,
+                            refused: !code_ok && !user_ok,
+                        });
+                        if !code_ok && !user_ok {
+                            return Err(SecurityError::denied(demand, entry.domain.to_string()));
+                        }
+                    }
+                }
+                if entry.privileged {
+                    return Ok(());
+                }
+            }
+            current = c.inherited.as_deref();
+        }
+        Ok(())
     }
 
     /// Checks `demand` using code-source permissions only (no user
@@ -492,6 +569,102 @@ mod tests {
             err.to_string().contains("http://dup/first"),
             "dedup must preserve the first refusing domain: {err}"
         );
+    }
+
+    #[test]
+    fn routes_report_code_and_user_rules_and_skip_trusted_domains() {
+        let mut policy = Policy::new();
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        let system = domain("file:/sys/-", vec![Permission::All]);
+        let editor = domain(
+            "file:/apps/editor",
+            vec![
+                Permission::exercise_user_permissions(),
+                Permission::file("/tmp/-", FileActions::READ),
+            ],
+        );
+        let ctx = AccessContext::from_domains(vec![editor.clone(), system.clone()]);
+
+        // Code route: the editor's own grant covers /tmp.
+        let mut routes = Vec::new();
+        let tmp = Permission::file("/tmp/x", FileActions::READ);
+        AccessController::check_with_routes(&ctx, &tmp, Some("alice"), &policy, &mut routes)
+            .unwrap();
+        assert_eq!(
+            routes,
+            vec![GrantRoute {
+                source: "file:/apps/editor".into(),
+                via_user: false,
+                refused: false,
+            }],
+            "the all-powerful system domain leaves no route"
+        );
+
+        // User route: alice's grant carries the editor.
+        let mut routes = Vec::new();
+        let alice_file = Permission::file("/home/alice/notes", FileActions::READ);
+        AccessController::check_with_routes(&ctx, &alice_file, Some("alice"), &policy, &mut routes)
+            .unwrap();
+        assert_eq!(routes.len(), 1);
+        assert!(routes[0].via_user && !routes[0].refused);
+
+        // Denial: the refusing route is pushed last, and the decision
+        // matches check_with.
+        let mut routes = Vec::new();
+        let err = AccessController::check_with_routes(
+            &ctx,
+            &alice_file,
+            Some("bob"),
+            &policy,
+            &mut routes,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("file:/apps/editor"));
+        let last = routes.last().unwrap();
+        assert!(last.refused);
+        assert_eq!(last.source, "file:/apps/editor");
+        assert!(
+            AccessController::check_with(&ctx, &alice_file, Some("bob"), &policy).is_err(),
+            "routes walk and plain walk agree"
+        );
+    }
+
+    #[test]
+    fn routes_respect_privileged_truncation_and_dedup() {
+        let below = domain("http://evil/x", vec![]);
+        let priv_app = domain(
+            "file:/apps/priv",
+            vec![Permission::file("/tmp/x", FileActions::READ)],
+        );
+        let ctx = AccessContext::from_entries(vec![
+            DomainEntry {
+                domain: priv_app.clone(),
+                privileged: true,
+            },
+            DomainEntry {
+                domain: below,
+                privileged: false,
+            },
+        ]);
+        let mut routes = Vec::new();
+        AccessController::check_with_routes(&ctx, &read_tmp(), None, &Policy::new(), &mut routes)
+            .unwrap();
+        assert_eq!(routes.len(), 1, "frames below doPrivileged are invisible");
+        assert_eq!(routes[0].source, "file:/apps/priv");
+
+        // Duplicates contribute one route.
+        let b = domain(
+            "file:/apps/other",
+            vec![Permission::file("/tmp/x", FileActions::READ)],
+        );
+        let ctx = AccessContext::from_domains(vec![b.clone(), b.clone(), b]);
+        let mut routes = Vec::new();
+        AccessController::check_with_routes(&ctx, &read_tmp(), None, &Policy::new(), &mut routes)
+            .unwrap();
+        assert_eq!(routes.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Least-privilege policy inference: collapse observed permission demands
+//! into the minimal policy that would have permitted exactly what ran.
+//!
+//! The paper's operational pain (§5.3, §7) is authoring per-user,
+//! per-code-source policies by hand. Demanded-permission traces are enough
+//! to derive minimal policies automatically (Li & Le Thanh): the VM's
+//! demand ledger records every (code source, user, permission, outcome)
+//! tuple the access-check chokepoint saw, and this module turns those rows
+//! into `grant codeBase` / `grant user` blocks:
+//!
+//! * A demand granted through a domain's own permissions becomes a
+//!   `grant codeBase` entry for that source.
+//! * A demand granted through the running user's grants (paper §5.3 rule 1)
+//!   becomes a `grant user` entry for that user, and the exercising source
+//!   is granted `permission user "exerciseUserPermissions"`.
+//! * File targets are generalized to directory `*` (direct children) or
+//!   `-` (recursive) prefixes only when **every** observed demand under the
+//!   prefix — in the same grant scope, with overlapping actions — was
+//!   granted; a denied demand under the prefix keeps the entries exact, so
+//!   inference never converts an observed refusal into a grant.
+//! * Installed `resource "limit.*"` user grants are carried through
+//!   verbatim: quota limits are policy-carried configuration consumed at
+//!   spawn time, not runtime demands, so no ledger row will ever witness
+//!   them.
+//!
+//! [`diff_policy`] is the other direction: which installed grants were
+//! never exercised by any observed demand — the over-grant report.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::code_source::CodeSource;
+use crate::permission::{FileActions, Permission};
+use crate::policy::{GrantTarget, Policy};
+
+/// One observed demand: the typed form of a demand-ledger row. The ledger
+/// itself is string-typed (it lives below this crate); callers parse the
+/// permission text with [`Policy::parse_permission_entry`] to build these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedDemand {
+    /// Code-source URL of the domain the demand was charged to.
+    pub source: String,
+    /// The effective user at check time.
+    pub user: Option<String>,
+    /// The demanded permission.
+    pub permission: Permission,
+    /// Times this demand was granted.
+    pub granted: u64,
+    /// Times this demand was denied.
+    pub denied: u64,
+    /// Whether a grant went via the running user's permissions rather than
+    /// the domain's own.
+    pub via_user: bool,
+}
+
+/// The scope a grant bucket collects under: one future `grant` block.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Scope {
+    Code(String),
+    User(String),
+}
+
+/// Infers the least-privilege policy covering every *granted* demand in
+/// `demands`, carrying `resource "limit.*"` user grants over from the
+/// `installed` policy (spawn-time configuration the ledger cannot see).
+///
+/// The result is deterministic: grant blocks are ordered `codeBase` (by
+/// URL) then `user` (by name), with permissions sorted by display form.
+pub fn infer_policy(demands: &[ObservedDemand], installed: &Policy) -> Policy {
+    let mut buckets: BTreeMap<Scope, Vec<Permission>> = BTreeMap::new();
+    let mut exercising: BTreeSet<String> = BTreeSet::new();
+    let mut observed_users: BTreeSet<String> = BTreeSet::new();
+
+    for demand in demands {
+        if let Some(user) = &demand.user {
+            observed_users.insert(user.clone());
+        }
+        if demand.granted == 0 {
+            continue;
+        }
+        let scope = match (&demand.user, demand.via_user) {
+            (Some(user), true) => {
+                exercising.insert(demand.source.clone());
+                Scope::User(user.clone())
+            }
+            _ => Scope::Code(demand.source.clone()),
+        };
+        buckets
+            .entry(scope)
+            .or_default()
+            .push(demand.permission.clone());
+    }
+
+    // Exercising sources need the exercise permission itself, whether or
+    // not they also earned direct code grants.
+    for source in &exercising {
+        buckets
+            .entry(Scope::Code(source.clone()))
+            .or_default()
+            .push(Permission::exercise_user_permissions());
+    }
+
+    // Carry spawn-time resource configuration for every observed user.
+    for grant in installed.grants() {
+        if let GrantTarget::User(name) = &grant.target {
+            if !observed_users.contains(name) {
+                continue;
+            }
+            let carried: Vec<Permission> = grant
+                .permissions
+                .iter()
+                .filter(|p| matches!(p, Permission::Resource(_)))
+                .cloned()
+                .collect();
+            if !carried.is_empty() {
+                buckets
+                    .entry(Scope::User(name.clone()))
+                    .or_default()
+                    .extend(carried);
+            }
+        }
+    }
+
+    let mut policy = Policy::new();
+    for (scope, permissions) in buckets {
+        let denied = denied_file_demands(demands, &scope);
+        let minimal = minimize(generalize_files(permissions, &denied));
+        if minimal.is_empty() {
+            continue;
+        }
+        match scope {
+            Scope::Code(url) => policy.grant_code(CodeSource::local(url), minimal),
+            Scope::User(name) => policy.grant_user(name, minimal),
+        }
+    }
+    policy
+}
+
+/// Denied file demands visible to a scope: for a code scope, denials
+/// charged to that source; for a user scope, denials seen while that user
+/// was running (any source — the user grant would have been consulted for
+/// all of them).
+fn denied_file_demands(demands: &[ObservedDemand], scope: &Scope) -> Vec<(String, FileActions)> {
+    demands
+        .iter()
+        .filter(|d| d.denied > 0)
+        .filter(|d| match scope {
+            Scope::Code(url) => &d.source == url,
+            Scope::User(name) => d.user.as_deref() == Some(name),
+        })
+        .filter_map(|d| match &d.permission {
+            Permission::File { path, actions } => Some((path.clone(), *actions)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn actions_intersect(a: FileActions, b: FileActions) -> bool {
+    (a.read && b.read) || (a.write && b.write) || (a.execute && b.execute) || (a.delete && b.delete)
+}
+
+/// The parent directory of a concrete path (`/a/b/c` → `/a/b`); `None` for
+/// roots, patterns, and the `<<ALL FILES>>` token.
+fn parent_dir(path: &str) -> Option<&str> {
+    if path == "<<ALL FILES>>" || path.ends_with("/-") || path.ends_with("/*") {
+        return None;
+    }
+    let cut = path.rfind('/')?;
+    if cut == 0 {
+        None
+    } else {
+        Some(&path[..cut])
+    }
+}
+
+/// Generalizes file permissions to directory patterns where every observed
+/// demand under the candidate prefix (with overlapping actions, in this
+/// scope) was granted. Non-file permissions pass through untouched.
+fn generalize_files(
+    permissions: Vec<Permission>,
+    denied: &[(String, FileActions)],
+) -> Vec<Permission> {
+    let mut out: Vec<Permission> = Vec::new();
+    // (actions, parent dir) → concrete child paths.
+    let mut groups: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    let mut actions_of: BTreeMap<String, FileActions> = BTreeMap::new();
+    for permission in permissions {
+        match &permission {
+            Permission::File { path, actions } => match parent_dir(path) {
+                Some(dir) => {
+                    let actions_key = actions.to_string();
+                    actions_of.insert(actions_key.clone(), *actions);
+                    groups
+                        .entry((actions_key, dir.to_string()))
+                        .or_default()
+                        .push(path.clone());
+                }
+                None => out.push(permission),
+            },
+            _ => out.push(permission),
+        }
+    }
+    for ((actions_key, dir), mut paths) in groups {
+        let actions = actions_of[&actions_key];
+        paths.sort();
+        paths.dedup();
+        // A single observed path stays exact; generalizing it would widen
+        // the grant beyond anything the workload demonstrated it needs.
+        let candidate_ok = paths.len() >= 2
+            && !denied.iter().any(|(denied_path, denied_actions)| {
+                actions_intersect(actions, *denied_actions)
+                    && parent_dir(denied_path) == Some(dir.as_str())
+            });
+        if candidate_ok {
+            out.push(Permission::File {
+                path: format!("{dir}/*"),
+                actions,
+            });
+        } else {
+            out.extend(
+                paths
+                    .into_iter()
+                    .map(|path| Permission::File { path, actions }),
+            );
+        }
+    }
+    out
+}
+
+/// Sorts deterministically and drops any permission implied by another in
+/// the same grant (exact paths covered by a generalized pattern, repeated
+/// runtime targets, action subsets).
+fn minimize(mut permissions: Vec<Permission>) -> Vec<Permission> {
+    permissions.sort_by_key(|p| p.to_string());
+    permissions.dedup();
+    let kept: Vec<Permission> = permissions
+        .iter()
+        .filter(|p| {
+            !permissions
+                .iter()
+                .any(|other| other != *p && other.implies(p) && !p.implies(other))
+        })
+        .cloned()
+        .collect();
+    // Equal-implication duplicates (p implies q and q implies p but p != q,
+    // e.g. differently-spelled equivalent entries) survive the filter;
+    // final dedup by display keeps one.
+    let mut seen = BTreeSet::new();
+    kept.into_iter()
+        .filter(|p| seen.insert(p.to_string()))
+        .collect()
+}
+
+/// One row of the over-grant report: an installed grant entry and whether
+/// any observed demand exercised it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyDiffRow {
+    /// Display form of the grant target (`codeBase "..."` / `user "..."`).
+    pub target: String,
+    /// Display form of the granted permission.
+    pub permission: String,
+    /// Whether any observed granted demand was covered by this entry.
+    pub exercised: bool,
+    /// Whether the entry is spawn-time configuration (`resource` grants)
+    /// that no runtime demand can exercise.
+    pub config: bool,
+}
+
+/// Compares the installed policy against observed demands: every grant
+/// entry that no granted demand exercised is an over-grant candidate.
+///
+/// Code grants match demands charged to a source the grant's pattern
+/// covers (signer information is not retained by the ledger, so signed
+/// grants match by URL only); a `user "exerciseUserPermissions"` entry is
+/// exercised by any user-routed grant from a covered source. User grants
+/// match user-routed demands by that user.
+pub fn diff_policy(installed: &Policy, demands: &[ObservedDemand]) -> Vec<PolicyDiffRow> {
+    let exercise = Permission::exercise_user_permissions();
+    let mut rows = Vec::new();
+    for grant in installed.grants() {
+        for permission in &grant.permissions {
+            let config = matches!(permission, Permission::Resource(_));
+            let exercised = !config
+                && demands
+                    .iter()
+                    .filter(|d| d.granted > 0)
+                    .any(|d| match &grant.target {
+                        GrantTarget::Code(pattern) => {
+                            let source = CodeSource::local(d.source.clone());
+                            if !pattern.implies(&source) {
+                                return false;
+                            }
+                            if d.via_user {
+                                permission.implies(&exercise)
+                            } else {
+                                permission.implies(&d.permission)
+                            }
+                        }
+                        GrantTarget::User(name) => {
+                            d.via_user
+                                && d.user.as_deref() == Some(name)
+                                && permission.implies(&d.permission)
+                        }
+                    });
+            rows.push(PolicyDiffRow {
+                target: grant.target.to_string(),
+                permission: permission.to_string(),
+                exercised,
+                config,
+            });
+        }
+    }
+    rows
+}
+
+/// Total permission entries across every grant block — the "grant count"
+/// the least-privilege comparison uses.
+pub fn grant_count(policy: &Policy) -> usize {
+    policy.grants().iter().map(|g| g.permissions.len()).sum()
+}
+
+/// Renders an inferred policy as a policy file with a provenance header.
+pub fn emit_policy_text(policy: &Policy, provenance: &str) -> String {
+    format!(
+        "// Inferred least-privilege policy — generated from the demand ledger.\n// {provenance}\n{policy}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn granted(source: &str, user: Option<&str>, permission: Permission) -> ObservedDemand {
+        ObservedDemand {
+            source: source.into(),
+            user: user.map(Into::into),
+            permission,
+            granted: 3,
+            denied: 0,
+            via_user: false,
+        }
+    }
+
+    fn granted_via_user(source: &str, user: &str, permission: Permission) -> ObservedDemand {
+        ObservedDemand {
+            via_user: true,
+            ..granted(source, Some(user), permission)
+        }
+    }
+
+    fn denied(source: &str, user: Option<&str>, permission: Permission) -> ObservedDemand {
+        ObservedDemand {
+            granted: 0,
+            denied: 2,
+            ..granted(source, user, permission)
+        }
+    }
+
+    #[test]
+    fn code_and_user_routes_land_in_their_grant_blocks() {
+        let demands = vec![
+            granted(
+                "file:/apps/cat",
+                Some("alice"),
+                Permission::file("/etc/motd", FileActions::READ),
+            ),
+            granted_via_user(
+                "file:/apps/edit",
+                "alice",
+                Permission::file("/home/alice/notes", FileActions::WRITE),
+            ),
+        ];
+        let policy = infer_policy(&demands, &Policy::new());
+        // cat gets its direct grant.
+        assert!(policy
+            .permissions_for(&CodeSource::local("file:/apps/cat"))
+            .implies(&Permission::file("/etc/motd", FileActions::READ)));
+        // edit gets the exercise permission, alice the file grant.
+        assert!(policy
+            .permissions_for(&CodeSource::local("file:/apps/edit"))
+            .implies(&Permission::exercise_user_permissions()));
+        assert!(policy.user_implies(
+            "alice",
+            &Permission::file("/home/alice/notes", FileActions::WRITE)
+        ));
+        // Nothing was widened to other users or sources.
+        assert!(!policy.user_implies(
+            "bob",
+            &Permission::file("/home/alice/notes", FileActions::WRITE)
+        ));
+        assert!(!policy
+            .permissions_for(&CodeSource::local("file:/apps/cat"))
+            .implies(&Permission::exercise_user_permissions()));
+    }
+
+    #[test]
+    fn denied_demands_are_never_granted() {
+        let demands = vec![
+            denied(
+                "file:/apps/snoop",
+                Some("bob"),
+                Permission::file("/home/alice/diary", FileActions::READ),
+            ),
+            granted(
+                "file:/apps/snoop",
+                Some("bob"),
+                Permission::runtime("setIO"),
+            ),
+        ];
+        let policy = infer_policy(&demands, &Policy::new());
+        assert!(!policy
+            .permissions_for(&CodeSource::local("file:/apps/snoop"))
+            .implies(&Permission::file("/home/alice/diary", FileActions::READ)));
+        assert!(policy
+            .permissions_for(&CodeSource::local("file:/apps/snoop"))
+            .implies(&Permission::runtime("setIO")));
+    }
+
+    #[test]
+    fn sibling_files_generalize_to_star_unless_a_denial_blocks_it() {
+        let reads = |paths: &[&str]| -> Vec<ObservedDemand> {
+            paths
+                .iter()
+                .map(|p| {
+                    granted(
+                        "file:/apps/grep",
+                        None,
+                        Permission::file(*p, FileActions::READ),
+                    )
+                })
+                .collect()
+        };
+        // Clean case: two granted siblings collapse to the directory.
+        let policy = infer_policy(&reads(&["/data/a.txt", "/data/b.txt"]), &Policy::new());
+        let perms = policy.permissions_for(&CodeSource::local("file:/apps/grep"));
+        assert!(perms.implies(&Permission::file("/data/a.txt", FileActions::READ)));
+        assert_eq!(grant_count(&policy), 1, "{policy}");
+        assert!(policy.to_string().contains("/data/*"));
+
+        // A denied sibling with overlapping actions blocks generalization.
+        let mut demands = reads(&["/data/a.txt", "/data/b.txt"]);
+        demands.push(denied(
+            "file:/apps/grep",
+            None,
+            Permission::file("/data/secret.txt", FileActions::READ),
+        ));
+        let policy = infer_policy(&demands, &Policy::new());
+        let perms = policy.permissions_for(&CodeSource::local("file:/apps/grep"));
+        assert!(perms.implies(&Permission::file("/data/a.txt", FileActions::READ)));
+        assert!(
+            !perms.implies(&Permission::file("/data/secret.txt", FileActions::READ)),
+            "{policy}"
+        );
+
+        // A denied sibling with disjoint actions does not block it.
+        let mut demands = reads(&["/data/a.txt", "/data/b.txt"]);
+        demands.push(denied(
+            "file:/apps/grep",
+            None,
+            Permission::file("/data/c.txt", FileActions::WRITE),
+        ));
+        let policy = infer_policy(&demands, &Policy::new());
+        assert!(policy.to_string().contains("/data/*"), "{policy}");
+    }
+
+    #[test]
+    fn single_observed_path_stays_exact() {
+        let policy = infer_policy(
+            &[granted(
+                "file:/apps/cat",
+                None,
+                Permission::file("/etc/motd", FileActions::READ),
+            )],
+            &Policy::new(),
+        );
+        assert!(policy.to_string().contains("\"/etc/motd\""));
+        assert!(!policy.to_string().contains("/etc/*"));
+    }
+
+    #[test]
+    fn resource_limits_are_carried_for_observed_users() {
+        let mut installed = Policy::new();
+        installed.grant_user(
+            "mallory",
+            vec![
+                Permission::resource("limit.threads:8"),
+                Permission::file("/home/mallory/-", FileActions::ALL),
+            ],
+        );
+        installed.grant_user("idle", vec![Permission::resource("limit.threads:2")]);
+        let demands = vec![granted(
+            "file:/apps/bomb",
+            Some("mallory"),
+            Permission::runtime("execApplication"),
+        )];
+        let policy = infer_policy(&demands, &installed);
+        let mallory = policy.permissions_for_user("mallory");
+        assert!(mallory.implies(&Permission::resource("limit.threads:8")));
+        assert!(
+            !mallory.implies(&Permission::file("/home/mallory/x", FileActions::READ)),
+            "only resource config is carried, not unexercised file grants"
+        );
+        assert!(
+            policy.permissions_for_user("idle").iter().next().is_none(),
+            "users that never ran get nothing"
+        );
+    }
+
+    #[test]
+    fn inference_is_deterministic_and_roundtrips() {
+        let demands = vec![
+            granted_via_user(
+                "file:/apps/edit",
+                "alice",
+                Permission::file("/home/alice/b", FileActions::WRITE),
+            ),
+            granted_via_user(
+                "file:/apps/edit",
+                "alice",
+                Permission::file("/home/alice/a", FileActions::WRITE),
+            ),
+            granted("file:/apps/ps", Some("bob"), Permission::runtime("setIO")),
+        ];
+        let mut reversed = demands.clone();
+        reversed.reverse();
+        let a = infer_policy(&demands, &Policy::new());
+        let b = infer_policy(&reversed, &Policy::new());
+        assert_eq!(a.to_string(), b.to_string());
+        let reparsed = Policy::parse(&a.to_string()).unwrap();
+        assert_eq!(a.to_string(), reparsed.to_string());
+        let emitted = emit_policy_text(&a, "test run");
+        assert_eq!(Policy::parse(&emitted).unwrap().to_string(), a.to_string());
+    }
+
+    #[test]
+    fn minimize_drops_entries_implied_by_patterns() {
+        let minimal = minimize(vec![
+            Permission::file("/tmp/*", FileActions::READ),
+            Permission::file("/tmp/a", FileActions::READ),
+            Permission::runtime("setIO"),
+            Permission::runtime("setIO"),
+        ]);
+        assert_eq!(minimal.len(), 2, "{minimal:?}");
+    }
+
+    #[test]
+    fn diff_reports_unexercised_grants() {
+        let mut installed = Policy::new();
+        installed.grant_code(
+            CodeSource::local("file:/apps/-"),
+            vec![
+                Permission::exercise_user_permissions(),
+                Permission::runtime("setIO"),
+                Permission::awt("showWindow"),
+            ],
+        );
+        installed.grant_user(
+            "alice",
+            vec![
+                Permission::file("/home/alice/-", FileActions::ALL),
+                Permission::resource("limit.threads:4"),
+            ],
+        );
+        let demands = vec![
+            granted("file:/apps/sh", Some("alice"), Permission::runtime("setIO")),
+            granted_via_user(
+                "file:/apps/edit",
+                "alice",
+                Permission::file("/home/alice/notes", FileActions::WRITE),
+            ),
+        ];
+        let rows = diff_policy(&installed, &demands);
+        let row = |perm: &str| rows.iter().find(|r| r.permission.contains(perm)).unwrap();
+        assert!(row("setIO").exercised);
+        assert!(
+            row("exerciseUserPermissions").exercised,
+            "user-routed grants exercise the exercise permission"
+        );
+        assert!(!row("showWindow").exercised, "never demanded");
+        assert!(row("/home/alice/-").exercised);
+        assert!(row("limit.threads").config);
+        assert!(!row("limit.threads").exercised);
+    }
+}

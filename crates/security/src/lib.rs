@@ -68,18 +68,22 @@ mod code_source;
 mod domain;
 mod error;
 mod index;
+mod infer;
 mod intern;
 mod permission;
 mod policy;
 mod principal;
 
-pub use access::{AccessContext, AccessController, DomainEntry};
+pub use access::{AccessContext, AccessController, DomainEntry, GrantRoute};
 pub use code_source::CodeSource;
 #[doc(hidden)]
 pub use domain::domain_display_format_count;
 pub use domain::{PermissionCollection, ProtectionDomain};
 pub use error::SecurityError;
 pub use index::PermissionIndex;
+pub use infer::{
+    diff_policy, emit_policy_text, grant_count, infer_policy, ObservedDemand, PolicyDiffRow,
+};
 pub use intern::{interned_domain_count, ContextFingerprint, DomainId, FingerprintBuilder};
 pub use permission::{FileActions, Permission, PropertyActions, SocketActions};
 pub use policy::{Grant, GrantTarget, Policy};

@@ -91,6 +91,29 @@ impl Policy {
         Parser::new(text).parse_policy()
     }
 
+    /// Parses one permission entry in policy syntax — the inverse of
+    /// [`Permission`]'s `Display`, e.g. `permission file "/tmp/x" "read"`
+    /// (a trailing `;` is accepted). This is how the demand ledger's
+    /// string-typed rows are turned back into typed permissions for
+    /// inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::PolicyParse`] on anything but exactly one
+    /// well-formed entry.
+    pub fn parse_permission_entry(text: &str) -> Result<Permission> {
+        let mut parser = Parser::new(text);
+        parser.expect_word("permission")?;
+        let permission = parser.parse_permission_body()?;
+        if parser.peek() == Some(&Token::Semi) {
+            parser.pos += 1;
+        }
+        if parser.peek().is_some() {
+            return Err(parser.err("trailing input after permission entry"));
+        }
+        Ok(permission)
+    }
+
     /// Adds a grant programmatically.
     pub fn add_grant(&mut self, grant: Grant) {
         self.grants.push(grant);
@@ -358,6 +381,14 @@ impl Parser {
     }
 
     fn parse_permission(&mut self) -> Result<Permission> {
+        let permission = self.parse_permission_body()?;
+        match self.next() {
+            Some(Token::Semi) => Ok(permission),
+            other => Err(self.err(format!("expected `;` after permission, found {other:?}"))),
+        }
+    }
+
+    fn parse_permission_body(&mut self) -> Result<Permission> {
         let kind = match self.next() {
             Some(Token::Word(w)) => w,
             other => return Err(self.err(format!("expected permission kind, found {other:?}"))),
@@ -391,10 +422,7 @@ impl Parser {
             "resource" => Permission::Resource(self.expect_string("resource target")?),
             other => return Err(self.err(format!("unknown permission kind `{other}`"))),
         };
-        match self.next() {
-            Some(Token::Semi) => Ok(permission),
-            other => Err(self.err(format!("expected `;` after permission, found {other:?}"))),
-        }
+        Ok(permission)
     }
 }
 
@@ -603,6 +631,65 @@ mod tests {
         let policy = Policy::parse(PAPER_POLICY).unwrap();
         let reparsed = Policy::parse(&policy.to_string()).unwrap();
         assert_eq!(policy, reparsed);
+    }
+
+    /// Every permission kind, written the way policies (and the demand
+    /// ledger) spell them.
+    const EVERY_KIND_POLICY: &str = r#"
+        grant codeBase "file:/apps/kit" signedBy "acme" {
+            permission all;
+            permission file "/data/report.txt" "read";
+            permission file "/home/alice/-" "read,write,execute,delete";
+            permission file "/tmp/*" "write,delete";
+            permission socket "host.example:80" "connect";
+            permission socket "*.example.com" "accept,listen,resolve";
+            permission runtime "setUser";
+            permission property "os.*" "read";
+            permission property "user.home" "read,write";
+            permission awt "showWindow";
+            permission user "exerciseUserPermissions";
+            permission resource "limit.threads:8";
+        };
+        grant user "alice" {
+            permission file "/home/alice" "read";
+        };
+    "#;
+
+    #[test]
+    fn every_permission_kind_roundtrips_through_display() {
+        // parse → serialize → re-parse equality, across every kind the
+        // policy language has — the guarantee the inference engine's
+        // emitted policy files rely on.
+        let policy = Policy::parse(EVERY_KIND_POLICY).unwrap();
+        let kinds = &policy.grants()[0].permissions;
+        assert_eq!(kinds.len(), 12, "every kind is represented");
+        let reparsed = Policy::parse(&policy.to_string()).unwrap();
+        assert_eq!(policy, reparsed);
+        // And a second generation is textually stable.
+        assert_eq!(policy.to_string(), reparsed.to_string());
+    }
+
+    #[test]
+    fn permission_entries_roundtrip_through_parse_entry() {
+        let policy = Policy::parse(EVERY_KIND_POLICY).unwrap();
+        for grant in policy.grants() {
+            for permission in &grant.permissions {
+                let text = permission.to_string();
+                let back = Policy::parse_permission_entry(&text).unwrap();
+                assert_eq!(&back, permission, "{text}");
+                // A trailing semicolon (as emitted inside grant blocks) is
+                // accepted too.
+                let back = Policy::parse_permission_entry(&format!("{text};")).unwrap();
+                assert_eq!(&back, permission);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_entry_rejects_trailing_garbage() {
+        assert!(Policy::parse_permission_entry("permission runtime \"x\"; extra").is_err());
+        assert!(Policy::parse_permission_entry("grant user \"a\" { }").is_err());
+        assert!(Policy::parse_permission_entry("permission bogus \"x\"").is_err());
     }
 
     #[test]

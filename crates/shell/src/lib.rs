@@ -150,6 +150,8 @@ pub fn default_policy_text() -> &'static str {
         permission runtime "readAuditLog";
         permission runtime "traceVm";
         permission runtime "readProfile";
+        permission runtime "readDemands";
+        permission runtime "inferPolicy";
         permission resource "setLimits";
     };
 

@@ -164,8 +164,8 @@ impl Shell {
             }
             "help" => {
                 jsystem::println(
-                    "builtins: cd pwd jobs history top vmstat audit trace profile ulimit \
-                     ps -l help quit; \
+                    "builtins: cd pwd jobs history top vmstat audit trace profile \
+                     policyinfer ulimit ps -l help quit; \
                      programs: ls cat echo head wc grep ps kill sleep touch \
                      mkdir rm cp mv whoami su passwd login appletviewer edit",
                 )?;
@@ -199,6 +199,10 @@ impl Shell {
             }
             "profile" => {
                 self.profile(&stage.args)?;
+                Ok(Builtin::Handled)
+            }
+            "policyinfer" => {
+                self.policyinfer(&stage.args)?;
                 Ok(Builtin::Handled)
             }
             _ => Ok(Builtin::NotBuiltin),
@@ -453,6 +457,28 @@ impl Shell {
                 ))?;
             }
         }
+        // The demand ledger's busiest rows. Needs `readDemands` on top of
+        // `readMetrics`; silently omitted (the denial is still audited)
+        // so vmstat stays useful to metrics-only readers. The demands.*
+        // counters themselves print with the rollup above.
+        if let Ok(rows) = jmp_core::obs::demand_rows(&rt, None, None) {
+            if !rows.is_empty() {
+                let mut rows = rows;
+                rows.sort_by_key(|r| std::cmp::Reverse(r.granted + r.denied));
+                jsystem::println("demands:")?;
+                for row in rows.iter().take(5) {
+                    jsystem::println(&format!(
+                        "  {:<24} user={:<10} granted={:<8} denied={:<6} {}{}",
+                        row.source,
+                        row.user.as_deref().unwrap_or("-"),
+                        row.granted,
+                        row.denied,
+                        row.permission,
+                        if row.via_user { " (via user)" } else { "" },
+                    ))?;
+                }
+            }
+        }
         // Top opcodes from the VM profiler. Needs `readProfile` on top of
         // `readMetrics`; silently omitted (the denial is still audited)
         // so vmstat stays useful to metrics-only readers.
@@ -519,7 +545,8 @@ impl Shell {
 
     /// The `profile` builtin: `profile on|off` steers the VM profiler
     /// (opcode accounting *and* stack sampling), `profile report [--app
-    /// <id>]` prints per-opcode accounting and sampled-stack weights,
+    /// <id>] [--json]` prints per-opcode accounting and sampled-stack
+    /// weights (`--json` emits the full [`jmp_obs::ProfileReport`] as JSON),
     /// `profile flame [--app <id>] [file]` exports flamegraph.pl
     /// collapsed-stack text, `profile reset` starts a fresh window, and
     /// `profile`/`profile status` reports the current switch.
@@ -528,6 +555,7 @@ impl Shell {
     fn profile(&self, args: &[String]) -> std::result::Result<(), Error> {
         let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
         let mut app: Option<u64> = None;
+        let mut json = false;
         let mut rest: Vec<&str> = Vec::new();
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -539,6 +567,8 @@ impl Shell {
                         return Ok(());
                     }
                 }
+            } else if arg == "--json" {
+                json = true;
             } else {
                 rest.push(arg.as_str());
             }
@@ -560,6 +590,13 @@ impl Shell {
                         return Ok(());
                     }
                 };
+                if json {
+                    match serde_json::to_string_pretty(&report) {
+                        Ok(text) => jsystem::println(&text)?,
+                        Err(err) => jsystem::eprintln(&format!("profile: {err}"))?,
+                    }
+                    return Ok(());
+                }
                 jsystem::println(&format!(
                     "profile: accounting={} sampling={} flushes={} samples={}",
                     if report.accounting_enabled {
@@ -624,19 +661,23 @@ impl Shell {
             Some(other) => {
                 jsystem::eprintln(&format!(
                     "profile: unknown argument {other} \
-                     (usage: profile [on|off|report|flame [file]|reset|status] [--app <id>])"
+                     (usage: profile [on|off|report|flame [file]|reset|status] \
+                     [--app <id>] [--json])"
                 ))?;
             }
         }
         Ok(())
     }
 
-    /// The `audit` builtin: `audit [-u user] [-a app-id]` lists recent
-    /// permission denials (`RuntimePermission("readAuditLog")`-gated).
+    /// The `audit` builtin: `audit [-u user] [-a app-id] [--json]` lists
+    /// recent permission denials (`RuntimePermission("readAuditLog")`-gated).
+    /// `--json` prints the records as a JSON array for scripts and the CI
+    /// harness instead of the human table.
     fn audit(&self, args: &[String]) -> std::result::Result<(), Error> {
         let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
         let mut user: Option<String> = None;
         let mut app: Option<u64> = None;
+        let mut json = false;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -648,9 +689,11 @@ impl Shell {
                         return Ok(());
                     }
                 },
+                "--json" => json = true,
                 other => {
                     jsystem::eprintln(&format!(
-                        "audit: unknown argument {other} (usage: audit [-u user] [-a app-id])"
+                        "audit: unknown argument {other} \
+                         (usage: audit [-u user] [-a app-id] [--json])"
                     ))?;
                     return Ok(());
                 }
@@ -663,6 +706,13 @@ impl Shell {
                 return Ok(());
             }
         };
+        if json {
+            match serde_json::to_string_pretty(&records) {
+                Ok(text) => jsystem::println(&text)?,
+                Err(err) => jsystem::eprintln(&format!("audit: {err}"))?,
+            }
+            return Ok(());
+        }
         for record in &records {
             jsystem::println(&format!(
                 "#{:<4} +{:>6}ms user={:<10} app={:<4} {} [{}]",
@@ -677,6 +727,160 @@ impl Shell {
             ))?;
         }
         jsystem::println(&format!("{} denial(s)", records.len()))?;
+        Ok(())
+    }
+
+    /// The `policyinfer` builtin — the demand observatory's front end:
+    ///
+    /// * `policyinfer [report] [--app <id>] [--user <name>] [--json]` —
+    ///   the demand ledger's rows (`RuntimePermission("readDemands")`);
+    /// * `policyinfer emit [file]` — run least-privilege inference and print
+    ///   (or write) the resulting policy file
+    ///   (`RuntimePermission("inferPolicy")`);
+    /// * `policyinfer diff [--json]` — the over-grant report: installed
+    ///   grant entries never exercised by any observed demand;
+    /// * `policyinfer reset` — clear the ledger for a fresh window;
+    /// * `policyinfer on|off` — toggle demand recording.
+    ///
+    /// A denial is printed — and audited — rather than killing the session.
+    fn policyinfer(&self, args: &[String]) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        let mut app: Option<u64> = None;
+        let mut user: Option<String> = None;
+        let mut json = false;
+        let mut rest: Vec<&str> = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--app" => match iter.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(id)) => app = Some(id),
+                    _ => {
+                        jsystem::eprintln("policyinfer: --app expects an application id")?;
+                        return Ok(());
+                    }
+                },
+                "--user" => match iter.next() {
+                    Some(name) => user = Some(name.clone()),
+                    None => {
+                        jsystem::eprintln("policyinfer: --user expects a user name")?;
+                        return Ok(());
+                    }
+                },
+                "--json" => json = true,
+                other => rest.push(other),
+            }
+        }
+        match rest.first().copied() {
+            None | Some("report") => {
+                let rows = match jmp_core::obs::demand_rows(&rt, app, user.as_deref()) {
+                    Ok(rows) => rows,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("policyinfer: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                if json {
+                    match serde_json::to_string_pretty(&rows) {
+                        Ok(text) => jsystem::println(&text)?,
+                        Err(err) => jsystem::eprintln(&format!("policyinfer: {err}"))?,
+                    }
+                    return Ok(());
+                }
+                jsystem::println(&format!(
+                    "{:<24} {:<10} {:>8} {:>6} {:>4} {}",
+                    "SOURCE", "USER", "GRANTED", "DENIED", "VIA", "PERMISSION",
+                ))?;
+                for row in &rows {
+                    jsystem::println(&format!(
+                        "{:<24} {:<10} {:>8} {:>6} {:>4} {}",
+                        row.source,
+                        row.user.as_deref().unwrap_or("-"),
+                        row.granted,
+                        row.denied,
+                        if row.via_user { "user" } else { "code" },
+                        row.permission,
+                    ))?;
+                }
+                jsystem::println(&format!("{} demand row(s)", rows.len()))?;
+            }
+            Some("emit") => {
+                let policy = match jmp_core::obs::inferred_policy(&rt) {
+                    Ok(policy) => policy,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("policyinfer: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                let rows = jmp_core::obs::demand_rows(&rt, None, None)
+                    .map(|rows| rows.len())
+                    .unwrap_or(0);
+                let text = jmp_security::emit_policy_text(
+                    &policy,
+                    &format!("derived from {rows} demand-ledger rows"),
+                );
+                match rest.get(1) {
+                    Some(path) => match jmp_core::files::write(path, text.as_bytes()) {
+                        Ok(()) => jsystem::println(&format!("inferred policy written to {path}"))?,
+                        Err(err) => jsystem::eprintln(&format!("policyinfer: {err}"))?,
+                    },
+                    None => jsystem::println(&text)?,
+                }
+            }
+            Some("diff") => {
+                let diff = match jmp_core::obs::policy_diff(&rt) {
+                    Ok(diff) => diff,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("policyinfer: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                if json {
+                    match serde_json::to_string_pretty(&diff) {
+                        Ok(text) => jsystem::println(&text)?,
+                        Err(err) => jsystem::eprintln(&format!("policyinfer: {err}"))?,
+                    }
+                    return Ok(());
+                }
+                let unused = diff.iter().filter(|r| !r.exercised && !r.config).count();
+                for row in &diff {
+                    jsystem::println(&format!(
+                        "{:<10} {} :: {}",
+                        if row.config {
+                            "config"
+                        } else if row.exercised {
+                            "exercised"
+                        } else {
+                            "UNUSED"
+                        },
+                        row.target,
+                        row.permission,
+                    ))?;
+                }
+                jsystem::println(&format!(
+                    "{} grant entr(ies), {unused} unexercised",
+                    diff.len()
+                ))?;
+            }
+            Some("reset") => match jmp_core::obs::reset_demands(&rt) {
+                Ok(()) => jsystem::println("demand ledger reset")?,
+                Err(err) => jsystem::eprintln(&format!("policyinfer: {err}"))?,
+            },
+            Some("on") => match jmp_core::obs::set_demand_recording(&rt, true) {
+                Ok(()) => jsystem::println("demand recording on")?,
+                Err(err) => jsystem::eprintln(&format!("policyinfer: {err}"))?,
+            },
+            Some("off") => match jmp_core::obs::set_demand_recording(&rt, false) {
+                Ok(()) => jsystem::println("demand recording off")?,
+                Err(err) => jsystem::eprintln(&format!("policyinfer: {err}"))?,
+            },
+            Some(other) => {
+                jsystem::eprintln(&format!(
+                    "policyinfer: unknown argument {other} \
+                     (usage: policyinfer [report|emit [file]|diff|reset|on|off] \
+                     [--app <id>] [--user <name>] [--json])"
+                ))?;
+            }
+        }
         Ok(())
     }
 

@@ -374,6 +374,73 @@ fn top_vmstat_audit_for_the_system_account() {
 }
 
 #[test]
+fn vmstat_demands_and_policyinfer_for_the_system_account() {
+    // An ordinary session generates demand traffic (granted file accesses
+    // plus one denied probe), then a system shell reads the observatory:
+    // vmstat's demands counters and section, and the policyinfer builtin.
+    let rt = session_runtime();
+    let screen = run_session_script(
+        &rt,
+        &[
+            "alice",
+            "apw",
+            "touch /home/alice/notes.txt",
+            "cat /home/alice/notes.txt",
+            "cat /home/bob/private.txt",
+            "quit",
+        ],
+    );
+    assert!(screen.contains("Welcome, alice."));
+
+    let (terminal, session) = crate::spawn_session(&rt, "shell", &[]).unwrap();
+    terminal.type_line("vmstat").unwrap();
+    terminal.type_line("policyinfer").unwrap();
+    terminal.type_line("policyinfer diff").unwrap();
+    terminal.type_line("quit").unwrap();
+    terminal.type_eof();
+    session.wait_for().unwrap();
+    let screen = terminal.screen_text();
+    assert!(
+        screen.contains("demands.recorded") && screen.contains("demands.unique"),
+        "vmstat surfaces the ledger counters: {screen:?}"
+    );
+    assert!(
+        screen.contains("demands:"),
+        "vmstat prints the hottest demand rows: {screen:?}"
+    );
+    assert!(
+        screen.contains("demand row(s)"),
+        "policyinfer prints the ledger report: {screen:?}"
+    );
+    assert!(
+        screen.contains("unexercised"),
+        "policyinfer diff prints the over-grant summary: {screen:?}"
+    );
+    // The counters the screen showed are real: the rollup agrees the ledger
+    // recorded the session's demands.
+    let rollup = rt.vm().obs().rollup();
+    let recorded = rollup.counters["demands.recorded"];
+    let unique = rollup.counters["demands.unique"];
+    assert!(recorded > 0, "session traffic was recorded");
+    assert!(
+        (1..=recorded).contains(&unique),
+        "distinct rows bounded by observations: unique={unique} recorded={recorded}"
+    );
+    assert_eq!(rollup.counters["demands.dropped"], 0);
+    // The denied probe is in the ledger for inference to see.
+    let denied: u64 = rt
+        .vm()
+        .obs()
+        .demands()
+        .rows()
+        .iter()
+        .map(|row| row.denied)
+        .sum();
+    assert!(denied > 0, "alice's denied probe landed in the ledger");
+    rt.shutdown();
+}
+
+#[test]
 fn top_and_audit_denied_for_ordinary_users_and_audited() {
     // Alice holds neither readMetrics nor readAuditLog: both builtins
     // refuse (without killing the session), and the refusals themselves

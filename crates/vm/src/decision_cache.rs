@@ -20,7 +20,9 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use jmp_obs::{DemandCell, DemandLedger};
 use jmp_security::{ContextFingerprint, Permission};
 use parking_lot::RwLock;
 
@@ -87,7 +89,17 @@ impl Hasher for FxHasher {
     }
 }
 
-type Shard = HashMap<Key, u64, BuildHasherDefault<FxHasher>>;
+/// One cached granted decision: the epoch it was derived under plus the
+/// demand-ledger cell recorded during the original walk (when the ledger
+/// accepted the demand). A warm hit bumps the cell directly, so the
+/// always-on demand ledger costs the hot path no hashing and no strings.
+#[derive(Debug)]
+struct CachedGrant {
+    epoch: u64,
+    demand_cell: Option<Arc<DemandCell>>,
+}
+
+type Shard = HashMap<Key, CachedGrant, BuildHasherDefault<FxHasher>>;
 
 /// A sharded, epoch-invalidated map of granted access-control decisions.
 #[derive(Debug, Default)]
@@ -126,39 +138,62 @@ impl DecisionCache {
         &self.shards[(key.0 as usize) & (SHARDS - 1)]
     }
 
-    /// Returns `true` if a granted decision for this exact
-    /// `(context, demand, user)` triple was derived under the current epoch.
+    /// Looks up a granted decision for this exact `(context, demand, user)`
+    /// triple derived under the current epoch; `true` means granted. On a
+    /// hit, the demand-ledger cell captured during the original walk (if
+    /// any) is bumped through `ledger` while the shard guard is held —
+    /// handing the `Arc` out instead would cost the hot path a clone+drop
+    /// pair of shared-cache-line RMWs, roughly doubling the always-on
+    /// ledger's warm cost.
     pub fn lookup_granted(
         &self,
         fingerprint: ContextFingerprint,
         demand: &Permission,
         user: Option<&str>,
+        ledger: &DemandLedger,
     ) -> bool {
         let key = (fingerprint.hash, demand_key(demand, user));
         let current = self.epoch();
-        self.shard(&key)
-            .read()
-            .get(&key)
-            .is_some_and(|entry_epoch| *entry_epoch == current)
+        let shard = self.shard(&key).read();
+        let Some(entry) = shard.get(&key) else {
+            return false;
+        };
+        if entry.epoch != current {
+            return false;
+        }
+        if let Some(cell) = &entry.demand_cell {
+            if ledger.enabled() {
+                ledger.bump(cell, true);
+            }
+        }
+        true
     }
 
     /// Records a granted decision derived while the epoch was
-    /// `derived_epoch`. A stale insert (the epoch moved during the walk) is
-    /// stored but can never match a future lookup, so a policy reload racing
-    /// a walk never resurrects a pre-reload decision.
+    /// `derived_epoch`, carrying the demand-ledger cell (if any) the walk
+    /// recorded. A stale insert (the epoch moved during the walk) is stored
+    /// but can never match a future lookup, so a policy reload racing a walk
+    /// never resurrects a pre-reload decision.
     pub fn insert_granted(
         &self,
         fingerprint: ContextFingerprint,
         demand: &Permission,
         user: Option<&str>,
         derived_epoch: u64,
+        demand_cell: Option<Arc<DemandCell>>,
     ) {
         let key = (fingerprint.hash, demand_key(demand, user));
         let mut shard = self.shard(&key).write();
         if shard.len() >= SHARD_CAP && !shard.contains_key(&key) {
             shard.clear();
         }
-        shard.insert(key, derived_epoch);
+        shard.insert(
+            key,
+            CachedGrant {
+                epoch: derived_epoch,
+                demand_cell,
+            },
+        );
     }
 }
 
@@ -171,59 +206,97 @@ mod tests {
         ContextFingerprint { hash, unique: 1 }
     }
 
+    fn ledger() -> DemandLedger {
+        DemandLedger::new(8)
+    }
+
     #[test]
     fn lookup_returns_only_current_epoch_entries() {
         let cache = DecisionCache::new();
+        let ledger = ledger();
         let demand = Permission::runtime("x");
-        assert!(!cache.lookup_granted(fp(1), &demand, None));
-        cache.insert_granted(fp(1), &demand, None, cache.epoch());
-        assert!(cache.lookup_granted(fp(1), &demand, None));
+        assert!(!cache.lookup_granted(fp(1), &demand, None, &ledger));
+        cache.insert_granted(fp(1), &demand, None, cache.epoch(), None);
+        assert!(cache.lookup_granted(fp(1), &demand, None, &ledger));
         cache.invalidate();
-        assert!(!cache.lookup_granted(fp(1), &demand, None));
+        assert!(!cache.lookup_granted(fp(1), &demand, None, &ledger));
     }
 
     #[test]
     fn key_covers_fingerprint_demand_and_user() {
         let cache = DecisionCache::new();
+        let ledger = ledger();
         let read = Permission::file("/a", FileActions::READ);
         let write = Permission::file("/a", FileActions::WRITE);
-        cache.insert_granted(fp(1), &read, Some("alice"), cache.epoch());
-        assert!(cache.lookup_granted(fp(1), &read, Some("alice")));
-        assert!(!cache.lookup_granted(fp(2), &read, Some("alice")));
-        assert!(!cache.lookup_granted(fp(1), &write, Some("alice")));
-        assert!(!cache.lookup_granted(fp(1), &read, Some("bob")));
-        assert!(!cache.lookup_granted(fp(1), &read, None));
+        cache.insert_granted(fp(1), &read, Some("alice"), cache.epoch(), None);
+        assert!(cache.lookup_granted(fp(1), &read, Some("alice"), &ledger));
+        assert!(!cache.lookup_granted(fp(2), &read, Some("alice"), &ledger));
+        assert!(!cache.lookup_granted(fp(1), &write, Some("alice"), &ledger));
+        assert!(!cache.lookup_granted(fp(1), &read, Some("bob"), &ledger));
+        assert!(!cache.lookup_granted(fp(1), &read, None, &ledger));
     }
 
     #[test]
     fn stale_insert_never_serves_lookups() {
         let cache = DecisionCache::new();
+        let ledger = ledger();
         let demand = Permission::runtime("x");
         // A walker captured the epoch, then a reload raced it.
         let captured = cache.epoch();
         cache.invalidate();
-        cache.insert_granted(fp(1), &demand, None, captured);
+        cache.insert_granted(fp(1), &demand, None, captured, None);
         assert!(
-            !cache.lookup_granted(fp(1), &demand, None),
+            !cache.lookup_granted(fp(1), &demand, None, &ledger),
             "pre-reload decision must not survive the reload"
         );
         // A post-reload derivation does serve.
-        cache.insert_granted(fp(1), &demand, None, cache.epoch());
-        assert!(cache.lookup_granted(fp(1), &demand, None));
+        cache.insert_granted(fp(1), &demand, None, cache.epoch(), None);
+        assert!(cache.lookup_granted(fp(1), &demand, None, &ledger));
+    }
+
+    #[test]
+    fn hit_bumps_the_stored_demand_cell() {
+        let cache = DecisionCache::new();
+        let ledger = ledger();
+        let demand = Permission::runtime("x");
+        let cell = ledger
+            .record(
+                None,
+                "file:/apps/x",
+                None,
+                "permission runtime \"x\"",
+                true,
+                false,
+                1,
+            )
+            .unwrap();
+        cache.insert_granted(fp(1), &demand, None, cache.epoch(), Some(Arc::clone(&cell)));
+        assert!(cache.lookup_granted(fp(1), &demand, None, &ledger));
+        assert!(cache.lookup_granted(fp(1), &demand, None, &ledger));
+        let rows = ledger.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].granted, 3, "1 record + 2 warm hits");
+
+        // A disabled ledger stops the bump-through but not the hit.
+        ledger.set_enabled(false);
+        assert!(cache.lookup_granted(fp(1), &demand, None, &ledger));
+        ledger.set_enabled(true);
+        assert_eq!(ledger.rows()[0].granted, 3);
     }
 
     #[test]
     fn full_shard_clears_and_keeps_accepting() {
         let cache = DecisionCache::new();
+        let ledger = ledger();
         let demand = Permission::runtime("x");
         // Drive one shard past its cap; all keys here land in shard 0.
         for i in 0..(SHARD_CAP as u64 + 10) {
-            cache.insert_granted(fp(i * SHARDS as u64), &demand, None, cache.epoch());
+            cache.insert_granted(fp(i * SHARDS as u64), &demand, None, cache.epoch(), None);
         }
         // The overflow cleared the shard (dropping the earliest entries) but
         // later inserts still land and serve.
-        assert!(!cache.lookup_granted(fp(0), &demand, None));
+        assert!(!cache.lookup_granted(fp(0), &demand, None, &ledger));
         let last = (SHARD_CAP as u64 + 9) * SHARDS as u64;
-        assert!(cache.lookup_granted(fp(last), &demand, None));
+        assert!(cache.lookup_granted(fp(last), &demand, None, &ledger));
     }
 }

@@ -330,11 +330,15 @@ impl Vm {
         // insert below can never serve a post-reload lookup.
         let epoch = self.inner.decisions.epoch();
         let user = self.current_user();
-        if self
-            .inner
-            .decisions
-            .lookup_granted(fingerprint, perm, user.as_deref())
-        {
+        // A hit also bumps the demand-ledger cell captured when the decision
+        // was first derived (one relaxed fetch_add inside the lookup), so
+        // the always-on ledger adds no hashing, strings, or clock here.
+        if self.inner.decisions.lookup_granted(
+            fingerprint,
+            perm,
+            user.as_deref(),
+            self.inner.obs.demands(),
+        ) {
             let latency_ns = started.elapsed().as_nanos() as u64;
             self.inner.obs.record_access_check(
                 "",
@@ -347,15 +351,62 @@ impl Vm {
             return Ok(());
         }
         let ctx = stack::current_access_context();
-        let result = AccessController::check_with(&ctx, perm, user.as_deref(), &self.policy());
+        let ledger = self.inner.obs.demands();
+        let mut routes = Vec::new();
+        let result = if ledger.enabled() {
+            AccessController::check_with_routes(
+                &ctx,
+                perm,
+                user.as_deref(),
+                &self.policy(),
+                &mut routes,
+            )
+        } else {
+            AccessController::check_with(&ctx, perm, user.as_deref(), &self.policy())
+        };
         let latency_ns = started.elapsed().as_nanos() as u64;
         // The hub only reads the permission/context strings on a denial, so
-        // the granted (hot) path skips both display allocations.
+        // the granted (hot) path skips both display allocations. The demand
+        // ledger *does* format the permission here — but only on the slow
+        // (full-walk) path, never on a warm hit.
         match &result {
             Ok(()) => {
-                self.inner
-                    .decisions
-                    .insert_granted(fingerprint, perm, user.as_deref(), epoch);
+                let demand_cell = if routes.is_empty() {
+                    // Every visible domain was fully trusted: no policy
+                    // grant was exercised, so there is nothing to infer.
+                    None
+                } else {
+                    let at_ms = self.inner.obs.clock().millis_of(started);
+                    let app = self.inner.obs.current_app();
+                    let permission = perm.to_string();
+                    let mut first_cell = None;
+                    for route in &routes {
+                        let cell = ledger.record(
+                            app,
+                            &route.source,
+                            user.as_deref(),
+                            &permission,
+                            true,
+                            route.via_user,
+                            at_ms,
+                        );
+                        // Warm hits bump only the first route's cell; rows
+                        // for further domains on the same stack keep their
+                        // first-walk counts (existence, not exact totals, is
+                        // what inference needs from them).
+                        if first_cell.is_none() {
+                            first_cell = cell;
+                        }
+                    }
+                    first_cell
+                };
+                self.inner.decisions.insert_granted(
+                    fingerprint,
+                    perm,
+                    user.as_deref(),
+                    epoch,
+                    demand_cell,
+                );
                 self.inner.obs.record_access_check(
                     "",
                     None,
@@ -366,6 +417,17 @@ impl Vm {
                 );
             }
             Err(err) => {
+                if let Some(refused) = routes.iter().find(|r| r.refused) {
+                    ledger.record(
+                        self.inner.obs.current_app(),
+                        &refused.source,
+                        user.as_deref(),
+                        &perm.to_string(),
+                        false,
+                        false,
+                        self.inner.obs.clock().millis_of(started),
+                    );
+                }
                 self.inner.obs.record_access_check(
                     &perm.to_string(),
                     Some(&err.to_string()),
@@ -378,6 +440,15 @@ impl Vm {
         }
         result?;
         Ok(())
+    }
+
+    /// Clears the demand ledger and flushes the access cache. The flush is
+    /// mandatory, not hygiene: cached decisions hold `Arc` handles to ledger
+    /// cells, and bumping a cell from a cleared ledger would count demands
+    /// into rows no report can see.
+    pub fn reset_demands(&self) {
+        self.inner.obs.demands().reset();
+        self.flush_access_cache();
     }
 
     /// Full permission check: consults the installed security manager, or
@@ -1171,6 +1242,105 @@ mod tests {
         assert_eq!(metrics.counter("access.cache.misses").get(), 1);
         assert_eq!(metrics.counter("access.cache.hits").get(), 4);
         assert_eq!(metrics.counter("security.checks").get(), 5);
+    }
+
+    #[test]
+    fn demand_ledger_records_routes_and_warm_hits() {
+        use jmp_security::FileActions;
+        let mut policy = Policy::new();
+        policy.grant_code(
+            CodeSource::local("file:/apps/-"),
+            vec![Permission::file("/data/-", FileActions::READ)],
+        );
+        let vm = Vm::builder().policy(policy).build();
+        let app = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/apps/reader"),
+            vm.policy()
+                .permissions_for(&CodeSource::local("file:/apps/reader")),
+        ));
+        let demand = Permission::file("/data/report", FileActions::READ);
+        let forbidden = Permission::file("/etc/shadow", FileActions::READ);
+        stack::call_as("Reader", Arc::clone(&app), || {
+            for _ in 0..5 {
+                vm.access_check(&demand).unwrap();
+            }
+            vm.access_check(&forbidden).unwrap_err();
+        });
+        let rows = vm.obs().demands().rows();
+        let granted = rows
+            .iter()
+            .find(|r| r.permission.contains("/data/report"))
+            .unwrap();
+        assert_eq!(granted.source, "file:/apps/reader");
+        assert_eq!(granted.granted, 5, "1 full walk + 4 warm bumps");
+        assert_eq!(granted.denied, 0);
+        assert!(!granted.via_user);
+        let denied = rows
+            .iter()
+            .find(|r| r.permission.contains("/etc/shadow"))
+            .unwrap();
+        assert_eq!(denied.source, "file:/apps/reader");
+        assert_eq!(denied.granted, 0);
+        assert_eq!(denied.denied, 1);
+        // The `demands.recorded` instrument is derived at export time; a
+        // rollup syncs it (the vmstat path).
+        assert_eq!(vm.obs().rollup().counters["demands.recorded"], 6);
+        assert_eq!(vm.obs().vm_metrics().counter("demands.unique").get(), 2);
+
+        // Reset clears the rows *and* the decision cache, so the next check
+        // re-records rather than bumping an orphaned cell.
+        vm.reset_demands();
+        assert!(vm.obs().demands().rows().is_empty());
+        stack::call_as("Reader", app, || {
+            vm.access_check(&demand).unwrap();
+        });
+        let rows = vm.obs().demands().rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].granted, 1);
+    }
+
+    #[test]
+    fn demand_ledger_routes_user_grants_and_honors_disable() {
+        use jmp_security::FileActions;
+        let mut policy = Policy::new();
+        policy.grant_user(
+            "alice",
+            vec![Permission::file("/home/alice/-", FileActions::ALL)],
+        );
+        policy.grant_code(
+            CodeSource::local("file:/apps/-"),
+            vec![Permission::exercise_user_permissions()],
+        );
+        let vm = Vm::builder().policy(policy).build();
+        vm.set_user_resolver(Arc::new(|| Some("alice".to_string())))
+            .unwrap();
+        let editor = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::local("file:/apps/editor"),
+            vm.policy()
+                .permissions_for(&CodeSource::local("file:/apps/editor")),
+        ));
+        let alice_file = Permission::file("/home/alice/notes", FileActions::READ);
+        stack::call_as("Editor", Arc::clone(&editor), || {
+            vm.access_check(&alice_file).unwrap();
+        });
+        let rows = vm.obs().demands().rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].via_user, "grant went through alice's permissions");
+        assert_eq!(rows[0].user.as_deref(), Some("alice"));
+        assert_eq!(rows[0].source, "file:/apps/editor");
+
+        // A disabled ledger records nothing — not even on full walks.
+        vm.reset_demands();
+        vm.obs().demands().set_enabled(false);
+        stack::call_as("Editor", editor, || {
+            vm.access_check(&alice_file).unwrap();
+            vm.access_check(&alice_file).unwrap();
+        });
+        assert!(vm.obs().demands().rows().is_empty());
+        // The pre-reset observation stays in the monotone total; the
+        // disabled checks added nothing.
+        assert_eq!(vm.obs().demands().recorded(), 1);
+        assert_eq!(vm.obs().rollup().counters["demands.recorded"], 1);
     }
 
     #[test]
