@@ -1,6 +1,11 @@
 //! A3: `jbc` interpreter throughput and the cost of security-checked
 //! natives — the price of keeping mobile code interpreted (DESIGN.md
 //! substitution for Java bytecode).
+//!
+//! A9: the same workloads on both engines in one binary — the seed
+//! tree-walking loop (`run_seed`, the executable specification) vs the
+//! pre-decoded direct-threaded engine (`run`) — isolating what
+//! pre-decoding, superinstruction fusion, and frame reuse buy.
 
 use std::sync::Arc;
 
@@ -78,6 +83,67 @@ fn bench_native_overhead(c: &mut Criterion) {
     });
 }
 
+const FIB: &str = r#"
+    class Fib
+    method main/1 locals=1
+        load 0
+        call fib/1
+        return_value
+    method fib/1 locals=1
+        load 0
+        push_int 2
+        lt
+        jump_if_false rec
+        load 0
+        return_value
+    rec:
+        load 0
+        push_int 1
+        sub
+        call fib/1
+        load 0
+        push_int 2
+        sub
+        call fib/1
+        add
+        return_value
+"#;
+
+fn bench_seed_vs_predecoded(c: &mut Criterion) {
+    let image = Arc::new(assemble(SUM_LOOP).unwrap());
+    let interpreter = Interpreter::new(image, Arc::new(NoNatives)).unwrap();
+    let mut group = c.benchmark_group("A9/sum_loop_10k");
+    group.bench_function("seed", |b| {
+        b.iter(|| {
+            interpreter
+                .run_seed("main", vec![Value::Int(10_000)])
+                .unwrap()
+        });
+    });
+    group.bench_function("predecoded", |b| {
+        b.iter(|| interpreter.run("main", vec![Value::Int(10_000)]).unwrap());
+    });
+    group.finish();
+
+    let image = Arc::new(assemble(FIB).unwrap());
+    let interpreter = Interpreter::new(image, Arc::new(NoNatives)).unwrap();
+    let mut group = c.benchmark_group("A9/fib_16");
+    group.bench_function("seed", |b| {
+        b.iter(|| interpreter.run_seed("main", vec![Value::Int(16)]).unwrap());
+    });
+    group.bench_function("predecoded", |b| {
+        b.iter(|| interpreter.run("main", vec![Value::Int(16)]).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_predecode(c: &mut Criterion) {
+    let image = Arc::new(assemble(SUM_LOOP).unwrap());
+    c.bench_function("A9/predecode_image", |b| {
+        b.iter(|| jmp_vm::interp::CompiledImage::compile(Arc::clone(&image)).unwrap());
+    });
+}
+
 fn bench_verify(c: &mut Criterion) {
     let image = assemble(SUM_LOOP).unwrap();
     c.bench_function("A3/verify_image", |b| {
@@ -89,6 +155,8 @@ criterion_group!(
     benches,
     bench_loop_throughput,
     bench_native_overhead,
+    bench_seed_vs_predecoded,
+    bench_predecode,
     bench_verify
 );
 criterion_main!(benches);

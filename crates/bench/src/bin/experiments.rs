@@ -9,6 +9,7 @@
 //! experiments --quota-json BENCH_E15.json e15
 //! experiments --profile-json BENCH_E16.json --profile-flame e16-flame.txt e16
 //! experiments --infer-json BENCH_E17.json --infer-policy inferred.policy --infer-diff e17-diff.json e17
+//! experiments --interp-json BENCH_E18.json e18
 //! ```
 
 use std::io::Write;
@@ -95,6 +96,16 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut interp_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--interp-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            interp_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--interp-json needs a file path");
+            std::process::exit(2);
+        }
+    }
     let mut chrome_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
         args.remove(pos);
@@ -131,6 +142,10 @@ fn main() {
     let e17_full =
         (infer_json_path.is_some() || infer_policy_path.is_some() || infer_diff_path.is_some())
             .then(jmp_bench::exp_infer::e17_infer_full);
+    // And for the E18 interpreter summary.
+    let e18_full = interp_json_path
+        .as_ref()
+        .map(|_| jmp_bench::exp_interp::e18_interp_full());
 
     let mut all_tables = Vec::new();
     for id in &ids {
@@ -139,6 +154,7 @@ fn main() {
             "e15" => e15_full.as_ref().map(|(tables, _)| tables.clone()),
             "e16" => e16_full.as_ref().map(|(tables, _)| tables.clone()),
             "e17" => e17_full.as_ref().map(|(tables, _)| tables.clone()),
+            "e18" => e18_full.as_ref().map(|(tables, _)| tables.clone()),
             _ => None,
         };
         let tables = already_ran.or_else(|| jmp_bench::run_experiment(id));
@@ -235,6 +251,22 @@ fn main() {
             std::fs::write(&path, json).expect("write infer diff output");
             eprintln!("wrote {path}");
         }
+    }
+
+    if let Some(path) = interp_json_path {
+        // The E18 interpreter summary: seed-vs-pre-decoded speedups, the
+        // fusion ratio, and the differential-corpus verdict, plus the
+        // tables, for CI threshold checks.
+        #[derive(serde::Serialize)]
+        struct InterpRun {
+            summary: jmp_bench::exp_interp::E18Summary,
+            tables: Vec<jmp_bench::table::Table>,
+        }
+        let (tables, summary) = e18_full.expect("e18 ran for --interp-json");
+        let run = InterpRun { summary, tables };
+        let json = serde_json::to_string_pretty(&run).expect("interp summary serializes");
+        std::fs::write(&path, json).expect("write interp json output");
+        eprintln!("wrote {path}");
     }
 
     if let Some(path) = json_path {

@@ -241,8 +241,8 @@ pub fn run_applet(url: &str, applet_args: Vec<Value>) -> Result<Value> {
         }),
     );
     let code_source = CodeSource::remote(url);
-    let def = ClassDef::builder(&image.name).image(image.clone()).build();
-    let class = loader.define_class(def, code_source)?;
+    let def = ClassDef::builder(&image.name).image(image).build();
+    let class = loader.define_class(Arc::clone(&def), code_source)?;
 
     let host = Arc::new(AppletHost {
         rt,
@@ -251,8 +251,11 @@ pub fn run_applet(url: &str, applet_args: Vec<Value>) -> Result<Value> {
         interpreter: OnceLock::new(),
         class: OnceLock::new(),
     });
+    // The define above already verified and pre-decoded the image (cached
+    // on the material); the interpreter adopts that shared compiled form.
+    let compiled = def.compiled().expect("applet material carries an image")?;
     let interpreter = Arc::new(
-        Interpreter::new(Arc::new(image), Arc::clone(&host) as Arc<dyn NativeHost>)?
+        Interpreter::from_compiled(compiled, Arc::clone(&host) as Arc<dyn NativeHost>)
             .with_fuel(10_000_000),
     );
     // Both cells are freshly constructed above; each set happens exactly once.

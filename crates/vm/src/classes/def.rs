@@ -1,7 +1,7 @@
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::interp::ClassImage;
+use crate::interp::{ClassImage, CompiledImage};
 use crate::Result;
 
 /// A native entry point: the body of a class's `main` method, implemented in
@@ -23,6 +23,10 @@ pub struct ClassDef {
     name: String,
     main: Option<NativeMain>,
     image: Option<Arc<ClassImage>>,
+    /// The pre-decoded form of `image`, compiled once per material (not per
+    /// definition — superinstruction selection and string interning depend
+    /// only on the image) and shared by every interpreter over it.
+    compiled: OnceLock<Arc<CompiledImage>>,
     static_slots: Vec<String>,
 }
 
@@ -50,6 +54,31 @@ impl ClassDef {
     /// The bytecode image, if this is interpreted (mobile) code.
     pub fn image(&self) -> Option<&Arc<ClassImage>> {
         self.image.as_ref()
+    }
+
+    /// The verified, pre-decoded form of the image — compiled on first call
+    /// and cached on the material, so defining or running the class many
+    /// times verifies and pre-decodes once. `None` for native classes.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::VmError::Verification`] if the image is rejected. (Failures
+    /// are not cached; a rejected image fails on every call.)
+    pub fn compiled(&self) -> Option<Result<Arc<CompiledImage>>> {
+        let image = self.image.as_ref()?;
+        if let Some(ready) = self.compiled.get() {
+            return Some(Ok(Arc::clone(ready)));
+        }
+        match CompiledImage::compile(Arc::clone(image)) {
+            Ok(ci) => {
+                let arc = Arc::new(ci);
+                // A concurrent compile of the same image wins or loses the
+                // publish race; both results are identical, keep the winner.
+                let winner = self.compiled.get_or_init(|| arc);
+                Some(Ok(Arc::clone(winner)))
+            }
+            Err(err) => Some(Err(err)),
+        }
     }
 
     /// Names of the static slots every definition of this class carries.
@@ -106,6 +135,7 @@ impl ClassDefBuilder {
             name: self.name,
             main: self.main,
             image: self.image,
+            compiled: OnceLock::new(),
             static_slots: self.static_slots,
         })
     }
@@ -144,6 +174,41 @@ mod tests {
         let main = def.main().unwrap();
         main(vec!["a".into(), "b".into()]).unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn compiled_form_is_cached_per_material() {
+        use crate::interp::{Insn, MethodImage};
+        let def = ClassDef::builder("M")
+            .image(ClassImage {
+                name: "M".into(),
+                methods: vec![MethodImage {
+                    name: "main".into(),
+                    params: 0,
+                    locals: 0,
+                    code: vec![Insn::PushInt(1), Insn::ReturnValue],
+                }],
+            })
+            .build();
+        let a = def.compiled().unwrap().unwrap();
+        let b = def.compiled().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "compiled once, shared after");
+
+        let native = ClassDef::builder("N").main(|_| Ok(())).build();
+        assert!(native.compiled().is_none());
+
+        let bad = ClassDef::builder("B")
+            .image(ClassImage {
+                name: "B".into(),
+                methods: vec![MethodImage {
+                    name: "main".into(),
+                    params: 0,
+                    locals: 0,
+                    code: vec![Insn::Add, Insn::Return],
+                }],
+            })
+            .build();
+        assert!(bad.compiled().unwrap().is_err());
     }
 
     #[test]

@@ -184,6 +184,13 @@ impl ClassLoader {
     ///
     /// [`VmError::Linkage`] if this loader already defined the name.
     pub fn define_class(&self, def: Arc<ClassDef>, source: CodeSource) -> Result<Class> {
+        // Pre-decode interpreted material now (cached on the def, shared by
+        // every later interpreter over it), outside the `defined` lock —
+        // defining a class is the JVM's verify/link moment, and doing it
+        // here keeps first execution on the fast path. A verification
+        // failure is deliberately not raised here: it surfaces exactly as
+        // before, when something tries to *run* the class.
+        let _ = def.compiled();
         let class = {
             let mut defined = self.inner.defined.write();
             if defined.contains_key(def.name()) {

@@ -32,6 +32,40 @@ impl Value {
         }
     }
 
+    /// `Concat` semantics: the display forms of `a` then `b`, as one string
+    /// value. Builds the result in a single buffer and converts to the
+    /// `Arc<str>` directly — the `Str`/`Int` fast cases skip the per-operand
+    /// `String` allocations `display_string` would pay.
+    pub fn concat(a: &Value, b: &Value) -> Value {
+        let mut out = String::with_capacity(a.display_len_hint() + b.display_len_hint());
+        a.append_display(&mut out);
+        b.append_display(&mut out);
+        Value::Str(Arc::from(out.as_str()))
+    }
+
+    /// Capacity hint for [`Value::concat`]'s single buffer.
+    fn display_len_hint(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Int(_) => 8,
+            Value::Bool(_) => 5,
+            Value::Str(s) => s.len(),
+        }
+    }
+
+    /// Appends the display form to `out` without an intermediate `String`.
+    fn append_display(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => out.push_str(s),
+        }
+    }
+
     /// Truthiness used by conditional jumps: `false`, `0`, `null`, and the
     /// empty string are falsy.
     pub fn is_truthy(&self) -> bool {
@@ -156,12 +190,23 @@ pub enum Insn {
     ReturnValue,
 }
 
-/// Number of distinct `jbc` opcodes ([`Insn`] variants). Profile tallies
-/// are fixed arrays of this length, indexed by [`Insn::opcode`].
-pub const OPCODE_COUNT: usize = 32;
+/// Number of base `jbc` opcodes ([`Insn`] variants) — the wire-format
+/// instruction set. The compiled form appends superinstructions after
+/// these; see [`OPCODE_COUNT`].
+pub const BASE_OPCODE_COUNT: usize = 32;
 
-/// Opcode names in [`Insn::opcode`] order (the declaration order of the
-/// [`Insn`] variants) — the labels used by profile reports and `vmstat`.
+/// Number of distinct opcodes the dispatch loop can execute: the 32 wire
+/// opcodes plus the superinstructions the pre-decoder fuses (see
+/// [`super::CompiledImage`]). Profile tallies are fixed arrays of this
+/// length, indexed by [`Insn::opcode`] for base opcodes and by the
+/// compiled opcode byte for fused ones.
+pub const OPCODE_COUNT: usize = 55;
+
+/// Opcode names: the 32 wire opcodes in [`Insn::opcode`] order (the
+/// declaration order of the [`Insn`] variants, stable so `profile` output
+/// for unfused opcodes never changes), followed by the superinstructions
+/// in compiled-opcode order — the labels used by profile reports and
+/// `vmstat`.
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "push_int",
     "push_str",
@@ -195,6 +240,30 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "native",
     "return",
     "return_value",
+    // Superinstructions (compiled form only; cost = fused component count).
+    "load2_add",       // Load a; Load b; Add
+    "load2_sub",       // Load a; Load b; Sub
+    "load2_mul",       // Load a; Load b; Mul
+    "lt_jf",           // Lt; JumpIfFalse
+    "le_jf",           // Le; JumpIfFalse
+    "gt_jf",           // Gt; JumpIfFalse
+    "ge_jf",           // Ge; JumpIfFalse
+    "eq_jf",           // Eq; JumpIfFalse
+    "ne_jf",           // Ne; JumpIfFalse
+    "load_addi",       // Load a; PushInt k; Add
+    "load_subi",       // Load a; PushInt k; Sub
+    "load_store",      // Load a; Store b
+    "addi_store",      // Load a; PushInt k; Add; Store b
+    "subi_store",      // Load a; PushInt k; Sub; Store b
+    "add2_store",      // Load a; Load b; Add; Store c
+    "lti_jf",          // Load a; PushInt k; Lt; JumpIfFalse
+    "lei_jf",          // Load a; PushInt k; Le; JumpIfFalse
+    "gti_jf",          // Load a; PushInt k; Gt; JumpIfFalse
+    "gei_jf",          // Load a; PushInt k; Ge; JumpIfFalse
+    "eqi_jf",          // Load a; PushInt k; Eq; JumpIfFalse
+    "nei_jf",          // Load a; PushInt k; Ne; JumpIfFalse
+    "addi_store_jump", // Load a; PushInt k; Add; Store b; Jump
+    "subi_store_jump", // Load a; PushInt k; Sub; Store b; Jump
 ];
 
 /// Relative cost weights in [`Insn::opcode`] order, used by the profiler to
@@ -235,6 +304,32 @@ pub const OPCODE_WEIGHTS: [u64; OPCODE_COUNT] = [
     10, // native (host dispatch + security checks)
     1,  // return
     1,  // return_value
+    // Superinstruction weights: the sum of their components' weights, so a
+    // fused op's one tally still apportions the same cost the unfused
+    // sequence would have — E16 attribution stays truthful under fusion.
+    3, // load2_add
+    3, // load2_sub
+    3, // load2_mul
+    2, // lt_jf
+    2, // le_jf
+    2, // gt_jf
+    2, // ge_jf
+    2, // eq_jf
+    2, // ne_jf
+    3, // load_addi
+    3, // load_subi
+    2, // load_store
+    4, // addi_store
+    4, // subi_store
+    4, // add2_store
+    4, // lti_jf
+    4, // lei_jf
+    4, // gti_jf
+    4, // gei_jf
+    4, // eqi_jf
+    4, // nei_jf
+    5, // addi_store_jump
+    5, // subi_store_jump
 ];
 
 impl Insn {
@@ -423,6 +518,25 @@ mod tests {
     }
 
     #[test]
+    fn concat_matches_display_semantics() {
+        let cases = [
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(7),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::str(""),
+            Value::str("x="),
+        ];
+        for a in &cases {
+            for b in &cases {
+                let expected = format!("{}{}", a.display_string(), b.display_string());
+                assert_eq!(Value::concat(a, b), Value::str(expected));
+            }
+        }
+    }
+
+    #[test]
     fn value_conversions() {
         assert_eq!(Value::from(5i64), Value::Int(5));
         assert_eq!(Value::from(true), Value::Bool(true));
@@ -499,11 +613,16 @@ mod tests {
             Insn::Return,
             Insn::ReturnValue,
         ];
-        assert_eq!(samples.len(), OPCODE_COUNT, "one sample per variant");
+        assert_eq!(samples.len(), BASE_OPCODE_COUNT, "one sample per variant");
         for (expected, insn) in samples.iter().enumerate() {
             assert_eq!(insn.opcode(), expected, "{insn:?} index is stable");
             assert_eq!(insn.name(), OPCODE_NAMES[expected]);
-            assert!(OPCODE_WEIGHTS[expected] >= 1, "weights are positive");
+        }
+        for weight in OPCODE_WEIGHTS {
+            assert!(weight >= 1, "weights are positive");
+        }
+        const {
+            assert!(OPCODE_COUNT > BASE_OPCODE_COUNT, "superinstructions named");
         }
         assert_eq!(
             Insn::CallNative {

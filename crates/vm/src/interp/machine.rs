@@ -1,11 +1,34 @@
+//! The `jbc` execution engine: a pre-decoded fast dispatch loop plus the
+//! seed reference interpreter it is differentially tested against.
+//!
+//! [`Interpreter::run`] executes the compiled form ([`CompiledImage`]): a
+//! flat `Vec<Op>` per method with interned string constants, resolved call
+//! targets, fused superinstructions, and an explicit call-frame stack over
+//! one contiguous reusable value arena (no Rust-stack recursion, no
+//! per-call allocations in the steady state). Instruction accounting is
+//! batched in locals and flushed to the shared [`InterpStats`] atomics at
+//! the existing 1024-instruction safepoints; fuel is charged per dispatched
+//! op (by its fused cost) rather than one atomic RMW per wire instruction.
+//!
+//! [`Interpreter::run_seed`] is the original recursive `match`-loop over
+//! the wire [`Insn`] form, kept as the executable specification: the
+//! differential corpus ([`super::difftest`]) and experiment E18 run both
+//! engines over the same images and assert identical results, traps, and
+//! counters. Semantics — trap messages and ordering, the cumulative
+//! 1024-instruction safepoint cadence, fuel charging, call-depth limits —
+//! are defined by the seed loop and replicated exactly by the fast loop
+//! (fused ops charge their component count, so fusion is invisible to
+//! fuel, accounting, and preemption).
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use jmp_obs::Profiler;
+use parking_lot::Mutex;
 
+use super::compile::{op, CompiledImage, Op};
 use super::image::{ClassImage, Insn, Value, OPCODE_COUNT, OPCODE_NAMES, OPCODE_WEIGHTS};
-use super::verify::verify;
 use crate::error::VmError;
 use crate::thread::check_interrupt;
 use crate::Result;
@@ -43,18 +66,30 @@ impl NativeHost for NoNatives {
     }
 }
 
-/// Execution counters, for the interpreter benches (experiment A3).
+/// Execution counters, for the interpreter benches (experiments A3/A9).
+///
+/// `instructions` counts *wire* instructions (a fused superinstruction
+/// charges its component count), so the number is engine-independent;
+/// `dispatches` counts ops the fast loop dispatched (0 under
+/// [`Interpreter::run_seed`]) — the gap between the two is the fusion win.
 #[derive(Debug, Default)]
 pub struct InterpStats {
     instructions: AtomicU64,
+    dispatches: AtomicU64,
     native_calls: AtomicU64,
     method_calls: AtomicU64,
 }
 
 impl InterpStats {
-    /// Instructions executed so far.
+    /// Wire instructions executed so far (fused ops count their
+    /// components).
     pub fn instructions(&self) -> u64 {
         self.instructions.load(Ordering::Relaxed)
+    }
+
+    /// Compiled ops dispatched so far (0 for seed-loop runs).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
     }
 
     /// Native invocations so far.
@@ -66,28 +101,71 @@ impl InterpStats {
     pub fn method_calls(&self) -> u64 {
         self.method_calls.load(Ordering::Relaxed)
     }
+
+    /// Drains `pending` into the shared atomics. Called at safepoints,
+    /// before native calls, and at run exit — never per instruction.
+    fn flush_pending(&self, pending: &mut Pending) {
+        if pending.instructions > 0 {
+            self.instructions
+                .fetch_add(pending.instructions, Ordering::Relaxed);
+            pending.instructions = 0;
+        }
+        if pending.dispatches > 0 {
+            self.dispatches
+                .fetch_add(pending.dispatches, Ordering::Relaxed);
+            pending.dispatches = 0;
+        }
+        if pending.native_calls > 0 {
+            self.native_calls
+                .fetch_add(pending.native_calls, Ordering::Relaxed);
+            pending.native_calls = 0;
+        }
+        if pending.method_calls > 0 {
+            self.method_calls
+                .fetch_add(pending.method_calls, Ordering::Relaxed);
+            pending.method_calls = 0;
+        }
+    }
 }
 
-/// How often the interpreter polls for interruption (in instructions).
+/// Run-local counter batch. The seed loop paid one contended atomic RMW
+/// per wire instruction; the fast loop accumulates here and flushes at
+/// safepoint granularity.
+#[derive(Debug, Default)]
+struct Pending {
+    instructions: u64,
+    dispatches: u64,
+    native_calls: u64,
+    method_calls: u64,
+}
+
+/// How often the interpreter polls for interruption (in wire instructions).
 /// Doubles as the profiler's safepoint: the per-opcode tallies
 /// accumulated in [`ProfTally`] re-read the accounting switch here and
 /// are pushed to the [`Profiler`] every
-/// [`PROFILE_FLUSH_SAFEPOINTS`]th visit.
+/// [`PROFILE_FLUSH_SAFEPOINTS`]th visit. The cadence is measured on the
+/// interpreter's *cumulative* instruction counter, so it is preserved
+/// across nested and repeated runs — and exactly matches the seed loop's.
 const INTERRUPT_CHECK_EVERY: u64 = 1024;
 
 /// Per-run opcode tally, flushed to the VM [`Profiler`] at safepoints.
 ///
-/// The hot dispatch loop pays one branchless masked array add per
-/// instruction (with a zero addend while accounting is off — `active` is
+/// The hot dispatch loop pays one well-predicted branch per dispatched op
+/// (the array add itself is skipped while accounting is off — `active` is
 /// re-read from the profiler only at safepoints, so toggles take effect
 /// within `INTERRUPT_CHECK_EVERY` instructions). Batch wall time is
-/// apportioned across the batch's opcodes by the profiler using the
-/// installed weight model.
+/// apportioned
+/// across the batch's opcodes by the profiler using the installed weight
+/// model; superinstruction weights are their components' sums, so fusion
+/// does not skew attribution.
 struct ProfTally {
     profiler: Option<Profiler>,
     app: Option<u64>,
     active: bool,
-    counts: [u64; OPCODE_COUNT],
+    /// Sized by the opcode byte's full range (not [`OPCODE_COUNT`]) so the
+    /// hot-path index below compiles without a bounds check; only the
+    /// first `OPCODE_COUNT` entries can ever be nonzero.
+    counts: [u64; 256],
     safepoints: u32,
     started: Instant,
 }
@@ -99,9 +177,6 @@ struct ProfTally {
 /// still re-read at *every* safepoint, so toggle latency stays at
 /// `INTERRUPT_CHECK_EVERY` instructions.
 const PROFILE_FLUSH_SAFEPOINTS: u32 = 4;
-
-// `tally` masks the opcode index instead of bounds-checking it.
-const _: () = assert!(OPCODE_COUNT.is_power_of_two());
 
 impl ProfTally {
     /// Resolves the profiler: an explicit one (benches, embedding) wins,
@@ -123,18 +198,21 @@ impl ProfTally {
             profiler,
             app,
             active,
-            counts: [0; OPCODE_COUNT],
+            counts: [0; 256],
             safepoints: 0,
             started: Instant::now(),
         }
     }
 
-    /// The hot-path increment: one branchless masked array add. The
-    /// addend is 0 while accounting is off, so an inactive tally stays
-    /// all-zero and the safepoint flush skips it.
+    /// The hot-path increment: one branch (predicted not-taken while
+    /// accounting is off) and, when active, one array add per dispatched
+    /// op. An inactive tally stays all-zero and the safepoint flush
+    /// skips it.
     #[inline]
-    fn tally(&mut self, opcode: usize) {
-        self.counts[opcode & (OPCODE_COUNT - 1)] += self.active as u64;
+    fn tally(&mut self, opcode: u8) {
+        if self.active {
+            self.counts[usize::from(opcode)] += 1;
+        }
     }
 
     /// Safepoint: re-read the accounting switch, and push the batch on
@@ -155,12 +233,13 @@ impl ProfTally {
     /// Pushes the accumulated batch (if any) to the profiler and restarts
     /// the batch timer.
     fn flush(&mut self) {
-        if self.counts.iter().any(|&c| c > 0) {
+        let counts = &self.counts[..OPCODE_COUNT];
+        if counts.iter().any(|&c| c > 0) {
             let elapsed = self.started.elapsed().as_nanos() as u64;
             if let Some(profiler) = &self.profiler {
-                profiler.record_block(self.app, &self.counts, elapsed);
+                profiler.record_block(self.app, counts, elapsed);
             }
-            self.counts = [0; OPCODE_COUNT];
+            self.counts = [0; 256];
         }
         self.started = Instant::now();
     }
@@ -170,31 +249,48 @@ impl ProfTally {
     }
 }
 
-/// Maximum intra-class call depth. Interpreted calls consume host stack
-/// frames, so this is sized to stay well inside a default 2 MiB thread stack
-/// even in unoptimized builds.
+/// Maximum intra-class call depth. The fast loop's frames live on the heap
+/// (no host-stack recursion), but the limit is part of the observable
+/// semantics the seed loop defined, so both engines enforce the same bound.
 const MAX_CALL_DEPTH: usize = 64;
 
-/// The `jbc` interpreter for one verified [`ClassImage`].
+/// A caller's registers, saved across an intra-class call by the fast
+/// loop's explicit frame stack.
+struct FrameState {
+    method: u32,
+    pc: u32,
+    base: u32,
+    /// Whether the *callee* published a profloc frame (popped on return).
+    callee_guarded: bool,
+}
+
+/// How many arenas an idle interpreter keeps warm for reuse across runs
+/// (and across threads sharing one interpreter).
+const ARENA_POOL_CAP: usize = 8;
+
+/// The `jbc` interpreter for one verified, pre-decoded [`ClassImage`].
 ///
-/// Construction verifies the image; [`Interpreter::run`] executes a method.
+/// Construction verifies and compiles the image (or adopts an existing
+/// [`CompiledImage`] via [`Interpreter::from_compiled`]);
+/// [`Interpreter::run`] executes a method on the fast dispatch loop.
 /// Interpreted code is preemptible: every `INTERRUPT_CHECK_EVERY` (1024)
-/// instructions the thread's interruption flag is polled, so a runaway
+/// wire instructions the thread's interruption flag is polled, so a runaway
 /// applet is still stoppable by application teardown — something native
 /// code can only promise cooperatively. An optional *fuel* bound aborts
 /// execution after a fixed instruction budget.
 pub struct Interpreter {
-    image: Arc<ClassImage>,
+    compiled: Arc<CompiledImage>,
     host: Arc<dyn NativeHost>,
     stats: InterpStats,
     fuel: Option<u64>,
     profiler: Option<Profiler>,
+    arena_pool: Mutex<Vec<Vec<Value>>>,
 }
 
 impl std::fmt::Debug for Interpreter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Interpreter")
-            .field("class", &self.image.name)
+            .field("class", &self.compiled.image().name)
             .field("fuel", &self.fuel)
             .field("instructions", &self.stats.instructions())
             .finish()
@@ -202,20 +298,29 @@ impl std::fmt::Debug for Interpreter {
 }
 
 impl Interpreter {
-    /// Creates an interpreter over `image`, verifying it first.
+    /// Creates an interpreter over `image`, verifying and pre-decoding it
+    /// first.
     ///
     /// # Errors
     ///
     /// [`VmError::Verification`] if the image is rejected.
     pub fn new(image: Arc<ClassImage>, host: Arc<dyn NativeHost>) -> Result<Interpreter> {
-        verify(&image)?;
-        Ok(Interpreter {
-            image,
+        let compiled = Arc::new(CompiledImage::compile(image)?);
+        Ok(Interpreter::from_compiled(compiled, host))
+    }
+
+    /// Creates an interpreter over an already-compiled image — the
+    /// class-define-time path: [`ClassDef`](crate::classes::ClassDef)
+    /// compiles once and every execution adopts the shared form.
+    pub fn from_compiled(compiled: Arc<CompiledImage>, host: Arc<dyn NativeHost>) -> Interpreter {
+        Interpreter {
+            compiled,
             host,
             stats: InterpStats::default(),
             fuel: None,
             profiler: None,
-        })
+            arena_pool: Mutex::new(Vec::new()),
+        }
     }
 
     /// Limits execution to `fuel` instructions per [`Interpreter::run`]
@@ -240,10 +345,15 @@ impl Interpreter {
 
     /// The class image being interpreted.
     pub fn image(&self) -> &Arc<ClassImage> {
-        &self.image
+        self.compiled.image()
     }
 
-    /// Runs `method` with `args`.
+    /// The pre-decoded form being executed.
+    pub fn compiled(&self) -> &Arc<CompiledImage> {
+        &self.compiled
+    }
+
+    /// Runs `method` with `args` on the fast dispatch loop.
     ///
     /// # Errors
     ///
@@ -252,14 +362,528 @@ impl Interpreter {
     /// [`VmError::Interrupted`] if the thread is interrupted mid-run; plus
     /// anything the [`NativeHost`] raises.
     pub fn run(&self, method: &str, args: Vec<Value>) -> Result<Value> {
-        let mut budget = self.fuel;
         let mut prof = ProfTally::new(self.profiler.as_ref());
-        let result = self.run_method(method, args, 0, &mut budget, &mut prof);
+        let result = self.run_compiled(method, args, &mut prof);
         prof.flush();
         result
     }
 
-    fn run_method(
+    /// Runs `method` with `args` on the original (seed) recursive
+    /// `match`-loop over the wire instruction form.
+    ///
+    /// Kept as the executable specification of `jbc` semantics: the
+    /// differential corpus and experiment E18 run both engines over the
+    /// same images in the same binary. It still pays the seed costs — one
+    /// global atomic RMW per instruction, fresh locals/stack vectors per
+    /// call — so it doubles as an honest in-run baseline.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Interpreter::run`].
+    pub fn run_seed(&self, method: &str, args: Vec<Value>) -> Result<Value> {
+        let mut budget = self.fuel;
+        let mut prof = ProfTally::new(self.profiler.as_ref());
+        let result = self.run_method_seed(method, args, 0, &mut budget, &mut prof);
+        prof.flush();
+        result
+    }
+
+    /// The fast dispatch loop: explicit frames over one reusable arena.
+    ///
+    /// Arena layout per frame: `[base .. base+locals)` are the local
+    /// slots, `[base+locals .. base+frame_size)` the operand stack (sized
+    /// by the verifier's proven `max_stack`, so pushes never bounds-grow).
+    /// A callee's `base` is the caller's `sp - argc`: the pushed arguments
+    /// are already its first locals in call order, so calls move no values
+    /// at all.
+    #[allow(clippy::too_many_lines)]
+    fn run_compiled(
+        &self,
+        method: &str,
+        mut args: Vec<Value>,
+        prof: &mut ProfTally,
+    ) -> Result<Value> {
+        let ci: &CompiledImage = &self.compiled;
+        let methods = ci.methods();
+        let Some(entry) = ci.method_index(method) else {
+            return Err(VmError::trap(format!("no such method: {method}")));
+        };
+        if args.len() != usize::from(methods[entry].params) {
+            return Err(VmError::trap(format!(
+                "method {method} takes {} args, got {}",
+                methods[entry].params,
+                args.len()
+            )));
+        }
+
+        let mut arena: Vec<Value> = self.arena_pool.lock().pop().unwrap_or_default();
+        let mut frames: Vec<FrameState> = Vec::new();
+        let mut guards: Vec<crate::profloc::FrameGuard> = Vec::new();
+
+        // Current-frame registers.
+        let mut mi = entry;
+        let mut base: usize = 0;
+        arena.resize(methods[mi].frame_size as usize, Value::Null);
+        let mut sp = usize::from(methods[mi].locals);
+        for (slot, arg) in args.drain(..).enumerate() {
+            arena[slot] = arg;
+        }
+        let mut code: &[Op] = &methods[mi].code;
+        let mut pc: usize = 0;
+        if let Some(p) = prof.profiler() {
+            if p.sampling_enabled() {
+                guards.push(crate::profloc::frame_arc(&methods[mi].qualified, Some(p)));
+            }
+        }
+
+        // Charging state. `until_check` counts wire instructions down to
+        // the next safepoint on the interpreter's *cumulative* counter —
+        // the same cadence the seed loop derives from its per-instruction
+        // `fetch_add`. Fuel is run-local, like the seed's `budget`.
+        let mut pending = Pending::default();
+        let mut until_check =
+            INTERRUPT_CHECK_EVERY - (self.stats.instructions() % INTERRUPT_CHECK_EVERY);
+        let mut fuel: u64 = self.fuel.unwrap_or(u64::MAX);
+        // The two headrooms merged into one counter for the hot path:
+        // `slack` components can be charged without reaching a safepoint
+        // boundary (`until_check` must stay ≥ 1) or running out of fuel.
+        // `slack >= cost` is exactly `until_check > cost && fuel >= cost`;
+        // `slack_base - slack` is what the slow path reconciles back into
+        // the real counters before charging component-wise.
+        let mut slack = (until_check - 1).min(fuel);
+        let mut slack_base = slack;
+        // Batched-counter shadows kept out of `pending` so the fast path
+        // touches only registers: the wire-instruction charge is derived
+        // from `slack_base - slack` and dispatches from `dispatched`, both
+        // folded back into `pending` at reconcile points (slow-path entry,
+        // native calls, run exit). `trap_refund` carries a fused op's
+        // never-reached tail components out to the exit reconcile.
+        let mut dispatched: u64 = 0;
+        let mut trap_refund: u64 = 0;
+        macro_rules! reconcile {
+            () => {{
+                pending.instructions += slack_base - slack;
+                slack_base = slack;
+                pending.dispatches += dispatched;
+                dispatched = 0;
+            }};
+        }
+
+        let outcome: Result<Value> = 'run: loop {
+            let o = code[pc];
+            pc += 1;
+            let cost = u64::from(o.cost);
+            if slack >= cost {
+                // Fast path: no safepoint boundary inside this op and
+                // enough fuel for every component.
+                slack -= cost;
+            } else {
+                // Slow path: charge component-wise in exact seed order —
+                // count, then (at a boundary) safepoint + interrupt poll,
+                // then the fuel check — so a trap attributes to the same
+                // wire instruction the seed loop would pick.
+                let spent = slack_base - slack;
+                reconcile!();
+                until_check -= spent;
+                fuel -= spent;
+                let mut trapped: Option<VmError> = None;
+                for _ in 0..o.cost {
+                    pending.instructions += 1;
+                    until_check -= 1;
+                    if until_check == 0 {
+                        until_check = INTERRUPT_CHECK_EVERY;
+                        self.stats.flush_pending(&mut pending);
+                        prof.at_safepoint();
+                        if let Err(err) = check_interrupt() {
+                            trapped = Some(err);
+                            break;
+                        }
+                    }
+                    if fuel == 0 {
+                        trapped = Some(VmError::trap("fuel exhausted"));
+                        break;
+                    }
+                    fuel -= 1;
+                }
+                if let Some(err) = trapped {
+                    break 'run Err(err);
+                }
+                // The component loop leaves `until_check` ≥ 1 (a boundary
+                // resets it to the full interval mid-iteration).
+                slack = (until_check - 1).min(fuel);
+                slack_base = slack;
+            }
+            dispatched += 1;
+            prof.tally(o.code);
+
+            // Pop a value, leaving `Null` so the slot holds no stale Arc.
+            macro_rules! pop_take {
+                () => {{
+                    sp -= 1;
+                    std::mem::replace(&mut arena[sp], Value::Null)
+                }};
+            }
+            // Read an int at an arena index; on type mismatch, trap with
+            // the seed's message. `$refund` is the number of *tail*
+            // components of a fused op the seed loop would never have
+            // reached (it traps at the compute component), keeping the
+            // instruction count seed-identical even for mid-pattern traps.
+            macro_rules! int_at {
+                ($idx:expr) => {
+                    int_at!($idx, 0)
+                };
+                ($idx:expr, $refund:expr) => {
+                    match &arena[$idx] {
+                        Value::Int(v) => *v,
+                        other => {
+                            trap_refund = $refund;
+                            break 'run Err(expected_int(other));
+                        }
+                    }
+                };
+            }
+
+            match o.code {
+                op::PUSH_INT => {
+                    arena[sp] = Value::Int(o.k);
+                    sp += 1;
+                }
+                op::PUSH_STR => {
+                    arena[sp] = Value::Str(Arc::clone(ci.pool_str(o.t)));
+                    sp += 1;
+                }
+                op::PUSH_BOOL => {
+                    arena[sp] = Value::Bool(o.a != 0);
+                    sp += 1;
+                }
+                op::PUSH_NULL => {
+                    arena[sp] = Value::Null;
+                    sp += 1;
+                }
+                op::LOAD => {
+                    arena[sp] = arena[base + usize::from(o.a)].clone();
+                    sp += 1;
+                }
+                op::STORE => {
+                    let v = pop_take!();
+                    arena[base + usize::from(o.a)] = v;
+                }
+                op::POP => {
+                    sp -= 1;
+                    arena[sp] = Value::Null;
+                }
+                op::DUP => {
+                    arena[sp] = arena[sp - 1].clone();
+                    sp += 1;
+                }
+                op::SWAP => {
+                    arena.swap(sp - 1, sp - 2);
+                }
+                op::ADD => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Int(a.wrapping_add(b));
+                    sp -= 1;
+                }
+                op::SUB => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Int(a.wrapping_sub(b));
+                    sp -= 1;
+                }
+                op::MUL => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Int(a.wrapping_mul(b));
+                    sp -= 1;
+                }
+                op::DIV | op::REM => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    if b == 0 {
+                        break 'run Err(VmError::trap("division by zero"));
+                    }
+                    arena[sp - 2] = Value::Int(if o.code == op::REM {
+                        a.wrapping_rem(b)
+                    } else {
+                        a.wrapping_div(b)
+                    });
+                    sp -= 1;
+                }
+                op::NEG => {
+                    let v = int_at!(sp - 1);
+                    arena[sp - 1] = Value::Int(v.wrapping_neg());
+                }
+                op::CONCAT => {
+                    let joined = Value::concat(&arena[sp - 2], &arena[sp - 1]);
+                    arena[sp - 2] = joined;
+                    arena[sp - 1] = Value::Null;
+                    sp -= 1;
+                }
+                op::EQ | op::NE => {
+                    let eq = arena[sp - 2] == arena[sp - 1];
+                    arena[sp - 2] = Value::Bool(if o.code == op::EQ { eq } else { !eq });
+                    arena[sp - 1] = Value::Null;
+                    sp -= 1;
+                }
+                op::LT => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Bool(a < b);
+                    sp -= 1;
+                }
+                op::LE => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Bool(a <= b);
+                    sp -= 1;
+                }
+                op::GT => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Bool(a > b);
+                    sp -= 1;
+                }
+                op::GE => {
+                    let b = int_at!(sp - 1);
+                    let a = int_at!(sp - 2);
+                    arena[sp - 2] = Value::Bool(a >= b);
+                    sp -= 1;
+                }
+                op::AND | op::OR => {
+                    let b = arena[sp - 1].is_truthy();
+                    let a = arena[sp - 2].is_truthy();
+                    arena[sp - 2] = Value::Bool(if o.code == op::AND { a && b } else { a || b });
+                    arena[sp - 1] = Value::Null;
+                    sp -= 1;
+                }
+                op::NOT => {
+                    let t = arena[sp - 1].is_truthy();
+                    arena[sp - 1] = Value::Bool(!t);
+                }
+                op::JUMP => pc = usize::from(o.t),
+                op::JUMP_IF_FALSE => {
+                    if !pop_take!().is_truthy() {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::JUMP_IF_TRUE => {
+                    if pop_take!().is_truthy() {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::CALL => {
+                    pending.method_calls += 1;
+                    if frames.len() + 1 >= MAX_CALL_DEPTH {
+                        break 'run Err(VmError::trap(format!(
+                            "call depth exceeds {MAX_CALL_DEPTH}"
+                        )));
+                    }
+                    let callee = usize::from(o.t);
+                    let cm = &methods[callee];
+                    let argc = usize::from(o.a);
+                    // The pushed args are already the callee's first
+                    // locals, in call order.
+                    let callee_base = sp - argc;
+                    let need = callee_base + cm.frame_size as usize;
+                    if arena.len() < need {
+                        arena.resize(need, Value::Null);
+                    }
+                    // Non-parameter locals must start Null (the arena may
+                    // hold stale values from earlier frames).
+                    for slot in &mut arena[callee_base + argc..callee_base + usize::from(cm.locals)]
+                    {
+                        *slot = Value::Null;
+                    }
+                    let callee_guarded = match prof.profiler() {
+                        Some(p) if p.sampling_enabled() => {
+                            guards.push(crate::profloc::frame_arc(&cm.qualified, Some(p)));
+                            true
+                        }
+                        _ => false,
+                    };
+                    frames.push(FrameState {
+                        method: mi as u32,
+                        pc: pc as u32,
+                        base: base as u32,
+                        callee_guarded,
+                    });
+                    mi = callee;
+                    base = callee_base;
+                    sp = callee_base + usize::from(cm.locals);
+                    code = &cm.code;
+                    pc = 0;
+                }
+                op::CALL_NATIVE => {
+                    pending.native_calls += 1;
+                    let argc = usize::from(o.a);
+                    let site = ci.site(o.t);
+                    let args_start = sp - argc;
+                    let mut call_args = Vec::with_capacity(argc);
+                    for slot in &mut arena[args_start..sp] {
+                        call_args.push(std::mem::replace(slot, Value::Null));
+                    }
+                    sp = args_start;
+                    // Keep the shared counters fresh across the host call
+                    // (a native may observe stats or re-enter the
+                    // interpreter), and mark this site active so access
+                    // checks it triggers hit its inline cache.
+                    reconcile!();
+                    self.stats.flush_pending(&mut pending);
+                    let result = {
+                        let _active = crate::decision_cache::enter_native_site(&site.cache);
+                        self.host.invoke(&site.name, call_args)
+                    };
+                    match result {
+                        Ok(v) => {
+                            arena[sp] = v;
+                            sp += 1;
+                        }
+                        Err(err) => break 'run Err(err),
+                    }
+                }
+                op::RETURN | op::RETURN_VALUE => {
+                    let result = if o.code == op::RETURN_VALUE {
+                        pop_take!()
+                    } else {
+                        Value::Null
+                    };
+                    match frames.pop() {
+                        None => break 'run Ok(result),
+                        Some(f) => {
+                            if f.callee_guarded {
+                                guards.pop();
+                            }
+                            // The callee's base is where the caller's args
+                            // started; the result lands there.
+                            let ret_slot = base;
+                            mi = f.method as usize;
+                            base = f.base as usize;
+                            code = &methods[mi].code;
+                            pc = f.pc as usize;
+                            arena[ret_slot] = result;
+                            sp = ret_slot + 1;
+                        }
+                    }
+                }
+                // Superinstructions. Operand-read order mirrors the seed's
+                // pop order (top of stack / second load first), so type
+                // mismatch traps report the same value.
+                op::LOAD2_ADD | op::LOAD2_SUB | op::LOAD2_MUL => {
+                    let b = int_at!(base + usize::from(o.b), 0);
+                    let a = int_at!(base + usize::from(o.a), 0);
+                    arena[sp] = Value::Int(match o.code {
+                        op::LOAD2_ADD => a.wrapping_add(b),
+                        op::LOAD2_SUB => a.wrapping_sub(b),
+                        _ => a.wrapping_mul(b),
+                    });
+                    sp += 1;
+                }
+                op::LT_JF | op::LE_JF | op::GT_JF | op::GE_JF => {
+                    let b = int_at!(sp - 1, 1);
+                    let a = int_at!(sp - 2, 1);
+                    sp -= 2;
+                    let cond = match o.code {
+                        op::LT_JF => a < b,
+                        op::LE_JF => a <= b,
+                        op::GT_JF => a > b,
+                        _ => a >= b,
+                    };
+                    if !cond {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::EQ_JF | op::NE_JF => {
+                    let eq = arena[sp - 2] == arena[sp - 1];
+                    arena[sp - 1] = Value::Null;
+                    arena[sp - 2] = Value::Null;
+                    sp -= 2;
+                    let cond = if o.code == op::EQ_JF { eq } else { !eq };
+                    if !cond {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::LOAD_ADDI | op::LOAD_SUBI => {
+                    let a = int_at!(base + usize::from(o.a), 0);
+                    arena[sp] = Value::Int(if o.code == op::LOAD_ADDI {
+                        a.wrapping_add(o.k)
+                    } else {
+                        a.wrapping_sub(o.k)
+                    });
+                    sp += 1;
+                }
+                op::LOAD_STORE => {
+                    arena[base + usize::from(o.b)] = arena[base + usize::from(o.a)].clone();
+                }
+                op::ADDI_STORE | op::SUBI_STORE => {
+                    let a = int_at!(base + usize::from(o.a), 1);
+                    arena[base + usize::from(o.b)] = Value::Int(if o.code == op::ADDI_STORE {
+                        a.wrapping_add(o.k)
+                    } else {
+                        a.wrapping_sub(o.k)
+                    });
+                }
+                op::ADD2_STORE => {
+                    let b = int_at!(base + usize::from(o.b), 1);
+                    let a = int_at!(base + usize::from(o.a), 1);
+                    arena[usize::from(o.t) + base] = Value::Int(a.wrapping_add(b));
+                }
+                op::LTI_JF | op::LEI_JF | op::GTI_JF | op::GEI_JF => {
+                    let a = int_at!(base + usize::from(o.a), 1);
+                    let cond = match o.code {
+                        op::LTI_JF => a < o.k,
+                        op::LEI_JF => a <= o.k,
+                        op::GTI_JF => a > o.k,
+                        _ => a >= o.k,
+                    };
+                    if !cond {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::EQI_JF => {
+                    if arena[base + usize::from(o.a)] != Value::Int(o.k) {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::NEI_JF => {
+                    if arena[base + usize::from(o.a)] == Value::Int(o.k) {
+                        pc = usize::from(o.t);
+                    }
+                }
+                op::ADDI_STORE_JUMP | op::SUBI_STORE_JUMP => {
+                    // Seed traps at the add/sub (3rd component); the store
+                    // and the jump are never counted.
+                    let a = int_at!(base + usize::from(o.a), 2);
+                    arena[base + usize::from(o.b)] = Value::Int(if o.code == op::ADDI_STORE_JUMP {
+                        a.wrapping_add(o.k)
+                    } else {
+                        a.wrapping_sub(o.k)
+                    });
+                    pc = usize::from(o.t);
+                }
+                other => unreachable!("invalid compiled opcode {other}"),
+            }
+        };
+
+        // Fold the register shadows back in; the trapping op's full cost
+        // is in by now (via slack on the fast path, component-wise on the
+        // slow path), so subtracting the refund cannot underflow.
+        pending.instructions += slack_base - slack;
+        pending.dispatches += dispatched;
+        pending.instructions -= trap_refund;
+        self.stats.flush_pending(&mut pending);
+        drop(guards);
+        arena.clear();
+        let mut pool = self.arena_pool.lock();
+        if pool.len() < ARENA_POOL_CAP {
+            pool.push(arena);
+        }
+        outcome
+    }
+
+    /// The seed recursive interpreter over the wire [`Insn`] form — the
+    /// executable specification `run_compiled` is tested against.
+    fn run_method_seed(
         &self,
         method: &str,
         args: Vec<Value>,
@@ -272,10 +896,13 @@ impl Interpreter {
                 "call depth exceeds {MAX_CALL_DEPTH}"
             )));
         }
-        let m = self
-            .image
-            .method(method)
+        let image = self.compiled.image();
+        let mi = image
+            .methods
+            .iter()
+            .position(|m| m.name == method)
             .ok_or_else(|| VmError::trap(format!("no such method: {method}")))?;
+        let m = &image.methods[mi];
         if args.len() != usize::from(m.params) {
             return Err(VmError::trap(format!(
                 "method {method} takes {} args, got {}",
@@ -287,9 +914,11 @@ impl Interpreter {
         locals[..args.len()].clone_from_slice(&args);
         // Publish "Class.method" to the sampling profiler for the duration
         // of this frame (no-op when sampling is off or no profiler exists).
+        // The label was interned at compile time (satellite of the same
+        // fix in the fast loop).
         let _loc = match prof.profiler() {
-            Some(p) if p.sampling_enabled() => Some(crate::profloc::frame(
-                &format!("{}.{}", self.image.name, m.name),
+            Some(p) if p.sampling_enabled() => Some(crate::profloc::frame_arc(
+                &self.compiled.methods()[mi].qualified,
                 Some(p),
             )),
             _ => None,
@@ -312,7 +941,8 @@ impl Interpreter {
             // `expect`s below are unreachable for verified images.
             let insn = &m.code[pc];
             pc += 1;
-            prof.tally(insn.opcode());
+            // Wire opcodes are 0..BASE_OPCODE_COUNT, always a byte.
+            prof.tally(insn.opcode() as u8);
             match insn {
                 Insn::PushInt(v) => stack.push(Value::Int(*v)),
                 Insn::PushStr(s) => stack.push(Value::str(s)),
@@ -350,11 +980,7 @@ impl Interpreter {
                 Insn::Concat => {
                     let b = pop(&mut stack)?;
                     let a = pop(&mut stack)?;
-                    stack.push(Value::str(format!(
-                        "{}{}",
-                        a.display_string(),
-                        b.display_string()
-                    )));
+                    stack.push(Value::concat(&a, &b));
                 }
                 Insn::Eq => binary_cmp(&mut stack, |a, b| a == b)?,
                 Insn::Ne => binary_cmp(&mut stack, |a, b| a != b)?,
@@ -386,7 +1012,8 @@ impl Interpreter {
                     self.stats.method_calls.fetch_add(1, Ordering::Relaxed);
                     let mut call_args = split_args(&mut stack, *argc)?;
                     call_args.reverse();
-                    let result = self.run_method(callee, call_args, depth + 1, budget, prof)?;
+                    let result =
+                        self.run_method_seed(callee, call_args, depth + 1, budget, prof)?;
                     stack.push(result);
                 }
                 Insn::CallNative { name, argc } => {
@@ -403,6 +1030,10 @@ impl Interpreter {
     }
 }
 
+fn expected_int(other: &Value) -> VmError {
+    VmError::trap(format!("expected int, got {other}"))
+}
+
 fn pop(stack: &mut Vec<Value>) -> Result<Value> {
     stack
         .pop()
@@ -412,7 +1043,7 @@ fn pop(stack: &mut Vec<Value>) -> Result<Value> {
 fn pop_int(stack: &mut Vec<Value>) -> Result<i64> {
     match pop(stack)? {
         Value::Int(v) => Ok(v),
-        other => Err(VmError::trap(format!("expected int, got {other}"))),
+        other => Err(expected_int(&other)),
     }
 }
 
@@ -552,6 +1183,12 @@ mod tests {
         let i = interp(single(code, 0, 2));
         assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(55));
         assert!(i.stats().instructions() > 50);
+        assert!(
+            i.stats().dispatches() < i.stats().instructions(),
+            "fusion must dispatch fewer ops than wire instructions: {} vs {}",
+            i.stats().dispatches(),
+            i.stats().instructions()
+        );
     }
 
     #[test]
@@ -747,9 +1384,35 @@ mod tests {
         let i = interp(single(sum_loop(), 0, 2)).with_profiler(profiler.clone());
         assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(125_250));
         let report = profiler.report();
-        // Every executed instruction is tallied (accounting was on for the
-        // whole run, so the profiler and the raw stats counter agree).
+        // Every dispatched op is tallied once (accounting was on for the
+        // whole run); the wire-instruction counter is strictly larger
+        // because fused ops charge their component count.
+        assert_eq!(report.vm.instructions, i.stats().dispatches());
+        assert!(i.stats().instructions() > i.stats().dispatches());
+        // The loop body fuses: its adds surface as superinstructions with
+        // component-sum weights, keeping attribution truthful.
+        let fused_adds: u64 = report
+            .vm
+            .opcodes
+            .iter()
+            .filter(|o| o.opcode == "add2_store" || o.opcode == "addi_store_jump")
+            .map(|o| o.count)
+            .sum();
+        assert!(
+            fused_adds >= 1000,
+            "two fused adds per iteration: {fused_adds}"
+        );
+        assert!(report.flushes >= 1);
+    }
+
+    #[test]
+    fn seed_loop_accounting_still_tallies_wire_opcodes() {
+        let profiler = jmp_obs::Profiler::new();
+        let i = interp(single(sum_loop(), 0, 2)).with_profiler(profiler.clone());
+        assert_eq!(i.run_seed("main", vec![]).unwrap(), Value::Int(125_250));
+        let report = profiler.report();
         assert_eq!(report.vm.instructions, i.stats().instructions());
+        assert_eq!(i.stats().dispatches(), 0, "seed loop never dispatches");
         let add = report
             .vm
             .opcodes
@@ -757,7 +1420,6 @@ mod tests {
             .find(|o| o.opcode == "add")
             .expect("add opcode accounted");
         assert!(add.count >= 500, "two adds per iteration: {}", add.count);
-        assert!(report.flushes >= 1);
     }
 
     #[test]
@@ -833,5 +1495,120 @@ mod tests {
             Interpreter::new(Arc::new(bad), Arc::new(NoNatives)).unwrap_err(),
             VmError::Verification { .. }
         ));
+    }
+
+    #[test]
+    fn seed_and_compiled_agree_on_the_sum_loop() {
+        let a = interp(single(sum_loop(), 0, 2));
+        let b = interp(single(sum_loop(), 0, 2));
+        assert_eq!(
+            a.run("main", vec![]).unwrap(),
+            b.run_seed("main", vec![]).unwrap()
+        );
+        assert_eq!(a.stats().instructions(), b.stats().instructions());
+    }
+
+    #[test]
+    fn fused_type_mismatch_matches_seed_trap_and_accounting() {
+        // local 0 arrives as a string; the loop body's addi_store pattern
+        // traps at its Add component. Both engines must report the same
+        // message and have charged the same number of wire instructions.
+        let code = vec![
+            Insn::Load(0),
+            Insn::PushInt(1),
+            Insn::Add,
+            Insn::Store(0),
+            Insn::Return,
+        ];
+        let fast = interp(single(code.clone(), 1, 1));
+        let seed = interp(single(code, 1, 1));
+        let fast_err = fast.run("main", vec![Value::str("oops")]).unwrap_err();
+        let seed_err = seed.run_seed("main", vec![Value::str("oops")]).unwrap_err();
+        assert_eq!(fast_err.to_string(), seed_err.to_string());
+        assert!(fast_err.to_string().contains("expected int, got"));
+        assert_eq!(fast.stats().instructions(), seed.stats().instructions());
+    }
+
+    #[test]
+    fn arena_is_reused_across_runs() {
+        let i = interp(single(sum_loop(), 0, 2));
+        for _ in 0..5 {
+            assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(125_250));
+        }
+        // Deep call chains also unwind cleanly back into the pool.
+        let fib = ClassImage {
+            name: "F".into(),
+            methods: vec![MethodImage {
+                name: "fib".into(),
+                params: 1,
+                locals: 1,
+                code: vec![
+                    Insn::Load(0),
+                    Insn::PushInt(2),
+                    Insn::Lt,
+                    Insn::JumpIfFalse(6),
+                    Insn::Load(0),
+                    Insn::ReturnValue,
+                    Insn::Load(0), // 6
+                    Insn::PushInt(1),
+                    Insn::Sub,
+                    Insn::Call {
+                        method: "fib".into(),
+                        argc: 1,
+                    },
+                    Insn::Load(0),
+                    Insn::PushInt(2),
+                    Insn::Sub,
+                    Insn::Call {
+                        method: "fib".into(),
+                        argc: 1,
+                    },
+                    Insn::Add,
+                    Insn::ReturnValue,
+                ],
+            }],
+        };
+        let i = interp(fib);
+        assert_eq!(i.run("fib", vec![Value::Int(15)]).unwrap(), Value::Int(610));
+        assert_eq!(
+            i.run("fib", vec![Value::Int(10)]).unwrap(),
+            Value::Int(55),
+            "second run reuses the pooled arena"
+        );
+    }
+
+    #[test]
+    fn interrupt_preempts_both_engines_at_the_same_safepoint() {
+        // Pre-set the interruption flag on this (non-VM) test thread via a
+        // scoped VM thread context, then run an infinite loop: both engines
+        // must stop at the first safepoint — cumulative instruction 1024 —
+        // with `Interrupted`.
+        let forever = || {
+            Interpreter::new(
+                Arc::new(single(vec![Insn::Jump(0)], 0, 0)),
+                Arc::new(NoNatives),
+            )
+            .unwrap()
+        };
+        for compiled_loop in [true, false] {
+            let i = forever();
+            let err = crate::thread::with_interrupted_for_test(|| {
+                if compiled_loop {
+                    i.run("main", vec![])
+                } else {
+                    i.run_seed("main", vec![])
+                }
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, VmError::Interrupted),
+                "engine compiled={compiled_loop}: {err:?}"
+            );
+            assert_eq!(
+                i.stats().instructions(),
+                INTERRUPT_CHECK_EVERY,
+                "engine compiled={compiled_loop} stopped at the first safepoint"
+            );
+        }
     }
 }

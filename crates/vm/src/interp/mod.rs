@@ -15,13 +15,19 @@
 //! — enough to write real applets, small enough to verify exhaustively.
 
 mod asm;
+mod compile;
+pub mod difftest;
 mod image;
 mod machine;
 mod stdlib;
 mod verify;
 
 pub use asm::assemble;
-pub use image::{ClassImage, Insn, MethodImage, Value, OPCODE_COUNT, OPCODE_NAMES, OPCODE_WEIGHTS};
+pub use compile::CompiledImage;
+pub use image::{
+    ClassImage, Insn, MethodImage, Value, BASE_OPCODE_COUNT, OPCODE_COUNT, OPCODE_NAMES,
+    OPCODE_WEIGHTS,
+};
 pub use machine::{InterpStats, Interpreter, NativeHost, NoNatives};
 pub use stdlib::invoke_pure;
 pub use verify::verify;

@@ -25,6 +25,15 @@ use crate::Result;
 /// Maximum operand-stack depth a verified method may need.
 pub const MAX_STACK: usize = 256;
 
+/// Per-method facts the verifier proves, consumed by the pre-decoder
+/// ([`super::CompiledImage`]) to size call frames exactly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MethodFacts {
+    /// The maximum operand-stack depth any reachable path needs
+    /// (≤ [`MAX_STACK`]).
+    pub max_stack: usize,
+}
+
 /// Verifies every method of `image`.
 ///
 /// # Errors
@@ -32,16 +41,32 @@ pub const MAX_STACK: usize = 256;
 /// [`VmError::Verification`] describing the first offending method and
 /// instruction.
 pub fn verify(image: &ClassImage) -> Result<()> {
+    verify_facts(image).map(|_| ())
+}
+
+/// Verifies every method and returns the proven [`MethodFacts`], in method
+/// order.
+///
+/// # Errors
+///
+/// [`VmError::Verification`] describing the first offending method and
+/// instruction.
+pub(crate) fn verify_facts(image: &ClassImage) -> Result<Vec<MethodFacts>> {
+    let mut facts = Vec::with_capacity(image.methods.len());
     for method in &image.methods {
-        verify_method(image, method).map_err(|message| VmError::Verification {
+        let fact = verify_method(image, method).map_err(|message| VmError::Verification {
             class: image.name.clone(),
             message: format!("method {:?}: {message}", method.name),
         })?;
+        facts.push(fact);
     }
-    Ok(())
+    Ok(facts)
 }
 
-fn verify_method(image: &ClassImage, method: &MethodImage) -> std::result::Result<(), String> {
+fn verify_method(
+    image: &ClassImage,
+    method: &MethodImage,
+) -> std::result::Result<MethodFacts, String> {
     if method.params > method.locals {
         return Err(format!(
             "declares {} params but only {} locals",
@@ -86,6 +111,7 @@ fn verify_method(image: &ClassImage, method: &MethodImage) -> std::result::Resul
 
     // Abstract interpretation of stack depth over all reachable paths.
     let mut depth_at: Vec<Option<i32>> = vec![None; len];
+    let mut max_stack: i32 = 0;
     let mut work: VecDeque<(usize, i32)> = VecDeque::new();
     work.push_back((0, 0));
     while let Some((pc, depth)) = work.pop_front() {
@@ -112,6 +138,9 @@ fn verify_method(image: &ClassImage, method: &MethodImage) -> std::result::Resul
         if next_depth as usize > MAX_STACK {
             return Err(format!("pc {pc}: stack depth exceeds {MAX_STACK}"));
         }
+        // Pops precede pushes in every instruction, so the transient peak
+        // inside one instruction never exceeds its entry or exit depth.
+        max_stack = max_stack.max(depth).max(next_depth);
         match insn {
             Insn::Return | Insn::ReturnValue => {}
             Insn::Jump(t) => work.push_back((usize::from(*t), next_depth)),
@@ -122,7 +151,9 @@ fn verify_method(image: &ClassImage, method: &MethodImage) -> std::result::Resul
             _ => work.push_back((pc + 1, next_depth)),
         }
     }
-    Ok(())
+    Ok(MethodFacts {
+        max_stack: max_stack.max(0) as usize,
+    })
 }
 
 #[cfg(test)]
@@ -290,5 +321,27 @@ mod tests {
     fn rejects_empty_method() {
         let image = image_with(vec![], 0, 0);
         assert!(verify(&image).unwrap_err().to_string().contains("empty"));
+    }
+
+    #[test]
+    fn facts_report_max_operand_depth() {
+        let image = image_with(
+            vec![
+                Insn::PushInt(1),
+                Insn::PushInt(2),
+                Insn::PushInt(3), // peak depth 3
+                Insn::Add,
+                Insn::Add,
+                Insn::ReturnValue,
+            ],
+            0,
+            0,
+        );
+        let facts = verify_facts(&image).unwrap();
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].max_stack, 3);
+
+        let image = image_with(vec![Insn::Return], 0, 0);
+        assert_eq!(verify_facts(&image).unwrap()[0].max_stack, 0);
     }
 }

@@ -45,6 +45,19 @@ thread_local! {
 /// profiler is used. When no profiler is reachable or sampling is disabled
 /// the guard is a no-op.
 pub(crate) fn frame(name: &str, hint: Option<&Profiler>) -> FrameGuard {
+    push_frame(|| Arc::from(name), hint)
+}
+
+/// Like [`frame`], but clones an already-interned label instead of
+/// allocating a fresh `Arc<str>` — the interpreter's per-call path, where
+/// the `Class.method` label was precomputed at image compile time.
+pub(crate) fn frame_arc(name: &Arc<str>, hint: Option<&Profiler>) -> FrameGuard {
+    push_frame(|| Arc::clone(name), hint)
+}
+
+/// Shared body: `make` materializes the label only when a profiler is
+/// reachable and sampling is on, so the disabled path allocates nothing.
+fn push_frame(make: impl FnOnce() -> Arc<str>, hint: Option<&Profiler>) -> FrameGuard {
     let pushed = LOC.with(|loc| {
         let mut state = loc.borrow_mut();
         if let LocState::Unresolved = &*state {
@@ -73,7 +86,7 @@ pub(crate) fn frame(name: &str, hint: Option<&Profiler>) -> FrameGuard {
         if !profiler.sampling_enabled() {
             return false;
         }
-        shadow.push(Arc::from(name));
+        shadow.push(make());
         slot.publish(shadow);
         true
     });

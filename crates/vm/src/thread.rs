@@ -313,6 +313,23 @@ pub fn check_interrupt() -> Result<()> {
     }
 }
 
+/// Test-only: runs `f` with the calling thread bound to a VM thread whose
+/// interruption flag is already set — for asserting that interpreter
+/// safepoints observe interruption without cross-thread timing.
+#[cfg(test)]
+pub(crate) fn with_interrupted_for_test<T>(f: impl FnOnce() -> T) -> T {
+    let ctl = ThreadCtl::new(
+        ThreadId(u64::MAX),
+        "interrupted-test".into(),
+        false,
+        ThreadGroup::new_root("test"),
+        None,
+    );
+    VmThread::from_ctl(Arc::clone(&ctl)).interrupt_raw();
+    let _guard = enter_thread(ctl);
+    f()
+}
+
 /// Deregisters an interrupt waker on drop. Returned by
 /// [`register_interrupt_waker`]; hold it for exactly the region where the
 /// waker's notification is wanted (typically across a condvar wait loop).

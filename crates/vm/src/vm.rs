@@ -330,15 +330,61 @@ impl Vm {
         // insert below can never serve a post-reload lookup.
         let epoch = self.inner.decisions.epoch();
         let user = self.current_user();
-        // A hit also bumps the demand-ledger cell captured when the decision
-        // was first derived (one relaxed fetch_add inside the lookup), so
-        // the always-on ledger adds no hashing, strings, or clock here.
-        if self.inner.decisions.lookup_granted(
+        // Per-site inline cache: when this check was triggered from inside
+        // an interpreted `CallNative` site, the site remembers its last
+        // grant, so a warm repeat is answered by one epoch/fingerprint
+        // compare — before even hashing into the shared decision cache.
+        if crate::decision_cache::site_check(
+            epoch,
             fingerprint,
             perm,
             user.as_deref(),
             self.inner.obs.demands(),
         ) {
+            let latency_ns = started.elapsed().as_nanos() as u64;
+            self.inner.obs.record_access_check(
+                "",
+                None,
+                depth,
+                user.as_deref(),
+                latency_ns,
+                CacheOutcome::Hit,
+            );
+            return Ok(());
+        }
+        // A hit also bumps the demand-ledger cell captured when the decision
+        // was first derived (one relaxed fetch_add inside the lookup), so
+        // the always-on ledger adds no hashing, strings, or clock here.
+        // With a native site active, the hit additionally primes the site's
+        // inline cache (carrying the cell along) for the next repeat.
+        let shared_hit = if crate::decision_cache::has_active_site() {
+            match self.inner.decisions.lookup_granted_with_cell(
+                fingerprint,
+                perm,
+                user.as_deref(),
+                self.inner.obs.demands(),
+            ) {
+                Some(cell) => {
+                    crate::decision_cache::site_store(
+                        epoch,
+                        fingerprint,
+                        perm,
+                        user.as_deref(),
+                        cell,
+                    );
+                    true
+                }
+                None => false,
+            }
+        } else {
+            self.inner.decisions.lookup_granted(
+                fingerprint,
+                perm,
+                user.as_deref(),
+                self.inner.obs.demands(),
+            )
+        };
+        if shared_hit {
             let latency_ns = started.elapsed().as_nanos() as u64;
             self.inner.obs.record_access_check(
                 "",
@@ -405,6 +451,15 @@ impl Vm {
                     perm,
                     user.as_deref(),
                     epoch,
+                    demand_cell.clone(),
+                );
+                // Prime the triggering native call site's inline cache
+                // (no-op when the check came from outside the interpreter).
+                crate::decision_cache::site_store(
+                    epoch,
+                    fingerprint,
+                    perm,
+                    user.as_deref(),
                     demand_cell,
                 );
                 self.inner.obs.record_access_check(
@@ -1242,6 +1297,64 @@ mod tests {
         assert_eq!(metrics.counter("access.cache.misses").get(), 1);
         assert_eq!(metrics.counter("access.cache.hits").get(), 4);
         assert_eq!(metrics.counter("security.checks").get(), 5);
+    }
+
+    #[test]
+    fn native_call_sites_answer_warm_checks_from_their_inline_cache() {
+        use jmp_security::FileActions;
+        let mut policy = Policy::new();
+        policy.grant_code(
+            CodeSource::remote("http://applets/-"),
+            vec![Permission::file("/data/-", FileActions::READ)],
+        );
+        let vm = Vm::builder().policy(policy).build();
+        let applet = Arc::new(jmp_security::ProtectionDomain::new(
+            CodeSource::remote("http://applets/clock"),
+            vm.policy()
+                .permissions_for(&CodeSource::remote("http://applets/clock")),
+        ));
+        let demand = Permission::file("/data/report", FileActions::READ);
+        let site = Arc::new(crate::decision_cache::NativeSiteCache::new());
+        stack::call_as("Applet", Arc::clone(&applet), || {
+            for _ in 0..5 {
+                // One guard per call, exactly like the interpreter's
+                // CALL_NATIVE dispatch arm.
+                let _active = crate::decision_cache::enter_native_site(&site);
+                vm.access_check(&demand).unwrap();
+            }
+            // After the first full walk primed it, the site is warm: the
+            // next check through it is answered by the inline compare alone.
+            let _active = crate::decision_cache::enter_native_site(&site);
+            let (fingerprint, _) = stack::probe_fingerprint();
+            assert!(crate::decision_cache::site_check(
+                vm.inner.decisions.epoch(),
+                fingerprint,
+                &demand,
+                None,
+                vm.obs().demands(),
+            ));
+        });
+        let metrics = vm.obs().vm_metrics();
+        assert_eq!(metrics.counter("access.cache.misses").get(), 1);
+        assert_eq!(metrics.counter("access.cache.hits").get(), 4);
+        // Inline-cache hits keep feeding the always-on demand ledger.
+        let rows = vm.obs().demands().rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].granted, 6, "1 walk + 4 warm checks + 1 probe");
+        // An epoch bump (policy/manager/resolver change) kills the site's
+        // cached grant along with the shared cache.
+        vm.inner.decisions.invalidate();
+        stack::call_as("Applet", applet, || {
+            let _active = crate::decision_cache::enter_native_site(&site);
+            let (fingerprint, _) = stack::probe_fingerprint();
+            assert!(!crate::decision_cache::site_check(
+                vm.inner.decisions.epoch(),
+                fingerprint,
+                &demand,
+                None,
+                vm.obs().demands(),
+            ));
+        });
     }
 
     #[test]
