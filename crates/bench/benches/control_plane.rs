@@ -1,0 +1,102 @@
+//! A10: the control-plane read paths in isolation — what E19 measures under
+//! a fleet, taken one operation at a time.
+//!
+//! * `registry_lookup` — a point lookup in the sharded app registry with a
+//!   thousand live applications resident.
+//! * `policy_root_read` — a policy-root read through the striped epoch
+//!   cells, uncontended and beside three reader threads (the case the old
+//!   `RwLock<Arc<Policy>>` root serialized).
+//! * `lazy_grant_load` — the lazy store: a warm per-user check, and the
+//!   cold load (parse + index + intern) a first demand pays.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jmp_security::{FileActions, LazyUserStore, Permission, TemplateGrantSource};
+
+/// Live applications resident during the registry benchmark.
+const RESIDENT_APPS: usize = 1_000;
+
+fn bench_registry_lookup(c: &mut Criterion) {
+    let rt = jmp_bench::harness::standard_runtime(None);
+    jmp_bench::harness::register_app(&rt, "parker", |_| {
+        while jmp_vm::thread::sleep(Duration::from_secs(3600)).is_ok() {}
+        Ok(())
+    });
+    let fleet: Vec<_> = (0..RESIDENT_APPS)
+        .map(|_| rt.launch_as("alice", "parker", &[]).expect("parker"))
+        .collect();
+    let probe = fleet[RESIDENT_APPS / 2].id();
+    c.bench_function("registry_lookup", |b| {
+        b.iter(|| std::hint::black_box(rt.application(probe)))
+    });
+    for app in &fleet {
+        app.stop(0).expect("parker stops");
+    }
+    assert!(rt.await_idle(Duration::from_secs(60)), "fleet drains");
+    rt.shutdown();
+}
+
+fn bench_policy_root_read(c: &mut Criterion) {
+    let rt = jmp_bench::harness::standard_runtime(None);
+    let vm = rt.vm().clone();
+    c.bench_function("policy_root_read", |b| {
+        b.iter(|| std::hint::black_box(vm.policy()))
+    });
+
+    // The same read beside three threads doing nothing but policy reads —
+    // the striped cells keep them off each other's cache lines and locks.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let vm = vm.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::hint::black_box(vm.policy());
+                }
+            })
+        })
+        .collect();
+    c.bench_function("policy_root_read_contended", |b| {
+        b.iter(|| std::hint::black_box(vm.policy()))
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    rt.shutdown();
+}
+
+fn bench_lazy_grant_load(c: &mut Criterion) {
+    let store = LazyUserStore::new(Arc::new(TemplateGrantSource::new(
+        "u",
+        1_000_000,
+        r#"grant user "${user}" { permission file "/srv/${user}/-" "read,write"; };"#,
+    )));
+    let demand = Permission::file("/srv/u500000/data", FileActions::READ);
+    assert!(store.lookup("u500000").implies(&demand));
+    c.bench_function("lazy_grant_check_warm", |b| {
+        b.iter(|| std::hint::black_box(store.lookup("u500000").implies(&demand)))
+    });
+
+    // The cold path: every iteration is a different user's first demand, so
+    // each pays the source read + parse + index.
+    let mut next = 0u64;
+    c.bench_function("lazy_grant_load_cold", |b| {
+        b.iter(|| {
+            let user = format!("u{next}");
+            next = (next + 1) % 1_000_000;
+            std::hint::black_box(store.lookup(&user))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_registry_lookup,
+    bench_policy_root_read,
+    bench_lazy_grant_load
+);
+criterion_main!(benches);

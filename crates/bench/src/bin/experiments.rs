@@ -10,6 +10,7 @@
 //! experiments --profile-json BENCH_E16.json --profile-flame e16-flame.txt e16
 //! experiments --infer-json BENCH_E17.json --infer-policy inferred.policy --infer-diff e17-diff.json e17
 //! experiments --interp-json BENCH_E18.json e18
+//! experiments --control-json BENCH_E19.json e19
 //! ```
 
 use std::io::Write;
@@ -106,6 +107,16 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut control_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--control-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            control_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--control-json needs a file path");
+            std::process::exit(2);
+        }
+    }
     let mut chrome_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
         args.remove(pos);
@@ -146,6 +157,10 @@ fn main() {
     let e18_full = interp_json_path
         .as_ref()
         .map(|_| jmp_bench::exp_interp::e18_interp_full());
+    // And for the E19 control-plane scale-out summary.
+    let e19_full = control_json_path
+        .as_ref()
+        .map(|_| jmp_bench::exp_control::e19_control_full());
 
     let mut all_tables = Vec::new();
     for id in &ids {
@@ -155,6 +170,7 @@ fn main() {
             "e16" => e16_full.as_ref().map(|(tables, _)| tables.clone()),
             "e17" => e17_full.as_ref().map(|(tables, _)| tables.clone()),
             "e18" => e18_full.as_ref().map(|(tables, _)| tables.clone()),
+            "e19" => e19_full.as_ref().map(|(tables, _)| tables.clone()),
             _ => None,
         };
         let tables = already_ran.or_else(|| jmp_bench::run_experiment(id));
@@ -266,6 +282,22 @@ fn main() {
         let run = InterpRun { summary, tables };
         let json = serde_json::to_string_pretty(&run).expect("interp summary serializes");
         std::fs::write(&path, json).expect("write interp json output");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = control_json_path {
+        // The E19 control-plane summary: per-op latency vs fleet size and
+        // the lazy-store accounting, plus the tables, for CI threshold
+        // checks.
+        #[derive(serde::Serialize)]
+        struct ControlRun {
+            summary: jmp_bench::exp_control::E19Summary,
+            tables: Vec<jmp_bench::table::Table>,
+        }
+        let (tables, summary) = e19_full.expect("e19 ran for --control-json");
+        let run = ControlRun { summary, tables };
+        let json = serde_json::to_string_pretty(&run).expect("control summary serializes");
+        std::fs::write(&path, json).expect("write control json output");
         eprintln!("wrote {path}");
     }
 

@@ -391,16 +391,28 @@ impl Application {
     }
 
     /// Live threads belonging to this application (for `ps`).
+    ///
+    /// Walks the application's own group subtree rather than filtering the
+    /// VM-wide thread table: the reaper calls this on every teardown, and a
+    /// global sweep would make each exit cost O(live threads in the whole
+    /// fleet) — the control-plane scaling this module is built to avoid.
     pub fn threads(&self) -> Vec<VmThread> {
-        match self.runtime() {
-            Some(rt) => rt
-                .vm()
-                .threads()
-                .into_iter()
-                .filter(|t| self.inner.group.is_ancestor_of(t.group()))
-                .collect(),
-            None => Vec::new(),
+        let Some(rt) = self.runtime() else {
+            return Vec::new();
+        };
+        let vm = rt.vm();
+        let mut threads = Vec::new();
+        let mut groups = vec![self.inner.group.clone()];
+        while let Some(group) = groups.pop() {
+            for id in group.local_thread_ids() {
+                if let Some(thread) = vm.find_thread(id) {
+                    threads.push(thread);
+                }
+            }
+            groups.extend(group.children());
         }
+        threads.sort_by_key(VmThread::id);
+        threads
     }
 
     pub(crate) fn runtime(&self) -> Option<MpRuntime> {
@@ -419,6 +431,16 @@ impl Application {
             self.inner.pending_code.store(code, Ordering::SeqCst);
         }
         if let Some(rt) = self.runtime() {
+            // Begin the cooperative stop here rather than when the reaper
+            // dequeues the app: the group stops admitting threads and every
+            // live thread gets its interrupt immediately, so a large fleet's
+            // teardown latencies overlap instead of serializing behind the
+            // reaper (which still interrupts and joins as before — by then
+            // the threads are normally already gone).
+            self.inner.group.destroy();
+            for thread in self.threads() {
+                let _ = rt.vm().interrupt_thread(&thread);
+            }
             rt.vm().obs().sink().publish(
                 EventKind::AppExit,
                 Some(self.inner.id.0),
@@ -523,8 +545,8 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
                     rt: Arc::downgrade(inner_rt),
                 }),
             };
-            inner_rt.apps_by_group.write().insert(group.id(), id);
-            inner_rt.apps_by_id.write().insert(id, app.clone());
+            inner_rt.apps_by_group.insert(group.id(), id);
+            inner_rt.apps_by_id.insert(id, app.clone());
 
             // Observability: the application's metrics registry exists from
             // exec to reap; the exec itself goes on the event stream.
@@ -590,8 +612,8 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
             drop(exec_span);
             if let Err(err) = spawned {
                 // Roll the half-born application back out of the registries.
-                inner_rt.apps_by_group.write().remove(&group.id());
-                inner_rt.apps_by_id.write().remove(&id);
+                inner_rt.apps_by_group.remove(&group.id());
+                inner_rt.apps_by_id.remove(&id);
                 group.destroy();
                 return Err(err.into());
             }
@@ -656,8 +678,8 @@ pub(crate) fn reap(rt: &MpRuntime, id: AppId) {
         *status = AppStatus::Finished(code);
         app.inner.status_cv.notify_all();
     }
-    rt.inner.apps_by_group.write().remove(&app.inner.group.id());
-    rt.inner.apps_by_id.write().remove(&id);
+    rt.inner.apps_by_group.remove(&app.inner.group.id());
+    rt.inner.apps_by_id.remove(&id);
 
     // 6. Retire the application's metrics registry and record the reap.
     let hub = rt.vm().obs();

@@ -64,7 +64,9 @@ pub mod gui;
 pub mod login;
 pub mod obs;
 pub mod pipes;
+mod policy_store;
 mod runtime;
+mod shard;
 pub mod shared;
 mod sys_sm;
 pub mod jsystem {
@@ -75,6 +77,7 @@ mod system_ns;
 
 pub use application::{AppId, AppStatus, Application};
 pub use error::Error;
+pub use policy_store::{VfsGrantSource, USER_POLICY_DIR};
 pub use runtime::{MpRuntime, MpRuntimeBuilder, SYSTEM_CLASS, SYSTEM_PROPERTIES_CLASS};
 pub use sys_sm::SystemSecurityManager;
 

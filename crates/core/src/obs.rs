@@ -132,7 +132,13 @@ fn refresh_gauges(rt: &MpRuntime) {
             .set(toolkit.window_count() as i64);
     }
     for app in rt.applications() {
-        let registry = hub.app_registry(app.id().0, app.name());
+        // `existing_app_registry`, not the get-or-create variant: an
+        // application reaped between the sweep above and this point has had
+        // its registry retired; re-creating it would resurrect a drained
+        // ledger and double-count the app in the rollup (live *and* retired).
+        let Some(registry) = hub.existing_app_registry(app.id().0) else {
+            continue;
+        };
         registry
             .gauge("threads.live")
             .set(app.threads().len() as i64);
@@ -170,9 +176,12 @@ pub fn top_rows(rt: &MpRuntime) -> Result<Vec<TopRow>> {
     Ok(rt
         .applications()
         .iter()
-        .map(|app| {
-            let snap = hub.app_registry(app.id().0, app.name()).snapshot();
-            TopRow {
+        .filter_map(|app| {
+            // Skip applications reaped since the sweep: their registries are
+            // retired, and get-or-create here would resurrect them (see
+            // `refresh_gauges`).
+            let snap = hub.existing_app_registry(app.id().0)?.snapshot();
+            Some(TopRow {
                 id: app.id().0,
                 name: app.name().to_string(),
                 user: app.user().name().to_string(),
@@ -185,7 +194,7 @@ pub fn top_rows(rt: &MpRuntime) -> Result<Vec<TopRow>> {
                 dispatched: counter(&snap, "gui.dispatched"),
                 classes: counter(&snap, "classes.defined"),
                 pipe_bytes: counter(&snap, "pipe.bytes"),
-            }
+            })
         })
         .collect())
 }

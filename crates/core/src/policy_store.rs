@@ -1,0 +1,78 @@
+//! The on-disk half of the lazy policy store: per-user grant files under
+//! [`USER_POLICY_DIR`], loaded on first demand through
+//! [`jmp_security::LazyUserStore`].
+//!
+//! The resident [`jmp_security::Policy`] holds the code-source grants and any
+//! user grants written inline in `/etc/java.policy`; everything else — the
+//! "million provisioned users" — lives here as one world-unreadable file per
+//! user, `/etc/policy.d/<user>.policy`, in ordinary policy syntax:
+//!
+//! ```text
+//! grant user "alice" {
+//!     permission file "/home/alice/-" "read,write";
+//! };
+//! ```
+//!
+//! A user's file is read and parsed only when an access check first asks
+//! about that user; the parsed grants are interned in the store's bounded
+//! cache. Provisioning a user therefore costs one file, not resident memory,
+//! and [`jmp_vm::Vm::set_policy`] (or
+//! [`crate::MpRuntime::provision_user_policy`]) invalidates the cache so
+//! edits take effect on the next check.
+
+use std::sync::Arc;
+
+use jmp_security::{GrantSource, UserId};
+use jmp_vfs::Vfs;
+
+/// Directory holding one `<user>.policy` file per provisioned user.
+pub const USER_POLICY_DIR: &str = "/etc/policy.d";
+
+/// A [`GrantSource`] reading `/etc/policy.d/<user>.policy` from the
+/// runtime's virtual filesystem with system authority.
+pub struct VfsGrantSource {
+    vfs: Arc<Vfs>,
+    system: UserId,
+}
+
+impl VfsGrantSource {
+    /// A source reading from `vfs` as `system` (the bootstrap account —
+    /// policy files are system-owned, like `/etc/java.policy`).
+    pub fn new(vfs: Arc<Vfs>, system: UserId) -> VfsGrantSource {
+        VfsGrantSource { vfs, system }
+    }
+}
+
+impl GrantSource for VfsGrantSource {
+    fn load_user(&self, user: &str) -> Option<String> {
+        // User names come from the registry, but the store can be probed
+        // with arbitrary strings; refuse anything that would escape the
+        // policy directory.
+        if user.is_empty() || user.contains(['/', '.']) {
+            return None;
+        }
+        let bytes = self
+            .vfs
+            .read(&format!("{USER_POLICY_DIR}/{user}.policy"), self.system)
+            .ok()?;
+        String::from_utf8(bytes).ok()
+    }
+
+    fn provisioned_users(&self) -> Option<u64> {
+        let entries = self.vfs.list_dir(USER_POLICY_DIR, self.system).ok()?;
+        Some(
+            entries
+                .iter()
+                .filter(|entry| entry.name.ends_with(".policy"))
+                .count() as u64,
+        )
+    }
+}
+
+impl std::fmt::Debug for VfsGrantSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VfsGrantSource")
+            .field("dir", &USER_POLICY_DIR)
+            .finish()
+    }
+}

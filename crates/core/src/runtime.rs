@@ -1,4 +1,3 @@
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
@@ -9,9 +8,10 @@ use jmp_vfs::{Mode, Vfs};
 use jmp_vm::io::{InStream, IoToken, MemSink, OutStream};
 use jmp_vm::thread::BLOCK_POLL;
 use jmp_vm::{AppContext, ClassDef, GroupId, ResourceKind, Vm};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 
 use crate::application::{AppId, Application};
+use crate::shard::ShardedMap;
 use crate::sys_sm::SystemSecurityManager;
 use crate::Result;
 
@@ -100,8 +100,14 @@ pub(crate) struct RtInner {
     /// `GroupId → AppId` view onto [`RtInner::apps_by_id`], one entry per
     /// application root group — kept only for the group-walk fallback
     /// ([`MpRuntime::app_of_group`]); the primary record is the id map.
-    pub(crate) apps_by_group: RwLock<HashMap<GroupId, AppId>>,
-    pub(crate) apps_by_id: RwLock<HashMap<AppId, Application>>,
+    /// Sharded so registration, lookup and the group walk never queue on a
+    /// whole-registry lock.
+    pub(crate) apps_by_group: ShardedMap<GroupId, AppId>,
+    /// The application registry, sharded by id hash: spawns and reaps on
+    /// different shards proceed concurrently, and `ps`-style sweeps
+    /// ([`MpRuntime::applications`]) read shard by shard without ever
+    /// blocking a spawn behind a whole-map lock.
+    pub(crate) apps_by_id: ShardedMap<AppId, Application>,
     /// VM-wide default quotas applied to every application at exec, before
     /// the per-user `resource "limit.<resource>:<n>"` policy overrides.
     pub(crate) default_limits: Vec<(ResourceKind, u64)>,
@@ -114,8 +120,9 @@ pub(crate) struct RtInner {
     pub(crate) default_stdin: InStream,
     pub(crate) default_stdout: OutStream,
     pub(crate) default_stderr: OutStream,
-    /// The shared-object registry (§8 future work; see [`crate::shared`]).
-    pub(crate) shared: RwLock<HashMap<String, crate::shared::SharedEntry>>,
+    /// The shared-object registry (§8 future work; see [`crate::shared`]),
+    /// sharded by name hash like the application tables.
+    pub(crate) shared: ShardedMap<String, crate::shared::SharedEntry>,
 }
 
 impl Drop for RtInner {
@@ -223,6 +230,16 @@ impl MpRuntimeBuilder {
             self.policy.to_string().as_bytes(),
             system_uid,
         )?;
+        // The lazy half of the policy: per-user grant files under
+        // /etc/policy.d, loaded on first demand and interned in a bounded
+        // cache (see `crate::policy_store`). The resident policy stays the
+        // root of authority; the store only answers user queries the
+        // resident grants don't.
+        vfs.mkdirs(crate::policy_store::USER_POLICY_DIR, system_uid)?;
+        let user_store = Arc::new(jmp_security::LazyUserStore::new(Arc::new(
+            crate::policy_store::VfsGrantSource::new(Arc::clone(&vfs), system_uid),
+        )));
+        let policy = self.policy.with_user_store(user_store);
         for (name, _) in &self.users {
             let user = users.lookup(name).expect("just registered");
             let home = user.home().to_string();
@@ -232,7 +249,7 @@ impl MpRuntimeBuilder {
         }
 
         // -- VM and class material ------------------------------------------
-        let vm = Vm::builder().name(self.vm_name).policy(self.policy).build();
+        let vm = Vm::builder().name(self.vm_name).policy(policy).build();
         vm.material().register(
             ClassDef::builder(SYSTEM_CLASS)
                 .static_slot("in")
@@ -275,8 +292,8 @@ impl MpRuntimeBuilder {
             vfs,
             users,
             sys_domain: Arc::new(ProtectionDomain::system()),
-            apps_by_group: RwLock::new(HashMap::new()),
-            apps_by_id: RwLock::new(HashMap::new()),
+            apps_by_group: ShardedMap::new(),
+            apps_by_id: ShardedMap::new(),
             default_limits: self.limits,
             next_app_id: AtomicU64::new(1),
             next_io_token: AtomicU64::new(1),
@@ -287,7 +304,7 @@ impl MpRuntimeBuilder {
             default_stdin,
             default_stdout,
             default_stderr,
-            shared: RwLock::new(HashMap::new()),
+            shared: ShardedMap::new(),
         });
         let rt = MpRuntime {
             inner: Arc::clone(&inner),
@@ -395,6 +412,36 @@ impl MpRuntime {
         self.inner.console.clear();
     }
 
+    /// Writes (or replaces) `user`'s lazy policy file under
+    /// [`crate::USER_POLICY_DIR`] and invalidates the store's cache, so the
+    /// grants take effect on the next access check that asks about the user.
+    /// `text` is ordinary policy syntax; only its `grant user "<user>"`
+    /// blocks matter. Requires `RuntimePermission("setPolicy")`, the same
+    /// privilege as replacing the resident policy.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Security`] without the permission; filesystem errors
+    /// propagate from the underlying write.
+    pub fn provision_user_policy(&self, user: &str, text: &str) -> Result<()> {
+        self.inner
+            .vm
+            .check_permission(&Permission::runtime("setPolicy"))?;
+        let system = self.system_user().id();
+        self.inner.vfs.write(
+            &format!("{}/{user}.policy", crate::policy_store::USER_POLICY_DIR),
+            text.as_bytes(),
+            system,
+        )?;
+        // Same ordering as `Vm::set_policy`: kill the stored grants first,
+        // then bump the decision-cache epoch — a check racing this call
+        // either re-walks (sees the new file) or serves a decision cached
+        // under the old epoch, which the bump below retires.
+        self.inner.vm.policy().invalidate_user_store();
+        self.inner.vm.flush_access_cache();
+        Ok(())
+    }
+
     /// The `system` account.
     pub fn system_user(&self) -> User {
         self.inner
@@ -480,16 +527,15 @@ impl MpRuntime {
     /// Resolves the application owning `group`, if any, by walking the group
     /// tree upward to an application root.
     pub fn app_of_group(&self, group: &jmp_vm::ThreadGroup) -> Option<Application> {
-        let id = {
-            let index = self.inner.apps_by_group.read();
-            let mut cursor = Some(group.clone());
-            loop {
-                let Some(g) = cursor else { break None };
-                if let Some(id) = index.get(&g.id()) {
-                    break Some(*id);
-                }
-                cursor = g.parent().cloned();
+        // Each step is one sharded point lookup — the walk never pins the
+        // whole group index, so registrations on other shards proceed.
+        let mut cursor = Some(group.clone());
+        let id = loop {
+            let Some(g) = cursor else { break None };
+            if let Some(id) = self.inner.apps_by_group.get(&g.id()) {
+                break Some(id);
             }
+            cursor = g.parent().cloned();
         };
         self.application(id?)
     }
@@ -537,21 +583,23 @@ impl MpRuntime {
         Ok(())
     }
 
-    /// All running applications, sorted by id.
+    /// All running applications, sorted by id. Collected shard by shard —
+    /// the sweep behind `ps`/`top`/`vmstat` holds no lock that could block
+    /// a concurrent spawn or reap on another shard.
     pub fn applications(&self) -> Vec<Application> {
-        let mut apps: Vec<Application> = self.inner.apps_by_id.read().values().cloned().collect();
+        let mut apps = self.inner.apps_by_id.values();
         apps.sort_by_key(Application::id);
         apps
     }
 
-    /// Looks up a running application by id.
+    /// Looks up a running application by id (one shard lock, briefly).
     pub fn application(&self, id: AppId) -> Option<Application> {
-        self.inner.apps_by_id.read().get(&id).cloned()
+        self.inner.apps_by_id.get(&id)
     }
 
     /// Number of running applications.
     pub fn application_count(&self) -> usize {
-        self.inner.apps_by_id.read().len()
+        self.inner.apps_by_id.len()
     }
 
     /// Blocks until no applications remain or `timeout` elapses. Returns

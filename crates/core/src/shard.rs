@@ -1,0 +1,222 @@
+//! A fixed-shard concurrent map — the control-plane registry substrate.
+//!
+//! The runtime's three registries (`AppId → Application`, `GroupId → AppId`,
+//! shared-object names) used to live in single `RwLock<HashMap>`s: every
+//! spawn, reap, lookup and `ps` queued on one lock, so a 10k-application
+//! storm serialized the whole control plane. [`ShardedMap`] splits the key
+//! space over [`SHARDS`] independent locks chosen by key hash:
+//!
+//! * point operations (`get`/`insert`/`remove`) touch exactly one shard;
+//! * whole-map reads (`values`, `len`) iterate shard by shard, so a `ps`
+//!   sweep never holds a lock that blocks a spawn on another shard;
+//! * check-then-act sequences on one key ([`ShardedMap::with_shard_mut`])
+//!   stay atomic because a key maps to exactly one shard.
+//!
+//! The trade-off is deliberate and identical to `java.util.concurrent`'s
+//! striped maps: cross-shard reads are *not* a consistent snapshot. Every
+//! existing caller already tolerated that (the old code released the global
+//! lock between collecting and using), and the per-app exactly-once
+//! invariants (reap vs `vmstat`) are enforced per shard, where one lock
+//! still covers the whole check.
+
+use std::borrow::Borrow;
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+
+use parking_lot::RwLock;
+
+/// Shard count. A power of two so the hash folds with a mask; 16 is plenty
+/// to make lock collisions rare at the concurrency the VM supports while
+/// keeping whole-map sweeps cheap.
+pub(crate) const SHARDS: usize = 16;
+
+/// A `HashMap` split over [`SHARDS`] rwlocks, keyed by key hash.
+pub(crate) struct ShardedMap<K, V> {
+    shards: [RwLock<HashMap<K, V>>; SHARDS],
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    pub(crate) fn new() -> ShardedMap<K, V> {
+        ShardedMap {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard<Q>(&self, key: &Q) -> &RwLock<HashMap<K, V>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = self.hasher.hash_one(key);
+        &self.shards[(hash as usize) & (SHARDS - 1)]
+    }
+
+    pub(crate) fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    pub(crate) fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shard(key).write().remove(key)
+    }
+
+    pub(crate) fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        V: Clone,
+    {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Total entries, summed shard by shard (not a consistent snapshot).
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.read().len()).sum()
+    }
+
+    /// Every value, collected shard by shard — the `ps` sweep. No lock is
+    /// held across shards, so concurrent inserts on other shards proceed.
+    pub(crate) fn values(&self) -> Vec<V>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().values().cloned());
+        }
+        out
+    }
+
+    /// Every key, collected shard by shard.
+    pub(crate) fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().keys().cloned());
+        }
+        out
+    }
+
+    /// Runs `f` with the write-locked shard holding `key` — for
+    /// check-then-act sequences (publish's ownership test + insert) that
+    /// must be atomic per key.
+    pub(crate) fn with_shard_mut<Q, R>(&self, key: &Q, f: impl FnOnce(&mut HashMap<K, V>) -> R) -> R
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        f(&mut self.shard(key).write())
+    }
+
+    /// Keeps only entries satisfying the predicate, one shard at a time;
+    /// returns how many entries were removed.
+    pub(crate) fn retain(&self, mut keep: impl FnMut(&K, &mut V) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            let before = guard.len();
+            guard.retain(|k, v| keep(k, v));
+            removed += before - guard.len();
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_operations_roundtrip() {
+        let map: ShardedMap<u64, String> = ShardedMap::new();
+        assert_eq!(map.len(), 0);
+        for i in 0..100u64 {
+            assert!(map.insert(i, format!("v{i}")).is_none());
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&42), Some("v42".to_string()));
+        assert_eq!(map.remove(&42), Some("v42".to_string()));
+        assert_eq!(map.get(&42), None);
+        assert_eq!(map.len(), 99);
+        let mut values = map.values();
+        values.sort();
+        assert_eq!(values.len(), 99);
+    }
+
+    #[test]
+    fn borrowed_key_lookups_hit_the_same_shard() {
+        let map: ShardedMap<String, u32> = ShardedMap::new();
+        map.insert("alpha".to_string(), 1);
+        // &str lookups must hash onto the same shard as the owned String.
+        assert_eq!(map.get("alpha"), Some(1));
+        assert_eq!(map.remove("alpha"), Some(1));
+        assert_eq!(map.get("alpha"), None);
+    }
+
+    #[test]
+    fn with_shard_mut_is_atomic_per_key() {
+        let map: ShardedMap<String, u32> = ShardedMap::new();
+        let inserted = map.with_shard_mut("n", |table| {
+            if table.contains_key("n") {
+                false
+            } else {
+                table.insert("n".to_string(), 7);
+                true
+            }
+        });
+        assert!(inserted);
+        assert!(!map.with_shard_mut("n", |table| {
+            if table.contains_key("n") {
+                false
+            } else {
+                table.insert("n".to_string(), 8);
+                true
+            }
+        }));
+        assert_eq!(map.get("n"), Some(7));
+    }
+
+    #[test]
+    fn retain_counts_removals_across_shards() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        for i in 0..64u64 {
+            map.insert(i, i);
+        }
+        let removed = map.retain(|_, v| *v % 2 == 0);
+        assert_eq!(removed, 32);
+        assert_eq!(map.len(), 32);
+        let mut keys = map.keys();
+        keys.sort_unstable();
+        assert!(keys.iter().all(|k| k % 2 == 0));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_sweeps_do_not_lose_entries() {
+        let map = std::sync::Arc::new(ShardedMap::<u64, u64>::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let map = std::sync::Arc::clone(&map);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    map.insert(t * 1_000 + i, i);
+                    if i % 64 == 0 {
+                        // Sweeps interleave with inserts without blocking them.
+                        let _ = map.values().len();
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(map.len(), 4_000);
+    }
+}

@@ -70,19 +70,23 @@ pub fn publish(name: &str, value: SharedValue) -> Result<()> {
     check(&rt, "publish", name)?;
     let publisher_app = rt.app_of_current_thread();
     let publisher = publisher_app.as_ref().map(|a| a.id());
-    let mut table = rt.inner.shared.write();
-    if let Some(existing) = table.get(name) {
-        if existing.publisher != publisher {
-            return Err(Error::Io {
-                message: format!("shared object {name:?} is owned by another publisher"),
-            });
+    // The ownership test and the insert must be atomic *per name*; the
+    // sharded table gives us exactly that — one shard's write lock — without
+    // serializing publishes of unrelated names.
+    rt.inner.shared.with_shard_mut(name, |table| {
+        if let Some(existing) = table.get(name) {
+            if existing.publisher != publisher {
+                return Err(Error::Io {
+                    message: format!("shared object {name:?} is owned by another publisher"),
+                });
+            }
+            // Same-publisher replacement: the name keeps its existing charge.
+        } else if let Some(app) = &publisher_app {
+            app.context().try_charge(jmp_vm::ResourceKind::Handles, 1)?;
         }
-        // Same-publisher replacement: the name keeps its existing charge.
-    } else if let Some(app) = &publisher_app {
-        app.context().try_charge(jmp_vm::ResourceKind::Handles, 1)?;
-    }
-    table.insert(name.to_string(), SharedEntry { value, publisher });
-    Ok(())
+        table.insert(name.to_string(), SharedEntry { value, publisher });
+        Ok(())
+    })
 }
 
 /// Looks up the object under `name`, downcast to `T`. Requires
@@ -98,12 +102,7 @@ pub fn publish(name: &str, value: SharedValue) -> Result<()> {
 pub fn lookup<T: Any + Send + Sync>(name: &str) -> Result<Option<Arc<T>>> {
     let rt = rt()?;
     check(&rt, "lookup", name)?;
-    let found = rt
-        .inner
-        .shared
-        .read()
-        .get(name)
-        .map(|entry| Arc::clone(&entry.value));
+    let found = rt.inner.shared.get(name).map(|entry| entry.value);
     Ok(found.and_then(|value| value.downcast::<T>().ok()))
 }
 
@@ -118,16 +117,24 @@ pub fn lookup<T: Any + Send + Sync>(name: &str) -> Result<Option<Arc<T>>> {
 pub fn withdraw(name: &str) -> Result<bool> {
     let rt = rt()?;
     let caller = rt.app_of_current_thread().map(|a| a.id());
-    let mut table = rt.inner.shared.write();
-    match table.get(name) {
-        None => Ok(false),
-        Some(entry) => {
-            if entry.publisher != caller {
-                check(&rt, "withdraw", name)?;
+    // Ownership test + removal under the name's shard lock; the uncharge
+    // happens after the lock is released, as before.
+    let withdrawn = rt.inner.shared.with_shard_mut(name, |table| -> Result<_> {
+        match table.get(name) {
+            None => Ok(None),
+            Some(entry) => {
+                if entry.publisher != caller {
+                    check(&rt, "withdraw", name)?;
+                }
+                let publisher = entry.publisher;
+                table.remove(name);
+                Ok(Some(publisher))
             }
-            let publisher = entry.publisher;
-            table.remove(name);
-            drop(table);
+        }
+    })?;
+    match withdrawn {
+        None => Ok(false),
+        Some(publisher) => {
             if let Some(id) = publisher {
                 if let Some(app) = rt.application(id) {
                     app.context().uncharge(jmp_vm::ResourceKind::Handles, 1);
@@ -148,7 +155,7 @@ pub fn names() -> Result<Vec<String>> {
     let rt = rt()?;
     rt.vm()
         .check_permission(&Permission::runtime("sharedObject.list"))?;
-    let mut names: Vec<String> = rt.inner.shared.read().keys().cloned().collect();
+    let mut names = rt.inner.shared.keys();
     names.sort();
     Ok(names)
 }
@@ -156,12 +163,10 @@ pub fn names() -> Result<Vec<String>> {
 /// Drops all exports of `app` (called by the reaper: an application's
 /// exports do not outlive it, just like its windows and owned streams).
 pub(crate) fn drop_exports_of(rt: &MpRuntime, app: AppId) {
-    let dropped = {
-        let mut table = rt.inner.shared.write();
-        let before = table.len();
-        table.retain(|_name, entry| entry.publisher != Some(app));
-        (before - table.len()) as u64
-    };
+    let dropped = rt
+        .inner
+        .shared
+        .retain(|_name, entry| entry.publisher != Some(app)) as u64;
     if dropped > 0 {
         if let Some(app) = rt.application(app) {
             app.context()

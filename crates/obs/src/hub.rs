@@ -96,6 +96,22 @@ impl CacheOutcome {
     }
 }
 
+/// Number of shards in the per-application registry table. Application ids
+/// are sequential, so `id % APP_SHARDS` spreads them uniformly; a power of
+/// two keeps the fold to a mask.
+const APP_SHARDS: usize = 16;
+
+/// One shard of the per-application registry table: the live registries
+/// whose ids hash here, plus the retired totals of reaped applications from
+/// the same shard. Both live under ONE lock so [`ObsHub::remove_app`]
+/// retires a registry atomically — a concurrent [`ObsHub::rollup`] reading
+/// this shard sees each application exactly once, live *xor* retired, never
+/// both and never neither.
+struct AppShard {
+    live: BTreeMap<u64, Arc<MetricsRegistry>>,
+    retired: RegistrySnapshot,
+}
+
 struct HubInner {
     clock: ObsClock,
     sink: EventSink,
@@ -104,10 +120,11 @@ struct HubInner {
     profiler: Profiler,
     watchdogs: WatchdogRegistry,
     vm: Arc<MetricsRegistry>,
-    apps: RwLock<BTreeMap<u64, Arc<MetricsRegistry>>>,
-    // Per-application-only totals of reaped applications (e.g. their pipe
-    // bytes), folded in by `remove_app` so the rollup never shrinks.
-    retired: RwLock<RegistrySnapshot>,
+    // The per-application registries, sharded by id so reaps, lookups and
+    // attribution on different applications never queue on one table lock
+    // (the control-plane scale-out mirror of the runtime's sharded app
+    // registry).
+    apps: [RwLock<AppShard>; APP_SHARDS],
     resolver: RwLock<Option<AppResolver>>,
     // The security chokepoint runs on every permission check; its VM-wide
     // instruments are resolved once here so the hot path never touches the
@@ -184,8 +201,12 @@ impl ObsHub {
                     vm.counter("demands.unique"),
                 ),
                 vm,
-                apps: RwLock::new(BTreeMap::new()),
-                retired: RwLock::new(RegistrySnapshot::empty("retired")),
+                apps: std::array::from_fn(|_| {
+                    RwLock::new(AppShard {
+                        live: BTreeMap::new(),
+                        retired: RegistrySnapshot::empty("retired"),
+                    })
+                }),
                 resolver: RwLock::new(None),
             }),
         }
@@ -255,16 +276,22 @@ impl ObsHub {
         resolver.and_then(|r| r())
     }
 
+    /// The shard holding application `id`'s registry.
+    fn app_shard(&self, id: u64) -> &RwLock<AppShard> {
+        &self.inner.apps[(id as usize) % APP_SHARDS]
+    }
+
     /// Gets or creates the metrics registry for application `id`; `label`
     /// names the registry on first creation (e.g. the program name).
     pub fn app_registry(&self, id: u64, label: &str) -> Arc<MetricsRegistry> {
-        if let Some(registry) = self.inner.apps.read().get(&id) {
+        let shard = self.app_shard(id);
+        if let Some(registry) = shard.read().live.get(&id) {
             return Arc::clone(registry);
         }
         Arc::clone(
-            self.inner
-                .apps
+            shard
                 .write()
+                .live
                 .entry(id)
                 .or_insert_with(|| Arc::new(MetricsRegistry::new(format!("{id}:{label}")))),
         )
@@ -272,26 +299,39 @@ impl ObsHub {
 
     /// The registry for application `id`, if it exists.
     pub fn existing_app_registry(&self, id: u64) -> Option<Arc<MetricsRegistry>> {
-        self.inner.apps.read().get(&id).map(Arc::clone)
+        self.app_shard(id).read().live.get(&id).map(Arc::clone)
     }
 
     /// Drops application `id`'s registry (called after reap). Its counters
     /// stop appearing in snapshots; its per-application-only totals are
     /// folded into the retired pool so the [`ObsHub::rollup`] never shrinks.
+    /// The removal and the fold happen under ONE shard write lock, so a
+    /// rollup racing the reap counts the application exactly once — it can
+    /// never observe the registry gone from the live table but not yet
+    /// merged into the retired pool.
     pub fn remove_app(&self, id: u64) {
-        if let Some(registry) = self.inner.apps.write().remove(&id) {
-            self.inner.retired.write().merge(&registry.snapshot());
+        let mut shard = self.app_shard(id).write();
+        if let Some(registry) = shard.live.remove(&id) {
+            let snapshot = registry.snapshot();
+            shard.retired.merge(&snapshot);
         }
     }
 
-    /// Live per-application registries, in application-id order.
+    /// Live per-application registries, in application-id order. Collected
+    /// shard by shard — no lock spans the whole table.
     pub fn app_registries(&self) -> Vec<(u64, Arc<MetricsRegistry>)> {
-        self.inner
-            .apps
-            .read()
-            .iter()
-            .map(|(id, registry)| (*id, Arc::clone(registry)))
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.inner.apps {
+            let guard = shard.read();
+            out.extend(
+                guard
+                    .live
+                    .iter()
+                    .map(|(id, registry)| (*id, Arc::clone(registry))),
+            );
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
     }
 
     /// The chokepoint instrumentation record for one permission check.
@@ -471,9 +511,15 @@ impl ObsHub {
                 }
             }
         };
-        fold(&self.inner.retired.read(), &mut rolled);
-        for (_, registry) in self.app_registries() {
-            fold(&registry.snapshot(), &mut rolled);
+        // Fold each shard under its own read lock: the reap path retires a
+        // registry under the same lock, so within a shard every application
+        // contributes exactly once — live xor retired.
+        for shard in &self.inner.apps {
+            let guard = shard.read();
+            fold(&guard.retired, &mut rolled);
+            for registry in guard.live.values() {
+                fold(&registry.snapshot(), &mut rolled);
+            }
         }
         rolled
     }
@@ -512,7 +558,15 @@ impl std::fmt::Debug for ObsHub {
         f.debug_struct("ObsHub")
             .field("sink", &self.inner.sink)
             .field("audit", &self.inner.audit)
-            .field("apps", &self.inner.apps.read().len())
+            .field(
+                "apps",
+                &self
+                    .inner
+                    .apps
+                    .iter()
+                    .map(|shard| shard.read().live.len())
+                    .sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -619,6 +673,43 @@ mod tests {
         hub.remove_app(1);
         assert!(hub.snapshot().apps.is_empty());
         assert_eq!(hub.rollup().counters["pipe.bytes"], 40);
+    }
+
+    #[test]
+    fn rollup_racing_reaps_counts_each_app_exactly_once() {
+        // The reap path retires a registry under the same shard lock that
+        // removes it from the live table, so a rollup running concurrently
+        // with reaps must see every application exactly once: with one unit
+        // of `pipe.bytes` per app, every intermediate rollup sums to the
+        // full total — never less (app vanished mid-retire), never more
+        // (app counted live *and* retired).
+        let hub = ObsHub::new();
+        const APPS: u64 = 200;
+        for id in 0..APPS {
+            hub.app_registry(id, "storm").counter("pipe.bytes").inc();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let hub = hub.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    observed.push(hub.rollup().counters["pipe.bytes"]);
+                }
+                observed
+            })
+        };
+        for id in 0..APPS {
+            hub.remove_app(id);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let observed = reader.join().unwrap();
+        assert!(
+            observed.iter().all(|&total| total == APPS),
+            "a rollup lost or duplicated an app mid-reap: {observed:?}"
+        );
+        assert_eq!(hub.rollup().counters["pipe.bytes"], APPS);
     }
 
     #[test]

@@ -21,6 +21,17 @@
 //!   weighted collapsed stacks (flamegraph.pl's `a;b;c weight` form) and a
 //!   bounded ring of Chrome trace instant events.
 //!
+//!   The tick is **two-tier** so its cost tracks *activity*, not fleet
+//!   size. A slot that republished since the last tick is scanned and
+//!   sampled normally. A slot whose stack has not moved is sampled one
+//!   last time and then *demoted*: it leaves the scan set and joins a
+//!   settled population counted per `(app, collapsed stack)`. Settled
+//!   threads keep accruing weight — in tick units, materialised into the
+//!   view tables lazily on report or when the slot republishes — but cost
+//!   the tick nothing. Ten thousand parked service mains blocked in the
+//!   same frame are one settled entry, not ten thousand scans every 10 ms;
+//!   re-sampling an unchanged stack adds no information, so none is lost.
+//!
 //! Writing into the profiler is free of permission checks, like the rest of
 //! the hub; reading a [`ProfileReport`] back out is gated behind
 //! `RuntimePermission("readProfile")` in the runtime layer, because one
@@ -59,6 +70,18 @@ pub struct ThreadLoc {
     thread: u64,
     app: Option<u64>,
     frames: Mutex<Vec<Arc<str>>>,
+    /// Whether the slot is currently in the sampler's scan set. Entered on
+    /// the first non-empty publication — a thread that never interprets
+    /// never enrolls — and left again when the stack settles.
+    enrolled: AtomicBool,
+    /// Set by every publication, cleared by the sampler tick. Still clear
+    /// at the next tick means the stack has not moved: the slot is demoted
+    /// from per-tick scanning into the settled population.
+    dirty: AtomicBool,
+    /// The collapsed stack key this slot is settled under, if demoted.
+    settled: Mutex<Option<String>>,
+    registry: Weak<ProfilerInner>,
+    me: Weak<ThreadLoc>,
 }
 
 impl ThreadLoc {
@@ -74,11 +97,45 @@ impl ThreadLoc {
 
     /// Replaces the published stack wholesale. Publisher-side wait-free: a
     /// `try_lock` miss (the sampler is mid-read) drops this update, and the
-    /// next frame transition publishes the then-current stack.
+    /// next frame transition publishes the then-current stack. The first
+    /// non-empty publication enrolls the slot in the sampler's scan set —
+    /// until then the sampler does not know the thread exists, which is
+    /// what keeps the per-tick cost proportional to interpreting threads
+    /// rather than to the whole fleet.
     pub fn publish(&self, frames: &[Arc<str>]) {
-        if let Some(mut slot) = self.frames.try_lock() {
+        let published = if let Some(mut slot) = self.frames.try_lock() {
             slot.clear();
             slot.extend(frames.iter().cloned());
+            !slot.is_empty()
+        } else {
+            return;
+        };
+        self.dirty.store(true, Ordering::Relaxed);
+        // A settled slot that moves rejoins the scan set; its owed idle
+        // weight is materialised under the *old* key first. The settled
+        // guard is released before touching the scan list — the sampler
+        // takes those locks in the opposite order.
+        if let Some(key) = self.settled.lock().take() {
+            if let Some(registry) = self.registry.upgrade() {
+                unsettle(&registry, self.app, key);
+            }
+        }
+        if published && !self.enrolled.swap(true, Ordering::Relaxed) {
+            if let Some(registry) = self.registry.upgrade() {
+                registry.threads.lock().push(self.me.clone());
+            }
+        }
+    }
+}
+
+impl Drop for ThreadLoc {
+    fn drop(&mut self) {
+        // A settled thread that exits takes its count out of the settled
+        // population (after materialising what it is owed).
+        if let Some(key) = self.settled.get_mut().take() {
+            if let Some(registry) = self.registry.upgrade() {
+                unsettle(&registry, self.app, key);
+            }
         }
     }
 }
@@ -147,6 +204,16 @@ struct SampleEvent {
     top: String,
 }
 
+/// One settled population: `count` demoted threads share this exact
+/// collapsed stack and have accrued nothing since `settle_tick`. Their
+/// owed weight (`count × elapsed ticks × tick interval`) is materialised
+/// into the view tables lazily — on report, or when a member republishes
+/// or exits — so the population costs the sampler tick nothing.
+struct SettledEntry {
+    count: u64,
+    settle_tick: u64,
+}
+
 struct ProfilerInner {
     accounting: AtomicBool,
     sampling: AtomicBool,
@@ -155,9 +222,59 @@ struct ProfilerInner {
     vm: Mutex<ViewTable>,
     apps: RwLock<BTreeMap<u64, Arc<Mutex<ViewTable>>>>,
     threads: Mutex<Vec<Weak<ThreadLoc>>>,
+    settled: Mutex<BTreeMap<(Option<u64>, String), SettledEntry>>,
+    tick: AtomicU64,
+    last_interval: AtomicU64,
     flushes: AtomicU64,
     samples: AtomicU64,
     events: Mutex<VecDeque<SampleEvent>>,
+}
+
+/// Brings `entry` up to the current tick: adds its owed weight to the VM
+/// and per-app view tables and rebases `settle_tick`. Takes table locks
+/// only — never `threads` or `settled` (the caller may hold either).
+fn materialize(inner: &ProfilerInner, app: Option<u64>, key: &str, entry: &mut SettledEntry) {
+    let tick = inner.tick.load(Ordering::Relaxed);
+    let owed_ticks = tick.saturating_sub(entry.settle_tick);
+    entry.settle_tick = tick;
+    if owed_ticks == 0 || entry.count == 0 {
+        return;
+    }
+    let weight = owed_ticks * entry.count * inner.last_interval.load(Ordering::Relaxed);
+    inner.vm.lock().add_sample(key, weight);
+    if let Some(app) = app {
+        inner_app_table(inner, app).lock().add_sample(key, weight);
+    }
+    inner
+        .samples
+        .fetch_add(owed_ticks * entry.count, Ordering::Relaxed);
+}
+
+/// Removes one thread from the settled population under `key`, first
+/// materialising what the entry is owed.
+fn unsettle(inner: &ProfilerInner, app: Option<u64>, key: String) {
+    let mut settled = inner.settled.lock();
+    let map_key = (app, key);
+    if let Some(entry) = settled.get_mut(&map_key) {
+        materialize(inner, map_key.0, &map_key.1, entry);
+        entry.count -= 1;
+        if entry.count == 0 {
+            settled.remove(&map_key);
+        }
+    }
+}
+
+fn inner_app_table(inner: &ProfilerInner, app: u64) -> Arc<Mutex<ViewTable>> {
+    if let Some(table) = inner.apps.read().get(&app) {
+        return Arc::clone(table);
+    }
+    Arc::clone(
+        inner
+            .apps
+            .write()
+            .entry(app)
+            .or_insert_with(|| Arc::new(Mutex::new(ViewTable::default()))),
+    )
 }
 
 /// The profiler. Cheap handle; clones share state. Both collection modes
@@ -192,6 +309,9 @@ impl Profiler {
                 vm: Mutex::new(ViewTable::default()),
                 apps: RwLock::new(BTreeMap::new()),
                 threads: Mutex::new(Vec::new()),
+                settled: Mutex::new(BTreeMap::new()),
+                tick: AtomicU64::new(0),
+                last_interval: AtomicU64::new(DEFAULT_SAMPLE_INTERVAL_MS * 1_000),
                 flushes: AtomicU64::new(0),
                 samples: AtomicU64::new(0),
                 events: Mutex::new(VecDeque::new()),
@@ -291,34 +411,56 @@ impl Profiler {
     /// Registers the calling thread's location slot, billed to `app`
     /// (`None` = the VM bucket, e.g. detached threads). The returned slot
     /// is what the thread publishes its frame stack into; dropping it
-    /// (thread exit) retires the slot at the next sampler tick.
+    /// (thread exit) retires the slot at the next sampler tick. The slot
+    /// only enters the sampler's scan set on its first non-empty
+    /// [`ThreadLoc::publish`]: threads that never run interpreted code —
+    /// e.g. ten thousand parked service mains — add nothing to the tick.
     pub fn register_thread(&self, app: Option<u64>) -> Arc<ThreadLoc> {
-        let loc = Arc::new(ThreadLoc {
+        Arc::new_cyclic(|me| ThreadLoc {
             thread: trace::thread_ordinal(),
             app,
             frames: Mutex::new(Vec::new()),
-        });
-        self.inner.threads.lock().push(Arc::downgrade(&loc));
-        loc
+            enrolled: AtomicBool::new(false),
+            dirty: AtomicBool::new(false),
+            settled: Mutex::new(None),
+            registry: Arc::downgrade(&self.inner),
+            me: me.clone(),
+        })
     }
 
-    /// Takes one sampling pass over every live registered slot, weighting
-    /// each observed stack by `interval_us` (the time since the previous
-    /// pass). Returns how many threads were on-stack. Called by the VM
-    /// profiler thread; a no-op while sampling is off.
+    /// Takes one sampling pass over the *active* scan set, weighting each
+    /// observed stack by `interval_us` (the time since the previous pass).
+    /// A slot that did not republish since the last tick is sampled one
+    /// final time and demoted to the settled population; it rejoins the
+    /// scan on its next publication. Returns how many threads were scanned
+    /// on-stack this tick (settled threads accrue out of band). Called by
+    /// the VM profiler thread; a no-op while sampling is off.
     pub fn sample_once(&self, interval_us: u64) -> usize {
         if !self.sampling_enabled() {
             return 0;
         }
-        let live: Vec<Arc<ThreadLoc>> = {
-            let mut threads = self.inner.threads.lock();
-            threads.retain(|w| w.strong_count() > 0);
-            threads.iter().filter_map(Weak::upgrade).collect()
-        };
+        let inner = &*self.inner;
+        inner.last_interval.store(interval_us, Ordering::Relaxed);
+        let tick = inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut sampled = 0;
-        for loc in live {
+        // The scan set holds only recently-active threads, so the table
+        // work can stay under the scan lock; publishers touch it solely on
+        // enrollment, after releasing every other profiler lock.
+        let mut threads = inner.threads.lock();
+        let mut keep = Vec::with_capacity(threads.len());
+        for weak in threads.drain(..) {
+            let Some(loc) = weak.upgrade() else { continue };
             let frames = loc.frames.lock().clone();
+            let dirty = loc.dirty.swap(false, Ordering::Relaxed);
             if frames.is_empty() {
+                // A cleared stack costs nothing to keep for one quiet
+                // tick; after that the slot leaves the scan until it
+                // publishes again.
+                if dirty {
+                    keep.push(weak);
+                } else {
+                    loc.enrolled.store(false, Ordering::Relaxed);
+                }
                 continue;
             }
             let key = frames
@@ -326,27 +468,69 @@ impl Profiler {
                 .map(|f| f.as_ref())
                 .collect::<Vec<&str>>()
                 .join(";");
-            self.inner.vm.lock().add_sample(&key, interval_us);
+            inner.vm.lock().add_sample(&key, interval_us);
             if let Some(app) = loc.app {
-                self.app_table(app).lock().add_sample(&key, interval_us);
+                inner_app_table(inner, app)
+                    .lock()
+                    .add_sample(&key, interval_us);
             }
             let top = frames.last().map_or(String::new(), |f| f.to_string());
-            let mut events = self.inner.events.lock();
+            let mut events = inner.events.lock();
             if events.len() >= MAX_SAMPLE_EVENTS {
                 events.pop_front();
             }
             events.push_back(SampleEvent {
-                ts_us: self.inner.clock.now_us(),
+                ts_us: inner.clock.now_us(),
                 thread: loc.thread,
                 app: loc.app,
-                stack: key,
+                stack: key.clone(),
                 top,
             });
             drop(events);
-            self.inner.samples.fetch_add(1, Ordering::Relaxed);
+            inner.samples.fetch_add(1, Ordering::Relaxed);
             sampled += 1;
+            if dirty {
+                keep.push(weak);
+                continue;
+            }
+            // Unchanged since the last tick: demote. Accrual starts at the
+            // *next* tick — this one was just sampled directly.
+            {
+                let mut settled = inner.settled.lock();
+                let entry = settled
+                    .entry((loc.app, key.clone()))
+                    .or_insert(SettledEntry {
+                        count: 0,
+                        settle_tick: tick,
+                    });
+                materialize(inner, loc.app, &key, entry);
+                entry.count += 1;
+                *loc.settled.lock() = Some(key);
+            }
+            loc.enrolled.store(false, Ordering::Relaxed);
+            // Close the demotion race: a publication that slipped in after
+            // the dirty check would otherwise strand a moving thread in
+            // the settled population.
+            if loc.dirty.load(Ordering::Relaxed) {
+                if let Some(key) = loc.settled.lock().take() {
+                    unsettle(inner, loc.app, key);
+                }
+                loc.enrolled.store(true, Ordering::Relaxed);
+                keep.push(weak);
+            }
         }
+        *threads = keep;
         sampled
+    }
+
+    /// Brings every settled population up to the current tick so reports
+    /// see the full accrued weight.
+    fn materialize_settled(&self) {
+        let inner = &*self.inner;
+        let mut settled = inner.settled.lock();
+        for ((app, key), entry) in settled.iter_mut() {
+            materialize(inner, *app, key, entry);
+        }
     }
 
     /// Accounting blocks flushed so far.
@@ -361,6 +545,7 @@ impl Profiler {
 
     /// Snapshots everything collected so far into a [`ProfileReport`].
     pub fn report(&self) -> ProfileReport {
+        self.materialize_settled();
         let model = self.inner.model.read();
         let vm = render_view(None, &self.inner.vm.lock(), &model);
         let apps: Vec<ProfileView> = self
@@ -413,6 +598,12 @@ impl Profiler {
     /// thread slots survive — `profile reset` starts a fresh window, it
     /// does not tear the profiler down.
     pub fn reset(&self) {
+        // The settled *population* survives a reset (it is who exists, not
+        // what was collected), but its accrual rebases onto the new window.
+        let tick = self.inner.tick.load(Ordering::Relaxed);
+        for entry in self.inner.settled.lock().values_mut() {
+            entry.settle_tick = tick;
+        }
         *self.inner.vm.lock() = ViewTable::default();
         self.inner.apps.write().clear();
         self.inner.events.lock().clear();
@@ -421,16 +612,7 @@ impl Profiler {
     }
 
     fn app_table(&self, app: u64) -> Arc<Mutex<ViewTable>> {
-        if let Some(table) = self.inner.apps.read().get(&app) {
-            return Arc::clone(table);
-        }
-        Arc::clone(
-            self.inner
-                .apps
-                .write()
-                .entry(app)
-                .or_insert_with(|| Arc::new(Mutex::new(ViewTable::default()))),
-        )
+        inner_app_table(&self.inner, app)
     }
 }
 
@@ -642,6 +824,33 @@ mod tests {
         loc.publish(&[]);
         assert_eq!(p.sample_once(10_000), 0);
         drop(loc);
+        assert_eq!(p.sample_once(10_000), 0);
+    }
+
+    #[test]
+    fn settled_threads_leave_the_scan_but_keep_accruing() {
+        let p = Profiler::new();
+        let locs: Vec<_> = (0..100)
+            .map(|i| {
+                let loc = p.register_thread(Some(i));
+                loc.publish(&[Arc::from("Svc.main")]);
+                loc
+            })
+            .collect();
+        assert_eq!(p.sample_once(10_000), 100); // freshly published: scanned
+        assert_eq!(p.sample_once(10_000), 100); // unchanged: sampled once more, demoted
+        assert_eq!(p.sample_once(10_000), 0); // the parked fleet is out of the scan
+        assert_eq!(p.sample_once(10_000), 0);
+        // Report materialises the settled accrual: 2 scanned + 2 settled
+        // ticks per thread, identical totals to scanning every tick.
+        let report = p.report();
+        assert_eq!(report.vm.stacks["Svc.main"], 100 * 4 * 10_000);
+        assert_eq!(report.view(Some(7)).unwrap().stacks["Svc.main"], 4 * 10_000);
+        // Republication re-enters the scan under the new key.
+        locs[0].publish(&[Arc::from("Svc.main"), Arc::from("Svc.work")]);
+        assert_eq!(p.sample_once(10_000), 1);
+        // Exiting settled threads drain the population cleanly.
+        drop(locs);
         assert_eq!(p.sample_once(10_000), 0);
     }
 

@@ -73,6 +73,7 @@ mod intern;
 mod permission;
 mod policy;
 mod principal;
+mod store;
 
 pub use access::{AccessContext, AccessController, DomainEntry, GrantRoute};
 pub use code_source::CodeSource;
@@ -88,6 +89,7 @@ pub use intern::{interned_domain_count, ContextFingerprint, DomainId, Fingerprin
 pub use permission::{FileActions, Permission, PropertyActions, SocketActions};
 pub use policy::{Grant, GrantTarget, Policy};
 pub use principal::{User, UserId, UserRegistry};
+pub use store::{GrantSource, LazyUserStore, TemplateGrantSource, UserGrants};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, SecurityError>;

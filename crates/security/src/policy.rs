@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -9,6 +9,7 @@ use crate::domain::PermissionCollection;
 use crate::error::SecurityError;
 use crate::index::PermissionIndex;
 use crate::permission::{FileActions, Permission, PropertyActions, SocketActions};
+use crate::store::LazyUserStore;
 use crate::Result;
 
 /// Whom a [`Grant`] applies to.
@@ -66,6 +67,11 @@ pub struct Policy {
     /// Lazily-built per-user grant index, a pure function of `grants`
     /// (excluded from `Clone`/`PartialEq`/serde); reset on mutation.
     user_index: OnceLock<HashMap<String, PermissionIndex>>,
+    /// Optional lazy per-user grant store consulted when the resident
+    /// grants do not answer a user query (see [`LazyUserStore`]). Carried
+    /// by `Clone`, excluded from `PartialEq`/serde/`Display` — equality,
+    /// wire form, and text render only the resident grants.
+    user_store: Option<Arc<LazyUserStore>>,
 }
 
 impl Policy {
@@ -78,6 +84,7 @@ impl Policy {
         Policy {
             grants,
             user_index: OnceLock::new(),
+            user_store: None,
         }
     }
 
@@ -159,26 +166,68 @@ impl Policy {
             .collect()
     }
 
-    /// Resolves the permissions granted to the user named `user`.
+    /// Resolves the permissions granted to the user named `user`: the
+    /// resident `grant user` blocks, plus (when a [`LazyUserStore`] is
+    /// attached) whatever the store loads for the user on demand.
     pub fn permissions_for_user(&self, user: &str) -> PermissionCollection {
-        self.grants
+        let resident = self
+            .grants
             .iter()
             .filter_map(|g| match &g.target {
                 GrantTarget::User(name) if name == user => Some(g.permissions.iter().cloned()),
                 _ => None,
             })
-            .flatten()
-            .collect()
+            .flatten();
+        match &self.user_store {
+            Some(store) => {
+                let stored = store.lookup(user);
+                resident
+                    .chain(stored.permissions().iter().cloned())
+                    .collect()
+            }
+            None => resident.collect(),
+        }
     }
 
     /// Returns `true` if the policy grants `demand` to the user named `user`.
     ///
-    /// Served from a lazily-built per-user [`PermissionIndex`] rather than a
-    /// scan over every grant block.
+    /// Served from a lazily-built per-user [`PermissionIndex`] over the
+    /// resident grants; when that does not answer and a [`LazyUserStore`]
+    /// is attached, the user's stored grants are loaded (and interned) on
+    /// this first demand and consulted too.
     pub fn user_implies(&self, user: &str, demand: &Permission) -> bool {
-        self.user_index()
+        if self
+            .user_index()
             .get(user)
             .is_some_and(|index| index.implies(demand))
+        {
+            return true;
+        }
+        match &self.user_store {
+            Some(store) => store.lookup(user).implies(demand),
+            None => false,
+        }
+    }
+
+    /// Attaches a lazy per-user grant store; see [`LazyUserStore`].
+    #[must_use]
+    pub fn with_user_store(mut self, store: Arc<LazyUserStore>) -> Policy {
+        self.user_store = Some(store);
+        self
+    }
+
+    /// The attached lazy grant store, if any.
+    pub fn user_store(&self) -> Option<&Arc<LazyUserStore>> {
+        self.user_store.as_ref()
+    }
+
+    /// Invalidates the attached store's cached user grants (no-op without a
+    /// store). The VM calls this on `set_policy` so a reload re-reads the
+    /// grant source instead of serving pre-reload interned grants.
+    pub fn invalidate_user_store(&self) {
+        if let Some(store) = &self.user_store {
+            store.invalidate();
+        }
     }
 
     fn user_index(&self) -> &HashMap<String, PermissionIndex> {
@@ -202,7 +251,9 @@ impl Policy {
 
 impl Clone for Policy {
     fn clone(&self) -> Policy {
-        Policy::from_grants(self.grants.clone())
+        let mut clone = Policy::from_grants(self.grants.clone());
+        clone.user_store = self.user_store.clone();
+        clone
     }
 }
 
@@ -740,6 +791,44 @@ mod tests {
             "alice",
             &Permission::file("/home/alice/notes.txt", FileActions::WRITE)
         ));
+    }
+
+    #[test]
+    fn user_store_backs_user_queries() {
+        use crate::store::{LazyUserStore, TemplateGrantSource};
+        use std::sync::Arc;
+        let store = Arc::new(LazyUserStore::new(Arc::new(TemplateGrantSource::new(
+            "u",
+            1000,
+            r#"grant user "${user}" { permission file "/home/${user}/-" "read,write"; };"#,
+        ))));
+        let mut policy = Policy::new().with_user_store(Arc::clone(&store));
+        policy.grant_user("alice", vec![Permission::runtime("residentGrant")]);
+
+        // Resident grants answer without touching the store.
+        assert!(policy.user_implies("alice", &Permission::runtime("residentGrant")));
+        assert_eq!(store.loads(), 0, "a resident answer never probes the store");
+
+        // Stored users load on first demand and serve both query forms.
+        let demand = Permission::file("/home/u7/notes", FileActions::WRITE);
+        assert!(policy.user_implies("u7", &demand));
+        assert!(policy.permissions_for_user("u7").implies(&demand));
+        assert!(!policy.user_implies("u7", &Permission::runtime("residentGrant")));
+        assert!(!policy.user_implies("u7", &Permission::file("/home/u8/notes", FileActions::READ)));
+
+        // permissions_for_user overlays resident and stored grants.
+        policy.grant_user("u7", vec![Permission::runtime("extra")]);
+        let merged = policy.permissions_for_user("u7");
+        assert!(merged.implies(&demand));
+        assert!(merged.implies(&Permission::runtime("extra")));
+
+        // Clone carries the store; equality and wire form ignore it.
+        let clone = policy.clone();
+        assert!(clone.user_implies("u9", &Permission::file("/home/u9/x", FileActions::READ)));
+        assert_eq!(clone, policy);
+        let bare = Policy::deserialize_value(&policy.serialize_value()).unwrap();
+        assert!(bare.user_store().is_none());
+        assert_eq!(bare, policy, "equality is resident-grants-only");
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod classes;
 /// Per-application ownership records, resource ledgers, and quota limits.
 pub mod context;
 mod decision_cache;
+mod epoch_cell;
 mod error;
 mod group;
 pub mod interp;

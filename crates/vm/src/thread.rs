@@ -1,6 +1,6 @@
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -21,11 +21,16 @@ impl fmt::Display for ThreadId {
     }
 }
 
-/// Poll interval used by the remaining poll-style blocking primitives
-/// (`join`, `sleep`) to observe interruption. The data-plane paths — event
-/// queues and pipes — no longer poll: they block on a condition variable for
-/// real and are woken explicitly through an [interrupt waker]
-/// (`register_interrupt_waker`), so an idle dispatcher costs zero wakeups.
+/// Poll interval for host-side wait loops that sit outside the interrupt
+/// machinery (e.g. [`crate::Vm::await_termination`] rounds). The blocking
+/// primitives themselves — event queues, pipes, and since the control-plane
+/// scale-out also `sleep`/`join` — do not poll: they block for real and are
+/// woken explicitly through an [interrupt waker]
+/// (`register_interrupt_waker`). A parked fleet of 10,000 applications
+/// sleeping in `jmp_vm::thread::sleep` costs zero wakeups (and, parked on
+/// its [`SleepChannel`]s rather than in futex waits, leaves the kernel's
+/// futex tables alone); with the old 5 ms poll it cost 2 million timer
+/// fires a second.
 pub const BLOCK_POLL: Duration = Duration::from_millis(5);
 
 /// A callback invoked when the thread it is registered on is interrupted.
@@ -33,6 +38,122 @@ pub const BLOCK_POLL: Duration = Duration::from_millis(5);
 /// notifies their condition variable, turning cooperative interruption into
 /// an immediate wakeup instead of a ≤[`BLOCK_POLL`] poll.
 pub type InterruptWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// Process-wide cap on sleep socketpairs (two fds each), sized to leave
+/// headroom under common `RLIMIT_NOFILE` settings. Sleepers beyond the cap
+/// fall back to bounded nanosleep chunks.
+const SLEEP_CHANNEL_CAP: usize = 8_192;
+
+/// Chunk bound for the capped fallback: interruption is observed at the
+/// next chunk boundary, comfortably inside the reaper's 2 s join timeout.
+const SLEEP_FALLBACK_CHUNK: Duration = Duration::from_millis(500);
+
+/// Live [`SleepChannel`] count against [`SLEEP_CHANNEL_CAP`].
+static SLEEP_CHANNELS: AtomicUsize = AtomicUsize::new(0);
+
+/// The parking spot of a sleeping VM thread: a socketpair the sleeper
+/// blocks on with a read timeout, and that the interrupt waker writes one
+/// byte into to wake it.
+///
+/// Why not a condition variable: a condvar wait is a futex wait, and a
+/// fleet of thousands of threads parked in futexes degrades *every* futex
+/// operation in the process — the kernel's futex hash buckets walk long
+/// waiter chains, measured here as a condvar handoff going from ~4 µs with
+/// an empty fleet to ~170 µs with 10,000 parked sleepers, whichever
+/// addresses the waiters park on. Threads blocked in a socket read sit on
+/// per-socket wait queues instead and leave the futex tables alone, so the
+/// same handoff stays flat at any fleet size. One channel is created per
+/// thread on first sleep and lives until the thread dies.
+#[cfg(unix)]
+struct SleepChannel {
+    rx: std::os::unix::net::UnixStream,
+    tx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl SleepChannel {
+    /// Claims an fd-budget slot and builds the socketpair; `None` when the
+    /// cap is reached or the pair cannot be created.
+    fn claim() -> Option<Arc<SleepChannel>> {
+        SLEEP_CHANNELS
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < SLEEP_CHANNEL_CAP).then_some(n + 1)
+            })
+            .ok()?;
+        match std::os::unix::net::UnixStream::pair() {
+            Ok((rx, tx)) => {
+                // A full buffer must never block the interrupting thread.
+                let _ = tx.set_nonblocking(true);
+                Some(Arc::new(SleepChannel { rx, tx }))
+            }
+            Err(_) => {
+                SLEEP_CHANNELS.fetch_sub(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Wakes the parked owner (called from the interrupting thread).
+    fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// Discards wake bytes from earlier sleeps. The caller re-checks the
+    /// interrupt flag *after* draining and before [`Self::block`]: the
+    /// interrupter sets the flag before writing, so a wake drained here is
+    /// always visible as the flag, and a wake arriving later is a byte the
+    /// blocking read returns on.
+    fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 16];
+        let _ = self.rx.set_nonblocking(true);
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        let _ = self.rx.set_nonblocking(false);
+    }
+
+    /// Parks for up to `remaining` or until a wake byte arrives.
+    fn block(&self, remaining: Duration) {
+        use std::io::Read;
+        if self
+            .rx
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .is_err()
+        {
+            std::thread::sleep(remaining.min(SLEEP_FALLBACK_CHUNK));
+            return;
+        }
+        let mut buf = [0u8; 16];
+        match (&self.rx).read(&mut buf) {
+            Ok(n) if n > 0 => {}
+            Ok(_) => {
+                // EOF cannot happen while we hold `tx`; don't spin on it.
+                std::thread::sleep(remaining.min(SLEEP_FALLBACK_CHUNK));
+            }
+            Err(_) => {} // timeout (or EINTR): the caller re-checks the clock
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for SleepChannel {
+    fn drop(&mut self) {
+        SLEEP_CHANNELS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(not(unix))]
+struct SleepChannel;
+
+#[cfg(not(unix))]
+impl SleepChannel {
+    fn claim() -> Option<Arc<SleepChannel>> {
+        None
+    }
+    fn wake(&self) {}
+    fn drain(&self) {}
+    fn block(&self, _remaining: Duration) {}
+}
 
 #[derive(Debug)]
 enum RunState {
@@ -57,6 +178,9 @@ pub(crate) struct ThreadCtl {
     /// releasing this lock, so wakers may freely take their own locks.
     wakers: Mutex<Vec<(u64, InterruptWaker)>>,
     next_waker: AtomicU64,
+    /// The thread's sleep parking spot, created on first [`sleep`]. `None`
+    /// until then, and stays `None` past [`SLEEP_CHANNEL_CAP`].
+    sleep_channel: Mutex<Option<Arc<SleepChannel>>>,
 }
 
 impl ThreadCtl {
@@ -78,7 +202,18 @@ impl ThreadCtl {
             finished: Condvar::new(),
             wakers: Mutex::new(Vec::new()),
             next_waker: AtomicU64::new(1),
+            sleep_channel: Mutex::new(None),
         })
+    }
+
+    /// The thread's sleep channel, claimed on first use. Re-attempts the
+    /// claim on later sleeps if the cap was full the first time.
+    fn sleep_channel(&self) -> Option<Arc<SleepChannel>> {
+        let mut slot = self.sleep_channel.lock();
+        if slot.is_none() {
+            *slot = SleepChannel::claim();
+        }
+        slot.clone()
     }
 
     fn add_waker(self: &Arc<ThreadCtl>, waker: InterruptWaker) -> u64 {
@@ -188,6 +323,15 @@ impl VmThread {
     /// waiting; [`VmError::ThreadPanicked`] if the joined thread's body
     /// panicked.
     pub fn join(&self) -> Result<()> {
+        // Interrupting the *caller* must wake this wait immediately: the
+        // waker locks the target's state mutex before notifying, so a
+        // notification can never land between the interrupt check below
+        // and the wait.
+        let target = Arc::clone(&self.ctl);
+        let _waker = register_interrupt_waker(Arc::new(move || {
+            let _state = target.state.lock();
+            target.finished.notify_all();
+        }));
         let mut state = self.ctl.state.lock();
         loop {
             match &*state {
@@ -201,7 +345,7 @@ impl VmThread {
                     if current_interrupted() {
                         return Err(VmError::Interrupted);
                     }
-                    self.ctl.finished.wait_for(&mut state, BLOCK_POLL);
+                    self.ctl.finished.wait(&mut state);
                 }
             }
         }
@@ -220,8 +364,8 @@ impl VmThread {
             if now >= deadline {
                 return false;
             }
-            let wait = BLOCK_POLL.min(deadline - now);
-            self.ctl.finished.wait_for(&mut state, wait);
+            // One wait for the whole remainder: `mark_finished` notifies.
+            self.ctl.finished.wait_for(&mut state, deadline - now);
         }
     }
 }
@@ -380,19 +524,70 @@ pub fn register_interrupt_waker(waker: InterruptWaker) -> InterruptWakerGuard {
 /// duration elapses.
 pub fn sleep(duration: Duration) -> Result<()> {
     let deadline = Instant::now() + duration;
+    let Some(ctl) = CURRENT.with(|c| c.borrow().clone()) else {
+        // Plain OS threads are never interrupted: one real sleep.
+        std::thread::sleep(duration);
+        return Ok(());
+    };
+    // Park on the thread's sleep channel — a socket read, *not* a condvar
+    // wait — so a fleet of thousands of sleeping applications neither
+    // costs wakeups (no BLOCK_POLL chunking) nor crowds the kernel's
+    // futex tables (see [`SleepChannel`]; the E19 storm measures exactly
+    // this). Past the channel cap, bounded nanosleep chunks: still no
+    // futex waiter, interruption seen at the next chunk boundary.
+    let channel = ctl.sleep_channel();
+    let _waker = channel.as_ref().map(|chan| {
+        let chan = Arc::clone(chan);
+        register_interrupt_waker(Arc::new(move || chan.wake()))
+    });
     loop {
-        check_interrupt()?;
+        if ctl.interrupted.load(Ordering::SeqCst) {
+            return Err(VmError::Interrupted);
+        }
         let now = Instant::now();
         if now >= deadline {
             return Ok(());
         }
-        std::thread::sleep(BLOCK_POLL.min(deadline - now));
+        let remaining = deadline - now;
+        match &channel {
+            Some(chan) => {
+                chan.drain();
+                // The interrupter sets the flag before writing the wake
+                // byte: re-checking here after the drain means a wake can
+                // never be lost between the check and the blocking read.
+                if ctl.interrupted.load(Ordering::SeqCst) {
+                    return Err(VmError::Interrupted);
+                }
+                chan.block(remaining);
+            }
+            None => std::thread::sleep(remaining.min(SLEEP_FALLBACK_CHUNK)),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[cfg(unix)]
+    #[test]
+    fn sleep_channel_wake_unblocks_and_drain_discards_stale_bytes() {
+        let chan = SleepChannel::claim().expect("claim under cap");
+        // A wake byte written before the park unblocks it immediately.
+        chan.wake();
+        let start = Instant::now();
+        chan.block(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1), "wake byte lost");
+        // Draining discards the stale wake: the next park runs to timeout.
+        chan.wake();
+        chan.drain();
+        let start = Instant::now();
+        chan.block(Duration::from_millis(60));
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "stale byte not drained"
+        );
+    }
 
     fn test_ctl(id: u64, daemon: bool) -> Arc<ThreadCtl> {
         ThreadCtl::new(

@@ -13,6 +13,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::classes::{Class, ClassLoader, MaterialRegistry};
 use crate::context::{AppContext, ResourceKind};
 use crate::decision_cache::DecisionCache;
+use crate::epoch_cell::EpochCell;
 use crate::error::VmError;
 use crate::group::ThreadGroup;
 use crate::properties::Properties;
@@ -75,7 +76,10 @@ pub trait SecurityManager: Send + Sync {
 struct VmInner {
     name: String,
     extensions: RwLock<HashMap<String, Arc<dyn std::any::Any + Send + Sync>>>,
-    policy: Arc<RwLock<Arc<Policy>>>,
+    // The three security roots are epoch-published: every access check
+    // reads them, every reload rewrites them, and a single RwLock here is
+    // the hottest lock in the VM under an exec storm (see `epoch_cell`).
+    policy: Arc<EpochCell<Policy>>,
     properties: Properties,
     material: Arc<MaterialRegistry>,
     system_loader: ClassLoader,
@@ -83,8 +87,8 @@ struct VmInner {
     main_group: ThreadGroup,
     threads: RwLock<HashMap<ThreadId, VmThread>>,
     next_thread_id: AtomicU64,
-    security_manager: RwLock<Option<Arc<dyn SecurityManager>>>,
-    user_resolver: RwLock<Option<UserResolver>>,
+    security_manager: EpochCell<dyn SecurityManager>,
+    user_resolver: EpochCell<dyn Fn() -> Option<String> + Send + Sync>,
     decisions: DecisionCache,
     obs: ObsHub,
     shutdown: AtomicBool,
@@ -132,13 +136,18 @@ impl VmBuilder {
     /// beneath it, and the system class loader whose protection domains are
     /// resolved against the policy at class-definition time.
     pub fn build(self) -> Vm {
-        let policy = Arc::new(RwLock::new(Arc::new(self.policy)));
+        let policy = Arc::new(EpochCell::new(Some(Arc::new(self.policy))));
         let resolver_policy = Arc::clone(&policy);
         let material = Arc::new(MaterialRegistry::new());
         let system_loader = ClassLoader::new_system(
             "system",
             Arc::clone(&material),
-            Arc::new(move |source| resolver_policy.read().permissions_for(source)),
+            Arc::new(move |source| {
+                resolver_policy
+                    .load()
+                    .expect("policy root is always published")
+                    .permissions_for(source)
+            }),
         );
         let system_group = ThreadGroup::new_root("system");
         let main_group = system_group
@@ -180,8 +189,8 @@ impl VmBuilder {
                 main_group,
                 threads: RwLock::new(HashMap::new()),
                 next_thread_id: AtomicU64::new(1),
-                security_manager: RwLock::new(None),
-                user_resolver: RwLock::new(None),
+                security_manager: EpochCell::new(None),
+                user_resolver: EpochCell::new(None),
                 decisions: DecisionCache::new(),
                 obs,
                 shutdown: AtomicBool::new(false),
@@ -268,17 +277,29 @@ impl Vm {
 
     /// The current security policy.
     pub fn policy(&self) -> Arc<Policy> {
-        Arc::clone(&self.inner.policy.read())
+        self.inner
+            .policy
+            .load()
+            .expect("policy root is always published")
     }
 
     /// Replaces the policy. Requires `RuntimePermission("setPolicy")`.
+    ///
+    /// The publication never queues behind in-flight checks (see
+    /// [`EpochCell`]), so a reload completes even while every other thread
+    /// spins on cold checks. Any lazily cached per-user grants attached to
+    /// the incoming policy are invalidated before it is published, and the
+    /// decision-cache epoch is bumped after — together with the
+    /// capture-epoch-before-walk rule in [`Vm::access_check`], no
+    /// pre-reload decision or grant set can serve a post-reload check.
     ///
     /// # Errors
     ///
     /// [`VmError::Security`] if the caller lacks the permission.
     pub fn set_policy(&self, policy: Policy) -> Result<()> {
         self.check_permission(&Permission::runtime("setPolicy"))?;
-        *self.inner.policy.write() = Arc::new(policy);
+        policy.invalidate_user_store();
+        self.inner.policy.store(Some(Arc::new(policy)));
         self.flush_access_cache();
         Ok(())
     }
@@ -513,8 +534,7 @@ impl Vm {
     ///
     /// [`VmError::Security`] to deny.
     pub fn check_permission(&self, perm: &Permission) -> Result<()> {
-        let sm = self.inner.security_manager.read().clone();
-        match sm {
+        match self.inner.security_manager.load() {
             Some(sm) => sm.check_permission(self, perm),
             None => self.access_check(perm),
         }
@@ -522,7 +542,7 @@ impl Vm {
 
     /// The installed security manager, if any.
     pub fn security_manager(&self) -> Option<Arc<dyn SecurityManager>> {
-        self.inner.security_manager.read().clone()
+        self.inner.security_manager.load()
     }
 
     /// Installs a security manager. Requires
@@ -533,15 +553,14 @@ impl Vm {
     /// [`VmError::Security`] if the caller lacks the permission.
     pub fn set_security_manager(&self, sm: Arc<dyn SecurityManager>) -> Result<()> {
         self.check_permission(&Permission::runtime("setSecurityManager"))?;
-        *self.inner.security_manager.write() = Some(sm);
+        self.inner.security_manager.store(Some(sm));
         self.flush_access_cache();
         Ok(())
     }
 
     /// The running user for the current thread, per the installed resolver.
     pub fn current_user(&self) -> Option<String> {
-        let resolver = self.inner.user_resolver.read().clone();
-        resolver.and_then(|r| r())
+        self.inner.user_resolver.load().and_then(|r| r())
     }
 
     /// Installs the user resolver. Requires
@@ -552,7 +571,7 @@ impl Vm {
     /// [`VmError::Security`] if the caller lacks the permission.
     pub fn set_user_resolver(&self, resolver: UserResolver) -> Result<()> {
         self.check_permission(&Permission::runtime("setUserResolver"))?;
-        *self.inner.user_resolver.write() = Some(resolver);
+        self.inner.user_resolver.store(Some(resolver));
         self.flush_access_cache();
         Ok(())
     }
@@ -1525,6 +1544,61 @@ mod tests {
         assert_eq!(metrics.counter("access.cache.misses").get(), 2);
         assert_eq!(metrics.counter("access.cache.hits").get(), 1);
         assert_eq!(metrics.counter("access.cache.invalidations").get(), 1);
+    }
+
+    #[test]
+    fn policy_reload_completes_under_cold_check_pressure() {
+        // The writer-starvation regression (satellite of the control-plane
+        // scale-out): with the old fair RwLock root, 32 threads spinning on
+        // cold checks could queue a reload indefinitely. The epoch cell
+        // never queues the publisher behind readers, so 50 back-to-back
+        // reloads must complete promptly under full read pressure.
+        use jmp_security::FileActions;
+        let vm = Vm::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let checkers: Vec<_> = (0..32)
+            .map(|t| {
+                let vm = vm.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let trusted = Arc::new(jmp_security::ProtectionDomain::new(
+                        CodeSource::local("file:/sys"),
+                        [Permission::All].into_iter().collect(),
+                    ));
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // A fresh target every iteration keeps the decision
+                        // cache cold, so every check consults the policy
+                        // root and the user resolver.
+                        let demand =
+                            Permission::file(format!("/tmp/spin-{t}/{i}"), FileActions::READ);
+                        stack::call_as("Spinner", Arc::clone(&trusted), || {
+                            vm.access_check(&demand).unwrap();
+                        });
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let started = Instant::now();
+        for _ in 0..50 {
+            let mut policy = Policy::new();
+            policy.grant_user("alice", vec![Permission::runtime("x")]);
+            vm.set_policy(policy).unwrap();
+        }
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for checker in checkers {
+            checker.join().unwrap();
+        }
+        assert!(
+            vm.policy().user_implies("alice", &Permission::runtime("x")),
+            "the last reload is visible"
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "50 reloads took {elapsed:?} under 32-thread cold-check pressure"
+        );
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Control-plane scale-out under adversarial conditions: concurrent
+//! spawn/reap/lookup stress across the sharded app registry, `ps` sweeps
+//! racing an exec storm, the lazy per-user policy store end to end, and
+//! decision-cache epoch exactness across the epoch-published policy root.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jmp_security::{FileActions, Permission};
+use tests_integration::{register_app, runtime};
+
+/// A main body that parks until the runtime tears the application down.
+fn register_parker(rt: &jmp_core::MpRuntime, name: &str) {
+    register_app(rt, name, |_| {
+        // Sleep returns Err when the reaper interrupts the thread.
+        while jmp_vm::thread::sleep(Duration::from_millis(50)).is_ok() {}
+        Ok(())
+    });
+}
+
+/// Spawn/reap/lookup stress across shards: four spawner threads race four
+/// reaper-feeders and a lookup thread. Invariants: every spawn yields a
+/// unique AppId, every id is visible by lookup until stopped, and after the
+/// storm drains the registry is exactly empty — no lost, duplicated, or
+/// resurrected entries.
+#[test]
+fn concurrent_spawn_reap_lookup_stress() {
+    const SPAWNERS: usize = 4;
+    const APPS_PER_SPAWNER: usize = 50;
+
+    let rt = runtime();
+    register_app(&rt, "burst", |_| Ok(()));
+    register_parker(&rt, "parker");
+
+    let seen = Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let lookups = Arc::new(AtomicUsize::new(0));
+
+    let prober = {
+        let rt = rt.clone();
+        let stop = Arc::clone(&stop);
+        let lookups = Arc::clone(&lookups);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // Sweeps and point lookups interleave with spawns/reaps; a
+                // single sweep must never show a duplicated id.
+                let apps = rt.applications();
+                let mut ids: Vec<_> = apps.iter().map(|a| a.id()).collect();
+                ids.dedup();
+                assert_eq!(ids.len(), apps.len(), "duplicate AppId in one sweep");
+                for app in &apps {
+                    let _ = rt.application(app.id());
+                }
+                lookups.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    let mut spawners = Vec::new();
+    for _ in 0..SPAWNERS {
+        let rt = rt.clone();
+        let seen = Arc::clone(&seen);
+        spawners.push(std::thread::spawn(move || {
+            for i in 0..APPS_PER_SPAWNER {
+                // Alternate short-lived apps (immediate natural exit → reap)
+                // with parked ones torn down explicitly.
+                let name = if i % 2 == 0 { "burst" } else { "parker" };
+                let app = rt.launch_as("alice", name, &[]).expect("spawn succeeds");
+                assert!(
+                    seen.lock().insert(app.id()),
+                    "duplicate AppId handed out: {}",
+                    app.id()
+                );
+                if name == "parker" {
+                    app.stop(0).unwrap();
+                }
+            }
+        }));
+    }
+    for spawner in spawners {
+        spawner.join().unwrap();
+    }
+    assert!(
+        rt.await_idle(Duration::from_secs(30)),
+        "storm must drain: {} apps still live",
+        rt.application_count()
+    );
+    stop.store(true, Ordering::Relaxed);
+    prober.join().unwrap();
+
+    assert_eq!(seen.lock().len(), SPAWNERS * APPS_PER_SPAWNER);
+    assert_eq!(rt.application_count(), 0);
+    assert!(lookups.load(Ordering::Relaxed) > 0, "prober ran");
+    rt.shutdown();
+}
+
+/// Satellite: `ps`-style sweeps during a 1k-app exec storm never block
+/// spawns. The sweeps read shard by shard, so a spawner on another shard
+/// proceeds; the storm must finish in bounded time with every sweep seeing
+/// internally-consistent data.
+#[test]
+fn ps_during_exec_storm_does_not_block_spawns() {
+    const APPS: usize = 1_000;
+
+    let rt = runtime();
+    register_parker(&rt, "resident");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeps = Arc::new(AtomicUsize::new(0));
+    let sweeper = {
+        let rt = rt.clone();
+        let stop = Arc::clone(&stop);
+        let sweeps = Arc::clone(&sweeps);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // The `ps`/`top` read-out path: a full sweep plus the
+                // per-app gauge refresh, run from the trusted host context.
+                let rows = jmp_core::obs::top_rows(&rt).expect("host may read metrics");
+                assert!(rows.windows(2).all(|w| w[0].id < w[1].id), "rows sorted");
+                sweeps.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let mut apps = Vec::with_capacity(APPS);
+    for _ in 0..APPS {
+        apps.push(rt.launch_as("alice", "resident", &[]).expect("spawn"));
+    }
+    let spawn_elapsed = started.elapsed();
+    assert_eq!(rt.application_count(), APPS);
+    assert!(
+        spawn_elapsed < Duration::from_secs(60),
+        "spawn storm blocked behind sweeps: {spawn_elapsed:?}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    sweeper.join().unwrap();
+    assert!(
+        sweeps.load(Ordering::Relaxed) > 0,
+        "sweeper made progress during the storm"
+    );
+
+    for app in &apps {
+        app.stop(0).unwrap();
+    }
+    assert!(rt.await_idle(Duration::from_secs(60)), "storm drains");
+    rt.shutdown();
+}
+
+/// The lazy policy store end to end: a grant provisioned as a per-user file
+/// under /etc/policy.d is invisible until the first check demands it, is
+/// served from the store's cache afterwards, and is revoked — despite warm
+/// caches at both layers — when the file is replaced.
+#[test]
+fn lazy_user_grants_load_on_first_check_and_revoke_on_reprovision() {
+    let rt = runtime();
+    let store = Arc::clone(
+        rt.vm()
+            .policy()
+            .user_store()
+            .expect("the runtime attaches a lazy store"),
+    );
+    let loads_before = store.loads();
+
+    // Provision a grant the resident policy does not contain.
+    rt.provision_user_policy(
+        "alice",
+        r#"grant user "alice" { permission file "/srv/lazy.txt" "read"; };"#,
+    )
+    .unwrap();
+
+    // A failed `main` still exits 0 (natural group end), so the outcome is
+    // observed through captured counters, not the exit code.
+    let granted = Arc::new(AtomicUsize::new(0));
+    let denied = Arc::new(AtomicUsize::new(0));
+    {
+        let granted = Arc::clone(&granted);
+        let denied = Arc::clone(&denied);
+        register_app(&rt, "lazyreader", move |_| {
+            let vm = jmp_vm::Vm::current().expect("on a VM thread");
+            for _ in 0..5 {
+                match vm.access_check(&Permission::file("/srv/lazy.txt", FileActions::READ)) {
+                    Ok(()) => granted.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => denied.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            Ok(())
+        });
+    }
+    let app = rt.launch_as("alice", "lazyreader", &[]).unwrap();
+    app.wait_for().unwrap();
+    assert_eq!(granted.load(Ordering::Relaxed), 5, "lazy grant honored");
+    assert_eq!(denied.load(Ordering::Relaxed), 0);
+    assert!(
+        store.loads() > loads_before,
+        "the first check pulled alice's grants through the store"
+    );
+    assert!(store.resident_users() >= 1);
+
+    // Re-provision without the grant: both the store cache and the decision
+    // cache were warm; the next run must still be denied.
+    rt.provision_user_policy("alice", r#"grant user "alice" { };"#)
+        .unwrap();
+    let app = rt.launch_as("alice", "lazyreader", &[]).unwrap();
+    app.wait_for().unwrap();
+    assert_eq!(
+        denied.load(Ordering::Relaxed),
+        5,
+        "revoked lazy grant denied despite warm caches"
+    );
+    rt.shutdown();
+}
+
+/// An evicted (invalidated) store entry reloads identically: invalidating
+/// the cache does not change what the grants say, only where they are read
+/// from.
+#[test]
+fn invalidated_store_entries_reload_identically() {
+    let rt = runtime();
+    let store = Arc::clone(rt.vm().policy().user_store().unwrap());
+    rt.provision_user_policy(
+        "bob",
+        r#"grant user "bob" { permission file "/srv/bob.txt" "read,write"; };"#,
+    )
+    .unwrap();
+
+    let demand = Permission::file("/srv/bob.txt", FileActions::WRITE);
+    let policy = rt.vm().policy();
+    assert!(policy.user_implies("bob", &demand));
+    let loads = store.loads();
+    // Served from the store cache: no new load.
+    assert!(policy.user_implies("bob", &demand));
+    assert_eq!(store.loads(), loads);
+    // Cold after invalidation, and the answer is bit-identical.
+    store.invalidate();
+    assert!(policy.user_implies("bob", &demand));
+    assert!(store.loads() > loads, "the reload went back to the source");
+    rt.shutdown();
+}
+
+/// Decision-cache epoch exactness across the epoch-published policy root:
+/// `set_policy` on the runtime's VM retires every warm decision exactly
+/// once — grants added by the new policy are honored on the very next
+/// check, revoked ones denied, with the lazy store still attached.
+#[test]
+fn set_policy_over_published_root_keeps_cache_exact() {
+    let rt = runtime();
+    let vm = rt.vm().clone();
+
+    let outcomes = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    {
+        let outcomes = Arc::clone(&outcomes);
+        register_app(&rt, "flipreader", move |_| {
+            let vm = jmp_vm::Vm::current().expect("on a VM thread");
+            let ok = vm
+                .access_check(&Permission::file("/flip/x", FileActions::READ))
+                .is_ok();
+            outcomes.lock().push(ok);
+            Ok(())
+        });
+    }
+    let run = |expect: bool, label: &str| {
+        let app = rt.launch_as("alice", "flipreader", &[]).unwrap();
+        app.wait_for().unwrap();
+        assert_eq!(outcomes.lock().pop(), Some(expect), "{label}");
+    };
+
+    // Keep the pre-grant policy (store attached) so the revoke below
+    // publishes the exact previous shape.
+    let without_grant = (*vm.policy()).clone();
+    run(false, "not granted yet: denied, and the denial path warmed");
+
+    // Derive the next policy from the live one (carrying the user store),
+    // add the grant, publish.
+    let mut with_grant = (*vm.policy()).clone();
+    with_grant.grant_user(
+        "alice",
+        vec![Permission::file("/flip/x", FileActions::READ)],
+    );
+    vm.set_policy(with_grant).unwrap();
+    assert!(
+        vm.policy().user_store().is_some(),
+        "the published policy still carries the lazy store"
+    );
+    run(true, "new grant honored on the very next check");
+
+    // Revoke by publishing the previous shape again.
+    vm.set_policy(without_grant).unwrap();
+    run(false, "revoked grant denied on the very next check");
+    rt.shutdown();
+}
