@@ -10,6 +10,12 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::event::Event;
 
+/// Ledger bytes charged per occupied queue slot: the in-memory size of one
+/// [`Event`]. Charged to the owner's `memory` quota alongside the slot's
+/// `queued.events` charge, so an event storm shows up in the heap ledger
+/// too, not only in the slot count.
+const EVENT_BYTES: u64 = std::mem::size_of::<Event>() as u64;
+
 #[derive(Default)]
 struct QueueState {
     events: VecDeque<Event>,
@@ -85,8 +91,9 @@ struct Inner {
     /// when observed.
     dropped: Option<Arc<Counter>>,
     /// The owning application: each *appended* event is charged one
-    /// `queued.events` ledger slot, released on dequeue (or queue drop).
-    /// Coalesced-away events never occupy a slot and are never charged.
+    /// `queued.events` ledger slot plus [`EVENT_BYTES`] of `memory`,
+    /// released on dequeue (or queue drop). Coalesced-away events never
+    /// occupy a slot and are never charged.
     owner: Option<Arc<AppContext>>,
 }
 
@@ -98,6 +105,7 @@ impl Drop for Inner {
             let residual = self.state.get_mut().events.len();
             if residual > 0 {
                 owner.uncharge(ResourceKind::QueuedEvents, residual as u64);
+                owner.uncharge(ResourceKind::Memory, residual as u64 * EVENT_BYTES);
             }
         }
     }
@@ -153,11 +161,12 @@ impl EventQueue {
 
     /// [`EventQueue::with_counters`], plus an optional owning
     /// [`AppContext`]. Each event that occupies a queue slot is charged
-    /// against the owner's `queued.events` quota; an over-quota push is
-    /// dropped and counted exactly like a post-close push (the storm is the
-    /// attacker's problem, not the dispatcher's), with the denial audited
-    /// by the context. Dequeued and dropped-at-teardown events release
-    /// their charge; coalesced-away events never held one.
+    /// against the owner's `queued.events` quota *and* `EVENT_BYTES` of its
+    /// `memory` quota; an over-quota push (either ledger) is dropped and
+    /// counted exactly like a post-close push (the storm is the attacker's
+    /// problem, not the dispatcher's), with the denial audited by the
+    /// context. Dequeued and dropped-at-teardown events release both
+    /// charges; coalesced-away events never held any.
     pub fn with_owner(
         coalesced: Option<Arc<Counter>>,
         dropped: Option<Arc<Counter>>,
@@ -199,10 +208,19 @@ impl EventQueue {
                 continue;
             }
             // Only an event about to occupy a new slot is charged; a merge
-            // reuses the tail's slot (and its existing charge).
+            // reuses the tail's slot (and its existing charges). A slot
+            // costs one `queued.events` unit and `EVENT_BYTES` of `memory`;
+            // if the memory charge is refused the slot charge is rolled
+            // back so both ledgers stay consistent.
             if !state.would_coalesce(&event) {
                 if let Some(owner) = &self.inner.owner {
                     if owner.try_charge(ResourceKind::QueuedEvents, 1).is_err() {
+                        state.dropped += 1;
+                        discarded += 1;
+                        continue;
+                    }
+                    if owner.try_charge(ResourceKind::Memory, EVENT_BYTES).is_err() {
+                        owner.uncharge(ResourceKind::QueuedEvents, 1);
                         state.dropped += 1;
                         discarded += 1;
                         continue;
@@ -277,6 +295,7 @@ impl EventQueue {
                 state.dequeued += batch.len() as u64;
                 if let Some(owner) = &self.inner.owner {
                     owner.uncharge(ResourceKind::QueuedEvents, batch.len() as u64);
+                    owner.uncharge(ResourceKind::Memory, batch.len() as u64 * EVENT_BYTES);
                 }
                 if state.events.is_empty() {
                     // Other blocked consumers (multi-consumer queues exist in
@@ -326,6 +345,7 @@ impl EventQueue {
             state.dequeued += 1;
             if let Some(owner) = &self.inner.owner {
                 owner.uncharge(ResourceKind::QueuedEvents, 1);
+                owner.uncharge(ResourceKind::Memory, EVENT_BYTES);
             }
         }
         event
@@ -665,6 +685,35 @@ mod tests {
         q2.drain(8).unwrap();
         assert!(app.ledger().is_drained());
         assert!(app2.ledger().is_drained());
+    }
+
+    #[test]
+    fn queue_slots_charge_event_bytes_to_the_memory_ledger() {
+        let app = owner(6);
+        let q = EventQueue::with_owner(None, None, Some(Arc::clone(&app)));
+        q.push_batch((1..=3).map(ev));
+        assert_eq!(app.ledger().get(ResourceKind::Memory), 3 * EVENT_BYTES);
+        q.drain(8).unwrap();
+        assert!(app.ledger().is_drained());
+    }
+
+    #[test]
+    fn memory_quota_denial_rolls_back_the_slot_charge() {
+        let app = owner(7);
+        // Room for exactly two events' worth of bytes.
+        app.limits().set(ResourceKind::Memory, 2 * EVENT_BYTES);
+        let dropped = Arc::new(Counter::new());
+        let q = EventQueue::with_owner(None, Some(Arc::clone(&dropped)), Some(Arc::clone(&app)));
+        q.push_batch((1..=5).map(ev));
+        assert_eq!(q.len(), 2, "the queue holds exactly the memory quota");
+        assert_eq!(dropped.get(), 3);
+        assert_eq!(
+            app.ledger().get(ResourceKind::QueuedEvents),
+            2,
+            "refused pushes rolled their slot charge back"
+        );
+        q.drain(8).unwrap();
+        assert!(app.ledger().is_drained());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! experiments --infer-json BENCH_E17.json --infer-policy inferred.policy --infer-diff e17-diff.json e17
 //! experiments --interp-json BENCH_E18.json e18
 //! experiments --control-json BENCH_E19.json e19
+//! experiments --memgov-json BENCH_E20.json e20
 //! ```
 
 use std::io::Write;
@@ -117,6 +118,16 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut memgov_json_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--memgov-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            memgov_json_path = Some(args.remove(pos));
+        } else {
+            eprintln!("--memgov-json needs a file path");
+            std::process::exit(2);
+        }
+    }
     let mut chrome_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
         args.remove(pos);
@@ -161,6 +172,10 @@ fn main() {
     let e19_full = control_json_path
         .as_ref()
         .map(|_| jmp_bench::exp_control::e19_control_full());
+    // And for the E20 memory-governance summary.
+    let e20_full = memgov_json_path
+        .as_ref()
+        .map(|_| jmp_bench::exp_memgov::e20_memgov_full());
 
     let mut all_tables = Vec::new();
     for id in &ids {
@@ -171,6 +186,7 @@ fn main() {
             "e17" => e17_full.as_ref().map(|(tables, _)| tables.clone()),
             "e18" => e18_full.as_ref().map(|(tables, _)| tables.clone()),
             "e19" => e19_full.as_ref().map(|(tables, _)| tables.clone()),
+            "e20" => e20_full.as_ref().map(|(tables, _)| tables.clone()),
             _ => None,
         };
         let tables = already_ran.or_else(|| jmp_bench::run_experiment(id));
@@ -298,6 +314,22 @@ fn main() {
         let run = ControlRun { summary, tables };
         let json = serde_json::to_string_pretty(&run).expect("control summary serializes");
         std::fs::write(&path, json).expect("write control json output");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = memgov_json_path {
+        // The E20 memory-governance summary: bomb containment, checkpoint
+        // fidelity, and accounting overhead, plus the tables, for CI
+        // threshold checks.
+        #[derive(serde::Serialize)]
+        struct MemGovRun {
+            summary: jmp_bench::exp_memgov::E20Summary,
+            tables: Vec<jmp_bench::table::Table>,
+        }
+        let (tables, summary) = e20_full.expect("e20 ran for --memgov-json");
+        let run = MemGovRun { summary, tables };
+        let json = serde_json::to_string_pretty(&run).expect("memgov summary serializes");
+        std::fs::write(&path, json).expect("write memgov json output");
         eprintln!("wrote {path}");
     }
 

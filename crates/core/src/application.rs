@@ -88,6 +88,9 @@ pub(crate) struct ExecSpec {
     pub stdout: OutStream,
     pub stderr: OutStream,
     pub properties: Properties,
+    /// Reuse this application id if it is free (checkpoint/restore keeps
+    /// the original identity across a migration); `None` allocates fresh.
+    pub forced_id: Option<AppId>,
 }
 
 impl Application {
@@ -129,6 +132,7 @@ impl Application {
             stdout: parent.stdout(),
             stderr: parent.stderr(),
             properties: parent.properties().overlay(),
+            forced_id: None,
         };
         spawn_app(&rt, spec)
     }
@@ -489,7 +493,18 @@ pub(crate) fn spawn_app(rt: &MpRuntime, spec: ExecSpec) -> Result<Application> {
     // checked against the caller).
     stack::call_as("jmp.Application", sys_domain, || {
         stack::do_privileged(|| {
-            let id = AppId(inner_rt.next_app_id.fetch_add(1, Ordering::Relaxed));
+            let id = match spec.forced_id {
+                // A restored application keeps its checkpointed id when it
+                // is free here; bump the allocator past it so fresh ids
+                // never collide with it later.
+                Some(want) if rt.application(want).is_none() => {
+                    inner_rt
+                        .next_app_id
+                        .fetch_max(want.0 + 1, Ordering::Relaxed);
+                    want
+                }
+                _ => AppId(inner_rt.next_app_id.fetch_add(1, Ordering::Relaxed)),
+            };
             let group = inner_rt
                 .vm
                 .main_group()
@@ -670,6 +685,12 @@ pub(crate) fn reap(rt: &MpRuntime, id: AppId) {
     // 4. Drop the application's shared-object exports (§8 extension):
     //    exports do not outlive their publisher.
     crate::shared::drop_exports_of(rt, id);
+
+    // 4b. Reclaim the application's resident memory in O(1): the pooled
+    //     interpreter arenas and any charged image footprints are released
+    //     in one swap, so the memory ledger provably drains to zero at reap
+    //     no matter how the application exited.
+    app.inner.context.reclaim_memory();
 
     // 5. Finalize and deregister.
     let code = app.inner.pending_code.load(Ordering::SeqCst);

@@ -61,6 +61,7 @@ mod application;
 mod error;
 pub mod files;
 pub mod gui;
+pub mod imagerun;
 pub mod login;
 pub mod obs;
 pub mod pipes;
@@ -68,6 +69,7 @@ mod policy_store;
 mod runtime;
 mod shard;
 pub mod shared;
+pub mod snapshot;
 mod sys_sm;
 pub mod jsystem {
     //! Facade over the per-application `System` class (see `system_ns`).
@@ -77,8 +79,10 @@ mod system_ns;
 
 pub use application::{AppId, AppStatus, Application};
 pub use error::Error;
+pub use imagerun::StdImageHost;
 pub use policy_store::{VfsGrantSource, USER_POLICY_DIR};
 pub use runtime::{MpRuntime, MpRuntimeBuilder, SYSTEM_CLASS, SYSTEM_PROPERTIES_CLASS};
+pub use snapshot::{AppSnapshot, SnapEvent, SnapFile, APP_SNAPSHOT_VERSION};
 pub use sys_sm::SystemSecurityManager;
 
 /// Result alias used throughout this crate.

@@ -30,7 +30,8 @@ pub fn make_pipe() -> Result<(OutStream, InStream)> {
 ///
 /// # Errors
 ///
-/// [`Error::NotAnApplication`] off-application.
+/// [`Error::NotAnApplication`] off-application; a quota error if charging
+/// the ring buffer to the application's `memory` ledger fails.
 pub fn make_pipe_with_capacity(capacity: usize) -> Result<(OutStream, InStream)> {
     let app = Application::current().ok_or(Error::NotAnApplication)?;
     let rt = app.runtime();
@@ -45,8 +46,9 @@ pub fn make_pipe_with_capacity(capacity: usize) -> Result<(OutStream, InStream)>
     });
     let recorder = rt.as_ref().map(|rt| rt.vm().obs().recorder().clone());
     // The pipe is *owned*: every buffered byte is charged against the
-    // creating application's `pipe.bytes` quota until the reader drains it.
-    let (writer, reader) = pipe_owned(capacity, bytes, recorder, Some(Arc::clone(app.context())));
+    // creating application's `pipe.bytes` quota until the reader drains it,
+    // and the ring allocation itself is charged to its `memory` quota.
+    let (writer, reader) = pipe_owned(capacity, bytes, recorder, Some(Arc::clone(app.context())))?;
     let out = OutStream::from_pipe(writer, app.io_token());
     let input = InStream::from_pipe(reader, app.io_token());
     app.register_owned_out(out.clone())?;

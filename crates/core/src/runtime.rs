@@ -506,6 +506,7 @@ impl MpRuntime {
             stdout: stdout.unwrap_or_else(|| self.inner.default_stdout.clone()),
             stderr: stderr.unwrap_or_else(|| self.inner.default_stderr.clone()),
             properties: self.inner.vm.properties().overlay(),
+            forced_id: None,
         };
         crate::application::spawn_app(self, spec)
     }

@@ -241,6 +241,7 @@ fn system_properties_are_shared_but_streams_are_not() {
             stdout: out.clone(),
             stderr: out,
             properties: rt.vm().properties().overlay(),
+            forced_id: None,
         };
         crate::application::spawn_app(&rt, spec).unwrap()
     };

@@ -153,6 +153,7 @@ pub fn default_policy_text() -> &'static str {
         permission runtime "readDemands";
         permission runtime "inferPolicy";
         permission resource "setLimits";
+        permission runtime "checkpointApplication";
     };
 
     // Paper section 6.3: the appletviewer is an ordinary application with

@@ -165,7 +165,7 @@ impl Shell {
             "help" => {
                 jsystem::println(
                     "builtins: cd pwd jobs history top vmstat audit trace profile \
-                     policyinfer ulimit ps -l help quit; \
+                     policyinfer ulimit migrate ps -l help quit; \
                      programs: ls cat echo head wc grep ps kill sleep touch \
                      mkdir rm cp mv whoami su passwd login appletviewer edit",
                 )?;
@@ -191,6 +191,10 @@ impl Shell {
             }
             "ulimit" => {
                 self.ulimit(&stage.args)?;
+                Ok(Builtin::Handled)
+            }
+            "migrate" => {
+                self.migrate(&stage.args)?;
                 Ok(Builtin::Handled)
             }
             "trace" => {
@@ -269,17 +273,17 @@ impl Shell {
             }
         };
         jsystem::println(&format!(
-            "{:>4} {:<16} {:<10} {:>12} {:>16} {:>14} {:>10} {:>7}",
-            "ID", "NAME", "USER", "THREADS", "PIPE-BYTES", "EVENTS", "HANDLES", "BREACH",
+            "{:>4} {:<16} {:<10} {:>12} {:>16} {:>14} {:>10} {:>16} {:>7}",
+            "ID", "NAME", "USER", "THREADS", "PIPE-BYTES", "EVENTS", "HANDLES", "MEMORY", "BREACH",
         ))?;
         for row in rows {
             let cells: Vec<String> = row
                 .resources
                 .iter()
-                .map(|(_, used, limit)| fmt_quota(*used, *limit))
+                .map(|(kind, used, limit)| fmt_quota(*kind, *used, *limit))
                 .collect();
             jsystem::println(&format!(
-                "{:>4} {:<16} {:<10} {:>12} {:>16} {:>14} {:>10} {:>7}",
+                "{:>4} {:<16} {:<10} {:>12} {:>16} {:>14} {:>10} {:>16} {:>7}",
                 row.id,
                 row.name,
                 row.user,
@@ -287,6 +291,7 @@ impl Shell {
                 cells.get(1).map_or("-", String::as_str),
                 cells.get(2).map_or("-", String::as_str),
                 cells.get(3).map_or("-", String::as_str),
+                cells.get(4).map_or("-", String::as_str),
                 row.breaches,
             ))?;
         }
@@ -309,7 +314,7 @@ impl Shell {
                     jsystem::println(&format!(
                         "{:<16} {}",
                         kind.as_str(),
-                        fmt_quota(ctx.ledger().get(kind), ctx.limits().get(kind)),
+                        fmt_quota(kind, ctx.ledger().get(kind), ctx.limits().get(kind)),
                     ))?;
                 }
                 Ok(())
@@ -325,7 +330,69 @@ impl Shell {
             _ => {
                 jsystem::eprintln(
                     "ulimit: usage: ulimit [[app-id] <resource> <limit>] \
-                     (resources: threads pipe.bytes queued.events handles)",
+                     (resources: threads pipe.bytes queued.events handles memory)",
+                )?;
+                Ok(())
+            }
+        }
+    }
+
+    /// The `migrate` builtin — the two halves of an application migration:
+    ///
+    /// * `migrate <app-id> <file>` checkpoints the running application to a
+    ///   versioned snapshot file (written with the shell user's authority,
+    ///   so ordinary file access control applies);
+    /// * `migrate restore <file>` restores a snapshot file as a running
+    ///   application, preserving its id, user, limits, and progress.
+    ///
+    /// Carrying the file between two VMs is the migration; both halves are
+    /// gated by `RuntimePermission("checkpointApplication")`, and a denial
+    /// is printed (and audited) rather than killing the session.
+    fn migrate(&self, args: &[String]) -> std::result::Result<(), Error> {
+        let rt = MpRuntime::current().ok_or(Error::NotAnApplication)?;
+        match args {
+            [sub, path] if sub == "restore" => {
+                let bytes = match files::read(path) {
+                    Ok(bytes) => bytes,
+                    Err(err) => {
+                        jsystem::eprintln(&format!("migrate: {err}"))?;
+                        return Ok(());
+                    }
+                };
+                match rt.restore_app(&bytes) {
+                    Ok(app) => jsystem::println(&format!(
+                        "restored app {} ({}) as {}",
+                        app.id().0,
+                        app.name(),
+                        app.user().name(),
+                    ))?,
+                    Err(err) => jsystem::eprintln(&format!("migrate: {err}"))?,
+                }
+                Ok(())
+            }
+            [id, path] => {
+                let Ok(id) = id.parse::<u64>() else {
+                    jsystem::eprintln("migrate: expected a numeric application id")?;
+                    return Ok(());
+                };
+                match rt.checkpoint_app(jmp_core::AppId(id)) {
+                    Ok(bytes) => {
+                        let len = bytes.len();
+                        if let Err(err) = files::write(path, &bytes) {
+                            jsystem::eprintln(&format!("migrate: {err}"))?;
+                        } else {
+                            jsystem::println(&format!(
+                                "checkpointed app {id} to {path} ({len} bytes)"
+                            ))?;
+                        }
+                    }
+                    Err(err) => jsystem::eprintln(&format!("migrate: {err}"))?,
+                }
+                Ok(())
+            }
+            _ => {
+                jsystem::eprintln(
+                    "migrate: usage: migrate <app-id> <file> | migrate restore <file>",
                 )?;
                 Ok(())
             }
@@ -342,7 +409,7 @@ impl Shell {
         let Some(kind) = jmp_vm::ResourceKind::parse(resource) else {
             jsystem::eprintln(&format!(
                 "ulimit: unknown resource {resource} \
-                 (resources: threads pipe.bytes queued.events handles)"
+                 (resources: threads pipe.bytes queued.events handles memory)"
             ))?;
             return Ok(());
         };
@@ -425,7 +492,7 @@ impl Shell {
                     .resources
                     .iter()
                     .map(|(kind, used, limit)| {
-                        format!("{}={}", kind.as_str(), fmt_quota(*used, *limit))
+                        format!("{}={}", kind.as_str(), fmt_quota(*kind, *used, *limit))
                     })
                     .collect();
                 jsystem::println(&format!(
@@ -1004,12 +1071,33 @@ fn to_refs(args: &[String]) -> Vec<&str> {
     args.iter().map(String::as_str).collect()
 }
 
-/// Renders `used/limit`, with an unlimited quota shown as `-`.
-fn fmt_quota(used: u64, limit: u64) -> String {
+/// Renders `used/limit` for `kind`, with an unlimited quota shown as `-`
+/// and byte-denominated resources (memory, pipe bytes) in human units.
+fn fmt_quota(kind: jmp_vm::ResourceKind, used: u64, limit: u64) -> String {
+    let render = |n: u64| {
+        if kind.is_bytes() {
+            fmt_bytes(n)
+        } else {
+            n.to_string()
+        }
+    };
     if limit == u64::MAX {
-        format!("{used}/-")
+        format!("{}/-", render(used))
     } else {
-        format!("{used}/{limit}")
+        format!("{}/{}", render(used), render(limit))
+    }
+}
+
+/// Renders a byte count in human units: `777B`, `4.0KiB`, `1.5MiB`, `2.0GiB`.
+fn fmt_bytes(n: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    match n {
+        0..=1023 => format!("{n}B"),
+        KIB..=1048575 => format!("{:.1}KiB", n as f64 / KIB as f64),
+        MIB..=1073741823 => format!("{:.1}MiB", n as f64 / MIB as f64),
+        _ => format!("{:.1}GiB", n as f64 / GIB as f64),
     }
 }
 

@@ -663,3 +663,89 @@ fn editor_saves_as_the_right_user_with_per_app_dispatch() {
     bob_app.wait_for().unwrap();
     rt.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// migrate: checkpoint/restore from the shell
+// ---------------------------------------------------------------------------
+
+#[test]
+fn migrate_checkpoints_an_image_app_to_a_file_and_restores_it() {
+    // Alice gets the operator privilege for this session (the default
+    // policy reserves `checkpointApplication` for the system account).
+    let text = format!(
+        "{}\n{}",
+        default_policy_text(),
+        r#"
+        grant user "alice" {
+            permission file "/home/alice" "read";
+            permission file "/home/alice/-" "read,write,execute,delete";
+            permission runtime "checkpointApplication";
+            permission runtime "readMetrics";
+        };
+        "#
+    );
+    let rt = MpRuntime::builder()
+        .policy(Policy::parse(&text).expect("policy parses"))
+        .user("alice", "apw")
+        .build()
+        .expect("runtime builds");
+    install(&rt).expect("tools install");
+
+    // A long-running interpreted image: the checkpoint lands mid-loop.
+    let image = jmp_vm::interp::assemble(
+        "class Spinner\n\
+         method main/0 locals=2\n\
+         push_int 0\n  store 0\n  push_int 0\n  store 1\n\
+         loop:\n\
+         load 0\n  load 1\n  add\n  store 0\n\
+         load 1\n  push_int 1\n  add\n  store 1\n\
+         load 1\n  push_int 50000000\n  lt\n  jump_if_true loop\n\
+         load 0\n  return_value\n",
+    )
+    .expect("assembles");
+    let app = rt.launch_image("alice", image, &[]).expect("launches");
+    let id = app.id();
+
+    let screen = run_session_script(
+        &rt,
+        &[
+            "alice",
+            "apw",
+            &format!("migrate {} snap.img", id.0),
+            "migrate restore snap.img",
+            "ps -l",
+            "quit",
+        ],
+    );
+    assert!(
+        screen.contains(&format!("checkpointed app {} to snap.img", id.0)),
+        "checkpoint half works: {screen:?}"
+    );
+    assert!(
+        screen.contains(&format!("restored app {} (Spinner) as alice", id.0)),
+        "restore half works (id preserved): {screen:?}"
+    );
+    assert!(
+        screen.contains("MEMORY"),
+        "ps -l shows the memory column: {screen:?}"
+    );
+    // The snapshot file landed in alice's home, owned by alice.
+    let alice = rt.users().lookup("alice").unwrap();
+    assert!(rt.vfs().exists("/home/alice/snap.img", alice.id()));
+    // The restored application is running again under its old identity.
+    let restored = rt.application(id).expect("restored app is registered");
+    assert_eq!(restored.user().name(), "alice");
+    restored.stop(0).unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn migrate_is_denied_without_the_checkpoint_permission() {
+    let rt = session_runtime();
+    let screen = run_session_script(&rt, &["alice", "apw", "migrate 1 snap.img", "quit"]);
+    assert!(
+        screen.contains("migrate: security exception"),
+        "the denial is printed, not fatal: {screen:?}"
+    );
+    rt.shutdown();
+}

@@ -24,10 +24,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use jmp_obs::ObsHub;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::VmError;
 use crate::group::GroupId;
+use crate::interp::Value;
+use crate::snapshot::InterpSnapshot;
 
 /// The resources the ledger accounts, one atomic slot each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,14 +42,19 @@ pub enum ResourceKind {
     QueuedEvents,
     /// Open handles: owned streams plus published shared entries.
     Handles,
+    /// Bytes of governed heap: interpreter value arenas and strings,
+    /// compiled class-image footprints, pipe ring buffers, and queued
+    /// event slots.
+    Memory,
 }
 
 /// All resource kinds, in display order.
-pub const RESOURCE_KINDS: [ResourceKind; 4] = [
+pub const RESOURCE_KINDS: [ResourceKind; 5] = [
     ResourceKind::Threads,
     ResourceKind::PipeBytes,
     ResourceKind::QueuedEvents,
     ResourceKind::Handles,
+    ResourceKind::Memory,
 ];
 
 impl ResourceKind {
@@ -59,6 +66,7 @@ impl ResourceKind {
             ResourceKind::PipeBytes => "pipe.bytes",
             ResourceKind::QueuedEvents => "queued.events",
             ResourceKind::Handles => "handles",
+            ResourceKind::Memory => "memory",
         }
     }
 
@@ -73,7 +81,14 @@ impl ResourceKind {
             ResourceKind::PipeBytes => 1,
             ResourceKind::QueuedEvents => 2,
             ResourceKind::Handles => 3,
+            ResourceKind::Memory => 4,
         }
+    }
+
+    /// `true` for kinds whose unit is bytes (rendered with KiB/MiB units
+    /// by the shell ledger views).
+    pub fn is_bytes(self) -> bool {
+        matches!(self, ResourceKind::PipeBytes | ResourceKind::Memory)
     }
 }
 
@@ -91,7 +106,7 @@ impl fmt::Display for ResourceKind {
 /// exactness property the integration tests pin down.
 #[derive(Debug, Default)]
 pub struct ResourceLedger {
-    slots: [AtomicU64; 4],
+    slots: [AtomicU64; 5],
 }
 
 impl ResourceLedger {
@@ -143,7 +158,7 @@ pub const DEFAULT_HARD_BREACH_THRESHOLD: u64 = 4096;
 /// `u64::MAX` means unlimited.
 #[derive(Debug)]
 pub struct ResourceLimits {
-    slots: [AtomicU64; 4],
+    slots: [AtomicU64; 5],
     hard_breach_threshold: AtomicU64,
 }
 
@@ -151,6 +166,7 @@ impl Default for ResourceLimits {
     fn default() -> ResourceLimits {
         ResourceLimits {
             slots: [
+                AtomicU64::new(u64::MAX),
                 AtomicU64::new(u64::MAX),
                 AtomicU64::new(u64::MAX),
                 AtomicU64::new(u64::MAX),
@@ -196,6 +212,10 @@ impl ResourceLimits {
 /// threshold; the runtime wires this to its reaper.
 pub type HardBreachHook = Box<dyn Fn(&AppContext) + Send + Sync>;
 
+/// How many freed interpreter arenas the per-app pool keeps for reuse
+/// (composes with the interpreter's own `ARENA_POOL_CAP` frame pools).
+pub const APP_ARENA_POOL_CAP: usize = 8;
+
 /// The single per-application ownership record: identity (app id, user,
 /// root thread group) plus live resource accounting ([`ResourceLedger`])
 /// and quotas ([`ResourceLimits`]).
@@ -215,6 +235,20 @@ pub struct AppContext {
     hub: ObsHub,
     hard_breach_hook: OnceLock<HardBreachHook>,
     escalated: AtomicU64,
+    /// VM-wide cumulative counters for the memory dimension, cached at
+    /// construction so the (batched) charge path is one `Arc` deref.
+    mem_charged: Arc<jmp_obs::Counter>,
+    mem_denied: Arc<jmp_obs::Counter>,
+    /// Freed interpreter value arenas, kept charged for O(1) reuse; each
+    /// entry carries the `Memory` bytes still charged for it.
+    arena_pool: Mutex<Vec<(Vec<Value>, u64)>>,
+    arena_reuses: AtomicU64,
+    /// `Memory` bytes charged to allocations that outlive any single
+    /// interpreter run (pooled arenas, class-image footprints). Reclaimed
+    /// in one bulk uncharge by [`AppContext::reclaim_memory`] at reap.
+    resident: AtomicU64,
+    checkpoint_requested: AtomicU64,
+    snapshot_slot: Mutex<Option<InterpSnapshot>>,
 }
 
 impl fmt::Debug for AppContext {
@@ -238,6 +272,8 @@ impl AppContext {
         group: GroupId,
         hub: ObsHub,
     ) -> Arc<AppContext> {
+        let mem_charged = hub.vm_metrics().counter("memory.charged");
+        let mem_denied = hub.vm_metrics().counter("memory.denied");
         Arc::new(AppContext {
             app_id,
             name: name.into(),
@@ -249,6 +285,13 @@ impl AppContext {
             hub,
             hard_breach_hook: OnceLock::new(),
             escalated: AtomicU64::new(0),
+            mem_charged,
+            mem_denied,
+            arena_pool: Mutex::new(Vec::new()),
+            arena_reuses: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            checkpoint_requested: AtomicU64::new(0),
+            snapshot_slot: Mutex::new(None),
         })
     }
 
@@ -313,6 +356,9 @@ impl AppContext {
         let slot = &self.ledger.slots[kind.index()];
         let used = slot.fetch_add(amount, Ordering::Relaxed);
         if used.saturating_add(amount) <= limit {
+            if kind == ResourceKind::Memory {
+                self.mem_charged.add(amount);
+            }
             return Ok(());
         }
         slot.fetch_sub(amount, Ordering::Relaxed);
@@ -329,7 +375,99 @@ impl AppContext {
         self.ledger.uncharge(kind, amount);
     }
 
+    /// Checks out a pooled interpreter arena, if one is available. Returns
+    /// the (cleared) arena and the `Memory` bytes still charged for it —
+    /// ownership of that charge transfers to the run, which settles it via
+    /// [`AppContext::put_arena`] or an uncharge.
+    pub fn take_arena(&self) -> Option<(Vec<Value>, u64)> {
+        let taken = self.arena_pool.lock().pop();
+        if let Some((_, bytes)) = &taken {
+            self.arena_reuses.fetch_add(1, Ordering::Relaxed);
+            self.resident.fetch_sub(*bytes, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// Returns a cleared arena (with `charged` bytes of `Memory` still on
+    /// the ledger) to the per-app pool. A full pool drops the arena and
+    /// releases its charge instead.
+    pub fn put_arena(&self, arena: Vec<Value>, charged: u64) {
+        debug_assert!(arena.is_empty(), "pooled arenas must be cleared");
+        let mut pool = self.arena_pool.lock();
+        if pool.len() < APP_ARENA_POOL_CAP {
+            self.resident.fetch_add(charged, Ordering::Relaxed);
+            pool.push((arena, charged));
+        } else {
+            drop(pool);
+            self.uncharge(ResourceKind::Memory, charged);
+        }
+    }
+
+    /// Charges `bytes` of `Memory` that outlive any single interpreter run
+    /// (class-image footprints); released in bulk by
+    /// [`AppContext::reclaim_memory`] at reap.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::QuotaExceeded`] when the charge would exceed the limit.
+    pub fn charge_resident(&self, bytes: u64) -> Result<(), VmError> {
+        self.try_charge(ResourceKind::Memory, bytes)?;
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `Memory` bytes currently held by resident allocations (pooled
+    /// arenas + charged class images).
+    pub fn resident_memory(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// How many times a freed arena was reused from the pool.
+    pub fn arena_reuses(&self) -> u64 {
+        self.arena_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all resident allocations (pooled arenas, image footprints) and
+    /// releases their `Memory` charge in one bulk uncharge — the O(1)
+    /// reclaim the reaper relies on. Returns the bytes freed.
+    pub fn reclaim_memory(&self) -> u64 {
+        self.arena_pool.lock().clear();
+        let freed = self.resident.swap(0, Ordering::Relaxed);
+        self.uncharge(ResourceKind::Memory, freed);
+        freed
+    }
+
+    /// Asks the application's interpreter to park at its next safepoint and
+    /// deposit an [`InterpSnapshot`] (see [`AppContext::take_snapshot`]).
+    pub fn request_checkpoint(&self) {
+        self.checkpoint_requested.store(1, Ordering::Release);
+    }
+
+    /// `true` once a checkpoint has been requested and not yet cleared.
+    pub fn checkpoint_requested(&self) -> bool {
+        self.checkpoint_requested.load(Ordering::Acquire) != 0
+    }
+
+    /// Clears a pending checkpoint request (restore paths call this so the
+    /// resumed run is not immediately re-parked).
+    pub fn clear_checkpoint_request(&self) {
+        self.checkpoint_requested.store(0, Ordering::Release);
+    }
+
+    /// Deposits the snapshot produced by a parked interpreter run.
+    pub fn deposit_snapshot(&self, snapshot: InterpSnapshot) {
+        *self.snapshot_slot.lock() = Some(snapshot);
+    }
+
+    /// Takes the deposited snapshot, if any.
+    pub fn take_snapshot(&self) -> Option<InterpSnapshot> {
+        self.snapshot_slot.lock().take()
+    }
+
     fn record_breach(&self, kind: ResourceKind, limit: u64) {
+        if kind == ResourceKind::Memory {
+            self.mem_denied.add(1);
+        }
         let user = self.user();
         let breaches = self.breaches.fetch_add(1, Ordering::Relaxed) + 1;
         // Power-of-two sampling for the flight-recorder dump: the first few
@@ -418,6 +556,50 @@ mod tests {
         }
         assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fires exactly once");
         assert_eq!(ctx.breaches(), 5);
+    }
+
+    #[test]
+    fn memory_denials_bump_typed_counters() {
+        let hub = ObsHub::new();
+        let ctx = AppContext::new(11, "Bomb", "mallory", GroupId(5), hub.clone());
+        ctx.limits().set(ResourceKind::Memory, 1024);
+        ctx.try_charge(ResourceKind::Memory, 1000).unwrap();
+        assert_eq!(hub.vm_metrics().counter("memory.charged").get(), 1000);
+        assert!(ctx.try_charge(ResourceKind::Memory, 100).is_err());
+        assert_eq!(hub.vm_metrics().counter("memory.denied").get(), 1);
+        // The denied charge must not have been counted as charged.
+        assert_eq!(hub.vm_metrics().counter("memory.charged").get(), 1000);
+    }
+
+    #[test]
+    fn arena_pool_keeps_charge_resident_and_reclaims_in_bulk() {
+        let ctx = ctx();
+        ctx.try_charge(ResourceKind::Memory, 512).unwrap();
+        ctx.put_arena(Vec::new(), 512);
+        assert_eq!(ctx.resident_memory(), 512);
+        assert_eq!(ctx.ledger().get(ResourceKind::Memory), 512);
+        // Checkout transfers the charge back to the run.
+        let (arena, charged) = ctx.take_arena().expect("pooled arena");
+        assert!(arena.is_empty());
+        assert_eq!(charged, 512);
+        assert_eq!(ctx.arena_reuses(), 1);
+        assert_eq!(ctx.resident_memory(), 0);
+        ctx.put_arena(arena, charged);
+        // Reap path: one bulk uncharge drains the ledger to zero.
+        assert_eq!(ctx.reclaim_memory(), 512);
+        assert!(ctx.ledger().is_drained());
+        assert!(ctx.take_arena().is_none());
+    }
+
+    #[test]
+    fn checkpoint_request_and_snapshot_slot_roundtrip() {
+        let ctx = ctx();
+        assert!(!ctx.checkpoint_requested());
+        ctx.request_checkpoint();
+        assert!(ctx.checkpoint_requested());
+        ctx.clear_checkpoint_request();
+        assert!(!ctx.checkpoint_requested());
+        assert!(ctx.take_snapshot().is_none());
     }
 
     #[test]

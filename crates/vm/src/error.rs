@@ -92,6 +92,11 @@ pub enum VmError {
         /// The ceiling that would have been exceeded.
         limit: u64,
     },
+    /// The interpreter parked at a safepoint to take a checkpoint instead
+    /// of finishing the run. Not a failure: the caller collects the
+    /// deposited [`InterpSnapshot`](crate::snapshot::InterpSnapshot) and
+    /// either resumes it or serializes it for migration.
+    Checkpointed,
 }
 
 impl VmError {
@@ -165,6 +170,7 @@ impl fmt::Display for VmError {
             } => {
                 write!(f, "quota exceeded: app {app} over {resource} limit {limit}")
             }
+            VmError::Checkpointed => write!(f, "interpreter parked for checkpoint"),
         }
     }
 }

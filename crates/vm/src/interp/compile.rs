@@ -255,6 +255,21 @@ impl CompiledImage {
         &self.image
     }
 
+    /// Approximate resident bytes of the pre-decoded form: ops, interned
+    /// pool strings, native-site names, and method labels. Charged against
+    /// the defining application's `Memory` quota (and released in bulk at
+    /// reap), so hostile code cannot balloon the VM by defining classes.
+    pub fn footprint_bytes(&self) -> u64 {
+        let ops: usize = self
+            .methods
+            .iter()
+            .map(|m| m.code.len() * std::mem::size_of::<Op>() + m.qualified.len())
+            .sum();
+        let pool: usize = self.pool.iter().map(|s| s.len()).sum();
+        let sites: usize = self.sites.iter().map(|s| s.name.len()).sum();
+        (ops + pool + sites) as u64
+    }
+
     pub(crate) fn methods(&self) -> &[CompiledMethod] {
         &self.methods
     }

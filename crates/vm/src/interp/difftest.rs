@@ -631,6 +631,100 @@ pub fn run_all() -> (usize, Vec<Divergence>) {
     (cases.len(), divergences)
 }
 
+/// Runs one case twice — plain, and split into a checkpoint at cumulative
+/// wire instruction `at` plus a restore on a *fresh* interpreter — and
+/// returns any observable divergence: result value, trap message, or the
+/// cumulative execution counters (`instructions`, `method_calls`,
+/// `native_calls`), which the resume pre-seeds so a split run must land on
+/// exactly the plain run's totals.
+///
+/// A checkpoint past the end of the run (or a case that errors before the
+/// first safepoint-aligned op boundary) never fires; the split run then
+/// degenerates to a plain run and is compared as such.
+pub fn run_case_checkpointed(case: &DiffCase, at: u64) -> Vec<Divergence> {
+    let build = |image: &ClassImage| {
+        let i = Interpreter::new(Arc::new(image.clone()), Arc::new(NoNatives))
+            .expect("corpus images verify");
+        match case.fuel {
+            Some(f) => i.with_fuel(f),
+            None => i,
+        }
+    };
+    let plain = build(&case.image);
+    let plain_result = plain.run(&case.method, case.args.clone());
+
+    let first = build(&case.image).with_checkpoint_at(at);
+    let first_result = first.run(&case.method, case.args.clone());
+    // The interpreter whose outcome and counters stand for the split run:
+    // the restoring one if the park fired, the first one otherwise.
+    let (split_result, split_stats_of) = match first_result {
+        Err(VmError::Checkpointed) => {
+            let snap = first
+                .take_snapshot()
+                .expect("a checkpointed run deposits its continuation");
+            // Restore on a fresh interpreter, as a migration would; fuel
+            // and cumulative counters travel inside the snapshot.
+            let second = Interpreter::new(Arc::new(case.image.clone()), Arc::new(NoNatives))
+                .expect("corpus images verify");
+            let result = second.resume(&snap);
+            (result, second)
+        }
+        other => (other, first),
+    };
+
+    let mut divergences = Vec::new();
+    let mut diverge = |detail: String| {
+        divergences.push(Divergence {
+            case: format!("{}@ckpt{at}", case.name),
+            detail,
+        });
+    };
+    let (plain_label, split_label) = (outcome_label(&plain_result), outcome_label(&split_result));
+    if plain_label != split_label {
+        diverge(format!(
+            "outcome: plain [{plain_label}] vs split [{split_label}]"
+        ));
+    }
+    let pairs = [
+        (
+            "instructions",
+            plain.stats().instructions(),
+            split_stats_of.stats().instructions(),
+        ),
+        (
+            "method_calls",
+            plain.stats().method_calls(),
+            split_stats_of.stats().method_calls(),
+        ),
+        (
+            "native_calls",
+            plain.stats().native_calls(),
+            split_stats_of.stats().native_calls(),
+        ),
+    ];
+    for (what, p, s) in pairs {
+        if p != s {
+            diverge(format!("{what}: plain {p} vs split {s}"));
+        }
+    }
+    divergences
+}
+
+/// Runs the whole corpus through [`run_case_checkpointed`] at every split
+/// point in `ats`; returns `(comparisons_run, divergences)`.
+pub fn run_all_checkpointed(ats: &[u64]) -> (usize, Vec<Divergence>) {
+    let cases = corpus();
+    let mut divergences = Vec::new();
+    let mut comparisons = 0;
+    for case in &cases {
+        for &at in ats {
+            comparisons += 1;
+            divergences.extend(run_case_checkpointed(case, at));
+        }
+    }
+    (comparisons, divergences)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +764,56 @@ mod tests {
                 "corpus lost case {required}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_matches_plain_across_the_corpus() {
+        // Split points cover: before the first op, early, mid-loop, both
+        // sides of the 1024-instruction safepoint boundary, and past the
+        // end of most cases (where the park never fires and the split run
+        // degenerates to a plain one).
+        let ats = [0u64, 1, 7, 33, 100, 1023, 1024, 1025, 5000];
+        let (comparisons, divergences) = run_all_checkpointed(&ats);
+        assert!(
+            comparisons >= 400,
+            "the sweep stays substantial: {comparisons} comparisons"
+        );
+        assert!(
+            divergences.is_empty(),
+            "checkpoint/restore diverged from plain runs:\n{}",
+            divergences
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn a_mid_loop_checkpoint_actually_fires_and_parks() {
+        // Guard against the sweep silently degenerating: at split 100 the
+        // canonical sum loop must really park, deposit a continuation, and
+        // resume to the exact plain result.
+        let case = corpus()
+            .into_iter()
+            .find(|c| c.name == "sum_loop_500")
+            .unwrap();
+        let interp = Interpreter::new(Arc::new(case.image.clone()), Arc::new(NoNatives))
+            .unwrap()
+            .with_checkpoint_at(100);
+        let result = interp.run(&case.method, case.args.clone());
+        assert!(matches!(result, Err(VmError::Checkpointed)));
+        let snap = interp.take_snapshot().expect("continuation deposited");
+        // The park lands at the op boundary just before the split point
+        // (the op that would cross it stays uncharged), so the snapshot
+        // sits within one fused op's width below 100.
+        assert!(
+            snap.instructions >= 90 && snap.instructions <= 100,
+            "parked mid-run at {}",
+            snap.instructions
+        );
+        let second = Interpreter::new(Arc::new(case.image.clone()), Arc::new(NoNatives)).unwrap();
+        assert_eq!(second.resume(&snap).unwrap(), Value::Int(125_250));
     }
 
     #[test]

@@ -66,6 +66,17 @@ impl Value {
         }
     }
 
+    /// Owned heap bytes behind this value (string payloads), for the
+    /// `Memory` quota's live-heap sample. Shared `Arc<str>` payloads are
+    /// counted once per referencing slot — a deliberate overestimate that
+    /// keeps the sample a single pass with no alias tracking.
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            Value::Str(s) => s.len() as u64,
+            _ => 0,
+        }
+    }
+
     /// Truthiness used by conditional jumps: `false`, `0`, `null`, and the
     /// empty string are falsy.
     pub fn is_truthy(&self) -> bool {

@@ -29,7 +29,9 @@ use parking_lot::Mutex;
 
 use super::compile::{op, CompiledImage, Op};
 use super::image::{ClassImage, Insn, Value, OPCODE_COUNT, OPCODE_NAMES, OPCODE_WEIGHTS};
+use crate::context::{AppContext, ResourceKind};
 use crate::error::VmError;
+use crate::snapshot::{FrameSnap, InterpSnapshot, SNAPSHOT_VERSION};
 use crate::thread::check_interrupt;
 use crate::Result;
 
@@ -265,8 +267,104 @@ struct FrameState {
 }
 
 /// How many arenas an idle interpreter keeps warm for reuse across runs
-/// (and across threads sharing one interpreter).
+/// (and across threads sharing one interpreter). Runs attributed to an
+/// application prefer the per-app pool on its [`AppContext`] (whose
+/// `Memory` charge stays resident between runs and is reclaimed in one
+/// bulk uncharge at reap).
 const ARENA_POOL_CAP: usize = 8;
+
+/// Bytes one arena slot occupies, for the `Memory` quota.
+const VAL_BYTES: u64 = std::mem::size_of::<Value>() as u64;
+
+/// Strings at or above this size are charged at the allocating op rather
+/// than waiting for the next safepoint sample, so a doubling concat bomb
+/// cannot balloon inside one 1024-instruction window.
+const STR_PREPAY_BYTES: u64 = 4096;
+
+/// Run-local memory governance for application-attributed runs.
+///
+/// The hot loop stays 1 compare + 1 subtract: the arena slab is charged
+/// only when it grows (entry and CALL resizes), string bytes are sampled
+/// from the arena at the existing 1024-instruction safepoints (live bytes,
+/// not cumulative allocation), and only large allocations prepay at the
+/// allocating op. `charged` is what this run currently holds on the
+/// ledger; settlement at run exit either returns the (cleared) arena to
+/// the per-app pool with its slab charge resident, or releases everything.
+struct MemGov {
+    ctx: Arc<AppContext>,
+    /// `Memory` bytes currently charged for this run.
+    charged: u64,
+    /// Portion of `charged` covering the arena slab itself.
+    arena_bytes: u64,
+}
+
+impl MemGov {
+    /// Charges any growth of the arena slab (capacity × slot size).
+    fn ensure_arena(&mut self, arena: &Vec<Value>) -> Result<()> {
+        let bytes = arena.capacity() as u64 * VAL_BYTES;
+        if bytes > self.arena_bytes {
+            let delta = bytes - self.arena_bytes;
+            self.ctx.try_charge(ResourceKind::Memory, delta)?;
+            self.arena_bytes = bytes;
+            self.charged += delta;
+        }
+        Ok(())
+    }
+
+    /// Eagerly charges a large allocation at the allocating op.
+    fn prepay(&mut self, bytes: u64) -> Result<()> {
+        self.ctx.try_charge(ResourceKind::Memory, bytes)?;
+        self.charged += bytes;
+        Ok(())
+    }
+
+    /// Safepoint sample: reconciles `charged` to the slab plus the string
+    /// bytes actually live in the arena (shrinking as well as growing, so
+    /// a legitimate long-running app is billed its working set, not its
+    /// cumulative allocation).
+    fn sample(&mut self, arena: &[Value]) -> Result<()> {
+        let live = self.arena_bytes + arena.iter().map(Value::heap_bytes).sum::<u64>();
+        if live > self.charged {
+            self.ctx
+                .try_charge(ResourceKind::Memory, live - self.charged)?;
+            self.charged = live;
+        } else if self.charged > live {
+            self.ctx.uncharge(ResourceKind::Memory, self.charged - live);
+            self.charged = live;
+        }
+        Ok(())
+    }
+
+    /// Run exit: the cleared arena returns to the per-app pool, keeping
+    /// its slab charge resident; everything transient is released.
+    fn settle_pool(self, arena: Vec<Value>) {
+        self.ctx
+            .uncharge(ResourceKind::Memory, self.charged - self.arena_bytes);
+        self.ctx.put_arena(arena, self.arena_bytes);
+    }
+
+    /// Park/teardown: the arena left the governed heap (moved into a
+    /// snapshot); the whole charge is released.
+    fn settle_drop(self) {
+        self.ctx.uncharge(ResourceKind::Memory, self.charged);
+    }
+}
+
+/// A prepared continuation for [`Interpreter::exec`]: either a fresh entry
+/// frame ([`Interpreter::run`]) or a restored one
+/// ([`Interpreter::resume`]).
+struct StartState {
+    entry: String,
+    arena: Vec<Value>,
+    /// `Memory` bytes already charged for `arena` (per-app pool checkout).
+    arena_charged: u64,
+    frames: Vec<FrameState>,
+    mi: usize,
+    base: usize,
+    sp: usize,
+    pc: usize,
+    fuel: u64,
+}
 
 /// The `jbc` interpreter for one verified, pre-decoded [`ClassImage`].
 ///
@@ -285,6 +383,13 @@ pub struct Interpreter {
     fuel: Option<u64>,
     profiler: Option<Profiler>,
     arena_pool: Mutex<Vec<Vec<Value>>>,
+    /// Cumulative instruction count at which to park for a checkpoint
+    /// (`u64::MAX` = never). One-shot: cleared when the park fires.
+    checkpoint_at: AtomicU64,
+    /// Where a park triggered by [`Interpreter::with_checkpoint_at`]
+    /// deposits its snapshot (context-requested parks deposit on the
+    /// [`AppContext`] instead).
+    snapshot_slot: Mutex<Option<InterpSnapshot>>,
 }
 
 impl std::fmt::Debug for Interpreter {
@@ -320,6 +425,8 @@ impl Interpreter {
             fuel: None,
             profiler: None,
             arena_pool: Mutex::new(Vec::new()),
+            checkpoint_at: AtomicU64::new(u64::MAX),
+            snapshot_slot: Mutex::new(None),
         }
     }
 
@@ -336,6 +443,22 @@ impl Interpreter {
     pub fn with_profiler(mut self, profiler: Profiler) -> Interpreter {
         self.profiler = Some(profiler);
         self
+    }
+
+    /// Parks the run at the first op boundary at or after cumulative wire
+    /// instruction `n`: the run returns [`VmError::Checkpointed`] and the
+    /// continuation is available via [`Interpreter::take_snapshot`].
+    /// One-shot — the trigger clears when it fires, so a
+    /// [`Interpreter::resume`] on the same interpreter runs to completion.
+    pub fn with_checkpoint_at(self, n: u64) -> Interpreter {
+        self.checkpoint_at.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Takes the snapshot deposited by a [`Interpreter::with_checkpoint_at`]
+    /// park, if one fired.
+    pub fn take_snapshot(&self) -> Option<InterpSnapshot> {
+        self.snapshot_slot.lock().take()
     }
 
     /// Execution counters.
@@ -388,15 +511,8 @@ impl Interpreter {
         result
     }
 
-    /// The fast dispatch loop: explicit frames over one reusable arena.
-    ///
-    /// Arena layout per frame: `[base .. base+locals)` are the local
-    /// slots, `[base+locals .. base+frame_size)` the operand stack (sized
-    /// by the verifier's proven `max_stack`, so pushes never bounds-grow).
-    /// A callee's `base` is the caller's `sp - argc`: the pushed arguments
-    /// are already its first locals in call order, so calls move no values
-    /// at all.
-    #[allow(clippy::too_many_lines)]
+    /// Prepares a fresh entry frame for `method` and hands it to the
+    /// dispatch loop ([`Interpreter::exec`]).
     fn run_compiled(
         &self,
         method: &str,
@@ -416,24 +532,158 @@ impl Interpreter {
             )));
         }
 
-        let mut arena: Vec<Value> = self.arena_pool.lock().pop().unwrap_or_default();
-        let mut frames: Vec<FrameState> = Vec::new();
-        let mut guards: Vec<crate::profloc::FrameGuard> = Vec::new();
-
-        // Current-frame registers.
-        let mut mi = entry;
-        let mut base: usize = 0;
-        arena.resize(methods[mi].frame_size as usize, Value::Null);
-        let mut sp = usize::from(methods[mi].locals);
+        // Application-attributed runs check their arena out of the per-app
+        // pool (the `Memory` charge for a pooled slab transfers with it);
+        // unattributed runs (benches, difftest) use the interpreter's own.
+        let app = crate::thread::current_app_context();
+        let (mut arena, arena_charged) = app
+            .as_ref()
+            .and_then(|ctx| ctx.take_arena())
+            .unwrap_or_else(|| (self.arena_pool.lock().pop().unwrap_or_default(), 0));
+        arena.resize(methods[entry].frame_size as usize, Value::Null);
+        let sp = usize::from(methods[entry].locals);
         for (slot, arg) in args.drain(..).enumerate() {
             arena[slot] = arg;
         }
+        self.exec(
+            StartState {
+                entry: method.to_string(),
+                arena,
+                arena_charged,
+                frames: Vec::new(),
+                mi: entry,
+                base: 0,
+                sp,
+                pc: 0,
+                fuel: self.fuel.unwrap_or(u64::MAX),
+            },
+            prof,
+        )
+    }
+
+    /// Resumes a parked continuation (see [`Interpreter::with_checkpoint_at`]
+    /// and [`AppContext::request_checkpoint`]) with identical observable
+    /// behaviour to the run that parked: the cumulative counters are
+    /// pre-seeded so safepoint cadence, fuel, and final instruction counts
+    /// match an unparked run exactly. Restored frames are not re-published
+    /// to the sampling profiler (attribution resumes at the next call).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Trap`] if the snapshot does not belong to this class
+    /// image or its indices are out of range; otherwise exactly
+    /// [`Interpreter::run`].
+    pub fn resume(&self, snap: &InterpSnapshot) -> Result<Value> {
+        let mut prof = ProfTally::new(self.profiler.as_ref());
+        let result = self.resume_compiled(snap, &mut prof);
+        prof.flush();
+        result
+    }
+
+    fn resume_compiled(&self, snap: &InterpSnapshot, prof: &mut ProfTally) -> Result<Value> {
+        let methods = self.compiled.methods();
+        if snap.image.name != self.compiled.image().name {
+            return Err(VmError::trap(format!(
+                "snapshot of class {} cannot resume on {}",
+                snap.image.name,
+                self.compiled.image().name
+            )));
+        }
+        let mi = snap.method as usize;
+        let in_range = |f: &FrameSnap| {
+            (f.method as usize) < methods.len()
+                && (f.pc as usize) <= methods[f.method as usize].code.len()
+        };
+        if mi >= methods.len()
+            || snap.pc as usize >= methods[mi].code.len()
+            || !snap.frames.iter().all(in_range)
+        {
+            return Err(VmError::trap("snapshot frame out of range"));
+        }
+        self.stats
+            .instructions
+            .store(snap.instructions, Ordering::Relaxed);
+        self.stats
+            .dispatches
+            .store(snap.dispatches, Ordering::Relaxed);
+        self.stats
+            .method_calls
+            .store(snap.method_calls, Ordering::Relaxed);
+        self.stats
+            .native_calls
+            .store(snap.native_calls, Ordering::Relaxed);
+        let frames = snap
+            .frames
+            .iter()
+            .map(|f| FrameState {
+                method: f.method,
+                pc: f.pc,
+                base: f.base,
+                callee_guarded: false,
+            })
+            .collect();
+        self.exec(
+            StartState {
+                entry: snap.entry.clone(),
+                arena: snap.arena.clone(),
+                arena_charged: 0,
+                frames,
+                mi,
+                base: snap.base as usize,
+                sp: snap.sp as usize,
+                pc: snap.pc as usize,
+                fuel: snap.fuel.unwrap_or(u64::MAX),
+            },
+            prof,
+        )
+    }
+
+    /// The fast dispatch loop: explicit frames over one reusable arena.
+    ///
+    /// Arena layout per frame: `[base .. base+locals)` are the local
+    /// slots, `[base+locals .. base+frame_size)` the operand stack (sized
+    /// by the verifier's proven `max_stack`, so pushes never bounds-grow).
+    /// A callee's `base` is the caller's `sp - argc`: the pushed arguments
+    /// are already its first locals in call order, so calls move no values
+    /// at all.
+    #[allow(clippy::too_many_lines)]
+    fn exec(&self, start: StartState, prof: &mut ProfTally) -> Result<Value> {
+        let ci: &CompiledImage = &self.compiled;
+        let methods = ci.methods();
+        let StartState {
+            entry,
+            mut arena,
+            arena_charged,
+            mut frames,
+            mut mi,
+            mut base,
+            mut sp,
+            mut pc,
+            fuel: fuel_start,
+        } = start;
+        let mut guards: Vec<crate::profloc::FrameGuard> = Vec::new();
         let mut code: &[Op] = &methods[mi].code;
-        let mut pc: usize = 0;
         if let Some(p) = prof.profiler() {
             if p.sampling_enabled() {
                 guards.push(crate::profloc::frame_arc(&methods[mi].qualified, Some(p)));
             }
+        }
+
+        // Memory governance (application-attributed runs only): charge the
+        // entry slab before dispatching anything.
+        let app = crate::thread::current_app_context();
+        let mut gov = app.as_ref().map(|ctx| MemGov {
+            ctx: Arc::clone(ctx),
+            charged: arena_charged,
+            arena_bytes: arena_charged,
+        });
+        if let Err(err) = gov.as_mut().map_or(Ok(()), |g| g.ensure_arena(&arena)) {
+            drop(guards);
+            arena.clear();
+            if let Some(g) = gov {
+                g.settle_pool(arena);
+            }
+            return Err(err);
         }
 
         // Charging state. `until_check` counts wire instructions down to
@@ -443,14 +693,29 @@ impl Interpreter {
         let mut pending = Pending::default();
         let mut until_check =
             INTERRUPT_CHECK_EVERY - (self.stats.instructions() % INTERRUPT_CHECK_EVERY);
-        let mut fuel: u64 = self.fuel.unwrap_or(u64::MAX);
-        // The two headrooms merged into one counter for the hot path:
-        // `slack` components can be charged without reaching a safepoint
-        // boundary (`until_check` must stay ≥ 1) or running out of fuel.
-        // `slack >= cost` is exactly `until_check > cost && fuel >= cost`;
-        // `slack_base - slack` is what the slow path reconciles back into
-        // the real counters before charging component-wise.
-        let mut slack = (until_check - 1).min(fuel);
+        let fueled = fuel_start != u64::MAX;
+        let mut fuel: u64 = fuel_start;
+        // Checkpoint countdown: wire instructions until the requested park
+        // point (`u64::MAX` = no trigger). Folded into `slack` exactly
+        // like fuel, so the fast path stays 1 compare + 1 subtract; a
+        // context-requested checkpoint is polled at safepoints and parks
+        // at the following op boundary.
+        let mut ckpt: u64 = {
+            let at = self.checkpoint_at.load(Ordering::Relaxed);
+            if at == u64::MAX {
+                u64::MAX
+            } else {
+                at.saturating_sub(self.stats.instructions())
+            }
+        };
+        let mut want_ckpt = false;
+        // The headrooms merged into one counter for the hot path: `slack`
+        // components can be charged without reaching a safepoint boundary
+        // (`until_check` must stay ≥ 1), running out of fuel, or crossing
+        // a requested checkpoint; `slack_base - slack` is what the slow
+        // path reconciles back into the real counters before charging
+        // component-wise.
+        let mut slack = (until_check - 1).min(fuel).min(ckpt);
         let mut slack_base = slack;
         // Batched-counter shadows kept out of `pending` so the fast path
         // touches only registers: the wire-instruction charge is derived
@@ -486,6 +751,48 @@ impl Interpreter {
                 reconcile!();
                 until_check -= spent;
                 fuel -= spent;
+                ckpt = ckpt.saturating_sub(spent);
+                // Park for a checkpoint *before* charging the current op:
+                // it is uncharged and unexecuted, so the snapshot resumes
+                // by re-dispatching it and the cumulative counters match
+                // an unparked run exactly. Only op boundaries park — no
+                // instruction is ever half-charged in a snapshot.
+                if want_ckpt || ckpt < cost {
+                    pc -= 1;
+                    self.stats.flush_pending(&mut pending);
+                    self.checkpoint_at.store(u64::MAX, Ordering::Relaxed);
+                    let snap = InterpSnapshot {
+                        version: SNAPSHOT_VERSION,
+                        image: (**ci.image()).clone(),
+                        entry: entry.clone(),
+                        frames: frames
+                            .iter()
+                            .map(|f| FrameSnap {
+                                method: f.method,
+                                pc: f.pc,
+                                base: f.base,
+                            })
+                            .collect(),
+                        method: mi as u32,
+                        pc: pc as u32,
+                        base: base as u32,
+                        sp: sp as u32,
+                        arena: std::mem::take(&mut arena),
+                        fuel: fueled.then_some(fuel),
+                        instructions: self.stats.instructions(),
+                        dispatches: self.stats.dispatches(),
+                        method_calls: self.stats.method_calls(),
+                        native_calls: self.stats.native_calls(),
+                    };
+                    match (&app, want_ckpt) {
+                        (Some(ctx), true) => {
+                            ctx.clear_checkpoint_request();
+                            ctx.deposit_snapshot(snap);
+                        }
+                        _ => *self.snapshot_slot.lock() = Some(snap),
+                    }
+                    break 'run Err(VmError::Checkpointed);
+                }
                 let mut trapped: Option<VmError> = None;
                 for _ in 0..o.cost {
                     pending.instructions += 1;
@@ -498,6 +805,21 @@ impl Interpreter {
                             trapped = Some(err);
                             break;
                         }
+                        // Safepoint services beyond the seed's: reconcile
+                        // the memory charge to the live working set, and
+                        // poll for a context-requested checkpoint (parks
+                        // at the next op boundary).
+                        if let Some(g) = gov.as_mut() {
+                            if let Err(err) = g.sample(&arena) {
+                                trapped = Some(err);
+                                break;
+                            }
+                        }
+                        if let Some(ctx) = &app {
+                            if ctx.checkpoint_requested() {
+                                want_ckpt = true;
+                            }
+                        }
                     }
                     if fuel == 0 {
                         trapped = Some(VmError::trap("fuel exhausted"));
@@ -508,9 +830,13 @@ impl Interpreter {
                 if let Some(err) = trapped {
                     break 'run Err(err);
                 }
+                ckpt = ckpt.saturating_sub(cost);
                 // The component loop leaves `until_check` ≥ 1 (a boundary
                 // resets it to the full interval mid-iteration).
-                slack = (until_check - 1).min(fuel);
+                slack = (until_check - 1).min(fuel).min(ckpt);
+                if want_ckpt {
+                    slack = 0;
+                }
                 slack_base = slack;
             }
             dispatched += 1;
@@ -616,6 +942,19 @@ impl Interpreter {
                 }
                 op::CONCAT => {
                     let joined = Value::concat(&arena[sp - 2], &arena[sp - 1]);
+                    // Large results prepay their bytes at the allocating
+                    // op (small ones are picked up by the safepoint
+                    // sample): a doubling concat bomb is denied at the
+                    // allocation that crosses the quota, not 1024
+                    // instructions later.
+                    if let Some(g) = gov.as_mut() {
+                        let bytes = joined.heap_bytes();
+                        if bytes >= STR_PREPAY_BYTES {
+                            if let Err(err) = g.prepay(bytes) {
+                                break 'run Err(err);
+                            }
+                        }
+                    }
                     arena[sp - 2] = joined;
                     arena[sp - 1] = Value::Null;
                     sp -= 1;
@@ -688,6 +1027,11 @@ impl Interpreter {
                     let need = callee_base + cm.frame_size as usize;
                     if arena.len() < need {
                         arena.resize(need, Value::Null);
+                        if let Some(g) = gov.as_mut() {
+                            if let Err(err) = g.ensure_arena(&arena) {
+                                break 'run Err(err);
+                            }
+                        }
                     }
                     // Non-parameter locals must start Null (the arena may
                     // hold stale values from earlier frames).
@@ -873,10 +1217,20 @@ impl Interpreter {
         pending.instructions -= trap_refund;
         self.stats.flush_pending(&mut pending);
         drop(guards);
+        let parked = matches!(outcome, Err(VmError::Checkpointed));
         arena.clear();
-        let mut pool = self.arena_pool.lock();
-        if pool.len() < ARENA_POOL_CAP {
-            pool.push(arena);
+        match gov {
+            // A parked run's arena moved into the snapshot — release its
+            // whole charge; otherwise the slab returns to the per-app pool
+            // with its charge resident (reclaimed in bulk at reap).
+            Some(g) if parked => g.settle_drop(),
+            Some(g) => g.settle_pool(arena),
+            None => {
+                let mut pool = self.arena_pool.lock();
+                if pool.len() < ARENA_POOL_CAP {
+                    pool.push(arena);
+                }
+            }
         }
         outcome
     }
@@ -1575,6 +1929,112 @@ mod tests {
             Value::Int(55),
             "second run reuses the pooled arena"
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_plain_run_exactly() {
+        // Plain run.
+        let plain = interp(single(sum_loop(), 0, 2));
+        let expect = plain.run("main", vec![]).unwrap();
+        let expect_insns = plain.stats().instructions();
+        let expect_dispatches = plain.stats().dispatches();
+
+        // Park mid-loop, serialize, restore on a *fresh* interpreter (as a
+        // second VM would), resume.
+        let parked = interp(single(sum_loop(), 0, 2)).with_checkpoint_at(expect_insns / 2);
+        let err = parked.run("main", vec![]).unwrap_err();
+        assert!(matches!(err, VmError::Checkpointed), "got {err:?}");
+        let snap = parked.take_snapshot().expect("snapshot deposited");
+        assert!(snap.instructions < expect_insns, "parked mid-run");
+        let bytes = snap.to_bytes().unwrap();
+        let snap = crate::snapshot::InterpSnapshot::from_bytes(&bytes).unwrap();
+        let restored = Interpreter::new(Arc::new(snap.image.clone()), Arc::new(NoNatives)).unwrap();
+        assert_eq!(restored.resume(&snap).unwrap(), expect);
+        assert_eq!(restored.stats().instructions(), expect_insns);
+        assert_eq!(restored.stats().dispatches(), expect_dispatches);
+
+        // The parked interpreter itself can also resume (trigger is
+        // one-shot).
+        assert_eq!(parked.resume(&snap).unwrap(), expect);
+        assert_eq!(parked.stats().instructions(), expect_insns);
+    }
+
+    #[test]
+    fn checkpoint_preserves_call_frames_and_fuel() {
+        let fib = ClassImage {
+            name: "F".into(),
+            methods: vec![MethodImage {
+                name: "fib".into(),
+                params: 1,
+                locals: 1,
+                code: vec![
+                    Insn::Load(0),
+                    Insn::PushInt(2),
+                    Insn::Lt,
+                    Insn::JumpIfFalse(6),
+                    Insn::Load(0),
+                    Insn::ReturnValue,
+                    Insn::Load(0), // 6
+                    Insn::PushInt(1),
+                    Insn::Sub,
+                    Insn::Call {
+                        method: "fib".into(),
+                        argc: 1,
+                    },
+                    Insn::Load(0),
+                    Insn::PushInt(2),
+                    Insn::Sub,
+                    Insn::Call {
+                        method: "fib".into(),
+                        argc: 1,
+                    },
+                    Insn::Add,
+                    Insn::ReturnValue,
+                ],
+            }],
+        };
+        let plain = interp(fib.clone());
+        let expect = plain.run("fib", vec![Value::Int(14)]).unwrap();
+        let expect_insns = plain.stats().instructions();
+        let expect_calls = plain.stats().method_calls();
+
+        let parked = interp(fib)
+            .with_fuel(1_000_000)
+            .with_checkpoint_at(expect_insns / 3);
+        let err = parked.run("fib", vec![Value::Int(14)]).unwrap_err();
+        assert!(matches!(err, VmError::Checkpointed));
+        let snap = parked.take_snapshot().expect("snapshot");
+        assert!(!snap.frames.is_empty(), "parked inside the recursion");
+        assert!(snap.fuel.is_some(), "fuel budget travels with the snapshot");
+        let restored = Interpreter::new(Arc::new(snap.image.clone()), Arc::new(NoNatives)).unwrap();
+        assert_eq!(restored.resume(&snap).unwrap(), expect);
+        assert_eq!(restored.stats().instructions(), expect_insns);
+        assert_eq!(restored.stats().method_calls(), expect_calls);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshots() {
+        let parked = interp(single(sum_loop(), 0, 2)).with_checkpoint_at(100);
+        parked.run("main", vec![]).unwrap_err();
+        let snap = parked.take_snapshot().unwrap();
+        let other = interp(ClassImage {
+            name: "Other".into(),
+            methods: vec![MethodImage {
+                name: "main".into(),
+                params: 0,
+                locals: 0,
+                code: vec![Insn::Return],
+            }],
+        });
+        let err = other.resume(&snap).unwrap_err();
+        assert!(err.to_string().contains("cannot resume"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_past_end_runs_to_completion() {
+        let i = interp(single(sum_loop(), 0, 2)).with_checkpoint_at(u64::MAX - 1);
+        assert_eq!(i.run("main", vec![]).unwrap(), Value::Int(125_250));
+        assert!(i.take_snapshot().is_none());
     }
 
     #[test]

@@ -97,7 +97,8 @@ struct Shared {
     recorder: Option<FlightRecorder>,
     /// The owning application (see [`pipe_owned`]): buffered bytes are
     /// charged to its `pipe.bytes` ledger slot on acceptance and released
-    /// on drain, reader close, or pipe drop.
+    /// on drain, reader close, or pipe drop. The ring allocation itself is
+    /// charged to the owner's `memory` slot for the pipe's whole lifetime.
     owner: Option<Arc<AppContext>>,
 }
 
@@ -111,6 +112,10 @@ impl Drop for Shared {
             if residual > 0 {
                 owner.uncharge(ResourceKind::PipeBytes, residual as u64);
             }
+            // The ring buffer itself is freed with the pipe: release the
+            // capacity bytes charged at creation.
+            let capacity = self.state.get_mut().ring.capacity();
+            owner.uncharge(ResourceKind::Memory, capacity as u64);
         }
     }
 }
@@ -160,7 +165,7 @@ pub fn pipe_traced(
     bytes: Option<Arc<Counter>>,
     recorder: Option<FlightRecorder>,
 ) -> (PipeWriter, PipeReader) {
-    pipe_owned(capacity, bytes, recorder, None)
+    pipe_owned(capacity, bytes, recorder, None).expect("an ownerless pipe charges no quota")
 }
 
 /// [`pipe_traced`], plus an optional owning [`AppContext`]. Bytes buffered
@@ -170,15 +175,29 @@ pub fn pipe_traced(
 /// `write_all` surfaces it as a [`VmError::ShortWrite`] cause). Drained,
 /// discarded (reader close), and dropped bytes release their charge, so a
 /// quiescent application's `pipe.bytes` ledger reads zero.
+///
+/// The ring buffer allocation itself — `capacity` bytes, live for the
+/// pipe's whole lifetime — is charged against the owner's `memory` quota
+/// up front and released when the last end drops, so an application at its
+/// heap cap cannot mint fresh kernel-side buffers either.
+///
+/// # Errors
+///
+/// [`VmError::QuotaExceeded`] if charging the ring capacity to the owner's
+/// `memory` quota fails; the pipe is not created.
 pub fn pipe_owned(
     capacity: usize,
     bytes: Option<Arc<Counter>>,
     recorder: Option<FlightRecorder>,
     owner: Option<Arc<AppContext>>,
-) -> (PipeWriter, PipeReader) {
+) -> Result<(PipeWriter, PipeReader)> {
+    let capacity = capacity.max(1);
+    if let Some(owner) = &owner {
+        owner.try_charge(ResourceKind::Memory, capacity as u64)?;
+    }
     let shared = Arc::new(Shared {
         state: Mutex::new(PipeState {
-            ring: Ring::with_capacity(capacity.max(1)),
+            ring: Ring::with_capacity(capacity),
             write_closed: false,
             read_closed: false,
             trace: None,
@@ -189,12 +208,12 @@ pub fn pipe_owned(
         recorder,
         owner,
     });
-    (
+    Ok((
         PipeWriter {
             shared: Arc::clone(&shared),
         },
         PipeReader { shared },
-    )
+    ))
 }
 
 /// The read end of a [`pipe`]. Cloning shares the same channel.
@@ -718,12 +737,32 @@ mod tests {
     #[test]
     fn owned_pipe_charges_and_drains_the_ledger() {
         let owner = AppContext::new(1, "A", "alice", crate::GroupId(1), jmp_obs::ObsHub::new());
-        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner))).unwrap();
+        assert_eq!(
+            owner.ledger().get(ResourceKind::Memory),
+            16,
+            "the ring allocation is charged at creation"
+        );
         w.write_all(b"hello").unwrap();
         assert_eq!(owner.ledger().get(ResourceKind::PipeBytes), 5);
         let mut buf = [0u8; 16];
         r.read(&mut buf).unwrap();
         assert_eq!(owner.ledger().get(ResourceKind::PipeBytes), 0);
+        drop((w, r));
+        assert!(owner.ledger().is_drained(), "ring memory released on drop");
+    }
+
+    #[test]
+    fn owned_pipe_creation_respects_the_memory_quota() {
+        let owner = AppContext::new(9, "I", "ivan", crate::GroupId(9), jmp_obs::ObsHub::new());
+        owner.limits().set(ResourceKind::Memory, 8);
+        let err = pipe_owned(16, None, None, Some(Arc::clone(&owner))).unwrap_err();
+        assert!(err.is_quota_exceeded(), "got {err:?}");
+        assert!(
+            owner.ledger().is_drained(),
+            "the refused charge rolled back"
+        );
+        let (w, r) = pipe_owned(8, None, None, Some(Arc::clone(&owner))).unwrap();
         drop((w, r));
         assert!(owner.ledger().is_drained());
     }
@@ -732,7 +771,7 @@ mod tests {
     fn owned_pipe_over_quota_write_fails_without_buffering() {
         let owner = AppContext::new(2, "B", "bob", crate::GroupId(2), jmp_obs::ObsHub::new());
         owner.limits().set(ResourceKind::PipeBytes, 4);
-        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner))).unwrap();
         w.write_all(b"1234").unwrap();
         let err = w.write_all(b"5").unwrap_err();
         assert!(err.is_quota_exceeded(), "got {err:?}");
@@ -748,11 +787,12 @@ mod tests {
     #[test]
     fn reader_close_releases_residual_charges() {
         let owner = AppContext::new(3, "C", "carol", crate::GroupId(3), jmp_obs::ObsHub::new());
-        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner))).unwrap();
         w.write_all(b"stranded").unwrap();
         r.close();
-        assert!(
-            owner.ledger().is_drained(),
+        assert_eq!(
+            owner.ledger().get(ResourceKind::PipeBytes),
+            0,
             "discarded bytes release their charge"
         );
         drop((w, r));
@@ -762,7 +802,7 @@ mod tests {
     #[test]
     fn dropping_an_undrained_pipe_releases_charges() {
         let owner = AppContext::new(4, "D", "dave", crate::GroupId(4), jmp_obs::ObsHub::new());
-        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner)));
+        let (w, r) = pipe_owned(16, None, None, Some(Arc::clone(&owner))).unwrap();
         w.write_all(b"leftover").unwrap();
         drop((w, r));
         assert!(owner.ledger().is_drained());

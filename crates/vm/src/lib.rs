@@ -61,6 +61,9 @@ pub mod interp;
 pub mod io;
 mod profloc;
 mod properties;
+/// Versioned checkpoint images for parked interpreter runs
+/// (checkpoint/restore/migrate).
+pub mod snapshot;
 pub mod stack;
 /// VM threads: daemon flags, interruption, joins, and the current-thread
 /// helpers blocking primitives build on.
@@ -71,10 +74,13 @@ pub use classes::{
     Class, ClassDef, ClassDefBuilder, ClassId, ClassLoader, DefineObserver, DomainResolver,
     LoaderId, MaterialRegistry, NativeMain, StaticValue,
 };
-pub use context::{AppContext, ResourceKind, ResourceLedger, ResourceLimits, RESOURCE_KINDS};
+pub use context::{
+    AppContext, ResourceKind, ResourceLedger, ResourceLimits, APP_ARENA_POOL_CAP, RESOURCE_KINDS,
+};
 pub use error::VmError;
 pub use group::{GroupId, ThreadGroup};
 pub use properties::Properties;
+pub use snapshot::{FrameSnap, InterpSnapshot, SNAPSHOT_VERSION};
 pub use thread::{ThreadId, VmThread};
 pub use vm::{SecurityManager, ThreadBuilder, UserResolver, Vm, VmBuilder};
 

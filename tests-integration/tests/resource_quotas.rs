@@ -159,3 +159,124 @@ fn pipe_flood_is_denied_at_the_quota() {
     assert!(app.context().ledger().is_drained());
     rt.shutdown();
 }
+
+/// Memory: an application that runs the interpreter (arena slabs, string
+/// prepay, resident image bytes) is charged while alive, the ledger drains
+/// to zero in O(1) at reap, and a second run inside the same application
+/// reuses the pooled arena block instead of reallocating.
+#[test]
+fn memory_ledger_drains_on_reap_and_the_arena_pool_is_reused() {
+    let rt = quota_runtime(
+        r#"grant user "alice" { permission resource "limit.memory:1048576"; };"#,
+        false,
+    );
+    register_app(&rt, "memchurn", |_| {
+        use jmp_vm::interp::{assemble, Interpreter, NoNatives};
+        let ctx = jmp_vm::thread::current_app_context().unwrap();
+        assert_eq!(
+            ctx.limits().get(ResourceKind::Memory),
+            1_048_576,
+            "the limit.memory grant applies"
+        );
+        let image = std::sync::Arc::new(
+            assemble(
+                "class Churn\n\
+                 method main/0 locals=2\n\
+                 push_int 0\n  store 0\n  push_int 0\n  store 1\n\
+                 loop:\n\
+                 load 0\n  load 1\n  add\n  store 0\n\
+                 load 1\n  push_int 1\n  add\n  store 1\n\
+                 load 1\n  push_int 2000\n  lt\n  jump_if_true loop\n\
+                 load 0\n  return_value\n",
+            )
+            .expect("assembles"),
+        );
+        let first = Interpreter::new(
+            std::sync::Arc::clone(&image),
+            std::sync::Arc::new(NoNatives),
+        )
+        .expect("verifies");
+        first.run("main", vec![]).expect("first run");
+        drop(first);
+        assert!(
+            ctx.resident_memory() > 0,
+            "the freed arena slab stays charged in the application pool"
+        );
+        let before = ctx.arena_reuses();
+        let second = Interpreter::new(
+            std::sync::Arc::clone(&image),
+            std::sync::Arc::new(NoNatives),
+        )
+        .expect("verifies");
+        second.run("main", vec![]).expect("second run");
+        drop(second);
+        assert!(
+            ctx.arena_reuses() > before,
+            "the second run reuses the pooled arena block"
+        );
+        assert!(ctx.ledger().get(ResourceKind::Memory) > 0);
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "memchurn", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert_eq!(
+        app.context().ledger().get(ResourceKind::Memory),
+        0,
+        "resident memory drains to zero at reap"
+    );
+    assert_eq!(app.context().resident_memory(), 0);
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
+
+/// A memory bomb (doubling concat) against a byte quota: the charge that
+/// would cross the cap fails with a typed `QuotaExceeded` — audited with
+/// the `memory` resource and counted on both the shared `quota.denied` and
+/// the dedicated `memory.denied` observatory counters — and the ledger
+/// still drains at teardown.
+#[test]
+fn memory_bomb_is_denied_typed_audited_and_counted() {
+    let rt = quota_runtime(
+        r#"grant user "alice" { permission resource "limit.memory:32768"; };"#,
+        false,
+    );
+    register_app(&rt, "membomb", |_| {
+        use jmp_vm::interp::{assemble, Interpreter, NoNatives};
+        let image = assemble(
+            "class Bomb\n\
+             method main/0 locals=2\n\
+             push_str \"aaaaaaaaaaaaaaaa\"\n  store 0\n\
+             push_int 0\n  store 1\n\
+             loop:\n\
+             load 0\n  load 0\n  concat\n  store 0\n\
+             load 1\n  push_int 1\n  add\n  store 1\n\
+             load 1\n  push_int 24\n  lt\n  jump_if_true loop\n\
+             load 0\n  return_value\n",
+        )
+        .expect("assembles");
+        let interp = Interpreter::new(std::sync::Arc::new(image), std::sync::Arc::new(NoNatives))
+            .expect("verifies");
+        let err = interp
+            .run("main", vec![])
+            .expect_err("the doubling concat must hit the 32KiB cap");
+        assert!(err.is_quota_exceeded(), "typed denial: {err}");
+        let ctx = jmp_vm::thread::current_app_context().unwrap();
+        assert!(ctx.ledger().get(ResourceKind::Memory) <= 32_768);
+        Ok(())
+    });
+    let app = rt.launch_as("alice", "membomb", &[]).unwrap();
+    assert_eq!(app.wait_for().unwrap(), 0);
+    let metrics = rt.vm().obs().vm_metrics();
+    assert!(metrics.counter("memory.denied").get() >= 1);
+    assert!(metrics.counter("memory.charged").get() >= 1);
+    assert!(metrics.counter("quota.denied").get() >= 1);
+    let audited = rt.vm().obs().audit_query(Some("alice"), None);
+    assert!(
+        audited.iter().any(|r| r.permission.contains("memory")),
+        "quota.denied{{resource=memory}} is audited: {audited:?}"
+    );
+    assert!(rt.await_idle(Duration::from_secs(5)));
+    assert!(app.context().ledger().is_drained());
+    rt.shutdown();
+}
